@@ -1,0 +1,93 @@
+//! Convergence-rate estimation from potential traces.
+//!
+//! The paper's Theorem 4 asserts a per-round contraction
+//! `Φ(Lᵗ) ≤ (1 − λ₂/4δ)·Φ(Lᵗ⁻¹)`. Given a measured trace `Φ(L⁰), Φ(L¹), …`
+//! these helpers recover the *empirical* contraction factor (geometric-mean
+//! and regression estimators), so experiments can compare the measured
+//! asymptotic rate against `1 − λ₂/4δ` rather than only checking the
+//! round-count bound.
+
+use crate::stats::linear_fit;
+
+/// Geometric-mean per-round contraction factor of a positive, decreasing
+/// trace: `(Φ_T/Φ_0)^(1/T)`.
+///
+/// Robust to noise in individual rounds; undefined (panics) for traces
+/// shorter than 2 or hitting exact zero.
+pub fn geometric_rate(trace: &[f64]) -> f64 {
+    assert!(trace.len() >= 2, "need at least two trace points");
+    let first = trace[0];
+    let last = *trace.last().expect("non-empty");
+    assert!(first > 0.0 && last > 0.0, "trace must stay positive");
+    (last / first).powf(1.0 / (trace.len() - 1) as f64)
+}
+
+/// Regression estimate of the contraction factor: slope of
+/// `ln Φ_t` against `t`, exponentiated. Equals [`geometric_rate`] for an
+/// exactly geometric trace but weighs all rounds, not just the endpoints.
+/// Also returns the fit's `r²` (near 1 ⇒ the decay really is geometric).
+pub fn regression_rate(trace: &[f64]) -> (f64, f64) {
+    assert!(trace.len() >= 2, "need at least two trace points");
+    assert!(trace.iter().all(|&x| x > 0.0), "trace must stay positive");
+    let xs: Vec<f64> = (0..trace.len()).map(|i| i as f64).collect();
+    let ys: Vec<f64> = trace.iter().map(|&x| x.ln()).collect();
+    let (_, slope, r2) = linear_fit(&xs, &ys);
+    (slope.exp(), r2)
+}
+
+/// The paper's guaranteed factor `1 − λ₂/(4δ)` for comparison columns.
+pub fn theorem4_factor(delta: u32, lambda2: f64) -> f64 {
+    1.0 - dlb_core::bounds::theorem4_drop_factor(delta, lambda2)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dlb_core::continuous::ContinuousDiffusion;
+    use dlb_core::runner::run_continuous;
+    use dlb_graphs::topology;
+    use dlb_spectral::closed_form;
+
+    #[test]
+    fn exact_geometric_trace_recovered() {
+        let trace: Vec<f64> = (0..20).map(|t| 100.0 * 0.8f64.powi(t)).collect();
+        assert!((geometric_rate(&trace) - 0.8).abs() < 1e-12);
+        let (rate, r2) = regression_rate(&trace);
+        assert!((rate - 0.8).abs() < 1e-12);
+        assert!((r2 - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn measured_rate_beats_theorem4_factor() {
+        // The empirical asymptotic rate must be at most the guaranteed
+        // factor (smaller = faster).
+        let n = 32;
+        let g = topology::cycle(n);
+        let mut loads = vec![0.0; n];
+        loads[0] = n as f64 * 100.0;
+        let mut exec = ContinuousDiffusion::new(&g);
+        let out = run_continuous(&mut exec, &mut loads, 0.0, 300, true);
+        let guaranteed = theorem4_factor(2, closed_form::lambda2_cycle(n));
+        let measured = geometric_rate(&out.trace);
+        assert!(
+            measured <= guaranteed + 1e-9,
+            "measured factor {measured} worse than guaranteed {guaranteed}"
+        );
+    }
+
+    #[test]
+    fn regression_flags_non_geometric_decay() {
+        // Discrete traces plateau: the log-linear fit r² should drop well
+        // below 1 once the plateau dominates.
+        let mut trace: Vec<f64> = (0..10).map(|t| 1000.0 * 0.5f64.powi(t)).collect();
+        trace.extend(std::iter::repeat_n(trace[9], 30)); // plateau
+        let (_, r2) = regression_rate(&trace);
+        assert!(r2 < 0.9, "r² = {r2} did not flag the plateau");
+    }
+
+    #[test]
+    #[should_panic(expected = "stay positive")]
+    fn zero_trace_rejected() {
+        geometric_rate(&[1.0, 0.0]);
+    }
+}

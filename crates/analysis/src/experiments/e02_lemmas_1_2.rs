@@ -1,0 +1,118 @@
+//! **E2 — Lemmas 1 and 2** (the sequentialization certificates).
+//!
+//! Lemma 1: with edges activated in increasing weight order, every
+//! activation drops the potential by at least `w_ij·|ℓᵢ − ℓⱼ|`.
+//! Lemma 2: consequently a full round drops at least
+//! `(1/4δ)·Σ_{(i,j)∈E} (ℓᵢ − ℓⱼ)²`.
+//!
+//! We replay thousands of activations across topologies and random
+//! instances, counting violations (expected: zero) and reporting the
+//! tightness of both inequalities.
+
+use super::{standard_instances, ExpConfig};
+use crate::table::{fmt_f64, Report, Table};
+use dlb_core::init::{continuous_loads, Workload};
+use dlb_core::potential::phi;
+use dlb_core::seq::sequentialized_round;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Runs E2.
+pub fn run(cfg: &ExpConfig) -> Report {
+    // n must be simultaneously a perfect square (grid/torus) and a power of
+    // two (hypercube/de Bruijn): use 4^k sizes.
+    let n = cfg.pick(256, 64);
+    let rounds = cfg.pick(40, 10);
+    let mut report = Report::new("E2", "Lemmas 1 & 2: per-activation and per-round drop bounds");
+    let mut table = Table::new(
+        format!("sequentialized replay over {rounds} rounds (n = {n})"),
+        &[
+            "topology",
+            "activations",
+            "L1 viol",
+            "min drop/L1bound",
+            "L2 viol",
+            "min drop/L2bound",
+        ],
+    );
+
+    let mut total_l1_violations = 0usize;
+    let mut total_l2_violations = 0usize;
+    // Square sizes for grid/torus: use 121/36 fallback handled by caller n.
+    for inst in standard_instances(n, cfg.seed) {
+        let mut rng = StdRng::seed_from_u64(cfg.seed ^ 0xE2);
+        let mut loads = continuous_loads(n, 50.0, Workload::UniformRandom, &mut rng);
+        let mut activations = 0usize;
+        let mut l1_viol = 0usize;
+        let mut l2_viol = 0usize;
+        let mut min_l1_ratio = f64::INFINITY;
+        let mut min_l2_ratio = f64::INFINITY;
+        for _ in 0..rounds {
+            let edge_sq: f64 = inst
+                .graph
+                .edges()
+                .iter()
+                .map(|&(u, v)| (loads[u as usize] - loads[v as usize]).powi(2))
+                .sum();
+            let l2_bound = edge_sq / (4.0 * inst.delta() as f64);
+            if phi(&loads) < 1e-15 {
+                break;
+            }
+            let round = sequentialized_round(&inst.graph, &mut loads);
+            for a in &round.activations {
+                activations += 1;
+                if !a.satisfies_lemma1(1e-9) {
+                    l1_viol += 1;
+                }
+                if a.lemma1_bound > 1e-12 {
+                    min_l1_ratio = min_l1_ratio.min(a.drop / a.lemma1_bound);
+                }
+            }
+            let drop = round.phi_before - round.phi_after;
+            if l2_bound > 1e-12 {
+                min_l2_ratio = min_l2_ratio.min(drop / l2_bound);
+                if drop < l2_bound - 1e-9 {
+                    l2_viol += 1;
+                }
+            }
+        }
+        total_l1_violations += l1_viol;
+        total_l2_violations += l2_viol;
+        table.push_row(vec![
+            inst.name.to_string(),
+            activations.to_string(),
+            l1_viol.to_string(),
+            if min_l1_ratio.is_finite() { fmt_f64(min_l1_ratio) } else { "-".into() },
+            l2_viol.to_string(),
+            if min_l2_ratio.is_finite() { fmt_f64(min_l2_ratio) } else { "-".into() },
+        ]);
+    }
+    report.tables.push(table);
+    report.notes.push(format!(
+        "Lemma 1 violations: {total_l1_violations}, Lemma 2 violations: \
+         {total_l2_violations} (both expected 0 — they are theorems)"
+    ));
+    report.notes.push(
+        "min ratios ≥ 1 show the proven inequalities hold with real slack; Lemma 1 is \
+         tightest on high-degree topologies where a node's other neighbours can absorb \
+         almost the full (dᵢ−1)·w budget."
+            .to_string(),
+    );
+    report.passed = Some(total_l1_violations == 0 && total_l2_violations == 0);
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_run_no_violations() {
+        let report = run(&ExpConfig::quick(3));
+        assert!(
+            report.notes[0].contains("violations: 0, Lemma 2 violations: 0"),
+            "{}",
+            report.notes[0]
+        );
+    }
+}

@@ -1,0 +1,101 @@
+//! **E3 — the sequentialization ablation** (Section 3's "factor 2").
+//!
+//! The paper's headline: concurrency degrades the per-round potential drop
+//! by **at most a factor of two** versus the corresponding sequential
+//! system. From identical states we execute (a) the concurrent Algorithm 1
+//! round and (b) the adaptive sequential round (amounts recomputed per
+//! activation), and report the distribution of
+//! `drop_concurrent / drop_sequential`. The paper guarantees the ratio
+//! stays ≥ 0.5; measured values show how conservative that is.
+
+use super::{standard_instances, ExpConfig};
+use crate::montecarlo::{parallel_trials, trial_seed};
+use crate::stats::Summary;
+use crate::table::{fmt_f64, Report, Table};
+use dlb_core::continuous::ContinuousDiffusion;
+use dlb_core::init::{continuous_loads, Workload};
+use dlb_core::model::ContinuousBalancer;
+use dlb_core::seq::{adaptive_sequential_round, AdaptiveOrder};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Runs E3.
+pub fn run(cfg: &ExpConfig) -> Report {
+    let n = cfg.pick(256, 64);
+    let trials = cfg.pick(64, 8);
+    let rounds_per_trial = cfg.pick(25, 6);
+    let mut report =
+        Report::new("E3", "Section 3 ablation: concurrent vs sequential potential drop");
+    let mut table = Table::new(
+        format!("drop(concurrent)/drop(adaptive sequential), {trials} trials × {rounds_per_trial} rounds (n = {n})"),
+        &["topology", "samples", "min", "mean", "max", "paper ≥"],
+    );
+
+    let mut global_min = f64::INFINITY;
+    for inst in standard_instances(n, cfg.seed) {
+        let graph = &inst.graph;
+        let ratios: Vec<Vec<f64>> = parallel_trials(trials, cfg.seed ^ 0xE3, |seed| {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let mut loads = continuous_loads(n, 50.0, Workload::UniformRandom, &mut rng);
+            let mut conc_exec = ContinuousDiffusion::new(graph);
+            let mut out = Vec::new();
+            for round in 0..rounds_per_trial {
+                let mut conc = loads.clone();
+                let cs = conc_exec.round(&mut conc);
+                let conc_drop = cs.phi_before - cs.phi_after;
+
+                let mut seq = loads.clone();
+                let mut order_rng = StdRng::seed_from_u64(trial_seed(seed, round));
+                let sr = adaptive_sequential_round(
+                    graph,
+                    &mut seq,
+                    AdaptiveOrder::RoundStartWeight,
+                    &mut order_rng,
+                );
+                let seq_drop = sr.phi_before - sr.phi_after;
+                if seq_drop > 1e-9 {
+                    out.push(conc_drop / seq_drop);
+                }
+                loads = conc; // advance with the concurrent protocol
+            }
+            out
+        });
+        let flat: Vec<f64> = ratios.into_iter().flatten().collect();
+        if flat.is_empty() {
+            continue;
+        }
+        let s = Summary::from_slice(&flat);
+        global_min = global_min.min(s.min);
+        table.push_row(vec![
+            inst.name.to_string(),
+            s.n.to_string(),
+            fmt_f64(s.min),
+            fmt_f64(s.mean),
+            fmt_f64(s.max),
+            "0.5".to_string(),
+        ]);
+    }
+    report.tables.push(table);
+    report.notes.push(format!(
+        "global minimum ratio {} ≥ 0.5: the paper's factor-2 concurrency penalty bound \
+         holds; typical ratios near or above 1 show concurrency usually costs far less \
+         (and can even help, since every edge fires each round).",
+        fmt_f64(global_min)
+    ));
+    report.passed = Some(global_min >= 0.5 - 1e-9);
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_run_respects_half_bound() {
+        let report = run(&ExpConfig::quick(11));
+        for row in &report.tables[0].rows {
+            let min: f64 = row[2].parse().expect("numeric min");
+            assert!(min >= 0.5 - 1e-9, "{}: ratio {} < 0.5", row[0], min);
+        }
+    }
+}

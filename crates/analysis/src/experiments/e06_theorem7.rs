@@ -1,0 +1,114 @@
+//! **E6 — Theorem 7** (continuous diffusion on dynamic networks).
+//!
+//! Paper: over a graph sequence `(G_k)`, Algorithm 1 reduces `Φ` to `ε·Φ₀`
+//! within `K = O(ln(1/ε)/A_K)` rounds, where
+//! `A_K = (1/K)·Σ λ₂⁽ᵏ⁾/δ⁽ᵏ⁾`. We reproduce with the explicit constant of
+//! Theorem 4 (`K = 4·ln(1/ε)/A_K`) across four churn models over two
+//! ground graphs, recording per-round spectra to evaluate `A_K`
+//! *post hoc* (the bound is stated in terms of the realized sequence).
+
+use super::ExpConfig;
+use crate::table::{fmt_f64, Report, Table};
+use dlb_core::init::{continuous_loads, Workload};
+use dlb_core::{bounds, potential};
+use dlb_dynamics::{
+    run_dynamic_continuous, GraphSequence, IidSubgraphSequence, MarkovChurnSequence,
+    MatchingOnlySequence, OutageSequence, StaticSequence,
+};
+use dlb_graphs::topology;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Runs E6.
+pub fn run(cfg: &ExpConfig) -> Report {
+    let n: usize = cfg.pick(64, 16);
+    let eps = cfg.pick(1e-4, 1e-2);
+    let side = (n as f64).sqrt().round() as usize;
+    let mut report = Report::new("E6", "Theorem 7: continuous diffusion on dynamic networks");
+    let mut table = Table::new(
+        format!("rounds to Φ ≤ ε·Φ₀ over dynamic sequences (n = {n}, ε = {eps:.0e})"),
+        &["ground", "model", "A_K", "K_paper", "K_meas", "meas/paper"],
+    );
+
+    let mut violations = 0usize;
+    for (gname, ground) in [
+        ("torus", topology::torus2d(side, side)),
+        ("hypercube", topology::hypercube(n.trailing_zeros())),
+    ] {
+        let models: Vec<(String, Box<dyn GraphSequence>)> = vec![
+            ("static".into(), Box::new(StaticSequence::new(ground.clone()))),
+            (
+                "iid p=0.3".into(),
+                Box::new(IidSubgraphSequence::new(ground.clone(), 0.3, cfg.seed ^ 1)),
+            ),
+            (
+                "iid p=0.5".into(),
+                Box::new(IidSubgraphSequence::new(ground.clone(), 0.5, cfg.seed ^ 2)),
+            ),
+            (
+                "iid p=0.8".into(),
+                Box::new(IidSubgraphSequence::new(ground.clone(), 0.8, cfg.seed ^ 3)),
+            ),
+            (
+                "markov .2/.4".into(),
+                Box::new(MarkovChurnSequence::new(ground.clone(), 0.2, 0.4, cfg.seed ^ 4)),
+            ),
+            (
+                "matching-only".into(),
+                Box::new(MatchingOnlySequence::new(ground.clone(), cfg.seed ^ 5)),
+            ),
+            (
+                "outage 1/4".into(),
+                Box::new(OutageSequence::new(
+                    IidSubgraphSequence::new(ground.clone(), 0.8, cfg.seed ^ 6),
+                    4,
+                )),
+            ),
+        ];
+        for (mname, mut seq) in models {
+            let mut rng = StdRng::seed_from_u64(cfg.seed ^ 0xE6);
+            let mut loads = continuous_loads(n, 100.0, Workload::Spike, &mut rng);
+            let target = eps * potential::phi(&loads);
+            let out = run_dynamic_continuous(seq.as_mut(), &mut loads, target, 1_000_000, true);
+            let a_k = out.avg_ratio();
+            let k_paper = if a_k > 0.0 {
+                bounds::theorem7_rounds(a_k, eps).ceil()
+            } else {
+                f64::INFINITY
+            };
+            if !out.converged || out.rounds as f64 > k_paper {
+                violations += 1;
+            }
+            table.push_row(vec![
+                gname.to_string(),
+                mname,
+                fmt_f64(a_k),
+                fmt_f64(k_paper),
+                out.rounds.to_string(),
+                fmt_f64(out.rounds as f64 / k_paper),
+            ]);
+        }
+    }
+    report.tables.push(table);
+    report.notes.push(format!("Theorem 7 bound violations: {violations} (expected 0)."));
+    report.notes.push(
+        "A_K is evaluated on the realized sequence (per-round dense λ₂ solves). \
+         matching-only rounds have δ⁽ᵏ⁾ = 1 components ⇒ λ₂⁽ᵏ⁾ = 0, dragging A_K down \
+         exactly as the theorem prescribes; outage rounds contribute ratio 0."
+            .to_string(),
+    );
+    report.passed = Some(violations == 0);
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_run_no_violations() {
+        let report = run(&ExpConfig::quick(17));
+        assert!(report.notes[0].contains("violations: 0"), "{}", report.notes[0]);
+        assert_eq!(report.tables[0].rows.len(), 14);
+    }
+}

@@ -1,0 +1,126 @@
+//! **E7 — Theorem 8** (discrete diffusion on dynamic networks).
+//!
+//! Paper: the discrete Algorithm 1 over `(G_k)` reaches the plateau
+//! `Φ* = 64·n·max_k (δ⁽ᵏ⁾)³/λ₂⁽ᵏ⁾` within `K = O(ln(Φ₀/Φ*)/A_K)` rounds.
+//! We drive the sequence manually, recording the exact scaled potential
+//! and per-round spectra, then evaluate `Φ*`, the first crossing, and the
+//! bound on the realized sequence.
+
+use super::ExpConfig;
+use crate::table::{fmt_f64, Report, Table};
+use dlb_core::discrete::DiscreteDiffusion;
+use dlb_core::init::{discrete_loads, Workload};
+use dlb_core::model::DiscreteBalancer;
+use dlb_core::{bounds, potential};
+use dlb_dynamics::{GraphSequence, IidSubgraphSequence, MarkovChurnSequence, StaticSequence};
+use dlb_graphs::topology;
+use dlb_spectral::eigen::laplacian_lambda2;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Runs E7.
+pub fn run(cfg: &ExpConfig) -> Report {
+    let n: usize = cfg.pick(64, 16);
+    let avg = cfg.pick(1_000_000i64, 50_000);
+    let max_rounds = cfg.pick(20_000, 3_000);
+    let mut report = Report::new("E7", "Theorem 8: discrete diffusion on dynamic networks");
+    let mut table = Table::new(
+        format!("first round with Φ̂ ≤ n²·Φ* (n = {n}, spike avg = {avg} tokens)"),
+        &["ground", "model", "A_K", "Φ₀/Φ*", "K_paper", "K_meas", "Φ_end/Φ*"],
+    );
+
+    let side = (n as f64).sqrt().round() as usize;
+    let mut violations = 0usize;
+    for (gname, ground) in [
+        ("torus", topology::torus2d(side, side)),
+        ("hypercube", topology::hypercube(n.trailing_zeros())),
+    ] {
+        let models: Vec<(String, Box<dyn GraphSequence>)> = vec![
+            ("static".into(), Box::new(StaticSequence::new(ground.clone()))),
+            (
+                "iid p=0.5".into(),
+                Box::new(IidSubgraphSequence::new(ground.clone(), 0.5, cfg.seed ^ 21)),
+            ),
+            (
+                "iid p=0.8".into(),
+                Box::new(IidSubgraphSequence::new(ground.clone(), 0.8, cfg.seed ^ 22)),
+            ),
+            (
+                "markov .2/.4".into(),
+                Box::new(MarkovChurnSequence::new(ground.clone(), 0.2, 0.4, cfg.seed ^ 23)),
+            ),
+        ];
+        for (mname, mut seq) in models {
+            let mut rng = StdRng::seed_from_u64(cfg.seed ^ 0xE7);
+            let mut loads = discrete_loads(n, avg, Workload::Spike, &mut rng);
+            let phi0 = potential::phi_discrete(&loads);
+
+            // Manual drive recording trace + spectra.
+            let mut trace_hat: Vec<u128> = vec![potential::phi_hat(&loads)];
+            let mut spectra: Vec<(u32, f64)> = Vec::new();
+            let mut ratios_sum = 0.0f64;
+            for _ in 0..max_rounds {
+                let g = seq.next_graph();
+                let lambda2 = if g.m() == 0 {
+                    0.0
+                } else {
+                    laplacian_lambda2(&g).expect("dense λ₂")
+                };
+                let delta = g.max_degree();
+                if delta > 0 && lambda2 > 0.0 {
+                    spectra.push((delta, lambda2));
+                    ratios_sum += lambda2 / delta as f64;
+                } // disconnected rounds contribute ratio 0 to the average
+                let stats = DiscreteDiffusion::new(&g).round(&mut loads);
+                trace_hat.push(stats.phi_hat_after);
+            }
+            let rounds_run = trace_hat.len() - 1;
+            let a_k = ratios_sum / rounds_run as f64;
+            let phi_star = bounds::theorem8_threshold(&spectra, n);
+            let phi_star_hat = (phi_star * (n * n) as f64).ceil() as u128;
+            let k_meas = trace_hat.iter().position(|&p| p <= phi_star_hat);
+            let k_paper = bounds::theorem8_rounds(a_k, phi0, phi_star).ceil();
+            let phi_end = *trace_hat.last().expect("non-empty") as f64 / (n * n) as f64;
+            let k_meas = match k_meas {
+                Some(k) => k,
+                None => {
+                    violations += 1;
+                    rounds_run
+                }
+            };
+            if k_meas as f64 > k_paper {
+                violations += 1;
+            }
+            table.push_row(vec![
+                gname.to_string(),
+                mname,
+                fmt_f64(a_k),
+                fmt_f64(phi0 / phi_star),
+                fmt_f64(k_paper),
+                k_meas.to_string(),
+                fmt_f64(phi_end / phi_star),
+            ]);
+        }
+    }
+    report.tables.push(table);
+    report.notes.push(format!("Theorem 8 violations: {violations} (expected 0)."));
+    report.notes.push(
+        "Φ_end/Φ* ≪ 1: long after the first crossing the potential sits far below the \
+         worst-case plateau — Theorem 8's threshold is loose in the same way as Theorem 6's, \
+         but unlike [11] it covers the discrete dynamic case at all."
+            .to_string(),
+    );
+    report.passed = Some(violations == 0);
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_run_no_violations() {
+        let report = run(&ExpConfig::quick(19));
+        assert!(report.notes[0].contains("violations: 0"), "{}", report.notes[0]);
+    }
+}

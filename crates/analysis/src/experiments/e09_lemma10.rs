@@ -1,0 +1,67 @@
+//! **E9 — Lemma 10** (the exact pairwise-potential identity).
+//!
+//! Paper: `Σᵢ Σⱼ (ℓᵢ − ℓⱼ)² = 2n·Φ(L)`. In the exact scaled domain this
+//! is the integer identity `n·Σᵢⱼ (ℓᵢ−ℓⱼ)² = 2·Φ̂(L)`, which we verify
+//! bit-exactly over randomized vectors of several sizes and magnitudes
+//! (the property-based suite additionally covers adversarial shapes).
+
+use super::ExpConfig;
+use crate::montecarlo::parallel_trials;
+use crate::table::{Report, Table};
+use dlb_core::potential::{lemma10_exact_identity_holds, pairwise_sq_sum, phi_hat};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Runs E9.
+pub fn run(cfg: &ExpConfig) -> Report {
+    let sizes: Vec<usize> = cfg.pick(vec![2, 17, 256, 4096], vec![2, 17, 128]);
+    let trials = cfg.pick(2000, 100);
+    let magnitude = 1_000_000_007i64;
+    let mut report = Report::new("E9", "Lemma 10: n·Σᵢⱼ(ℓᵢ−ℓⱼ)² = 2·Φ̂(L), exactly");
+    let mut table = Table::new(
+        format!("{trials} random vectors per n, entries uniform in [−{magnitude}, {magnitude}]"),
+        &["n", "trials", "exact matches", "example Φ̂", "example Σᵢⱼ"],
+    );
+
+    let mut all_exact = true;
+    for &n in &sizes {
+        let oks: Vec<bool> = parallel_trials(trials, cfg.seed ^ 0xE9 ^ n as u64, |seed| {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let loads: Vec<i64> =
+                (0..n).map(|_| rng.gen_range(-magnitude..=magnitude)).collect();
+            lemma10_exact_identity_holds(&loads)
+        });
+        let matches = oks.iter().filter(|&&b| b).count();
+        if matches != trials {
+            all_exact = false;
+        }
+        let mut rng = StdRng::seed_from_u64(cfg.seed ^ 0xE9 ^ n as u64);
+        let example: Vec<i64> =
+            (0..n).map(|_| rng.gen_range(-magnitude..=magnitude)).collect();
+        table.push_row(vec![
+            n.to_string(),
+            trials.to_string(),
+            matches.to_string(),
+            phi_hat(&example).to_string(),
+            pairwise_sq_sum(&example).to_string(),
+        ]);
+    }
+    report.tables.push(table);
+    report.notes.push(format!(
+        "all identities exact in 128-bit integer arithmetic: {all_exact} (expected true; \
+         Lemma 10 is an algebraic identity and the implementation must not lose a bit)."
+    ));
+    report.passed = Some(all_exact);
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_run_all_exact() {
+        let report = run(&ExpConfig::quick(29));
+        assert!(report.notes[0].contains("exact in 128-bit integer arithmetic: true"));
+    }
+}

@@ -1,0 +1,135 @@
+//! **E17 (extension) — why divide by 4·max(dᵢ,dⱼ)?**
+//!
+//! The paper's transfer rule divides the load difference by
+//! `4·max(dᵢ, dⱼ)`. The `max(dᵢ, dⱼ)` neutralizes degree imbalance; the
+//! `4` is what makes Lemma 1 go through (a sender can lose at most a
+//! quarter of its slack to *other* neighbours before an edge activates).
+//! This ablation sweeps the divisor factor `k`:
+//!
+//! * `k < 1` breaks double stochasticity — the potential genuinely
+//!   *increases* (divergence);
+//! * `k = 1` is doubly stochastic but admits the eigenvalue −1: on
+//!   *regular bipartite* topologies (even cycle, torus, hypercube) the
+//!   load oscillates with frozen potential and never converges — boundary
+//!   nodes damp the oscillation on the path and grid;
+//! * `k ≥ 2` makes the round matrix PSD — smooth convergence, slowing
+//!   proportionally to `k`; `k = 4` is the smallest value for which the
+//!   paper's sequentialization constants (Lemma 1, Lemma 5's discrete
+//!   version) hold.
+
+use super::{standard_instances, ExpConfig};
+use crate::table::{fmt_f64, Report, Table};
+use dlb_core::continuous::GeneralizedDiffusion;
+use dlb_core::init::{continuous_loads, Workload};
+use dlb_core::model::ContinuousBalancer;
+use dlb_core::potential::phi;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Runs E17.
+pub fn run(cfg: &ExpConfig) -> Report {
+    let n = cfg.pick(256, 64);
+    let eps = cfg.pick(1e-4, 1e-2);
+    let max_rounds = cfg.pick(250_000, 25_000);
+    let factors = [0.5, 1.0, 2.0, 4.0, 8.0];
+    let mut report = Report::new("E17", "extension ablation: the divisor factor k in k·max(dᵢ,dⱼ)");
+    let mut table = Table::new(
+        format!("instability (Φ-increasing rounds) and speed per factor (n = {n}, ε = {eps:.0e})"),
+        &["topology", "k=0.5", "k=1", "k=2", "k=4", "k=8"],
+    );
+
+    let mut k4_unstable = 0usize;
+    let mut k4_speed: Vec<(f64, f64)> = Vec::new(); // (k=4 rounds, k=8 rounds)
+    for inst in standard_instances(n, cfg.seed) {
+        let mut cells = Vec::with_capacity(factors.len());
+        let mut r4 = None;
+        let mut r8 = None;
+        for &k in &factors {
+            let mut rng = StdRng::seed_from_u64(cfg.seed ^ 0x17A);
+            let mut loads = continuous_loads(n, 100.0, Workload::Spike, &mut rng);
+            let phi0 = phi(&loads);
+            let target = eps * phi0;
+            let mut exec = GeneralizedDiffusion::new(&inst.graph, k);
+            let mut increases = 0usize;
+            let mut rounds = 0usize;
+            let mut diverged = false;
+            while phi(&loads) > target && rounds < max_rounds {
+                let s = exec.round(&mut loads);
+                if s.phi_after > s.phi_before * (1.0 + 1e-12) {
+                    increases += 1;
+                }
+                if !s.phi_after.is_finite() || s.phi_after > 1e3 * phi0 {
+                    diverged = true;
+                    break;
+                }
+                rounds += 1;
+            }
+            let converged = !diverged && phi(&loads) <= target;
+            if k == 4.0 {
+                k4_unstable += increases;
+                if converged {
+                    r4 = Some(rounds as f64);
+                }
+            }
+            if k == 8.0 && converged {
+                r8 = Some(rounds as f64);
+            }
+            cells.push(if diverged {
+                "DIVERGED".to_string()
+            } else if !converged {
+                format!("stall({increases}↑)")
+            } else if increases > 0 {
+                format!("{rounds} ({increases}↑)")
+            } else {
+                rounds.to_string()
+            });
+        }
+        if let (Some(a), Some(b)) = (r4, r8) {
+            k4_speed.push((a, b));
+        }
+        let mut row = vec![inst.name.to_string()];
+        row.extend(cells);
+        table.push_row(row);
+    }
+    report.tables.push(table);
+
+    let avg_slowdown = if k4_speed.is_empty() {
+        f64::NAN
+    } else {
+        k4_speed.iter().map(|(a, b)| b / a).sum::<f64>() / k4_speed.len() as f64
+    };
+    report.notes.push(format!(
+        "k = 4 never increased the potential in any round ({k4_unstable} increases — the \
+         Lemma 1 regime); k = 0.5 diverges outright; k = 1 stalls on *regular bipartite* \
+         topologies — even cycle, torus, hypercube — where the round matrix has \
+         the exact eigenvalue −1 (boundary nodes damp the oscillation on the \
+         path/grid); k = 8 is stable but ≈{}× slower \
+         than k = 4.",
+        fmt_f64(avg_slowdown)
+    ));
+    report.notes.push(
+        "cells show rounds-to-ε; `(m↑)` marks m potential-increasing rounds; `stall` = \
+         did not reach ε within the budget (the k = 1 bipartite oscillation shows up \
+         here); `DIVERGED` = Φ exceeded 10³·Φ₀. k = 2 already converges in the \
+         continuous model — the extra factor 2 in the paper is the price of the \
+         discrete-case and concurrency-bound constants."
+            .to_string(),
+    );
+    report.passed = Some(k4_unstable == 0);
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_run_k4_stable() {
+        let report = run(&ExpConfig::quick(61));
+        assert!(
+            report.notes[0].contains("(0 increases"),
+            "k=4 produced potential increases: {}",
+            report.notes[0]
+        );
+    }
+}

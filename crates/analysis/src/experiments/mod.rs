@@ -1,0 +1,212 @@
+//! The reproduction experiment suite (DESIGN.md §4).
+//!
+//! The paper is purely analytical — it has no tables or figures — so each
+//! experiment here validates one theorem/lemma family empirically: it
+//! prints the paper's bound next to the measured quantity for the same
+//! parameters. `EXPERIMENTS.md` records one full run.
+//!
+//! Every experiment takes an [`ExpConfig`]; `quick` mode shrinks instance
+//! sizes and trial counts so the integration tests can execute the whole
+//! suite in seconds, while the `repro` binary runs the full sizes.
+
+pub mod e01_theorem4;
+pub mod e02_lemmas_1_2;
+pub mod e03_seq_ablation;
+pub mod e04_theorem6;
+pub mod e05_threshold_scaling;
+pub mod e06_theorem7;
+pub mod e07_theorem8;
+pub mod e08_lemma9;
+pub mod e09_lemma10;
+pub mod e10_theorem12;
+pub mod e11_theorem14;
+pub mod e12_baselines;
+pub mod e13_spectral;
+pub mod e14_parallel;
+pub mod e15_heterogeneous;
+pub mod e16_acceleration;
+pub mod e17_factor_ablation;
+pub mod e18_local_divergence;
+
+use crate::table::Report;
+use dlb_graphs::topology::Topology;
+use dlb_graphs::Graph;
+use dlb_spectral::{closed_form, eigen, lanczos};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Configuration shared by all experiments.
+#[derive(Debug, Clone, Copy)]
+pub struct ExpConfig {
+    /// Shrinks sizes/trials for CI-speed runs.
+    pub quick: bool,
+    /// Base seed; every random quantity in a report derives from it.
+    pub seed: u64,
+}
+
+impl Default for ExpConfig {
+    fn default() -> Self {
+        ExpConfig { quick: false, seed: 0xBF_2006 }
+    }
+}
+
+impl ExpConfig {
+    /// Quick-mode constructor used by tests.
+    pub fn quick(seed: u64) -> Self {
+        ExpConfig { quick: true, seed }
+    }
+
+    /// Picks `full` or `quick` depending on the mode.
+    pub fn pick<T>(&self, full: T, quick: T) -> T {
+        if self.quick {
+            quick
+        } else {
+            full
+        }
+    }
+}
+
+/// A topology instance annotated with its spectral parameters.
+pub struct Instance {
+    /// Display name (`cycle`, `torus2d`, …).
+    pub name: &'static str,
+    /// The graph.
+    pub graph: Graph,
+    /// `λ₂` of its Laplacian.
+    pub lambda2: f64,
+}
+
+impl Instance {
+    /// Maximum degree `δ`.
+    pub fn delta(&self) -> u32 {
+        self.graph.max_degree()
+    }
+}
+
+/// `λ₂` for a standard topology of size `n`, via closed form where one
+/// exists and the numerical solvers otherwise.
+pub fn lambda2_of(topology: Topology, g: &Graph) -> f64 {
+    let n = g.n();
+    match topology {
+        Topology::Path => closed_form::lambda2_path(n),
+        Topology::Cycle => closed_form::lambda2_cycle(n),
+        Topology::Grid2d => {
+            let side = (n as f64).sqrt().round() as usize;
+            closed_form::lambda2_grid2d(side, side)
+        }
+        Topology::Torus2d => {
+            let side = (n as f64).sqrt().round() as usize;
+            closed_form::lambda2_torus2d(side, side)
+        }
+        Topology::Hypercube => closed_form::lambda2_hypercube(n.trailing_zeros()),
+        Topology::Complete => closed_form::lambda2_complete(n),
+        Topology::DeBruijn | Topology::RandomRegular8 => {
+            if n <= 1024 {
+                eigen::laplacian_lambda2(g).expect("dense λ₂")
+            } else {
+                lanczos::lanczos_lambda2(g, lanczos::LanczosOptions::default()).0
+            }
+        }
+    }
+}
+
+/// Builds the standard topology sweep at size `n` with `λ₂` annotated.
+pub fn standard_instances(n: usize, seed: u64) -> Vec<Instance> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    Topology::ALL
+        .iter()
+        .map(|&t| {
+            let graph = t.build(n, &mut rng);
+            let lambda2 = lambda2_of(t, &graph);
+            Instance { name: t.name(), graph, lambda2 }
+        })
+        .collect()
+}
+
+/// Runs every experiment, in order. Used by `repro all` and the
+/// whole-suite integration test.
+pub fn run_all(cfg: &ExpConfig) -> Vec<Report> {
+    vec![
+        e01_theorem4::run(cfg),
+        e02_lemmas_1_2::run(cfg),
+        e03_seq_ablation::run(cfg),
+        e04_theorem6::run(cfg),
+        e05_threshold_scaling::run(cfg),
+        e06_theorem7::run(cfg),
+        e07_theorem8::run(cfg),
+        e08_lemma9::run(cfg),
+        e09_lemma10::run(cfg),
+        e10_theorem12::run(cfg),
+        e11_theorem14::run(cfg),
+        e12_baselines::run(cfg),
+        e13_spectral::run(cfg),
+        e14_parallel::run(cfg),
+        e15_heterogeneous::run(cfg),
+        e16_acceleration::run(cfg),
+        e17_factor_ablation::run(cfg),
+        e18_local_divergence::run(cfg),
+    ]
+}
+
+/// Looks an experiment up by id (`"e1"`, `"E07"`, …).
+pub fn run_by_id(id: &str, cfg: &ExpConfig) -> Option<Report> {
+    let id = id.to_ascii_lowercase();
+    let id = id.trim_start_matches('e').trim_start_matches('0');
+    Some(match id {
+        "1" => e01_theorem4::run(cfg),
+        "2" => e02_lemmas_1_2::run(cfg),
+        "3" => e03_seq_ablation::run(cfg),
+        "4" => e04_theorem6::run(cfg),
+        "5" => e05_threshold_scaling::run(cfg),
+        "6" => e06_theorem7::run(cfg),
+        "7" => e07_theorem8::run(cfg),
+        "8" => e08_lemma9::run(cfg),
+        "9" => e09_lemma10::run(cfg),
+        "10" => e10_theorem12::run(cfg),
+        "11" => e11_theorem14::run(cfg),
+        "12" => e12_baselines::run(cfg),
+        "13" => e13_spectral::run(cfg),
+        "14" => e14_parallel::run(cfg),
+        "15" => e15_heterogeneous::run(cfg),
+        "16" => e16_acceleration::run(cfg),
+        "17" => e17_factor_ablation::run(cfg),
+        "18" => e18_local_divergence::run(cfg),
+        _ => return None,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn standard_instances_annotated_consistently() {
+        let instances = standard_instances(64, 1);
+        assert_eq!(instances.len(), Topology::ALL.len());
+        for inst in &instances {
+            assert_eq!(inst.graph.n(), 64, "{}", inst.name);
+            assert!(inst.lambda2 > 0.0, "{} λ₂ = {}", inst.name, inst.lambda2);
+            assert!(inst.delta() >= 1);
+        }
+    }
+
+    #[test]
+    fn lambda2_closed_forms_match_solver_at_small_n() {
+        let instances = standard_instances(16, 2);
+        for inst in &instances {
+            let dense = eigen::laplacian_lambda2(&inst.graph).expect("dense");
+            assert!(
+                (dense - inst.lambda2).abs() < 1e-7,
+                "{}: dense {} vs annotated {}",
+                inst.name,
+                dense,
+                inst.lambda2
+            );
+        }
+    }
+
+    #[test]
+    fn run_by_id_unknown_is_none() {
+        assert!(run_by_id("e99", &ExpConfig::quick(1)).is_none());
+    }
+}

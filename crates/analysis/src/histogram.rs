@@ -1,0 +1,102 @@
+//! ASCII histograms for load distributions — terminal-friendly output for
+//! the examples and ad-hoc experiment inspection.
+
+/// A fixed-bin histogram over `f64` samples.
+#[derive(Debug, Clone)]
+pub struct Histogram {
+    lo: f64,
+    hi: f64,
+    counts: Vec<usize>,
+    total: usize,
+}
+
+impl Histogram {
+    /// Builds a histogram of `samples` with `bins` equal-width bins
+    /// spanning `[min, max]` of the data (a single degenerate bin when all
+    /// samples are equal).
+    pub fn from_samples(samples: &[f64], bins: usize) -> Self {
+        assert!(!samples.is_empty(), "histogram of an empty sample");
+        assert!(bins >= 1, "need at least one bin");
+        let lo = samples.iter().cloned().fold(f64::INFINITY, f64::min);
+        let hi = samples.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        let mut counts = vec![0usize; bins];
+        if hi == lo {
+            counts[0] = samples.len();
+            return Histogram { lo, hi, counts, total: samples.len() };
+        }
+        let width = (hi - lo) / bins as f64;
+        for &s in samples {
+            let idx = (((s - lo) / width) as usize).min(bins - 1);
+            counts[idx] += 1;
+        }
+        Histogram { lo, hi, counts, total: samples.len() }
+    }
+
+    /// Bin counts.
+    pub fn counts(&self) -> &[usize] {
+        &self.counts
+    }
+
+    /// Total sample count.
+    pub fn total(&self) -> usize {
+        self.total
+    }
+
+    /// Renders the histogram with one row per bin, a proportional bar, and
+    /// the count: `"[ 12.0,  18.0) ████████ 42"`.
+    pub fn render(&self, bar_width: usize) -> String {
+        use std::fmt::Write as _;
+        let max_count = self.counts.iter().copied().max().unwrap_or(0).max(1);
+        let bins = self.counts.len();
+        let width = if self.hi > self.lo { (self.hi - self.lo) / bins as f64 } else { 0.0 };
+        let mut out = String::new();
+        for (i, &c) in self.counts.iter().enumerate() {
+            let left = self.lo + width * i as f64;
+            let right = if i + 1 == bins { self.hi } else { left + width };
+            let bar = "█".repeat((c * bar_width).div_ceil(max_count).min(bar_width));
+            let _ = writeln!(out, "[{left:>10.1}, {right:>10.1}) {bar:<bar_width$} {c}");
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counts_partition_samples() {
+        let samples: Vec<f64> = (0..100).map(|i| i as f64).collect();
+        let h = Histogram::from_samples(&samples, 10);
+        assert_eq!(h.counts().iter().sum::<usize>(), 100);
+        assert!(h.counts().iter().all(|&c| c == 10));
+    }
+
+    #[test]
+    fn degenerate_single_value() {
+        let h = Histogram::from_samples(&[3.0; 7], 5);
+        assert_eq!(h.counts()[0], 7);
+        assert_eq!(h.total(), 7);
+    }
+
+    #[test]
+    fn max_value_lands_in_last_bin() {
+        let h = Histogram::from_samples(&[0.0, 10.0], 10);
+        assert_eq!(h.counts()[0], 1);
+        assert_eq!(h.counts()[9], 1);
+    }
+
+    #[test]
+    fn render_shape() {
+        let h = Histogram::from_samples(&[0.0, 1.0, 1.0, 2.0], 2);
+        let r = h.render(10);
+        assert_eq!(r.lines().count(), 2);
+        assert!(r.contains('█'));
+    }
+
+    #[test]
+    #[should_panic(expected = "empty sample")]
+    fn empty_rejected() {
+        Histogram::from_samples(&[], 4);
+    }
+}

@@ -1,0 +1,27 @@
+#![warn(missing_docs)]
+
+//! # dlb-analysis
+//!
+//! Experiment harness for the BFH reproduction:
+//!
+//! * [`stats`] — summary statistics (mean/std/CI95/median) for Monte-Carlo
+//!   results;
+//! * [`montecarlo`] — a crossbeam-based parallel trial runner (work-stealing
+//!   over an atomic counter), deterministic per trial seed;
+//! * [`table`] — fixed-width text tables and CSV rendering for the
+//!   experiment reports recorded in `EXPERIMENTS.md`;
+//! * [`experiments`] — the full reproduction suite **E1–E18** (one module
+//!   per theorem/lemma family, see `DESIGN.md` §4), each returning a
+//!   structured [`table::Report`]. The `repro` binary in `dlb-bench` prints
+//!   them; the Criterion benches reuse their inner loops.
+
+pub mod convergence;
+pub mod experiments;
+pub mod histogram;
+pub mod localdiv;
+pub mod montecarlo;
+pub mod stats;
+pub mod table;
+
+pub use stats::Summary;
+pub use table::{Report, Table};

@@ -1,0 +1,155 @@
+//! Summary statistics for Monte-Carlo experiment results.
+
+/// Summary of a sample of `f64` observations.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Summary {
+    /// Sample size.
+    pub n: usize,
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Sample standard deviation (`n−1` denominator; 0 for `n ≤ 1`).
+    pub std: f64,
+    /// Minimum.
+    pub min: f64,
+    /// Maximum.
+    pub max: f64,
+    /// Median (midpoint of the two central order statistics for even `n`).
+    pub median: f64,
+}
+
+impl Summary {
+    /// Computes the summary of a non-empty sample.
+    pub fn from_slice(samples: &[f64]) -> Self {
+        assert!(!samples.is_empty(), "summary of an empty sample");
+        let n = samples.len();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = if n > 1 {
+            samples.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / (n - 1) as f64
+        } else {
+            0.0
+        };
+        let mut sorted = samples.to_vec();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite samples"));
+        let median = if n % 2 == 1 {
+            sorted[n / 2]
+        } else {
+            (sorted[n / 2 - 1] + sorted[n / 2]) / 2.0
+        };
+        Summary { n, mean, std: var.sqrt(), min: sorted[0], max: sorted[n - 1], median }
+    }
+
+    /// Half-width of the normal-approximation 95% confidence interval on
+    /// the mean: `1.96·σ/√n`.
+    pub fn ci95_half_width(&self) -> f64 {
+        if self.n <= 1 {
+            0.0
+        } else {
+            1.96 * self.std / (self.n as f64).sqrt()
+        }
+    }
+
+    /// `mean ± ci` formatted with `prec` decimals.
+    pub fn format_mean_ci(&self, prec: usize) -> String {
+        format!("{:.prec$} ± {:.prec$}", self.mean, self.ci95_half_width(), prec = prec)
+    }
+}
+
+/// Empirical quantile (nearest-rank) of a sample; `q ∈ [0, 1]`.
+pub fn quantile(samples: &[f64], q: f64) -> f64 {
+    assert!(!samples.is_empty(), "quantile of an empty sample");
+    assert!((0.0..=1.0).contains(&q), "q must be in [0, 1]");
+    let mut sorted = samples.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite samples"));
+    let idx = ((q * (sorted.len() - 1) as f64).round() as usize).min(sorted.len() - 1);
+    sorted[idx]
+}
+
+/// Ordinary least-squares fit `y ≈ a + b·x`; returns `(a, b, r²)`.
+///
+/// Used by experiment E5 to test the paper's claim that the discrete
+/// plateau scales *linearly* in `n` (against \[15\]'s quadratic threshold).
+pub fn linear_fit(xs: &[f64], ys: &[f64]) -> (f64, f64, f64) {
+    assert_eq!(xs.len(), ys.len(), "mismatched fit inputs");
+    assert!(xs.len() >= 2, "fit needs at least two points");
+    let n = xs.len() as f64;
+    let mx = xs.iter().sum::<f64>() / n;
+    let my = ys.iter().sum::<f64>() / n;
+    let sxx: f64 = xs.iter().map(|x| (x - mx) * (x - mx)).sum();
+    let sxy: f64 = xs.iter().zip(ys).map(|(x, y)| (x - mx) * (y - my)).sum();
+    let syy: f64 = ys.iter().map(|y| (y - my) * (y - my)).sum();
+    assert!(sxx > 0.0, "degenerate x values");
+    let b = sxy / sxx;
+    let a = my - b * mx;
+    let r2 = if syy == 0.0 { 1.0 } else { (sxy * sxy) / (sxx * syy) };
+    (a, b, r2)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn summary_of_constant_sample() {
+        let s = Summary::from_slice(&[3.0, 3.0, 3.0]);
+        assert_eq!(s.mean, 3.0);
+        assert_eq!(s.std, 0.0);
+        assert_eq!(s.median, 3.0);
+        assert_eq!(s.min, 3.0);
+        assert_eq!(s.max, 3.0);
+    }
+
+    #[test]
+    fn summary_known_values() {
+        let s = Summary::from_slice(&[1.0, 2.0, 3.0, 4.0]);
+        assert!((s.mean - 2.5).abs() < 1e-12);
+        assert!((s.median - 2.5).abs() < 1e-12);
+        // Sample variance = ((1.5)² + (0.5)² + (0.5)² + (1.5)²)/3 = 5/3.
+        assert!((s.std - (5.0f64 / 3.0).sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn median_odd() {
+        let s = Summary::from_slice(&[9.0, 1.0, 5.0]);
+        assert_eq!(s.median, 5.0);
+    }
+
+    #[test]
+    fn ci_shrinks_with_n() {
+        let small = Summary::from_slice(&[1.0, 2.0, 3.0, 4.0]);
+        let samples: Vec<f64> = (0..400).map(|i| 1.0 + (i % 4) as f64).collect();
+        let large = Summary::from_slice(&samples);
+        assert!(large.ci95_half_width() < small.ci95_half_width());
+    }
+
+    #[test]
+    fn quantile_extremes() {
+        let v = [5.0, 1.0, 9.0, 3.0];
+        assert_eq!(quantile(&v, 0.0), 1.0);
+        assert_eq!(quantile(&v, 1.0), 9.0);
+    }
+
+    #[test]
+    fn linear_fit_exact_line() {
+        let xs: Vec<f64> = (0..10).map(|i| i as f64).collect();
+        let ys: Vec<f64> = xs.iter().map(|x| 2.0 + 3.0 * x).collect();
+        let (a, b, r2) = linear_fit(&xs, &ys);
+        assert!((a - 2.0).abs() < 1e-9);
+        assert!((b - 3.0).abs() < 1e-9);
+        assert!((r2 - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn linear_fit_noisy_r2_below_one() {
+        let xs = [0.0, 1.0, 2.0, 3.0];
+        let ys = [0.0, 1.5, 1.1, 3.2];
+        let (_, b, r2) = linear_fit(&xs, &ys);
+        assert!(b > 0.0);
+        assert!(r2 < 1.0 && r2 > 0.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty sample")]
+    fn empty_sample_rejected() {
+        Summary::from_slice(&[]);
+    }
+}

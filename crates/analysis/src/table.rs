@@ -1,0 +1,195 @@
+//! Fixed-width text tables and CSV output for the experiment reports.
+
+use std::fmt::Write as _;
+
+/// A simple column-aligned table.
+#[derive(Debug, Clone)]
+pub struct Table {
+    /// Table caption.
+    pub title: String,
+    /// Column headers.
+    pub headers: Vec<String>,
+    /// Data rows (each must match the header arity).
+    pub rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates an empty table.
+    pub fn new(title: impl Into<String>, headers: &[&str]) -> Self {
+        Table {
+            title: title.into(),
+            headers: headers.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row.
+    ///
+    /// # Panics
+    /// If the arity does not match the headers.
+    pub fn push_row(&mut self, row: Vec<String>) {
+        assert_eq!(row.len(), self.headers.len(), "row arity mismatch in '{}'", self.title);
+        self.rows.push(row);
+    }
+
+    /// Renders the table with aligned columns.
+    pub fn render(&self) -> String {
+        let ncol = self.headers.len();
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (w, cell) in widths.iter_mut().zip(row) {
+                *w = (*w).max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        let _ = writeln!(out, "## {}", self.title);
+        let line = |out: &mut String, cells: &[String]| {
+            let mut first = true;
+            for (c, w) in cells.iter().zip(&widths) {
+                if !first {
+                    out.push_str("  ");
+                }
+                let _ = write!(out, "{c:>w$}", w = *w);
+                first = false;
+            }
+            out.push('\n');
+        };
+        line(&mut out, &self.headers);
+        let total: usize = widths.iter().sum::<usize>() + 2 * (ncol - 1);
+        let _ = writeln!(out, "{}", "-".repeat(total));
+        for row in &self.rows {
+            line(&mut out, row);
+        }
+        out
+    }
+
+    /// CSV rendering (headers + rows; cells containing commas are quoted).
+    pub fn to_csv(&self) -> String {
+        let quote = |s: &str| {
+            if s.contains(',') || s.contains('"') {
+                format!("\"{}\"", s.replace('"', "\"\""))
+            } else {
+                s.to_string()
+            }
+        };
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "{}",
+            self.headers.iter().map(|h| quote(h)).collect::<Vec<_>>().join(",")
+        );
+        for row in &self.rows {
+            let _ =
+                writeln!(out, "{}", row.iter().map(|c| quote(c)).collect::<Vec<_>>().join(","));
+        }
+        out
+    }
+}
+
+/// A full experiment report: one or more tables plus free-form notes.
+#[derive(Debug, Clone)]
+pub struct Report {
+    /// Experiment id, e.g. `"E1"`.
+    pub id: &'static str,
+    /// Human title (theorem/lemma it validates).
+    pub title: String,
+    /// Result tables.
+    pub tables: Vec<Table>,
+    /// Interpretation notes printed under the tables.
+    pub notes: Vec<String>,
+    /// Machine-checkable verdict: did the paper's claim hold in this run?
+    /// `None` for purely descriptive reports. Drives `repro verify`.
+    pub passed: Option<bool>,
+}
+
+impl Report {
+    /// Creates an empty report.
+    pub fn new(id: &'static str, title: impl Into<String>) -> Self {
+        Report { id, title: title.into(), tables: Vec::new(), notes: Vec::new(), passed: None }
+    }
+
+    /// Renders the report for the terminal / EXPERIMENTS.md.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "# {} — {}", self.id, self.title);
+        for t in &self.tables {
+            out.push('\n');
+            out.push_str(&t.render());
+        }
+        if !self.notes.is_empty() {
+            out.push('\n');
+            for n in &self.notes {
+                let _ = writeln!(out, "note: {n}");
+            }
+        }
+        if let Some(passed) = self.passed {
+            let _ = writeln!(out, "verdict: {}", if passed { "PASS" } else { "FAIL" });
+        }
+        out
+    }
+}
+
+/// Formats a float compactly for tables (3 significant-ish decimals,
+/// scientific for very large/small magnitudes).
+pub fn fmt_f64(x: f64) -> String {
+    if x == 0.0 {
+        "0".to_string()
+    } else if x.abs() >= 1e6 || x.abs() < 1e-3 {
+        format!("{x:.3e}")
+    } else if x.abs() >= 100.0 {
+        format!("{x:.1}")
+    } else {
+        format!("{x:.4}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn render_aligns_columns() {
+        let mut t = Table::new("demo", &["name", "value"]);
+        t.push_row(vec!["a".into(), "1".into()]);
+        t.push_row(vec!["longer".into(), "22".into()]);
+        let r = t.render();
+        assert!(r.contains("## demo"));
+        let lines: Vec<&str> = r.lines().collect();
+        // header, separator, two rows
+        assert_eq!(lines.len(), 5);
+        assert_eq!(lines[1].len(), lines[3].len());
+    }
+
+    #[test]
+    #[should_panic(expected = "row arity mismatch")]
+    fn arity_checked() {
+        let mut t = Table::new("demo", &["a", "b"]);
+        t.push_row(vec!["only-one".into()]);
+    }
+
+    #[test]
+    fn csv_quotes_commas() {
+        let mut t = Table::new("demo", &["a", "b"]);
+        t.push_row(vec!["x,y".into(), "plain".into()]);
+        let csv = t.to_csv();
+        assert!(csv.contains("\"x,y\",plain"));
+    }
+
+    #[test]
+    fn report_renders_notes() {
+        let mut r = Report::new("E0", "demo experiment");
+        r.notes.push("hello".into());
+        let s = r.render();
+        assert!(s.contains("# E0 — demo experiment"));
+        assert!(s.contains("note: hello"));
+    }
+
+    #[test]
+    fn fmt_f64_ranges() {
+        assert_eq!(fmt_f64(0.0), "0");
+        assert!(fmt_f64(1.5e9).contains('e'));
+        assert!(fmt_f64(1e-9).contains('e'));
+        assert_eq!(fmt_f64(0.5), "0.5000");
+        assert_eq!(fmt_f64(123.456), "123.5");
+    }
+}

@@ -1,0 +1,248 @@
+//! First-order diffusion scheme (Cybenko \[3\]; Muthukrishnan et al. \[15\]).
+//!
+//! `L^{t+1} = M·L^t` with the uniform diffusion factor `α = 1/(δ+1)`:
+//! node `i` exchanges `α·(ℓⱼ − ℓᵢ)` with every neighbour. The convergence
+//! rate is `γᵗ` where `γ` is the second-largest eigenvalue modulus of `M`
+//! (see `dlb_spectral::diffusion`). The discrete variant transfers
+//! `⌊α·(ℓᵢ − ℓⱼ)⌋` tokens from the richer endpoint, the rounding used in
+//! \[15\]'s discrete analysis.
+//!
+//! Like Algorithm 1, the round is a snapshot *gather*, so the executors are
+//! deterministic and conservation is exact in the discrete case.
+
+use dlb_core::model::{
+    ContinuousBalancer, DiscreteBalancer, DiscreteRoundStats, RoundStats,
+};
+use dlb_core::potential::{phi, phi_hat};
+use dlb_graphs::Graph;
+
+/// Continuous first-order scheme.
+#[derive(Debug)]
+pub struct FirstOrderContinuous<'g> {
+    g: &'g Graph,
+    alpha: f64,
+    snapshot: Vec<f64>,
+}
+
+impl<'g> FirstOrderContinuous<'g> {
+    /// Creates the scheme with the canonical `α = 1/(δ+1)`.
+    pub fn new(g: &'g Graph) -> Self {
+        let alpha = 1.0 / (g.max_degree() as f64 + 1.0);
+        Self::with_alpha(g, alpha)
+    }
+
+    /// Creates the scheme with an explicit `α ∈ (0, 1/δ]`.
+    pub fn with_alpha(g: &'g Graph, alpha: f64) -> Self {
+        assert!(alpha > 0.0, "α must be positive");
+        assert!(
+            alpha * g.max_degree().max(1) as f64 <= 1.0 + 1e-12,
+            "α·δ must not exceed 1 (α = {alpha}, δ = {})",
+            g.max_degree()
+        );
+        FirstOrderContinuous { g, alpha, snapshot: vec![0.0; g.n()] }
+    }
+
+    /// The diffusion factor in use.
+    pub fn alpha(&self) -> f64 {
+        self.alpha
+    }
+}
+
+impl ContinuousBalancer for FirstOrderContinuous<'_> {
+    fn round(&mut self, loads: &mut [f64]) -> RoundStats {
+        assert_eq!(loads.len(), self.g.n(), "load vector length must equal n");
+        self.snapshot.copy_from_slice(loads);
+        let phi_before = phi(&self.snapshot);
+        for v in 0..self.g.n() as u32 {
+            let lv = self.snapshot[v as usize];
+            let mut acc = lv;
+            for &u in self.g.neighbors(v) {
+                acc += self.alpha * (self.snapshot[u as usize] - lv);
+            }
+            loads[v as usize] = acc;
+        }
+        let mut active = 0usize;
+        let mut total = 0.0;
+        let mut max = 0.0f64;
+        for &(u, v) in self.g.edges() {
+            let w = self.alpha * (self.snapshot[u as usize] - self.snapshot[v as usize]).abs();
+            if w > 0.0 {
+                active += 1;
+                total += w;
+                max = max.max(w);
+            }
+        }
+        RoundStats { phi_before, phi_after: phi(loads), active_edges: active, total_flow: total, max_flow: max }
+    }
+
+    fn name(&self) -> &'static str {
+        "fos-cont"
+    }
+}
+
+/// Discrete first-order scheme: `⌊α·(ℓᵢ − ℓⱼ)⌋` tokens per edge with
+/// `α = 1/(δ+1)`, i.e. `⌊(ℓᵢ − ℓⱼ)/(δ+1)⌋`.
+#[derive(Debug)]
+pub struct FirstOrderDiscrete<'g> {
+    g: &'g Graph,
+    divisor: i128,
+    snapshot: Vec<i64>,
+}
+
+impl<'g> FirstOrderDiscrete<'g> {
+    /// Creates the scheme with `α = 1/(δ+1)`.
+    pub fn new(g: &'g Graph) -> Self {
+        FirstOrderDiscrete {
+            g,
+            divisor: g.max_degree() as i128 + 1,
+            snapshot: vec![0; g.n()],
+        }
+    }
+}
+
+impl DiscreteBalancer for FirstOrderDiscrete<'_> {
+    fn round(&mut self, loads: &mut [i64]) -> DiscreteRoundStats {
+        assert_eq!(loads.len(), self.g.n(), "load vector length must equal n");
+        self.snapshot.copy_from_slice(loads);
+        let phi_hat_before = phi_hat(&self.snapshot);
+        let c = self.divisor;
+        for v in 0..self.g.n() as u32 {
+            let lv = self.snapshot[v as usize] as i128;
+            let mut acc = lv;
+            for &u in self.g.neighbors(v) {
+                let lu = self.snapshot[u as usize] as i128;
+                if lu > lv {
+                    acc += (lu - lv) / c;
+                } else if lv > lu {
+                    acc -= (lv - lu) / c;
+                }
+            }
+            loads[v as usize] = i64::try_from(acc).expect("load fits i64");
+        }
+        let mut active = 0usize;
+        let mut total = 0u64;
+        let mut max = 0u64;
+        for &(u, v) in self.g.edges() {
+            let t = ((self.snapshot[u as usize] as i128 - self.snapshot[v as usize] as i128)
+                .unsigned_abs()
+                / c as u128) as u64;
+            if t > 0 {
+                active += 1;
+                total += t;
+                max = max.max(t);
+            }
+        }
+        DiscreteRoundStats {
+            phi_hat_before,
+            phi_hat_after: phi_hat(loads),
+            active_edges: active,
+            total_tokens: total,
+            max_tokens: max,
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "fos-disc"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dlb_core::potential;
+    use dlb_graphs::topology;
+    use dlb_spectral::diffusion::{fos_matrix, gamma};
+
+    #[test]
+    fn fos_round_matches_matrix_product() {
+        let g = topology::petersen();
+        let m = fos_matrix(&g);
+        let init: Vec<f64> = (0..10).map(|i| ((i * 3 + 1) % 7) as f64).collect();
+
+        let mut via_round = init.clone();
+        FirstOrderContinuous::new(&g).round(&mut via_round);
+
+        let mut via_matrix = vec![0.0; 10];
+        m.matvec(&init, &mut via_matrix);
+
+        for (a, b) in via_round.iter().zip(&via_matrix) {
+            assert!((a - b).abs() < 1e-12, "round {a} vs M·L {b}");
+        }
+    }
+
+    #[test]
+    fn error_contracts_at_rate_gamma() {
+        // ‖e(t+1)‖₂ ≤ γ‖e(t)‖₂ — Cybenko's bound, checked per round.
+        let g = topology::cycle(10);
+        let gam = gamma(&fos_matrix(&g)).unwrap();
+        let mut b = FirstOrderContinuous::new(&g);
+        let mut loads: Vec<f64> = (0..10).map(|i| (i % 4) as f64 * 5.0).collect();
+        for _ in 0..50 {
+            let before = potential::phi(&loads).sqrt(); // ‖e‖₂
+            b.round(&mut loads);
+            let after = potential::phi(&loads).sqrt();
+            assert!(after <= gam * before + 1e-9, "{after} > γ·{before}");
+        }
+    }
+
+    #[test]
+    fn conservation_continuous_and_discrete() {
+        let g = topology::grid2d(4, 4);
+        let mut c = FirstOrderContinuous::new(&g);
+        let mut cl: Vec<f64> = (0..16).map(|i| (i % 5) as f64).collect();
+        let before: f64 = cl.iter().sum();
+        for _ in 0..30 {
+            c.round(&mut cl);
+        }
+        assert!((cl.iter().sum::<f64>() - before).abs() < 1e-9);
+
+        let mut d = FirstOrderDiscrete::new(&g);
+        let mut dl: Vec<i64> = (0..16).map(|i| ((i * 7) % 50) as i64).collect();
+        let tb = potential::total_discrete(&dl);
+        for _ in 0..30 {
+            d.round(&mut dl);
+        }
+        assert_eq!(potential::total_discrete(&dl), tb);
+    }
+
+    #[test]
+    fn discrete_potential_never_increases() {
+        let g = topology::hypercube(4);
+        let mut d = FirstOrderDiscrete::new(&g);
+        let mut loads: Vec<i64> = (0..16).map(|i| ((i * 29) % 100) as i64).collect();
+        for _ in 0..50 {
+            let s = d.round(&mut loads);
+            assert!(s.phi_hat_after <= s.phi_hat_before);
+        }
+    }
+
+    #[test]
+    fn custom_alpha_validated() {
+        let g = topology::complete(5);
+        let b = FirstOrderContinuous::with_alpha(&g, 0.25);
+        assert_eq!(b.alpha(), 0.25);
+    }
+
+    #[test]
+    #[should_panic(expected = "α·δ must not exceed 1")]
+    fn overlarge_alpha_rejected() {
+        let g = topology::complete(5);
+        FirstOrderContinuous::with_alpha(&g, 0.3);
+    }
+
+    #[test]
+    fn fos_slower_than_alg1_on_star() {
+        // On the star, Algorithm 1's per-edge factor 1/(4δ) beats FOS's
+        // uniform 1/(δ+1)… no wait, 1/(δ+1) > 1/(4δ) for δ ≥ 1. FOS should
+        // be FASTER here per round. We assert the *relationship the math
+        // predicts* rather than a slogan: one FOS round on the star from a
+        // hub spike balances leaves more aggressively.
+        let g = topology::star(9); // δ = 8
+        let mut fos_loads = vec![0.0; 9];
+        fos_loads[0] = 90.0;
+        let mut alg1_loads = fos_loads.clone();
+        let fs = FirstOrderContinuous::new(&g).round(&mut fos_loads);
+        let als = dlb_core::continuous::ContinuousDiffusion::new(&g).round(&mut alg1_loads);
+        assert!(fs.relative_drop() > als.relative_drop());
+    }
+}

@@ -1,0 +1,36 @@
+#![warn(missing_docs)]
+
+//! # dlb-baselines
+//!
+//! The load-balancing protocols the BFH paper compares against in prose
+//! (its Sections 2 and 3), implemented behind the same
+//! [`dlb_core::ContinuousBalancer`]/[`dlb_core::DiscreteBalancer`] traits
+//! as Algorithm 1/2 so the experiment harness can sweep them uniformly:
+//!
+//! * [`matching_exchange`] — Ghosh–Muthukrishnan \[12\] dimension exchange
+//!   over random matchings (continuous and discrete). The paper claims
+//!   Algorithm 1 converges "a constant times faster"; experiment E12
+//!   measures exactly that.
+//! * [`fos`] — Cybenko's first-order diffusion scheme `L^{t+1} = M·L^t`
+//!   with `α = 1/(δ+1)` (\[3\], \[15\]), continuous and rounded-discrete.
+//! * [`sos`] — the second-order scheme of Muthukrishnan–Ghosh–Schultz \[15\],
+//!   `L^{t+1} = β·M·L^t + (1−β)·L^{t−1}` with the optimal
+//!   `β = 2/(1 + √(1−γ²))`.
+//! * [`greedy`] — the *sequential* comparator of the paper's proof
+//!   narrative: edges activate one at a time with amounts recomputed from
+//!   current loads (experiment E3's reference point).
+//! * [`ops`] — extension: Chebyshev semi-iterative acceleration, the
+//!   time-varying optimal version of SOS in the spirit of \[7\]'s optimal
+//!   polynomial scheme (experiment E16's ablation subject).
+
+pub mod fos;
+pub mod greedy;
+pub mod matching_exchange;
+pub mod ops;
+pub mod sos;
+
+pub use fos::{FirstOrderContinuous, FirstOrderDiscrete};
+pub use greedy::SequentialComparator;
+pub use matching_exchange::{MatchingExchangeContinuous, MatchingExchangeDiscrete, MatchingKind};
+pub use ops::ChebyshevContinuous;
+pub use sos::SecondOrderContinuous;

@@ -1,0 +1,232 @@
+//! Extension: Chebyshev semi-iterative acceleration — the time-varying
+//! optimal version of the second-order scheme, in the spirit of
+//! Diekmann–Frommer–Monien's *Optimal Polynomial Scheme* (\[7\]).
+//!
+//! The first-order iteration `L^{t+1} = M·L^t` damps the error through the
+//! fixed polynomial `γᵗ`. Choosing the *Chebyshev* polynomial over the
+//! error spectrum `[−γ, γ]` instead gives, per step,
+//!
+//! ```text
+//! ω₁ = 1,  ω_{t+1} = 1 / (1 − (γ²/4)·ω_t),
+//! L^{t+1} = ω_{t+1}·M·L^t + (1 − ω_{t+1})·L^{t−1},
+//! ```
+//!
+//! whose error after `t` steps is `1/T_t(1/γ)` — asymptotically the same
+//! `(β−1)^{t/2}` rate as SOS with optimal `β = lim ω_t`, but strictly
+//! better in the transient because the polynomial is optimal at *every*
+//! `t`, not just in the limit. Like SOS it is continuous-only and
+//! non-monotone in `Φ`.
+
+use dlb_core::model::{ContinuousBalancer, RoundStats};
+use dlb_core::potential::phi;
+use dlb_graphs::Graph;
+use dlb_spectral::diffusion::{fos_matrix, gamma};
+
+/// Chebyshev-accelerated first-order scheme.
+#[derive(Debug)]
+pub struct ChebyshevContinuous<'g> {
+    g: &'g Graph,
+    alpha: f64,
+    gamma: f64,
+    omega: f64,
+    prev: Option<Vec<f64>>,
+    snapshot: Vec<f64>,
+}
+
+impl<'g> ChebyshevContinuous<'g> {
+    /// Creates the scheme with an explicit `γ ∈ (0, 1)` (the second-largest
+    /// eigenvalue modulus of the FOS matrix).
+    pub fn with_gamma(g: &'g Graph, gamma: f64) -> Self {
+        assert!((0.0..1.0).contains(&gamma), "need 0 <= γ < 1 (got {gamma})");
+        ChebyshevContinuous {
+            g,
+            alpha: 1.0 / (g.max_degree() as f64 + 1.0),
+            gamma,
+            omega: 1.0,
+            prev: None,
+            snapshot: vec![0.0; g.n()],
+        }
+    }
+
+    /// Creates the scheme computing `γ` with the dense eigensolver.
+    pub fn new(g: &'g Graph) -> Self {
+        let gam = gamma(&fos_matrix(g)).expect("eigensolve for γ");
+        assert!(gam < 1.0, "Chebyshev needs a connected graph (γ = {gam})");
+        Self::with_gamma(g, gam)
+    }
+
+    /// The `γ` in use.
+    pub fn gamma(&self) -> f64 {
+        self.gamma
+    }
+
+    /// Current relaxation weight `ω_t` (diagnostic; converges to the SOS
+    /// optimum `2/(1+√(1−γ²))`).
+    pub fn omega(&self) -> f64 {
+        self.omega
+    }
+
+    /// Restarts the recurrence (next round is first-order again).
+    pub fn reset(&mut self) {
+        self.prev = None;
+        self.omega = 1.0;
+    }
+}
+
+impl ContinuousBalancer for ChebyshevContinuous<'_> {
+    fn round(&mut self, loads: &mut [f64]) -> RoundStats {
+        assert_eq!(loads.len(), self.g.n(), "load vector length must equal n");
+        self.snapshot.copy_from_slice(loads);
+        let phi_before = phi(&self.snapshot);
+
+        let apply_m = |snapshot: &[f64], v: u32| {
+            let lv = snapshot[v as usize];
+            let mut acc = lv;
+            for &u in self.g.neighbors(v) {
+                acc += self.alpha * (snapshot[u as usize] - lv);
+            }
+            acc
+        };
+
+        match self.prev.take() {
+            None => {
+                for v in 0..self.g.n() as u32 {
+                    loads[v as usize] = apply_m(&self.snapshot, v);
+                }
+                // ω₂ = 1/(1 − γ²/2) per the standard recurrence seeded at 2.
+                self.omega = 1.0 / (1.0 - self.gamma * self.gamma / 2.0);
+            }
+            Some(prev) => {
+                let w = self.omega;
+                for v in 0..self.g.n() as u32 {
+                    let m_l = apply_m(&self.snapshot, v);
+                    loads[v as usize] = w * m_l + (1.0 - w) * prev[v as usize];
+                }
+                self.omega = 1.0 / (1.0 - self.gamma * self.gamma / 4.0 * w);
+            }
+        }
+        self.prev = Some(self.snapshot.clone());
+
+        let mut active = 0usize;
+        let mut total = 0.0;
+        let mut max = 0.0f64;
+        for &(u, v) in self.g.edges() {
+            let w = self.alpha * (self.snapshot[u as usize] - self.snapshot[v as usize]).abs();
+            if w > 0.0 {
+                active += 1;
+                total += w;
+                max = max.max(w);
+            }
+        }
+        RoundStats { phi_before, phi_after: phi(loads), active_edges: active, total_flow: total, max_flow: max }
+    }
+
+    fn name(&self) -> &'static str {
+        "chebyshev-cont"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fos::FirstOrderContinuous;
+    use crate::sos::SecondOrderContinuous;
+    use dlb_core::runner::rounds_to_epsilon;
+    use dlb_graphs::topology;
+
+    #[test]
+    fn first_round_is_fos() {
+        let g = topology::cycle(10);
+        let init: Vec<f64> = (0..10).map(|i| (i * i % 11) as f64).collect();
+        let mut a = init.clone();
+        let mut b = init;
+        FirstOrderContinuous::new(&g).round(&mut a);
+        ChebyshevContinuous::new(&g).round(&mut b);
+        for (x, y) in a.iter().zip(&b) {
+            assert!((x - y).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn omega_converges_to_sos_beta() {
+        let g = topology::cycle(64);
+        let mut ch = ChebyshevContinuous::new(&g);
+        let beta_opt = dlb_spectral::diffusion::sos_optimal_beta(ch.gamma());
+        let mut loads = vec![0.0; 64];
+        loads[0] = 64.0;
+        for _ in 0..300 {
+            ch.round(&mut loads);
+        }
+        assert!(
+            (ch.omega() - beta_opt).abs() < 1e-6,
+            "ω∞ = {} vs SOS β = {beta_opt}",
+            ch.omega()
+        );
+    }
+
+    #[test]
+    fn conserves_load() {
+        let g = topology::torus2d(4, 4);
+        let mut ch = ChebyshevContinuous::new(&g);
+        let mut loads: Vec<f64> = (0..16).map(|i| ((i * 3) % 7) as f64 * 10.0).collect();
+        let before: f64 = loads.iter().sum();
+        for _ in 0..100 {
+            ch.round(&mut loads);
+        }
+        assert!((loads.iter().sum::<f64>() - before).abs() < 1e-7);
+    }
+
+    #[test]
+    fn at_least_as_fast_as_sos_on_cycle() {
+        let n = 64;
+        let g = topology::cycle(n);
+        let eps = 1e-8;
+
+        let run = |b: &mut dyn dlb_core::model::ContinuousBalancer| {
+            let mut loads = vec![0.0; n];
+            loads[0] = n as f64;
+            rounds_to_epsilon(b, &mut loads, eps, 1_000_000)
+        };
+        let sos = run(&mut SecondOrderContinuous::with_optimal_beta(&g));
+        let che = run(&mut ChebyshevContinuous::new(&g));
+        assert!(sos.converged && che.converged);
+        assert!(
+            che.rounds <= sos.rounds + 2,
+            "Chebyshev {} rounds vs SOS {} — transient optimality lost",
+            che.rounds,
+            sos.rounds
+        );
+    }
+
+    #[test]
+    fn much_faster_than_fos_on_slow_topology() {
+        let n = 64;
+        let g = topology::cycle(n);
+        let eps = 1e-6;
+        let run = |b: &mut dyn dlb_core::model::ContinuousBalancer| {
+            let mut loads = vec![0.0; n];
+            loads[0] = n as f64;
+            rounds_to_epsilon(b, &mut loads, eps, 2_000_000)
+        };
+        let fos = run(&mut FirstOrderContinuous::new(&g));
+        let che = run(&mut ChebyshevContinuous::new(&g));
+        assert!(fos.converged && che.converged);
+        assert!(
+            (che.rounds as f64) < 0.2 * fos.rounds as f64,
+            "Chebyshev {} vs FOS {}",
+            che.rounds,
+            fos.rounds
+        );
+    }
+
+    #[test]
+    fn reset_restarts() {
+        let g = topology::path(5);
+        let mut ch = ChebyshevContinuous::new(&g);
+        let mut loads = vec![5.0, 0.0, 0.0, 0.0, 0.0];
+        ch.round(&mut loads);
+        ch.round(&mut loads);
+        ch.reset();
+        assert_eq!(ch.omega(), 1.0);
+    }
+}

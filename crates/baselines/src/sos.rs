@@ -1,0 +1,239 @@
+//! Second-order diffusion scheme (Muthukrishnan–Ghosh–Schultz \[15\]).
+//!
+//! `L^{t+1} = β·M·L^t + (1−β)·L^{t−1}` — a momentum-accelerated first-order
+//! scheme (the load-balancing analogue of successive over-relaxation). With
+//! the optimal `β = 2/(1 + √(1−γ²))` the error contracts at roughly
+//! `(β−1)^{t/2}` instead of `γᵗ`, asymptotically quadratically faster for
+//! `γ → 1`.
+//!
+//! SOS is defined for the continuous model only (\[15\] analyses the discrete
+//! case through rounding of the same recurrence; transient *negative*
+//! loads are possible by design — the scheme trades monotonicity for
+//! speed, and experiment E12 shows both that speed and the non-monotone
+//! potential trace).
+
+use dlb_core::model::{ContinuousBalancer, RoundStats};
+use dlb_core::potential::phi;
+use dlb_graphs::Graph;
+use dlb_spectral::diffusion::{fos_matrix, gamma, sos_optimal_beta};
+
+/// Continuous second-order scheme.
+#[derive(Debug)]
+pub struct SecondOrderContinuous<'g> {
+    g: &'g Graph,
+    alpha: f64,
+    beta: f64,
+    prev: Option<Vec<f64>>,
+    snapshot: Vec<f64>,
+}
+
+impl<'g> SecondOrderContinuous<'g> {
+    /// Creates the scheme with an explicit `β ∈ [1, 2)`.
+    pub fn with_beta(g: &'g Graph, beta: f64) -> Self {
+        assert!((1.0..2.0).contains(&beta), "SOS needs β ∈ [1, 2) (got {beta})");
+        SecondOrderContinuous {
+            g,
+            alpha: 1.0 / (g.max_degree() as f64 + 1.0),
+            beta,
+            prev: None,
+            snapshot: vec![0.0; g.n()],
+        }
+    }
+
+    /// Creates the scheme with the optimal `β` computed from `γ(M)` via the
+    /// dense eigensolver (`O(n³)` once at construction).
+    pub fn with_optimal_beta(g: &'g Graph) -> Self {
+        let gam = gamma(&fos_matrix(g)).expect("eigensolve for γ");
+        assert!(gam < 1.0, "SOS needs a connected graph (γ = {gam})");
+        Self::with_beta(g, sos_optimal_beta(gam))
+    }
+
+    /// The `β` in use.
+    pub fn beta(&self) -> f64 {
+        self.beta
+    }
+
+    /// Clears the memory of `L^{t−1}` (the next round is first-order
+    /// again). Useful when reusing the executor on a fresh load vector.
+    pub fn reset(&mut self) {
+        self.prev = None;
+    }
+}
+
+impl ContinuousBalancer for SecondOrderContinuous<'_> {
+    fn round(&mut self, loads: &mut [f64]) -> RoundStats {
+        assert_eq!(loads.len(), self.g.n(), "load vector length must equal n");
+        self.snapshot.copy_from_slice(loads);
+        let phi_before = phi(&self.snapshot);
+
+        // m_l = (M · L^t)_v computed matrix-free.
+        let apply_m = |snapshot: &[f64], v: u32, alpha: f64, g: &Graph| {
+            let lv = snapshot[v as usize];
+            let mut acc = lv;
+            for &u in g.neighbors(v) {
+                acc += alpha * (snapshot[u as usize] - lv);
+            }
+            acc
+        };
+
+        match self.prev.take() {
+            None => {
+                // First round: plain first-order step.
+                for v in 0..self.g.n() as u32 {
+                    loads[v as usize] = apply_m(&self.snapshot, v, self.alpha, self.g);
+                }
+            }
+            Some(prev) => {
+                for v in 0..self.g.n() as u32 {
+                    let m_l = apply_m(&self.snapshot, v, self.alpha, self.g);
+                    loads[v as usize] =
+                        self.beta * m_l + (1.0 - self.beta) * prev[v as usize];
+                }
+            }
+        }
+        self.prev = Some(self.snapshot.clone());
+
+        // Flow accounting: SOS is not a per-edge transfer protocol, so only
+        // the first-order component's flows are reported.
+        let mut active = 0usize;
+        let mut total = 0.0;
+        let mut max = 0.0f64;
+        for &(u, v) in self.g.edges() {
+            let w = self.alpha * (self.snapshot[u as usize] - self.snapshot[v as usize]).abs();
+            if w > 0.0 {
+                active += 1;
+                total += w;
+                max = max.max(w);
+            }
+        }
+        RoundStats { phi_before, phi_after: phi(loads), active_edges: active, total_flow: total, max_flow: max }
+    }
+
+    fn name(&self) -> &'static str {
+        "sos-cont"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fos::FirstOrderContinuous;
+    use dlb_core::potential;
+    use dlb_core::runner::rounds_to_epsilon;
+    use dlb_graphs::topology;
+
+    #[test]
+    fn first_round_equals_fos() {
+        let g = topology::cycle(8);
+        let init: Vec<f64> = (0..8).map(|i| (i * i % 9) as f64).collect();
+        let mut a = init.clone();
+        let mut b = init;
+        FirstOrderContinuous::new(&g).round(&mut a);
+        SecondOrderContinuous::with_beta(&g, 1.5).round(&mut b);
+        for (x, y) in a.iter().zip(&b) {
+            assert!((x - y).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn beta_one_is_exactly_fos_forever() {
+        let g = topology::grid2d(3, 3);
+        let init: Vec<f64> = (0..9).map(|i| (i % 4) as f64 * 3.0).collect();
+        let mut a = init.clone();
+        let mut b = init;
+        let mut fos = FirstOrderContinuous::new(&g);
+        let mut sos = SecondOrderContinuous::with_beta(&g, 1.0);
+        for _ in 0..20 {
+            fos.round(&mut a);
+            sos.round(&mut b);
+        }
+        for (x, y) in a.iter().zip(&b) {
+            assert!((x - y).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn load_conserved() {
+        let g = topology::cycle(32);
+        let mut sos = SecondOrderContinuous::with_optimal_beta(&g);
+        let mut loads = vec![0.0; 32];
+        loads[0] = 320.0;
+        for _ in 0..100 {
+            sos.round(&mut loads);
+        }
+        assert!((loads.iter().sum::<f64>() - 320.0).abs() < 1e-7);
+    }
+
+    #[test]
+    fn sos_beats_fos_on_slow_topology() {
+        // On the cycle, γ → 1 and SOS's acceleration is dramatic ([15]).
+        let n = 64;
+        let g = topology::cycle(n);
+        let eps = 1e-6;
+
+        let mut fos_loads = vec![0.0; n];
+        fos_loads[0] = n as f64;
+        let mut fos = FirstOrderContinuous::new(&g);
+        let fos_out = rounds_to_epsilon(&mut fos, &mut fos_loads, eps, 2_000_000);
+
+        let mut sos_loads = vec![0.0; n];
+        sos_loads[0] = n as f64;
+        let mut sos = SecondOrderContinuous::with_optimal_beta(&g);
+        let sos_out = rounds_to_epsilon(&mut sos, &mut sos_loads, eps, 2_000_000);
+
+        assert!(fos_out.converged && sos_out.converged);
+        assert!(
+            (sos_out.rounds as f64) < 0.25 * fos_out.rounds as f64,
+            "SOS {} rounds vs FOS {} — expected ≥4× speedup",
+            sos_out.rounds,
+            fos_out.rounds
+        );
+    }
+
+    #[test]
+    fn optimal_beta_in_range() {
+        let g = topology::cycle(100);
+        let sos = SecondOrderContinuous::with_optimal_beta(&g);
+        assert!(sos.beta() > 1.5 && sos.beta() < 2.0, "β = {}", sos.beta());
+    }
+
+    #[test]
+    fn reset_restarts_first_order() {
+        let g = topology::path(6);
+        let init: Vec<f64> = (0..6).map(|i| i as f64).collect();
+        let mut sos = SecondOrderContinuous::with_beta(&g, 1.4);
+        let mut l1 = init.clone();
+        sos.round(&mut l1);
+        sos.reset();
+        let mut l2 = init.clone();
+        let mut fresh = SecondOrderContinuous::with_beta(&g, 1.4);
+        let mut l3 = init;
+        sos.round(&mut l2);
+        fresh.round(&mut l3);
+        assert_eq!(l2, l3);
+    }
+
+    #[test]
+    fn sos_potential_can_transiently_increase() {
+        // Documented behaviour: the accelerated scheme is not monotone in Φ.
+        // Find at least one round with an increase on a long path from a
+        // spike (overshoot is typical).
+        let n = 32;
+        let g = topology::path(n);
+        let mut sos = SecondOrderContinuous::with_optimal_beta(&g);
+        let mut loads = vec![0.0; n];
+        loads[0] = n as f64 * 10.0;
+        let mut saw_increase = false;
+        let mut last = potential::phi(&loads);
+        for _ in 0..2000 {
+            sos.round(&mut loads);
+            let now = potential::phi(&loads);
+            if now > last * (1.0 + 1e-12) {
+                saw_increase = true;
+                break;
+            }
+            last = now;
+        }
+        assert!(saw_increase, "expected at least one non-monotone step for SOS");
+    }
+}

@@ -1,0 +1,62 @@
+//! Baseline per-round costs (experiment E12): Algorithm 1 vs dimension
+//! exchange [12] vs FOS/SOS [15] vs the sequential comparator.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dlb_baselines::{
+    FirstOrderContinuous, MatchingExchangeContinuous, MatchingKind, SecondOrderContinuous,
+    SequentialComparator,
+};
+use dlb_bench::{bench_graphs, spike_continuous};
+use dlb_core::continuous::ContinuousDiffusion;
+use dlb_core::model::ContinuousBalancer;
+use dlb_core::seq::AdaptiveOrder;
+use std::hint::black_box;
+use std::time::Duration;
+
+fn baselines(c: &mut Criterion) {
+    let (_, g) = bench_graphs().remove(1); // torus 32×32
+    let n = g.n();
+    let mut group = c.benchmark_group("baseline_round_torus2d");
+
+    group.bench_function(BenchmarkId::new("round", "alg1"), |b| {
+        let mut exec = ContinuousDiffusion::new(&g);
+        let mut loads = spike_continuous(n);
+        b.iter(|| black_box(exec.round(&mut loads)));
+    });
+    group.bench_function(BenchmarkId::new("round", "gm94"), |b| {
+        let mut exec = MatchingExchangeContinuous::new(&g, MatchingKind::Proposal, 3);
+        let mut loads = spike_continuous(n);
+        b.iter(|| black_box(exec.round(&mut loads)));
+    });
+    group.bench_function(BenchmarkId::new("round", "gm94_greedy"), |b| {
+        let mut exec = MatchingExchangeContinuous::new(&g, MatchingKind::GreedyMaximal, 3);
+        let mut loads = spike_continuous(n);
+        b.iter(|| black_box(exec.round(&mut loads)));
+    });
+    group.bench_function(BenchmarkId::new("round", "fos"), |b| {
+        let mut exec = FirstOrderContinuous::new(&g);
+        let mut loads = spike_continuous(n);
+        b.iter(|| black_box(exec.round(&mut loads)));
+    });
+    group.bench_function(BenchmarkId::new("round", "sos"), |b| {
+        let mut exec = SecondOrderContinuous::with_beta(&g, 1.8);
+        let mut loads = spike_continuous(n);
+        b.iter(|| black_box(exec.round(&mut loads)));
+    });
+    group.bench_function(BenchmarkId::new("round", "sequential"), |b| {
+        let mut exec = SequentialComparator::new(&g, AdaptiveOrder::EdgeIndex, 3);
+        let mut loads = spike_continuous(n);
+        b.iter(|| black_box(exec.round(&mut loads)));
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(20)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(700));
+    targets = baselines
+}
+criterion_main!(benches);

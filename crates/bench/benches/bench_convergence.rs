@@ -1,0 +1,66 @@
+//! Full convergence runs — the benchmark form of experiments E1/E4:
+//! rounds-to-ε on each topology (continuous) and rounds-to-plateau
+//! (discrete), measured as wall time.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dlb_bench::{bench_graphs, spike_continuous, spike_discrete, BENCH_SEED};
+use dlb_core::continuous::ContinuousDiffusion;
+use dlb_core::discrete::DiscreteDiffusion;
+use dlb_core::runner::{rounds_to_epsilon, run_discrete};
+use dlb_core::{bounds, potential};
+use std::hint::black_box;
+use std::time::Duration;
+
+fn convergence(c: &mut Criterion) {
+    let mut group = c.benchmark_group("convergence");
+    for (name, g) in bench_graphs() {
+        // Skip extremely slow mixers in the default bench run.
+        if name == "cycle" {
+            continue;
+        }
+        group.bench_with_input(BenchmarkId::new("to_eps_1e-4", name), &g, |b, g| {
+            b.iter(|| {
+                let mut loads = spike_continuous(g.n());
+                let mut exec = ContinuousDiffusion::new(g);
+                black_box(rounds_to_epsilon(&mut exec, &mut loads, 1e-4, 1_000_000))
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("to_theorem6_plateau", name), &g, |b, g| {
+            let lambda2 = dlb_analysis::experiments::lambda2_of(
+                match name {
+                    "cycle" => dlb_graphs::topology::Topology::Cycle,
+                    "torus2d" => dlb_graphs::topology::Topology::Torus2d,
+                    "hypercube" => dlb_graphs::topology::Topology::Hypercube,
+                    _ => dlb_graphs::topology::Topology::RandomRegular8,
+                },
+                g,
+            );
+            let target = bounds::theorem6_threshold_hat(g.max_degree(), lambda2, g.n());
+            b.iter(|| {
+                let mut loads = spike_discrete(g.n());
+                let mut exec = DiscreteDiffusion::new(g);
+                black_box(run_discrete(&mut exec, &mut loads, target, 1_000_000, false))
+            });
+        });
+    }
+    // One spot-check that the bench fixture actually converges (paranoia
+    // against silently benchmarking a non-terminating loop).
+    let (name, g) = &bench_graphs()[2];
+    assert_eq!(*name, "hypercube");
+    let mut loads = spike_continuous(g.n());
+    let mut exec = ContinuousDiffusion::new(g);
+    let out = rounds_to_epsilon(&mut exec, &mut loads, 1e-4, 1_000_000);
+    assert!(out.converged && potential::phi(&loads) <= 1e-4 * 102_400.0_f64.powi(2));
+    let _ = BENCH_SEED;
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(900));
+    targets = convergence
+}
+criterion_main!(benches);

@@ -1,0 +1,49 @@
+//! Parallel-executor scaling (experiment E14): the same round at 1–16
+//! worker threads against the serial executor, on a large torus.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dlb_core::continuous::ContinuousDiffusion;
+use dlb_core::model::ContinuousBalancer;
+use dlb_core::parallel::ParallelContinuousDiffusion;
+use dlb_graphs::topology;
+use std::hint::black_box;
+use std::time::Duration;
+
+fn parallel(c: &mut Criterion) {
+    let g = topology::torus2d(192, 192); // n = 36864
+    let n = g.n();
+    let loads0: Vec<f64> = (0..n).map(|i| ((i * 131 + 17) % 4099) as f64).collect();
+    let mut group = c.benchmark_group("parallel_round_torus192");
+
+    group.bench_function("serial", |b| {
+        let mut exec = ContinuousDiffusion::new(&g);
+        let mut loads = loads0.clone();
+        b.iter(|| black_box(exec.round(&mut loads)));
+    });
+    let avail = dlb_core::parallel::recommended_threads();
+    for threads in [1usize, 2, 4, 8, 16] {
+        if threads > 2 * avail {
+            continue;
+        }
+        group.bench_with_input(
+            BenchmarkId::new("crossbeam", threads),
+            &threads,
+            |b, &threads| {
+                let mut exec = ParallelContinuousDiffusion::new(&g, threads);
+                let mut loads = loads0.clone();
+                b.iter(|| black_box(exec.round(&mut loads)));
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_millis(1200));
+    targets = parallel
+}
+criterion_main!(benches);

@@ -1,0 +1,44 @@
+//! Algorithm 2 costs (experiments E8/E10/E11): partner sampling and the
+//! concurrent link-set round, continuous and discrete.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dlb_bench::{spike_continuous, spike_discrete};
+use dlb_core::model::{ContinuousBalancer, DiscreteBalancer};
+use dlb_core::random_partner::{
+    sample_partners, RandomPartnerContinuous, RandomPartnerDiscrete,
+};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+use std::time::Duration;
+
+fn partners(c: &mut Criterion) {
+    let mut group = c.benchmark_group("random_partner");
+    for n in [1024usize, 16384] {
+        group.bench_with_input(BenchmarkId::new("sample", n), &n, |b, &n| {
+            let mut rng = StdRng::seed_from_u64(7);
+            b.iter(|| black_box(sample_partners(n, &mut rng)));
+        });
+        group.bench_with_input(BenchmarkId::new("round_continuous", n), &n, |b, &n| {
+            let mut exec = RandomPartnerContinuous::new(n, 7);
+            let mut loads = spike_continuous(n);
+            b.iter(|| black_box(exec.round(&mut loads)));
+        });
+        group.bench_with_input(BenchmarkId::new("round_discrete", n), &n, |b, &n| {
+            let mut exec = RandomPartnerDiscrete::new(n, 7);
+            let mut loads = spike_discrete(n);
+            b.iter(|| black_box(exec.round(&mut loads)));
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(20)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(700));
+    targets = partners
+}
+criterion_main!(benches);

@@ -1,0 +1,55 @@
+//! Cost of the sequentialization machinery (experiments E2/E3): the
+//! certified sequentialized replay vs the plain concurrent round, and the
+//! adaptive sequential comparator.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dlb_bench::bench_graphs;
+use dlb_core::continuous::ContinuousDiffusion;
+use dlb_core::model::ContinuousBalancer;
+use dlb_core::seq::{adaptive_sequential_round, sequentialized_round, AdaptiveOrder};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+use std::time::Duration;
+
+fn loads_for(n: usize) -> Vec<f64> {
+    (0..n).map(|i| ((i * 37 + 11) % 1009) as f64).collect()
+}
+
+fn seq_machinery(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sequentialization");
+    for (name, g) in bench_graphs() {
+        group.bench_with_input(BenchmarkId::new("concurrent_round", name), &g, |b, g| {
+            let mut exec = ContinuousDiffusion::new(g);
+            let mut loads = loads_for(g.n());
+            b.iter(|| black_box(exec.round(&mut loads)));
+        });
+        group.bench_with_input(BenchmarkId::new("sequentialized_replay", name), &g, |b, g| {
+            let mut loads = loads_for(g.n());
+            b.iter(|| black_box(sequentialized_round(g, &mut loads)));
+        });
+        group.bench_with_input(BenchmarkId::new("adaptive_sequential", name), &g, |b, g| {
+            let mut loads = loads_for(g.n());
+            let mut rng = StdRng::seed_from_u64(1);
+            b.iter(|| {
+                black_box(adaptive_sequential_round(
+                    g,
+                    &mut loads,
+                    AdaptiveOrder::RoundStartWeight,
+                    &mut rng,
+                ))
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(15)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(700));
+    targets = seq_machinery
+}
+criterion_main!(benches);

@@ -1,0 +1,45 @@
+//! Spectral toolkit costs (experiment E13): dense QL vs Lanczos for `λ₂`,
+//! and the dense solve that prices the per-round spectra of E6/E7.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dlb_graphs::topology;
+use dlb_spectral::{eigen, lanczos};
+use std::hint::black_box;
+use std::time::Duration;
+
+fn spectral(c: &mut Criterion) {
+    let mut group = c.benchmark_group("lambda2");
+    for side in [8usize, 16, 32] {
+        let g = topology::torus2d(side, side);
+        let n = side * side;
+        group.bench_with_input(BenchmarkId::new("dense_ql", n), &g, |b, g| {
+            b.iter(|| black_box(eigen::laplacian_lambda2(g).expect("λ₂")));
+        });
+        group.bench_with_input(BenchmarkId::new("lanczos", n), &g, |b, g| {
+            b.iter(|| {
+                black_box(lanczos::lanczos_lambda2(g, lanczos::LanczosOptions::default()))
+            });
+        });
+    }
+    // Lanczos-only scaling beyond the dense regime.
+    for side in [64usize, 128] {
+        let g = topology::torus2d(side, side);
+        let n = side * side;
+        group.bench_with_input(BenchmarkId::new("lanczos", n), &g, |b, g| {
+            b.iter(|| {
+                black_box(lanczos::lanczos_lambda2(g, lanczos::LanczosOptions::default()))
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(900));
+    targets = spectral
+}
+criterion_main!(benches);

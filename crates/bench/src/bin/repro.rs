@@ -1,0 +1,119 @@
+//! `repro` — regenerates every experiment table of the reproduction.
+//!
+//! ```text
+//! repro [--quick] [--seed N] [--csv DIR] <experiment|all|verify>
+//!
+//!   experiment   e1 … e18 (see DESIGN.md §4), or `all`
+//!   verify       run everything, print a PASS/FAIL line per experiment,
+//!                exit nonzero if any paper claim failed (the CI gate)
+//!   --quick      shrunken sizes/trials (the CI configuration)
+//!   --seed N     base seed (default 0xBF2006)
+//!   --csv DIR    additionally dump every table as CSV into DIR
+//! ```
+//!
+//! The output of `repro all` (full mode) is what `EXPERIMENTS.md` records.
+
+use dlb_analysis::experiments::{run_all, run_by_id, ExpConfig};
+use dlb_analysis::Report;
+use std::path::Path;
+use std::process::ExitCode;
+
+fn usage() -> ExitCode {
+    eprintln!("usage: repro [--quick] [--seed N] [--csv DIR] <e1..e18|all|verify>");
+    ExitCode::from(2)
+}
+
+fn main() -> ExitCode {
+    let mut cfg = ExpConfig::default();
+    let mut csv_dir: Option<String> = None;
+    let mut target: Option<String> = None;
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--quick" => cfg.quick = true,
+            "--seed" => {
+                let Some(v) = args.next() else { return usage() };
+                let Ok(seed) = v.parse() else {
+                    eprintln!("invalid seed: {v}");
+                    return usage();
+                };
+                cfg.seed = seed;
+            }
+            "--csv" => {
+                let Some(dir) = args.next() else { return usage() };
+                csv_dir = Some(dir);
+            }
+            "-h" | "--help" => return usage(),
+            other if target.is_none() => target = Some(other.to_string()),
+            other => {
+                eprintln!("unexpected argument: {other}");
+                return usage();
+            }
+        }
+    }
+    let Some(target) = target else { return usage() };
+
+    if target.eq_ignore_ascii_case("verify") {
+        let reports = run_all(&cfg);
+        let mut failed = 0usize;
+        for r in &reports {
+            let verdict = match r.passed {
+                Some(true) => "PASS",
+                Some(false) => {
+                    failed += 1;
+                    "FAIL"
+                }
+                None => "----",
+            };
+            println!("{verdict}  {:>4}  {}", r.id, r.title);
+        }
+        return if failed == 0 {
+            println!("\nall paper claims validated.");
+            ExitCode::SUCCESS
+        } else {
+            println!("\n{failed} experiment(s) FAILED.");
+            ExitCode::FAILURE
+        };
+    }
+
+    let reports: Vec<Report> = if target.eq_ignore_ascii_case("all") {
+        run_all(&cfg)
+    } else {
+        match run_by_id(&target, &cfg) {
+            Some(r) => vec![r],
+            None => {
+                eprintln!("unknown experiment: {target}");
+                return usage();
+            }
+        }
+    };
+
+    println!(
+        "# BFH-2006 reproduction — mode: {}, seed: {:#x}\n",
+        if cfg.quick { "quick" } else { "full" },
+        cfg.seed
+    );
+    for report in &reports {
+        println!("{}", report.render());
+    }
+
+    if let Some(dir) = csv_dir {
+        let dir = Path::new(&dir);
+        if let Err(e) = std::fs::create_dir_all(dir) {
+            eprintln!("cannot create {}: {e}", dir.display());
+            return ExitCode::FAILURE;
+        }
+        for report in &reports {
+            for (k, table) in report.tables.iter().enumerate() {
+                let file = dir.join(format!("{}_{k}.csv", report.id.to_lowercase()));
+                if let Err(e) = std::fs::write(&file, table.to_csv()) {
+                    eprintln!("cannot write {}: {e}", file.display());
+                    return ExitCode::FAILURE;
+                }
+            }
+        }
+        println!("csv tables written to {}", dir.display());
+    }
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,52 @@
+//! Shared fixtures for the Criterion benchmarks and the `repro` binary.
+//!
+//! Every bench group pulls its instances from here so that bench names
+//! and experiment tables refer to identical graphs and workloads.
+
+use dlb_graphs::{topology, Graph};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Seed used by all benchmark fixtures.
+pub const BENCH_SEED: u64 = 0xBE_2006;
+
+/// The topology sweep used by the round-cost benches (name, graph).
+/// `n = 1024` — large enough that per-round cost dominates setup, small
+/// enough that a full `cargo bench` stays in minutes.
+pub fn bench_graphs() -> Vec<(&'static str, Graph)> {
+    let mut rng = StdRng::seed_from_u64(BENCH_SEED);
+    vec![
+        ("cycle", topology::cycle(1024)),
+        ("torus2d", topology::torus2d(32, 32)),
+        ("hypercube", topology::hypercube(10)),
+        ("rreg8", topology::random_regular(1024, 8, &mut rng)),
+    ]
+}
+
+/// A deterministic spiky load vector for continuous benches.
+pub fn spike_continuous(n: usize) -> Vec<f64> {
+    let mut v = vec![0.0; n];
+    v[0] = n as f64 * 100.0;
+    v
+}
+
+/// A deterministic spiky token vector for discrete benches.
+pub fn spike_discrete(n: usize) -> Vec<i64> {
+    let mut v = vec![0i64; n];
+    v[0] = n as i64 * 100_000;
+    v
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fixtures_consistent() {
+        for (name, g) in bench_graphs() {
+            assert_eq!(g.n(), 1024, "{name}");
+        }
+        assert_eq!(spike_continuous(8).iter().sum::<f64>(), 800.0);
+        assert_eq!(spike_discrete(8).iter().sum::<i64>(), 800_000);
+    }
+}

@@ -1,0 +1,237 @@
+//! Algorithm 1 (discrete case): integral tokens, floor rounding.
+//!
+//! Identical to the continuous round except that each edge `(i, j)` with
+//! `ℓᵢ > ℓⱼ` carries `⌊(ℓᵢ − ℓⱼ)/(4·max(dᵢ, dⱼ))⌋` whole tokens. The
+//! network can no longer balance perfectly (the paper's line example:
+//! `ℓᵢ = i` is a fixed point), but Theorem 6 shows the potential still
+//! drops geometrically while `Φ ≥ 64δ³n/λ₂`.
+//!
+//! Like the continuous executor, the round is a *gather* over an immutable
+//! snapshot; token counts are integers, so the serial and parallel
+//! executors agree exactly, and conservation is exact.
+
+use crate::model::{DiscreteBalancer, DiscreteRoundStats};
+use crate::potential::phi_hat;
+use dlb_graphs::Graph;
+
+/// Tokens sent across edge `{u, v}` this round (from the richer endpoint),
+/// given round-start loads: `⌊|ℓᵤ − ℓᵥ| / (4·max(dᵤ, dᵥ))⌋`.
+#[inline]
+pub fn edge_tokens(g: &Graph, snapshot: &[i64], u: u32, v: u32) -> i64 {
+    let diff = (snapshot[u as usize] as i128 - snapshot[v as usize] as i128).unsigned_abs();
+    let c = 4 * g.degree(u).max(g.degree(v)) as u128;
+    (diff / c) as i64
+}
+
+/// New load of node `v` after one discrete round, from the snapshot.
+#[inline]
+pub fn node_new_load(g: &Graph, snapshot: &[i64], v: u32) -> i64 {
+    let lv = snapshot[v as usize] as i128;
+    let dv = g.degree(v);
+    let mut acc = lv;
+    for &u in g.neighbors(v) {
+        let lu = snapshot[u as usize] as i128;
+        let c = (4 * dv.max(g.degree(u))) as i128;
+        // Signed token count: positive = inflow to v. Integer division of
+        // the *positive* difference matches the floor in the protocol and
+        // is computed identically by both endpoints, so conservation is
+        // exact.
+        if lu > lv {
+            acc += (lu - lv) / c;
+        } else if lv > lu {
+            acc -= (lv - lu) / c;
+        }
+    }
+    i64::try_from(acc).expect("load fits i64")
+}
+
+/// Serial executor for the discrete Algorithm 1.
+#[derive(Debug)]
+pub struct DiscreteDiffusion<'g> {
+    g: &'g Graph,
+    snapshot: Vec<i64>,
+}
+
+impl<'g> DiscreteDiffusion<'g> {
+    /// Creates an executor for `g`.
+    pub fn new(g: &'g Graph) -> Self {
+        DiscreteDiffusion { g, snapshot: vec![0; g.n()] }
+    }
+
+    /// The underlying graph.
+    pub fn graph(&self) -> &'g Graph {
+        self.g
+    }
+}
+
+impl DiscreteBalancer for DiscreteDiffusion<'_> {
+    fn round(&mut self, loads: &mut [i64]) -> DiscreteRoundStats {
+        assert_eq!(loads.len(), self.g.n(), "load vector length must equal n");
+        self.snapshot.copy_from_slice(loads);
+        let phi_hat_before = phi_hat(&self.snapshot);
+        for v in 0..self.g.n() as u32 {
+            loads[v as usize] = node_new_load(self.g, &self.snapshot, v);
+        }
+        let mut active_edges = 0usize;
+        let mut total_tokens = 0u64;
+        let mut max_tokens = 0u64;
+        for &(u, v) in self.g.edges() {
+            let t = edge_tokens(self.g, &self.snapshot, u, v) as u64;
+            if t > 0 {
+                active_edges += 1;
+                total_tokens += t;
+                max_tokens = max_tokens.max(t);
+            }
+        }
+        DiscreteRoundStats {
+            phi_hat_before,
+            phi_hat_after: phi_hat(loads),
+            active_edges,
+            total_tokens,
+            max_tokens,
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "alg1-disc"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::potential;
+    use dlb_graphs::topology;
+
+    fn total(loads: &[i64]) -> i128 {
+        potential::total_discrete(loads)
+    }
+
+    #[test]
+    fn single_edge_floor_transfer() {
+        // P_2: flow = floor((l0 - l1)/4). l = [10, 0]: 2 tokens.
+        let g = topology::path(2);
+        let mut loads = vec![10i64, 0];
+        let mut d = DiscreteDiffusion::new(&g);
+        let s = d.round(&mut loads);
+        assert_eq!(loads, vec![8, 2]);
+        assert_eq!(s.total_tokens, 2);
+        assert_eq!(s.active_edges, 1);
+    }
+
+    #[test]
+    fn sub_threshold_difference_moves_nothing() {
+        // diff 3 < divisor 4: no transfer.
+        let g = topology::path(2);
+        let mut loads = vec![3i64, 0];
+        let mut d = DiscreteDiffusion::new(&g);
+        let s = d.round(&mut loads);
+        assert_eq!(loads, vec![3, 0]);
+        assert_eq!(s.total_tokens, 0);
+        assert_eq!(s.drop_hat(), 0);
+    }
+
+    #[test]
+    fn ramp_on_path_is_fixed_point() {
+        // The paper's introductory example: ℓᵢ = i on the line is stable
+        // (neighbouring differences of 1 are below the transfer threshold).
+        let g = topology::path(8);
+        let mut loads: Vec<i64> = (0..8).collect();
+        let before = loads.clone();
+        let mut d = DiscreteDiffusion::new(&g);
+        for _ in 0..10 {
+            d.round(&mut loads);
+        }
+        assert_eq!(loads, before);
+    }
+
+    #[test]
+    fn conservation_is_exact() {
+        let g = topology::de_bruijn(5);
+        let mut loads: Vec<i64> = (0..32).map(|i| (i * i * 37 % 1009) as i64).collect();
+        let before = total(&loads);
+        let mut d = DiscreteDiffusion::new(&g);
+        for _ in 0..200 {
+            d.round(&mut loads);
+        }
+        assert_eq!(total(&loads), before);
+    }
+
+    #[test]
+    fn potential_never_increases() {
+        let g = topology::torus2d(4, 4);
+        let mut loads: Vec<i64> = (0..16).map(|i| ((i * 13 + 5) % 97) as i64).collect();
+        let mut d = DiscreteDiffusion::new(&g);
+        for _ in 0..100 {
+            let s = d.round(&mut loads);
+            assert!(
+                s.phi_hat_after <= s.phi_hat_before,
+                "potential increased: {} -> {}",
+                s.phi_hat_before,
+                s.phi_hat_after
+            );
+        }
+    }
+
+    #[test]
+    fn nonnegative_loads_stay_nonnegative() {
+        let g = topology::star(10);
+        let mut loads = vec![0i64; 10];
+        loads[0] = 1000;
+        let mut d = DiscreteDiffusion::new(&g);
+        for _ in 0..100 {
+            d.round(&mut loads);
+            assert!(loads.iter().all(|&l| l >= 0), "negative load: {loads:?}");
+        }
+    }
+
+    #[test]
+    fn spike_on_hypercube_reaches_small_discrepancy() {
+        let g = topology::hypercube(5);
+        let mut loads = vec![0i64; 32];
+        loads[0] = 32 * 100;
+        let mut d = DiscreteDiffusion::new(&g);
+        for _ in 0..500 {
+            d.round(&mut loads);
+        }
+        let disc = potential::discrepancy_discrete(&loads);
+        // Theorem 6's plateau guarantees Φ < 64δ³n/λ₂; for Q_5 (δ=5, λ₂=2)
+        // that is Φ < 128000, i.e. RMS deviation ≈ 63. The measured plateau
+        // is far better in practice; assert a loose envelope.
+        assert!(disc <= 200, "discrepancy {disc}");
+    }
+
+    #[test]
+    fn matches_continuous_far_from_balance() {
+        // With a huge spike the floor rounding is negligible: one discrete
+        // round should track one continuous round to within one token per
+        // edge.
+        let g = topology::cycle(8);
+        let mut disc_loads = vec![0i64; 8];
+        disc_loads[0] = 1 << 40;
+        let mut cont_loads: Vec<f64> = disc_loads.iter().map(|&l| l as f64).collect();
+        let mut d = DiscreteDiffusion::new(&g);
+        let mut c = crate::continuous::ContinuousDiffusion::new(&g);
+        use crate::model::ContinuousBalancer;
+        d.round(&mut disc_loads);
+        c.round(&mut cont_loads);
+        for (a, b) in disc_loads.iter().zip(&cont_loads) {
+            assert!((*a as f64 - b).abs() <= 2.0, "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn negative_loads_supported() {
+        let g = topology::path(3);
+        let mut loads = vec![-100i64, 0, 100];
+        let before = total(&loads);
+        let mut d = DiscreteDiffusion::new(&g);
+        for _ in 0..50 {
+            d.round(&mut loads);
+        }
+        assert_eq!(total(&loads), before);
+        // Fixed point allows per-edge differences < 4·max(dᵢ,dⱼ) = 8, so
+        // discrepancy across the 2-edge path is at most 14.
+        assert!(potential::discrepancy_discrete(&loads) <= 14);
+    }
+}

@@ -1,0 +1,319 @@
+//! Extension: diffusion on *heterogeneous* networks (cf. Elsässer–Monien–
+//! Preis \[9\], cited by the paper as related work).
+//!
+//! Nodes have speeds/capacities `cᵢ > 0`; the balanced state gives node
+//! `i` load proportional to its capacity, `ℓᵢ* = cᵢ·ρ` with
+//! `ρ = Σℓ/Σc`. Writing the *normalized* load `ŵᵢ = ℓᵢ/cᵢ`, the natural
+//! generalization of Algorithm 1 transfers, for every edge `(i, j)` with
+//! `ŵᵢ > ŵⱼ`,
+//!
+//! ```text
+//! min(cᵢ, cⱼ) · (ŵᵢ − ŵⱼ) / (4·max(dᵢ, dⱼ))
+//! ```
+//!
+//! and the weighted potential `Φ_c(L) = Σᵢ cᵢ·(ŵᵢ − ρ)²` plays the role
+//! of `Φ`. The same sequentialization argument goes through: a transfer of
+//! `t` across `(i, j)` drops `Φ_c` by `2t(ŵᵢ−ŵⱼ) − t²(1/cᵢ + 1/cⱼ)`, and
+//! the `min(cᵢ,cⱼ)` factor caps `t·(1/cᵢ+1/cⱼ) ≤ 2(ŵᵢ−ŵⱼ)/(4·max d)`, so
+//! every activation still makes progress. With all capacities equal to 1
+//! the protocol *is* Algorithm 1 — a regression test pins the executors to
+//! bit-equality in that case.
+
+use crate::model::{ContinuousBalancer, DiscreteBalancer, DiscreteRoundStats, RoundStats};
+use dlb_graphs::Graph;
+
+/// Weighted mean `ρ = Σℓ / Σc`.
+pub fn weighted_mean(loads: &[f64], capacities: &[f64]) -> f64 {
+    assert_eq!(loads.len(), capacities.len());
+    let total: f64 = loads.iter().sum();
+    let cap: f64 = capacities.iter().sum();
+    total / cap
+}
+
+/// Weighted potential `Φ_c(L) = Σᵢ cᵢ·(ℓᵢ/cᵢ − ρ)²`. Equals the standard
+/// `Φ` when every capacity is 1.
+pub fn weighted_phi(loads: &[f64], capacities: &[f64]) -> f64 {
+    let rho = weighted_mean(loads, capacities);
+    loads
+        .iter()
+        .zip(capacities)
+        .map(|(&l, &c)| {
+            let w = l / c - rho;
+            c * w * w
+        })
+        .sum()
+}
+
+/// The proportional target vector `ℓᵢ* = cᵢ·ρ`.
+pub fn proportional_target(loads: &[f64], capacities: &[f64]) -> Vec<f64> {
+    let rho = weighted_mean(loads, capacities);
+    capacities.iter().map(|&c| c * rho).collect()
+}
+
+fn validate(g: &Graph, capacities: &[f64]) {
+    assert_eq!(capacities.len(), g.n(), "capacity vector length must equal n");
+    assert!(
+        capacities.iter().all(|&c| c > 0.0 && c.is_finite()),
+        "capacities must be positive and finite"
+    );
+}
+
+/// New load of node `v` after one heterogeneous round (gather form).
+#[inline]
+fn node_new_load(g: &Graph, caps: &[f64], snapshot: &[f64], v: u32) -> f64 {
+    let cv = caps[v as usize];
+    let wv = snapshot[v as usize] / cv;
+    let dv = g.degree(v);
+    let mut acc = snapshot[v as usize];
+    for &u in g.neighbors(v) {
+        let cu = caps[u as usize];
+        let wu = snapshot[u as usize] / cu;
+        let divisor = 4.0 * dv.max(g.degree(u)) as f64;
+        acc += cv.min(cu) * (wu - wv) / divisor;
+    }
+    acc
+}
+
+/// Continuous heterogeneous diffusion executor.
+#[derive(Debug)]
+pub struct HeterogeneousDiffusion<'g> {
+    g: &'g Graph,
+    capacities: Vec<f64>,
+    snapshot: Vec<f64>,
+}
+
+impl<'g> HeterogeneousDiffusion<'g> {
+    /// Creates the executor; capacities must be positive.
+    pub fn new(g: &'g Graph, capacities: Vec<f64>) -> Self {
+        validate(g, &capacities);
+        HeterogeneousDiffusion { g, snapshot: vec![0.0; g.n()], capacities }
+    }
+
+    /// The capacity vector.
+    pub fn capacities(&self) -> &[f64] {
+        &self.capacities
+    }
+}
+
+impl ContinuousBalancer for HeterogeneousDiffusion<'_> {
+    fn round(&mut self, loads: &mut [f64]) -> RoundStats {
+        assert_eq!(loads.len(), self.g.n(), "load vector length must equal n");
+        self.snapshot.copy_from_slice(loads);
+        let phi_before = weighted_phi(&self.snapshot, &self.capacities);
+        for v in 0..self.g.n() as u32 {
+            loads[v as usize] = node_new_load(self.g, &self.capacities, &self.snapshot, v);
+        }
+        let mut active = 0usize;
+        let mut total = 0.0f64;
+        let mut max = 0.0f64;
+        for &(u, v) in self.g.edges() {
+            let (cu, cv) = (self.capacities[u as usize], self.capacities[v as usize]);
+            let wdiff =
+                (self.snapshot[u as usize] / cu - self.snapshot[v as usize] / cv).abs();
+            let t = cu.min(cv) * wdiff / crate::continuous::edge_divisor(self.g, u, v) * 4.0
+                / 4.0;
+            if t > 0.0 {
+                active += 1;
+                total += t;
+                max = max.max(t);
+            }
+        }
+        RoundStats {
+            phi_before,
+            phi_after: weighted_phi(loads, &self.capacities),
+            active_edges: active,
+            total_flow: total,
+            max_flow: max,
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "hetero-cont"
+    }
+}
+
+/// Discrete heterogeneous diffusion: `⌊·⌋` of the continuous amount, whole
+/// tokens, exact conservation.
+#[derive(Debug)]
+pub struct HeterogeneousDiscreteDiffusion<'g> {
+    g: &'g Graph,
+    capacities: Vec<f64>,
+    snapshot: Vec<i64>,
+}
+
+impl<'g> HeterogeneousDiscreteDiffusion<'g> {
+    /// Creates the executor; capacities must be positive.
+    pub fn new(g: &'g Graph, capacities: Vec<f64>) -> Self {
+        validate(g, &capacities);
+        HeterogeneousDiscreteDiffusion { g, snapshot: vec![0; g.n()], capacities }
+    }
+
+    /// Weighted potential of a token vector under these capacities.
+    pub fn phi(&self, loads: &[i64]) -> f64 {
+        let float: Vec<f64> = loads.iter().map(|&l| l as f64).collect();
+        weighted_phi(&float, &self.capacities)
+    }
+}
+
+impl DiscreteBalancer for HeterogeneousDiscreteDiffusion<'_> {
+    fn round(&mut self, loads: &mut [i64]) -> DiscreteRoundStats {
+        assert_eq!(loads.len(), self.g.n(), "load vector length must equal n");
+        self.snapshot.copy_from_slice(loads);
+        // The weighted potential is not integral under real capacities;
+        // report it scaled by n² to keep the DiscreteRoundStats contract
+        // (callers comparing drops only need consistency).
+        let n2 = (self.g.n() * self.g.n()) as f64;
+        let phi_hat_before = (self.phi(&self.snapshot.clone()) * n2) as u128;
+        let mut active = 0usize;
+        let mut total = 0u64;
+        let mut max = 0u64;
+        for &(u, v) in self.g.edges() {
+            let (cu, cv) = (self.capacities[u as usize], self.capacities[v as usize]);
+            let (wu, wv) = (
+                self.snapshot[u as usize] as f64 / cu,
+                self.snapshot[v as usize] as f64 / cv,
+            );
+            let divisor = crate::continuous::edge_divisor(self.g, u, v);
+            let t = (cu.min(cv) * (wu - wv).abs() / divisor).floor() as i64;
+            if t > 0 {
+                let (src, dst) =
+                    if wu >= wv { (u as usize, v as usize) } else { (v as usize, u as usize) };
+                loads[src] -= t;
+                loads[dst] += t;
+                active += 1;
+                total += t as u64;
+                max = max.max(t as u64);
+            }
+        }
+        let phi_hat_after = (self.phi(loads) * n2) as u128;
+        DiscreteRoundStats {
+            phi_hat_before,
+            phi_hat_after,
+            active_edges: active,
+            total_tokens: total,
+            max_tokens: max,
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "hetero-disc"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::continuous::ContinuousDiffusion;
+    use crate::potential;
+    use dlb_graphs::topology;
+
+    #[test]
+    fn unit_capacities_reduce_to_algorithm1() {
+        let g = topology::torus2d(4, 4);
+        let init: Vec<f64> = (0..16).map(|i| ((i * 41 + 3) % 59) as f64).collect();
+        let mut a = init.clone();
+        let mut b = init;
+        ContinuousDiffusion::new(&g).round(&mut a);
+        HeterogeneousDiffusion::new(&g, vec![1.0; 16]).round(&mut b);
+        for (x, y) in a.iter().zip(&b) {
+            assert!((x - y).abs() < 1e-12, "{x} vs {y}");
+        }
+    }
+
+    #[test]
+    fn conserves_load() {
+        let g = topology::cycle(10);
+        let caps: Vec<f64> = (0..10).map(|i| 1.0 + (i % 3) as f64).collect();
+        let mut b = HeterogeneousDiffusion::new(&g, caps);
+        let mut loads: Vec<f64> = (0..10).map(|i| (i * i % 17) as f64).collect();
+        let before: f64 = loads.iter().sum();
+        for _ in 0..100 {
+            b.round(&mut loads);
+        }
+        assert!((loads.iter().sum::<f64>() - before).abs() < 1e-9);
+    }
+
+    #[test]
+    fn weighted_potential_never_increases() {
+        let g = topology::hypercube(4);
+        let caps: Vec<f64> = (0..16).map(|i| if i % 4 == 0 { 4.0 } else { 0.5 }).collect();
+        let mut b = HeterogeneousDiffusion::new(&g, caps);
+        let mut loads: Vec<f64> = (0..16).map(|i| ((i * 7 + 2) % 23) as f64).collect();
+        for _ in 0..200 {
+            let s = b.round(&mut loads);
+            assert!(
+                s.phi_after <= s.phi_before + 1e-9,
+                "Φ_c increased: {} -> {}",
+                s.phi_before,
+                s.phi_after
+            );
+        }
+    }
+
+    #[test]
+    fn converges_to_proportional_distribution() {
+        let g = topology::complete(8);
+        // One fast node (capacity 7) and seven slow ones (capacity 1).
+        let mut caps = vec![1.0; 8];
+        caps[3] = 7.0;
+        let mut b = HeterogeneousDiffusion::new(&g, caps.clone());
+        let mut loads = vec![0.0; 8];
+        loads[0] = 140.0; // total 140, Σc = 14 → ρ = 10
+        for _ in 0..2000 {
+            b.round(&mut loads);
+        }
+        let target = proportional_target(&loads, &caps);
+        assert!((target[3] - 70.0).abs() < 1e-9);
+        for (i, (&l, &t)) in loads.iter().zip(&target).enumerate() {
+            assert!((l - t).abs() < 1e-6, "node {i}: load {l} vs target {t}");
+        }
+    }
+
+    #[test]
+    fn discrete_conserves_tokens_exactly() {
+        let g = topology::grid2d(4, 4);
+        let caps: Vec<f64> = (0..16).map(|i| 1.0 + (i % 5) as f64 * 0.5).collect();
+        let mut b = HeterogeneousDiscreteDiffusion::new(&g, caps);
+        let mut loads: Vec<i64> = (0..16).map(|i| ((i * 997) % 5000) as i64).collect();
+        let before = potential::total_discrete(&loads);
+        for _ in 0..300 {
+            b.round(&mut loads);
+        }
+        assert_eq!(potential::total_discrete(&loads), before);
+    }
+
+    #[test]
+    fn discrete_approaches_proportional_plateau() {
+        let g = topology::complete(6);
+        let caps = vec![1.0, 1.0, 1.0, 1.0, 1.0, 5.0];
+        let mut b = HeterogeneousDiscreteDiffusion::new(&g, caps.clone());
+        let mut loads = vec![0i64; 6];
+        loads[0] = 10_000; // ρ = 1000: target [1000×5, 5000]
+        for _ in 0..5000 {
+            b.round(&mut loads);
+        }
+        // The fast node should hold clearly more than any slow node.
+        let fast = loads[5];
+        for &l in &loads[..5] {
+            assert!(fast > 3 * l, "fast node {fast} vs slow {l}: {loads:?}");
+        }
+        // Weighted potential reaches a small plateau.
+        assert!(b.phi(&loads) < 2000.0, "Φ_c = {}", b.phi(&loads));
+    }
+
+    #[test]
+    fn weighted_phi_zero_iff_proportional() {
+        let caps = vec![2.0, 3.0, 5.0];
+        let loads = vec![4.0, 6.0, 10.0]; // exactly 2ρ with ρ = 2
+        assert!(weighted_phi(&loads, &caps) < 1e-12);
+        let skewed = vec![10.0, 6.0, 4.0];
+        assert!(weighted_phi(&skewed, &caps) > 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_capacity_rejected() {
+        let g = topology::path(3);
+        HeterogeneousDiffusion::new(&g, vec![1.0, 0.0, 1.0]);
+    }
+}

@@ -1,0 +1,208 @@
+//! Initial load distributions for experiments and examples.
+//!
+//! The diffusion literature evaluates against a small set of canonical
+//! initializations; all are provided for both the continuous and the
+//! discrete model. Randomized workloads take an explicit RNG for
+//! reproducibility.
+
+use rand::Rng;
+
+/// A named initial load distribution with average load `avg`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Workload {
+    /// All load on node 0 (`n·avg` there, 0 elsewhere) — the worst single
+    /// hotspot; initial `Φ = (n−1)·n·avg²`.
+    Spike,
+    /// Independent uniform loads in `[0, 2·avg]`.
+    UniformRandom,
+    /// Linear ramp from 0 to `2·avg` across node ids — the paper's line
+    /// example generalized.
+    Ramp,
+    /// First half of the nodes at `2·avg`, second half at 0 — a bisection
+    /// hotspot that stresses low-expansion cuts.
+    Bimodal,
+    /// Perfectly balanced at `avg` (a fixed point; useful as a control).
+    Balanced,
+}
+
+impl Workload {
+    /// All workloads, in presentation order.
+    pub const ALL: [Workload; 5] = [
+        Workload::Spike,
+        Workload::UniformRandom,
+        Workload::Ramp,
+        Workload::Bimodal,
+        Workload::Balanced,
+    ];
+
+    /// Table name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Workload::Spike => "spike",
+            Workload::UniformRandom => "uniform",
+            Workload::Ramp => "ramp",
+            Workload::Bimodal => "bimodal",
+            Workload::Balanced => "balanced",
+        }
+    }
+}
+
+/// Generates a continuous load vector for `n` nodes with average `avg`.
+pub fn continuous_loads<R: Rng + ?Sized>(
+    n: usize,
+    avg: f64,
+    workload: Workload,
+    rng: &mut R,
+) -> Vec<f64> {
+    assert!(n >= 1, "need at least one node");
+    assert!(avg >= 0.0, "average load must be non-negative");
+    match workload {
+        Workload::Spike => {
+            let mut v = vec![0.0; n];
+            v[0] = avg * n as f64;
+            v
+        }
+        Workload::UniformRandom => (0..n).map(|_| rng.gen::<f64>() * 2.0 * avg).collect(),
+        Workload::Ramp => {
+            if n == 1 {
+                return vec![avg];
+            }
+            (0..n).map(|i| 2.0 * avg * i as f64 / (n - 1) as f64).collect()
+        }
+        Workload::Bimodal => {
+            (0..n).map(|i| if i < n / 2 { 2.0 * avg } else { 0.0 }).collect()
+        }
+        Workload::Balanced => vec![avg; n],
+    }
+}
+
+/// Generates a discrete (token) load vector for `n` nodes with average
+/// `avg` tokens per node. Spike/Ramp/Bimodal/Balanced conserve the total
+/// `n·avg` exactly.
+pub fn discrete_loads<R: Rng + ?Sized>(
+    n: usize,
+    avg: i64,
+    workload: Workload,
+    rng: &mut R,
+) -> Vec<i64> {
+    assert!(n >= 1, "need at least one node");
+    assert!(avg >= 0, "average load must be non-negative");
+    match workload {
+        Workload::Spike => {
+            let mut v = vec![0i64; n];
+            v[0] = avg * n as i64;
+            v
+        }
+        Workload::UniformRandom => (0..n).map(|_| rng.gen_range(0..=2 * avg)).collect(),
+        Workload::Ramp => {
+            // Integer ramp 0, 1·step, … rounded to conserve the total.
+            if n == 1 {
+                return vec![avg];
+            }
+            let total = avg as i128 * n as i128;
+            let mut v: Vec<i64> = (0..n)
+                .map(|i| ((2 * avg as i128 * i as i128) / (n as i128 - 1)) as i64)
+                .collect();
+            let current: i128 = v.iter().map(|&x| x as i128).sum();
+            // Put the rounding remainder on the last node.
+            v[n - 1] += (total - current) as i64;
+            v
+        }
+        Workload::Bimodal => {
+            let mut v: Vec<i64> =
+                (0..n).map(|i| if i < n / 2 { 2 * avg } else { 0 }).collect();
+            if n % 2 == 1 {
+                // Odd n: the middle node takes the leftover to conserve.
+                v[n / 2] = avg * n as i64 - 2 * avg * (n / 2) as i64;
+            }
+            v
+        }
+        Workload::Balanced => vec![avg; n],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::potential;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn spike_totals_exact() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let v = discrete_loads(10, 7, Workload::Spike, &mut rng);
+        assert_eq!(potential::total_discrete(&v), 70);
+        assert_eq!(v[0], 70);
+        assert!(v[1..].iter().all(|&x| x == 0));
+    }
+
+    #[test]
+    fn ramp_conserves_total() {
+        let mut rng = StdRng::seed_from_u64(2);
+        for n in [2usize, 5, 17, 100] {
+            let v = discrete_loads(n, 10, Workload::Ramp, &mut rng);
+            assert_eq!(potential::total_discrete(&v), 10 * n as i128, "n = {n}");
+            // Non-decreasing except possibly the remainder on the last node.
+            for w in v.windows(2).take(n.saturating_sub(2)) {
+                assert!(w[0] <= w[1]);
+            }
+        }
+    }
+
+    #[test]
+    fn bimodal_conserves_total() {
+        let mut rng = StdRng::seed_from_u64(3);
+        for n in [2usize, 7, 8, 33] {
+            let v = discrete_loads(n, 6, Workload::Bimodal, &mut rng);
+            assert_eq!(potential::total_discrete(&v), 6 * n as i128, "n = {n}");
+        }
+    }
+
+    #[test]
+    fn balanced_is_flat() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let v = continuous_loads(8, 3.5, Workload::Balanced, &mut rng);
+        assert!(v.iter().all(|&x| x == 3.5));
+        assert_eq!(potential::phi(&v), 0.0);
+    }
+
+    #[test]
+    fn uniform_loads_in_range() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let v = discrete_loads(1000, 50, Workload::UniformRandom, &mut rng);
+        assert!(v.iter().all(|&x| (0..=100).contains(&x)));
+        let mean = potential::total_discrete(&v) as f64 / 1000.0;
+        assert!((mean - 50.0).abs() < 5.0, "mean {mean} far from 50");
+    }
+
+    #[test]
+    fn spike_phi_closed_form() {
+        // Spike: Φ = n·avg²·(n−1).
+        let mut rng = StdRng::seed_from_u64(6);
+        let (n, avg) = (16usize, 4.0f64);
+        let v = continuous_loads(n, avg, Workload::Spike, &mut rng);
+        let phi = potential::phi(&v);
+        let expect = n as f64 * avg * avg * (n as f64 - 1.0);
+        assert!((phi - expect).abs() < 1e-9, "Φ = {phi}, want {expect}");
+    }
+
+    #[test]
+    fn single_node_cases() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for w in Workload::ALL {
+            let v = continuous_loads(1, 5.0, w, &mut rng);
+            assert_eq!(v.len(), 1);
+            let d = discrete_loads(1, 5, w, &mut rng);
+            assert_eq!(d.len(), 1);
+        }
+    }
+
+    #[test]
+    fn names_unique() {
+        let mut names: Vec<_> = Workload::ALL.iter().map(|w| w.name()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), Workload::ALL.len());
+    }
+}

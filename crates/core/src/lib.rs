@@ -1,0 +1,57 @@
+#![warn(missing_docs)]
+
+//! # dlb-core
+//!
+//! The primary contribution of Berenbrink–Friedetzky–Hu (IPPS 2006),
+//! *A New Analytical Method for Parallel, Diffusion-type Load Balancing*,
+//! as an executable library:
+//!
+//! * **Algorithm 1** — concurrent neighbourhood diffusion on a fixed
+//!   network: node `i` sends `(ℓᵢ − ℓⱼ)/(4·max(dᵢ, dⱼ))` to every lighter
+//!   neighbour `j`, all edges in parallel. Continuous ([`continuous`]) and
+//!   discrete ([`discrete`], integral tokens, floor rounding) variants.
+//! * **The sequentialization machinery** ([`seq`]) — the paper's proof
+//!   device made executable: the same round replayed as one edge activation
+//!   at a time in increasing weight order, with per-activation potential
+//!   accounting and Lemma 1 certificates. Because transfers are additive,
+//!   the sequentialized replay reaches *exactly* the concurrent round's
+//!   final state — an invariant the test-suite checks.
+//! * **Algorithm 2** ([`random_partner`]) — every node picks a uniformly
+//!   random balancing partner each round; concurrent transfers over the
+//!   sampled link set (Section 6 of the paper), continuous and discrete.
+//! * **Potentials** ([`potential`]) — the quadratic potential
+//!   `Φ(L) = Σᵢ (ℓᵢ − ℓ̄)²` in floating point, and an *exact* integer-scaled
+//!   version `Φ̂ = n²·Φ = Σᵢ (n·ℓᵢ − S)²` used by every discrete-case
+//!   threshold comparison (64δ³n/λ₂, 3200n) so rounding noise can never
+//!   blur a theorem check.
+//! * **Theorem bounds** ([`bounds`]) — every bound the paper proves
+//!   (Theorems 4, 6, 7, 8, 12, 14; Lemmas 2, 5, 11, 13) as documented
+//!   calculator functions, plus the Ghosh–Muthukrishnan dimension-exchange
+//!   bound used in the paper's "constant times faster" comparison.
+//! * **Parallel execution** ([`parallel`]) — a crossbeam scoped-thread
+//!   executor for large instances. The round is formulated as a *gather*
+//!   (each node recomputes its own delta from an immutable snapshot), so
+//!   the parallel executor is bit-identical to the serial one for both the
+//!   continuous and discrete protocols.
+//! * **Drivers and workloads** ([`runner`], [`init`]) — convergence loops
+//!   with traces and stopping conditions, and the initial load
+//!   distributions used across the experiment suite.
+//!
+//! The companion crates provide the substrates: `dlb-graphs` (topologies),
+//! `dlb-spectral` (λ₂, γ), `dlb-dynamics` (Section 5's dynamic networks),
+//! `dlb-baselines` (the protocols the paper compares against), and
+//! `dlb-analysis` (the Monte-Carlo experiment harness).
+
+pub mod bounds;
+pub mod continuous;
+pub mod discrete;
+pub mod heterogeneous;
+pub mod init;
+pub mod model;
+pub mod parallel;
+pub mod potential;
+pub mod random_partner;
+pub mod runner;
+pub mod seq;
+
+pub use model::{ContinuousBalancer, DiscreteBalancer, DiscreteRoundStats, RoundStats};

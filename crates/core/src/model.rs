@@ -1,0 +1,135 @@
+//! Shared round-level types and the balancer traits implemented by every
+//! protocol in the workspace (Algorithm 1, Algorithm 2, and the baselines
+//! in `dlb-baselines`), so the experiment harness can sweep protocols
+//! uniformly.
+
+/// Per-round statistics for a continuous protocol.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RoundStats {
+    /// `Φ(L^{t-1})` — potential entering the round.
+    pub phi_before: f64,
+    /// `Φ(L^t)` — potential after the round.
+    pub phi_after: f64,
+    /// Number of edges (or links) that carried a nonzero transfer.
+    pub active_edges: usize,
+    /// Total load moved over all edges this round.
+    pub total_flow: f64,
+    /// Largest single-edge transfer this round.
+    pub max_flow: f64,
+}
+
+impl RoundStats {
+    /// Potential drop `Φ(L^{t-1}) − Φ(L^t)`.
+    pub fn drop(&self) -> f64 {
+        self.phi_before - self.phi_after
+    }
+
+    /// Relative drop `(Φ_before − Φ_after)/Φ_before`; 0 when already
+    /// balanced.
+    pub fn relative_drop(&self) -> f64 {
+        if self.phi_before == 0.0 {
+            0.0
+        } else {
+            self.drop() / self.phi_before
+        }
+    }
+}
+
+/// Per-round statistics for a discrete protocol. Potentials are the exact
+/// scaled `Φ̂ = n²·Φ` (see `crate::potential::phi_hat`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DiscreteRoundStats {
+    /// `Φ̂(L^{t-1})`.
+    pub phi_hat_before: u128,
+    /// `Φ̂(L^t)`.
+    pub phi_hat_after: u128,
+    /// Number of edges that carried at least one token.
+    pub active_edges: usize,
+    /// Total tokens moved over all edges this round.
+    pub total_tokens: u64,
+    /// Largest single-edge token transfer this round.
+    pub max_tokens: u64,
+}
+
+impl DiscreteRoundStats {
+    /// Exact potential drop `Φ̂_before − Φ̂_after`.
+    ///
+    /// The concurrent discrete round never increases the potential (the
+    /// sequentialized replay shows every activation's drop is
+    /// `2T(A − B − T) ≥ 0`), so the subtraction cannot underflow; the
+    /// method still saturates defensively.
+    pub fn drop_hat(&self) -> u128 {
+        self.phi_hat_before.saturating_sub(self.phi_hat_after)
+    }
+
+    /// Floating-point relative drop.
+    pub fn relative_drop(&self) -> f64 {
+        if self.phi_hat_before == 0 {
+            0.0
+        } else {
+            self.drop_hat() as f64 / self.phi_hat_before as f64
+        }
+    }
+}
+
+/// A protocol balancing a continuous (divisible) load vector.
+///
+/// The graph/topology and any RNG live inside the implementor, so the
+/// harness can drive heterogeneous protocols through one interface.
+pub trait ContinuousBalancer {
+    /// Executes one synchronous round in place.
+    fn round(&mut self, loads: &mut [f64]) -> RoundStats;
+    /// Short protocol name for tables.
+    fn name(&self) -> &'static str;
+}
+
+/// A protocol balancing a discrete (token) load vector.
+pub trait DiscreteBalancer {
+    /// Executes one synchronous round in place.
+    fn round(&mut self, loads: &mut [i64]) -> DiscreteRoundStats;
+    /// Short protocol name for tables.
+    fn name(&self) -> &'static str;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_stats_drop() {
+        let s = RoundStats {
+            phi_before: 10.0,
+            phi_after: 4.0,
+            active_edges: 3,
+            total_flow: 2.5,
+            max_flow: 1.0,
+        };
+        assert!((s.drop() - 6.0).abs() < 1e-12);
+        assert!((s.relative_drop() - 0.6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn round_stats_zero_potential() {
+        let s = RoundStats {
+            phi_before: 0.0,
+            phi_after: 0.0,
+            active_edges: 0,
+            total_flow: 0.0,
+            max_flow: 0.0,
+        };
+        assert_eq!(s.relative_drop(), 0.0);
+    }
+
+    #[test]
+    fn discrete_stats_drop() {
+        let s = DiscreteRoundStats {
+            phi_hat_before: 100,
+            phi_hat_after: 36,
+            active_edges: 2,
+            total_tokens: 5,
+            max_tokens: 3,
+        };
+        assert_eq!(s.drop_hat(), 64);
+        assert!((s.relative_drop() - 0.64).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,259 @@
+//! Data-parallel round executors (crossbeam scoped threads).
+//!
+//! The gather formulation (see [`crate::continuous`]) makes a round
+//! embarrassingly parallel: each node's new load depends only on the
+//! round-start snapshot, so the node range is split into contiguous chunks,
+//! one scoped thread per chunk, with no shared mutable state. Each node's
+//! value is produced by the *same* function ([`crate::continuous::node_new_load`] /
+//! [`crate::discrete::node_new_load`]) evaluating the same floating-point
+//! (resp. integer) operations in the same order as the serial executor —
+//! so parallel and serial results are **bit-identical**, which the test
+//! suite asserts. Experiment E14 measures the speedup.
+
+use crate::model::{
+    ContinuousBalancer, DiscreteBalancer, DiscreteRoundStats, RoundStats,
+};
+use crate::potential::{phi, phi_hat};
+use crate::{continuous, discrete};
+use dlb_graphs::Graph;
+
+/// Number of worker threads to use by default: the machine's available
+/// parallelism.
+pub fn recommended_threads() -> usize {
+    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+}
+
+fn chunk_ranges(n: usize, threads: usize) -> Vec<(usize, usize)> {
+    let threads = threads.clamp(1, n.max(1));
+    let base = n / threads;
+    let extra = n % threads;
+    let mut ranges = Vec::with_capacity(threads);
+    let mut start = 0usize;
+    for t in 0..threads {
+        let len = base + usize::from(t < extra);
+        ranges.push((start, start + len));
+        start += len;
+    }
+    ranges
+}
+
+/// Parallel executor for the continuous Algorithm 1.
+#[derive(Debug)]
+pub struct ParallelContinuousDiffusion<'g> {
+    g: &'g Graph,
+    snapshot: Vec<f64>,
+    threads: usize,
+}
+
+impl<'g> ParallelContinuousDiffusion<'g> {
+    /// Creates an executor with an explicit worker count (`0` means
+    /// [`recommended_threads`]).
+    pub fn new(g: &'g Graph, threads: usize) -> Self {
+        let threads = if threads == 0 { recommended_threads() } else { threads };
+        ParallelContinuousDiffusion { g, snapshot: vec![0.0; g.n()], threads }
+    }
+
+    /// Worker count in use.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+}
+
+impl ContinuousBalancer for ParallelContinuousDiffusion<'_> {
+    fn round(&mut self, loads: &mut [f64]) -> RoundStats {
+        assert_eq!(loads.len(), self.g.n(), "load vector length must equal n");
+        self.snapshot.copy_from_slice(loads);
+        let phi_before = phi(&self.snapshot);
+        let g = self.g;
+        let snapshot = &self.snapshot;
+
+        let ranges = chunk_ranges(g.n(), self.threads);
+        crossbeam::thread::scope(|scope| {
+            let mut rest = &mut loads[..];
+            let mut offset = 0usize;
+            for &(start, end) in &ranges {
+                let (chunk, tail) = rest.split_at_mut(end - offset);
+                debug_assert_eq!(start, offset);
+                rest = tail;
+                offset = end;
+                scope.spawn(move |_| {
+                    for (k, slot) in chunk.iter_mut().enumerate() {
+                        *slot = continuous::node_new_load(g, snapshot, (start + k) as u32);
+                    }
+                });
+            }
+        })
+        .expect("worker thread panicked");
+
+        let (active_edges, total_flow, max_flow) = continuous::edge_flow_stats(g, snapshot);
+        RoundStats { phi_before, phi_after: phi(loads), active_edges, total_flow, max_flow }
+    }
+
+    fn name(&self) -> &'static str {
+        "alg1-cont-par"
+    }
+}
+
+/// Parallel executor for the discrete Algorithm 1.
+#[derive(Debug)]
+pub struct ParallelDiscreteDiffusion<'g> {
+    g: &'g Graph,
+    snapshot: Vec<i64>,
+    threads: usize,
+}
+
+impl<'g> ParallelDiscreteDiffusion<'g> {
+    /// Creates an executor with an explicit worker count (`0` means
+    /// [`recommended_threads`]).
+    pub fn new(g: &'g Graph, threads: usize) -> Self {
+        let threads = if threads == 0 { recommended_threads() } else { threads };
+        ParallelDiscreteDiffusion { g, snapshot: vec![0; g.n()], threads }
+    }
+
+    /// Worker count in use.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+}
+
+impl DiscreteBalancer for ParallelDiscreteDiffusion<'_> {
+    fn round(&mut self, loads: &mut [i64]) -> DiscreteRoundStats {
+        assert_eq!(loads.len(), self.g.n(), "load vector length must equal n");
+        self.snapshot.copy_from_slice(loads);
+        let phi_hat_before = phi_hat(&self.snapshot);
+        let g = self.g;
+        let snapshot = &self.snapshot;
+
+        let ranges = chunk_ranges(g.n(), self.threads);
+        crossbeam::thread::scope(|scope| {
+            let mut rest = &mut loads[..];
+            let mut offset = 0usize;
+            for &(start, end) in &ranges {
+                let (chunk, tail) = rest.split_at_mut(end - offset);
+                rest = tail;
+                offset = end;
+                scope.spawn(move |_| {
+                    for (k, slot) in chunk.iter_mut().enumerate() {
+                        *slot = discrete::node_new_load(g, snapshot, (start + k) as u32);
+                    }
+                });
+            }
+        })
+        .expect("worker thread panicked");
+
+        let mut active_edges = 0usize;
+        let mut total_tokens = 0u64;
+        let mut max_tokens = 0u64;
+        for &(u, v) in g.edges() {
+            let t = discrete::edge_tokens(g, snapshot, u, v) as u64;
+            if t > 0 {
+                active_edges += 1;
+                total_tokens += t;
+                max_tokens = max_tokens.max(t);
+            }
+        }
+        DiscreteRoundStats {
+            phi_hat_before,
+            phi_hat_after: phi_hat(loads),
+            active_edges,
+            total_tokens,
+            max_tokens,
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "alg1-disc-par"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::continuous::ContinuousDiffusion;
+    use crate::discrete::DiscreteDiffusion;
+    use dlb_graphs::topology;
+
+    #[test]
+    fn chunk_ranges_cover_exactly() {
+        for (n, t) in [(10, 3), (7, 7), (5, 9), (100, 4), (1, 1)] {
+            let ranges = chunk_ranges(n, t);
+            assert_eq!(ranges[0].0, 0);
+            assert_eq!(ranges.last().unwrap().1, n);
+            for w in ranges.windows(2) {
+                assert_eq!(w[0].1, w[1].0, "ranges not contiguous");
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_continuous_bit_identical_to_serial() {
+        let g = topology::torus2d(8, 8);
+        let init: Vec<f64> = (0..64).map(|i| ((i * 37 + 11) % 101) as f64 / 3.0).collect();
+
+        let mut serial = init.clone();
+        let mut s_exec = ContinuousDiffusion::new(&g);
+        for _ in 0..20 {
+            s_exec.round(&mut serial);
+        }
+
+        for threads in [1, 2, 3, 8] {
+            let mut par = init.clone();
+            let mut p_exec = ParallelContinuousDiffusion::new(&g, threads);
+            for _ in 0..20 {
+                p_exec.round(&mut par);
+            }
+            assert_eq!(serial, par, "threads = {threads}: not bit-identical");
+        }
+    }
+
+    #[test]
+    fn parallel_discrete_bit_identical_to_serial() {
+        let g = topology::hypercube(6);
+        let init: Vec<i64> = (0..64).map(|i| ((i * 1009 + 7) % 5000) as i64).collect();
+
+        let mut serial = init.clone();
+        let mut s_exec = DiscreteDiffusion::new(&g);
+        for _ in 0..30 {
+            s_exec.round(&mut serial);
+        }
+
+        for threads in [2, 5, 16] {
+            let mut par = init.clone();
+            let mut p_exec = ParallelDiscreteDiffusion::new(&g, threads);
+            for _ in 0..30 {
+                p_exec.round(&mut par);
+            }
+            assert_eq!(serial, par, "threads = {threads}: not identical");
+        }
+    }
+
+    #[test]
+    fn stats_match_serial_executor() {
+        let g = topology::cycle(12);
+        let init: Vec<f64> = (0..12).map(|i| (i * i % 19) as f64).collect();
+        let mut a = init.clone();
+        let mut b = init;
+        let sa = ContinuousDiffusion::new(&g).round(&mut a);
+        let sb = ParallelContinuousDiffusion::new(&g, 4).round(&mut b);
+        assert_eq!(sa.phi_before, sb.phi_before);
+        assert_eq!(sa.phi_after, sb.phi_after);
+        assert_eq!(sa.active_edges, sb.active_edges);
+        assert_eq!(sa.total_flow, sb.total_flow);
+    }
+
+    #[test]
+    fn more_threads_than_nodes() {
+        let g = topology::path(3);
+        let mut loads = vec![9.0, 0.0, 0.0];
+        let mut exec = ParallelContinuousDiffusion::new(&g, 64);
+        exec.round(&mut loads);
+        assert!((loads.iter().sum::<f64>() - 9.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_threads_means_auto() {
+        let g = topology::path(4);
+        let exec = ParallelContinuousDiffusion::new(&g, 0);
+        assert!(exec.threads() >= 1);
+    }
+}

@@ -1,0 +1,208 @@
+//! The quadratic potential `Φ` and related load-vector statistics.
+//!
+//! The paper's entire analysis is driven by `Φ(L) = Σᵢ (ℓᵢ − ℓ̄)²` with
+//! `ℓ̄ = (Σᵢ ℓᵢ)/n`. For the discrete protocol `ℓ̄` is rational, so this
+//! module also provides the *scaled* integer potential
+//!
+//! ```text
+//! Φ̂(L) = Σᵢ (n·ℓᵢ − S)²  =  n² · Φ(L),      S = Σᵢ ℓᵢ,
+//! ```
+//!
+//! computed exactly in 128-bit arithmetic. All discrete-case theorem
+//! thresholds (`Φ ≥ 64δ³n/λ₂` in Lemma 5, `Φ ≥ 3200n` in Lemma 13) are
+//! compared through `Φ̂` so floating-point rounding can never flip a
+//! threshold decision.
+//!
+//! Lemma 10's identity `Σᵢ Σⱼ (ℓᵢ − ℓⱼ)² = 2n·Φ(L)` becomes the exact
+//! integer identity `n · Σᵢⱼ (ℓᵢ − ℓⱼ)² = 2·Φ̂(L)`, verified by
+//! [`lemma10_exact_identity_holds`] and experiment E9.
+
+/// Mean load `ℓ̄` of a continuous load vector.
+pub fn mean(loads: &[f64]) -> f64 {
+    assert!(!loads.is_empty(), "load vector must be non-empty");
+    loads.iter().sum::<f64>() / loads.len() as f64
+}
+
+/// Potential `Φ(L) = Σᵢ (ℓᵢ − ℓ̄)²` of a continuous load vector.
+pub fn phi(loads: &[f64]) -> f64 {
+    let mu = mean(loads);
+    loads.iter().map(|&l| (l - mu) * (l - mu)).sum()
+}
+
+/// Discrepancy `K = maxᵢ ℓᵢ − minᵢ ℓᵢ` of a continuous load vector.
+pub fn discrepancy(loads: &[f64]) -> f64 {
+    assert!(!loads.is_empty(), "load vector must be non-empty");
+    let (mut lo, mut hi) = (f64::INFINITY, f64::NEG_INFINITY);
+    for &l in loads {
+        lo = lo.min(l);
+        hi = hi.max(l);
+    }
+    hi - lo
+}
+
+/// Total load `S` of a discrete vector, exactly.
+pub fn total_discrete(loads: &[i64]) -> i128 {
+    loads.iter().map(|&l| l as i128).sum()
+}
+
+/// Exact scaled potential `Φ̂(L) = Σᵢ (n·ℓᵢ − S)² = n²·Φ(L)`.
+///
+/// Exact for `|ℓᵢ| ≤ 2⁶² / n`; the experiments use loads ≤ 2³² and
+/// `n ≤ 2²⁰`, far inside the safe range.
+pub fn phi_hat(loads: &[i64]) -> u128 {
+    let n = loads.len() as i128;
+    assert!(n >= 1, "load vector must be non-empty");
+    let s: i128 = total_discrete(loads);
+    loads
+        .iter()
+        .map(|&l| {
+            let centred = n * l as i128 - s;
+            (centred * centred) as u128
+        })
+        .sum()
+}
+
+/// Floating-point potential of a discrete vector: `Φ = Φ̂ / n²`.
+pub fn phi_discrete(loads: &[i64]) -> f64 {
+    let n = loads.len() as f64;
+    phi_hat(loads) as f64 / (n * n)
+}
+
+/// Discrepancy of a discrete load vector.
+pub fn discrepancy_discrete(loads: &[i64]) -> i64 {
+    assert!(!loads.is_empty(), "load vector must be non-empty");
+    let hi = *loads.iter().max().expect("non-empty");
+    let lo = *loads.iter().min().expect("non-empty");
+    hi - lo
+}
+
+/// Exact all-pairs squared-difference sum `Σᵢ Σⱼ (ℓᵢ − ℓⱼ)²` (both ordered
+/// pairs, matching the paper's double sum in Lemma 10).
+///
+/// Computed in `O(n)` via the expansion
+/// `Σᵢⱼ (ℓᵢ − ℓⱼ)² = 2n·Σᵢ ℓᵢ² − 2·S²`.
+pub fn pairwise_sq_sum(loads: &[i64]) -> u128 {
+    let n = loads.len() as i128;
+    let s: i128 = total_discrete(loads);
+    let sq: i128 = loads.iter().map(|&l| (l as i128) * (l as i128)).sum();
+    (2 * n * sq - 2 * s * s) as u128
+}
+
+/// Lemma 10 as an exact predicate: `n · Σᵢⱼ (ℓᵢ − ℓⱼ)² == 2 · Φ̂(L)`.
+///
+/// Always true — kept as an executable statement of the lemma (experiment
+/// E9 evaluates it over randomized vectors; property tests over arbitrary
+/// ones).
+pub fn lemma10_exact_identity_holds(loads: &[i64]) -> bool {
+    let n = loads.len() as u128;
+    n * pairwise_sq_sum(loads) == 2 * phi_hat(loads)
+}
+
+/// Continuous all-pairs squared-difference sum, `O(n)`.
+pub fn pairwise_sq_sum_continuous(loads: &[f64]) -> f64 {
+    let n = loads.len() as f64;
+    let s: f64 = loads.iter().sum();
+    let sq: f64 = loads.iter().map(|&l| l * l).sum();
+    2.0 * n * sq - 2.0 * s * s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn phi_of_balanced_vector_is_zero() {
+        assert_eq!(phi(&[5.0, 5.0, 5.0]), 0.0);
+        assert_eq!(phi_hat(&[7, 7, 7, 7]), 0);
+    }
+
+    #[test]
+    fn phi_simple_example() {
+        // loads [0, 2], mean 1: Φ = 1 + 1 = 2.
+        assert!((phi(&[0.0, 2.0]) - 2.0).abs() < 1e-12);
+        // Φ̂ = n²Φ = 8.
+        assert_eq!(phi_hat(&[0, 2]), 8);
+        assert!((phi_discrete(&[0, 2]) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn phi_hat_handles_non_integer_mean() {
+        // loads [0, 1]: mean 1/2, Φ = 1/2, Φ̂ = 4 * 1/2 = 2.
+        assert_eq!(phi_hat(&[0, 1]), 2);
+        assert!((phi_discrete(&[0, 1]) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn phi_hat_negative_loads() {
+        // Potential is translation-invariant.
+        assert_eq!(phi_hat(&[-3, -1]), phi_hat(&[0, 2]));
+    }
+
+    #[test]
+    fn discrepancy_basic() {
+        assert_eq!(discrepancy(&[1.0, 9.0, 4.0]), 8.0);
+        assert_eq!(discrepancy_discrete(&[-5, 3, 0]), 8);
+        assert_eq!(discrepancy_discrete(&[2]), 0);
+    }
+
+    #[test]
+    fn lemma10_identity_small_vectors() {
+        for loads in [
+            vec![0i64],
+            vec![0, 1],
+            vec![5, 5, 5],
+            vec![0, 1, 2, 3, 4],
+            vec![-10, 3, 7, 0, 0, 22],
+            vec![1_000_000_007, 0, -999, 42],
+        ] {
+            assert!(lemma10_exact_identity_holds(&loads), "failed for {loads:?}");
+        }
+    }
+
+    #[test]
+    fn pairwise_sum_matches_naive() {
+        let loads = [3i64, -1, 4, 1, -5];
+        let mut naive: i128 = 0;
+        for &a in &loads {
+            for &b in &loads {
+                naive += ((a - b) as i128).pow(2);
+            }
+        }
+        assert_eq!(pairwise_sq_sum(&loads), naive as u128);
+    }
+
+    #[test]
+    fn pairwise_continuous_matches_naive() {
+        let loads = [0.5f64, -1.25, 3.75, 2.0];
+        let mut naive = 0.0;
+        for &a in &loads {
+            for &b in &loads {
+                naive += (a - b) * (a - b);
+            }
+        }
+        assert!((pairwise_sq_sum_continuous(&loads) - naive).abs() < 1e-9);
+    }
+
+    #[test]
+    fn phi_discrete_matches_float_phi() {
+        let loads = [17i64, 3, 99, 0, 45, 45];
+        let float: Vec<f64> = loads.iter().map(|&l| l as f64).collect();
+        assert!((phi_discrete(&loads) - phi(&float)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn large_loads_do_not_overflow() {
+        let loads = vec![1i64 << 32; 1000];
+        assert_eq!(phi_hat(&loads), 0);
+        let mut loads = loads;
+        loads[0] += 1 << 20;
+        assert!(phi_hat(&loads) > 0);
+        assert!(lemma10_exact_identity_holds(&loads));
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty")]
+    fn empty_vector_rejected() {
+        phi(&[]);
+    }
+}

@@ -1,0 +1,330 @@
+//! Algorithm 2 (Section 6): randomly picked balancing partners.
+//!
+//! Each round, every node picks a partner uniformly at random from `V`; the
+//! sampled links form a random "network" `E` for that round, and load then
+//! moves concurrently over `E` with the same rule as Algorithm 1, where
+//! `d(i)` counts node `i`'s balancing partners *this round*. A node may be
+//! chosen by many others, so concurrency is unavoidable — which is exactly
+//! why the paper uses it as the stress test for the sequentialization
+//! technique (Lemmas 9–11, Theorems 12/14).
+//!
+//! Self-picks (probability `1/n`) produce no link, matching the paper's
+//! accounting where every pick lands on each specific node with probability
+//! `1/n`.
+
+use crate::model::{ContinuousBalancer, DiscreteBalancer, DiscreteRoundStats, RoundStats};
+use crate::potential::{phi, phi_hat};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// One round's sampled link set and the induced partner counts.
+#[derive(Debug, Clone)]
+pub struct PartnerSample {
+    /// Deduplicated undirected links, canonical `(u, v)` with `u < v`,
+    /// sorted.
+    pub links: Vec<(u32, u32)>,
+    /// `d(i)` — the number of links incident to node `i` this round.
+    pub degrees: Vec<u32>,
+}
+
+impl PartnerSample {
+    /// Maximum partner count this round (the paper's balls-into-bins
+    /// observation: `Θ(log n / log log n)` with high probability).
+    pub fn max_degree(&self) -> u32 {
+        self.degrees.iter().copied().max().unwrap_or(0)
+    }
+
+    /// Fraction of links `(i, j)` with `max(dᵢ, dⱼ) ≤ 5` — the quantity
+    /// Lemma 9 lower-bounds by `0.5`.
+    pub fn lemma9_fraction(&self) -> f64 {
+        if self.links.is_empty() {
+            return 1.0;
+        }
+        let good = self
+            .links
+            .iter()
+            .filter(|&&(u, v)| {
+                self.degrees[u as usize].max(self.degrees[v as usize]) <= 5
+            })
+            .count();
+        good as f64 / self.links.len() as f64
+    }
+}
+
+/// Draws one round of partner picks: every node picks `j ∈ V` uniformly at
+/// random; self-picks are dropped; duplicate links merge.
+pub fn sample_partners<R: Rng + ?Sized>(n: usize, rng: &mut R) -> PartnerSample {
+    assert!(n >= 2, "Algorithm 2 needs n >= 2");
+    let mut links: Vec<(u32, u32)> = Vec::with_capacity(n);
+    for i in 0..n as u32 {
+        let j = rng.gen_range(0..n as u32);
+        if j != i {
+            links.push((i.min(j), i.max(j)));
+        }
+    }
+    links.sort_unstable();
+    links.dedup();
+    let mut degrees = vec![0u32; n];
+    for &(u, v) in &links {
+        degrees[u as usize] += 1;
+        degrees[v as usize] += 1;
+    }
+    PartnerSample { links, degrees }
+}
+
+/// Applies one concurrent balancing round over a sampled link set to a
+/// continuous load vector; returns round statistics.
+pub fn partner_round(sample: &PartnerSample, loads: &mut [f64]) -> RoundStats {
+    let phi_before = phi(loads);
+    let snapshot: Vec<f64> = loads.to_vec();
+    let mut active = 0usize;
+    let mut total = 0.0f64;
+    let mut max = 0.0f64;
+    for &(u, v) in &sample.links {
+        let (lu, lv) = (snapshot[u as usize], snapshot[v as usize]);
+        let c = 4.0 * sample.degrees[u as usize].max(sample.degrees[v as usize]) as f64;
+        let w = (lu - lv).abs() / c;
+        if w > 0.0 {
+            active += 1;
+            total += w;
+            max = max.max(w);
+            if lu >= lv {
+                loads[u as usize] -= w;
+                loads[v as usize] += w;
+            } else {
+                loads[v as usize] -= w;
+                loads[u as usize] += w;
+            }
+        }
+    }
+    RoundStats { phi_before, phi_after: phi(loads), active_edges: active, total_flow: total, max_flow: max }
+}
+
+/// Discrete twin of [`partner_round`]: transfers `⌊w⌋` tokens per link.
+pub fn partner_round_discrete(sample: &PartnerSample, loads: &mut [i64]) -> DiscreteRoundStats {
+    let phi_hat_before = phi_hat(loads);
+    let snapshot: Vec<i64> = loads.to_vec();
+    let mut active = 0usize;
+    let mut total = 0u64;
+    let mut max = 0u64;
+    for &(u, v) in &sample.links {
+        let (lu, lv) = (snapshot[u as usize] as i128, snapshot[v as usize] as i128);
+        let c = 4 * sample.degrees[u as usize].max(sample.degrees[v as usize]) as i128;
+        let t = ((lu - lv).abs() / c) as i64;
+        if t > 0 {
+            active += 1;
+            total += t as u64;
+            max = max.max(t as u64);
+            if lu >= lv {
+                loads[u as usize] -= t;
+                loads[v as usize] += t;
+            } else {
+                loads[v as usize] -= t;
+                loads[u as usize] += t;
+            }
+        }
+    }
+    DiscreteRoundStats {
+        phi_hat_before,
+        phi_hat_after: phi_hat(loads),
+        active_edges: active,
+        total_tokens: total,
+        max_tokens: max,
+    }
+}
+
+/// Algorithm 2 as a continuous [`ContinuousBalancer`] with its own seeded
+/// RNG (one partner sample per round).
+#[derive(Debug)]
+pub struct RandomPartnerContinuous {
+    n: usize,
+    rng: StdRng,
+    /// The sample used by the most recent round (for diagnostics/tests).
+    pub last_sample: Option<PartnerSample>,
+}
+
+impl RandomPartnerContinuous {
+    /// Creates the balancer for `n` nodes with a deterministic seed.
+    pub fn new(n: usize, seed: u64) -> Self {
+        assert!(n >= 2, "Algorithm 2 needs n >= 2");
+        RandomPartnerContinuous { n, rng: StdRng::seed_from_u64(seed), last_sample: None }
+    }
+}
+
+impl ContinuousBalancer for RandomPartnerContinuous {
+    fn round(&mut self, loads: &mut [f64]) -> RoundStats {
+        assert_eq!(loads.len(), self.n, "load vector length must equal n");
+        let sample = sample_partners(self.n, &mut self.rng);
+        let stats = partner_round(&sample, loads);
+        self.last_sample = Some(sample);
+        stats
+    }
+
+    fn name(&self) -> &'static str {
+        "alg2-cont"
+    }
+}
+
+/// Algorithm 2 as a discrete [`DiscreteBalancer`].
+#[derive(Debug)]
+pub struct RandomPartnerDiscrete {
+    n: usize,
+    rng: StdRng,
+    /// The sample used by the most recent round.
+    pub last_sample: Option<PartnerSample>,
+}
+
+impl RandomPartnerDiscrete {
+    /// Creates the balancer for `n` nodes with a deterministic seed.
+    pub fn new(n: usize, seed: u64) -> Self {
+        assert!(n >= 2, "Algorithm 2 needs n >= 2");
+        RandomPartnerDiscrete { n, rng: StdRng::seed_from_u64(seed), last_sample: None }
+    }
+}
+
+impl DiscreteBalancer for RandomPartnerDiscrete {
+    fn round(&mut self, loads: &mut [i64]) -> DiscreteRoundStats {
+        assert_eq!(loads.len(), self.n, "load vector length must equal n");
+        let sample = sample_partners(self.n, &mut self.rng);
+        let stats = partner_round_discrete(&sample, loads);
+        self.last_sample = Some(sample);
+        stats
+    }
+
+    fn name(&self) -> &'static str {
+        "alg2-disc"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::potential;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn sample_structure_valid() {
+        let mut rng = StdRng::seed_from_u64(2);
+        for _ in 0..20 {
+            let s = sample_partners(50, &mut rng);
+            // Links canonical, sorted, deduped, no self loops.
+            for w in s.links.windows(2) {
+                assert!(w[0] < w[1]);
+            }
+            for &(u, v) in &s.links {
+                assert!(u < v);
+                assert!((v as usize) < 50);
+            }
+            // Degrees consistent with links.
+            let mut deg = vec![0u32; 50];
+            for &(u, v) in &s.links {
+                deg[u as usize] += 1;
+                deg[v as usize] += 1;
+            }
+            assert_eq!(deg, s.degrees);
+            // At most n links (each node contributes at most one).
+            assert!(s.links.len() <= 50);
+        }
+    }
+
+    #[test]
+    fn degrees_at_least_zero_at_most_n_minus_one() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let s = sample_partners(10, &mut rng);
+        assert!(s.degrees.iter().all(|&d| (d as usize) < 10));
+    }
+
+    #[test]
+    fn continuous_round_conserves_load() {
+        let mut b = RandomPartnerContinuous::new(64, 99);
+        let mut loads: Vec<f64> = (0..64).map(|i| (i % 17) as f64).collect();
+        let before: f64 = loads.iter().sum();
+        for _ in 0..50 {
+            b.round(&mut loads);
+        }
+        let after: f64 = loads.iter().sum();
+        assert!((before - after).abs() < 1e-9 * before.max(1.0));
+    }
+
+    #[test]
+    fn discrete_round_conserves_exactly() {
+        let mut b = RandomPartnerDiscrete::new(64, 7);
+        let mut loads: Vec<i64> = (0..64).map(|i| ((i * 31) % 211) as i64).collect();
+        let before = potential::total_discrete(&loads);
+        for _ in 0..100 {
+            b.round(&mut loads);
+        }
+        assert_eq!(potential::total_discrete(&loads), before);
+    }
+
+    #[test]
+    fn potential_non_increasing_each_round() {
+        // Lemma 1's argument applies per link (each node sends at most
+        // d(i)·w and w ≤ diff/(4·max d)), so Φ cannot increase.
+        let mut b = RandomPartnerContinuous::new(40, 11);
+        let mut loads: Vec<f64> = (0..40).map(|i| ((i * 13) % 29) as f64).collect();
+        for _ in 0..200 {
+            let s = b.round(&mut loads);
+            assert!(s.phi_after <= s.phi_before + 1e-9);
+        }
+    }
+
+    #[test]
+    fn converges_fast_in_expectation() {
+        // Lemma 11: E[Φ'] <= (19/20)Φ. Over 300 rounds the potential must
+        // collapse by many orders of magnitude.
+        let mut b = RandomPartnerContinuous::new(100, 5);
+        let mut loads = vec![0.0; 100];
+        loads[0] = 100.0 * 100.0;
+        let phi0 = potential::phi(&loads);
+        for _ in 0..300 {
+            b.round(&mut loads);
+        }
+        let phi_end = potential::phi(&loads);
+        assert!(
+            phi_end < phi0 * 1e-6,
+            "Φ only dropped from {phi0} to {phi_end} in 300 rounds"
+        );
+    }
+
+    #[test]
+    fn discrete_reaches_lemma13_plateau() {
+        // Theorem 14: the discrete protocol reaches Φ <= 3200n quickly.
+        let n = 128usize;
+        let mut b = RandomPartnerDiscrete::new(n, 21);
+        let mut loads = vec![0i64; n];
+        loads[0] = (n as i64) * 10_000;
+        for _ in 0..2000 {
+            b.round(&mut loads);
+            let phi = potential::phi_discrete(&loads);
+            if phi <= 3200.0 * n as f64 {
+                return;
+            }
+        }
+        panic!(
+            "discrete Algorithm 2 did not reach the 3200n plateau: Φ = {}",
+            potential::phi_discrete(&loads)
+        );
+    }
+
+    #[test]
+    fn lemma9_fraction_reasonable() {
+        // The empirical fraction of links with max(d_i,d_j) <= 5 must beat
+        // the proven 0.5 (it is ≈ 0.99 in reality).
+        let mut rng = StdRng::seed_from_u64(17);
+        let mut acc = 0.0;
+        let trials = 200;
+        for _ in 0..trials {
+            acc += sample_partners(256, &mut rng).lemma9_fraction();
+        }
+        let avg = acc / trials as f64;
+        assert!(avg > 0.5, "Lemma 9 fraction {avg} <= 0.5");
+    }
+
+    #[test]
+    #[should_panic(expected = "n >= 2")]
+    fn single_node_rejected() {
+        RandomPartnerContinuous::new(1, 0);
+    }
+}

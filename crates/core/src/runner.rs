@@ -1,0 +1,297 @@
+//! Convergence drivers: run a balancer until a potential target or a round
+//! budget is reached, optionally recording the per-round potential trace.
+
+use crate::model::{ContinuousBalancer, DiscreteBalancer};
+use crate::potential::{phi, phi_hat};
+
+/// Outcome of a continuous run.
+#[derive(Debug, Clone)]
+pub struct RunOutcome {
+    /// Rounds executed.
+    pub rounds: usize,
+    /// Whether the potential target was reached within the budget.
+    pub converged: bool,
+    /// Final potential `Φ`.
+    pub final_phi: f64,
+    /// `Φ` after each round, starting with the initial potential (length
+    /// `rounds + 1`); empty unless tracing was requested.
+    pub trace: Vec<f64>,
+}
+
+/// Runs `balancer` until `Φ ≤ target_phi` or `max_rounds` is exhausted.
+pub fn run_continuous<B: ContinuousBalancer + ?Sized>(
+    balancer: &mut B,
+    loads: &mut [f64],
+    target_phi: f64,
+    max_rounds: usize,
+    record_trace: bool,
+) -> RunOutcome {
+    let mut trace = Vec::new();
+    let phi0 = phi(loads);
+    if record_trace {
+        trace.push(phi0);
+    }
+    if phi0 <= target_phi {
+        return RunOutcome { rounds: 0, converged: true, final_phi: phi0, trace };
+    }
+    let mut current = phi0;
+    for round in 1..=max_rounds {
+        let stats = balancer.round(loads);
+        current = stats.phi_after;
+        if record_trace {
+            trace.push(current);
+        }
+        if current <= target_phi {
+            return RunOutcome { rounds: round, converged: true, final_phi: current, trace };
+        }
+    }
+    RunOutcome { rounds: max_rounds, converged: false, final_phi: current, trace }
+}
+
+/// Runs until `Φ ≤ ε·Φ₀` (the normalization used by Theorems 4 and 7).
+pub fn rounds_to_epsilon<B: ContinuousBalancer + ?Sized>(
+    balancer: &mut B,
+    loads: &mut [f64],
+    eps: f64,
+    max_rounds: usize,
+) -> RunOutcome {
+    assert!(eps > 0.0 && eps < 1.0, "ε must be in (0, 1)");
+    let target = eps * phi(loads);
+    run_continuous(balancer, loads, target, max_rounds, false)
+}
+
+/// Outcome of a discrete run; potentials are exact scaled `Φ̂ = n²·Φ`.
+#[derive(Debug, Clone)]
+pub struct DiscreteRunOutcome {
+    /// Rounds executed.
+    pub rounds: usize,
+    /// Whether the target was reached within the budget.
+    pub converged: bool,
+    /// Final `Φ̂`.
+    pub final_phi_hat: u128,
+    /// `Φ̂` after each round including the initial value; empty unless
+    /// tracing was requested.
+    pub trace: Vec<u128>,
+}
+
+impl DiscreteRunOutcome {
+    /// Final unscaled potential `Φ = Φ̂/n²`.
+    pub fn final_phi(&self, n: usize) -> f64 {
+        self.final_phi_hat as f64 / (n as f64 * n as f64)
+    }
+}
+
+/// Runs `balancer` until `Φ̂ ≤ target_phi_hat` or the budget is exhausted.
+pub fn run_discrete<B: DiscreteBalancer + ?Sized>(
+    balancer: &mut B,
+    loads: &mut [i64],
+    target_phi_hat: u128,
+    max_rounds: usize,
+    record_trace: bool,
+) -> DiscreteRunOutcome {
+    let mut trace = Vec::new();
+    let phi0 = phi_hat(loads);
+    if record_trace {
+        trace.push(phi0);
+    }
+    if phi0 <= target_phi_hat {
+        return DiscreteRunOutcome { rounds: 0, converged: true, final_phi_hat: phi0, trace };
+    }
+    let mut current = phi0;
+    for round in 1..=max_rounds {
+        let stats = balancer.round(loads);
+        current = stats.phi_hat_after;
+        if record_trace {
+            trace.push(current);
+        }
+        if current <= target_phi_hat {
+            return DiscreteRunOutcome {
+                rounds: round,
+                converged: true,
+                final_phi_hat: current,
+                trace,
+            };
+        }
+    }
+    DiscreteRunOutcome { rounds: max_rounds, converged: false, final_phi_hat: current, trace }
+}
+
+/// One row of a detailed per-round trace.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DetailedRecord {
+    /// Potential after the round.
+    pub phi: f64,
+    /// Discrepancy `max − min` after the round.
+    pub discrepancy: f64,
+    /// Edges that carried a nonzero transfer this round.
+    pub active_edges: usize,
+    /// Total load moved this round.
+    pub total_flow: f64,
+}
+
+/// Runs exactly `rounds` rounds recording per-round potential,
+/// discrepancy and flow — the instrumentation the examples and ad-hoc
+/// analyses plot. Entry 0 is the initial state (with zero flow fields).
+pub fn run_continuous_detailed<B: ContinuousBalancer + ?Sized>(
+    balancer: &mut B,
+    loads: &mut [f64],
+    rounds: usize,
+) -> Vec<DetailedRecord> {
+    let mut out = Vec::with_capacity(rounds + 1);
+    out.push(DetailedRecord {
+        phi: phi(loads),
+        discrepancy: crate::potential::discrepancy(loads),
+        active_edges: 0,
+        total_flow: 0.0,
+    });
+    for _ in 0..rounds {
+        let stats = balancer.round(loads);
+        out.push(DetailedRecord {
+            phi: stats.phi_after,
+            discrepancy: crate::potential::discrepancy(loads),
+            active_edges: stats.active_edges,
+            total_flow: stats.total_flow,
+        });
+    }
+    out
+}
+
+/// Runs a discrete balancer to a *fixed point*: stops after
+/// `quiet_rounds` consecutive rounds without any token movement (or at
+/// `max_rounds`). Returns `(rounds_executed, reached_fixed_point)`.
+///
+/// Useful for measuring the discrete protocol's terminal plateau, which
+/// Theorem 6 bounds by `64δ³n/λ₂`.
+pub fn run_discrete_to_fixed_point<B: DiscreteBalancer + ?Sized>(
+    balancer: &mut B,
+    loads: &mut [i64],
+    quiet_rounds: usize,
+    max_rounds: usize,
+) -> (usize, bool) {
+    let mut quiet = 0usize;
+    for round in 1..=max_rounds {
+        let stats = balancer.round(loads);
+        if stats.total_tokens == 0 {
+            quiet += 1;
+            if quiet >= quiet_rounds {
+                return (round, true);
+            }
+        } else {
+            quiet = 0;
+        }
+    }
+    (max_rounds, false)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::continuous::ContinuousDiffusion;
+    use crate::discrete::DiscreteDiffusion;
+    use dlb_graphs::topology;
+
+    #[test]
+    fn converges_within_theorem4_budget() {
+        let n = 32;
+        let g = topology::cycle(n);
+        let lambda2 = 2.0 - 2.0 * (2.0 * std::f64::consts::PI / n as f64).cos();
+        let eps = 1e-3;
+        let budget = crate::bounds::theorem4_rounds(2, lambda2, eps).ceil() as usize;
+        let mut loads = vec![0.0; n];
+        loads[0] = n as f64 * 10.0;
+        let mut b = ContinuousDiffusion::new(&g);
+        let out = rounds_to_epsilon(&mut b, &mut loads, eps, budget);
+        assert!(out.converged, "did not converge within the paper's bound {budget}");
+        assert!(out.rounds <= budget);
+    }
+
+    #[test]
+    fn trace_has_initial_and_per_round_entries() {
+        let g = topology::path(8);
+        let mut loads = vec![0.0; 8];
+        loads[0] = 80.0;
+        let mut b = ContinuousDiffusion::new(&g);
+        let out = run_continuous(&mut b, &mut loads, 0.0, 10, true);
+        assert_eq!(out.trace.len(), out.rounds + 1);
+        for w in out.trace.windows(2) {
+            assert!(w[1] <= w[0] + 1e-9, "trace not monotone");
+        }
+    }
+
+    #[test]
+    fn already_converged_runs_zero_rounds() {
+        let g = topology::path(4);
+        let mut loads = vec![5.0; 4];
+        let mut b = ContinuousDiffusion::new(&g);
+        let out = run_continuous(&mut b, &mut loads, 1.0, 100, false);
+        assert_eq!(out.rounds, 0);
+        assert!(out.converged);
+    }
+
+    #[test]
+    fn budget_exhaustion_reports_not_converged() {
+        let g = topology::path(16);
+        let mut loads = vec![0.0; 16];
+        loads[0] = 1e9;
+        let mut b = ContinuousDiffusion::new(&g);
+        let out = run_continuous(&mut b, &mut loads, 1e-12, 3, false);
+        assert!(!out.converged);
+        assert_eq!(out.rounds, 3);
+    }
+
+    #[test]
+    fn discrete_run_reaches_theorem6_plateau() {
+        let n = 16;
+        let g = topology::hypercube(4); // δ = 4, λ₂ = 2
+        let target = crate::bounds::theorem6_threshold_hat(4, 2.0, n);
+        let mut loads = vec![0i64; n];
+        loads[0] = 16 * 1000;
+        let mut b = DiscreteDiffusion::new(&g);
+        let budget =
+            crate::bounds::theorem6_rounds(4, 2.0, crate::potential::phi_discrete(&loads), n)
+                .ceil() as usize
+                + 1;
+        let out = run_discrete(&mut b, &mut loads, target, budget, false);
+        assert!(out.converged, "no plateau within Theorem 6 budget {budget}");
+    }
+
+    #[test]
+    fn discrete_fixed_point_detection() {
+        let g = topology::path(6);
+        let mut loads: Vec<i64> = (0..6).collect(); // already a fixed point
+        let mut b = DiscreteDiffusion::new(&g);
+        let (rounds, fixed) = run_discrete_to_fixed_point(&mut b, &mut loads, 3, 100);
+        assert!(fixed);
+        assert_eq!(rounds, 3);
+    }
+
+    #[test]
+    fn detailed_trace_records_everything() {
+        let g = topology::cycle(8);
+        let mut loads = vec![0.0; 8];
+        loads[0] = 80.0;
+        let mut b = ContinuousDiffusion::new(&g);
+        let trace = run_continuous_detailed(&mut b, &mut loads, 5);
+        assert_eq!(trace.len(), 6);
+        assert_eq!(trace[0].total_flow, 0.0);
+        assert!((trace[0].discrepancy - 80.0).abs() < 1e-12);
+        for w in trace.windows(2) {
+            assert!(w[1].phi <= w[0].phi + 1e-9, "Φ not monotone in trace");
+        }
+        assert!(trace[1].active_edges > 0);
+        assert!(trace[1].total_flow > 0.0);
+        // Discrepancy shrinks over the run too (not necessarily per round).
+        assert!(trace.last().unwrap().discrepancy < 80.0);
+    }
+
+    #[test]
+    fn discrete_final_phi_scaling() {
+        let out = DiscreteRunOutcome {
+            rounds: 0,
+            converged: true,
+            final_phi_hat: 400,
+            trace: vec![],
+        };
+        assert!((out.final_phi(10) - 4.0).abs() < 1e-12);
+    }
+}

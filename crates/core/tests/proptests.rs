@@ -1,0 +1,116 @@
+//! Property-based tests for dlb-core beyond the workspace-level suites:
+//! the heterogeneous extension, the generalized-divisor executor, and the
+//! theorem-bound calculators' monotonicity.
+
+use dlb_core::bounds;
+use dlb_core::continuous::{ContinuousDiffusion, GeneralizedDiffusion};
+use dlb_core::heterogeneous::{weighted_phi, HeterogeneousDiffusion};
+use dlb_core::model::ContinuousBalancer;
+use dlb_graphs::{topology, Graph};
+use proptest::prelude::*;
+
+fn arb_graph() -> impl Strategy<Value = Graph> {
+    (0u8..4, 4usize..20).prop_map(|(family, n)| match family {
+        0 => topology::cycle(n.max(3)),
+        1 => topology::star(n),
+        2 => topology::binary_tree(n),
+        _ => topology::wheel(n.max(4)),
+    })
+}
+
+fn graph_loads_caps() -> impl Strategy<Value = (Graph, Vec<f64>, Vec<f64>)> {
+    arb_graph().prop_flat_map(|g| {
+        let n = g.n();
+        (
+            Just(g),
+            proptest::collection::vec(0.0f64..10_000.0, n),
+            proptest::collection::vec(0.25f64..16.0, n),
+        )
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn heterogeneous_conserves_and_contracts((g, mut loads, caps) in graph_loads_caps()) {
+        let total: f64 = loads.iter().sum();
+        let phi_before = weighted_phi(&loads, &caps);
+        let mut exec = HeterogeneousDiffusion::new(&g, caps.clone());
+        exec.round(&mut loads);
+        let after: f64 = loads.iter().sum();
+        prop_assert!((total - after).abs() < 1e-8 * total.max(1.0));
+        let phi_after = weighted_phi(&loads, &caps);
+        prop_assert!(
+            phi_after <= phi_before * (1.0 + 1e-12) + 1e-9,
+            "Φ_c increased: {phi_before} -> {phi_after}"
+        );
+    }
+
+    #[test]
+    fn heterogeneous_unit_caps_equal_algorithm1((g, loads, _) in graph_loads_caps()) {
+        let mut a = loads.clone();
+        let mut b = loads;
+        ContinuousDiffusion::new(&g).round(&mut a);
+        HeterogeneousDiffusion::new(&g, vec![1.0; g.n()]).round(&mut b);
+        for (x, y) in a.iter().zip(&b) {
+            prop_assert!((x - y).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn generalized_k_at_least_two_is_monotone(
+        (g, mut loads, _) in graph_loads_caps(),
+        k in 2.0f64..16.0,
+    ) {
+        let mut exec = GeneralizedDiffusion::new(&g, k);
+        let total: f64 = loads.iter().sum();
+        for _ in 0..5 {
+            let s = exec.round(&mut loads);
+            prop_assert!(s.phi_after <= s.phi_before * (1.0 + 1e-12) + 1e-9);
+        }
+        let after: f64 = loads.iter().sum();
+        prop_assert!((total - after).abs() < 1e-8 * total.max(1.0));
+    }
+
+    #[test]
+    fn theorem4_bound_monotonicity(
+        delta in 1u32..64,
+        lambda2 in 0.01f64..16.0,
+        eps in 1e-9f64..0.5,
+    ) {
+        let t = bounds::theorem4_rounds(delta, lambda2, eps);
+        prop_assert!(t > 0.0);
+        // Monotone in each parameter.
+        prop_assert!(bounds::theorem4_rounds(delta + 1, lambda2, eps) > t);
+        prop_assert!(bounds::theorem4_rounds(delta, lambda2 * 1.5, eps) < t);
+        prop_assert!(bounds::theorem4_rounds(delta, lambda2, eps / 2.0) > t);
+        // Theorem 6's threshold grows with δ and n.
+        let th = bounds::theorem6_threshold(delta, lambda2, 100);
+        prop_assert!(bounds::theorem6_threshold(delta + 1, lambda2, 100) > th);
+        prop_assert!(bounds::theorem6_threshold(delta, lambda2, 200) > th);
+    }
+
+    #[test]
+    fn theorem12_budget_and_probability_consistent(
+        c in 0.5f64..8.0,
+        phi0 in 2.0f64..1e12,
+    ) {
+        let t = bounds::theorem12_rounds(c, phi0);
+        prop_assert!(t > 0.0);
+        let p = bounds::theorem12_success_probability(c, phi0);
+        // p saturates to exactly 1.0 in f64 once Φ₀^{−c/4} underflows ulp.
+        prop_assert!((0.0..=1.0).contains(&p));
+        // More rounds budget (larger c) ⇒ no lower success probability.
+        let p2 = bounds::theorem12_success_probability(c + 1.0, phi0);
+        prop_assert!(p2 >= p);
+    }
+
+    #[test]
+    fn scaled_thresholds_consistent(n in 2usize..2048) {
+        // Φ̂ threshold = n² × Φ threshold, exactly enough for comparisons.
+        let hat = bounds::lemma13_threshold_hat(n) as f64;
+        let plain = bounds::lemma13_threshold(n) * (n * n) as f64;
+        prop_assert!((hat - plain).abs() < 1.0);
+    }
+}

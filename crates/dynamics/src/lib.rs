@@ -1,0 +1,31 @@
+#![warn(missing_docs)]
+
+//! # dlb-dynamics
+//!
+//! Dynamic-network substrate for Section 5 of the paper (and \[10\]'s model):
+//! the node set is fixed while the *active edge set* changes from round to
+//! round, described by a sequence of graphs `(G_k)`. Every node knows the
+//! edges active in the current step, so a round of Algorithm 1 simply runs
+//! on `G_k`.
+//!
+//! * [`sequence`] — the [`GraphSequence`] trait and the concrete churn
+//!   models used by experiments E6/E7: i.i.d. random edge subsets, Markov
+//!   (up/down) edge churn, periodic schedules, adversarial matching-only
+//!   rounds, and total-outage failure injection;
+//! * [`runner`] — drivers executing continuous/discrete diffusion over a
+//!   sequence, optionally recording the per-round spectral ratios
+//!   `λ₂⁽ᵏ⁾/δ⁽ᵏ⁾` that Theorems 7/8 average;
+//! * [`partners`] — Algorithm 2's sampled link sets viewed as a random
+//!   graph sequence (the paper's closing remark in Section 6), with the
+//!   exact equivalence to `dlb-core::random_partner` tested.
+
+pub mod partners;
+pub mod runner;
+pub mod sequence;
+
+pub use runner::{run_dynamic_continuous, run_dynamic_discrete, DynamicContinuousOutcome,
+                 DynamicDiscreteOutcome};
+pub use sequence::{
+    GraphSequence, IidSubgraphSequence, MarkovChurnSequence, MatchingOnlySequence,
+    OutageSequence, PeriodicSequence, StaticSequence,
+};

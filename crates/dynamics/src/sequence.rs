@@ -1,0 +1,341 @@
+//! Graph sequences `(G_k)` — the dynamic-network models.
+//!
+//! All models operate on a fixed *ground graph* and expose per-round active
+//! subgraphs; this matches \[10\]'s setting where the infrastructure is fixed
+//! but links fail/recover. Randomized models take a seed at construction
+//! and are fully reproducible.
+
+use dlb_graphs::{matching, Graph};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A source of per-round network topologies over a fixed node set.
+pub trait GraphSequence {
+    /// Number of nodes (constant across rounds).
+    fn n(&self) -> usize;
+    /// Produces the active graph of the next round.
+    fn next_graph(&mut self) -> Graph;
+    /// Model name for experiment tables.
+    fn name(&self) -> &'static str;
+}
+
+/// The degenerate sequence: every round uses the same graph. Running the
+/// dynamic machinery over it must reproduce the fixed-network results —
+/// an integration-test invariant.
+#[derive(Debug, Clone)]
+pub struct StaticSequence {
+    g: Graph,
+}
+
+impl StaticSequence {
+    /// Wraps a fixed graph.
+    pub fn new(g: Graph) -> Self {
+        StaticSequence { g }
+    }
+}
+
+impl GraphSequence for StaticSequence {
+    fn n(&self) -> usize {
+        self.g.n()
+    }
+
+    fn next_graph(&mut self) -> Graph {
+        self.g.clone()
+    }
+
+    fn name(&self) -> &'static str {
+        "static"
+    }
+}
+
+/// Each round keeps every ground edge independently with probability `p`
+/// (fresh i.i.d. sample per round).
+#[derive(Debug)]
+pub struct IidSubgraphSequence {
+    ground: Graph,
+    p: f64,
+    rng: StdRng,
+}
+
+impl IidSubgraphSequence {
+    /// Creates the model; `p ∈ [0, 1]`.
+    pub fn new(ground: Graph, p: f64, seed: u64) -> Self {
+        assert!((0.0..=1.0).contains(&p), "p must be in [0, 1] (p = {p})");
+        IidSubgraphSequence { ground, p, rng: StdRng::seed_from_u64(seed) }
+    }
+}
+
+impl GraphSequence for IidSubgraphSequence {
+    fn n(&self) -> usize {
+        self.ground.n()
+    }
+
+    fn next_graph(&mut self) -> Graph {
+        let rng = &mut self.rng;
+        let p = self.p;
+        self.ground.edge_subgraph(|_, _| rng.gen::<f64>() < p)
+    }
+
+    fn name(&self) -> &'static str {
+        "iid-subgraph"
+    }
+}
+
+/// Markov edge churn: each ground edge is an independent two-state chain —
+/// an *up* edge goes down with probability `p_fail`, a *down* edge recovers
+/// with probability `p_recover`. Stationary availability is
+/// `p_recover/(p_fail + p_recover)`.
+#[derive(Debug)]
+pub struct MarkovChurnSequence {
+    ground: Graph,
+    p_fail: f64,
+    p_recover: f64,
+    up: Vec<bool>,
+    rng: StdRng,
+}
+
+impl MarkovChurnSequence {
+    /// Creates the chain with all edges initially up.
+    pub fn new(ground: Graph, p_fail: f64, p_recover: f64, seed: u64) -> Self {
+        assert!((0.0..=1.0).contains(&p_fail));
+        assert!((0.0..=1.0).contains(&p_recover));
+        let m = ground.m();
+        MarkovChurnSequence {
+            ground,
+            p_fail,
+            p_recover,
+            up: vec![true; m],
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    /// Long-run fraction of time an edge is up.
+    pub fn stationary_availability(&self) -> f64 {
+        if self.p_fail + self.p_recover == 0.0 {
+            1.0
+        } else {
+            self.p_recover / (self.p_fail + self.p_recover)
+        }
+    }
+}
+
+impl GraphSequence for MarkovChurnSequence {
+    fn n(&self) -> usize {
+        self.ground.n()
+    }
+
+    fn next_graph(&mut self) -> Graph {
+        for state in self.up.iter_mut() {
+            let flip = if *state { self.p_fail } else { self.p_recover };
+            if self.rng.gen::<f64>() < flip {
+                *state = !*state;
+            }
+        }
+        let up = &self.up;
+        self.ground.edge_subgraph(|k, _| up[k])
+    }
+
+    fn name(&self) -> &'static str {
+        "markov-churn"
+    }
+}
+
+/// Cycles deterministically through a fixed list of graphs — e.g. a TDMA-
+/// style schedule where different link subsets are active in different
+/// slots.
+#[derive(Debug, Clone)]
+pub struct PeriodicSequence {
+    graphs: Vec<Graph>,
+    idx: usize,
+}
+
+impl PeriodicSequence {
+    /// Creates the schedule; all graphs must share the node count.
+    pub fn new(graphs: Vec<Graph>) -> Self {
+        assert!(!graphs.is_empty(), "schedule must be non-empty");
+        let n = graphs[0].n();
+        assert!(graphs.iter().all(|g| g.n() == n), "all graphs must share n");
+        PeriodicSequence { graphs, idx: 0 }
+    }
+
+    /// Schedule length.
+    pub fn period(&self) -> usize {
+        self.graphs.len()
+    }
+}
+
+impl GraphSequence for PeriodicSequence {
+    fn n(&self) -> usize {
+        self.graphs[0].n()
+    }
+
+    fn next_graph(&mut self) -> Graph {
+        let g = self.graphs[self.idx].clone();
+        self.idx = (self.idx + 1) % self.graphs.len();
+        g
+    }
+
+    fn name(&self) -> &'static str {
+        "periodic"
+    }
+}
+
+/// Adversarial slow model: each round activates only a random maximal
+/// matching of the ground graph (`δ⁽ᵏ⁾ = 1`), the minimum concurrent
+/// topology that still makes progress — effectively forcing diffusion to
+/// behave like dimension exchange.
+#[derive(Debug)]
+pub struct MatchingOnlySequence {
+    ground: Graph,
+    rng: StdRng,
+}
+
+impl MatchingOnlySequence {
+    /// Creates the model.
+    pub fn new(ground: Graph, seed: u64) -> Self {
+        MatchingOnlySequence { ground, rng: StdRng::seed_from_u64(seed) }
+    }
+}
+
+impl GraphSequence for MatchingOnlySequence {
+    fn n(&self) -> usize {
+        self.ground.n()
+    }
+
+    fn next_graph(&mut self) -> Graph {
+        let m = matching::random_greedy_matching(&self.ground, &mut self.rng);
+        Graph::from_edges(self.ground.n(), m.pairs().iter().copied())
+            .expect("matching edges are valid")
+    }
+
+    fn name(&self) -> &'static str {
+        "matching-only"
+    }
+}
+
+/// Failure injection: wraps another sequence and blacks out every
+/// `outage_every`-th round with an empty edge set (total communication
+/// outage). Load must be conserved and the potential frozen in outage
+/// rounds — the integration suite asserts both.
+pub struct OutageSequence<S> {
+    inner: S,
+    outage_every: usize,
+    counter: usize,
+}
+
+impl<S: GraphSequence> OutageSequence<S> {
+    /// Wraps `inner`; rounds `outage_every, 2·outage_every, …` are outages.
+    pub fn new(inner: S, outage_every: usize) -> Self {
+        assert!(outage_every >= 1, "outage period must be >= 1");
+        OutageSequence { inner, outage_every, counter: 0 }
+    }
+}
+
+impl<S: GraphSequence> GraphSequence for OutageSequence<S> {
+    fn n(&self) -> usize {
+        self.inner.n()
+    }
+
+    fn next_graph(&mut self) -> Graph {
+        self.counter += 1;
+        if self.counter % self.outage_every == 0 {
+            // Consume the inner round too, keeping its RNG stream aligned.
+            let g = self.inner.next_graph();
+            g.edge_subgraph(|_, _| false)
+        } else {
+            self.inner.next_graph()
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "outage"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dlb_graphs::topology;
+
+    #[test]
+    fn static_sequence_repeats() {
+        let mut s = StaticSequence::new(topology::cycle(6));
+        let g1 = s.next_graph();
+        let g2 = s.next_graph();
+        assert_eq!(g1.edges(), g2.edges());
+        assert_eq!(s.n(), 6);
+    }
+
+    #[test]
+    fn iid_subgraph_respects_p_extremes() {
+        let ground = topology::complete(8);
+        let mut all = IidSubgraphSequence::new(ground.clone(), 1.0, 1);
+        assert_eq!(all.next_graph().m(), ground.m());
+        let mut none = IidSubgraphSequence::new(ground, 0.0, 1);
+        assert_eq!(none.next_graph().m(), 0);
+    }
+
+    #[test]
+    fn iid_subgraph_keeps_roughly_p_edges() {
+        let ground = topology::complete(24); // m = 276
+        let mut s = IidSubgraphSequence::new(ground, 0.5, 42);
+        let mut total = 0usize;
+        let rounds = 100;
+        for _ in 0..rounds {
+            total += s.next_graph().m();
+        }
+        let avg = total as f64 / rounds as f64;
+        assert!((avg - 138.0).abs() < 12.0, "avg kept edges {avg}, want ≈138");
+    }
+
+    #[test]
+    fn markov_churn_stationary_availability() {
+        let ground = topology::complete(16); // m = 120
+        let mut s = MarkovChurnSequence::new(ground, 0.3, 0.6, 7);
+        assert!((s.stationary_availability() - 2.0 / 3.0).abs() < 1e-12);
+        // Burn in, then measure.
+        for _ in 0..200 {
+            s.next_graph();
+        }
+        let mut total = 0usize;
+        let rounds = 400;
+        for _ in 0..rounds {
+            total += s.next_graph().m();
+        }
+        let avg = total as f64 / rounds as f64 / 120.0;
+        assert!((avg - 2.0 / 3.0).abs() < 0.05, "measured availability {avg}");
+    }
+
+    #[test]
+    fn periodic_cycles_through_schedule() {
+        let a = topology::path(5);
+        let b = topology::cycle(5);
+        let mut s = PeriodicSequence::new(vec![a.clone(), b.clone()]);
+        assert_eq!(s.period(), 2);
+        assert_eq!(s.next_graph().m(), a.m());
+        assert_eq!(s.next_graph().m(), b.m());
+        assert_eq!(s.next_graph().m(), a.m());
+    }
+
+    #[test]
+    #[should_panic(expected = "share n")]
+    fn periodic_rejects_mismatched_sizes() {
+        PeriodicSequence::new(vec![topology::path(4), topology::path(5)]);
+    }
+
+    #[test]
+    fn matching_only_has_degree_at_most_one() {
+        let mut s = MatchingOnlySequence::new(topology::torus2d(4, 4), 3);
+        for _ in 0..20 {
+            let g = s.next_graph();
+            assert!(g.max_degree() <= 1);
+        }
+    }
+
+    #[test]
+    fn outage_rounds_are_empty() {
+        let mut s = OutageSequence::new(StaticSequence::new(topology::cycle(8)), 3);
+        let sizes: Vec<usize> = (0..9).map(|_| s.next_graph().m()).collect();
+        assert_eq!(sizes, vec![8, 8, 0, 8, 8, 0, 8, 8, 0]);
+    }
+}

@@ -1,0 +1,370 @@
+//! Compact undirected graph representation.
+//!
+//! The balancing algorithms in `dlb-core` iterate over *edges* (to compute
+//! pairwise flows) and over *neighbourhoods* (to compute degrees and
+//! per-node fan-out), so [`Graph`] stores both a CSR adjacency structure and
+//! a canonical edge list `(u, v)` with `u < v`. Graphs are immutable after
+//! construction; dynamic-network models (Section 5 of the paper) are
+//! modelled as sequences of immutable graphs.
+
+use std::fmt;
+
+/// Errors raised while constructing a [`Graph`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum GraphError {
+    /// An endpoint was `>= n`.
+    NodeOutOfRange {
+        /// The offending node id.
+        node: u32,
+        /// The graph's node count.
+        n: usize,
+    },
+    /// A self-loop `(v, v)` was supplied. The balancing model has no use for
+    /// self-loops (a node never transfers load to itself), so they are
+    /// rejected rather than silently dropped.
+    SelfLoop {
+        /// The node with the self-loop.
+        node: u32,
+    },
+    /// The requested graph has zero nodes.
+    Empty,
+}
+
+impl fmt::Display for GraphError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GraphError::NodeOutOfRange { node, n } => {
+                write!(f, "node {node} out of range for graph with {n} nodes")
+            }
+            GraphError::SelfLoop { node } => write!(f, "self-loop at node {node}"),
+            GraphError::Empty => write!(f, "graph must have at least one node"),
+        }
+    }
+}
+
+impl std::error::Error for GraphError {}
+
+/// An immutable, undirected, simple graph in CSR form.
+///
+/// Node identifiers are `u32` (the literature's instances are at most a few
+/// million nodes; `u32` halves the memory traffic of the hot edge loops
+/// compared to `usize`).
+#[derive(Clone, PartialEq, Eq)]
+pub struct Graph {
+    /// CSR offsets, length `n + 1`.
+    offsets: Vec<usize>,
+    /// Concatenated sorted neighbour lists, length `2m`.
+    neighbors: Vec<u32>,
+    /// Canonical edge list with `u < v`, sorted lexicographically.
+    edges: Vec<(u32, u32)>,
+    /// Cached maximum degree `δ`.
+    max_degree: u32,
+}
+
+impl fmt::Debug for Graph {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Graph")
+            .field("n", &self.n())
+            .field("m", &self.m())
+            .field("max_degree", &self.max_degree)
+            .finish()
+    }
+}
+
+impl Graph {
+    /// Builds a graph on `n` nodes from an iterator of undirected edges.
+    ///
+    /// Duplicate edges are merged (the graph is simple); self-loops and
+    /// out-of-range endpoints are errors.
+    pub fn from_edges<I>(n: usize, edges: I) -> Result<Self, GraphError>
+    where
+        I: IntoIterator<Item = (u32, u32)>,
+    {
+        let mut b = GraphBuilder::new(n)?;
+        for (u, v) in edges {
+            b.add_edge(u, v)?;
+        }
+        Ok(b.build())
+    }
+
+    /// Number of nodes `n`.
+    #[inline]
+    pub fn n(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    /// Number of undirected edges `m = |E|`.
+    #[inline]
+    pub fn m(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Degree of node `v`.
+    #[inline]
+    pub fn degree(&self, v: u32) -> u32 {
+        let v = v as usize;
+        (self.offsets[v + 1] - self.offsets[v]) as u32
+    }
+
+    /// Maximum degree `δ` over all nodes (0 for an edgeless graph).
+    #[inline]
+    pub fn max_degree(&self) -> u32 {
+        self.max_degree
+    }
+
+    /// Minimum degree over all nodes.
+    pub fn min_degree(&self) -> u32 {
+        (0..self.n() as u32).map(|v| self.degree(v)).min().unwrap_or(0)
+    }
+
+    /// Sorted slice of neighbours of `v`.
+    #[inline]
+    pub fn neighbors(&self, v: u32) -> &[u32] {
+        let v = v as usize;
+        &self.neighbors[self.offsets[v]..self.offsets[v + 1]]
+    }
+
+    /// Canonical edge list: each undirected edge appears once as `(u, v)`
+    /// with `u < v`, sorted lexicographically.
+    #[inline]
+    pub fn edges(&self) -> &[(u32, u32)] {
+        &self.edges
+    }
+
+    /// Whether `(u, v)` is an edge. `O(log δ)` via binary search.
+    pub fn has_edge(&self, u: u32, v: u32) -> bool {
+        if u as usize >= self.n() || v as usize >= self.n() {
+            return false;
+        }
+        self.neighbors(u).binary_search(&v).is_ok()
+    }
+
+    /// Iterator over node ids `0..n`.
+    pub fn nodes(&self) -> impl Iterator<Item = u32> + '_ {
+        0..self.n() as u32
+    }
+
+    /// Sum of all degrees; equals `2m` (handshake lemma).
+    pub fn degree_sum(&self) -> usize {
+        self.neighbors.len()
+    }
+
+    /// Returns the subgraph on the same node set keeping exactly the edges
+    /// for which `keep(edge_index, (u, v))` returns `true`.
+    ///
+    /// This is the primitive the dynamic-network model (paper Section 5) is
+    /// built on: `G_k` is a per-round edge subset of a ground graph.
+    pub fn edge_subgraph<F>(&self, mut keep: F) -> Graph
+    where
+        F: FnMut(usize, (u32, u32)) -> bool,
+    {
+        let kept: Vec<(u32, u32)> = self
+            .edges
+            .iter()
+            .enumerate()
+            .filter(|(k, &e)| keep(*k, e))
+            .map(|(_, &e)| e)
+            .collect();
+        // Edges come from an existing valid graph, so rebuilding cannot fail.
+        Graph::from_edges(self.n(), kept).expect("subgraph of a valid graph is valid")
+    }
+
+    /// Average degree `2m / n`.
+    pub fn avg_degree(&self) -> f64 {
+        self.degree_sum() as f64 / self.n() as f64
+    }
+}
+
+/// Incremental builder for [`Graph`].
+///
+/// Collects edges (deduplicating at [`GraphBuilder::build`] time), validates
+/// endpoints eagerly so errors point at the offending call site.
+#[derive(Debug)]
+pub struct GraphBuilder {
+    n: usize,
+    edges: Vec<(u32, u32)>,
+}
+
+impl GraphBuilder {
+    /// Creates a builder for a graph on `n ≥ 1` nodes.
+    pub fn new(n: usize) -> Result<Self, GraphError> {
+        if n == 0 {
+            return Err(GraphError::Empty);
+        }
+        Ok(GraphBuilder { n, edges: Vec::new() })
+    }
+
+    /// Creates a builder with preallocated capacity for `m` edges.
+    pub fn with_capacity(n: usize, m: usize) -> Result<Self, GraphError> {
+        let mut b = Self::new(n)?;
+        b.edges.reserve(m);
+        Ok(b)
+    }
+
+    /// Adds the undirected edge `{u, v}`. Order does not matter; duplicates
+    /// are merged when the graph is built.
+    pub fn add_edge(&mut self, u: u32, v: u32) -> Result<&mut Self, GraphError> {
+        if u as usize >= self.n {
+            return Err(GraphError::NodeOutOfRange { node: u, n: self.n });
+        }
+        if v as usize >= self.n {
+            return Err(GraphError::NodeOutOfRange { node: v, n: self.n });
+        }
+        if u == v {
+            return Err(GraphError::SelfLoop { node: u });
+        }
+        self.edges.push((u.min(v), u.max(v)));
+        Ok(self)
+    }
+
+    /// Number of (not yet deduplicated) edges added so far.
+    pub fn pending_edges(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Finalizes the CSR structure.
+    pub fn build(mut self) -> Graph {
+        self.edges.sort_unstable();
+        self.edges.dedup();
+        let n = self.n;
+        let mut degrees = vec![0usize; n];
+        for &(u, v) in &self.edges {
+            degrees[u as usize] += 1;
+            degrees[v as usize] += 1;
+        }
+        let mut offsets = Vec::with_capacity(n + 1);
+        let mut acc = 0usize;
+        offsets.push(0);
+        for &d in &degrees {
+            acc += d;
+            offsets.push(acc);
+        }
+        let mut cursor = offsets.clone();
+        let mut neighbors = vec![0u32; acc];
+        for &(u, v) in &self.edges {
+            neighbors[cursor[u as usize]] = v;
+            cursor[u as usize] += 1;
+            neighbors[cursor[v as usize]] = u;
+            cursor[v as usize] += 1;
+        }
+        // Neighbour lists are filled in increasing order of the *other*
+        // endpoint only for the `u < v` direction; sort each list so
+        // `has_edge` can binary-search.
+        for v in 0..n {
+            neighbors[offsets[v]..offsets[v + 1]].sort_unstable();
+        }
+        let max_degree = degrees.iter().copied().max().unwrap_or(0) as u32;
+        Graph { offsets, neighbors, edges: self.edges, max_degree }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn triangle() -> Graph {
+        Graph::from_edges(3, [(0, 1), (1, 2), (0, 2)]).unwrap()
+    }
+
+    #[test]
+    fn builds_triangle() {
+        let g = triangle();
+        assert_eq!(g.n(), 3);
+        assert_eq!(g.m(), 3);
+        assert_eq!(g.max_degree(), 2);
+        assert_eq!(g.min_degree(), 2);
+        for v in 0..3 {
+            assert_eq!(g.degree(v), 2);
+        }
+    }
+
+    #[test]
+    fn neighbors_sorted_and_complete() {
+        let g = Graph::from_edges(5, [(4, 0), (2, 0), (0, 1), (3, 0)]).unwrap();
+        assert_eq!(g.neighbors(0), &[1, 2, 3, 4]);
+        assert_eq!(g.degree(0), 4);
+        assert_eq!(g.max_degree(), 4);
+        for v in 1..5 {
+            assert_eq!(g.neighbors(v), &[0]);
+        }
+    }
+
+    #[test]
+    fn duplicate_edges_merge() {
+        let g = Graph::from_edges(3, [(0, 1), (1, 0), (0, 1)]).unwrap();
+        assert_eq!(g.m(), 1);
+        assert_eq!(g.degree(0), 1);
+    }
+
+    #[test]
+    fn rejects_self_loop() {
+        let err = Graph::from_edges(3, [(1, 1)]).unwrap_err();
+        assert_eq!(err, GraphError::SelfLoop { node: 1 });
+    }
+
+    #[test]
+    fn rejects_out_of_range() {
+        let err = Graph::from_edges(3, [(0, 3)]).unwrap_err();
+        assert_eq!(err, GraphError::NodeOutOfRange { node: 3, n: 3 });
+    }
+
+    #[test]
+    fn rejects_empty_graph() {
+        assert_eq!(GraphBuilder::new(0).unwrap_err(), GraphError::Empty);
+    }
+
+    #[test]
+    fn single_node_graph_is_valid() {
+        let g = Graph::from_edges(1, std::iter::empty()).unwrap();
+        assert_eq!(g.n(), 1);
+        assert_eq!(g.m(), 0);
+        assert_eq!(g.max_degree(), 0);
+    }
+
+    #[test]
+    fn has_edge_symmetric() {
+        let g = triangle();
+        assert!(g.has_edge(0, 1));
+        assert!(g.has_edge(1, 0));
+        assert!(!g.has_edge(0, 0));
+        assert!(!g.has_edge(0, 7));
+    }
+
+    #[test]
+    fn edge_list_canonical() {
+        let g = Graph::from_edges(4, [(3, 1), (2, 0), (1, 0)]).unwrap();
+        assert_eq!(g.edges(), &[(0, 1), (0, 2), (1, 3)]);
+    }
+
+    #[test]
+    fn handshake_lemma() {
+        let g = triangle();
+        assert_eq!(g.degree_sum(), 2 * g.m());
+        let total: u32 = g.nodes().map(|v| g.degree(v)).sum();
+        assert_eq!(total as usize, 2 * g.m());
+    }
+
+    #[test]
+    fn edge_subgraph_keeps_selected() {
+        let g = triangle();
+        let h = g.edge_subgraph(|_, (u, v)| (u, v) != (0, 2));
+        assert_eq!(h.n(), 3);
+        assert_eq!(h.m(), 2);
+        assert!(h.has_edge(0, 1));
+        assert!(h.has_edge(1, 2));
+        assert!(!h.has_edge(0, 2));
+    }
+
+    #[test]
+    fn edge_subgraph_empty_keep() {
+        let g = triangle();
+        let h = g.edge_subgraph(|_, _| false);
+        assert_eq!(h.m(), 0);
+        assert_eq!(h.max_degree(), 0);
+    }
+
+    #[test]
+    fn avg_degree_triangle() {
+        assert!((triangle().avg_degree() - 2.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,38 @@
+#![warn(missing_docs)]
+
+//! # dlb-graphs
+//!
+//! Graph substrate for the reproduction of Berenbrink–Friedetzky–Hu,
+//! *A New Analytical Method for Parallel, Diffusion-type Load Balancing*
+//! (IPPS 2006).
+//!
+//! The paper's model is an arbitrary connected network `G = (V, E)` with
+//! maximum degree `δ`; every theorem is parameterized by `δ` and by the
+//! second-smallest eigenvalue `λ₂` of the Laplacian of `G`. This crate
+//! provides:
+//!
+//! * [`Graph`] — a compact CSR (compressed sparse row) undirected graph with
+//!   a canonical edge list, the representation every balancer iterates over;
+//! * [`topology`] — the standard topology families used throughout the
+//!   diffusion load-balancing literature (path, cycle, grid, torus,
+//!   hypercube, de Bruijn, expanders, …), each documented with its known
+//!   spectral parameters;
+//! * [`matching`] — random matching generators, the substrate of the
+//!   Ghosh–Muthukrishnan dimension-exchange baseline;
+//! * [`expansion`] — exact edge expansion for small graphs and Cheeger-type
+//!   bounds, connecting `λ₂` to the combinatorial expansion `α` used in the
+//!   paper's Section 4;
+//! * [`traversal`] — BFS utilities (connectivity, diameter, components).
+//!
+//! All randomized constructions take an explicit [`rand::Rng`] so that every
+//! experiment in the workspace is reproducible from a single `u64` seed.
+
+pub mod expansion;
+pub mod graph;
+pub mod io;
+pub mod matching;
+pub mod topology;
+pub mod traversal;
+
+pub use graph::{Graph, GraphBuilder, GraphError};
+pub use matching::Matching;

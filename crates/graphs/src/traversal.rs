@@ -1,0 +1,125 @@
+//! Breadth-first traversal utilities: connectivity, components, distances.
+//!
+//! The balancing theorems implicitly assume a connected network (otherwise
+//! `λ₂ = 0` and no bound is finite), so the experiment harness validates
+//! connectivity of every generated instance with [`is_connected`].
+
+use crate::graph::Graph;
+use std::collections::VecDeque;
+
+/// BFS distances from `source`; unreachable nodes get `u32::MAX`.
+pub fn bfs_distances(g: &Graph, source: u32) -> Vec<u32> {
+    assert!((source as usize) < g.n(), "source out of range");
+    let mut dist = vec![u32::MAX; g.n()];
+    let mut queue = VecDeque::new();
+    dist[source as usize] = 0;
+    queue.push_back(source);
+    while let Some(v) = queue.pop_front() {
+        let dv = dist[v as usize];
+        for &u in g.neighbors(v) {
+            if dist[u as usize] == u32::MAX {
+                dist[u as usize] = dv + 1;
+                queue.push_back(u);
+            }
+        }
+    }
+    dist
+}
+
+/// Whether the graph is connected (single-node graphs are connected).
+pub fn is_connected(g: &Graph) -> bool {
+    bfs_distances(g, 0).iter().all(|&d| d != u32::MAX)
+}
+
+/// Connected components as a label vector: `labels[v]` is the smallest node
+/// id in `v`'s component. Returns `(labels, component_count)`.
+pub fn components(g: &Graph) -> (Vec<u32>, usize) {
+    let mut labels = vec![u32::MAX; g.n()];
+    let mut count = 0usize;
+    let mut queue = VecDeque::new();
+    for start in 0..g.n() as u32 {
+        if labels[start as usize] != u32::MAX {
+            continue;
+        }
+        count += 1;
+        labels[start as usize] = start;
+        queue.push_back(start);
+        while let Some(v) = queue.pop_front() {
+            for &u in g.neighbors(v) {
+                if labels[u as usize] == u32::MAX {
+                    labels[u as usize] = start;
+                    queue.push_back(u);
+                }
+            }
+        }
+    }
+    (labels, count)
+}
+
+/// Exact diameter via BFS from every node. `O(n·m)` — intended for the
+/// moderate instance sizes used in experiments. Returns `None` if the graph
+/// is disconnected.
+pub fn diameter(g: &Graph) -> Option<u32> {
+    let mut best = 0u32;
+    for v in 0..g.n() as u32 {
+        let dist = bfs_distances(g, v);
+        let ecc = *dist.iter().max().expect("n >= 1");
+        if ecc == u32::MAX {
+            return None;
+        }
+        best = best.max(ecc);
+    }
+    Some(best)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::topology;
+
+    #[test]
+    fn distances_on_path() {
+        let g = topology::path(5);
+        assert_eq!(bfs_distances(&g, 0), vec![0, 1, 2, 3, 4]);
+        assert_eq!(bfs_distances(&g, 2), vec![2, 1, 0, 1, 2]);
+    }
+
+    #[test]
+    fn disconnected_detected() {
+        let g = Graph::from_edges(4, [(0, 1), (2, 3)]).unwrap();
+        assert!(!is_connected(&g));
+        let (labels, count) = components(&g);
+        assert_eq!(count, 2);
+        assert_eq!(labels, vec![0, 0, 2, 2]);
+    }
+
+    #[test]
+    fn singleton_components() {
+        let g = Graph::from_edges(3, std::iter::empty()).unwrap();
+        let (_, count) = components(&g);
+        assert_eq!(count, 3);
+        assert!(!is_connected(&g));
+    }
+
+    #[test]
+    fn single_node_is_connected() {
+        let g = Graph::from_edges(1, std::iter::empty()).unwrap();
+        assert!(is_connected(&g));
+        assert_eq!(diameter(&g), Some(0));
+    }
+
+    #[test]
+    fn diameter_known_graphs() {
+        assert_eq!(diameter(&topology::path(10)), Some(9));
+        assert_eq!(diameter(&topology::cycle(10)), Some(5));
+        assert_eq!(diameter(&topology::complete(10)), Some(1));
+        assert_eq!(diameter(&topology::hypercube(4)), Some(4));
+        assert_eq!(diameter(&topology::star(12)), Some(2));
+    }
+
+    #[test]
+    fn diameter_none_when_disconnected() {
+        let g = Graph::from_edges(4, [(0, 1)]).unwrap();
+        assert_eq!(diameter(&g), None);
+    }
+}

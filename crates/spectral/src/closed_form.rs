@@ -1,0 +1,270 @@
+//! Closed-form Laplacian spectra of the structured topology families.
+//!
+//! These are textbook results (see e.g. Chung, *Spectral Graph Theory* \[4\]);
+//! we use them both (a) as ground truth for validating the numerical
+//! eigensolvers (experiment E13) and (b) to avoid an `O(n³)` solve when the
+//! experiment harness instantiates a structured topology whose `λ₂` is
+//! known exactly.
+
+use std::f64::consts::PI;
+
+/// `λ₂` of the path `P_n`: `2 − 2·cos(π/n)`.
+pub fn lambda2_path(n: usize) -> f64 {
+    assert!(n >= 2);
+    2.0 - 2.0 * (PI / n as f64).cos()
+}
+
+/// `λ₂` of the cycle `C_n`: `2 − 2·cos(2π/n)`.
+pub fn lambda2_cycle(n: usize) -> f64 {
+    assert!(n >= 3);
+    2.0 - 2.0 * (2.0 * PI / n as f64).cos()
+}
+
+/// `λ₂` of the complete graph `K_n`: `n`.
+pub fn lambda2_complete(n: usize) -> f64 {
+    assert!(n >= 2);
+    n as f64
+}
+
+/// `λ₂` of the star `S_n`: `1`.
+pub fn lambda2_star(n: usize) -> f64 {
+    assert!(n >= 2);
+    1.0
+}
+
+/// `λ₂` of the hypercube `Q_d`: `2` for every `d ≥ 1`.
+pub fn lambda2_hypercube(dim: u32) -> f64 {
+    assert!(dim >= 1);
+    2.0
+}
+
+/// `λ₂` of the `rows × cols` torus: smallest nonzero of
+/// `(2 − 2cos(2πi/rows)) + (2 − 2cos(2πj/cols))`.
+pub fn lambda2_torus2d(rows: usize, cols: usize) -> f64 {
+    assert!(rows >= 3 && cols >= 3);
+    let big = rows.max(cols) as f64;
+    2.0 - 2.0 * (2.0 * PI / big).cos()
+}
+
+/// `λ₂` of the `rows × cols` mesh (grid): smallest nonzero of
+/// `(2 − 2cos(πi/rows)) + (2 − 2cos(πj/cols))`.
+pub fn lambda2_grid2d(rows: usize, cols: usize) -> f64 {
+    assert!(rows >= 1 && cols >= 1 && rows * cols >= 2);
+    let big = rows.max(cols) as f64;
+    2.0 - 2.0 * (PI / big).cos()
+}
+
+/// `λ₂` of the complete bipartite graph `K_{a,b}`: `min(a, b)`.
+pub fn lambda2_complete_bipartite(a: usize, b: usize) -> f64 {
+    assert!(a >= 1 && b >= 1 && a + b >= 2);
+    a.min(b) as f64
+}
+
+/// `λ₂` of the 3-D torus `a × b × c`: `2 − 2·cos(2π/max(a,b,c))` (the
+/// Laplacian spectrum is the threefold sum of cycle spectra).
+pub fn lambda2_torus3d(a: usize, b: usize, c: usize) -> f64 {
+    assert!(a >= 3 && b >= 3 && c >= 3);
+    let big = a.max(b).max(c) as f64;
+    2.0 - 2.0 * (2.0 * PI / big).cos()
+}
+
+/// `λ₂` of the wheel `W_n` (hub + `(n−1)`-cycle): by the join formula
+/// `spec(K₁ ∨ C_m) = {0, n} ∪ {λ_k(C_m) + 1}`, so
+/// `λ₂ = 3 − 2·cos(2π/(n−1))` for `n ≥ 5` (and `min(n, ·)` in general).
+pub fn lambda2_wheel(n: usize) -> f64 {
+    assert!(n >= 4);
+    let m = (n - 1) as f64;
+    (3.0 - 2.0 * (2.0 * PI / m).cos()).min(n as f64)
+}
+
+/// Full Laplacian spectrum of the path `P_n`, ascending:
+/// `λ_k = 2 − 2·cos(kπ/n)`, `k = 0..n`.
+pub fn spectrum_path(n: usize) -> Vec<f64> {
+    (0..n).map(|k| 2.0 - 2.0 * (k as f64 * PI / n as f64).cos()).collect()
+}
+
+/// Full Laplacian spectrum of the cycle `C_n`, ascending.
+pub fn spectrum_cycle(n: usize) -> Vec<f64> {
+    let mut spec: Vec<f64> =
+        (0..n).map(|k| 2.0 - 2.0 * (2.0 * PI * k as f64 / n as f64).cos()).collect();
+    spec.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+    spec
+}
+
+/// Full Laplacian spectrum of `K_n`: `0`, then `n` with multiplicity `n−1`.
+pub fn spectrum_complete(n: usize) -> Vec<f64> {
+    let mut spec = vec![n as f64; n];
+    spec[0] = 0.0;
+    spec
+}
+
+/// Full Laplacian spectrum of the star `S_n`: `0`, `1` (×(n−2)), `n`.
+pub fn spectrum_star(n: usize) -> Vec<f64> {
+    assert!(n >= 2);
+    let mut spec = vec![1.0; n];
+    spec[0] = 0.0;
+    spec[n - 1] = n as f64;
+    spec
+}
+
+/// Full Laplacian spectrum of the hypercube `Q_d`: eigenvalue `2k` with
+/// multiplicity `C(d, k)`, ascending.
+pub fn spectrum_hypercube(dim: u32) -> Vec<f64> {
+    let mut spec = Vec::with_capacity(1 << dim);
+    for k in 0..=dim {
+        let mult = binomial(dim as u64, k as u64);
+        for _ in 0..mult {
+            spec.push(2.0 * k as f64);
+        }
+    }
+    spec
+}
+
+/// Full Laplacian spectrum of the `rows × cols` torus (sum of two cycle
+/// spectra), ascending.
+pub fn spectrum_torus2d(rows: usize, cols: usize) -> Vec<f64> {
+    let mut spec = Vec::with_capacity(rows * cols);
+    for i in 0..rows {
+        let a = 2.0 - 2.0 * (2.0 * PI * i as f64 / rows as f64).cos();
+        for j in 0..cols {
+            let b = 2.0 - 2.0 * (2.0 * PI * j as f64 / cols as f64).cos();
+            spec.push(a + b);
+        }
+    }
+    spec.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+    spec
+}
+
+/// Full Laplacian spectrum of the `rows × cols` grid (sum of two path
+/// spectra), ascending.
+pub fn spectrum_grid2d(rows: usize, cols: usize) -> Vec<f64> {
+    let mut spec = Vec::with_capacity(rows * cols);
+    for i in 0..rows {
+        let a = 2.0 - 2.0 * (PI * i as f64 / rows as f64).cos();
+        for j in 0..cols {
+            let b = 2.0 - 2.0 * (PI * j as f64 / cols as f64).cos();
+            spec.push(a + b);
+        }
+    }
+    spec.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+    spec
+}
+
+fn binomial(n: u64, k: u64) -> u64 {
+    let k = k.min(n - k);
+    let mut acc = 1u64;
+    for i in 0..k {
+        acc = acc * (n - i) / (i + 1);
+    }
+    acc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::eigen::laplacian_spectrum;
+    use dlb_graphs::topology;
+
+    fn assert_spectra_match(numerical: &[f64], closed: &[f64], tol: f64, label: &str) {
+        assert_eq!(numerical.len(), closed.len(), "{label}: length mismatch");
+        for (k, (a, b)) in numerical.iter().zip(closed).enumerate() {
+            assert!((a - b).abs() < tol, "{label}: eigenvalue {k}: {a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn path_spectrum_matches_solver() {
+        let n = 9;
+        let num = laplacian_spectrum(&topology::path(n)).unwrap();
+        assert_spectra_match(&num, &spectrum_path(n), 1e-8, "path");
+    }
+
+    #[test]
+    fn cycle_spectrum_matches_solver() {
+        let n = 11;
+        let num = laplacian_spectrum(&topology::cycle(n)).unwrap();
+        assert_spectra_match(&num, &spectrum_cycle(n), 1e-8, "cycle");
+    }
+
+    #[test]
+    fn complete_spectrum_matches_solver() {
+        let n = 8;
+        let num = laplacian_spectrum(&topology::complete(n)).unwrap();
+        assert_spectra_match(&num, &spectrum_complete(n), 1e-8, "complete");
+    }
+
+    #[test]
+    fn star_spectrum_matches_solver() {
+        let n = 10;
+        let num = laplacian_spectrum(&topology::star(n)).unwrap();
+        assert_spectra_match(&num, &spectrum_star(n), 1e-8, "star");
+    }
+
+    #[test]
+    fn hypercube_spectrum_matches_solver() {
+        let num = laplacian_spectrum(&topology::hypercube(4)).unwrap();
+        assert_spectra_match(&num, &spectrum_hypercube(4), 1e-8, "hypercube");
+    }
+
+    #[test]
+    fn torus_spectrum_matches_solver() {
+        let num = laplacian_spectrum(&topology::torus2d(4, 5)).unwrap();
+        assert_spectra_match(&num, &spectrum_torus2d(4, 5), 1e-8, "torus");
+    }
+
+    #[test]
+    fn grid_spectrum_matches_solver() {
+        let num = laplacian_spectrum(&topology::grid2d(3, 6)).unwrap();
+        assert_spectra_match(&num, &spectrum_grid2d(3, 6), 1e-8, "grid");
+    }
+
+    #[test]
+    fn lambda2_helpers_agree_with_spectra() {
+        assert!((lambda2_path(9) - spectrum_path(9)[1]).abs() < 1e-12);
+        assert!((lambda2_cycle(11) - spectrum_cycle(11)[1]).abs() < 1e-12);
+        assert!((lambda2_complete(8) - spectrum_complete(8)[1]).abs() < 1e-12);
+        assert!((lambda2_star(10) - spectrum_star(10)[1]).abs() < 1e-12);
+        assert!((lambda2_hypercube(4) - spectrum_hypercube(4)[1]).abs() < 1e-12);
+        assert!((lambda2_torus2d(4, 5) - spectrum_torus2d(4, 5)[1]).abs() < 1e-12);
+        assert!((lambda2_grid2d(3, 6) - spectrum_grid2d(3, 6)[1]).abs() < 1e-12);
+    }
+
+    #[test]
+    fn complete_bipartite_lambda2_matches_solver() {
+        let num = crate::eigen::laplacian_lambda2(&topology::complete_bipartite(3, 5)).unwrap();
+        assert!((num - lambda2_complete_bipartite(3, 5)).abs() < 1e-8);
+    }
+
+    #[test]
+    fn torus3d_lambda2_matches_solver() {
+        let num = crate::eigen::laplacian_lambda2(&topology::torus3d(3, 4, 5)).unwrap();
+        assert!((num - lambda2_torus3d(3, 4, 5)).abs() < 1e-8, "{num}");
+    }
+
+    #[test]
+    fn wheel_lambda2_matches_solver() {
+        for n in [4usize, 5, 9, 16] {
+            let num = crate::eigen::laplacian_lambda2(&topology::wheel(n)).unwrap();
+            assert!(
+                (num - lambda2_wheel(n)).abs() < 1e-8,
+                "W_{n}: solver {num} vs closed form {}",
+                lambda2_wheel(n)
+            );
+        }
+    }
+
+    #[test]
+    fn lollipop_lambda2_is_tiny() {
+        // No simple closed form; check the qualitative claim λ₂ = O(1/(k·p²)).
+        let g = topology::lollipop(6, 8);
+        let l2 = crate::eigen::laplacian_lambda2(&g).unwrap();
+        assert!(l2 > 0.0 && l2 < 0.1, "λ₂(lollipop) = {l2}");
+    }
+
+    #[test]
+    fn binomial_small_cases() {
+        assert_eq!(binomial(4, 0), 1);
+        assert_eq!(binomial(4, 2), 6);
+        assert_eq!(binomial(10, 5), 252);
+    }
+}

@@ -1,0 +1,181 @@
+//! High-level symmetric eigensolvers and Laplacian spectra.
+
+use crate::matrix::SymMatrix;
+use crate::tridiag::{householder_tridiagonalize, tridiagonal_ql, EigenError};
+use dlb_graphs::Graph;
+
+/// Result of a symmetric eigendecomposition: eigenvalues ascending, and —
+/// when requested — the matching orthonormal eigenvectors.
+#[derive(Debug, Clone)]
+pub struct Eigen {
+    /// Eigenvalues sorted ascending.
+    pub values: Vec<f64>,
+    /// Eigenvectors as rows (i.e. `vectors[k]` is the unit eigenvector for
+    /// `values[k]`), or empty if not requested.
+    pub vectors: Vec<Vec<f64>>,
+}
+
+impl Eigen {
+    /// Maximum residual `‖A·v − λ·v‖₂` over all computed pairs; a direct
+    /// certificate of solver quality (used by tests and experiment E13).
+    pub fn max_residual(&self, a: &SymMatrix) -> f64 {
+        let n = a.n();
+        let mut worst = 0.0f64;
+        let mut av = vec![0.0; n];
+        for (lambda, v) in self.values.iter().zip(&self.vectors) {
+            a.matvec(v, &mut av);
+            let r: f64 = av
+                .iter()
+                .zip(v)
+                .map(|(avi, vi)| (avi - lambda * vi).powi(2))
+                .sum::<f64>()
+                .sqrt();
+            worst = worst.max(r);
+        }
+        worst
+    }
+}
+
+/// Full eigendecomposition of a dense symmetric matrix.
+///
+/// `with_vectors = false` skips the basis accumulation/rotation (≈2×
+/// faster), leaving `vectors` empty.
+pub fn symmetric_eigen(a: &SymMatrix, with_vectors: bool) -> Result<Eigen, EigenError> {
+    let n = a.n();
+    let mut work = a.clone();
+    let mut d = vec![0.0; n];
+    let mut e = vec![0.0; n];
+    householder_tridiagonalize(work.as_mut_slice(), n, &mut d, &mut e, with_vectors);
+    if with_vectors {
+        tridiagonal_ql(&mut d, &mut e, n, Some(work.as_mut_slice()))?;
+    } else {
+        tridiagonal_ql(&mut d, &mut e, n, None)?;
+    }
+    // Sort eigenpairs ascending by eigenvalue.
+    let mut order: Vec<usize> = (0..n).collect();
+    order.sort_by(|&i, &j| d[i].partial_cmp(&d[j]).expect("finite eigenvalues"));
+    let values: Vec<f64> = order.iter().map(|&i| d[i]).collect();
+    let vectors = if with_vectors {
+        let z = work.as_slice();
+        order
+            .iter()
+            .map(|&col| (0..n).map(|row| z[row * n + col]).collect())
+            .collect()
+    } else {
+        Vec::new()
+    };
+    Ok(Eigen { values, vectors })
+}
+
+/// Full Laplacian spectrum of `g`, ascending (`values[0] ≈ 0` always;
+/// `values[1] = λ₂`).
+pub fn laplacian_spectrum(g: &Graph) -> Result<Vec<f64>, EigenError> {
+    let l = SymMatrix::laplacian(g);
+    Ok(symmetric_eigen(&l, false)?.values)
+}
+
+/// Second-smallest Laplacian eigenvalue `λ₂` (the algebraic connectivity) —
+/// the parameter every theorem in the paper depends on. Exact dense solve;
+/// use [`crate::lanczos::lanczos_lambda2`] for large graphs.
+pub fn laplacian_lambda2(g: &Graph) -> Result<f64, EigenError> {
+    let spec = laplacian_spectrum(g)?;
+    assert!(spec.len() >= 2, "λ₂ undefined for single-node graph");
+    // Guard against tiny negative round-off on the zero eigenvalue.
+    Ok(spec[1].max(0.0))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dlb_graphs::topology;
+    use std::f64::consts::PI;
+
+    #[test]
+    fn laplacian_spectrum_starts_at_zero() {
+        for g in [topology::path(7), topology::cycle(8), topology::complete(5)] {
+            let spec = laplacian_spectrum(&g).unwrap();
+            assert!(spec[0].abs() < 1e-9, "λ₁ = {}", spec[0]);
+            for w in spec.windows(2) {
+                assert!(w[0] <= w[1] + 1e-12, "spectrum not sorted");
+            }
+        }
+    }
+
+    #[test]
+    fn lambda2_complete_graph() {
+        let l2 = laplacian_lambda2(&topology::complete(9)).unwrap();
+        assert!((l2 - 9.0).abs() < 1e-8, "λ₂(K₉) = {l2}");
+    }
+
+    #[test]
+    fn lambda2_cycle_closed_form() {
+        let n = 12;
+        let l2 = laplacian_lambda2(&topology::cycle(n)).unwrap();
+        let expect = 2.0 - 2.0 * (2.0 * PI / n as f64).cos();
+        assert!((l2 - expect).abs() < 1e-9, "λ₂(C₁₂) = {l2}, want {expect}");
+    }
+
+    #[test]
+    fn lambda2_path_closed_form() {
+        let n = 10;
+        let l2 = laplacian_lambda2(&topology::path(n)).unwrap();
+        let expect = 2.0 - 2.0 * (PI / n as f64).cos();
+        assert!((l2 - expect).abs() < 1e-9);
+    }
+
+    #[test]
+    fn lambda2_hypercube_is_two() {
+        let l2 = laplacian_lambda2(&topology::hypercube(4)).unwrap();
+        assert!((l2 - 2.0).abs() < 1e-8, "λ₂(Q₄) = {l2}");
+    }
+
+    #[test]
+    fn lambda2_star() {
+        let l2 = laplacian_lambda2(&topology::star(15)).unwrap();
+        assert!((l2 - 1.0).abs() < 1e-8);
+    }
+
+    #[test]
+    fn lambda2_disconnected_is_zero() {
+        let g = dlb_graphs::Graph::from_edges(4, [(0, 1), (2, 3)]).unwrap();
+        let l2 = laplacian_lambda2(&g).unwrap();
+        assert!(l2.abs() < 1e-9, "λ₂ of disconnected graph = {l2}");
+    }
+
+    #[test]
+    fn petersen_full_spectrum() {
+        // Laplacian spectrum of Petersen: 0, 2 (×5), 5 (×4).
+        let spec = laplacian_spectrum(&topology::petersen()).unwrap();
+        let expected = [0.0, 2.0, 2.0, 2.0, 2.0, 2.0, 5.0, 5.0, 5.0, 5.0];
+        for (got, want) in spec.iter().zip(expected) {
+            assert!((got - want).abs() < 1e-8, "{got} vs {want}");
+        }
+    }
+
+    #[test]
+    fn eigenvector_residuals_small() {
+        let g = topology::torus2d(3, 5);
+        let l = SymMatrix::laplacian(&g);
+        let eig = symmetric_eigen(&l, true).unwrap();
+        assert!(eig.max_residual(&l) < 1e-8);
+    }
+
+    #[test]
+    fn fiedler_vector_orthogonal_to_ones() {
+        let g = topology::grid2d(3, 4);
+        let l = SymMatrix::laplacian(&g);
+        let eig = symmetric_eigen(&l, true).unwrap();
+        let fiedler = &eig.vectors[1];
+        let dot: f64 = fiedler.iter().sum();
+        assert!(dot.abs() < 1e-8, "Fiedler vector not ⊥ 1: {dot}");
+    }
+
+    #[test]
+    fn spectrum_sum_equals_trace() {
+        let g = topology::de_bruijn(4);
+        let l = SymMatrix::laplacian(&g);
+        let spec = laplacian_spectrum(&g).unwrap();
+        let sum: f64 = spec.iter().sum();
+        assert!((sum - l.trace()).abs() < 1e-8);
+    }
+}

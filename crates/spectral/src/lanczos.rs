@@ -1,0 +1,262 @@
+//! Matrix-free Lanczos iteration for `λ₂` of large sparse Laplacians.
+//!
+//! The dense QL solver is `O(n³)`; experiment sweeps on `n ≥ 4096` instead
+//! use Lanczos with full reorthogonalization on the spectrally shifted
+//! operator `B = c·I − L` (with `c = 2δ ≥ λ_max(L)` by Gershgorin), after
+//! deflating the known null vector `1/√n` of `L`. The largest Ritz value of
+//! `B` restricted to `1⊥` is then `c − λ₂`.
+//!
+//! Full reorthogonalization costs `O(k²·n)` for `k` iterations — entirely
+//! acceptable for the `k ≲ 300` this workload needs, and it sidesteps the
+//! ghost-eigenvalue pathology of plain Lanczos.
+
+use crate::tridiag::tridiagonal_ql;
+use dlb_graphs::Graph;
+
+/// A symmetric linear operator `y = A·x` given implicitly.
+pub trait LinearOperator {
+    /// Dimension of the operator.
+    fn dim(&self) -> usize;
+    /// Computes `y = A·x`.
+    fn apply(&self, x: &[f64], y: &mut [f64]);
+}
+
+/// The graph Laplacian `L = D − A` as a matrix-free operator over the CSR
+/// structure (no `O(n²)` storage).
+pub struct LaplacianOp<'a> {
+    g: &'a Graph,
+}
+
+impl<'a> LaplacianOp<'a> {
+    /// Wraps a graph.
+    pub fn new(g: &'a Graph) -> Self {
+        LaplacianOp { g }
+    }
+}
+
+impl LinearOperator for LaplacianOp<'_> {
+    fn dim(&self) -> usize {
+        self.g.n()
+    }
+
+    fn apply(&self, x: &[f64], y: &mut [f64]) {
+        let n = self.g.n();
+        assert_eq!(x.len(), n);
+        assert_eq!(y.len(), n);
+        for v in 0..n as u32 {
+            let neigh = self.g.neighbors(v);
+            let mut acc = neigh.len() as f64 * x[v as usize];
+            for &u in neigh {
+                acc -= x[u as usize];
+            }
+            y[v as usize] = acc;
+        }
+    }
+}
+
+/// Options for [`lanczos_lambda2`].
+#[derive(Debug, Clone, Copy)]
+pub struct LanczosOptions {
+    /// Maximum Krylov dimension (default 300).
+    pub max_iter: usize,
+    /// Relative convergence tolerance on the λ₂ estimate between
+    /// consecutive iterations (default 1e-10).
+    pub tol: f64,
+    /// RNG seed for the random start vector.
+    pub seed: u64,
+}
+
+impl Default for LanczosOptions {
+    fn default() -> Self {
+        LanczosOptions { max_iter: 300, tol: 1e-10, seed: 0x1A2C205 }
+    }
+}
+
+fn dot(a: &[f64], b: &[f64]) -> f64 {
+    a.iter().zip(b).map(|(x, y)| x * y).sum()
+}
+
+fn norm(a: &[f64]) -> f64 {
+    dot(a, a).sqrt()
+}
+
+/// xorshift64* — a tiny deterministic generator for the start vector (keeps
+/// this module independent of the `rand` version in use).
+fn fill_random(v: &mut [f64], mut state: u64) {
+    for x in v.iter_mut() {
+        state ^= state >> 12;
+        state ^= state << 25;
+        state ^= state >> 27;
+        let r = state.wrapping_mul(0x2545F4914F6CDD1D);
+        *x = (r >> 11) as f64 / (1u64 << 53) as f64 - 0.5;
+    }
+}
+
+/// Estimates `λ₂(L)` of the Laplacian of `g` by deflated Lanczos.
+///
+/// Returns the estimate together with the Krylov dimension used. Accuracy is
+/// typically 10+ significant digits at the default tolerance; experiment E13
+/// cross-validates against the dense solver and closed forms.
+pub fn lanczos_lambda2(g: &Graph, opts: LanczosOptions) -> (f64, usize) {
+    let op = LaplacianOp::new(g);
+    let n = op.dim();
+    assert!(n >= 2, "λ₂ undefined for single-node graph");
+    let c = 2.0 * g.max_degree().max(1) as f64; // Gershgorin bound on λ_max(L)
+
+    // Krylov basis (rows), coefficients of the Lanczos tridiagonal.
+    let mut basis: Vec<Vec<f64>> = Vec::new();
+    let mut alpha: Vec<f64> = Vec::new();
+    let mut beta: Vec<f64> = Vec::new();
+
+    let inv_sqrt_n = 1.0 / (n as f64).sqrt();
+    let ones: Vec<f64> = vec![inv_sqrt_n; n];
+
+    let mut v = vec![0.0; n];
+    fill_random(&mut v, opts.seed | 1);
+    // Deflate the constant vector and normalize.
+    let proj = dot(&v, &ones);
+    for (vi, oi) in v.iter_mut().zip(&ones) {
+        *vi -= proj * oi;
+    }
+    let nv = norm(&v);
+    assert!(nv > 0.0, "degenerate start vector");
+    v.iter_mut().for_each(|x| *x /= nv);
+
+    let mut w = vec![0.0; n];
+    let mut prev_estimate = f64::INFINITY;
+    let max_k = opts.max_iter.min(n - 1);
+
+    for k in 0..max_k {
+        // w = B v = c v − L v.
+        op.apply(&v, &mut w);
+        for (wi, vi) in w.iter_mut().zip(&v) {
+            *wi = c * *vi - *wi;
+        }
+        let a = dot(&w, &v);
+        alpha.push(a);
+        // w -= a v + beta_{k-1} v_{k-1}
+        for (wi, vi) in w.iter_mut().zip(&v) {
+            *wi -= a * *vi;
+        }
+        if let Some(prev) = basis.last() {
+            let b = *beta.last().expect("beta aligned with basis");
+            for (wi, pi) in w.iter_mut().zip(prev) {
+                *wi -= b * *pi;
+            }
+        }
+        basis.push(std::mem::take(&mut v));
+        // Full reorthogonalization against the basis and the deflated vector.
+        let proj1 = dot(&w, &ones);
+        for (wi, oi) in w.iter_mut().zip(&ones) {
+            *wi -= proj1 * oi;
+        }
+        for q in &basis {
+            let p = dot(&w, q);
+            for (wi, qi) in w.iter_mut().zip(q) {
+                *wi -= p * *qi;
+            }
+        }
+        let b = norm(&w);
+        // Ritz step every few iterations (and at the end / on breakdown).
+        let krylov_exhausted = b < 1e-13;
+        if (k + 1) % 5 == 0 || k + 1 == max_k || krylov_exhausted {
+            let m = alpha.len();
+            let mut d = alpha.clone();
+            let mut e = vec![0.0; m];
+            e[1..m].copy_from_slice(&beta[..m - 1]);
+            tridiagonal_ql(&mut d, &mut e, m, None).expect("tridiagonal QL on Lanczos T");
+            let theta = d.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+            let estimate = (c - theta).max(0.0);
+            let converged = (estimate - prev_estimate).abs()
+                <= opts.tol * estimate.abs().max(1e-300);
+            prev_estimate = estimate;
+            if converged || krylov_exhausted || k + 1 == max_k {
+                return (estimate, k + 1);
+            }
+        }
+        beta.push(b);
+        v = w.clone();
+        v.iter_mut().for_each(|x| *x /= b);
+    }
+    (prev_estimate, max_k)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::eigen::laplacian_lambda2;
+    use dlb_graphs::topology;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use std::f64::consts::PI;
+
+    #[test]
+    fn laplacian_op_matches_dense() {
+        let g = topology::torus2d(3, 4);
+        let dense = crate::matrix::SymMatrix::laplacian(&g);
+        let op = LaplacianOp::new(&g);
+        let x: Vec<f64> = (0..12).map(|i| (i as f64 * 0.7).cos()).collect();
+        let mut y1 = vec![0.0; 12];
+        let mut y2 = vec![0.0; 12];
+        dense.matvec(&x, &mut y1);
+        op.apply(&x, &mut y2);
+        for (a, b) in y1.iter().zip(&y2) {
+            assert!((a - b).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn lanczos_matches_closed_form_cycle() {
+        let n = 64;
+        let g = topology::cycle(n);
+        let (l2, _) = lanczos_lambda2(&g, LanczosOptions::default());
+        let expect = 2.0 - 2.0 * (2.0 * PI / n as f64).cos();
+        assert!((l2 - expect).abs() < 1e-7, "λ₂ = {l2}, want {expect}");
+    }
+
+    #[test]
+    fn lanczos_matches_dense_on_irregular_graph() {
+        let mut rng = StdRng::seed_from_u64(33);
+        let g = topology::gnp_connected(60, 0.12, &mut rng);
+        let dense = laplacian_lambda2(&g).unwrap();
+        let (l2, _) = lanczos_lambda2(&g, LanczosOptions::default());
+        assert!((l2 - dense).abs() < 1e-6, "lanczos {l2} vs dense {dense}");
+    }
+
+    #[test]
+    fn lanczos_hypercube() {
+        let g = topology::hypercube(7); // n = 128, λ₂ = 2
+        let (l2, _) = lanczos_lambda2(&g, LanczosOptions::default());
+        assert!((l2 - 2.0).abs() < 1e-7, "λ₂ = {l2}");
+    }
+
+    #[test]
+    fn lanczos_complete_graph_degenerate_spectrum() {
+        let g = topology::complete(32); // λ₂ = n with multiplicity n-1
+        let (l2, _) = lanczos_lambda2(&g, LanczosOptions::default());
+        assert!((l2 - 32.0).abs() < 1e-6, "λ₂ = {l2}");
+    }
+
+    #[test]
+    fn lanczos_disconnected_gives_zero() {
+        let g = dlb_graphs::Graph::from_edges(6, [(0, 1), (1, 2), (3, 4), (4, 5)]).unwrap();
+        let (l2, _) = lanczos_lambda2(&g, LanczosOptions::default());
+        assert!(l2.abs() < 1e-8, "λ₂ = {l2} for disconnected graph");
+    }
+
+    #[test]
+    fn lanczos_two_nodes() {
+        let g = topology::path(2); // L = [[1,-1],[-1,1]], λ₂ = 2
+        let (l2, _) = lanczos_lambda2(&g, LanczosOptions::default());
+        assert!((l2 - 2.0).abs() < 1e-9, "λ₂ = {l2}");
+    }
+
+    #[test]
+    fn lanczos_large_torus_fast_and_accurate() {
+        let g = topology::torus2d(40, 40); // n = 1600
+        let (l2, iters) = lanczos_lambda2(&g, LanczosOptions::default());
+        let expect = 2.0 - 2.0 * (2.0 * PI / 40.0).cos();
+        assert!((l2 - expect).abs() < 1e-6, "λ₂ = {l2}, want {expect}");
+        assert!(iters <= 300);
+    }
+}

@@ -1,0 +1,38 @@
+#![warn(missing_docs)]
+
+//! # dlb-spectral
+//!
+//! Spectral toolkit for the Berenbrink–Friedetzky–Hu reproduction.
+//!
+//! Every convergence bound in the paper is parameterized by the
+//! second-smallest eigenvalue `λ₂` of the graph Laplacian `L = D − A`
+//! (Theorems 4, 6, 7, 8), and the baselines it compares against (\[15\]'s
+//! first/second-order schemes) are parameterized by the second-largest
+//! eigenvalue `γ` of a diffusion matrix `M`. The approved dependency set
+//! contains no linear-algebra crate, so this crate implements the required
+//! machinery from scratch:
+//!
+//! * [`matrix`] — dense symmetric matrices, Laplacian / diffusion-matrix
+//!   assembly;
+//! * [`tridiag`] — Householder tridiagonalization (`tred2`) and the
+//!   implicit-shift QL iteration (`tql2`) for the full symmetric
+//!   eigenproblem;
+//! * [`eigen`] — high-level solvers: full spectra, `λ₂`, eigenvector
+//!   residual diagnostics;
+//! * [`lanczos`] — matrix-free Lanczos with full reorthogonalization and
+//!   constant-vector deflation, for `λ₂` of large sparse Laplacians;
+//! * [`closed_form`] — textbook spectra of the structured topologies, used
+//!   to cross-validate the numerical solvers (experiment E13);
+//! * [`diffusion`] — first-order-scheme matrices, `γ`, and the optimal
+//!   second-order parameter `β`.
+
+pub mod closed_form;
+pub mod diffusion;
+pub mod eigen;
+pub mod lanczos;
+pub mod matrix;
+pub mod tridiag;
+
+pub use eigen::{laplacian_lambda2, laplacian_spectrum, symmetric_eigen, Eigen};
+pub use lanczos::{lanczos_lambda2, LanczosOptions, LaplacianOp, LinearOperator};
+pub use matrix::SymMatrix;

@@ -1,0 +1,398 @@
+//! Symmetric tridiagonal reduction and eigen-iteration.
+//!
+//! Classic EISPACK pair, reimplemented in safe Rust:
+//!
+//! * [`householder_tridiagonalize`] (`tred2`): reduces a real symmetric
+//!   matrix to tridiagonal form `T = Qᵀ A Q` by Householder reflections,
+//!   optionally accumulating `Q`;
+//! * [`tridiagonal_ql`] (`tql2`): implicit-shift QL iteration computing all
+//!   eigenvalues of a symmetric tridiagonal matrix, rotating the accumulated
+//!   basis so its columns become the eigenvectors of `A`.
+//!
+//! Both are `O(n³)`; the experiments use them on instances up to a couple of
+//! thousand nodes and the Lanczos path (`crate::lanczos`) beyond that. The
+//! implementation is validated against closed-form spectra, random-matrix
+//! invariants (trace, Frobenius norm, residuals) and the Lanczos solver.
+
+/// Error from the QL iteration.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EigenError {
+    /// The QL sweep for some eigenvalue did not converge within the
+    /// iteration budget (30 sweeps per eigenvalue, the classical limit).
+    NoConvergence {
+        /// Index of the eigenvalue whose sweep exceeded the budget.
+        eigenvalue_index: usize,
+    },
+}
+
+impl std::fmt::Display for EigenError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            EigenError::NoConvergence { eigenvalue_index } => {
+                write!(f, "QL iteration failed to converge for eigenvalue {eigenvalue_index}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for EigenError {}
+
+/// Householder reduction of the symmetric matrix stored row-major in `a`
+/// (dimension `n`) to tridiagonal form.
+///
+/// On return `d` holds the diagonal, `e` the subdiagonal (`e[0] = 0`), and —
+/// when `accumulate` is true — `a` holds the orthogonal matrix `Q` effecting
+/// the similarity transform (needed to recover eigenvectors of the original
+/// matrix). With `accumulate = false`, `a`'s contents are destroyed.
+pub fn householder_tridiagonalize(
+    a: &mut [f64],
+    n: usize,
+    d: &mut [f64],
+    e: &mut [f64],
+    accumulate: bool,
+) {
+    assert_eq!(a.len(), n * n, "matrix storage must be n*n");
+    assert_eq!(d.len(), n);
+    assert_eq!(e.len(), n);
+    let idx = |i: usize, j: usize| i * n + j;
+
+    for i in (1..n).rev() {
+        let l = i - 1;
+        let mut h = 0.0f64;
+        if l > 0 {
+            let scale: f64 = (0..=l).map(|k| a[idx(i, k)].abs()).sum();
+            if scale == 0.0 {
+                e[i] = a[idx(i, l)];
+            } else {
+                for k in 0..=l {
+                    a[idx(i, k)] /= scale;
+                    h += a[idx(i, k)] * a[idx(i, k)];
+                }
+                let f = a[idx(i, l)];
+                let g = if f >= 0.0 { -h.sqrt() } else { h.sqrt() };
+                e[i] = scale * g;
+                h -= f * g;
+                a[idx(i, l)] = f - g;
+                let mut f_acc = 0.0f64;
+                for j in 0..=l {
+                    if accumulate {
+                        a[idx(j, i)] = a[idx(i, j)] / h;
+                    }
+                    let mut g_sum = 0.0f64;
+                    for k in 0..=j {
+                        g_sum += a[idx(j, k)] * a[idx(i, k)];
+                    }
+                    for k in (j + 1)..=l {
+                        g_sum += a[idx(k, j)] * a[idx(i, k)];
+                    }
+                    e[j] = g_sum / h;
+                    f_acc += e[j] * a[idx(i, j)];
+                }
+                let hh = f_acc / (h + h);
+                for j in 0..=l {
+                    let f = a[idx(i, j)];
+                    let g = e[j] - hh * f;
+                    e[j] = g;
+                    for k in 0..=j {
+                        a[idx(j, k)] -= f * e[k] + g * a[idx(i, k)];
+                    }
+                }
+            }
+        } else {
+            e[i] = a[idx(i, l)];
+        }
+        d[i] = h;
+    }
+    if accumulate {
+        d[0] = 0.0;
+    }
+    e[0] = 0.0;
+
+    if accumulate {
+        // Accumulate the transformation matrix in `a`.
+        for i in 0..n {
+            if i > 0 {
+                let l = i; // columns 0..i
+                if d[i] != 0.0 {
+                    for j in 0..l {
+                        let mut g = 0.0f64;
+                        for k in 0..l {
+                            g += a[idx(i, k)] * a[idx(k, j)];
+                        }
+                        for k in 0..l {
+                            a[idx(k, j)] -= g * a[idx(k, i)];
+                        }
+                    }
+                }
+            }
+            d[i] = a[idx(i, i)];
+            a[idx(i, i)] = 1.0;
+            if i > 0 {
+                for j in 0..i {
+                    a[idx(j, i)] = 0.0;
+                    a[idx(i, j)] = 0.0;
+                }
+            }
+        }
+    } else {
+        for i in 0..n {
+            d[i] = a[idx(i, i)];
+        }
+    }
+}
+
+/// `sqrt(a² + b²)` without destructive overflow.
+#[inline]
+fn pythag(a: f64, b: f64) -> f64 {
+    a.hypot(b)
+}
+
+/// Implicit-shift QL iteration on a symmetric tridiagonal matrix.
+///
+/// `d` holds the diagonal and `e` the subdiagonal in `e[1..n]` (as produced
+/// by [`householder_tridiagonalize`]); on success `d` contains the
+/// eigenvalues (unsorted). If `z` is `Some`, it must hold the accumulated
+/// basis (row-major, dimension `n`), and its columns are rotated into the
+/// eigenvectors; pass `None` for an eigenvalues-only solve (≈2× faster).
+pub fn tridiagonal_ql(
+    d: &mut [f64],
+    e: &mut [f64],
+    n: usize,
+    mut z: Option<&mut [f64]>,
+) -> Result<(), EigenError> {
+    assert_eq!(d.len(), n);
+    assert_eq!(e.len(), n);
+    if let Some(zz) = z.as_ref() {
+        assert_eq!(zz.len(), n * n, "basis storage must be n*n");
+    }
+    if n == 1 {
+        return Ok(());
+    }
+    // Shift the subdiagonal down for the classic indexing.
+    for i in 1..n {
+        e[i - 1] = e[i];
+    }
+    e[n - 1] = 0.0;
+
+    // Global negligibility scale: comparing e[m] against the *local*
+    // diagonal magnitudes stalls on rank-deficient matrices whose deflated
+    // blocks have |d| ≈ |e| ≈ ulp(‖A‖); an absolute threshold of ε·‖A‖
+    // gives the standard backward-stable guarantee instead. The scale is
+    // taken over the whole tridiagonal up front (shifts keep the iterated
+    // entries bounded by the same norm).
+    let tst1 = (0..n).map(|i| d[i].abs() + e[i].abs()).fold(f64::MIN_POSITIVE, f64::max);
+
+    for l in 0..n {
+        let mut iter = 0usize;
+        loop {
+            // Find a negligible subdiagonal element to split the problem.
+            let mut m = l;
+            while m + 1 < n {
+                if e[m].abs() <= f64::EPSILON * tst1 {
+                    break;
+                }
+                m += 1;
+            }
+            if m == l {
+                break;
+            }
+            iter += 1;
+            if iter > 30 {
+                return Err(EigenError::NoConvergence { eigenvalue_index: l });
+            }
+            // Form the implicit Wilkinson-like shift.
+            let mut g = (d[l + 1] - d[l]) / (2.0 * e[l]);
+            let mut r = pythag(g, 1.0);
+            let sign_r = if g >= 0.0 { r.abs() } else { -r.abs() };
+            g = d[m] - d[l] + e[l] / (g + sign_r);
+            let (mut s, mut c) = (1.0f64, 1.0f64);
+            let mut p = 0.0f64;
+            let mut underflow = false;
+            for i in (l..m).rev() {
+                let mut f = s * e[i];
+                let b = c * e[i];
+                r = pythag(f, g);
+                e[i + 1] = r;
+                if r == 0.0 {
+                    // Recover from underflow by deflating.
+                    d[i + 1] -= p;
+                    e[m] = 0.0;
+                    underflow = true;
+                    break;
+                }
+                s = f / r;
+                c = g / r;
+                g = d[i + 1] - p;
+                r = (d[i] - g) * s + 2.0 * c * b;
+                p = s * r;
+                d[i + 1] = g + p;
+                g = c * r - b;
+                if let Some(zz) = z.as_deref_mut() {
+                    for k in 0..n {
+                        f = zz[k * n + i + 1];
+                        zz[k * n + i + 1] = s * zz[k * n + i] + c * f;
+                        zz[k * n + i] = c * zz[k * n + i] - s * f;
+                    }
+                }
+            }
+            if underflow {
+                continue;
+            }
+            d[l] -= p;
+            e[l] = g;
+            e[m] = 0.0;
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn solve_dense(a: Vec<f64>, n: usize) -> (Vec<f64>, Vec<f64>) {
+        let mut a = a;
+        let mut d = vec![0.0; n];
+        let mut e = vec![0.0; n];
+        householder_tridiagonalize(&mut a, n, &mut d, &mut e, true);
+        tridiagonal_ql(&mut d, &mut e, n, Some(&mut a)).unwrap();
+        (d, a)
+    }
+
+    #[test]
+    fn diag_matrix_eigenvalues() {
+        let n = 4;
+        let mut a = vec![0.0; 16];
+        for (i, v) in [3.0, -1.0, 7.0, 0.5].iter().enumerate() {
+            a[i * n + i] = *v;
+        }
+        let (mut d, _) = solve_dense(a, n);
+        d.sort_by(|x, y| x.partial_cmp(y).unwrap());
+        let expected = [-1.0, 0.5, 3.0, 7.0];
+        for (got, want) in d.iter().zip(expected) {
+            assert!((got - want).abs() < 1e-12, "{got} vs {want}");
+        }
+    }
+
+    #[test]
+    fn two_by_two_known() {
+        // [[2,1],[1,2]] has eigenvalues 1 and 3.
+        let (mut d, _) = solve_dense(vec![2.0, 1.0, 1.0, 2.0], 2);
+        d.sort_by(|x, y| x.partial_cmp(y).unwrap());
+        assert!((d[0] - 1.0).abs() < 1e-12);
+        assert!((d[1] - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn one_by_one() {
+        let (d, _) = solve_dense(vec![5.0], 1);
+        assert_eq!(d[0], 5.0);
+    }
+
+    #[test]
+    fn eigen_decomposition_reconstructs() {
+        // A = Q diag(d) Q^T elementwise for a small random-ish symmetric A.
+        let n = 6;
+        let mut a = vec![0.0; n * n];
+        for i in 0..n {
+            for j in i..n {
+                let v = ((i * 31 + j * 17 + 5) % 13) as f64 - 6.0;
+                a[i * n + j] = v;
+                a[j * n + i] = v;
+            }
+        }
+        let orig = a.clone();
+        let (d, q) = solve_dense(a, n);
+        for i in 0..n {
+            for j in 0..n {
+                let mut sum = 0.0;
+                for k in 0..n {
+                    sum += q[i * n + k] * d[k] * q[j * n + k];
+                }
+                assert!(
+                    (sum - orig[i * n + j]).abs() < 1e-9,
+                    "reconstruction mismatch at ({i},{j}): {sum} vs {}",
+                    orig[i * n + j]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn eigenvectors_orthonormal() {
+        let n = 8;
+        let mut a = vec![0.0; n * n];
+        for i in 0..n {
+            for j in i..n {
+                let v = 1.0 / (1.0 + i as f64 + j as f64); // Hilbert-like
+                a[i * n + j] = v;
+                a[j * n + i] = v;
+            }
+        }
+        let (_, q) = solve_dense(a, n);
+        for c1 in 0..n {
+            for c2 in c1..n {
+                let dot: f64 = (0..n).map(|r| q[r * n + c1] * q[r * n + c2]).sum();
+                let want = if c1 == c2 { 1.0 } else { 0.0 };
+                assert!((dot - want).abs() < 1e-9, "columns {c1},{c2}: dot = {dot}");
+            }
+        }
+    }
+
+    #[test]
+    fn trace_preserved() {
+        let n = 10;
+        let mut a = vec![0.0; n * n];
+        let mut trace = 0.0;
+        for i in 0..n {
+            for j in i..n {
+                let v = ((i + 2 * j) as f64).sin();
+                a[i * n + j] = v;
+                a[j * n + i] = v;
+                if i == j {
+                    trace += v;
+                }
+            }
+        }
+        let (d, _) = solve_dense(a, n);
+        let sum: f64 = d.iter().sum();
+        assert!((sum - trace).abs() < 1e-9, "trace {trace} vs eigsum {sum}");
+    }
+
+    #[test]
+    fn rank_one_matrix_converges() {
+        // Regression: J/n (rank 1, eigenvalues {1, 0^{n-1}}) used to stall
+        // the QL scan for 60 <= n <= 64 because the deflated blocks have
+        // |d| ≈ |e| ≈ ulp and the local negligibility test never fired.
+        for n in [4usize, 48, 60, 63, 64, 65, 128] {
+            let a = vec![1.0 / n as f64; n * n];
+            let (mut d, _) = solve_dense(a, n);
+            d.sort_by(|x, y| x.partial_cmp(y).unwrap());
+            assert!((d[n - 1] - 1.0).abs() < 1e-10, "J/{n}: top {}", d[n - 1]);
+            assert!(d[n - 2].abs() < 1e-10, "J/{n}: second {}", d[n - 2]);
+        }
+    }
+
+    #[test]
+    fn eigenvalues_only_matches_full_solve() {
+        let n = 7;
+        let mut a = vec![0.0; n * n];
+        for i in 0..n {
+            for j in i..n {
+                let v = ((3 * i + j) % 5) as f64;
+                a[i * n + j] = v;
+                a[j * n + i] = v;
+            }
+        }
+        let (mut full, _) = solve_dense(a.clone(), n);
+        let mut d = vec![0.0; n];
+        let mut e = vec![0.0; n];
+        householder_tridiagonalize(&mut a, n, &mut d, &mut e, false);
+        tridiagonal_ql(&mut d, &mut e, n, None).unwrap();
+        full.sort_by(|x, y| x.partial_cmp(y).unwrap());
+        d.sort_by(|x, y| x.partial_cmp(y).unwrap());
+        for (x, y) in full.iter().zip(&d) {
+            assert!((x - y).abs() < 1e-9, "{x} vs {y}");
+        }
+    }
+}

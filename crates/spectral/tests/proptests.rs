@@ -1,0 +1,103 @@
+//! Property-based tests for the spectral toolkit.
+
+use dlb_graphs::{topology, traversal, Graph};
+use dlb_spectral::diffusion::{diffusion_matrix_with, fos_matrix, gamma};
+use dlb_spectral::{eigen, lanczos, SymMatrix};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Strategy: a small random graph (possibly disconnected).
+fn arb_graph() -> impl Strategy<Value = Graph> {
+    (2usize..26, 0u64..1_000).prop_map(|(n, seed)| {
+        let mut rng = StdRng::seed_from_u64(seed);
+        topology::gnp(n, 0.25, &mut rng)
+    })
+}
+
+/// Strategy: a random dense symmetric matrix.
+fn arb_sym_matrix() -> impl Strategy<Value = SymMatrix> {
+    (1usize..16, proptest::collection::vec(-10.0f64..10.0, 256)).prop_map(|(n, vals)| {
+        SymMatrix::from_fn(n, |i, j| vals[(i * 16 + j) % vals.len()])
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn eigen_trace_and_frobenius_invariants(a in arb_sym_matrix()) {
+        let eig = eigen::symmetric_eigen(&a, true).expect("solve");
+        let sum: f64 = eig.values.iter().sum();
+        prop_assert!((sum - a.trace()).abs() < 1e-8 * (1.0 + a.trace().abs()));
+        let sq: f64 = eig.values.iter().map(|v| v * v).sum();
+        let fro = a.frobenius_norm();
+        prop_assert!((sq.sqrt() - fro).abs() < 1e-7 * (1.0 + fro));
+        // Residuals certify the eigenpairs.
+        prop_assert!(eig.max_residual(&a) < 1e-7 * (1.0 + fro));
+    }
+
+    #[test]
+    fn eigenvalues_sorted_ascending(a in arb_sym_matrix()) {
+        let eig = eigen::symmetric_eigen(&a, false).expect("solve");
+        for w in eig.values.windows(2) {
+            prop_assert!(w[0] <= w[1] + 1e-12);
+        }
+    }
+
+    #[test]
+    fn laplacian_zero_multiplicity_counts_components(g in arb_graph()) {
+        let spec = eigen::laplacian_spectrum(&g).expect("spectrum");
+        let zero_mult = spec.iter().filter(|&&x| x.abs() < 1e-7).count();
+        let (_, comps) = traversal::components(&g);
+        prop_assert_eq!(zero_mult, comps, "spectrum {:?}", &spec[..spec.len().min(6)]);
+    }
+
+    #[test]
+    fn laplacian_spectrum_within_gershgorin(g in arb_graph()) {
+        let spec = eigen::laplacian_spectrum(&g).expect("spectrum");
+        let bound = 2.0 * g.max_degree() as f64;
+        for &l in &spec {
+            prop_assert!(l >= -1e-8 && l <= bound + 1e-8);
+        }
+    }
+
+    #[test]
+    fn lanczos_agrees_with_dense(g in arb_graph()) {
+        let dense = eigen::laplacian_lambda2(&g).expect("dense λ₂");
+        let (lz, _) = lanczos::lanczos_lambda2(&g, lanczos::LanczosOptions::default());
+        prop_assert!((dense - lz).abs() < 1e-5 * (1.0 + dense), "dense {dense} vs lanczos {lz}");
+    }
+
+    #[test]
+    fn fos_matrix_doubly_stochastic(g in arb_graph()) {
+        let m = fos_matrix(&g);
+        for i in 0..m.n() {
+            let row_sum: f64 = m.row(i).iter().sum();
+            prop_assert!((row_sum - 1.0).abs() < 1e-12);
+            prop_assert!(m.row(i).iter().all(|&x| x >= -1e-15));
+        }
+    }
+
+    #[test]
+    fn gamma_below_one_iff_connected(g in arb_graph()) {
+        prop_assume!(g.m() > 0);
+        let gam = gamma(&fos_matrix(&g)).expect("γ");
+        if traversal::is_connected(&g) {
+            prop_assert!(gam < 1.0 - 1e-10, "connected graph with γ = {gam}");
+        } else {
+            prop_assert!((gam - 1.0).abs() < 1e-8, "disconnected graph with γ = {gam}");
+        }
+    }
+
+    #[test]
+    fn bfh_matrix_row_sums_and_diagonal(g in arb_graph()) {
+        let m = diffusion_matrix_with(&g, |di, dj| 1.0 / (4.0 * di.max(dj) as f64));
+        for i in 0..m.n() {
+            let row_sum: f64 = m.row(i).iter().sum();
+            prop_assert!((row_sum - 1.0).abs() < 1e-12);
+            // Algorithm 1's matrix is strongly diagonally dominant: m_ii >= 3/4.
+            prop_assert!(m.get(i, i) >= 0.75 - 1e-12);
+        }
+    }
+}

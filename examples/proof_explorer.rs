@@ -1,0 +1,95 @@
+//! Proof explorer: watch the sequentialization argument run, edge by edge.
+//!
+//! ```text
+//! cargo run -p dlb-examples --example proof_explorer
+//! ```
+//!
+//! The paper's whole contribution is a proof *device*: freeze each edge's
+//! transfer amount at round start, activate edges one at a time in
+//! increasing weight order, and certify (Lemma 1) that every activation
+//! drops the potential by at least `w·|ℓᵢ−ℓⱼ|`. This example prints that
+//! replay on a small cycle so you can follow the argument line by line,
+//! then verifies the three facts the proof rests on:
+//!
+//! 1. the replay ends in *exactly* the concurrent round's state;
+//! 2. per-activation drops telescope to the round's total drop;
+//! 3. no activation violates Lemma 1, and the round satisfies Lemma 2.
+
+use dlb_core::continuous::ContinuousDiffusion;
+use dlb_core::model::ContinuousBalancer;
+use dlb_core::potential::phi;
+use dlb_core::seq::sequentialized_round;
+use dlb_graphs::topology;
+
+fn main() {
+    let n = 8;
+    let g = topology::cycle(n);
+    let init: Vec<f64> = vec![56.0, 8.0, 24.0, 0.0, 40.0, 16.0, 48.0, 32.0];
+    println!("network: C_{n} (cycle), δ = 2, transfer rule w = |ℓᵢ−ℓⱼ|/(4·max(dᵢ,dⱼ)) = diff/8");
+    println!("round-start loads: {init:?}");
+    println!("round-start Φ    : {}\n", phi(&init));
+
+    // The concurrent round (what the machines actually do).
+    let mut concurrent = init.clone();
+    let stats = ContinuousDiffusion::new(&g).round(&mut concurrent);
+
+    // The sequentialized replay (what the proof pretends happens).
+    let mut replay = init.clone();
+    let round = sequentialized_round(&g, &mut replay);
+
+    println!(
+        "{:>4}  {:>8} {:>7} {:>9} {:>12} {:>12}  ok",
+        "#", "edge", "sender", "w", "ΔΦ", "L1 bound"
+    );
+    println!("{}", "-".repeat(66));
+    for (k, a) in round.activations.iter().enumerate() {
+        println!(
+            "{:>4}  ({:>2},{:>2}) {:>7} {:>9.3} {:>12.3} {:>12.3}  {}",
+            k + 1,
+            a.edge.0,
+            a.edge.1,
+            a.sender,
+            a.weight,
+            a.drop,
+            a.lemma1_bound,
+            if a.satisfies_lemma1(1e-9) { "✓" } else { "✗ VIOLATION" }
+        );
+    }
+
+    let telescoped = round.total_drop();
+    let actual = round.phi_before - round.phi_after;
+    println!("\n(1) replay state == concurrent state:");
+    let max_dev = concurrent
+        .iter()
+        .zip(&replay)
+        .map(|(a, b)| (a - b).abs())
+        .fold(0.0f64, f64::max);
+    println!("    max |difference| = {max_dev:.2e}   (transfers are additive — any order)");
+
+    println!("(2) telescoping: Σ ΔΦ = {telescoped:.6}   round drop = {actual:.6}");
+
+    let edge_sq: f64 = g
+        .edges()
+        .iter()
+        .map(|&(u, v)| (init[u as usize] - init[v as usize]).powi(2))
+        .sum();
+    let lemma2_bound = edge_sq / (4.0 * g.max_degree() as f64);
+    println!(
+        "(3) Lemma 1 violations: {}   Lemma 2: drop {:.3} ≥ (1/4δ)·Σ(ℓᵢ−ℓⱼ)² = {:.3}",
+        round.lemma1_violations(1e-9),
+        actual,
+        lemma2_bound
+    );
+
+    println!(
+        "\nconcurrent round stats: {} active edges, total flow {:.2}, Φ {} → {}",
+        stats.active_edges,
+        stats.total_flow,
+        stats.phi_before,
+        stats.phi_after
+    );
+    println!(
+        "\nThis is Theorem 4's engine: drop ≥ (1/4δ)·Σ(ℓᵢ−ℓⱼ)² ≥ (λ₂/4δ)·Φ per round \
+         (by the Courant–Fischer bound of Lemma 3), so Φ shrinks geometrically."
+    );
+}

@@ -1,0 +1,104 @@
+//! Shared helpers for the runnable examples.
+//!
+//! The examples themselves live at the repository's `examples/*.rs`:
+//!
+//! * `quickstart` — five-minute tour of the library on a torus;
+//! * `cluster_scheduler` — discrete token balancing as a datacenter job
+//!   queue scenario, racing Algorithm 1 against the baselines;
+//! * `dynamic_p2p` — a churning peer-to-peer overlay (Section 5 + 6
+//!   models, with outage injection);
+//! * `proof_explorer` — walks one sequentialized round edge by edge,
+//!   printing the Lemma 1 certificates (the paper's proof, live).
+
+/// Renders a small sparkline of a potential trace for terminal output.
+pub fn sparkline(values: &[f64]) -> String {
+    const BARS: [char; 8] = ['▁', '▂', '▃', '▄', '▅', '▆', '▇', '█'];
+    if values.is_empty() {
+        return String::new();
+    }
+    let max = values.iter().cloned().fold(f64::MIN, f64::max);
+    let min = values.iter().cloned().fold(f64::MAX, f64::min);
+    let span = (max - min).max(1e-300);
+    values
+        .iter()
+        .map(|v| {
+            let idx = (((v - min) / span) * (BARS.len() - 1) as f64).round() as usize;
+            BARS[idx.min(BARS.len() - 1)]
+        })
+        .collect()
+}
+
+/// Logarithmic sparkline (clamps at `floor` to keep zeros drawable),
+/// downsampled to at most 64 characters.
+pub fn log_sparkline(values: &[f64], floor: f64) -> String {
+    let logged: Vec<f64> = values.iter().map(|&v| v.max(floor).log10()).collect();
+    sparkline(&downsample(&logged, 64))
+}
+
+/// Reduces a series to at most `max_len` points by striding (keeps the
+/// first and last values).
+pub fn downsample(values: &[f64], max_len: usize) -> Vec<f64> {
+    assert!(max_len >= 2, "need at least two output points");
+    if values.len() <= max_len {
+        return values.to_vec();
+    }
+    let stride = (values.len() - 1) as f64 / (max_len - 1) as f64;
+    (0..max_len).map(|i| values[(i as f64 * stride).round() as usize]).collect()
+}
+
+/// Parses `--flag value`-style overrides out of `std::env::args`.
+pub fn arg_value(name: &str) -> Option<String> {
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        if a == name {
+            return args.next();
+        }
+    }
+    None
+}
+
+/// `--n 128`-style usize override with a default.
+pub fn arg_usize(name: &str, default: usize) -> usize {
+    arg_value(name).and_then(|v| v.parse().ok()).unwrap_or(default)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sparkline_shape() {
+        let s = sparkline(&[0.0, 0.5, 1.0]);
+        assert_eq!(s.chars().count(), 3);
+        assert!(s.starts_with('▁'));
+        assert!(s.ends_with('█'));
+    }
+
+    #[test]
+    fn sparkline_constant_input() {
+        let s = sparkline(&[2.0, 2.0]);
+        assert_eq!(s.chars().count(), 2);
+    }
+
+    #[test]
+    fn log_sparkline_handles_zero() {
+        let s = log_sparkline(&[100.0, 1.0, 0.0], 1e-3);
+        assert_eq!(s.chars().count(), 3);
+    }
+
+    #[test]
+    fn downsample_caps_length() {
+        let long: Vec<f64> = (0..1000).map(|i| i as f64).collect();
+        let short = downsample(&long, 64);
+        assert_eq!(short.len(), 64);
+        assert_eq!(short[0], 0.0);
+        assert_eq!(*short.last().unwrap(), 999.0);
+        // Short inputs pass through unchanged.
+        assert_eq!(downsample(&[1.0, 2.0], 64), vec![1.0, 2.0]);
+    }
+
+    #[test]
+    fn arg_usize_default() {
+        assert_eq!(arg_usize("--definitely-not-passed", 42), 42);
+    }
+}

@@ -1,0 +1,34 @@
+//! Shared fixtures for the workspace integration tests (see `tests/*.rs`).
+//!
+//! The actual test suites live in this package's `tests/` directory; this
+//! library only hosts helpers reused across them.
+
+use dlb_graphs::Graph;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Deterministic RNG for integration tests.
+pub fn rng(seed: u64) -> StdRng {
+    StdRng::seed_from_u64(seed)
+}
+
+/// A small assortment of connected graphs spanning degree/expansion regimes,
+/// used by many integration suites.
+pub fn standard_small_graphs() -> Vec<(&'static str, Graph)> {
+    use dlb_graphs::topology;
+    let mut r = rng(0xD1FF);
+    vec![
+        ("path16", topology::path(16)),
+        ("cycle16", topology::cycle(16)),
+        ("grid4x4", topology::grid2d(4, 4)),
+        ("torus4x4", topology::torus2d(4, 4)),
+        ("hypercube4", topology::hypercube(4)),
+        ("debruijn4", topology::de_bruijn(4)),
+        ("complete12", topology::complete(12)),
+        ("star12", topology::star(12)),
+        ("tree15", topology::binary_tree(15)),
+        ("rreg4_16", topology::random_regular(16, 4, &mut r)),
+        ("barbell6", topology::barbell(6)),
+        ("petersen", topology::petersen()),
+    ]
+}

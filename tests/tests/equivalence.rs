@@ -1,0 +1,130 @@
+//! Cross-executor equivalence invariants — the structural heart of the
+//! reproduction:
+//!
+//! * the sequentialized replay reaches exactly the concurrent round's
+//!   state (the telescoping fact the paper's proof rests on);
+//! * the parallel executors are bit-identical to the serial ones;
+//! * Algorithm 1 on an Algorithm-2 link graph equals Algorithm 2;
+//! * the dynamic machinery over a constant sequence equals the fixed
+//!   executor.
+
+use dlb_core::continuous::ContinuousDiffusion;
+use dlb_core::discrete::DiscreteDiffusion;
+use dlb_core::model::{ContinuousBalancer, DiscreteBalancer};
+use dlb_core::parallel::{ParallelContinuousDiffusion, ParallelDiscreteDiffusion};
+use dlb_core::random_partner::{partner_round, sample_partners};
+use dlb_core::seq::{sequentialized_round, sequentialized_round_discrete};
+use dlb_dynamics::partners::sample_to_graph;
+use dlb_dynamics::{run_dynamic_continuous, StaticSequence};
+use dlb_tests::{rng, standard_small_graphs};
+use rand::Rng;
+
+fn continuous_loads_for(n: usize, seed: u64) -> Vec<f64> {
+    let mut r = rng(seed);
+    (0..n).map(|_| r.gen_range(0.0..1000.0)).collect()
+}
+
+fn discrete_loads_for(n: usize, seed: u64) -> Vec<i64> {
+    let mut r = rng(seed);
+    (0..n).map(|_| r.gen_range(0..100_000)).collect()
+}
+
+#[test]
+fn sequentialized_equals_concurrent_on_every_graph() {
+    for (name, g) in standard_small_graphs() {
+        let init = continuous_loads_for(g.n(), 0xA11);
+        let mut conc = init.clone();
+        ContinuousDiffusion::new(&g).round(&mut conc);
+        let mut seq = init;
+        sequentialized_round(&g, &mut seq);
+        for (i, (a, b)) in conc.iter().zip(&seq).enumerate() {
+            assert!(
+                (a - b).abs() < 1e-9,
+                "{name}: node {i}: concurrent {a} vs sequentialized {b}"
+            );
+        }
+    }
+}
+
+#[test]
+fn discrete_sequentialized_equals_concurrent_exactly_on_every_graph() {
+    for (name, g) in standard_small_graphs() {
+        let init = discrete_loads_for(g.n(), 0xA12);
+        let mut conc = init.clone();
+        DiscreteDiffusion::new(&g).round(&mut conc);
+        let mut seq = init;
+        sequentialized_round_discrete(&g, &mut seq);
+        assert_eq!(conc, seq, "{name}: discrete replay deviated");
+    }
+}
+
+#[test]
+fn parallel_continuous_bit_identical_on_every_graph() {
+    for (name, g) in standard_small_graphs() {
+        let init = continuous_loads_for(g.n(), 0xA13);
+        let mut serial = init.clone();
+        let mut serial_exec = ContinuousDiffusion::new(&g);
+        for _ in 0..5 {
+            serial_exec.round(&mut serial);
+        }
+        for threads in [2usize, 3, 7] {
+            let mut par = init.clone();
+            let mut par_exec = ParallelContinuousDiffusion::new(&g, threads);
+            for _ in 0..5 {
+                par_exec.round(&mut par);
+            }
+            assert_eq!(serial, par, "{name} with {threads} threads");
+        }
+    }
+}
+
+#[test]
+fn parallel_discrete_bit_identical_on_every_graph() {
+    for (name, g) in standard_small_graphs() {
+        let init = discrete_loads_for(g.n(), 0xA14);
+        let mut serial = init.clone();
+        let mut serial_exec = DiscreteDiffusion::new(&g);
+        for _ in 0..5 {
+            serial_exec.round(&mut serial);
+        }
+        let mut par = init;
+        let mut par_exec = ParallelDiscreteDiffusion::new(&g, 4);
+        for _ in 0..5 {
+            par_exec.round(&mut par);
+        }
+        assert_eq!(serial, par, "{name}");
+    }
+}
+
+#[test]
+fn algorithm2_is_algorithm1_on_link_graph() {
+    for n in [8usize, 33, 120] {
+        let mut r = rng(0xA15 ^ n as u64);
+        let sample = sample_partners(n, &mut r);
+        let g = sample_to_graph(n, &sample);
+        let init = continuous_loads_for(n, 0xA16);
+        let mut via1 = init.clone();
+        ContinuousDiffusion::new(&g).round(&mut via1);
+        let mut via2 = init;
+        partner_round(&sample, &mut via2);
+        for (a, b) in via1.iter().zip(&via2) {
+            assert!((a - b).abs() < 1e-9, "n = {n}: {a} vs {b}");
+        }
+    }
+}
+
+#[test]
+fn dynamic_static_sequence_equals_fixed_network() {
+    for (name, g) in standard_small_graphs() {
+        let init = continuous_loads_for(g.n(), 0xA17);
+        let mut fixed = init.clone();
+        let mut exec = ContinuousDiffusion::new(&g);
+        for _ in 0..7 {
+            exec.round(&mut fixed);
+        }
+        let mut dynamic = init;
+        let mut seq = StaticSequence::new(g);
+        run_dynamic_continuous(&mut seq, &mut dynamic, f64::NEG_INFINITY, 7, false);
+        assert_eq!(fixed, dynamic, "{name}");
+    }
+}

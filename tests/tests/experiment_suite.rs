@@ -1,0 +1,80 @@
+//! Whole-suite smoke test: every experiment E1–E18 runs in quick mode and
+//! reports its expected validation outcome. This is the CI-speed version
+//! of `repro all` (whose full-mode output EXPERIMENTS.md records).
+
+use dlb_analysis::experiments::{run_all, run_by_id, ExpConfig};
+
+#[test]
+fn all_experiments_run_and_validate_in_quick_mode() {
+    let cfg = ExpConfig::quick(0xC1);
+    let reports = run_all(&cfg);
+    assert_eq!(reports.len(), 18);
+
+    for report in &reports {
+        // Every report renders non-trivially.
+        let text = report.render();
+        assert!(text.len() > 100, "{}: suspiciously short report", report.id);
+        assert!(!report.tables.is_empty(), "{}: no tables", report.id);
+        for t in &report.tables {
+            assert!(!t.rows.is_empty(), "{}: empty table '{}'", report.id, t.title);
+        }
+        // Every experiment carries a machine-checkable verdict, and it
+        // passes (the `repro verify` CI gate).
+        assert_eq!(
+            report.passed,
+            Some(true),
+            "{}: paper claim did not validate",
+            report.id
+        );
+    }
+
+    // The validation sentinels embedded in the notes.
+    let note = |id: &str| -> String {
+        reports
+            .iter()
+            .find(|r| r.id.eq_ignore_ascii_case(id))
+            .unwrap_or_else(|| panic!("missing report {id}"))
+            .notes
+            .join(" ")
+    };
+    assert!(note("E1").contains("violations: 0"));
+    assert!(note("E2").contains("Lemma 1 violations: 0"));
+    assert!(note("E4").contains("bound violations: 0"));
+    assert!(note("E6").contains("violations: 0"));
+    assert!(note("E7").contains("violations: 0"));
+    assert!(note("E8").contains("bound satisfied: true"));
+    assert!(note("E9").contains("true"));
+    assert!(note("E10").contains("respected: true"));
+    assert!(note("E11").contains("respected: true"));
+    assert!(note("E13").contains("sandwich holds on all exhaustively-checked graphs: true"));
+    assert!(note("E14").contains("bit-identical to the serial executor: true"));
+    assert!(note("E15").contains("bit-identical to Algorithm 1: true"));
+    assert!(note("E16").contains("5%): true"));
+    assert!(note("E17").contains("(0 increases"));
+    assert!(note("E18").contains("violations: 0"));
+}
+
+#[test]
+fn run_by_id_accepts_aliases() {
+    let cfg = ExpConfig::quick(0xC2);
+    for id in ["e1", "E1", "1", "e01"] {
+        let r = run_by_id(id, &cfg).unwrap_or_else(|| panic!("id {id} not found"));
+        assert_eq!(r.id, "E1");
+    }
+}
+
+#[test]
+fn experiment_tables_export_csv() {
+    let cfg = ExpConfig::quick(0xC3);
+    let report = run_by_id("e9", &cfg).expect("E9");
+    for t in &report.tables {
+        let csv = t.to_csv();
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines.len(), t.rows.len() + 1);
+        assert_eq!(
+            lines[0].split(',').count(),
+            t.headers.len(),
+            "header arity mismatch in CSV"
+        );
+    }
+}

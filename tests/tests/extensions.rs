@@ -1,0 +1,123 @@
+//! Cross-crate integration tests for the extension features (E15–E18):
+//! heterogeneous capacities, Chebyshev acceleration, the generalized
+//! divisor, and the RSW local-divergence machinery.
+
+use dlb_analysis::localdiv::{local_divergence, max_discrete_deviation};
+use dlb_baselines::{ChebyshevContinuous, FirstOrderContinuous, SecondOrderContinuous};
+use dlb_core::continuous::{ContinuousDiffusion, GeneralizedDiffusion};
+use dlb_core::heterogeneous::{
+    proportional_target, weighted_phi, HeterogeneousDiffusion,
+    HeterogeneousDiscreteDiffusion,
+};
+use dlb_core::model::{ContinuousBalancer, DiscreteBalancer};
+use dlb_core::potential;
+use dlb_core::runner::rounds_to_epsilon;
+use dlb_tests::standard_small_graphs;
+use rand::Rng;
+
+#[test]
+fn heterogeneous_unit_capacity_matches_alg1_on_every_graph() {
+    for (name, g) in standard_small_graphs() {
+        let mut r = dlb_tests::rng(0xE15);
+        let init: Vec<f64> = (0..g.n()).map(|_| r.gen_range(0.0..1000.0)).collect();
+        let mut a = init.clone();
+        let mut b = init;
+        ContinuousDiffusion::new(&g).round(&mut a);
+        HeterogeneousDiffusion::new(&g, vec![1.0; g.n()]).round(&mut b);
+        for (x, y) in a.iter().zip(&b) {
+            assert!((x - y).abs() < 1e-9, "{name}: {x} vs {y}");
+        }
+    }
+}
+
+#[test]
+fn heterogeneous_proportional_on_every_graph() {
+    for (name, g) in standard_small_graphs() {
+        let n = g.n();
+        let caps: Vec<f64> = (0..n).map(|i| 1.0 + (i % 4) as f64).collect();
+        let mut loads = vec![0.0; n];
+        loads[0] = 1000.0;
+        let mut exec = HeterogeneousDiffusion::new(&g, caps.clone());
+        let phi0 = weighted_phi(&loads, &caps);
+        let mut rounds = 0;
+        while weighted_phi(&loads, &caps) > 1e-12 * phi0 && rounds < 500_000 {
+            exec.round(&mut loads);
+            rounds += 1;
+        }
+        let target = proportional_target(&loads, &caps);
+        for (i, (&l, &t)) in loads.iter().zip(&target).enumerate() {
+            // Tolerance is relative to the (≈25-unit) targets: the Φ_c
+            // stopping rule leaves ≈√(ε·Φ₀/n) per-node residual.
+            assert!(
+                (l - t).abs() < 1e-2 * t.max(1.0),
+                "{name} node {i}: load {l} vs proportional target {t}"
+            );
+        }
+    }
+}
+
+#[test]
+fn heterogeneous_discrete_plateau_and_conservation() {
+    for (name, g) in standard_small_graphs() {
+        let n = g.n();
+        let caps: Vec<f64> = (0..n).map(|i| if i % 3 == 0 { 4.0 } else { 1.0 }).collect();
+        let mut loads = vec![0i64; n];
+        loads[0] = 100_000;
+        let total = potential::total_discrete(&loads);
+        let mut exec = HeterogeneousDiscreteDiffusion::new(&g, caps);
+        for _ in 0..3000 {
+            exec.round(&mut loads);
+        }
+        assert_eq!(potential::total_discrete(&loads), total, "{name}: tokens lost");
+    }
+}
+
+#[test]
+fn acceleration_ladder_on_slow_graph() {
+    let g = dlb_graphs::topology::cycle(48);
+    let race = |b: &mut dyn ContinuousBalancer| {
+        let mut loads = vec![0.0; 48];
+        loads[0] = 480.0;
+        rounds_to_epsilon(b, &mut loads, 1e-6, 2_000_000)
+    };
+    let alg1 = race(&mut ContinuousDiffusion::new(&g));
+    let fos = race(&mut FirstOrderContinuous::new(&g));
+    let sos = race(&mut SecondOrderContinuous::with_optimal_beta(&g));
+    let cheb = race(&mut ChebyshevContinuous::new(&g));
+    assert!(alg1.converged && fos.converged && sos.converged && cheb.converged);
+    assert!(fos.rounds < alg1.rounds);
+    assert!(sos.rounds < fos.rounds);
+    assert!(cheb.rounds <= sos.rounds + 2);
+}
+
+#[test]
+fn generalized_divisor_sweep_stability() {
+    for (name, g) in standard_small_graphs() {
+        for k in [2.0f64, 4.0, 16.0] {
+            let mut loads: Vec<f64> = (0..g.n()).map(|i| ((i * 13) % 29) as f64).collect();
+            let mut exec = GeneralizedDiffusion::new(&g, k);
+            let mut last = potential::phi(&loads);
+            for _ in 0..30 {
+                let s = exec.round(&mut loads);
+                assert!(
+                    s.phi_after <= last * (1.0 + 1e-12) + 1e-9,
+                    "{name} k={k}: potential increased"
+                );
+                last = s.phi_after;
+            }
+        }
+    }
+}
+
+#[test]
+fn local_divergence_dominates_discrete_deviation_on_every_graph() {
+    for (name, g) in standard_small_graphs() {
+        let psi = local_divergence(&g, 0, 200_000, 1e-9);
+        let dev = max_discrete_deviation(&g, 0, 1500);
+        assert!(
+            dev <= psi.psi + 1e-6,
+            "{name}: ℓ∞ deviation {dev} exceeds measured Ψ {}",
+            psi.psi
+        );
+    }
+}

@@ -1,0 +1,110 @@
+//! Failure injection over the dynamic-network machinery: total outages,
+//! matching-only degradation, and heavy churn must never lose load, never
+//! increase the potential, and must still converge when the sequence is
+//! connected on average.
+
+use dlb_core::potential;
+use dlb_dynamics::{
+    run_dynamic_continuous, run_dynamic_discrete, GraphSequence, IidSubgraphSequence,
+    MarkovChurnSequence, MatchingOnlySequence, OutageSequence, StaticSequence,
+};
+use dlb_graphs::topology;
+
+#[test]
+fn outage_rounds_freeze_state_exactly() {
+    let ground = topology::hypercube(4);
+    // Every round is an outage: nothing may change, ever.
+    let mut seq = OutageSequence::new(StaticSequence::new(ground), 1);
+    let mut loads: Vec<f64> = (0..16).map(|i| (i * 7 % 13) as f64).collect();
+    let before = loads.clone();
+    let out = run_dynamic_continuous(&mut seq, &mut loads, f64::NEG_INFINITY, 50, false);
+    assert_eq!(out.rounds, 50);
+    assert_eq!(loads, before, "outage rounds mutated the state");
+}
+
+#[test]
+fn heavy_churn_conserves_discrete_tokens_exactly() {
+    let ground = topology::torus2d(5, 5);
+    let mut seq = MarkovChurnSequence::new(ground, 0.6, 0.2, 99); // mostly down
+    let mut loads: Vec<i64> = (0..25).map(|i| ((i * 331) % 10_000) as i64).collect();
+    let total = potential::total_discrete(&loads);
+    let out = run_dynamic_discrete(&mut seq, &mut loads, 0, 500, false);
+    assert!(!out.converged); // target 0 unreachable
+    assert_eq!(potential::total_discrete(&loads), total);
+}
+
+#[test]
+fn intermittent_outages_only_delay_convergence() {
+    let ground = topology::hypercube(4);
+    let mut loads_clean = vec![0.0; 16];
+    loads_clean[0] = 1600.0;
+    let target = 1e-6 * potential::phi(&loads_clean);
+
+    let mut clean_seq = StaticSequence::new(ground.clone());
+    let clean =
+        run_dynamic_continuous(&mut clean_seq, &mut loads_clean.clone(), target, 100_000, false);
+
+    let mut faulty_seq = OutageSequence::new(StaticSequence::new(ground), 3);
+    let faulty =
+        run_dynamic_continuous(&mut faulty_seq, &mut loads_clean.clone(), target, 100_000, false);
+
+    assert!(clean.converged && faulty.converged);
+    // With every 3rd round dead, the slowdown is exactly the 3/2 stretch
+    // (outage rounds are no-ops). Allow rounding slack.
+    assert!(
+        faulty.rounds >= clean.rounds && faulty.rounds <= clean.rounds * 3 / 2 + 2,
+        "clean {} vs faulty {}",
+        clean.rounds,
+        faulty.rounds
+    );
+}
+
+#[test]
+fn matching_only_degradation_still_converges() {
+    let ground = topology::complete(16);
+    let mut seq = MatchingOnlySequence::new(ground, 3);
+    let mut loads = vec![0.0; 16];
+    loads[0] = 1600.0;
+    let target = 1e-4 * potential::phi(&loads);
+    let out = run_dynamic_continuous(&mut seq, &mut loads, target, 100_000, false);
+    assert!(out.converged, "matching-only sequence failed to converge");
+}
+
+#[test]
+fn mostly_dead_network_still_converges_eventually() {
+    let ground = topology::torus2d(4, 4);
+    let mut seq = IidSubgraphSequence::new(ground, 0.15, 5); // 85% of edges dead per round
+    let mut loads = vec![0.0; 16];
+    loads[0] = 1600.0;
+    let target = 1e-4 * potential::phi(&loads);
+    let out = run_dynamic_continuous(&mut seq, &mut loads, target, 1_000_000, false);
+    assert!(out.converged, "sparse random subgraphs failed to converge");
+    // Load conserved through all the churn.
+    assert!((loads.iter().sum::<f64>() - 1600.0).abs() < 1e-8);
+}
+
+#[test]
+fn potential_never_increases_under_any_churn() {
+    let ground = topology::de_bruijn(4);
+    let models: Vec<Box<dyn GraphSequence>> = vec![
+        Box::new(IidSubgraphSequence::new(ground.clone(), 0.4, 1)),
+        Box::new(MarkovChurnSequence::new(ground.clone(), 0.3, 0.3, 2)),
+        Box::new(MatchingOnlySequence::new(ground.clone(), 3)),
+        Box::new(OutageSequence::new(StaticSequence::new(ground), 2)),
+    ];
+    for mut seq in models {
+        let mut loads: Vec<f64> = (0..16).map(|i| ((i * 31) % 47) as f64).collect();
+        let mut last = potential::phi(&loads);
+        for _ in 0..50 {
+            let out =
+                run_dynamic_continuous(seq.as_mut(), &mut loads, f64::NEG_INFINITY, 1, false);
+            assert!(
+                out.final_phi <= last + 1e-9,
+                "{}: potential increased {last} -> {}",
+                seq.name(),
+                out.final_phi
+            );
+            last = out.final_phi;
+        }
+    }
+}

@@ -1,0 +1,152 @@
+//! Property-based tests (proptest) for the workspace's core invariants.
+
+use dlb_core::continuous::ContinuousDiffusion;
+use dlb_core::discrete::DiscreteDiffusion;
+use dlb_core::model::{ContinuousBalancer, DiscreteBalancer};
+use dlb_core::potential;
+use dlb_core::seq::{sequentialized_round, sequentialized_round_discrete};
+use dlb_graphs::{topology, Graph};
+use dlb_spectral::eigen;
+use dlb_spectral::matrix::SymMatrix;
+use proptest::prelude::*;
+
+/// Strategy: a connected graph from a random family + size.
+fn arb_graph() -> impl Strategy<Value = Graph> {
+    (0u8..5, 4usize..24).prop_map(|(family, n)| match family {
+        0 => topology::path(n),
+        1 => topology::cycle(n.max(3)),
+        2 => topology::star(n),
+        3 => topology::binary_tree(n),
+        _ => topology::complete(n.clamp(2, 12)),
+    })
+}
+
+/// Strategy: a graph together with a matching load vector.
+fn graph_and_discrete_loads() -> impl Strategy<Value = (Graph, Vec<i64>)> {
+    arb_graph().prop_flat_map(|g| {
+        let n = g.n();
+        (Just(g), proptest::collection::vec(0i64..2_000_000, n))
+    })
+}
+
+fn graph_and_continuous_loads() -> impl Strategy<Value = (Graph, Vec<f64>)> {
+    arb_graph().prop_flat_map(|g| {
+        let n = g.n();
+        (Just(g), proptest::collection::vec(0.0f64..1e6, n))
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn lemma10_identity_exact((_, loads) in graph_and_discrete_loads()) {
+        prop_assert!(potential::lemma10_exact_identity_holds(&loads));
+    }
+
+    #[test]
+    fn lemma10_identity_with_negatives(loads in proptest::collection::vec(-1_000_000_000i64..1_000_000_000, 1..64)) {
+        prop_assert!(potential::lemma10_exact_identity_holds(&loads));
+    }
+
+    #[test]
+    fn discrete_round_conserves_and_is_monotone((g, mut loads) in graph_and_discrete_loads()) {
+        let total = potential::total_discrete(&loads);
+        let phi_before = potential::phi_hat(&loads);
+        let stats = DiscreteDiffusion::new(&g).round(&mut loads);
+        prop_assert_eq!(potential::total_discrete(&loads), total);
+        prop_assert!(stats.phi_hat_after <= phi_before);
+        prop_assert_eq!(stats.phi_hat_before, phi_before);
+    }
+
+    #[test]
+    fn discrete_nonnegative_loads_stay_nonnegative((g, mut loads) in graph_and_discrete_loads()) {
+        DiscreteDiffusion::new(&g).round(&mut loads);
+        prop_assert!(loads.iter().all(|&l| l >= 0));
+    }
+
+    #[test]
+    fn continuous_round_conserves_and_is_monotone((g, mut loads) in graph_and_continuous_loads()) {
+        let total: f64 = loads.iter().sum();
+        let stats = ContinuousDiffusion::new(&g).round(&mut loads);
+        let after: f64 = loads.iter().sum();
+        prop_assert!((total - after).abs() <= 1e-9 * total.max(1.0));
+        prop_assert!(stats.phi_after <= stats.phi_before * (1.0 + 1e-12) + 1e-9);
+    }
+
+    #[test]
+    fn lemma1_certificates_never_violated((g, mut loads) in graph_and_continuous_loads()) {
+        let round = sequentialized_round(&g, &mut loads);
+        // Tolerance scales with magnitude (1e6 loads squared ~ 1e12).
+        prop_assert_eq!(round.lemma1_violations(1e-3), 0);
+    }
+
+    #[test]
+    fn discrete_telescoping_exact((g, mut loads) in graph_and_discrete_loads()) {
+        let round = sequentialized_round_discrete(&g, &mut loads);
+        let telescoped = round.total_drop_hat();
+        let actual = round.phi_hat_before as i128 - round.phi_hat_after as i128;
+        prop_assert_eq!(telescoped, actual);
+    }
+
+    #[test]
+    fn spectrum_nonnegative_and_traces_match(g in arb_graph()) {
+        let l = SymMatrix::laplacian(&g);
+        let spec = eigen::laplacian_spectrum(&g).expect("spectrum");
+        prop_assert!(spec[0].abs() < 1e-8);
+        prop_assert!(spec.iter().all(|&x| x > -1e-8));
+        let sum: f64 = spec.iter().sum();
+        prop_assert!((sum - l.trace()).abs() < 1e-6 * l.trace().max(1.0));
+    }
+
+    #[test]
+    fn graph_handshake_and_degree_bounds(g in arb_graph()) {
+        prop_assert_eq!(g.degree_sum(), 2 * g.m());
+        let max = g.nodes().map(|v| g.degree(v)).max().unwrap_or(0);
+        prop_assert_eq!(max, g.max_degree());
+    }
+
+    #[test]
+    fn matching_is_always_valid(g in arb_graph(), seed in 0u64..1000) {
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let m = dlb_graphs::matching::proposal_matching(&g, &mut rng);
+        let mut seen = vec![false; g.n()];
+        for &(u, v) in m.pairs() {
+            prop_assert!(g.has_edge(u, v));
+            prop_assert!(!seen[u as usize] && !seen[v as usize]);
+            seen[u as usize] = true;
+            seen[v as usize] = true;
+        }
+    }
+
+    #[test]
+    fn partner_sample_structure(n in 2usize..200, seed in 0u64..1000) {
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let s = dlb_core::random_partner::sample_partners(n, &mut rng);
+        // links canonical + deduped
+        for w in s.links.windows(2) {
+            prop_assert!(w[0] < w[1]);
+        }
+        // degree sum = 2·links
+        let deg_sum: u32 = s.degrees.iter().sum();
+        prop_assert_eq!(deg_sum as usize, 2 * s.links.len());
+        prop_assert!(s.links.len() <= n);
+    }
+
+    #[test]
+    fn workloads_conserve_total(n in 1usize..128, avg in 0i64..10_000) {
+        use dlb_core::init::{discrete_loads, Workload};
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+        for w in [Workload::Spike, Workload::Ramp, Workload::Bimodal, Workload::Balanced] {
+            let v = discrete_loads(n, avg, w, &mut rng);
+            prop_assert_eq!(
+                potential::total_discrete(&v),
+                avg as i128 * n as i128,
+                "workload {:?}", w
+            );
+        }
+    }
+}

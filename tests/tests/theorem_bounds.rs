@@ -1,0 +1,127 @@
+//! End-to-end theorem validation on the full small-graph zoo: every
+//! convergence bound in the paper must hold on every connected instance.
+
+use dlb_core::continuous::ContinuousDiffusion;
+use dlb_core::discrete::DiscreteDiffusion;
+use dlb_core::model::DiscreteBalancer;
+use dlb_core::runner::{rounds_to_epsilon, run_discrete};
+use dlb_core::{bounds, potential};
+use dlb_spectral::eigen::laplacian_lambda2;
+use dlb_tests::standard_small_graphs;
+
+#[test]
+fn theorem4_bound_holds_on_all_graphs() {
+    let eps = 1e-3;
+    for (name, g) in standard_small_graphs() {
+        let n = g.n();
+        let lambda2 = laplacian_lambda2(&g).expect("λ₂");
+        let budget = bounds::theorem4_rounds(g.max_degree(), lambda2, eps).ceil() as usize;
+        let mut loads = vec![0.0; n];
+        loads[0] = 1000.0 * n as f64;
+        let mut exec = ContinuousDiffusion::new(&g);
+        let out = rounds_to_epsilon(&mut exec, &mut loads, eps, budget);
+        assert!(
+            out.converged,
+            "{name}: did not reach ε·Φ₀ within the Theorem 4 budget of {budget} rounds"
+        );
+    }
+}
+
+#[test]
+fn theorem4_per_round_drop_factor_holds() {
+    for (name, g) in standard_small_graphs() {
+        let n = g.n();
+        let lambda2 = laplacian_lambda2(&g).expect("λ₂");
+        let rate = bounds::theorem4_drop_factor(g.max_degree(), lambda2);
+        let mut loads: Vec<f64> = (0..n).map(|i| ((i * 83 + 19) % 257) as f64).collect();
+        let mut exec = ContinuousDiffusion::new(&g);
+        use dlb_core::model::ContinuousBalancer;
+        for round in 0..50 {
+            let s = exec.round(&mut loads);
+            if s.phi_before < 1e-9 {
+                break;
+            }
+            assert!(
+                s.relative_drop() >= rate - 1e-9,
+                "{name} round {round}: drop {} < λ₂/4δ = {rate}",
+                s.relative_drop()
+            );
+        }
+    }
+}
+
+#[test]
+fn theorem6_bound_and_plateau_hold_on_all_graphs() {
+    for (name, g) in standard_small_graphs() {
+        let n = g.n();
+        let lambda2 = laplacian_lambda2(&g).expect("λ₂");
+        let delta = g.max_degree();
+        let mut loads = vec![0i64; n];
+        loads[0] = 1_000_000 * n as i64;
+        let phi0 = potential::phi_discrete(&loads);
+        let threshold_hat = bounds::theorem6_threshold_hat(delta, lambda2, n);
+        let budget = bounds::theorem6_rounds(delta, lambda2, phi0, n).ceil() as usize + 1;
+        let mut exec = DiscreteDiffusion::new(&g);
+        let out = run_discrete(&mut exec, &mut loads, threshold_hat, budget, false);
+        assert!(
+            out.converged,
+            "{name}: did not reach the Theorem 6 plateau within {budget} rounds \
+             (final Φ̂ = {}, threshold {threshold_hat})",
+            out.final_phi_hat
+        );
+    }
+}
+
+#[test]
+fn discrete_potential_monotone_on_all_graphs() {
+    for (name, g) in standard_small_graphs() {
+        let n = g.n();
+        let mut loads: Vec<i64> = (0..n).map(|i| ((i * 9973 + 11) % 100_000) as i64).collect();
+        let total_before = potential::total_discrete(&loads);
+        let mut exec = DiscreteDiffusion::new(&g);
+        let mut last = potential::phi_hat(&loads);
+        for round in 0..100 {
+            let s = exec.round(&mut loads);
+            assert!(
+                s.phi_hat_after <= last,
+                "{name} round {round}: potential increased {last} -> {}",
+                s.phi_hat_after
+            );
+            last = s.phi_hat_after;
+        }
+        assert_eq!(potential::total_discrete(&loads), total_before, "{name}: tokens lost");
+    }
+}
+
+#[test]
+fn gm_baseline_slower_than_alg1_in_rounds() {
+    // The Section 3 comparison on a representative subset (tori and
+    // expanders; statistical so use generous margins).
+    use dlb_baselines::{MatchingExchangeContinuous, MatchingKind};
+    use dlb_graphs::topology;
+    let eps = 1e-3;
+    for g in [topology::torus2d(6, 6), topology::hypercube(5)] {
+        let n = g.n();
+        let mut spike = vec![0.0; n];
+        spike[0] = 100.0 * n as f64;
+
+        let mut a_loads = spike.clone();
+        let mut alg1 = ContinuousDiffusion::new(&g);
+        let a = rounds_to_epsilon(&mut alg1, &mut a_loads, eps, 1_000_000);
+
+        let mut g_loads = spike;
+        let mut gm = MatchingExchangeContinuous::new(&g, MatchingKind::Proposal, 9);
+        let m = rounds_to_epsilon(&mut gm, &mut g_loads, eps, 1_000_000);
+
+        assert!(a.converged && m.converged);
+        // "Constant times faster": the proven constant is 4×, but GM moves
+        // half the difference per matched edge (vs 1/(4δ)), so the measured
+        // gap narrows on high-degree graphs — require a clear >1.2× margin.
+        assert!(
+            m.rounds as f64 > 1.2 * a.rounds as f64,
+            "dimension exchange ({}) not clearly slower than Algorithm 1 ({})",
+            m.rounds,
+            a.rounds
+        );
+    }
+}
