@@ -44,6 +44,7 @@ pub fn theorem4_factor(delta: u32, lambda2: f64) -> f64 {
 mod tests {
     use super::*;
     use dlb_core::continuous::ContinuousDiffusion;
+    use dlb_core::engine::IntoEngine;
     use dlb_core::runner::run_continuous;
     use dlb_graphs::topology;
     use dlb_spectral::closed_form;
@@ -65,7 +66,7 @@ mod tests {
         let g = topology::cycle(n);
         let mut loads = vec![0.0; n];
         loads[0] = n as f64 * 100.0;
-        let mut exec = ContinuousDiffusion::new(&g);
+        let mut exec = ContinuousDiffusion::new(&g).engine();
         let out = run_continuous(&mut exec, &mut loads, 0.0, 300, true);
         let guaranteed = theorem4_factor(2, closed_form::lambda2_cycle(n));
         let measured = geometric_rate(&out.trace);

@@ -12,6 +12,7 @@
 use super::{standard_instances, ExpConfig};
 use crate::table::{fmt_f64, Report, Table};
 use dlb_core::continuous::ContinuousDiffusion;
+use dlb_core::engine::IntoEngine;
 use dlb_core::init::{continuous_loads, Workload};
 use dlb_core::runner::rounds_to_epsilon;
 use dlb_core::{bounds, potential};
@@ -26,7 +27,16 @@ pub fn run(cfg: &ExpConfig) -> Report {
     let mut report = Report::new("E1", "Theorem 4: continuous diffusion on fixed networks");
     let mut table = Table::new(
         format!("rounds to Φ ≤ ε·Φ₀   (n = {n}, ε = {eps:.0e}, avg load = {avg})"),
-        &["topology", "δ", "λ₂", "workload", "Φ₀", "T_paper", "T_meas", "meas/paper"],
+        &[
+            "topology",
+            "δ",
+            "λ₂",
+            "workload",
+            "Φ₀",
+            "T_paper",
+            "T_meas",
+            "meas/paper",
+        ],
     );
 
     let mut violations = 0usize;
@@ -36,9 +46,8 @@ pub fn run(cfg: &ExpConfig) -> Report {
             let mut rng = StdRng::seed_from_u64(cfg.seed ^ 0xE1);
             let mut loads = continuous_loads(n, avg, workload, &mut rng);
             let phi0 = potential::phi(&loads);
-            let mut balancer = ContinuousDiffusion::new(&inst.graph);
-            let out =
-                rounds_to_epsilon(&mut balancer, &mut loads, eps, bound as usize + 10);
+            let mut balancer = ContinuousDiffusion::new(&inst.graph).engine();
+            let out = rounds_to_epsilon(&mut balancer, &mut loads, eps, bound as usize + 10);
             if !out.converged || out.rounds as f64 > bound {
                 violations += 1;
             }
@@ -75,7 +84,11 @@ mod tests {
     #[test]
     fn quick_run_has_no_violations() {
         let report = run(&ExpConfig::quick(7));
-        assert!(report.notes[0].contains("violations: 0"), "{}", report.notes[0]);
+        assert!(
+            report.notes[0].contains("violations: 0"),
+            "{}",
+            report.notes[0]
+        );
         // 8 topologies × 2 workloads rows.
         assert_eq!(report.tables[0].rows.len(), 16);
     }

@@ -23,7 +23,10 @@ pub fn run(cfg: &ExpConfig) -> Report {
     // two (hypercube/de Bruijn): use 4^k sizes.
     let n = cfg.pick(256, 64);
     let rounds = cfg.pick(40, 10);
-    let mut report = Report::new("E2", "Lemmas 1 & 2: per-activation and per-round drop bounds");
+    let mut report = Report::new(
+        "E2",
+        "Lemmas 1 & 2: per-activation and per-round drop bounds",
+    );
     let mut table = Table::new(
         format!("sequentialized replay over {rounds} rounds (n = {n})"),
         &[
@@ -82,9 +85,17 @@ pub fn run(cfg: &ExpConfig) -> Report {
             inst.name.to_string(),
             activations.to_string(),
             l1_viol.to_string(),
-            if min_l1_ratio.is_finite() { fmt_f64(min_l1_ratio) } else { "-".into() },
+            if min_l1_ratio.is_finite() {
+                fmt_f64(min_l1_ratio)
+            } else {
+                "-".into()
+            },
             l2_viol.to_string(),
-            if min_l2_ratio.is_finite() { fmt_f64(min_l2_ratio) } else { "-".into() },
+            if min_l2_ratio.is_finite() {
+                fmt_f64(min_l2_ratio)
+            } else {
+                "-".into()
+            },
         ]);
     }
     report.tables.push(table);

@@ -13,8 +13,8 @@ use crate::montecarlo::{parallel_trials, trial_seed};
 use crate::stats::Summary;
 use crate::table::{fmt_f64, Report, Table};
 use dlb_core::continuous::ContinuousDiffusion;
+use dlb_core::engine::IntoEngine;
 use dlb_core::init::{continuous_loads, Workload};
-use dlb_core::model::ContinuousBalancer;
 use dlb_core::seq::{adaptive_sequential_round, AdaptiveOrder};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -24,8 +24,10 @@ pub fn run(cfg: &ExpConfig) -> Report {
     let n = cfg.pick(256, 64);
     let trials = cfg.pick(64, 8);
     let rounds_per_trial = cfg.pick(25, 6);
-    let mut report =
-        Report::new("E3", "Section 3 ablation: concurrent vs sequential potential drop");
+    let mut report = Report::new(
+        "E3",
+        "Section 3 ablation: concurrent vs sequential potential drop",
+    );
     let mut table = Table::new(
         format!("drop(concurrent)/drop(adaptive sequential), {trials} trials × {rounds_per_trial} rounds (n = {n})"),
         &["topology", "samples", "min", "mean", "max", "paper ≥"],
@@ -37,7 +39,7 @@ pub fn run(cfg: &ExpConfig) -> Report {
         let ratios: Vec<Vec<f64>> = parallel_trials(trials, cfg.seed ^ 0xE3, |seed| {
             let mut rng = StdRng::seed_from_u64(seed);
             let mut loads = continuous_loads(n, 50.0, Workload::UniformRandom, &mut rng);
-            let mut conc_exec = ContinuousDiffusion::new(graph);
+            let mut conc_exec = ContinuousDiffusion::new(graph).engine();
             let mut out = Vec::new();
             for round in 0..rounds_per_trial {
                 let mut conc = loads.clone();

@@ -12,8 +12,8 @@
 use super::{standard_instances, ExpConfig};
 use crate::table::{fmt_f64, Report, Table};
 use dlb_core::discrete::DiscreteDiffusion;
+use dlb_core::engine::IntoEngine;
 use dlb_core::init::{discrete_loads, Workload};
-use dlb_core::model::DiscreteBalancer;
 use dlb_core::{bounds, potential};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -22,7 +22,10 @@ use rand::SeedableRng;
 pub fn run(cfg: &ExpConfig) -> Report {
     let n = cfg.pick(256, 64);
     let avg = cfg.pick(1_000_000i64, 100_000);
-    let mut report = Report::new("E4", "Theorem 6 & Lemma 5: discrete diffusion on fixed networks");
+    let mut report = Report::new(
+        "E4",
+        "Theorem 6 & Lemma 5: discrete diffusion on fixed networks",
+    );
     let mut table = Table::new(
         format!("rounds to Φ < 64δ³n/λ₂   (n = {n}, spike workload, avg = {avg} tokens)"),
         &[
@@ -42,7 +45,7 @@ pub fn run(cfg: &ExpConfig) -> Report {
         let t_paper = bounds::theorem6_rounds(delta, inst.lambda2, phi0, n).ceil();
         let drop_floor = bounds::lemma5_drop_factor(delta, inst.lambda2);
 
-        let mut balancer = DiscreteDiffusion::new(&inst.graph);
+        let mut balancer = DiscreteDiffusion::new(&inst.graph).engine();
         let mut t_meas = None;
         let mut l5_violations = 0usize;
         let budget = t_paper as usize + 50;

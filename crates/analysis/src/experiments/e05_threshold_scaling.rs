@@ -11,6 +11,7 @@ use super::ExpConfig;
 use crate::stats::linear_fit;
 use crate::table::{fmt_f64, Report, Table};
 use dlb_core::discrete::DiscreteDiffusion;
+use dlb_core::engine::IntoEngine;
 use dlb_core::init::{discrete_loads, Workload};
 use dlb_core::runner::run_discrete_to_fixed_point;
 use dlb_core::{bounds, potential};
@@ -23,8 +24,10 @@ use rand::SeedableRng;
 pub fn run(cfg: &ExpConfig) -> Report {
     let sizes: Vec<usize> = cfg.pick(vec![64, 256, 1024, 4096], vec![16, 64, 256]);
     let avg = 100_000i64;
-    let mut report =
-        Report::new("E5", "discrete plateau scaling: linear in n (paper) vs quadratic ([15])");
+    let mut report = Report::new(
+        "E5",
+        "discrete plateau scaling: linear in n (paper) vs quadratic ([15])",
+    );
 
     let mut notes_fit = Vec::new();
     let mut fits_linear = true;
@@ -40,22 +43,26 @@ pub fn run(cfg: &ExpConfig) -> Report {
             let (graph, lambda2) = match family {
                 "hypercube" => {
                     let dim = n.trailing_zeros();
-                    (topology::hypercube(dim), closed_form::lambda2_hypercube(dim))
+                    (
+                        topology::hypercube(dim),
+                        closed_form::lambda2_hypercube(dim),
+                    )
                 }
                 _ => {
                     let g = topology::random_regular(n, 8, &mut rng);
-                    let l2 = super::lambda2_of(
-                        dlb_graphs::topology::Topology::RandomRegular8,
-                        &g,
-                    );
+                    let l2 = super::lambda2_of(dlb_graphs::topology::Topology::RandomRegular8, &g);
                     (g, l2)
                 }
             };
             let delta = graph.max_degree();
             let mut loads = discrete_loads(n, avg, Workload::Spike, &mut rng);
-            let mut balancer = DiscreteDiffusion::new(&graph);
-            let (_, fixed) =
-                run_discrete_to_fixed_point(&mut balancer, &mut loads, 3, cfg.pick(200_000, 20_000));
+            let mut balancer = DiscreteDiffusion::new(&graph).engine();
+            let (_, fixed) = run_discrete_to_fixed_point(
+                &mut balancer,
+                &mut loads,
+                3,
+                cfg.pick(200_000, 20_000),
+            );
             let phi_end = potential::phi_discrete(&loads);
             let phi_star = bounds::theorem6_threshold(delta, lambda2, n);
             xs.push(n as f64);
@@ -101,10 +108,12 @@ mod tests {
             let col: Vec<f64> = table
                 .rows
                 .iter()
-                .map(|r| r[5].parse::<f64>().unwrap_or_else(|_| {
-                    // scientific notation path
-                    r[5].parse::<f64>().unwrap_or(f64::NAN)
-                }))
+                .map(|r| {
+                    r[5].parse::<f64>().unwrap_or_else(|_| {
+                        // scientific notation path
+                        r[5].parse::<f64>().unwrap_or(f64::NAN)
+                    })
+                })
                 .collect();
             assert!(
                 col.first().unwrap_or(&0.0) >= col.last().unwrap_or(&0.0),

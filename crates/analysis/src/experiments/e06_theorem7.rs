@@ -36,7 +36,10 @@ pub fn run(cfg: &ExpConfig) -> Report {
         ("hypercube", topology::hypercube(n.trailing_zeros())),
     ] {
         let models: Vec<(String, Box<dyn GraphSequence>)> = vec![
-            ("static".into(), Box::new(StaticSequence::new(ground.clone()))),
+            (
+                "static".into(),
+                Box::new(StaticSequence::new(ground.clone())),
+            ),
             (
                 "iid p=0.3".into(),
                 Box::new(IidSubgraphSequence::new(ground.clone(), 0.3, cfg.seed ^ 1)),
@@ -51,7 +54,12 @@ pub fn run(cfg: &ExpConfig) -> Report {
             ),
             (
                 "markov .2/.4".into(),
-                Box::new(MarkovChurnSequence::new(ground.clone(), 0.2, 0.4, cfg.seed ^ 4)),
+                Box::new(MarkovChurnSequence::new(
+                    ground.clone(),
+                    0.2,
+                    0.4,
+                    cfg.seed ^ 4,
+                )),
             ),
             (
                 "matching-only".into(),
@@ -90,7 +98,9 @@ pub fn run(cfg: &ExpConfig) -> Report {
         }
     }
     report.tables.push(table);
-    report.notes.push(format!("Theorem 7 bound violations: {violations} (expected 0)."));
+    report.notes.push(format!(
+        "Theorem 7 bound violations: {violations} (expected 0)."
+    ));
     report.notes.push(
         "A_K is evaluated on the realized sequence (per-round dense λ₂ solves). \
          matching-only rounds have δ⁽ᵏ⁾ = 1 components ⇒ λ₂⁽ᵏ⁾ = 0, dragging A_K down \
@@ -108,7 +118,11 @@ mod tests {
     #[test]
     fn quick_run_no_violations() {
         let report = run(&ExpConfig::quick(17));
-        assert!(report.notes[0].contains("violations: 0"), "{}", report.notes[0]);
+        assert!(
+            report.notes[0].contains("violations: 0"),
+            "{}",
+            report.notes[0]
+        );
         assert_eq!(report.tables[0].rows.len(), 14);
     }
 }

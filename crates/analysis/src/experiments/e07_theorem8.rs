@@ -9,8 +9,8 @@
 use super::ExpConfig;
 use crate::table::{fmt_f64, Report, Table};
 use dlb_core::discrete::DiscreteDiffusion;
+use dlb_core::engine::IntoEngine;
 use dlb_core::init::{discrete_loads, Workload};
-use dlb_core::model::DiscreteBalancer;
 use dlb_core::{bounds, potential};
 use dlb_dynamics::{GraphSequence, IidSubgraphSequence, MarkovChurnSequence, StaticSequence};
 use dlb_graphs::topology;
@@ -26,7 +26,15 @@ pub fn run(cfg: &ExpConfig) -> Report {
     let mut report = Report::new("E7", "Theorem 8: discrete diffusion on dynamic networks");
     let mut table = Table::new(
         format!("first round with Φ̂ ≤ n²·Φ* (n = {n}, spike avg = {avg} tokens)"),
-        &["ground", "model", "A_K", "Φ₀/Φ*", "K_paper", "K_meas", "Φ_end/Φ*"],
+        &[
+            "ground",
+            "model",
+            "A_K",
+            "Φ₀/Φ*",
+            "K_paper",
+            "K_meas",
+            "Φ_end/Φ*",
+        ],
     );
 
     let side = (n as f64).sqrt().round() as usize;
@@ -36,7 +44,10 @@ pub fn run(cfg: &ExpConfig) -> Report {
         ("hypercube", topology::hypercube(n.trailing_zeros())),
     ] {
         let models: Vec<(String, Box<dyn GraphSequence>)> = vec![
-            ("static".into(), Box::new(StaticSequence::new(ground.clone()))),
+            (
+                "static".into(),
+                Box::new(StaticSequence::new(ground.clone())),
+            ),
             (
                 "iid p=0.5".into(),
                 Box::new(IidSubgraphSequence::new(ground.clone(), 0.5, cfg.seed ^ 21)),
@@ -47,7 +58,12 @@ pub fn run(cfg: &ExpConfig) -> Report {
             ),
             (
                 "markov .2/.4".into(),
-                Box::new(MarkovChurnSequence::new(ground.clone(), 0.2, 0.4, cfg.seed ^ 23)),
+                Box::new(MarkovChurnSequence::new(
+                    ground.clone(),
+                    0.2,
+                    0.4,
+                    cfg.seed ^ 23,
+                )),
             ),
         ];
         for (mname, mut seq) in models {
@@ -71,7 +87,7 @@ pub fn run(cfg: &ExpConfig) -> Report {
                     spectra.push((delta, lambda2));
                     ratios_sum += lambda2 / delta as f64;
                 } // disconnected rounds contribute ratio 0 to the average
-                let stats = DiscreteDiffusion::new(&g).round(&mut loads);
+                let stats = DiscreteDiffusion::new(&g).engine().round(&mut loads);
                 trace_hat.push(stats.phi_hat_after);
             }
             let rounds_run = trace_hat.len() - 1;
@@ -103,7 +119,9 @@ pub fn run(cfg: &ExpConfig) -> Report {
         }
     }
     report.tables.push(table);
-    report.notes.push(format!("Theorem 8 violations: {violations} (expected 0)."));
+    report
+        .notes
+        .push(format!("Theorem 8 violations: {violations} (expected 0)."));
     report.notes.push(
         "Φ_end/Φ* ≪ 1: long after the first crossing the potential sits far below the \
          worst-case plateau — Theorem 8's threshold is loose in the same way as Theorem 6's, \
@@ -121,6 +139,10 @@ mod tests {
     #[test]
     fn quick_run_no_violations() {
         let report = run(&ExpConfig::quick(19));
-        assert!(report.notes[0].contains("violations: 0"), "{}", report.notes[0]);
+        assert!(
+            report.notes[0].contains("violations: 0"),
+            "{}",
+            report.notes[0]
+        );
     }
 }

@@ -22,7 +22,14 @@ pub fn run(cfg: &ExpConfig) -> Report {
     let mut report = Report::new("E8", "Lemma 9: Pr[max(dᵢ,dⱼ) ≤ 5 | link] > 1/2");
     let mut table = Table::new(
         format!("{trials} sampled rounds per n"),
-        &["n", "links/round", "Pr[max d ≤ 5 | link]", "min over trials", "max dᵢ seen", "paper >"],
+        &[
+            "n",
+            "links/round",
+            "Pr[max d ≤ 5 | link]",
+            "min over trials",
+            "max dᵢ seen",
+            "paper >",
+        ],
     );
 
     let mut all_above = true;
@@ -34,8 +41,7 @@ pub fn run(cfg: &ExpConfig) -> Report {
                 (s.lemma9_fraction(), s.links.len(), s.max_degree())
             });
         let fractions: Vec<f64> = results.iter().map(|r| r.0).collect();
-        let avg_links =
-            results.iter().map(|r| r.1 as f64).sum::<f64>() / results.len() as f64;
+        let avg_links = results.iter().map(|r| r.1 as f64).sum::<f64>() / results.len() as f64;
         let max_deg = results.iter().map(|r| r.2).max().unwrap_or(0);
         let s = Summary::from_slice(&fractions);
         if s.mean <= LEMMA9_PROBABILITY_BOUND {
@@ -72,6 +78,10 @@ mod tests {
     #[test]
     fn quick_run_bound_satisfied() {
         let report = run(&ExpConfig::quick(23));
-        assert!(report.notes[0].contains("bound satisfied: true"), "{}", report.notes[0]);
+        assert!(
+            report.notes[0].contains("bound satisfied: true"),
+            "{}",
+            report.notes[0]
+        );
     }
 }

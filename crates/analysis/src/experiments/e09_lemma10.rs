@@ -27,8 +27,9 @@ pub fn run(cfg: &ExpConfig) -> Report {
     for &n in &sizes {
         let oks: Vec<bool> = parallel_trials(trials, cfg.seed ^ 0xE9 ^ n as u64, |seed| {
             let mut rng = StdRng::seed_from_u64(seed);
-            let loads: Vec<i64> =
-                (0..n).map(|_| rng.gen_range(-magnitude..=magnitude)).collect();
+            let loads: Vec<i64> = (0..n)
+                .map(|_| rng.gen_range(-magnitude..=magnitude))
+                .collect();
             lemma10_exact_identity_holds(&loads)
         });
         let matches = oks.iter().filter(|&&b| b).count();
@@ -36,8 +37,9 @@ pub fn run(cfg: &ExpConfig) -> Report {
             all_exact = false;
         }
         let mut rng = StdRng::seed_from_u64(cfg.seed ^ 0xE9 ^ n as u64);
-        let example: Vec<i64> =
-            (0..n).map(|_| rng.gen_range(-magnitude..=magnitude)).collect();
+        let example: Vec<i64> = (0..n)
+            .map(|_| rng.gen_range(-magnitude..=magnitude))
+            .collect();
         table.push_row(vec![
             n.to_string(),
             trials.to_string(),

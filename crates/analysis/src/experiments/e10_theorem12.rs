@@ -15,8 +15,8 @@ use crate::montecarlo::parallel_trials;
 use crate::stats::Summary;
 use crate::table::{fmt_f64, Report, Table};
 use dlb_core::bounds::{self, LEMMA11_FACTOR};
+use dlb_core::engine::IntoEngine;
 use dlb_core::init::{continuous_loads, Workload};
-use dlb_core::model::ContinuousBalancer;
 use dlb_core::potential::phi;
 use dlb_core::random_partner::RandomPartnerContinuous;
 use rand::rngs::StdRng;
@@ -26,8 +26,10 @@ use rand::SeedableRng;
 pub fn run(cfg: &ExpConfig) -> Report {
     let sizes: Vec<usize> = cfg.pick(vec![64, 256, 1024], vec![32, 128]);
     let trials = cfg.pick(600, 60);
-    let mut report =
-        Report::new("E10", "Lemma 11 & Theorem 12: random balancing partners, continuous");
+    let mut report = Report::new(
+        "E10",
+        "Lemma 11 & Theorem 12: random balancing partners, continuous",
+    );
 
     // (a) one-round expected factor.
     let mut t1 = Table::new(
@@ -42,7 +44,7 @@ pub fn run(cfg: &ExpConfig) -> Report {
         };
         let phi0 = phi(&init);
         let factors: Vec<f64> = parallel_trials(trials, cfg.seed ^ 0x10B ^ n as u64, |seed| {
-            let mut b = RandomPartnerContinuous::new(n, seed);
+            let mut b = RandomPartnerContinuous::new(n, seed).engine();
             let mut loads = init.clone();
             let s = b.round(&mut loads);
             s.phi_after / phi0
@@ -65,7 +67,14 @@ pub fn run(cfg: &ExpConfig) -> Report {
     let full_trials = cfg.pick(100, 20);
     let mut t2 = Table::new(
         format!("rounds to Φ ≤ e^(−{c}) over {full_trials} trajectories"),
-        &["n", "Φ₀", "T_paper", "max T_meas", "success rate", "paper ≥"],
+        &[
+            "n",
+            "Φ₀",
+            "T_paper",
+            "max T_meas",
+            "success rate",
+            "paper ≥",
+        ],
     );
     let mut theorem12_ok = true;
     for &n in &sizes {
@@ -78,7 +87,7 @@ pub fn run(cfg: &ExpConfig) -> Report {
         let target = (-c).exp();
         let rounds: Vec<Option<usize>> =
             parallel_trials(full_trials, cfg.seed ^ 0x10D ^ n as u64, |seed| {
-                let mut b = RandomPartnerContinuous::new(n, seed);
+                let mut b = RandomPartnerContinuous::new(n, seed).engine();
                 let mut loads = init.clone();
                 for round in 1..=(t_paper as usize) {
                     let s = b.round(&mut loads);
@@ -94,7 +103,12 @@ pub fn run(cfg: &ExpConfig) -> Report {
         if success_rate < p_paper {
             theorem12_ok = false;
         }
-        let max_t = rounds.iter().flatten().max().copied().unwrap_or(t_paper as usize);
+        let max_t = rounds
+            .iter()
+            .flatten()
+            .max()
+            .copied()
+            .unwrap_or(t_paper as usize);
         t2.push_row(vec![
             n.to_string(),
             fmt_f64(phi0),

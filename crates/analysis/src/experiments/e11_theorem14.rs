@@ -12,8 +12,8 @@ use crate::montecarlo::parallel_trials;
 use crate::stats::Summary;
 use crate::table::{fmt_f64, Report, Table};
 use dlb_core::bounds::{self, LEMMA13_FACTOR};
+use dlb_core::engine::IntoEngine;
 use dlb_core::init::{discrete_loads, Workload};
-use dlb_core::model::DiscreteBalancer;
 use dlb_core::potential::{phi_discrete, phi_hat};
 use dlb_core::random_partner::RandomPartnerDiscrete;
 use rand::rngs::StdRng;
@@ -24,8 +24,10 @@ pub fn run(cfg: &ExpConfig) -> Report {
     let sizes: Vec<usize> = cfg.pick(vec![64, 256, 1024], vec![32, 128]);
     let trials = cfg.pick(600, 60);
     let avg = cfg.pick(100_000i64, 10_000);
-    let mut report =
-        Report::new("E11", "Lemma 13 & Theorem 14: random balancing partners, discrete");
+    let mut report = Report::new(
+        "E11",
+        "Lemma 13 & Theorem 14: random balancing partners, discrete",
+    );
 
     // (a) one-round factor above the 3200n threshold.
     let mut t1 = Table::new(
@@ -44,7 +46,7 @@ pub fn run(cfg: &ExpConfig) -> Report {
         );
         let phi0 = phi_hat(&init) as f64;
         let factors: Vec<f64> = parallel_trials(trials, cfg.seed ^ 0x11B ^ n as u64, |seed| {
-            let mut b = RandomPartnerDiscrete::new(n, seed);
+            let mut b = RandomPartnerDiscrete::new(n, seed).engine();
             let mut loads = init.clone();
             let s = b.round(&mut loads);
             s.phi_hat_after as f64 / phi0
@@ -67,7 +69,15 @@ pub fn run(cfg: &ExpConfig) -> Report {
     let full_trials = cfg.pick(100, 20);
     let mut t2 = Table::new(
         format!("rounds to Φ ≤ 3200n over {full_trials} trajectories"),
-        &["n", "Φ₀/3200n", "T_paper", "max T_meas", "success rate", "paper ≥", "Φ_end/3200n"],
+        &[
+            "n",
+            "Φ₀/3200n",
+            "T_paper",
+            "max T_meas",
+            "success rate",
+            "paper ≥",
+            "Φ_end/3200n",
+        ],
     );
     let mut theorem14_ok = true;
     for &n in &sizes {
@@ -80,7 +90,7 @@ pub fn run(cfg: &ExpConfig) -> Report {
         let t_paper = bounds::theorem14_rounds(c, phi0, n).ceil();
         let outcomes: Vec<(Option<usize>, u128)> =
             parallel_trials(full_trials, cfg.seed ^ 0x11D ^ n as u64, |seed| {
-                let mut b = RandomPartnerDiscrete::new(n, seed);
+                let mut b = RandomPartnerDiscrete::new(n, seed).engine();
                 let mut loads = init.clone();
                 let mut crossed = None;
                 for round in 1..=(t_paper as usize) {
@@ -99,8 +109,11 @@ pub fn run(cfg: &ExpConfig) -> Report {
         if success_rate < p_paper {
             theorem14_ok = false;
         }
-        let max_t =
-            outcomes.iter().filter_map(|(r, _)| *r).max().unwrap_or(t_paper as usize);
+        let max_t = outcomes
+            .iter()
+            .filter_map(|(r, _)| *r)
+            .max()
+            .unwrap_or(t_paper as usize);
         let avg_end = outcomes
             .iter()
             .map(|&(_, p)| p as f64 / (n * n) as f64)

@@ -10,11 +10,12 @@
 use super::{standard_instances, ExpConfig};
 use crate::table::{fmt_f64, Report, Table};
 use dlb_baselines::{
-    FirstOrderContinuous, FirstOrderDiscrete, MatchingExchangeContinuous,
-    MatchingExchangeDiscrete, MatchingKind, SecondOrderContinuous, SequentialComparator,
+    FirstOrderContinuous, FirstOrderDiscrete, MatchingExchangeContinuous, MatchingExchangeDiscrete,
+    MatchingKind, SecondOrderContinuous, SequentialComparator,
 };
 use dlb_core::continuous::ContinuousDiffusion;
 use dlb_core::discrete::DiscreteDiffusion;
+use dlb_core::engine::IntoEngine;
 use dlb_core::init::{continuous_loads, discrete_loads, Workload};
 use dlb_core::model::{ContinuousBalancer, DiscreteBalancer};
 use dlb_core::runner::{run_continuous, run_discrete};
@@ -38,7 +39,16 @@ pub fn run(cfg: &ExpConfig) -> Report {
     // Continuous race.
     let mut t1 = Table::new(
         format!("continuous: rounds to Φ ≤ ε·Φ₀ (n = {n}, ε = {eps:.0e}, spike)"),
-        &["topology", "alg1", "gm94", "gm94-greedy", "fos", "sos", "seq", "gm94/alg1"],
+        &[
+            "topology",
+            "alg1",
+            "gm94",
+            "gm94-greedy",
+            "fos",
+            "sos",
+            "seq",
+            "gm94/alg1",
+        ],
     );
     for inst in standard_instances(n, cfg.seed) {
         let init = {
@@ -55,24 +65,25 @@ pub fn run(cfg: &ExpConfig) -> Report {
                 max_rounds
             }
         };
-        let alg1 = race(&mut ContinuousDiffusion::new(&inst.graph));
-        let gm = race(&mut MatchingExchangeContinuous::new(
-            &inst.graph,
-            MatchingKind::Proposal,
-            cfg.seed ^ 1,
-        ));
-        let gm_greedy = race(&mut MatchingExchangeContinuous::new(
-            &inst.graph,
-            MatchingKind::GreedyMaximal,
-            cfg.seed ^ 2,
-        ));
-        let fos = race(&mut FirstOrderContinuous::new(&inst.graph));
-        let sos = race(&mut SecondOrderContinuous::with_optimal_beta(&inst.graph));
-        let seq = race(&mut SequentialComparator::new(
-            &inst.graph,
-            AdaptiveOrder::EdgeIndex,
-            cfg.seed ^ 3,
-        ));
+        let alg1 = race(&mut ContinuousDiffusion::new(&inst.graph).engine());
+        let gm = race(
+            &mut MatchingExchangeContinuous::new(&inst.graph, MatchingKind::Proposal, cfg.seed ^ 1)
+                .engine(),
+        );
+        let gm_greedy = race(
+            &mut MatchingExchangeContinuous::new(
+                &inst.graph,
+                MatchingKind::GreedyMaximal,
+                cfg.seed ^ 2,
+            )
+            .engine(),
+        );
+        let fos = race(&mut FirstOrderContinuous::new(&inst.graph).engine());
+        let sos = race(&mut SecondOrderContinuous::with_optimal_beta(&inst.graph).engine());
+        let seq = race(
+            &mut SequentialComparator::new(&inst.graph, AdaptiveOrder::EdgeIndex, cfg.seed ^ 3)
+                .engine(),
+        );
         alg1_beats_gm &= gm > alg1;
         t1.push_row(vec![
             inst.name.to_string(),
@@ -108,13 +119,12 @@ pub fn run(cfg: &ExpConfig) -> Report {
                 max_rounds
             }
         };
-        let alg1 = race(&mut DiscreteDiffusion::new(&inst.graph));
-        let gm = race(&mut MatchingExchangeDiscrete::new(
-            &inst.graph,
-            MatchingKind::Proposal,
-            cfg.seed ^ 4,
-        ));
-        let fos = race(&mut FirstOrderDiscrete::new(&inst.graph));
+        let alg1 = race(&mut DiscreteDiffusion::new(&inst.graph).engine());
+        let gm = race(
+            &mut MatchingExchangeDiscrete::new(&inst.graph, MatchingKind::Proposal, cfg.seed ^ 4)
+                .engine(),
+        );
+        let fos = race(&mut FirstOrderDiscrete::new(&inst.graph).engine());
         t2.push_row(vec![
             inst.name.to_string(),
             alg1.to_string(),
@@ -152,7 +162,13 @@ mod tests {
         for row in &report.tables[0].rows {
             let alg1: f64 = row[1].parse().expect("alg1 rounds");
             let gm: f64 = row[2].parse().expect("gm rounds");
-            assert!(gm > alg1, "{}: gm {} not slower than alg1 {}", row[0], gm, alg1);
+            assert!(
+                gm > alg1,
+                "{}: gm {} not slower than alg1 {}",
+                row[0],
+                gm,
+                alg1
+            );
         }
     }
 }

@@ -20,18 +20,41 @@ pub fn run(cfg: &ExpConfig) -> Report {
     // (a) three-way λ₂ agreement.
     let mut t1 = Table::new(
         format!("λ₂: closed form vs dense QL vs Lanczos (n = {n})"),
-        &["topology", "closed form", "dense", "lanczos", "|dense−cf|", "|lanczos−cf|"],
+        &[
+            "topology",
+            "closed form",
+            "dense",
+            "lanczos",
+            "|dense−cf|",
+            "|lanczos−cf|",
+        ],
     );
     let side = (n as f64).sqrt().round() as usize;
     let dim = n.trailing_zeros();
     let cases: Vec<(&str, dlb_graphs::Graph, f64)> = vec![
         ("path", topology::path(n), closed_form::lambda2_path(n)),
         ("cycle", topology::cycle(n), closed_form::lambda2_cycle(n)),
-        ("grid2d", topology::grid2d(side, side), closed_form::lambda2_grid2d(side, side)),
-        ("torus2d", topology::torus2d(side, side), closed_form::lambda2_torus2d(side, side)),
-        ("hypercube", topology::hypercube(dim), closed_form::lambda2_hypercube(dim)),
+        (
+            "grid2d",
+            topology::grid2d(side, side),
+            closed_form::lambda2_grid2d(side, side),
+        ),
+        (
+            "torus2d",
+            topology::torus2d(side, side),
+            closed_form::lambda2_torus2d(side, side),
+        ),
+        (
+            "hypercube",
+            topology::hypercube(dim),
+            closed_form::lambda2_hypercube(dim),
+        ),
         ("star", topology::star(n), closed_form::lambda2_star(n)),
-        ("complete", topology::complete(n), closed_form::lambda2_complete(n)),
+        (
+            "complete",
+            topology::complete(n),
+            closed_form::lambda2_complete(n),
+        ),
         (
             "bipartite",
             topology::complete_bipartite(n / 4, 3 * n / 4),
@@ -82,7 +105,13 @@ pub fn run(cfg: &ExpConfig) -> Report {
     // (c) Cheeger sandwich against exhaustive expansion.
     let mut t3 = Table::new(
         "edge expansion α vs λ₂ (exhaustive cuts, n ≤ 16)",
-        &["graph", "α exact", "λ₂/2 (lower)", "upper bound", "sandwich holds"],
+        &[
+            "graph",
+            "α exact",
+            "λ₂/2 (lower)",
+            "upper bound",
+            "sandwich holds",
+        ],
     );
     let mut sandwich_ok = true;
     for (name, g) in [

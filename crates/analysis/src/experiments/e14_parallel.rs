@@ -1,8 +1,8 @@
 //! **E14 — the data-parallel executor** (the HPC execution path).
 //!
 //! The gather-form round is embarrassingly parallel; this experiment
-//! verifies that the crossbeam executor produces **bit-identical** states
-//! to the serial one while scaling with cores, and reports round
+//! verifies that the engine's pooled executor produces **bit-identical**
+//! states to the serial one while scaling with cores, and reports round
 //! throughput across thread counts on a large instance. (Criterion
 //! benches in `dlb-bench` measure the same loop with proper statistics;
 //! this table is the human-readable summary.)
@@ -10,9 +10,8 @@
 use super::ExpConfig;
 use crate::table::{fmt_f64, Report, Table};
 use dlb_core::continuous::ContinuousDiffusion;
+use dlb_core::engine::{recommended_threads, IntoEngine};
 use dlb_core::init::{continuous_loads, Workload};
-use dlb_core::model::ContinuousBalancer;
-use dlb_core::parallel::{recommended_threads, ParallelContinuousDiffusion};
 use dlb_graphs::topology;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -33,7 +32,7 @@ pub fn run(cfg: &ExpConfig) -> Report {
 
     // Serial reference (and its state for the identity check).
     let mut serial_state = init.clone();
-    let mut serial_exec = ContinuousDiffusion::new(&g);
+    let mut serial_exec = ContinuousDiffusion::new(&g).engine();
     let t0 = Instant::now();
     for _ in 0..rounds {
         serial_exec.round(&mut serial_state);
@@ -42,7 +41,13 @@ pub fn run(cfg: &ExpConfig) -> Report {
 
     let mut table = Table::new(
         format!("torus {side}×{side} (n = {n}), {rounds} rounds of continuous Algorithm 1"),
-        &["threads", "time (s)", "rounds/s", "speedup", "identical to serial"],
+        &[
+            "threads",
+            "time (s)",
+            "rounds/s",
+            "speedup",
+            "identical to serial",
+        ],
     );
     table.push_row(vec![
         "serial".to_string(),
@@ -61,7 +66,7 @@ pub fn run(cfg: &ExpConfig) -> Report {
     let mut all_identical = true;
     for &threads in &thread_counts {
         let mut state = init.clone();
-        let mut exec = ParallelContinuousDiffusion::new(&g, threads);
+        let mut exec = ContinuousDiffusion::new(&g).engine_parallel(threads);
         let t0 = Instant::now();
         for _ in 0..rounds {
             exec.round(&mut state);

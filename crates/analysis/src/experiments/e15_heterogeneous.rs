@@ -11,17 +11,18 @@
 use super::{standard_instances, ExpConfig};
 use crate::table::{fmt_f64, Report, Table};
 use dlb_core::continuous::ContinuousDiffusion;
+use dlb_core::engine::IntoEngine;
 use dlb_core::heterogeneous::{proportional_target, weighted_phi, HeterogeneousDiffusion};
 use dlb_core::init::{continuous_loads, Workload};
-use dlb_core::model::ContinuousBalancer;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
 /// Capacity profiles swept by E15.
 fn profiles(n: usize, seed: u64) -> Vec<(&'static str, Vec<f64>)> {
     let mut rng = StdRng::seed_from_u64(seed);
-    let two_tier: Vec<f64> =
-        (0..n).map(|i| if i % 10 == 0 { 8.0 } else { 1.0 }).collect();
+    let two_tier: Vec<f64> = (0..n)
+        .map(|i| if i % 10 == 0 { 8.0 } else { 1.0 })
+        .collect();
     let ramp: Vec<f64> = (0..n).map(|i| 1.0 + 4.0 * i as f64 / n as f64).collect();
     let random: Vec<f64> = (0..n).map(|_| rng.gen_range(0.5..4.0)).collect();
     vec![("two-tier", two_tier), ("ramp", ramp), ("random", random)]
@@ -31,8 +32,10 @@ fn profiles(n: usize, seed: u64) -> Vec<(&'static str, Vec<f64>)> {
 pub fn run(cfg: &ExpConfig) -> Report {
     let n = cfg.pick(256, 64);
     let eps = cfg.pick(1e-6, 1e-4);
-    let mut report =
-        Report::new("E15", "extension: heterogeneous capacities (proportional balancing)");
+    let mut report = Report::new(
+        "E15",
+        "extension: heterogeneous capacities (proportional balancing)",
+    );
 
     // (a) unit-capacity regression against Algorithm 1 (bit equality).
     let mut unit_identical = true;
@@ -41,8 +44,10 @@ pub fn run(cfg: &ExpConfig) -> Report {
         let init = continuous_loads(n, 100.0, Workload::UniformRandom, &mut rng);
         let mut a = init.clone();
         let mut b = init;
-        ContinuousDiffusion::new(&inst.graph).round(&mut a);
-        HeterogeneousDiffusion::new(&inst.graph, vec![1.0; n]).round(&mut b);
+        ContinuousDiffusion::new(&inst.graph).engine().round(&mut a);
+        HeterogeneousDiffusion::new(&inst.graph, vec![1.0; n])
+            .engine()
+            .round(&mut b);
         unit_identical &= a == b;
     }
 
@@ -53,7 +58,13 @@ pub fn run(cfg: &ExpConfig) -> Report {
     let dev_target = 1e-3;
     let mut table = Table::new(
         format!("rounds until every node is within {dev_target:.0e} of cᵢ·ρ (n = {n}, spike)"),
-        &["topology", "profile", "Φ_c₀", "rounds", "max rel. deviation from c·ρ"],
+        &[
+            "topology",
+            "profile",
+            "Φ_c₀",
+            "rounds",
+            "max rel. deviation from c·ρ",
+        ],
     );
     let max_rel_dev = |loads: &[f64], caps: &[f64]| {
         let target = proportional_target(loads, caps);
@@ -73,7 +84,7 @@ pub fn run(cfg: &ExpConfig) -> Report {
             let mut rng = StdRng::seed_from_u64(cfg.seed ^ 0x15C);
             let mut loads = continuous_loads(n, 100.0, Workload::Spike, &mut rng);
             let phi0 = weighted_phi(&loads, &caps);
-            let mut exec = HeterogeneousDiffusion::new(&inst.graph, caps.clone());
+            let mut exec = HeterogeneousDiffusion::new(&inst.graph, caps.clone()).engine();
             let mut rounds = 0usize;
             let budget = cfg.pick(200_000, 50_000);
             while max_rel_dev(&loads, &caps) > dev_target && rounds < budget {

@@ -12,6 +12,7 @@ use super::ExpConfig;
 use crate::table::{fmt_f64, Report, Table};
 use dlb_baselines::{ChebyshevContinuous, FirstOrderContinuous, SecondOrderContinuous};
 use dlb_core::continuous::ContinuousDiffusion;
+use dlb_core::engine::IntoEngine;
 use dlb_core::model::ContinuousBalancer;
 use dlb_core::runner::rounds_to_epsilon;
 use dlb_graphs::topology;
@@ -22,11 +23,22 @@ pub fn run(cfg: &ExpConfig) -> Report {
     let n = cfg.pick(256, 64);
     let eps = cfg.pick(1e-8, 1e-5);
     let max_rounds = cfg.pick(5_000_000, 500_000);
-    let mut report =
-        Report::new("E16", "extension ablation: first-order vs second-order vs Chebyshev");
+    let mut report = Report::new(
+        "E16",
+        "extension ablation: first-order vs second-order vs Chebyshev",
+    );
     let mut table = Table::new(
         format!("rounds to Φ ≤ ε·Φ₀ (n = {n}, ε = {eps:.0e}, spike)"),
-        &["topology", "γ", "alg1", "fos", "sos", "chebyshev", "fos/sos", "sos/cheb"],
+        &[
+            "topology",
+            "γ",
+            "alg1",
+            "fos",
+            "sos",
+            "chebyshev",
+            "fos/sos",
+            "sos/cheb",
+        ],
     );
 
     let mut ladder_ok = true;
@@ -48,10 +60,10 @@ pub fn run(cfg: &ExpConfig) -> Report {
                 max_rounds
             }
         };
-        let alg1 = race(&mut ContinuousDiffusion::new(&g));
-        let fos = race(&mut FirstOrderContinuous::new(&g));
-        let sos = race(&mut SecondOrderContinuous::with_optimal_beta(&g));
-        let cheb = race(&mut ChebyshevContinuous::new(&g));
+        let alg1 = race(&mut ContinuousDiffusion::new(&g).engine());
+        let fos = race(&mut FirstOrderContinuous::new(&g).engine());
+        let sos = race(&mut SecondOrderContinuous::with_optimal_beta(&g).engine());
+        let cheb = race(&mut ChebyshevContinuous::new(&g).engine());
         // The ladder must be monotone. Chebyshev's optimality is over
         // worst-case initial vectors and over the transient; on long runs
         // from one fixed spike the fixed-ω SOS can edge it by a few
@@ -72,14 +84,14 @@ pub fn run(cfg: &ExpConfig) -> Report {
 
     // ω∞ = β_opt cross-check on the slowest instance.
     let g = topology::cycle(n);
-    let mut cheb = ChebyshevContinuous::new(&g);
-    let beta = sos_optimal_beta(cheb.gamma());
+    let mut cheb = ChebyshevContinuous::new(&g).engine();
+    let beta = sos_optimal_beta(cheb.protocol().gamma());
     let mut loads = vec![0.0; n];
     loads[0] = n as f64;
     for _ in 0..cfg.pick(2000, 400) {
         cheb.round(&mut loads);
     }
-    let omega_err = (cheb.omega() - beta).abs();
+    let omega_err = (cheb.protocol().omega() - beta).abs();
     report.notes.push(format!(
         "acceleration ladder monotone (alg1 > fos > sos ≈ chebyshev within 5%): \
          {ladder_ok}; Chebyshev ω∞ matches the optimal SOS β to {omega_err:.2e}."
@@ -102,10 +114,6 @@ mod tests {
     #[test]
     fn quick_run_ladder_holds() {
         let report = run(&ExpConfig::quick(59));
-        assert!(
-            report.notes[0].contains("5%): true"),
-            "{}",
-            report.notes[0]
-        );
+        assert!(report.notes[0].contains("5%): true"), "{}", report.notes[0]);
     }
 }

@@ -20,8 +20,8 @@
 use super::{standard_instances, ExpConfig};
 use crate::table::{fmt_f64, Report, Table};
 use dlb_core::continuous::GeneralizedDiffusion;
+use dlb_core::engine::IntoEngine;
 use dlb_core::init::{continuous_loads, Workload};
-use dlb_core::model::ContinuousBalancer;
 use dlb_core::potential::phi;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -32,7 +32,10 @@ pub fn run(cfg: &ExpConfig) -> Report {
     let eps = cfg.pick(1e-4, 1e-2);
     let max_rounds = cfg.pick(250_000, 25_000);
     let factors = [0.5, 1.0, 2.0, 4.0, 8.0];
-    let mut report = Report::new("E17", "extension ablation: the divisor factor k in k·max(dᵢ,dⱼ)");
+    let mut report = Report::new(
+        "E17",
+        "extension ablation: the divisor factor k in k·max(dᵢ,dⱼ)",
+    );
     let mut table = Table::new(
         format!("instability (Φ-increasing rounds) and speed per factor (n = {n}, ε = {eps:.0e})"),
         &["topology", "k=0.5", "k=1", "k=2", "k=4", "k=8"],
@@ -49,7 +52,7 @@ pub fn run(cfg: &ExpConfig) -> Report {
             let mut loads = continuous_loads(n, 100.0, Workload::Spike, &mut rng);
             let phi0 = phi(&loads);
             let target = eps * phi0;
-            let mut exec = GeneralizedDiffusion::new(&inst.graph, k);
+            let mut exec = GeneralizedDiffusion::new(&inst.graph, k).engine();
             let mut increases = 0usize;
             let mut rounds = 0usize;
             let mut diverged = false;

@@ -16,11 +16,22 @@ use dlb_spectral::diffusion::{fos_matrix, gamma};
 pub fn run(cfg: &ExpConfig) -> Report {
     let n = cfg.pick(256, 64);
     let max_rounds = cfg.pick(400_000, 50_000);
-    let mut report =
-        Report::new("E18", "extension: RSW local divergence Ψ vs the δ·ln(n)/μ shape");
+    let mut report = Report::new(
+        "E18",
+        "extension: RSW local divergence Ψ vs the δ·ln(n)/μ shape",
+    );
     let mut table = Table::new(
         format!("Ψ from unit-spike idealized chains (n = {n})"),
-        &["topology", "δ", "μ=1−γ", "Ψ measured", "δ·ln n/μ", "ratio", "max ℓ∞ dev", "dev/Ψ"],
+        &[
+            "topology",
+            "δ",
+            "μ=1−γ",
+            "Ψ measured",
+            "δ·ln n/μ",
+            "ratio",
+            "max ℓ∞ dev",
+            "dev/Ψ",
+        ],
     );
 
     let mut dev_exceeds_psi = 0usize;
@@ -54,8 +65,8 @@ pub fn run(cfg: &ExpConfig) -> Report {
     report.tables.push(table);
     report.notes.push(format!(
         "deviation-exceeds-Ψ violations: {dev_exceeds_psi} (expected 0 — RSW's theorem); \
-         worst Ψ/(δ·ln n/μ) ratio: {} (the theory says O(1))."
-        , fmt_f64(max_ratio)
+         worst Ψ/(δ·ln n/μ) ratio: {} (the theory says O(1)).",
+        fmt_f64(max_ratio)
     ));
     report.notes.push(
         "dev/Ψ ≪ 1 throughout: the discrete trajectory tracks the idealized chain far \

@@ -46,7 +46,10 @@ pub struct ExpConfig {
 
 impl Default for ExpConfig {
     fn default() -> Self {
-        ExpConfig { quick: false, seed: 0xBF_2006 }
+        ExpConfig {
+            quick: false,
+            seed: 0xBF_2006,
+        }
     }
 }
 
@@ -118,7 +121,11 @@ pub fn standard_instances(n: usize, seed: u64) -> Vec<Instance> {
         .map(|&t| {
             let graph = t.build(n, &mut rng);
             let lambda2 = lambda2_of(t, &graph);
-            Instance { name: t.name(), graph, lambda2 }
+            Instance {
+                name: t.name(),
+                graph,
+                lambda2,
+            }
         })
         .collect()
 }

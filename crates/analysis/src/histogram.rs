@@ -22,14 +22,24 @@ impl Histogram {
         let mut counts = vec![0usize; bins];
         if hi == lo {
             counts[0] = samples.len();
-            return Histogram { lo, hi, counts, total: samples.len() };
+            return Histogram {
+                lo,
+                hi,
+                counts,
+                total: samples.len(),
+            };
         }
         let width = (hi - lo) / bins as f64;
         for &s in samples {
             let idx = (((s - lo) / width) as usize).min(bins - 1);
             counts[idx] += 1;
         }
-        Histogram { lo, hi, counts, total: samples.len() }
+        Histogram {
+            lo,
+            hi,
+            counts,
+            total: samples.len(),
+        }
     }
 
     /// Bin counts.
@@ -48,7 +58,11 @@ impl Histogram {
         use std::fmt::Write as _;
         let max_count = self.counts.iter().copied().max().unwrap_or(0).max(1);
         let bins = self.counts.len();
-        let width = if self.hi > self.lo { (self.hi - self.lo) / bins as f64 } else { 0.0 };
+        let width = if self.hi > self.lo {
+            (self.hi - self.lo) / bins as f64
+        } else {
+            0.0
+        };
         let mut out = String::new();
         for (i, &c) in self.counts.iter().enumerate() {
             let left = self.lo + width * i as f64;

@@ -6,7 +6,7 @@
 //!
 //! * [`stats`] — summary statistics (mean/std/CI95/median) for Monte-Carlo
 //!   results;
-//! * [`montecarlo`] — a crossbeam-based parallel trial runner (work-stealing
+//! * [`montecarlo`] — a scoped-thread parallel trial runner (work-stealing
 //!   over an atomic counter), deterministic per trial seed;
 //! * [`table`] — fixed-width text tables and CSV rendering for the
 //!   experiment reports recorded in `EXPERIMENTS.md`;

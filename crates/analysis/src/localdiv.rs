@@ -18,7 +18,7 @@
 //! bound across topologies.
 
 use dlb_baselines::FirstOrderDiscrete;
-use dlb_core::model::DiscreteBalancer;
+use dlb_core::engine::IntoEngine;
 use dlb_graphs::Graph;
 
 /// Applies the FOS matrix `M` (α = 1/(δ+1)) once, matrix-free.
@@ -64,12 +64,20 @@ pub fn local_divergence(g: &Graph, source: u32, max_rounds: usize, tol: f64) -> 
             .sum();
         psi += contribution;
         if contribution < tol {
-            return LocalDivergence { psi, rounds: round + 1, converged: true };
+            return LocalDivergence {
+                psi,
+                rounds: round + 1,
+                converged: true,
+            };
         }
         apply_fos(g, alpha, &x, &mut y);
         std::mem::swap(&mut x, &mut y);
     }
-    LocalDivergence { psi, rounds: max_rounds, converged: false }
+    LocalDivergence {
+        psi,
+        rounds: max_rounds,
+        converged: false,
+    }
 }
 
 /// Measured worst-case `Ψ` over a sample of source nodes (all sources on
@@ -82,7 +90,11 @@ pub fn local_divergence_max(
     tol: f64,
 ) -> LocalDivergence {
     assert!(!sources.is_empty(), "need at least one source");
-    let mut best = LocalDivergence { psi: 0.0, rounds: 0, converged: true };
+    let mut best = LocalDivergence {
+        psi: 0.0,
+        rounds: 0,
+        converged: true,
+    };
     for &s in sources {
         let d = local_divergence(g, s, max_rounds, tol);
         if d.psi > best.psi {
@@ -110,7 +122,7 @@ pub fn max_discrete_deviation(g: &Graph, source: u32, rounds: usize) -> f64 {
     let mut next = vec![0.0f64; n];
     let mut discrete = vec![0i64; n];
     discrete[source as usize] = n as i64;
-    let mut exec = FirstOrderDiscrete::new(g);
+    let mut exec = FirstOrderDiscrete::new(g).engine();
     let mut worst = 0.0f64;
     for _ in 0..rounds {
         exec.round(&mut discrete);
@@ -155,7 +167,11 @@ mod tests {
     #[test]
     fn psi_within_constant_of_rsw_shape() {
         // Ψ ≤ C·δ ln n/μ with a modest constant on standard topologies.
-        for g in [topology::cycle(32), topology::hypercube(5), topology::complete(16)] {
+        for g in [
+            topology::cycle(32),
+            topology::hypercube(5),
+            topology::complete(16),
+        ] {
             let mu = 1.0 - gamma(&fos_matrix(&g)).expect("γ");
             let d = local_divergence(&g, 0, 200_000, 1e-9);
             assert!(d.converged);

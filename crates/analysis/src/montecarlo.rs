@@ -1,17 +1,18 @@
 //! Parallel Monte-Carlo trial runner.
 //!
 //! Trials are independent by construction (each gets its own seed derived
-//! from the base seed), so they fan out across crossbeam scoped threads via
-//! an atomic work counter. Results land in a pre-sized slot vector, so the
-//! output order is by trial index regardless of scheduling — experiment
-//! tables are bitwise reproducible from the base seed.
+//! from the base seed), so they fan out across scoped threads via an atomic
+//! work counter. Results land in a pre-sized slot vector, so the output
+//! order is by trial index regardless of scheduling — experiment tables are
+//! bitwise reproducible from the base seed.
 
-use parking_lot::Mutex;
 use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
 
-/// Number of worker threads used by [`parallel_trials`] by default.
+/// Number of worker threads used by [`parallel_trials`] by default
+/// (the engine's recommendation, which honours `DLB_THREADS`).
 pub fn default_threads() -> usize {
-    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+    dlb_core::engine::recommended_threads()
 }
 
 /// Maps `f` over `0..items` on `threads` workers; results indexed by item.
@@ -26,22 +27,25 @@ where
     }
     let counter = AtomicUsize::new(0);
     let slots: Vec<Mutex<Option<T>>> = (0..items).map(|_| Mutex::new(None)).collect();
-    crossbeam::thread::scope(|scope| {
+    std::thread::scope(|scope| {
         for _ in 0..threads {
-            scope.spawn(|_| loop {
+            scope.spawn(|| loop {
                 let i = counter.fetch_add(1, Ordering::Relaxed);
                 if i >= items {
                     break;
                 }
                 let value = f(i);
-                *slots[i].lock() = Some(value);
+                *slots[i].lock().expect("slot lock") = Some(value);
             });
         }
-    })
-    .expect("trial worker panicked");
+    });
     slots
         .into_iter()
-        .map(|slot| slot.into_inner().expect("every slot filled"))
+        .map(|slot| {
+            slot.into_inner()
+                .expect("slot lock")
+                .expect("every slot filled")
+        })
         .collect()
 }
 

@@ -35,7 +35,14 @@ impl Summary {
         } else {
             (sorted[n / 2 - 1] + sorted[n / 2]) / 2.0
         };
-        Summary { n, mean, std: var.sqrt(), min: sorted[0], max: sorted[n - 1], median }
+        Summary {
+            n,
+            mean,
+            std: var.sqrt(),
+            min: sorted[0],
+            max: sorted[n - 1],
+            median,
+        }
     }
 
     /// Half-width of the normal-approximation 95% confidence interval on
@@ -50,7 +57,12 @@ impl Summary {
 
     /// `mean ± ci` formatted with `prec` decimals.
     pub fn format_mean_ci(&self, prec: usize) -> String {
-        format!("{:.prec$} ± {:.prec$}", self.mean, self.ci95_half_width(), prec = prec)
+        format!(
+            "{:.prec$} ± {:.prec$}",
+            self.mean,
+            self.ci95_half_width(),
+            prec = prec
+        )
     }
 }
 
@@ -80,7 +92,11 @@ pub fn linear_fit(xs: &[f64], ys: &[f64]) -> (f64, f64, f64) {
     assert!(sxx > 0.0, "degenerate x values");
     let b = sxy / sxx;
     let a = my - b * mx;
-    let r2 = if syy == 0.0 { 1.0 } else { (sxy * sxy) / (sxx * syy) };
+    let r2 = if syy == 0.0 {
+        1.0
+    } else {
+        (sxy * sxy) / (sxx * syy)
+    };
     (a, b, r2)
 }
 

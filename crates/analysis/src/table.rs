@@ -28,7 +28,12 @@ impl Table {
     /// # Panics
     /// If the arity does not match the headers.
     pub fn push_row(&mut self, row: Vec<String>) {
-        assert_eq!(row.len(), self.headers.len(), "row arity mismatch in '{}'", self.title);
+        assert_eq!(
+            row.len(),
+            self.headers.len(),
+            "row arity mismatch in '{}'",
+            self.title
+        );
         self.rows.push(row);
     }
 
@@ -76,11 +81,18 @@ impl Table {
         let _ = writeln!(
             out,
             "{}",
-            self.headers.iter().map(|h| quote(h)).collect::<Vec<_>>().join(",")
+            self.headers
+                .iter()
+                .map(|h| quote(h))
+                .collect::<Vec<_>>()
+                .join(",")
         );
         for row in &self.rows {
-            let _ =
-                writeln!(out, "{}", row.iter().map(|c| quote(c)).collect::<Vec<_>>().join(","));
+            let _ = writeln!(
+                out,
+                "{}",
+                row.iter().map(|c| quote(c)).collect::<Vec<_>>().join(",")
+            );
         }
         out
     }
@@ -105,7 +117,13 @@ pub struct Report {
 impl Report {
     /// Creates an empty report.
     pub fn new(id: &'static str, title: impl Into<String>) -> Self {
-        Report { id, title: title.into(), tables: Vec::new(), notes: Vec::new(), passed: None }
+        Report {
+            id,
+            title: title.into(),
+            tables: Vec::new(),
+            notes: Vec::new(),
+            passed: None,
+        }
     }
 
     /// Renders the report for the terminal / EXPERIMENTS.md.

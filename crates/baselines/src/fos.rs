@@ -1,4 +1,5 @@
-//! First-order diffusion scheme (Cybenko \[3\]; Muthukrishnan et al. \[15\]).
+//! First-order diffusion scheme (Cybenko \[3\]; Muthukrishnan et al. \[15\])
+//! as engine protocols.
 //!
 //! `L^{t+1} = M·L^t` with the uniform diffusion factor `α = 1/(δ+1)`:
 //! node `i` exchanges `α·(ℓⱼ − ℓᵢ)` with every neighbour. The convergence
@@ -7,21 +8,31 @@
 //! `⌊α·(ℓᵢ − ℓⱼ)⌋` tokens from the richer endpoint, the rounding used in
 //! \[15\]'s discrete analysis.
 //!
-//! Like Algorithm 1, the round is a snapshot *gather*, so the executors are
-//! deterministic and conservation is exact in the discrete case.
+//! The diffusion factor is uniform, so there is no per-edge table to
+//! precompute — the kernels are the plainest gathers in the workspace.
 
-use dlb_core::model::{
-    ContinuousBalancer, DiscreteBalancer, DiscreteRoundStats, RoundStats,
-};
+use dlb_core::engine::{FlowTally, Protocol, TokenTally};
+use dlb_core::model::{DiscreteRoundStats, RoundStats};
 use dlb_core::potential::{phi, phi_hat};
 use dlb_graphs::Graph;
+
+/// One first-order step `(M·L)_v` computed matrix-free — the kernel shared
+/// by FOS itself and the accelerated schemes built on it (SOS, Chebyshev).
+#[inline]
+pub(crate) fn fos_step(g: &Graph, alpha: f64, snapshot: &[f64], v: u32) -> f64 {
+    let lv = snapshot[v as usize];
+    let mut acc = lv;
+    for &u in g.neighbors(v) {
+        acc += alpha * (snapshot[u as usize] - lv);
+    }
+    acc
+}
 
 /// Continuous first-order scheme.
 #[derive(Debug)]
 pub struct FirstOrderContinuous<'g> {
     g: &'g Graph,
     alpha: f64,
-    snapshot: Vec<f64>,
 }
 
 impl<'g> FirstOrderContinuous<'g> {
@@ -39,7 +50,7 @@ impl<'g> FirstOrderContinuous<'g> {
             "α·δ must not exceed 1 (α = {alpha}, δ = {})",
             g.max_degree()
         );
-        FirstOrderContinuous { g, alpha, snapshot: vec![0.0; g.n()] }
+        FirstOrderContinuous { g, alpha }
     }
 
     /// The diffusion factor in use.
@@ -48,36 +59,37 @@ impl<'g> FirstOrderContinuous<'g> {
     }
 }
 
-impl ContinuousBalancer for FirstOrderContinuous<'_> {
-    fn round(&mut self, loads: &mut [f64]) -> RoundStats {
-        assert_eq!(loads.len(), self.g.n(), "load vector length must equal n");
-        self.snapshot.copy_from_slice(loads);
-        let phi_before = phi(&self.snapshot);
-        for v in 0..self.g.n() as u32 {
-            let lv = self.snapshot[v as usize];
-            let mut acc = lv;
-            for &u in self.g.neighbors(v) {
-                acc += self.alpha * (self.snapshot[u as usize] - lv);
-            }
-            loads[v as usize] = acc;
-        }
-        let mut active = 0usize;
-        let mut total = 0.0;
-        let mut max = 0.0f64;
-        for &(u, v) in self.g.edges() {
-            let w = self.alpha * (self.snapshot[u as usize] - self.snapshot[v as usize]).abs();
-            if w > 0.0 {
-                active += 1;
-                total += w;
-                max = max.max(w);
-            }
-        }
-        RoundStats { phi_before, phi_after: phi(loads), active_edges: active, total_flow: total, max_flow: max }
+impl Protocol for FirstOrderContinuous<'_> {
+    type Load = f64;
+    type Stats = RoundStats;
+
+    fn n(&self) -> usize {
+        self.g.n()
     }
 
     fn name(&self) -> &'static str {
         "fos-cont"
     }
+
+    #[inline]
+    fn node_new_load(&self, snapshot: &[f64], v: u32) -> f64 {
+        fos_step(self.g, self.alpha, snapshot, v)
+    }
+
+    fn end_round(&mut self, snapshot: &[f64], new_loads: &[f64]) -> RoundStats {
+        fos_flow_tally(self.g, self.alpha, snapshot).stats(phi(snapshot), phi(new_loads))
+    }
+}
+
+/// Flow statistics of one first-order step (`α·|ℓᵤ − ℓᵥ|` per edge) —
+/// shared by FOS, SOS and Chebyshev, whose reported flows are all the
+/// first-order component's.
+pub(crate) fn fos_flow_tally(g: &Graph, alpha: f64, snapshot: &[f64]) -> FlowTally {
+    FlowTally::from_flows(
+        g.edges()
+            .iter()
+            .map(|&(u, v)| alpha * (snapshot[u as usize] - snapshot[v as usize]).abs()),
+    )
 }
 
 /// Discrete first-order scheme: `⌊α·(ℓᵢ − ℓⱼ)⌋` tokens per edge with
@@ -86,7 +98,6 @@ impl ContinuousBalancer for FirstOrderContinuous<'_> {
 pub struct FirstOrderDiscrete<'g> {
     g: &'g Graph,
     divisor: i128,
-    snapshot: Vec<i64>,
 }
 
 impl<'g> FirstOrderDiscrete<'g> {
@@ -95,60 +106,52 @@ impl<'g> FirstOrderDiscrete<'g> {
         FirstOrderDiscrete {
             g,
             divisor: g.max_degree() as i128 + 1,
-            snapshot: vec![0; g.n()],
         }
     }
 }
 
-impl DiscreteBalancer for FirstOrderDiscrete<'_> {
-    fn round(&mut self, loads: &mut [i64]) -> DiscreteRoundStats {
-        assert_eq!(loads.len(), self.g.n(), "load vector length must equal n");
-        self.snapshot.copy_from_slice(loads);
-        let phi_hat_before = phi_hat(&self.snapshot);
-        let c = self.divisor;
-        for v in 0..self.g.n() as u32 {
-            let lv = self.snapshot[v as usize] as i128;
-            let mut acc = lv;
-            for &u in self.g.neighbors(v) {
-                let lu = self.snapshot[u as usize] as i128;
-                if lu > lv {
-                    acc += (lu - lv) / c;
-                } else if lv > lu {
-                    acc -= (lv - lu) / c;
-                }
-            }
-            loads[v as usize] = i64::try_from(acc).expect("load fits i64");
-        }
-        let mut active = 0usize;
-        let mut total = 0u64;
-        let mut max = 0u64;
-        for &(u, v) in self.g.edges() {
-            let t = ((self.snapshot[u as usize] as i128 - self.snapshot[v as usize] as i128)
-                .unsigned_abs()
-                / c as u128) as u64;
-            if t > 0 {
-                active += 1;
-                total += t;
-                max = max.max(t);
-            }
-        }
-        DiscreteRoundStats {
-            phi_hat_before,
-            phi_hat_after: phi_hat(loads),
-            active_edges: active,
-            total_tokens: total,
-            max_tokens: max,
-        }
+impl Protocol for FirstOrderDiscrete<'_> {
+    type Load = i64;
+    type Stats = DiscreteRoundStats;
+
+    fn n(&self) -> usize {
+        self.g.n()
     }
 
     fn name(&self) -> &'static str {
         "fos-disc"
+    }
+
+    #[inline]
+    fn node_new_load(&self, snapshot: &[i64], v: u32) -> i64 {
+        let lv = snapshot[v as usize] as i128;
+        let c = self.divisor;
+        let mut acc = lv;
+        for &u in self.g.neighbors(v) {
+            let lu = snapshot[u as usize] as i128;
+            if lu > lv {
+                acc += (lu - lv) / c;
+            } else if lv > lu {
+                acc -= (lv - lu) / c;
+            }
+        }
+        i64::try_from(acc).expect("load fits i64")
+    }
+
+    fn end_round(&mut self, snapshot: &[i64], new_loads: &[i64]) -> DiscreteRoundStats {
+        let mut tally = TokenTally::default();
+        for &(u, v) in self.g.edges() {
+            let diff = (snapshot[u as usize] as i128 - snapshot[v as usize] as i128).unsigned_abs();
+            tally.add((diff / self.divisor as u128) as u64);
+        }
+        tally.stats(phi_hat(snapshot), phi_hat(new_loads))
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use dlb_core::engine::IntoEngine;
     use dlb_core::potential;
     use dlb_graphs::topology;
     use dlb_spectral::diffusion::{fos_matrix, gamma};
@@ -160,7 +163,7 @@ mod tests {
         let init: Vec<f64> = (0..10).map(|i| ((i * 3 + 1) % 7) as f64).collect();
 
         let mut via_round = init.clone();
-        FirstOrderContinuous::new(&g).round(&mut via_round);
+        FirstOrderContinuous::new(&g).engine().round(&mut via_round);
 
         let mut via_matrix = vec![0.0; 10];
         m.matvec(&init, &mut via_matrix);
@@ -175,7 +178,7 @@ mod tests {
         // ‖e(t+1)‖₂ ≤ γ‖e(t)‖₂ — Cybenko's bound, checked per round.
         let g = topology::cycle(10);
         let gam = gamma(&fos_matrix(&g)).unwrap();
-        let mut b = FirstOrderContinuous::new(&g);
+        let mut b = FirstOrderContinuous::new(&g).engine();
         let mut loads: Vec<f64> = (0..10).map(|i| (i % 4) as f64 * 5.0).collect();
         for _ in 0..50 {
             let before = potential::phi(&loads).sqrt(); // ‖e‖₂
@@ -188,7 +191,7 @@ mod tests {
     #[test]
     fn conservation_continuous_and_discrete() {
         let g = topology::grid2d(4, 4);
-        let mut c = FirstOrderContinuous::new(&g);
+        let mut c = FirstOrderContinuous::new(&g).engine();
         let mut cl: Vec<f64> = (0..16).map(|i| (i % 5) as f64).collect();
         let before: f64 = cl.iter().sum();
         for _ in 0..30 {
@@ -196,7 +199,7 @@ mod tests {
         }
         assert!((cl.iter().sum::<f64>() - before).abs() < 1e-9);
 
-        let mut d = FirstOrderDiscrete::new(&g);
+        let mut d = FirstOrderDiscrete::new(&g).engine();
         let mut dl: Vec<i64> = (0..16).map(|i| ((i * 7) % 50) as i64).collect();
         let tb = potential::total_discrete(&dl);
         for _ in 0..30 {
@@ -208,7 +211,7 @@ mod tests {
     #[test]
     fn discrete_potential_never_increases() {
         let g = topology::hypercube(4);
-        let mut d = FirstOrderDiscrete::new(&g);
+        let mut d = FirstOrderDiscrete::new(&g).engine();
         let mut loads: Vec<i64> = (0..16).map(|i| ((i * 29) % 100) as i64).collect();
         for _ in 0..50 {
             let s = d.round(&mut loads);
@@ -231,18 +234,36 @@ mod tests {
     }
 
     #[test]
-    fn fos_slower_than_alg1_on_star() {
-        // On the star, Algorithm 1's per-edge factor 1/(4δ) beats FOS's
-        // uniform 1/(δ+1)… no wait, 1/(δ+1) > 1/(4δ) for δ ≥ 1. FOS should
-        // be FASTER here per round. We assert the *relationship the math
-        // predicts* rather than a slogan: one FOS round on the star from a
-        // hub spike balances leaves more aggressively.
+    fn fos_faster_than_alg1_per_round_on_star() {
+        // On the star, FOS's uniform 1/(δ+1) beats Algorithm 1's 1/(4δ)
+        // per round (for δ ≥ 1): one FOS round from a hub spike balances
+        // leaves more aggressively. Assert the relationship the math
+        // predicts.
         let g = topology::star(9); // δ = 8
         let mut fos_loads = vec![0.0; 9];
         fos_loads[0] = 90.0;
         let mut alg1_loads = fos_loads.clone();
-        let fs = FirstOrderContinuous::new(&g).round(&mut fos_loads);
-        let als = dlb_core::continuous::ContinuousDiffusion::new(&g).round(&mut alg1_loads);
+        let fs = FirstOrderContinuous::new(&g).engine().round(&mut fos_loads);
+        let als = dlb_core::continuous::ContinuousDiffusion::new(&g)
+            .engine()
+            .round(&mut alg1_loads);
         assert!(fs.relative_drop() > als.relative_drop());
+    }
+
+    #[test]
+    fn serial_parallel_bit_identical() {
+        let g = topology::torus2d(6, 6);
+        let init: Vec<f64> = (0..36).map(|i| ((i * 13 + 5) % 41) as f64).collect();
+        let mut serial = init.clone();
+        let mut s = FirstOrderContinuous::new(&g).engine();
+        for _ in 0..10 {
+            s.round(&mut serial);
+        }
+        let mut par = init;
+        let mut p = FirstOrderContinuous::new(&g).engine_parallel(3);
+        for _ in 0..10 {
+            p.round(&mut par);
+        }
+        assert_eq!(serial, par);
     }
 }

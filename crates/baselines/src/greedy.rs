@@ -1,5 +1,5 @@
 //! The sequential comparator: the "corresponding sequential load balancing
-//! method" from the paper's Section 3 narrative.
+//! method" from the paper's Section 3 narrative, as an engine protocol.
 //!
 //! Edges activate strictly one at a time; each activation moves
 //! `(ℓᵢ − ℓⱼ)/(4·max(dᵢ, dⱼ))` computed from *current* loads. There are no
@@ -7,8 +7,16 @@
 //! apply directly. The paper's proof technique shows the concurrent
 //! Algorithm 1 loses at most a factor 2 in per-round potential drop
 //! against this system — experiment E3 measures the actual ratio.
+//!
+//! A sequential activation chain is inherently order-dependent, so it
+//! cannot be expressed as a per-node gather directly. The protocol instead
+//! *materializes* the whole round in `begin_round` (replaying the chain on
+//! an internal buffer) and lets the gather read the result — the engine
+//! pattern for schemes whose round is cheap but non-local. Serial and
+//! parallel execution remain trivially bit-identical.
 
-use dlb_core::model::{ContinuousBalancer, RoundStats};
+use dlb_core::engine::{FlowTally, Protocol};
+use dlb_core::model::RoundStats;
 use dlb_core::seq::{adaptive_sequential_round, AdaptiveOrder};
 use dlb_graphs::Graph;
 use rand::rngs::StdRng;
@@ -20,13 +28,23 @@ pub struct SequentialComparator<'g> {
     g: &'g Graph,
     order: AdaptiveOrder,
     rng: StdRng,
+    /// The round's final state, materialized in `begin_round`.
+    result: Vec<f64>,
+    /// The round's statistics, cached for `end_round`.
+    pending_stats: Option<RoundStats>,
 }
 
 impl<'g> SequentialComparator<'g> {
     /// Creates the comparator; `seed` matters only for
     /// [`AdaptiveOrder::Random`].
     pub fn new(g: &'g Graph, order: AdaptiveOrder, seed: u64) -> Self {
-        SequentialComparator { g, order, rng: StdRng::seed_from_u64(seed) }
+        SequentialComparator {
+            g,
+            order,
+            rng: StdRng::seed_from_u64(seed),
+            result: Vec::new(),
+            pending_stats: None,
+        }
     }
 
     /// The activation order in use.
@@ -35,26 +53,12 @@ impl<'g> SequentialComparator<'g> {
     }
 }
 
-impl ContinuousBalancer for SequentialComparator<'_> {
-    fn round(&mut self, loads: &mut [f64]) -> RoundStats {
-        let r = adaptive_sequential_round(self.g, loads, self.order, &mut self.rng);
-        let mut active = 0usize;
-        let mut total = 0.0;
-        let mut max = 0.0f64;
-        for a in &r.activations {
-            if a.weight > 0.0 {
-                active += 1;
-                total += a.weight;
-                max = max.max(a.weight);
-            }
-        }
-        RoundStats {
-            phi_before: r.phi_before,
-            phi_after: r.phi_after,
-            active_edges: active,
-            total_flow: total,
-            max_flow: max,
-        }
+impl Protocol for SequentialComparator<'_> {
+    type Load = f64;
+    type Stats = RoundStats;
+
+    fn n(&self) -> usize {
+        self.g.n()
     }
 
     fn name(&self) -> &'static str {
@@ -64,12 +68,33 @@ impl ContinuousBalancer for SequentialComparator<'_> {
             AdaptiveOrder::RoundStartWeight => "seq-weight",
         }
     }
+
+    fn begin_round(&mut self, snapshot: &[f64]) {
+        self.result.clear();
+        self.result.extend_from_slice(snapshot);
+        let r = adaptive_sequential_round(self.g, &mut self.result, self.order, &mut self.rng);
+        let mut tally = FlowTally::default();
+        for a in &r.activations {
+            tally.add(a.weight);
+        }
+        self.pending_stats = Some(tally.stats(r.phi_before, r.phi_after));
+    }
+
+    #[inline]
+    fn node_new_load(&self, _snapshot: &[f64], v: u32) -> f64 {
+        self.result[v as usize]
+    }
+
+    fn end_round(&mut self, _snapshot: &[f64], _new_loads: &[f64]) -> RoundStats {
+        self.pending_stats.take().expect("begin_round ran")
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use dlb_core::continuous::ContinuousDiffusion;
+    use dlb_core::engine::IntoEngine;
     use dlb_core::potential;
     use dlb_core::runner::rounds_to_epsilon;
     use dlb_graphs::topology;
@@ -77,7 +102,7 @@ mod tests {
     #[test]
     fn conserves_and_monotone() {
         let g = topology::torus2d(4, 4);
-        let mut b = SequentialComparator::new(&g, AdaptiveOrder::Random, 3);
+        let mut b = SequentialComparator::new(&g, AdaptiveOrder::Random, 3).engine();
         let mut loads: Vec<f64> = (0..16).map(|i| ((i * 5) % 13) as f64).collect();
         let before: f64 = loads.iter().sum();
         for _ in 0..50 {
@@ -91,7 +116,7 @@ mod tests {
     fn converges() {
         let n = 16;
         let g = topology::cycle(n);
-        let mut b = SequentialComparator::new(&g, AdaptiveOrder::EdgeIndex, 0);
+        let mut b = SequentialComparator::new(&g, AdaptiveOrder::EdgeIndex, 0).engine();
         let mut loads = vec![0.0; n];
         loads[0] = 160.0;
         let out = rounds_to_epsilon(&mut b, &mut loads, 1e-6, 50_000);
@@ -105,8 +130,8 @@ mod tests {
         // same state.
         let g = topology::hypercube(4);
         let mut loads: Vec<f64> = (0..16).map(|i| ((i * 37 + 5) % 61) as f64).collect();
-        let mut seq = SequentialComparator::new(&g, AdaptiveOrder::RoundStartWeight, 1);
-        let mut conc_exec = ContinuousDiffusion::new(&g);
+        let mut seq = SequentialComparator::new(&g, AdaptiveOrder::RoundStartWeight, 1).engine();
+        let mut conc_exec = ContinuousDiffusion::new(&g).engine();
         for _ in 0..20 {
             let mut conc_loads = loads.clone();
             let cs = conc_exec.round(&mut conc_loads);

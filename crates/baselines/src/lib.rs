@@ -3,9 +3,11 @@
 //! # dlb-baselines
 //!
 //! The load-balancing protocols the BFH paper compares against in prose
-//! (its Sections 2 and 3), implemented behind the same
-//! [`dlb_core::ContinuousBalancer`]/[`dlb_core::DiscreteBalancer`] traits
-//! as Algorithm 1/2 so the experiment harness can sweep them uniformly:
+//! (its Sections 2 and 3), implemented as [`dlb_core::engine::Protocol`]s
+//! on the same unified engine as Algorithm 1/2 — wrap any of them with
+//! `.engine()` / `.engine_parallel(threads)` ([`dlb_core::IntoEngine`])
+//! and they run through the identical executors and convergence drivers,
+//! so the experiment harness can sweep every scheme uniformly:
 //!
 //! * [`matching_exchange`] — Ghosh–Muthukrishnan \[12\] dimension exchange
 //!   over random matchings (continuous and discrete). The paper claims

@@ -1,4 +1,5 @@
-//! Ghosh–Muthukrishnan \[12\]: dimension exchange over random matchings.
+//! Ghosh–Muthukrishnan \[12\]: dimension exchange over random matchings, as
+//! engine protocols.
 //!
 //! Each round draws a random matching `M_t` of the network; every matched
 //! pair averages its load (continuous: exchange half the difference;
@@ -7,18 +8,24 @@
 //! which is precisely the property \[12\]'s potential argument needs and the
 //! property BFH's sequentialization technique removes the need for.
 //!
+//! Vertex-disjointness also makes the gather trivial: `begin_round` draws
+//! the matching into a per-node partner table, and each node's kernel
+//! touches at most one partner.
+//!
 //! Expected per-round potential drop (\[12\]): `λ₂/(16δ)` with the
 //! 1/(8δ)-probability proposal matching; BFH's Algorithm 1 drops `λ₂/(4δ)`
 //! deterministically — the paper's "constant times faster" claim that
 //! experiment E12 measures.
 
-use dlb_core::model::{
-    ContinuousBalancer, DiscreteBalancer, DiscreteRoundStats, RoundStats,
-};
+use dlb_core::engine::{FlowTally, Protocol, TokenTally};
+use dlb_core::model::{DiscreteRoundStats, RoundStats};
 use dlb_core::potential::{phi, phi_hat};
 use dlb_graphs::{matching, Graph, Matching};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+
+/// Sentinel for "unmatched this round" in the partner table.
+const UNMATCHED: u32 = u32::MAX;
 
 /// Which random-matching oracle to use.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -39,51 +46,107 @@ impl MatchingKind {
             MatchingKind::GreedyMaximal => matching::random_greedy_matching(g, rng),
         }
     }
+
+    fn name_continuous(self) -> &'static str {
+        match self {
+            MatchingKind::Proposal => "gm94-cont",
+            MatchingKind::GreedyMaximal => "gm94-greedy-cont",
+        }
+    }
+
+    fn name_discrete(self) -> &'static str {
+        match self {
+            MatchingKind::Proposal => "gm94-disc",
+            MatchingKind::GreedyMaximal => "gm94-greedy-disc",
+        }
+    }
+}
+
+/// Per-round matching state shared by both variants.
+#[derive(Debug)]
+struct MatchState {
+    kind: MatchingKind,
+    rng: StdRng,
+    /// `partner[v]` = this round's matched partner of `v`, or
+    /// [`UNMATCHED`].
+    partner: Vec<u32>,
+    /// The drawn matching (for the statistics sweep).
+    pairs: Vec<(u32, u32)>,
+}
+
+impl MatchState {
+    fn new(n: usize, kind: MatchingKind, seed: u64) -> Self {
+        MatchState {
+            kind,
+            rng: StdRng::seed_from_u64(seed),
+            partner: vec![UNMATCHED; n],
+            pairs: Vec::new(),
+        }
+    }
+
+    fn draw(&mut self, g: &Graph) {
+        let m = self.kind.draw(g, &mut self.rng);
+        self.partner.fill(UNMATCHED);
+        self.pairs.clear();
+        self.pairs.extend_from_slice(m.pairs());
+        for &(u, v) in &self.pairs {
+            self.partner[u as usize] = v;
+            self.partner[v as usize] = u;
+        }
+    }
 }
 
 /// Continuous dimension exchange.
 #[derive(Debug)]
 pub struct MatchingExchangeContinuous<'g> {
     g: &'g Graph,
-    kind: MatchingKind,
-    rng: StdRng,
+    state: MatchState,
 }
 
 impl<'g> MatchingExchangeContinuous<'g> {
-    /// Creates the balancer with a deterministic seed.
+    /// Creates the protocol with a deterministic seed.
     pub fn new(g: &'g Graph, kind: MatchingKind, seed: u64) -> Self {
-        MatchingExchangeContinuous { g, kind, rng: StdRng::seed_from_u64(seed) }
+        MatchingExchangeContinuous {
+            g,
+            state: MatchState::new(g.n(), kind, seed),
+        }
     }
 }
 
-impl ContinuousBalancer for MatchingExchangeContinuous<'_> {
-    fn round(&mut self, loads: &mut [f64]) -> RoundStats {
-        assert_eq!(loads.len(), self.g.n(), "load vector length must equal n");
-        let phi_before = phi(loads);
-        let m = self.kind.draw(self.g, &mut self.rng);
-        let mut active = 0usize;
-        let mut total = 0.0f64;
-        let mut max = 0.0f64;
-        for &(u, v) in m.pairs() {
-            let (lu, lv) = (loads[u as usize], loads[v as usize]);
-            let w = (lu - lv).abs() / 2.0;
-            if w > 0.0 {
-                active += 1;
-                total += w;
-                max = max.max(w);
-                let avg = (lu + lv) / 2.0;
-                loads[u as usize] = avg;
-                loads[v as usize] = avg;
-            }
-        }
-        RoundStats { phi_before, phi_after: phi(loads), active_edges: active, total_flow: total, max_flow: max }
+impl Protocol for MatchingExchangeContinuous<'_> {
+    type Load = f64;
+    type Stats = RoundStats;
+
+    fn n(&self) -> usize {
+        self.g.n()
     }
 
     fn name(&self) -> &'static str {
-        match self.kind {
-            MatchingKind::Proposal => "gm94-cont",
-            MatchingKind::GreedyMaximal => "gm94-greedy-cont",
+        self.state.kind.name_continuous()
+    }
+
+    fn begin_round(&mut self, _snapshot: &[f64]) {
+        self.state.draw(self.g);
+    }
+
+    #[inline]
+    fn node_new_load(&self, snapshot: &[f64], v: u32) -> f64 {
+        let p = self.state.partner[v as usize];
+        if p == UNMATCHED {
+            snapshot[v as usize]
+        } else {
+            // Both endpoints compute the identical average, so the matched
+            // pair balances exactly and conservation is bitwise.
+            (snapshot[v as usize] + snapshot[p as usize]) / 2.0
         }
+    }
+
+    fn end_round(&mut self, snapshot: &[f64], new_loads: &[f64]) -> RoundStats {
+        let mut tally = FlowTally::default();
+        for &(u, v) in &self.state.pairs {
+            tally.add((snapshot[u as usize] - snapshot[v as usize]).abs() / 2.0);
+        }
+        tally.stats(phi(snapshot), phi(new_loads))
     }
 }
 
@@ -92,68 +155,73 @@ impl ContinuousBalancer for MatchingExchangeContinuous<'_> {
 #[derive(Debug)]
 pub struct MatchingExchangeDiscrete<'g> {
     g: &'g Graph,
-    kind: MatchingKind,
-    rng: StdRng,
+    state: MatchState,
 }
 
 impl<'g> MatchingExchangeDiscrete<'g> {
-    /// Creates the balancer with a deterministic seed.
+    /// Creates the protocol with a deterministic seed.
     pub fn new(g: &'g Graph, kind: MatchingKind, seed: u64) -> Self {
-        MatchingExchangeDiscrete { g, kind, rng: StdRng::seed_from_u64(seed) }
+        MatchingExchangeDiscrete {
+            g,
+            state: MatchState::new(g.n(), kind, seed),
+        }
     }
 }
 
-impl DiscreteBalancer for MatchingExchangeDiscrete<'_> {
-    fn round(&mut self, loads: &mut [i64]) -> DiscreteRoundStats {
-        assert_eq!(loads.len(), self.g.n(), "load vector length must equal n");
-        let phi_hat_before = phi_hat(loads);
-        let m = self.kind.draw(self.g, &mut self.rng);
-        let mut active = 0usize;
-        let mut total = 0u64;
-        let mut max = 0u64;
-        for &(u, v) in m.pairs() {
-            let (lu, lv) = (loads[u as usize], loads[v as usize]);
-            let t = (lu - lv).abs() / 2; // i64 division truncates toward 0 = floor for non-negatives
-            if t > 0 {
-                active += 1;
-                total += t as u64;
-                max = max.max(t as u64);
-                if lu >= lv {
-                    loads[u as usize] -= t;
-                    loads[v as usize] += t;
-                } else {
-                    loads[v as usize] -= t;
-                    loads[u as usize] += t;
-                }
-            }
-        }
-        DiscreteRoundStats {
-            phi_hat_before,
-            phi_hat_after: phi_hat(loads),
-            active_edges: active,
-            total_tokens: total,
-            max_tokens: max,
-        }
+impl Protocol for MatchingExchangeDiscrete<'_> {
+    type Load = i64;
+    type Stats = DiscreteRoundStats;
+
+    fn n(&self) -> usize {
+        self.g.n()
     }
 
     fn name(&self) -> &'static str {
-        match self.kind {
-            MatchingKind::Proposal => "gm94-disc",
-            MatchingKind::GreedyMaximal => "gm94-greedy-disc",
+        self.state.kind.name_discrete()
+    }
+
+    fn begin_round(&mut self, _snapshot: &[i64]) {
+        self.state.draw(self.g);
+    }
+
+    #[inline]
+    fn node_new_load(&self, snapshot: &[i64], v: u32) -> i64 {
+        let p = self.state.partner[v as usize];
+        if p == UNMATCHED {
+            return snapshot[v as usize];
         }
+        let lv = snapshot[v as usize];
+        let lp = snapshot[p as usize];
+        // i64 division truncates toward 0 = floor for the non-negative
+        // difference; both endpoints compute the same t.
+        let t = (lv - lp).abs() / 2;
+        if lp >= lv {
+            lv + t
+        } else {
+            lv - t
+        }
+    }
+
+    fn end_round(&mut self, snapshot: &[i64], new_loads: &[i64]) -> DiscreteRoundStats {
+        let mut tally = TokenTally::default();
+        for &(u, v) in &self.state.pairs {
+            tally.add(((snapshot[u as usize] - snapshot[v as usize]).abs() / 2) as u64);
+        }
+        tally.stats(phi_hat(snapshot), phi_hat(new_loads))
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use dlb_core::engine::IntoEngine;
     use dlb_core::potential;
     use dlb_graphs::topology;
 
     #[test]
     fn matched_pair_averages_exactly() {
         let g = topology::path(2);
-        let mut b = MatchingExchangeContinuous::new(&g, MatchingKind::GreedyMaximal, 1);
+        let mut b = MatchingExchangeContinuous::new(&g, MatchingKind::GreedyMaximal, 1).engine();
         let mut loads = vec![10.0, 2.0];
         b.round(&mut loads);
         assert_eq!(loads, vec![6.0, 6.0]);
@@ -162,7 +230,7 @@ mod tests {
     #[test]
     fn discrete_floor_transfer() {
         let g = topology::path(2);
-        let mut b = MatchingExchangeDiscrete::new(&g, MatchingKind::GreedyMaximal, 1);
+        let mut b = MatchingExchangeDiscrete::new(&g, MatchingKind::GreedyMaximal, 1).engine();
         let mut loads = vec![9i64, 2];
         b.round(&mut loads); // diff 7, send 3
         assert_eq!(loads, vec![6, 5]);
@@ -171,7 +239,7 @@ mod tests {
     #[test]
     fn load_conserved_both_variants() {
         let g = topology::torus2d(4, 4);
-        let mut c = MatchingExchangeContinuous::new(&g, MatchingKind::Proposal, 3);
+        let mut c = MatchingExchangeContinuous::new(&g, MatchingKind::Proposal, 3).engine();
         let mut cl: Vec<f64> = (0..16).map(|i| (i * 3 % 11) as f64).collect();
         let before: f64 = cl.iter().sum();
         for _ in 0..50 {
@@ -179,7 +247,7 @@ mod tests {
         }
         assert!((cl.iter().sum::<f64>() - before).abs() < 1e-9);
 
-        let mut d = MatchingExchangeDiscrete::new(&g, MatchingKind::Proposal, 3);
+        let mut d = MatchingExchangeDiscrete::new(&g, MatchingKind::Proposal, 3).engine();
         let mut dl: Vec<i64> = (0..16).map(|i| ((i * 13) % 31) as i64).collect();
         let tb = potential::total_discrete(&dl);
         for _ in 0..50 {
@@ -191,7 +259,7 @@ mod tests {
     #[test]
     fn potential_never_increases() {
         let g = topology::hypercube(4);
-        let mut b = MatchingExchangeContinuous::new(&g, MatchingKind::Proposal, 9);
+        let mut b = MatchingExchangeContinuous::new(&g, MatchingKind::Proposal, 9).engine();
         let mut loads: Vec<f64> = (0..16).map(|i| ((7 * i) % 13) as f64).collect();
         for _ in 0..100 {
             let s = b.round(&mut loads);
@@ -203,7 +271,7 @@ mod tests {
     fn converges_on_cycle() {
         let n = 16;
         let g = topology::cycle(n);
-        let mut b = MatchingExchangeContinuous::new(&g, MatchingKind::GreedyMaximal, 17);
+        let mut b = MatchingExchangeContinuous::new(&g, MatchingKind::GreedyMaximal, 17).engine();
         let mut loads = vec![0.0; n];
         loads[0] = 160.0;
         let phi0 = potential::phi(&loads);
@@ -220,7 +288,7 @@ mod tests {
         let g = topology::cycle(n);
         let lambda2 = 2.0 - 2.0 * (2.0 * std::f64::consts::PI / n as f64).cos();
         let bound = dlb_core::bounds::gm_matching_drop_factor(2, lambda2);
-        let mut b = MatchingExchangeContinuous::new(&g, MatchingKind::Proposal, 5);
+        let mut b = MatchingExchangeContinuous::new(&g, MatchingKind::Proposal, 5).engine();
         // Reset to the same state each trial to estimate the one-round drop.
         let init: Vec<f64> = (0..n).map(|i| if i == 0 { 144.0 } else { 0.0 }).collect();
         let phi0 = potential::phi(&init);
@@ -237,5 +305,23 @@ mod tests {
             "measured expected drop {avg_drop} below 0.9×(λ₂/16δ) = {}",
             bound * 0.9
         );
+    }
+
+    #[test]
+    fn serial_parallel_bit_identical_with_same_seed() {
+        let g = topology::torus2d(5, 5);
+        let init: Vec<f64> = (0..25).map(|i| ((i * 17 + 3) % 29) as f64).collect();
+        let mut serial = init.clone();
+        let mut s = MatchingExchangeContinuous::new(&g, MatchingKind::Proposal, 77).engine();
+        for _ in 0..20 {
+            s.round(&mut serial);
+        }
+        let mut par = init;
+        let mut p =
+            MatchingExchangeContinuous::new(&g, MatchingKind::Proposal, 77).engine_parallel(4);
+        for _ in 0..20 {
+            p.round(&mut par);
+        }
+        assert_eq!(serial, par);
     }
 }

@@ -1,6 +1,7 @@
 //! Extension: Chebyshev semi-iterative acceleration — the time-varying
 //! optimal version of the second-order scheme, in the spirit of
-//! Diekmann–Frommer–Monien's *Optimal Polynomial Scheme* (\[7\]).
+//! Diekmann–Frommer–Monien's *Optimal Polynomial Scheme* (\[7\]) — as an
+//! engine protocol.
 //!
 //! The first-order iteration `L^{t+1} = M·L^t` damps the error through the
 //! fixed polynomial `γᵗ`. Choosing the *Chebyshev* polynomial over the
@@ -15,9 +16,12 @@
 //! `(β−1)^{t/2}` rate as SOS with optimal `β = lim ω_t`, but strictly
 //! better in the transient because the polynomial is optimal at *every*
 //! `t`, not just in the limit. Like SOS it is continuous-only and
-//! non-monotone in `Φ`.
+//! non-monotone in `Φ`. The `ω` recurrence and the `L^{t−1}` history both
+//! advance in `end_round`, after the gather.
 
-use dlb_core::model::{ContinuousBalancer, RoundStats};
+use crate::fos::{fos_flow_tally, fos_step};
+use dlb_core::engine::Protocol;
+use dlb_core::model::RoundStats;
 use dlb_core::potential::phi;
 use dlb_graphs::Graph;
 use dlb_spectral::diffusion::{fos_matrix, gamma};
@@ -30,7 +34,6 @@ pub struct ChebyshevContinuous<'g> {
     gamma: f64,
     omega: f64,
     prev: Option<Vec<f64>>,
-    snapshot: Vec<f64>,
 }
 
 impl<'g> ChebyshevContinuous<'g> {
@@ -44,7 +47,6 @@ impl<'g> ChebyshevContinuous<'g> {
             gamma,
             omega: 1.0,
             prev: None,
-            snapshot: vec![0.0; g.n()],
         }
     }
 
@@ -73,56 +75,38 @@ impl<'g> ChebyshevContinuous<'g> {
     }
 }
 
-impl ContinuousBalancer for ChebyshevContinuous<'_> {
-    fn round(&mut self, loads: &mut [f64]) -> RoundStats {
-        assert_eq!(loads.len(), self.g.n(), "load vector length must equal n");
-        self.snapshot.copy_from_slice(loads);
-        let phi_before = phi(&self.snapshot);
+impl Protocol for ChebyshevContinuous<'_> {
+    type Load = f64;
+    type Stats = RoundStats;
 
-        let apply_m = |snapshot: &[f64], v: u32| {
-            let lv = snapshot[v as usize];
-            let mut acc = lv;
-            for &u in self.g.neighbors(v) {
-                acc += self.alpha * (snapshot[u as usize] - lv);
-            }
-            acc
-        };
-
-        match self.prev.take() {
-            None => {
-                for v in 0..self.g.n() as u32 {
-                    loads[v as usize] = apply_m(&self.snapshot, v);
-                }
-                // ω₂ = 1/(1 − γ²/2) per the standard recurrence seeded at 2.
-                self.omega = 1.0 / (1.0 - self.gamma * self.gamma / 2.0);
-            }
-            Some(prev) => {
-                let w = self.omega;
-                for v in 0..self.g.n() as u32 {
-                    let m_l = apply_m(&self.snapshot, v);
-                    loads[v as usize] = w * m_l + (1.0 - w) * prev[v as usize];
-                }
-                self.omega = 1.0 / (1.0 - self.gamma * self.gamma / 4.0 * w);
-            }
-        }
-        self.prev = Some(self.snapshot.clone());
-
-        let mut active = 0usize;
-        let mut total = 0.0;
-        let mut max = 0.0f64;
-        for &(u, v) in self.g.edges() {
-            let w = self.alpha * (self.snapshot[u as usize] - self.snapshot[v as usize]).abs();
-            if w > 0.0 {
-                active += 1;
-                total += w;
-                max = max.max(w);
-            }
-        }
-        RoundStats { phi_before, phi_after: phi(loads), active_edges: active, total_flow: total, max_flow: max }
+    fn n(&self) -> usize {
+        self.g.n()
     }
 
     fn name(&self) -> &'static str {
         "chebyshev-cont"
+    }
+
+    #[inline]
+    fn node_new_load(&self, snapshot: &[f64], v: u32) -> f64 {
+        let m_l = fos_step(self.g, self.alpha, snapshot, v);
+        match &self.prev {
+            None => m_l,
+            Some(prev) => self.omega * m_l + (1.0 - self.omega) * prev[v as usize],
+        }
+    }
+
+    fn end_round(&mut self, snapshot: &[f64], new_loads: &[f64]) -> RoundStats {
+        // Advance the ω recurrence for the *next* round.
+        self.omega = if self.prev.is_none() {
+            // ω₂ = 1/(1 − γ²/2) per the standard recurrence seeded at 2.
+            1.0 / (1.0 - self.gamma * self.gamma / 2.0)
+        } else {
+            1.0 / (1.0 - self.gamma * self.gamma / 4.0 * self.omega)
+        };
+        self.prev = Some(snapshot.to_vec());
+
+        fos_flow_tally(self.g, self.alpha, snapshot).stats(phi(snapshot), phi(new_loads))
     }
 }
 
@@ -131,6 +115,7 @@ mod tests {
     use super::*;
     use crate::fos::FirstOrderContinuous;
     use crate::sos::SecondOrderContinuous;
+    use dlb_core::engine::IntoEngine;
     use dlb_core::runner::rounds_to_epsilon;
     use dlb_graphs::topology;
 
@@ -140,8 +125,8 @@ mod tests {
         let init: Vec<f64> = (0..10).map(|i| (i * i % 11) as f64).collect();
         let mut a = init.clone();
         let mut b = init;
-        FirstOrderContinuous::new(&g).round(&mut a);
-        ChebyshevContinuous::new(&g).round(&mut b);
+        FirstOrderContinuous::new(&g).engine().round(&mut a);
+        ChebyshevContinuous::new(&g).engine().round(&mut b);
         for (x, y) in a.iter().zip(&b) {
             assert!((x - y).abs() < 1e-12);
         }
@@ -150,24 +135,24 @@ mod tests {
     #[test]
     fn omega_converges_to_sos_beta() {
         let g = topology::cycle(64);
-        let mut ch = ChebyshevContinuous::new(&g);
-        let beta_opt = dlb_spectral::diffusion::sos_optimal_beta(ch.gamma());
+        let mut ch = ChebyshevContinuous::new(&g).engine();
+        let beta_opt = dlb_spectral::diffusion::sos_optimal_beta(ch.protocol().gamma());
         let mut loads = vec![0.0; 64];
         loads[0] = 64.0;
         for _ in 0..300 {
             ch.round(&mut loads);
         }
+        let omega = ch.protocol().omega();
         assert!(
-            (ch.omega() - beta_opt).abs() < 1e-6,
-            "ω∞ = {} vs SOS β = {beta_opt}",
-            ch.omega()
+            (omega - beta_opt).abs() < 1e-6,
+            "ω∞ = {omega} vs SOS β = {beta_opt}"
         );
     }
 
     #[test]
     fn conserves_load() {
         let g = topology::torus2d(4, 4);
-        let mut ch = ChebyshevContinuous::new(&g);
+        let mut ch = ChebyshevContinuous::new(&g).engine();
         let mut loads: Vec<f64> = (0..16).map(|i| ((i * 3) % 7) as f64 * 10.0).collect();
         let before: f64 = loads.iter().sum();
         for _ in 0..100 {
@@ -187,8 +172,8 @@ mod tests {
             loads[0] = n as f64;
             rounds_to_epsilon(b, &mut loads, eps, 1_000_000)
         };
-        let sos = run(&mut SecondOrderContinuous::with_optimal_beta(&g));
-        let che = run(&mut ChebyshevContinuous::new(&g));
+        let sos = run(&mut SecondOrderContinuous::with_optimal_beta(&g).engine());
+        let che = run(&mut ChebyshevContinuous::new(&g).engine());
         assert!(sos.converged && che.converged);
         assert!(
             che.rounds <= sos.rounds + 2,
@@ -208,8 +193,8 @@ mod tests {
             loads[0] = n as f64;
             rounds_to_epsilon(b, &mut loads, eps, 2_000_000)
         };
-        let fos = run(&mut FirstOrderContinuous::new(&g));
-        let che = run(&mut ChebyshevContinuous::new(&g));
+        let fos = run(&mut FirstOrderContinuous::new(&g).engine());
+        let che = run(&mut ChebyshevContinuous::new(&g).engine());
         assert!(fos.converged && che.converged);
         assert!(
             (che.rounds as f64) < 0.2 * fos.rounds as f64,
@@ -222,11 +207,11 @@ mod tests {
     #[test]
     fn reset_restarts() {
         let g = topology::path(5);
-        let mut ch = ChebyshevContinuous::new(&g);
+        let mut ch = ChebyshevContinuous::new(&g).engine();
         let mut loads = vec![5.0, 0.0, 0.0, 0.0, 0.0];
         ch.round(&mut loads);
         ch.round(&mut loads);
-        ch.reset();
-        assert_eq!(ch.omega(), 1.0);
+        ch.protocol_mut().reset();
+        assert_eq!(ch.protocol().omega(), 1.0);
     }
 }

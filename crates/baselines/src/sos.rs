@@ -1,4 +1,5 @@
-//! Second-order diffusion scheme (Muthukrishnan–Ghosh–Schultz \[15\]).
+//! Second-order diffusion scheme (Muthukrishnan–Ghosh–Schultz \[15\]) as an
+//! engine protocol.
 //!
 //! `L^{t+1} = β·M·L^t + (1−β)·L^{t−1}` — a momentum-accelerated first-order
 //! scheme (the load-balancing analogue of successive over-relaxation). With
@@ -11,8 +12,15 @@
 //! loads are possible by design — the scheme trades monotonicity for
 //! speed, and experiment E12 shows both that speed and the non-monotone
 //! potential trace).
+//!
+//! The cross-round history `L^{t−1}` demonstrates the engine's `end_round`
+//! hook: the kernel reads the *previous* round's snapshot, and the history
+//! advances only after the gather completes — so the parallel executor
+//! needs no special handling for second-order schemes.
 
-use dlb_core::model::{ContinuousBalancer, RoundStats};
+use crate::fos::{fos_flow_tally, fos_step};
+use dlb_core::engine::Protocol;
+use dlb_core::model::RoundStats;
 use dlb_core::potential::phi;
 use dlb_graphs::Graph;
 use dlb_spectral::diffusion::{fos_matrix, gamma, sos_optimal_beta};
@@ -24,19 +32,20 @@ pub struct SecondOrderContinuous<'g> {
     alpha: f64,
     beta: f64,
     prev: Option<Vec<f64>>,
-    snapshot: Vec<f64>,
 }
 
 impl<'g> SecondOrderContinuous<'g> {
     /// Creates the scheme with an explicit `β ∈ [1, 2)`.
     pub fn with_beta(g: &'g Graph, beta: f64) -> Self {
-        assert!((1.0..2.0).contains(&beta), "SOS needs β ∈ [1, 2) (got {beta})");
+        assert!(
+            (1.0..2.0).contains(&beta),
+            "SOS needs β ∈ [1, 2) (got {beta})"
+        );
         SecondOrderContinuous {
             g,
             alpha: 1.0 / (g.max_degree() as f64 + 1.0),
             beta,
             prev: None,
-            snapshot: vec![0.0; g.n()],
         }
     }
 
@@ -54,63 +63,42 @@ impl<'g> SecondOrderContinuous<'g> {
     }
 
     /// Clears the memory of `L^{t−1}` (the next round is first-order
-    /// again). Useful when reusing the executor on a fresh load vector.
+    /// again). Useful when reusing the protocol on a fresh load vector.
     pub fn reset(&mut self) {
         self.prev = None;
     }
 }
 
-impl ContinuousBalancer for SecondOrderContinuous<'_> {
-    fn round(&mut self, loads: &mut [f64]) -> RoundStats {
-        assert_eq!(loads.len(), self.g.n(), "load vector length must equal n");
-        self.snapshot.copy_from_slice(loads);
-        let phi_before = phi(&self.snapshot);
+impl Protocol for SecondOrderContinuous<'_> {
+    type Load = f64;
+    type Stats = RoundStats;
 
-        // m_l = (M · L^t)_v computed matrix-free.
-        let apply_m = |snapshot: &[f64], v: u32, alpha: f64, g: &Graph| {
-            let lv = snapshot[v as usize];
-            let mut acc = lv;
-            for &u in g.neighbors(v) {
-                acc += alpha * (snapshot[u as usize] - lv);
-            }
-            acc
-        };
-
-        match self.prev.take() {
-            None => {
-                // First round: plain first-order step.
-                for v in 0..self.g.n() as u32 {
-                    loads[v as usize] = apply_m(&self.snapshot, v, self.alpha, self.g);
-                }
-            }
-            Some(prev) => {
-                for v in 0..self.g.n() as u32 {
-                    let m_l = apply_m(&self.snapshot, v, self.alpha, self.g);
-                    loads[v as usize] =
-                        self.beta * m_l + (1.0 - self.beta) * prev[v as usize];
-                }
-            }
-        }
-        self.prev = Some(self.snapshot.clone());
-
-        // Flow accounting: SOS is not a per-edge transfer protocol, so only
-        // the first-order component's flows are reported.
-        let mut active = 0usize;
-        let mut total = 0.0;
-        let mut max = 0.0f64;
-        for &(u, v) in self.g.edges() {
-            let w = self.alpha * (self.snapshot[u as usize] - self.snapshot[v as usize]).abs();
-            if w > 0.0 {
-                active += 1;
-                total += w;
-                max = max.max(w);
-            }
-        }
-        RoundStats { phi_before, phi_after: phi(loads), active_edges: active, total_flow: total, max_flow: max }
+    fn n(&self) -> usize {
+        self.g.n()
     }
 
     fn name(&self) -> &'static str {
         "sos-cont"
+    }
+
+    #[inline]
+    fn node_new_load(&self, snapshot: &[f64], v: u32) -> f64 {
+        let m_l = fos_step(self.g, self.alpha, snapshot, v);
+        match &self.prev {
+            // First round: plain first-order step.
+            None => m_l,
+            Some(prev) => self.beta * m_l + (1.0 - self.beta) * prev[v as usize],
+        }
+    }
+
+    fn end_round(&mut self, snapshot: &[f64], new_loads: &[f64]) -> RoundStats {
+        // Advance the history *after* the gather: next round's kernel sees
+        // this round's snapshot as L^{t−1}.
+        self.prev = Some(snapshot.to_vec());
+
+        // Flow accounting: SOS is not a per-edge transfer protocol, so only
+        // the first-order component's flows are reported.
+        fos_flow_tally(self.g, self.alpha, snapshot).stats(phi(snapshot), phi(new_loads))
     }
 }
 
@@ -118,6 +106,7 @@ impl ContinuousBalancer for SecondOrderContinuous<'_> {
 mod tests {
     use super::*;
     use crate::fos::FirstOrderContinuous;
+    use dlb_core::engine::IntoEngine;
     use dlb_core::potential;
     use dlb_core::runner::rounds_to_epsilon;
     use dlb_graphs::topology;
@@ -128,8 +117,10 @@ mod tests {
         let init: Vec<f64> = (0..8).map(|i| (i * i % 9) as f64).collect();
         let mut a = init.clone();
         let mut b = init;
-        FirstOrderContinuous::new(&g).round(&mut a);
-        SecondOrderContinuous::with_beta(&g, 1.5).round(&mut b);
+        FirstOrderContinuous::new(&g).engine().round(&mut a);
+        SecondOrderContinuous::with_beta(&g, 1.5)
+            .engine()
+            .round(&mut b);
         for (x, y) in a.iter().zip(&b) {
             assert!((x - y).abs() < 1e-12);
         }
@@ -141,8 +132,8 @@ mod tests {
         let init: Vec<f64> = (0..9).map(|i| (i % 4) as f64 * 3.0).collect();
         let mut a = init.clone();
         let mut b = init;
-        let mut fos = FirstOrderContinuous::new(&g);
-        let mut sos = SecondOrderContinuous::with_beta(&g, 1.0);
+        let mut fos = FirstOrderContinuous::new(&g).engine();
+        let mut sos = SecondOrderContinuous::with_beta(&g, 1.0).engine();
         for _ in 0..20 {
             fos.round(&mut a);
             sos.round(&mut b);
@@ -155,7 +146,7 @@ mod tests {
     #[test]
     fn load_conserved() {
         let g = topology::cycle(32);
-        let mut sos = SecondOrderContinuous::with_optimal_beta(&g);
+        let mut sos = SecondOrderContinuous::with_optimal_beta(&g).engine();
         let mut loads = vec![0.0; 32];
         loads[0] = 320.0;
         for _ in 0..100 {
@@ -173,12 +164,12 @@ mod tests {
 
         let mut fos_loads = vec![0.0; n];
         fos_loads[0] = n as f64;
-        let mut fos = FirstOrderContinuous::new(&g);
+        let mut fos = FirstOrderContinuous::new(&g).engine();
         let fos_out = rounds_to_epsilon(&mut fos, &mut fos_loads, eps, 2_000_000);
 
         let mut sos_loads = vec![0.0; n];
         sos_loads[0] = n as f64;
-        let mut sos = SecondOrderContinuous::with_optimal_beta(&g);
+        let mut sos = SecondOrderContinuous::with_optimal_beta(&g).engine();
         let sos_out = rounds_to_epsilon(&mut sos, &mut sos_loads, eps, 2_000_000);
 
         assert!(fos_out.converged && sos_out.converged);
@@ -201,12 +192,12 @@ mod tests {
     fn reset_restarts_first_order() {
         let g = topology::path(6);
         let init: Vec<f64> = (0..6).map(|i| i as f64).collect();
-        let mut sos = SecondOrderContinuous::with_beta(&g, 1.4);
+        let mut sos = SecondOrderContinuous::with_beta(&g, 1.4).engine();
         let mut l1 = init.clone();
         sos.round(&mut l1);
-        sos.reset();
+        sos.protocol_mut().reset();
         let mut l2 = init.clone();
-        let mut fresh = SecondOrderContinuous::with_beta(&g, 1.4);
+        let mut fresh = SecondOrderContinuous::with_beta(&g, 1.4).engine();
         let mut l3 = init;
         sos.round(&mut l2);
         fresh.round(&mut l3);
@@ -220,7 +211,7 @@ mod tests {
         // spike (overshoot is typical).
         let n = 32;
         let g = topology::path(n);
-        let mut sos = SecondOrderContinuous::with_optimal_beta(&g);
+        let mut sos = SecondOrderContinuous::with_optimal_beta(&g).engine();
         let mut loads = vec![0.0; n];
         loads[0] = n as f64 * 10.0;
         let mut saw_increase = false;
@@ -234,6 +225,27 @@ mod tests {
             }
             last = now;
         }
-        assert!(saw_increase, "expected at least one non-monotone step for SOS");
+        assert!(
+            saw_increase,
+            "expected at least one non-monotone step for SOS"
+        );
+    }
+
+    #[test]
+    fn history_correct_under_parallel_execution() {
+        // Second-order history must advance identically in both executors.
+        let g = topology::cycle(24);
+        let init: Vec<f64> = (0..24).map(|i| ((i * 11) % 17) as f64).collect();
+        let mut serial = init.clone();
+        let mut s = SecondOrderContinuous::with_beta(&g, 1.6).engine();
+        for _ in 0..25 {
+            s.round(&mut serial);
+        }
+        let mut par = init;
+        let mut p = SecondOrderContinuous::with_beta(&g, 1.6).engine_parallel(4);
+        for _ in 0..25 {
+            p.round(&mut par);
+        }
+        assert_eq!(serial, par);
     }
 }

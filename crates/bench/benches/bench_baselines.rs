@@ -8,7 +8,7 @@ use dlb_baselines::{
 };
 use dlb_bench::{bench_graphs, spike_continuous};
 use dlb_core::continuous::ContinuousDiffusion;
-use dlb_core::model::ContinuousBalancer;
+use dlb_core::engine::IntoEngine;
 use dlb_core::seq::AdaptiveOrder;
 use std::hint::black_box;
 use std::time::Duration;
@@ -19,32 +19,32 @@ fn baselines(c: &mut Criterion) {
     let mut group = c.benchmark_group("baseline_round_torus2d");
 
     group.bench_function(BenchmarkId::new("round", "alg1"), |b| {
-        let mut exec = ContinuousDiffusion::new(&g);
+        let mut exec = ContinuousDiffusion::new(&g).engine();
         let mut loads = spike_continuous(n);
         b.iter(|| black_box(exec.round(&mut loads)));
     });
     group.bench_function(BenchmarkId::new("round", "gm94"), |b| {
-        let mut exec = MatchingExchangeContinuous::new(&g, MatchingKind::Proposal, 3);
+        let mut exec = MatchingExchangeContinuous::new(&g, MatchingKind::Proposal, 3).engine();
         let mut loads = spike_continuous(n);
         b.iter(|| black_box(exec.round(&mut loads)));
     });
     group.bench_function(BenchmarkId::new("round", "gm94_greedy"), |b| {
-        let mut exec = MatchingExchangeContinuous::new(&g, MatchingKind::GreedyMaximal, 3);
+        let mut exec = MatchingExchangeContinuous::new(&g, MatchingKind::GreedyMaximal, 3).engine();
         let mut loads = spike_continuous(n);
         b.iter(|| black_box(exec.round(&mut loads)));
     });
     group.bench_function(BenchmarkId::new("round", "fos"), |b| {
-        let mut exec = FirstOrderContinuous::new(&g);
+        let mut exec = FirstOrderContinuous::new(&g).engine();
         let mut loads = spike_continuous(n);
         b.iter(|| black_box(exec.round(&mut loads)));
     });
     group.bench_function(BenchmarkId::new("round", "sos"), |b| {
-        let mut exec = SecondOrderContinuous::with_beta(&g, 1.8);
+        let mut exec = SecondOrderContinuous::with_beta(&g, 1.8).engine();
         let mut loads = spike_continuous(n);
         b.iter(|| black_box(exec.round(&mut loads)));
     });
     group.bench_function(BenchmarkId::new("round", "sequential"), |b| {
-        let mut exec = SequentialComparator::new(&g, AdaptiveOrder::EdgeIndex, 3);
+        let mut exec = SequentialComparator::new(&g, AdaptiveOrder::EdgeIndex, 3).engine();
         let mut loads = spike_continuous(n);
         b.iter(|| black_box(exec.round(&mut loads)));
     });

@@ -6,6 +6,7 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use dlb_bench::{bench_graphs, spike_continuous, spike_discrete, BENCH_SEED};
 use dlb_core::continuous::ContinuousDiffusion;
 use dlb_core::discrete::DiscreteDiffusion;
+use dlb_core::engine::IntoEngine;
 use dlb_core::runner::{rounds_to_epsilon, run_discrete};
 use dlb_core::{bounds, potential};
 use std::hint::black_box;
@@ -21,7 +22,7 @@ fn convergence(c: &mut Criterion) {
         group.bench_with_input(BenchmarkId::new("to_eps_1e-4", name), &g, |b, g| {
             b.iter(|| {
                 let mut loads = spike_continuous(g.n());
-                let mut exec = ContinuousDiffusion::new(g);
+                let mut exec = ContinuousDiffusion::new(g).engine();
                 black_box(rounds_to_epsilon(&mut exec, &mut loads, 1e-4, 1_000_000))
             });
         });
@@ -38,8 +39,10 @@ fn convergence(c: &mut Criterion) {
             let target = bounds::theorem6_threshold_hat(g.max_degree(), lambda2, g.n());
             b.iter(|| {
                 let mut loads = spike_discrete(g.n());
-                let mut exec = DiscreteDiffusion::new(g);
-                black_box(run_discrete(&mut exec, &mut loads, target, 1_000_000, false))
+                let mut exec = DiscreteDiffusion::new(g).engine();
+                black_box(run_discrete(
+                    &mut exec, &mut loads, target, 1_000_000, false,
+                ))
             });
         });
     }
@@ -48,7 +51,7 @@ fn convergence(c: &mut Criterion) {
     let (name, g) = &bench_graphs()[2];
     assert_eq!(*name, "hypercube");
     let mut loads = spike_continuous(g.n());
-    let mut exec = ContinuousDiffusion::new(g);
+    let mut exec = ContinuousDiffusion::new(g).engine();
     let out = rounds_to_epsilon(&mut exec, &mut loads, 1e-4, 1_000_000);
     assert!(out.converged && potential::phi(&loads) <= 1e-4 * 102_400.0_f64.powi(2));
     let _ = BENCH_SEED;

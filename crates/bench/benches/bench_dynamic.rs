@@ -4,10 +4,8 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use dlb_bench::spike_continuous;
 use dlb_core::continuous::ContinuousDiffusion;
-use dlb_core::model::ContinuousBalancer;
-use dlb_dynamics::{
-    GraphSequence, IidSubgraphSequence, MarkovChurnSequence, MatchingOnlySequence,
-};
+use dlb_core::engine::IntoEngine;
+use dlb_dynamics::{GraphSequence, IidSubgraphSequence, MarkovChurnSequence, MatchingOnlySequence};
 use dlb_graphs::topology;
 use std::hint::black_box;
 use std::time::Duration;
@@ -17,16 +15,25 @@ fn dynamic(c: &mut Criterion) {
     let mut group = c.benchmark_group("dynamic_round");
 
     let cases: Vec<(&str, Box<dyn GraphSequence>)> = vec![
-        ("iid_p0.5", Box::new(IidSubgraphSequence::new(ground.clone(), 0.5, 3))),
-        ("markov", Box::new(MarkovChurnSequence::new(ground.clone(), 0.2, 0.4, 3))),
-        ("matching_only", Box::new(MatchingOnlySequence::new(ground.clone(), 3))),
+        (
+            "iid_p0.5",
+            Box::new(IidSubgraphSequence::new(ground.clone(), 0.5, 3)),
+        ),
+        (
+            "markov",
+            Box::new(MarkovChurnSequence::new(ground.clone(), 0.2, 0.4, 3)),
+        ),
+        (
+            "matching_only",
+            Box::new(MatchingOnlySequence::new(ground.clone(), 3)),
+        ),
     ];
     for (name, mut seq) in cases {
         group.bench_function(BenchmarkId::new("subgraph_plus_round", name), |b| {
             let mut loads = spike_continuous(ground.n());
             b.iter(|| {
                 let g = seq.next_graph();
-                let stats = ContinuousDiffusion::new(&g).round(&mut loads);
+                let stats = ContinuousDiffusion::new(&g).engine().round(&mut loads);
                 black_box(stats)
             });
         });

@@ -1,0 +1,95 @@
+//! Engine gather-kernel benchmark: old-style per-round degree-lookup
+//! gather vs. the engine's precomputed-divisor gather, on a 1M-node torus.
+//!
+//! The legacy executors recomputed `4·max(dᵢ, dⱼ)` inside the hot loop
+//! (two CSR degree lookups + `max` + int→float convert per neighbour
+//! slot); the engine materializes those divisors once, CSR-slot-aligned,
+//! at protocol construction. This bench isolates exactly that difference:
+//! both variants run the same full-vector gather over the same snapshot.
+//!
+//! Also measures the full engine round (gather + stats + potentials),
+//! serial vs. pooled-parallel, on the same instance. Set `DLB_THREADS` to
+//! cap the pool on shared machines.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dlb_core::continuous::{self, ContinuousDiffusion};
+use dlb_core::engine::{recommended_threads, IntoEngine, Protocol};
+use dlb_graphs::topology;
+use std::hint::black_box;
+use std::time::Duration;
+
+fn gather_kernels(c: &mut Criterion) {
+    let side = 1000; // n = 1,000,000
+    let g = topology::torus2d(side, side);
+    let n = g.n();
+    let snapshot: Vec<f64> = (0..n).map(|i| ((i * 131 + 17) % 4099) as f64).collect();
+    let mut out = vec![0.0f64; n];
+
+    let mut group = c.benchmark_group("gather_1m_torus");
+
+    // The on-the-fly reference kernel is exactly what the legacy executors
+    // ran in their hot loop.
+    group.bench_function("legacy_degree_lookup", |b| {
+        b.iter(|| {
+            for v in 0..n as u32 {
+                out[v as usize] = continuous::node_new_load(&g, &snapshot, v);
+            }
+            black_box(out[0])
+        });
+    });
+
+    let proto = ContinuousDiffusion::new(&g);
+    group.bench_function("precomputed_weights", |b| {
+        b.iter(|| {
+            for v in 0..n as u32 {
+                out[v as usize] = proto.node_new_load(&snapshot, v);
+            }
+            black_box(out[0])
+        });
+    });
+
+    group.finish();
+}
+
+fn engine_rounds(c: &mut Criterion) {
+    let side = 1000;
+    let g = topology::torus2d(side, side);
+    let n = g.n();
+    let init: Vec<f64> = (0..n).map(|i| ((i * 131 + 17) % 4099) as f64).collect();
+
+    let mut group = c.benchmark_group("engine_round_1m_torus");
+
+    group.bench_function("serial", |b| {
+        let mut engine = ContinuousDiffusion::new(&g).engine();
+        let mut loads = init.clone();
+        b.iter(|| black_box(engine.round(&mut loads)));
+    });
+
+    let avail = recommended_threads();
+    for threads in [2usize, 4, 8] {
+        if threads > 2 * avail {
+            continue;
+        }
+        group.bench_with_input(
+            BenchmarkId::new("pool", threads),
+            &threads,
+            |b, &threads| {
+                let mut engine = ContinuousDiffusion::new(&g).engine_parallel(threads);
+                let mut loads = init.clone();
+                b.iter(|| black_box(engine.round(&mut loads)));
+            },
+        );
+    }
+
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(500))
+        .measurement_time(Duration::from_millis(2500));
+    targets = gather_kernels, engine_rounds
+}
+criterion_main!(benches);

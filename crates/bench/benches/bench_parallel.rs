@@ -1,10 +1,11 @@
 //! Parallel-executor scaling (experiment E14): the same round at 1–16
-//! worker threads against the serial executor, on a large torus.
+//! persistent-pool worker threads against the serial executor, on a large
+//! torus. Cap the sweep with `DLB_THREADS` for stable numbers on shared
+//! machines.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use dlb_core::continuous::ContinuousDiffusion;
-use dlb_core::model::ContinuousBalancer;
-use dlb_core::parallel::ParallelContinuousDiffusion;
+use dlb_core::engine::IntoEngine;
 use dlb_graphs::topology;
 use std::hint::black_box;
 use std::time::Duration;
@@ -16,20 +17,20 @@ fn parallel(c: &mut Criterion) {
     let mut group = c.benchmark_group("parallel_round_torus192");
 
     group.bench_function("serial", |b| {
-        let mut exec = ContinuousDiffusion::new(&g);
+        let mut exec = ContinuousDiffusion::new(&g).engine();
         let mut loads = loads0.clone();
         b.iter(|| black_box(exec.round(&mut loads)));
     });
-    let avail = dlb_core::parallel::recommended_threads();
+    let avail = dlb_core::engine::recommended_threads();
     for threads in [1usize, 2, 4, 8, 16] {
         if threads > 2 * avail {
             continue;
         }
         group.bench_with_input(
-            BenchmarkId::new("crossbeam", threads),
+            BenchmarkId::new("pool", threads),
             &threads,
             |b, &threads| {
-                let mut exec = ParallelContinuousDiffusion::new(&g, threads);
+                let mut exec = ContinuousDiffusion::new(&g).engine_parallel(threads);
                 let mut loads = loads0.clone();
                 b.iter(|| black_box(exec.round(&mut loads)));
             },

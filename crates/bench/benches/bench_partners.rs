@@ -3,10 +3,8 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use dlb_bench::{spike_continuous, spike_discrete};
-use dlb_core::model::{ContinuousBalancer, DiscreteBalancer};
-use dlb_core::random_partner::{
-    sample_partners, RandomPartnerContinuous, RandomPartnerDiscrete,
-};
+use dlb_core::engine::IntoEngine;
+use dlb_core::random_partner::{sample_partners, RandomPartnerContinuous, RandomPartnerDiscrete};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::hint::black_box;
@@ -20,12 +18,12 @@ fn partners(c: &mut Criterion) {
             b.iter(|| black_box(sample_partners(n, &mut rng)));
         });
         group.bench_with_input(BenchmarkId::new("round_continuous", n), &n, |b, &n| {
-            let mut exec = RandomPartnerContinuous::new(n, 7);
+            let mut exec = RandomPartnerContinuous::new(n, 7).engine();
             let mut loads = spike_continuous(n);
             b.iter(|| black_box(exec.round(&mut loads)));
         });
         group.bench_with_input(BenchmarkId::new("round_discrete", n), &n, |b, &n| {
-            let mut exec = RandomPartnerDiscrete::new(n, 7);
+            let mut exec = RandomPartnerDiscrete::new(n, 7).engine();
             let mut loads = spike_discrete(n);
             b.iter(|| black_box(exec.round(&mut loads)));
         });

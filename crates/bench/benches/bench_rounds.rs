@@ -5,8 +5,8 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use dlb_bench::{bench_graphs, spike_continuous, spike_discrete};
 use dlb_core::continuous::{ContinuousDiffusion, GeneralizedDiffusion};
 use dlb_core::discrete::DiscreteDiffusion;
+use dlb_core::engine::IntoEngine;
 use dlb_core::heterogeneous::HeterogeneousDiffusion;
-use dlb_core::model::{ContinuousBalancer, DiscreteBalancer};
 use std::hint::black_box;
 use std::time::Duration;
 
@@ -14,24 +14,25 @@ fn rounds(c: &mut Criterion) {
     let mut group = c.benchmark_group("alg1_round");
     for (name, g) in bench_graphs() {
         group.bench_with_input(BenchmarkId::new("continuous", name), &g, |b, g| {
-            let mut exec = ContinuousDiffusion::new(g);
+            let mut exec = ContinuousDiffusion::new(g).engine();
             let mut loads = spike_continuous(g.n());
             b.iter(|| black_box(exec.round(&mut loads)));
         });
         group.bench_with_input(BenchmarkId::new("discrete", name), &g, |b, g| {
-            let mut exec = DiscreteDiffusion::new(g);
+            let mut exec = DiscreteDiffusion::new(g).engine();
             let mut loads = spike_discrete(g.n());
             b.iter(|| black_box(exec.round(&mut loads)));
         });
         group.bench_with_input(BenchmarkId::new("heterogeneous", name), &g, |b, g| {
-            let caps: Vec<f64> =
-                (0..g.n()).map(|i| if i % 8 == 0 { 8.0 } else { 1.0 }).collect();
-            let mut exec = HeterogeneousDiffusion::new(g, caps);
+            let caps: Vec<f64> = (0..g.n())
+                .map(|i| if i % 8 == 0 { 8.0 } else { 1.0 })
+                .collect();
+            let mut exec = HeterogeneousDiffusion::new(g, caps).engine();
             let mut loads = spike_continuous(g.n());
             b.iter(|| black_box(exec.round(&mut loads)));
         });
         group.bench_with_input(BenchmarkId::new("generalized_k8", name), &g, |b, g| {
-            let mut exec = GeneralizedDiffusion::new(g, 8.0);
+            let mut exec = GeneralizedDiffusion::new(g, 8.0).engine();
             let mut loads = spike_continuous(g.n());
             b.iter(|| black_box(exec.round(&mut loads)));
         });

@@ -5,7 +5,7 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use dlb_bench::bench_graphs;
 use dlb_core::continuous::ContinuousDiffusion;
-use dlb_core::model::ContinuousBalancer;
+use dlb_core::engine::IntoEngine;
 use dlb_core::seq::{adaptive_sequential_round, sequentialized_round, AdaptiveOrder};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -20,14 +20,18 @@ fn seq_machinery(c: &mut Criterion) {
     let mut group = c.benchmark_group("sequentialization");
     for (name, g) in bench_graphs() {
         group.bench_with_input(BenchmarkId::new("concurrent_round", name), &g, |b, g| {
-            let mut exec = ContinuousDiffusion::new(g);
+            let mut exec = ContinuousDiffusion::new(g).engine();
             let mut loads = loads_for(g.n());
             b.iter(|| black_box(exec.round(&mut loads)));
         });
-        group.bench_with_input(BenchmarkId::new("sequentialized_replay", name), &g, |b, g| {
-            let mut loads = loads_for(g.n());
-            b.iter(|| black_box(sequentialized_round(g, &mut loads)));
-        });
+        group.bench_with_input(
+            BenchmarkId::new("sequentialized_replay", name),
+            &g,
+            |b, g| {
+                let mut loads = loads_for(g.n());
+                b.iter(|| black_box(sequentialized_round(g, &mut loads)));
+            },
+        );
         group.bench_with_input(BenchmarkId::new("adaptive_sequential", name), &g, |b, g| {
             let mut loads = loads_for(g.n());
             let mut rng = StdRng::seed_from_u64(1);

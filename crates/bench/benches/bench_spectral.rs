@@ -17,7 +17,10 @@ fn spectral(c: &mut Criterion) {
         });
         group.bench_with_input(BenchmarkId::new("lanczos", n), &g, |b, g| {
             b.iter(|| {
-                black_box(lanczos::lanczos_lambda2(g, lanczos::LanczosOptions::default()))
+                black_box(lanczos::lanczos_lambda2(
+                    g,
+                    lanczos::LanczosOptions::default(),
+                ))
             });
         });
     }
@@ -27,7 +30,10 @@ fn spectral(c: &mut Criterion) {
         let n = side * side;
         group.bench_with_input(BenchmarkId::new("lanczos", n), &g, |b, g| {
             b.iter(|| {
-                black_box(lanczos::lanczos_lambda2(g, lanczos::LanczosOptions::default()))
+                black_box(lanczos::lanczos_lambda2(
+                    g,
+                    lanczos::LanczosOptions::default(),
+                ))
             });
         });
     }

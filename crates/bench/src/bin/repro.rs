@@ -41,7 +41,9 @@ fn main() -> ExitCode {
                 cfg.seed = seed;
             }
             "--csv" => {
-                let Some(dir) = args.next() else { return usage() };
+                let Some(dir) = args.next() else {
+                    return usage();
+                };
                 csv_dir = Some(dir);
             }
             "-h" | "--help" => return usage(),

@@ -64,7 +64,10 @@ pub fn theorem7_rounds(avg_lambda2_over_delta: f64, eps: f64) -> f64 {
 /// Theorem 8 (dynamic networks, discrete): the plateau potential
 /// `Φ* = 64·n·max_k (δ⁽ᵏ⁾)³/λ₂⁽ᵏ⁾`.
 pub fn theorem8_threshold(per_round: &[(u32, f64)], n: usize) -> f64 {
-    assert!(!per_round.is_empty(), "need at least one round's parameters");
+    assert!(
+        !per_round.is_empty(),
+        "need at least one round's parameters"
+    );
     let worst = per_round
         .iter()
         .map(|&(delta, lambda2)| {
@@ -208,9 +211,7 @@ mod tests {
         let delta = 4u32;
         let lambda2 = 1.25f64;
         let a_k = lambda2 / delta as f64;
-        assert!(
-            (theorem7_rounds(a_k, 1e-3) - theorem4_rounds(delta, lambda2, 1e-3)).abs() < 1e-9
-        );
+        assert!((theorem7_rounds(a_k, 1e-3) - theorem4_rounds(delta, lambda2, 1e-3)).abs() < 1e-9);
     }
 
     #[test]
@@ -239,8 +240,7 @@ mod tests {
         assert_eq!(lemma13_threshold_hat(10), 3200 * 1000);
         let n = 100usize;
         assert!(
-            (lemma13_threshold(n) * (n * n) as f64 - lemma13_threshold_hat(n) as f64).abs()
-                < 1e-6
+            (lemma13_threshold(n) * (n * n) as f64 - lemma13_threshold_hat(n) as f64).abs() < 1e-6
         );
     }
 
@@ -249,9 +249,7 @@ mod tests {
         // Section 3's claim: Algorithm 1 is a constant factor (4×) faster
         // than [12]'s dimension exchange in these bounds.
         let (d, l2, eps) = (6u32, 0.8, 1e-3);
-        assert!(
-            (gm_matching_rounds(d, l2, eps) / theorem4_rounds(d, l2, eps) - 4.0).abs() < 1e-9
-        );
+        assert!((gm_matching_rounds(d, l2, eps) / theorem4_rounds(d, l2, eps) - 4.0).abs() < 1e-9);
     }
 
     #[test]

@@ -1,4 +1,4 @@
-//! Algorithm 1 (continuous case): concurrent neighbourhood diffusion.
+//! Algorithm 1 (continuous case) as an engine [`Protocol`].
 //!
 //! One synchronous round, exactly as the paper's `diff-balancing(G)`:
 //! every node `i`, in parallel, sends `(ℓᵢ − ℓⱼ)/(4·max(dᵢ, dⱼ))` to each
@@ -13,26 +13,35 @@
 //! ℓᵢ ← ℓᵢ + Σ_{j ∈ N(i)} (ℓⱼ − ℓᵢ) / (4·max(dᵢ, dⱼ))
 //! ```
 //!
-//! evaluated against an immutable snapshot of round-start loads. Each node's
-//! new value is computed independently by one summation in CSR neighbour
-//! order — which makes the serial executor and the crossbeam parallel
-//! executor ([`crate::parallel`]) *bit-identical*, since they perform the
-//! same floating-point operations in the same per-node order.
+//! evaluated against an immutable snapshot of round-start loads — which is
+//! exactly the engine's round shape, so [`ContinuousDiffusion`] is a thin
+//! [`Protocol`]: its kernel is one summation in CSR neighbour order over
+//! the divisors `4·max(dᵢ, dⱼ)` precomputed per CSR slot at construction
+//! (see [`dlb_graphs::weights`]). Serial and parallel execution are
+//! bit-identical by the engine's contract, and the precomputed divisors
+//! are bit-identical to the historical on-the-fly computation (pinned by
+//! golden fixtures in the workspace test-suite).
 
-use crate::model::{ContinuousBalancer, RoundStats};
+use crate::engine::{FlowTally, Protocol};
+use crate::model::RoundStats;
 use crate::potential::phi;
-use dlb_graphs::Graph;
+use dlb_graphs::{weights, Graph};
 
-/// Per-edge flow factor `1/(4·max(dᵢ, dⱼ))` of Algorithm 1.
+/// Per-edge flow divisor `4·max(dᵢ, dⱼ)` of Algorithm 1.
 #[inline]
 pub fn edge_divisor(g: &Graph, u: u32, v: u32) -> f64 {
     4.0 * g.degree(u).max(g.degree(v)) as f64
 }
 
-/// New load of node `v` after one round, from the round-start snapshot.
+/// The reference gather kernel of continuous Algorithm 1, with the divisor
+/// computed on the fly from degree lookups: node `v`'s new load from the
+/// round-start snapshot.
 ///
-/// This is *the* definition of the concurrent round; the serial executor,
-/// the parallel executor and the tests all call it.
+/// This is *the* definition of the concurrent round. The fixed-network
+/// protocol below performs the bit-identical computation against
+/// precomputed divisors; the dynamic protocols (whose graph changes every
+/// round, so there is nothing to amortize) and the engine benchmarks call
+/// this form directly.
 #[inline]
 pub fn node_new_load(g: &Graph, snapshot: &[f64], v: u32) -> f64 {
     let lv = snapshot[v as usize];
@@ -45,35 +54,51 @@ pub fn node_new_load(g: &Graph, snapshot: &[f64], v: u32) -> f64 {
     acc
 }
 
-/// Edge-level flow statistics of one round, from the snapshot.
-pub(crate) fn edge_flow_stats(g: &Graph, snapshot: &[f64]) -> (usize, f64, f64) {
-    let mut active = 0usize;
-    let mut total = 0.0f64;
-    let mut max = 0.0f64;
-    for &(u, v) in g.edges() {
-        let w = (snapshot[u as usize] - snapshot[v as usize]).abs() / edge_divisor(g, u, v);
-        if w > 0.0 {
-            active += 1;
-            total += w;
-            max = max.max(w);
-        }
+/// Shared gather kernel over CSR-slot-aligned precomputed divisors
+/// (bit-identical to [`node_new_load`] because the divisor values are
+/// equal and the operation order is unchanged).
+#[inline]
+pub(crate) fn gather_precomputed(g: &Graph, slot_div: &[f64], snapshot: &[f64], v: u32) -> f64 {
+    let lv = snapshot[v as usize];
+    let off = g.neighbor_offset(v);
+    let mut acc = lv;
+    for (i, &u) in g.neighbors(v).iter().enumerate() {
+        acc += (snapshot[u as usize] - lv) / slot_div[off + i];
     }
-    (active, total, max)
+    acc
 }
 
-/// Serial executor for the continuous Algorithm 1 on a fixed network.
+/// Per-round flow statistics over edge-list-aligned precomputed divisors.
+pub(crate) fn flow_tally_precomputed(g: &Graph, edge_div: &[f64], snapshot: &[f64]) -> FlowTally {
+    FlowTally::from_flows(
+        g.edges()
+            .iter()
+            .enumerate()
+            .map(|(k, &(u, v))| (snapshot[u as usize] - snapshot[v as usize]).abs() / edge_div[k]),
+    )
+}
+
+/// Continuous Algorithm 1 on a fixed network.
 ///
-/// Holds the per-round snapshot buffer so repeated rounds allocate nothing.
+/// Run it through the engine: `ContinuousDiffusion::new(&g).engine()` for
+/// the serial executor, `.engine_parallel(threads)` for the pooled one.
 #[derive(Debug)]
 pub struct ContinuousDiffusion<'g> {
     g: &'g Graph,
-    snapshot: Vec<f64>,
+    /// CSR-slot-aligned divisors `4·max(dᵢ, dⱼ)`.
+    slot_div: Vec<f64>,
+    /// Edge-list-aligned divisors for the statistics sweep.
+    edge_div: Vec<f64>,
 }
 
 impl<'g> ContinuousDiffusion<'g> {
-    /// Creates an executor for `g`.
+    /// Creates the protocol for `g`, precomputing the edge divisors.
     pub fn new(g: &'g Graph) -> Self {
-        ContinuousDiffusion { g, snapshot: vec![0.0; g.n()] }
+        ContinuousDiffusion {
+            g,
+            slot_div: weights::csr_divisors(g, 4.0),
+            edge_div: weights::edge_divisors(g, 4.0),
+        }
     }
 
     /// The underlying graph.
@@ -82,27 +107,33 @@ impl<'g> ContinuousDiffusion<'g> {
     }
 }
 
-impl ContinuousBalancer for ContinuousDiffusion<'_> {
-    fn round(&mut self, loads: &mut [f64]) -> RoundStats {
-        assert_eq!(loads.len(), self.g.n(), "load vector length must equal n");
-        self.snapshot.copy_from_slice(loads);
-        let phi_before = phi(&self.snapshot);
-        for v in 0..self.g.n() as u32 {
-            loads[v as usize] = node_new_load(self.g, &self.snapshot, v);
-        }
-        let (active_edges, total_flow, max_flow) = edge_flow_stats(self.g, &self.snapshot);
-        RoundStats { phi_before, phi_after: phi(loads), active_edges, total_flow, max_flow }
+impl Protocol for ContinuousDiffusion<'_> {
+    type Load = f64;
+    type Stats = RoundStats;
+
+    fn n(&self) -> usize {
+        self.g.n()
     }
 
     fn name(&self) -> &'static str {
         "alg1-cont"
     }
+
+    #[inline]
+    fn node_new_load(&self, snapshot: &[f64], v: u32) -> f64 {
+        gather_precomputed(self.g, &self.slot_div, snapshot, v)
+    }
+
+    fn end_round(&mut self, snapshot: &[f64], new_loads: &[f64]) -> RoundStats {
+        flow_tally_precomputed(self.g, &self.edge_div, snapshot)
+            .stats(phi(snapshot), phi(new_loads))
+    }
 }
 
-/// Generalized executor with a configurable divisor factor `k`:
+/// Generalized protocol with a configurable divisor factor `k`:
 /// transfers `(ℓᵢ − ℓⱼ)/(k·max(dᵢ, dⱼ))` per edge.
 ///
-/// The paper fixes `k = 4`; this executor exists to *ablate* that choice
+/// The paper fixes `k = 4`; this protocol exists to *ablate* that choice
 /// (experiment E17): `k ∈ {1, 2}` can overshoot — the potential may
 /// oscillate or even increase on high-degree nodes — while large `k`
 /// converges monotonically but proportionally slower. `k = 4` matches
@@ -111,14 +142,23 @@ impl ContinuousBalancer for ContinuousDiffusion<'_> {
 pub struct GeneralizedDiffusion<'g> {
     g: &'g Graph,
     factor: f64,
-    snapshot: Vec<f64>,
+    slot_div: Vec<f64>,
+    edge_div: Vec<f64>,
 }
 
 impl<'g> GeneralizedDiffusion<'g> {
-    /// Creates the executor with divisor factor `k > 0`.
+    /// Creates the protocol with divisor factor `k > 0`.
     pub fn new(g: &'g Graph, factor: f64) -> Self {
-        assert!(factor > 0.0 && factor.is_finite(), "divisor factor must be positive");
-        GeneralizedDiffusion { g, factor, snapshot: vec![0.0; g.n()] }
+        assert!(
+            factor > 0.0 && factor.is_finite(),
+            "divisor factor must be positive"
+        );
+        GeneralizedDiffusion {
+            g,
+            factor,
+            slot_div: weights::csr_divisors(g, factor),
+            edge_div: weights::edge_divisors(g, factor),
+        }
     }
 
     /// The divisor factor `k`.
@@ -127,45 +167,33 @@ impl<'g> GeneralizedDiffusion<'g> {
     }
 }
 
-impl ContinuousBalancer for GeneralizedDiffusion<'_> {
-    fn round(&mut self, loads: &mut [f64]) -> RoundStats {
-        assert_eq!(loads.len(), self.g.n(), "load vector length must equal n");
-        self.snapshot.copy_from_slice(loads);
-        let phi_before = phi(&self.snapshot);
-        let k = self.factor;
-        for v in 0..self.g.n() as u32 {
-            let lv = self.snapshot[v as usize];
-            let dv = self.g.degree(v);
-            let mut acc = lv;
-            for &u in self.g.neighbors(v) {
-                let c = k * dv.max(self.g.degree(u)) as f64;
-                acc += (self.snapshot[u as usize] - lv) / c;
-            }
-            loads[v as usize] = acc;
-        }
-        let mut active = 0usize;
-        let mut total = 0.0f64;
-        let mut max = 0.0f64;
-        for &(u, v) in self.g.edges() {
-            let w = (self.snapshot[u as usize] - self.snapshot[v as usize]).abs()
-                / (k * self.g.degree(u).max(self.g.degree(v)) as f64);
-            if w > 0.0 {
-                active += 1;
-                total += w;
-                max = max.max(w);
-            }
-        }
-        RoundStats { phi_before, phi_after: phi(loads), active_edges: active, total_flow: total, max_flow: max }
+impl Protocol for GeneralizedDiffusion<'_> {
+    type Load = f64;
+    type Stats = RoundStats;
+
+    fn n(&self) -> usize {
+        self.g.n()
     }
 
     fn name(&self) -> &'static str {
         "alg1-general"
+    }
+
+    #[inline]
+    fn node_new_load(&self, snapshot: &[f64], v: u32) -> f64 {
+        gather_precomputed(self.g, &self.slot_div, snapshot, v)
+    }
+
+    fn end_round(&mut self, snapshot: &[f64], new_loads: &[f64]) -> RoundStats {
+        flow_tally_precomputed(self.g, &self.edge_div, snapshot)
+            .stats(phi(snapshot), phi(new_loads))
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::engine::IntoEngine;
     use crate::potential;
     use dlb_graphs::topology;
 
@@ -178,8 +206,7 @@ mod tests {
         // P_2: degrees 1,1; flow = (l0-l1)/4.
         let g = topology::path(2);
         let mut loads = vec![8.0, 0.0];
-        let mut d = ContinuousDiffusion::new(&g);
-        let stats = d.round(&mut loads);
+        let stats = ContinuousDiffusion::new(&g).engine().round(&mut loads);
         assert!((loads[0] - 6.0).abs() < 1e-12);
         assert!((loads[1] - 2.0).abs() < 1e-12);
         assert_eq!(stats.active_edges, 1);
@@ -190,8 +217,7 @@ mod tests {
     fn balanced_vector_is_fixed_point() {
         let g = topology::torus2d(3, 3);
         let mut loads = vec![4.0; 9];
-        let mut d = ContinuousDiffusion::new(&g);
-        let stats = d.round(&mut loads);
+        let stats = ContinuousDiffusion::new(&g).engine().round(&mut loads);
         assert!(loads.iter().all(|&l| (l - 4.0).abs() < 1e-12));
         assert_eq!(stats.active_edges, 0);
         assert_eq!(stats.phi_after, 0.0);
@@ -202,7 +228,7 @@ mod tests {
         let g = topology::hypercube(4);
         let mut loads: Vec<f64> = (0..16).map(|i| (i * i % 23) as f64).collect();
         let before = total(&loads);
-        let mut d = ContinuousDiffusion::new(&g);
+        let mut d = ContinuousDiffusion::new(&g).engine();
         for _ in 0..50 {
             d.round(&mut loads);
         }
@@ -213,7 +239,7 @@ mod tests {
     fn potential_never_increases() {
         let g = topology::cycle(12);
         let mut loads: Vec<f64> = (0..12).map(|i| ((i * 7 + 3) % 11) as f64).collect();
-        let mut d = ContinuousDiffusion::new(&g);
+        let mut d = ContinuousDiffusion::new(&g).engine();
         for _ in 0..100 {
             let s = d.round(&mut loads);
             assert!(
@@ -230,13 +256,17 @@ mod tests {
         let g = topology::star(8);
         let mut loads = vec![0.0; 8];
         loads[0] = 80.0;
-        let mut d = ContinuousDiffusion::new(&g);
+        let mut d = ContinuousDiffusion::new(&g).engine();
         for _ in 0..400 {
             d.round(&mut loads);
         }
         let mu = potential::mean(&loads);
         assert!((mu - 10.0).abs() < 1e-9);
-        assert!(potential::phi(&loads) < 1e-6, "Φ = {}", potential::phi(&loads));
+        assert!(
+            potential::phi(&loads) < 1e-6,
+            "Φ = {}",
+            potential::phi(&loads)
+        );
     }
 
     #[test]
@@ -249,7 +279,7 @@ mod tests {
         let rate = lambda2 / (4.0 * g.max_degree() as f64);
         let mut loads = vec![0.0; n];
         loads[0] = n as f64;
-        let mut d = ContinuousDiffusion::new(&g);
+        let mut d = ContinuousDiffusion::new(&g).engine();
         for _ in 0..200 {
             let s = d.round(&mut loads);
             if s.phi_before < 1e-12 {
@@ -268,8 +298,7 @@ mod tests {
     fn flows_bounded_by_degree_rule() {
         let g = topology::complete(6);
         let mut loads: Vec<f64> = (0..6).map(|i| (i * 10) as f64).collect();
-        let mut d = ContinuousDiffusion::new(&g);
-        let s = d.round(&mut loads);
+        let s = ContinuousDiffusion::new(&g).engine().round(&mut loads);
         // max single-edge flow on K_6: diff 50, divisor 4*5 = 20 -> 2.5.
         assert!((s.max_flow - 2.5).abs() < 1e-12);
     }
@@ -281,8 +310,8 @@ mod tests {
         let g = topology::path(4);
         let mut loads = vec![-10.0, 0.0, 0.0, 10.0];
         let shifted: Vec<f64> = loads.iter().map(|l| l + 10.0).collect();
-        let mut d = ContinuousDiffusion::new(&g);
-        let mut d2 = ContinuousDiffusion::new(&g);
+        let mut d = ContinuousDiffusion::new(&g).engine();
+        let mut d2 = ContinuousDiffusion::new(&g).engine();
         let mut loads2 = shifted;
         for _ in 0..10 {
             d.round(&mut loads);
@@ -297,7 +326,7 @@ mod tests {
     #[should_panic(expected = "length must equal")]
     fn wrong_length_rejected() {
         let g = topology::path(3);
-        let mut d = ContinuousDiffusion::new(&g);
+        let mut d = ContinuousDiffusion::new(&g).engine();
         let mut loads = vec![0.0; 4];
         d.round(&mut loads);
     }
@@ -308,8 +337,8 @@ mod tests {
         let init: Vec<f64> = (0..16).map(|i| ((i * 53 + 7) % 71) as f64).collect();
         let mut a = init.clone();
         let mut b = init;
-        ContinuousDiffusion::new(&g).round(&mut a);
-        GeneralizedDiffusion::new(&g, 4.0).round(&mut b);
+        ContinuousDiffusion::new(&g).engine().round(&mut a);
+        GeneralizedDiffusion::new(&g, 4.0).engine().round(&mut b);
         assert_eq!(a, b);
     }
 
@@ -323,8 +352,9 @@ mod tests {
         let g = topology::star(10);
         let mut loads = vec![0.0; 10];
         loads[0] = 90.0;
-        let mut exec = GeneralizedDiffusion::new(&g, 0.5);
-        let s = exec.round(&mut loads);
+        let s = GeneralizedDiffusion::new(&g, 0.5)
+            .engine()
+            .round(&mut loads);
         assert!(
             s.phi_after > s.phi_before,
             "expected overshoot: {} -> {}",
@@ -341,7 +371,7 @@ mod tests {
         // model.
         let g = topology::path(2);
         let mut loads = vec![8.0, 0.0];
-        let mut exec = GeneralizedDiffusion::new(&g, 1.0);
+        let mut exec = GeneralizedDiffusion::new(&g, 1.0).engine();
         let s1 = exec.round(&mut loads);
         assert_eq!(loads, vec![0.0, 8.0]);
         let s2 = exec.round(&mut loads);
@@ -356,8 +386,9 @@ mod tests {
         // round matrix is PSD (eigenvalues in [0, 1]) so no oscillation.
         let g = topology::path(2);
         let mut loads = vec![8.0, 0.0];
-        let mut exec = GeneralizedDiffusion::new(&g, 2.0);
-        let s = exec.round(&mut loads);
+        let s = GeneralizedDiffusion::new(&g, 2.0)
+            .engine()
+            .round(&mut loads);
         assert!(s.phi_after <= s.phi_before);
         assert_eq!(loads, vec![4.0, 4.0]);
     }
@@ -368,11 +399,34 @@ mod tests {
         let run = |k: f64| {
             let mut loads = vec![0.0; 16];
             loads[0] = 160.0;
-            let mut exec = GeneralizedDiffusion::new(&g, k);
+            let mut exec = GeneralizedDiffusion::new(&g, k).engine();
             crate::runner::rounds_to_epsilon(&mut exec, &mut loads, 1e-4, 1_000_000).rounds
         };
         let r4 = run(4.0);
         let r8 = run(8.0);
         assert!(r8 > r4, "k=8 ({r8}) should be slower than k=4 ({r4})");
+    }
+
+    #[test]
+    fn parallel_engine_bit_identical_to_serial() {
+        let g = topology::torus2d(8, 8);
+        let init: Vec<f64> = (0..64)
+            .map(|i| ((i * 37 + 11) % 101) as f64 / 3.0)
+            .collect();
+
+        let mut serial = init.clone();
+        let mut s_exec = ContinuousDiffusion::new(&g).engine();
+        for _ in 0..20 {
+            s_exec.round(&mut serial);
+        }
+
+        for threads in [1, 2, 3, 8] {
+            let mut par = init.clone();
+            let mut p_exec = ContinuousDiffusion::new(&g).engine_parallel(threads);
+            for _ in 0..20 {
+                p_exec.round(&mut par);
+            }
+            assert_eq!(serial, par, "threads = {threads}: not bit-identical");
+        }
     }
 }

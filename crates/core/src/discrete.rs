@@ -1,4 +1,5 @@
-//! Algorithm 1 (discrete case): integral tokens, floor rounding.
+//! Algorithm 1 (discrete case) as an engine [`Protocol`]: integral tokens,
+//! floor rounding.
 //!
 //! Identical to the continuous round except that each edge `(i, j)` with
 //! `ℓᵢ > ℓⱼ` carries `⌊(ℓᵢ − ℓⱼ)/(4·max(dᵢ, dⱼ))⌋` whole tokens. The
@@ -6,13 +7,15 @@
 //! `ℓᵢ = i` is a fixed point), but Theorem 6 shows the potential still
 //! drops geometrically while `Φ ≥ 64δ³n/λ₂`.
 //!
-//! Like the continuous executor, the round is a *gather* over an immutable
-//! snapshot; token counts are integers, so the serial and parallel
-//! executors agree exactly, and conservation is exact.
+//! Like the continuous protocol, the round is a *gather* over an immutable
+//! snapshot with the integer divisors `4·max(dᵢ, dⱼ)` precomputed per CSR
+//! slot; token counts are integers, so serial and parallel execution agree
+//! exactly and conservation is exact.
 
-use crate::model::{DiscreteBalancer, DiscreteRoundStats};
+use crate::engine::{Protocol, TokenTally};
+use crate::model::DiscreteRoundStats;
 use crate::potential::phi_hat;
-use dlb_graphs::Graph;
+use dlb_graphs::{weights, Graph};
 
 /// Tokens sent across edge `{u, v}` this round (from the richer endpoint),
 /// given round-start loads: `⌊|ℓᵤ − ℓᵥ| / (4·max(dᵤ, dᵥ))⌋`.
@@ -23,7 +26,9 @@ pub fn edge_tokens(g: &Graph, snapshot: &[i64], u: u32, v: u32) -> i64 {
     (diff / c) as i64
 }
 
-/// New load of node `v` after one discrete round, from the snapshot.
+/// The reference gather kernel of discrete Algorithm 1, divisors computed
+/// on the fly (see [`crate::continuous::node_new_load`] for the role this
+/// form plays): node `v`'s token count after one round.
 #[inline]
 pub fn node_new_load(g: &Graph, snapshot: &[i64], v: u32) -> i64 {
     let lv = snapshot[v as usize] as i128;
@@ -45,17 +50,54 @@ pub fn node_new_load(g: &Graph, snapshot: &[i64], v: u32) -> i64 {
     i64::try_from(acc).expect("load fits i64")
 }
 
-/// Serial executor for the discrete Algorithm 1.
+/// Shared gather kernel over CSR-slot-aligned precomputed integer divisors
+/// (exactly [`node_new_load`]: identical integer operations).
+#[inline]
+pub(crate) fn gather_precomputed(g: &Graph, slot_div: &[i64], snapshot: &[i64], v: u32) -> i64 {
+    let lv = snapshot[v as usize] as i128;
+    let off = g.neighbor_offset(v);
+    let mut acc = lv;
+    for (i, &u) in g.neighbors(v).iter().enumerate() {
+        let lu = snapshot[u as usize] as i128;
+        let c = slot_div[off + i] as i128;
+        if lu > lv {
+            acc += (lu - lv) / c;
+        } else if lv > lu {
+            acc -= (lv - lu) / c;
+        }
+    }
+    i64::try_from(acc).expect("load fits i64")
+}
+
+/// Per-round token statistics over edge-list-aligned precomputed divisors.
+pub(crate) fn token_tally_precomputed(g: &Graph, edge_div: &[i64], snapshot: &[i64]) -> TokenTally {
+    TokenTally::from_tokens(g.edges().iter().enumerate().map(|(k, &(u, v))| {
+        let diff = (snapshot[u as usize] as i128 - snapshot[v as usize] as i128).unsigned_abs();
+        (diff / edge_div[k] as u128) as u64
+    }))
+}
+
+/// Discrete Algorithm 1 on a fixed network.
+///
+/// Run it through the engine: `DiscreteDiffusion::new(&g).engine()` or
+/// `.engine_parallel(threads)`.
 #[derive(Debug)]
 pub struct DiscreteDiffusion<'g> {
     g: &'g Graph,
-    snapshot: Vec<i64>,
+    /// CSR-slot-aligned integer divisors `4·max(dᵢ, dⱼ)`.
+    slot_div: Vec<i64>,
+    /// Edge-list-aligned divisors for the statistics sweep.
+    edge_div: Vec<i64>,
 }
 
 impl<'g> DiscreteDiffusion<'g> {
-    /// Creates an executor for `g`.
+    /// Creates the protocol for `g`, precomputing the edge divisors.
     pub fn new(g: &'g Graph) -> Self {
-        DiscreteDiffusion { g, snapshot: vec![0; g.n()] }
+        DiscreteDiffusion {
+            g,
+            slot_div: weights::csr_divisors_int(g, 4),
+            edge_div: weights::edge_divisors_int(g, 4),
+        }
     }
 
     /// The underlying graph.
@@ -64,42 +106,33 @@ impl<'g> DiscreteDiffusion<'g> {
     }
 }
 
-impl DiscreteBalancer for DiscreteDiffusion<'_> {
-    fn round(&mut self, loads: &mut [i64]) -> DiscreteRoundStats {
-        assert_eq!(loads.len(), self.g.n(), "load vector length must equal n");
-        self.snapshot.copy_from_slice(loads);
-        let phi_hat_before = phi_hat(&self.snapshot);
-        for v in 0..self.g.n() as u32 {
-            loads[v as usize] = node_new_load(self.g, &self.snapshot, v);
-        }
-        let mut active_edges = 0usize;
-        let mut total_tokens = 0u64;
-        let mut max_tokens = 0u64;
-        for &(u, v) in self.g.edges() {
-            let t = edge_tokens(self.g, &self.snapshot, u, v) as u64;
-            if t > 0 {
-                active_edges += 1;
-                total_tokens += t;
-                max_tokens = max_tokens.max(t);
-            }
-        }
-        DiscreteRoundStats {
-            phi_hat_before,
-            phi_hat_after: phi_hat(loads),
-            active_edges,
-            total_tokens,
-            max_tokens,
-        }
+impl Protocol for DiscreteDiffusion<'_> {
+    type Load = i64;
+    type Stats = DiscreteRoundStats;
+
+    fn n(&self) -> usize {
+        self.g.n()
     }
 
     fn name(&self) -> &'static str {
         "alg1-disc"
+    }
+
+    #[inline]
+    fn node_new_load(&self, snapshot: &[i64], v: u32) -> i64 {
+        gather_precomputed(self.g, &self.slot_div, snapshot, v)
+    }
+
+    fn end_round(&mut self, snapshot: &[i64], new_loads: &[i64]) -> DiscreteRoundStats {
+        token_tally_precomputed(self.g, &self.edge_div, snapshot)
+            .stats(phi_hat(snapshot), phi_hat(new_loads))
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::engine::IntoEngine;
     use crate::potential;
     use dlb_graphs::topology;
 
@@ -112,8 +145,7 @@ mod tests {
         // P_2: flow = floor((l0 - l1)/4). l = [10, 0]: 2 tokens.
         let g = topology::path(2);
         let mut loads = vec![10i64, 0];
-        let mut d = DiscreteDiffusion::new(&g);
-        let s = d.round(&mut loads);
+        let s = DiscreteDiffusion::new(&g).engine().round(&mut loads);
         assert_eq!(loads, vec![8, 2]);
         assert_eq!(s.total_tokens, 2);
         assert_eq!(s.active_edges, 1);
@@ -124,8 +156,7 @@ mod tests {
         // diff 3 < divisor 4: no transfer.
         let g = topology::path(2);
         let mut loads = vec![3i64, 0];
-        let mut d = DiscreteDiffusion::new(&g);
-        let s = d.round(&mut loads);
+        let s = DiscreteDiffusion::new(&g).engine().round(&mut loads);
         assert_eq!(loads, vec![3, 0]);
         assert_eq!(s.total_tokens, 0);
         assert_eq!(s.drop_hat(), 0);
@@ -138,7 +169,7 @@ mod tests {
         let g = topology::path(8);
         let mut loads: Vec<i64> = (0..8).collect();
         let before = loads.clone();
-        let mut d = DiscreteDiffusion::new(&g);
+        let mut d = DiscreteDiffusion::new(&g).engine();
         for _ in 0..10 {
             d.round(&mut loads);
         }
@@ -150,7 +181,7 @@ mod tests {
         let g = topology::de_bruijn(5);
         let mut loads: Vec<i64> = (0..32).map(|i| (i * i * 37 % 1009) as i64).collect();
         let before = total(&loads);
-        let mut d = DiscreteDiffusion::new(&g);
+        let mut d = DiscreteDiffusion::new(&g).engine();
         for _ in 0..200 {
             d.round(&mut loads);
         }
@@ -161,7 +192,7 @@ mod tests {
     fn potential_never_increases() {
         let g = topology::torus2d(4, 4);
         let mut loads: Vec<i64> = (0..16).map(|i| ((i * 13 + 5) % 97) as i64).collect();
-        let mut d = DiscreteDiffusion::new(&g);
+        let mut d = DiscreteDiffusion::new(&g).engine();
         for _ in 0..100 {
             let s = d.round(&mut loads);
             assert!(
@@ -178,7 +209,7 @@ mod tests {
         let g = topology::star(10);
         let mut loads = vec![0i64; 10];
         loads[0] = 1000;
-        let mut d = DiscreteDiffusion::new(&g);
+        let mut d = DiscreteDiffusion::new(&g).engine();
         for _ in 0..100 {
             d.round(&mut loads);
             assert!(loads.iter().all(|&l| l >= 0), "negative load: {loads:?}");
@@ -190,7 +221,7 @@ mod tests {
         let g = topology::hypercube(5);
         let mut loads = vec![0i64; 32];
         loads[0] = 32 * 100;
-        let mut d = DiscreteDiffusion::new(&g);
+        let mut d = DiscreteDiffusion::new(&g).engine();
         for _ in 0..500 {
             d.round(&mut loads);
         }
@@ -210,11 +241,10 @@ mod tests {
         let mut disc_loads = vec![0i64; 8];
         disc_loads[0] = 1 << 40;
         let mut cont_loads: Vec<f64> = disc_loads.iter().map(|&l| l as f64).collect();
-        let mut d = DiscreteDiffusion::new(&g);
-        let mut c = crate::continuous::ContinuousDiffusion::new(&g);
-        use crate::model::ContinuousBalancer;
-        d.round(&mut disc_loads);
-        c.round(&mut cont_loads);
+        DiscreteDiffusion::new(&g).engine().round(&mut disc_loads);
+        crate::continuous::ContinuousDiffusion::new(&g)
+            .engine()
+            .round(&mut cont_loads);
         for (a, b) in disc_loads.iter().zip(&cont_loads) {
             assert!((*a as f64 - b).abs() <= 2.0, "{a} vs {b}");
         }
@@ -225,7 +255,7 @@ mod tests {
         let g = topology::path(3);
         let mut loads = vec![-100i64, 0, 100];
         let before = total(&loads);
-        let mut d = DiscreteDiffusion::new(&g);
+        let mut d = DiscreteDiffusion::new(&g).engine();
         for _ in 0..50 {
             d.round(&mut loads);
         }
@@ -233,5 +263,26 @@ mod tests {
         // Fixed point allows per-edge differences < 4·max(dᵢ,dⱼ) = 8, so
         // discrepancy across the 2-edge path is at most 14.
         assert!(potential::discrepancy_discrete(&loads) <= 14);
+    }
+
+    #[test]
+    fn parallel_engine_identical_to_serial() {
+        let g = topology::hypercube(6);
+        let init: Vec<i64> = (0..64).map(|i| ((i * 1009 + 7) % 5000) as i64).collect();
+
+        let mut serial = init.clone();
+        let mut s_exec = DiscreteDiffusion::new(&g).engine();
+        for _ in 0..30 {
+            s_exec.round(&mut serial);
+        }
+
+        for threads in [2, 5, 16] {
+            let mut par = init.clone();
+            let mut p_exec = DiscreteDiffusion::new(&g).engine_parallel(threads);
+            for _ in 0..30 {
+                p_exec.round(&mut par);
+            }
+            assert_eq!(serial, par, "threads = {threads}: not identical");
+        }
     }
 }

@@ -1,0 +1,660 @@
+//! The unified round engine: one [`Protocol`] abstraction, one serial and
+//! one parallel executor, shared by every balancing scheme in the
+//! workspace.
+//!
+//! ### The shape of a round
+//!
+//! Every protocol in the paper — Algorithm 1 (continuous and discrete),
+//! Algorithm 2's random partners, the heterogeneous extension, and the
+//! first/second-order baselines — is the same object: a synchronous
+//! transformation of a load vector whose quadratic potential the analysis
+//! tracks. Executing one round always decomposes into
+//!
+//! 1. **snapshot** — copy the round-start loads into an immutable buffer;
+//! 2. **begin** — protocol-specific per-round setup against the snapshot
+//!    ([`Protocol::begin_round`]): sample Algorithm 2's partners, draw a
+//!    matching, advance a dynamic graph sequence, …;
+//! 3. **gather** — every node's new load is computed independently from
+//!    the snapshot by [`Protocol::node_new_load`]. This is the hot loop,
+//!    and the only step the executors differ on: the serial executor walks
+//!    `0..n`, the parallel executor splits the node range into contiguous
+//!    chunks over a persistent [`WorkerPool`]. Because both evaluate the
+//!    *same* kernel per node in the *same* per-node operation order, their
+//!    results are **bit-identical** — the workspace's serial ≡ parallel
+//!    invariant;
+//! 4. **end** — the protocol computes its round statistics from the
+//!    snapshot and the new loads, and updates any cross-round state
+//!    (e.g. the second-order scheme's `L^{t−1}` history)
+//!    ([`Protocol::end_round`]).
+//!
+//! The convergence drivers in [`crate::runner`] sit on top of [`Engine`]
+//! through the [`ContinuousBalancer`]/[`DiscreteBalancer`] traits, which
+//! the engine implements generically — so every scheme gets the serial
+//! executor, the parallel executor, and every driver for free by
+//! implementing [`Protocol`] once.
+//!
+//! ### Threading
+//!
+//! [`WorkerPool`] keeps its threads alive across rounds (a round on a
+//! large graph is microseconds of work per chunk; respawning OS threads
+//! per round costs more than the gather itself). Worker counts come from
+//! [`recommended_threads`], which honours the `DLB_THREADS` environment
+//! variable so nested contexts (benches under test runners, engines inside
+//! Monte-Carlo workers) can cap oversubscription.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::mpsc;
+use std::thread::JoinHandle;
+
+/// One synchronous balancing scheme, expressed as a per-round gather.
+///
+/// Implementors hold the topology, any precomputed edge weights, the RNG
+/// of randomized schemes, and any cross-round history. The engine owns the
+/// snapshot buffer and the execution strategy.
+///
+/// Thread-safety is *not* required of protocols in general: only
+/// [`Engine::parallel`] needs `P: Sync` (the gather shares `&self` across
+/// worker threads; [`Protocol::node_new_load`] is the only method called
+/// concurrently). Purely serial protocols — including trait objects like
+/// `Box<dyn GraphSequence>` held inside dynamic protocols — stay free of
+/// `Send`/`Sync` bounds.
+pub trait Protocol {
+    /// The load value type: `f64` for continuous schemes, `i64` tokens for
+    /// discrete ones.
+    type Load: Copy + Default + PartialEq + Send + Sync + std::fmt::Debug;
+
+    /// Per-round statistics produced by [`Protocol::end_round`].
+    type Stats;
+
+    /// Number of nodes; load vectors must have exactly this length.
+    fn n(&self) -> usize;
+
+    /// Short protocol name for experiment tables.
+    fn name(&self) -> &'static str;
+
+    /// Per-round setup against the round-start snapshot: draw randomness,
+    /// refresh per-round link structure, advance dynamic topologies.
+    /// Default: nothing.
+    fn begin_round(&mut self, snapshot: &[Self::Load]) {
+        let _ = snapshot;
+    }
+
+    /// The gather kernel: node `v`'s load after this round, computed from
+    /// the immutable round-start snapshot (plus state established in
+    /// [`Protocol::begin_round`]).
+    ///
+    /// Must be a pure function of `(self, snapshot, v)` — it runs
+    /// concurrently from worker threads in parallel mode, and the serial ≡
+    /// parallel bit-identity guarantee relies on per-node determinism.
+    fn node_new_load(&self, snapshot: &[Self::Load], v: u32) -> Self::Load;
+
+    /// Round statistics from the snapshot and the gathered loads; also the
+    /// place to update cross-round history (runs after the gather, with
+    /// exclusive access to `self`).
+    fn end_round(&mut self, snapshot: &[Self::Load], new_loads: &[Self::Load]) -> Self::Stats;
+}
+
+/// Worker threads to use by default: `DLB_THREADS` when set to a positive
+/// integer, otherwise the machine's available parallelism.
+///
+/// The environment override exists because "available parallelism" is the
+/// wrong answer in nested contexts — engines inside Monte-Carlo workers,
+/// benches under instrumented runners — where it oversubscribes the
+/// machine and destabilizes measurements.
+pub fn recommended_threads() -> usize {
+    if let Ok(value) = std::env::var("DLB_THREADS") {
+        if let Ok(n) = value.trim().parse::<usize>() {
+            if n >= 1 {
+                return n;
+            }
+        }
+    }
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// Splits `0..n` into `threads` contiguous chunks of near-equal length.
+pub(crate) fn chunk_ranges(n: usize, threads: usize) -> Vec<(usize, usize)> {
+    let threads = threads.clamp(1, n.max(1));
+    let base = n / threads;
+    let extra = n % threads;
+    let mut ranges = Vec::with_capacity(threads);
+    let mut start = 0usize;
+    for t in 0..threads {
+        let len = base + usize::from(t < extra);
+        ranges.push((start, start + len));
+        start += len;
+    }
+    ranges
+}
+
+/// A task shipped to a pool worker. The closure is lifetime-erased to
+/// `'static`; see the safety argument in [`WorkerPool::gather`].
+type Task = Box<dyn FnOnce() + Send + 'static>;
+
+/// A persistent pool of worker threads for the parallel gather.
+///
+/// Threads are spawned once at construction and parked on a channel
+/// between rounds, so per-round dispatch costs two channel hops per worker
+/// instead of an OS thread spawn/join pair.
+pub struct WorkerPool {
+    senders: Vec<mpsc::Sender<Task>>,
+    handles: Vec<JoinHandle<()>>,
+}
+
+impl std::fmt::Debug for WorkerPool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("WorkerPool")
+            .field("threads", &self.senders.len())
+            .finish()
+    }
+}
+
+impl WorkerPool {
+    /// Spawns a pool of `threads ≥ 1` workers.
+    pub fn new(threads: usize) -> Self {
+        assert!(threads >= 1, "worker pool needs at least one thread");
+        let mut senders = Vec::with_capacity(threads);
+        let mut handles = Vec::with_capacity(threads);
+        for i in 0..threads {
+            let (tx, rx) = mpsc::channel::<Task>();
+            let handle = std::thread::Builder::new()
+                .name(format!("dlb-engine-{i}"))
+                .spawn(move || {
+                    while let Ok(task) = rx.recv() {
+                        task();
+                    }
+                })
+                .expect("spawn engine worker");
+            senders.push(tx);
+            handles.push(handle);
+        }
+        WorkerPool { senders, handles }
+    }
+
+    /// Number of worker threads.
+    pub fn threads(&self) -> usize {
+        self.senders.len()
+    }
+
+    /// Fills `out[v] = kernel(v)` for every index, fanning contiguous
+    /// chunks out across the pool and blocking until all chunks finish.
+    ///
+    /// Chunk boundaries never change results: every slot is written by the
+    /// same `kernel(v)` evaluation regardless of which worker runs it.
+    pub fn gather<L, K>(&self, out: &mut [L], kernel: K)
+    where
+        L: Send,
+        K: Fn(u32) -> L + Sync,
+    {
+        let ranges = chunk_ranges(out.len(), self.threads());
+        let (done_tx, done_rx) = mpsc::channel::<bool>();
+        let mut dispatched = 0usize;
+
+        {
+            let kernel = &kernel;
+            let mut rest = &mut out[..];
+            let mut offset = 0usize;
+            for (w, &(start, end)) in ranges.iter().enumerate() {
+                let (chunk, tail) = rest.split_at_mut(end - offset);
+                rest = tail;
+                offset = end;
+                let done = done_tx.clone();
+                let task: Box<dyn FnOnce() + Send + '_> = Box::new(move || {
+                    let outcome = catch_unwind(AssertUnwindSafe(|| {
+                        for (k, slot) in chunk.iter_mut().enumerate() {
+                            *slot = kernel((start + k) as u32);
+                        }
+                    }));
+                    // Send after the chunk borrow ends; a panic in the
+                    // kernel must still signal completion or the caller
+                    // would deadlock.
+                    let _ = done.send(outcome.is_ok());
+                });
+                // SAFETY: the task borrows `kernel`, `chunk` (a disjoint
+                // sub-slice of `out`) and `done`. All three outlive the
+                // task: this function blocks on `done_rx` below until every
+                // dispatched task has sent its completion message, which
+                // each task does only after its last use of the borrows.
+                // Chunks are pairwise disjoint (`split_at_mut`), so no two
+                // workers alias. The lifetime erasure to `'static` is
+                // therefore sound.
+                let task: Task =
+                    unsafe { std::mem::transmute::<Box<dyn FnOnce() + Send + '_>, Task>(task) };
+                self.senders[w]
+                    .send(task)
+                    .expect("engine worker exited early");
+                dispatched += 1;
+            }
+        }
+
+        let mut all_ok = true;
+        for _ in 0..dispatched {
+            all_ok &= done_rx.recv().expect("engine worker exited early");
+        }
+        assert!(all_ok, "engine worker panicked during gather");
+    }
+}
+
+impl Drop for WorkerPool {
+    fn drop(&mut self) {
+        // Closing the channels ends the worker loops; join to avoid
+        // leaking threads past the engine's lifetime.
+        self.senders.clear();
+        for handle in self.handles.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+/// The unified executor: owns a [`Protocol`], the snapshot buffer, and the
+/// execution strategy (serial or pooled-parallel).
+///
+/// `Engine` implements [`ContinuousBalancer`] / [`DiscreteBalancer`]
+/// (depending on the protocol's load type), so it plugs directly into the
+/// convergence drivers of [`crate::runner`] and the experiment harness.
+#[derive(Debug)]
+pub struct Engine<P: Protocol> {
+    protocol: P,
+    snapshot: Vec<P::Load>,
+    /// Parallel mode: the pool plus the monomorphized gather entry point.
+    ///
+    /// The fn pointer is instantiated in [`Engine::parallel`] — the one
+    /// place that knows `P: Sync` — so [`Engine::round`] needs no
+    /// thread-safety bounds and serial-only protocols stay `?Sync`.
+    pool: Option<(WorkerPool, GatherFn<P>)>,
+}
+
+/// Monomorphized pooled-gather entry point stored by parallel engines.
+type GatherFn<P> = fn(&WorkerPool, &P, &[<P as Protocol>::Load], &mut [<P as Protocol>::Load]);
+
+fn pooled_gather<P: Protocol + Sync>(
+    pool: &WorkerPool,
+    protocol: &P,
+    snapshot: &[P::Load],
+    out: &mut [P::Load],
+) {
+    pool.gather(out, |v| protocol.node_new_load(snapshot, v));
+}
+
+impl<P: Protocol> Engine<P> {
+    /// Serial executor for `protocol`.
+    pub fn serial(protocol: P) -> Self {
+        let n = protocol.n();
+        Engine {
+            protocol,
+            snapshot: vec![P::Load::default(); n],
+            pool: None,
+        }
+    }
+
+    /// Parallel executor with an explicit worker count (`0` means
+    /// [`recommended_threads`]). A persistent worker pool is spawned once
+    /// here and reused every round. This is the only place thread-safety
+    /// is demanded of a protocol.
+    pub fn parallel(protocol: P, threads: usize) -> Self
+    where
+        P: Sync,
+    {
+        let threads = if threads == 0 {
+            recommended_threads()
+        } else {
+            threads
+        };
+        let n = protocol.n();
+        Engine {
+            protocol,
+            snapshot: vec![P::Load::default(); n],
+            pool: Some((WorkerPool::new(threads), pooled_gather::<P>)),
+        }
+    }
+
+    /// The protocol being executed.
+    pub fn protocol(&self) -> &P {
+        &self.protocol
+    }
+
+    /// Mutable access to the protocol (reseeding, resets, diagnostics).
+    pub fn protocol_mut(&mut self) -> &mut P {
+        &mut self.protocol
+    }
+
+    /// Consumes the engine, returning the protocol.
+    pub fn into_protocol(self) -> P {
+        self.protocol
+    }
+
+    /// Worker count (1 for the serial executor).
+    pub fn threads(&self) -> usize {
+        self.pool.as_ref().map_or(1, |(pool, _)| pool.threads())
+    }
+
+    /// Executes one synchronous round in place.
+    pub fn round(&mut self, loads: &mut [P::Load]) -> P::Stats {
+        assert_eq!(
+            loads.len(),
+            self.protocol.n(),
+            "load vector length must equal n"
+        );
+        self.snapshot.copy_from_slice(loads);
+        self.protocol.begin_round(&self.snapshot);
+        let protocol = &self.protocol;
+        let snapshot = &self.snapshot[..];
+        match &self.pool {
+            None => {
+                for (v, slot) in loads.iter_mut().enumerate() {
+                    *slot = protocol.node_new_load(snapshot, v as u32);
+                }
+            }
+            Some((pool, gather)) => gather(pool, protocol, snapshot, loads),
+        }
+        self.protocol.end_round(&self.snapshot, loads)
+    }
+}
+
+/// Convenience constructors: `protocol.engine()` /
+/// `protocol.engine_parallel(t)` instead of `Engine::serial(protocol)`.
+pub trait IntoEngine: Protocol + Sized {
+    /// Wraps the protocol in a serial [`Engine`].
+    fn engine(self) -> Engine<Self> {
+        Engine::serial(self)
+    }
+
+    /// Wraps the protocol in a parallel [`Engine`] (`0` threads means
+    /// [`recommended_threads`]).
+    fn engine_parallel(self, threads: usize) -> Engine<Self>
+    where
+        Self: Sync,
+    {
+        Engine::parallel(self, threads)
+    }
+}
+
+impl<P: Protocol> IntoEngine for P {}
+
+/// Accumulator for continuous per-round flow statistics, shared by the
+/// protocols' `end_round` implementations.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FlowTally {
+    /// Edges/links that carried a nonzero transfer.
+    pub active: usize,
+    /// Total load moved.
+    pub total: f64,
+    /// Largest single transfer.
+    pub max: f64,
+}
+
+impl FlowTally {
+    /// Tallies an iterator of per-edge transfer amounts — the one-line
+    /// form of every continuous stats sweep.
+    pub fn from_flows(flows: impl IntoIterator<Item = f64>) -> Self {
+        let mut tally = FlowTally::default();
+        for w in flows {
+            tally.add(w);
+        }
+        tally
+    }
+
+    /// Records one edge's transfer amount.
+    #[inline]
+    pub fn add(&mut self, w: f64) {
+        if w > 0.0 {
+            self.active += 1;
+            self.total += w;
+            self.max = self.max.max(w);
+        }
+    }
+
+    /// Finishes the round's [`crate::model::RoundStats`].
+    pub fn stats(self, phi_before: f64, phi_after: f64) -> crate::model::RoundStats {
+        crate::model::RoundStats {
+            phi_before,
+            phi_after,
+            active_edges: self.active,
+            total_flow: self.total,
+            max_flow: self.max,
+        }
+    }
+}
+
+/// Accumulator for discrete per-round token statistics.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct TokenTally {
+    /// Edges/links that carried at least one token.
+    pub active: usize,
+    /// Total tokens moved.
+    pub total: u64,
+    /// Largest single-edge token transfer.
+    pub max: u64,
+}
+
+impl TokenTally {
+    /// Tallies an iterator of per-edge token counts.
+    pub fn from_tokens(tokens: impl IntoIterator<Item = u64>) -> Self {
+        let mut tally = TokenTally::default();
+        for t in tokens {
+            tally.add(t);
+        }
+        tally
+    }
+
+    /// Records one edge's token count.
+    #[inline]
+    pub fn add(&mut self, t: u64) {
+        if t > 0 {
+            self.active += 1;
+            self.total += t;
+            self.max = self.max.max(t);
+        }
+    }
+
+    /// Finishes the round's [`crate::model::DiscreteRoundStats`].
+    pub fn stats(
+        self,
+        phi_hat_before: u128,
+        phi_hat_after: u128,
+    ) -> crate::model::DiscreteRoundStats {
+        crate::model::DiscreteRoundStats {
+            phi_hat_before,
+            phi_hat_after,
+            active_edges: self.active,
+            total_tokens: self.total,
+            max_tokens: self.max,
+        }
+    }
+}
+
+impl<P> crate::model::ContinuousBalancer for Engine<P>
+where
+    P: Protocol<Load = f64, Stats = crate::model::RoundStats>,
+{
+    fn round(&mut self, loads: &mut [f64]) -> crate::model::RoundStats {
+        Engine::round(self, loads)
+    }
+
+    fn name(&self) -> &'static str {
+        self.protocol.name()
+    }
+}
+
+impl<P> crate::model::DiscreteBalancer for Engine<P>
+where
+    P: Protocol<Load = i64, Stats = crate::model::DiscreteRoundStats>,
+{
+    fn round(&mut self, loads: &mut [i64]) -> crate::model::DiscreteRoundStats {
+        Engine::round(self, loads)
+    }
+
+    fn name(&self) -> &'static str {
+        self.protocol.name()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Toy protocol: every node averages with its ring neighbours' parity
+    /// sign — enough structure to detect chunking bugs.
+    struct Toy {
+        n: usize,
+        rounds_begun: usize,
+    }
+
+    impl Protocol for Toy {
+        type Load = f64;
+        type Stats = usize;
+
+        fn n(&self) -> usize {
+            self.n
+        }
+
+        fn name(&self) -> &'static str {
+            "toy"
+        }
+
+        fn begin_round(&mut self, _snapshot: &[f64]) {
+            self.rounds_begun += 1;
+        }
+
+        fn node_new_load(&self, snapshot: &[f64], v: u32) -> f64 {
+            let v = v as usize;
+            let left = snapshot[(v + self.n - 1) % self.n];
+            let right = snapshot[(v + 1) % self.n];
+            0.5 * snapshot[v] + 0.25 * left + 0.25 * right
+        }
+
+        fn end_round(&mut self, _snapshot: &[f64], _new: &[f64]) -> usize {
+            self.rounds_begun
+        }
+    }
+
+    #[test]
+    fn serial_and_parallel_bit_identical() {
+        let n = 257; // deliberately prime: uneven chunking
+        let init: Vec<f64> = (0..n).map(|i| ((i * 31 + 7) % 53) as f64 / 7.0).collect();
+
+        let mut serial = init.clone();
+        let mut s = Engine::serial(Toy { n, rounds_begun: 0 });
+        for _ in 0..10 {
+            s.round(&mut serial);
+        }
+
+        for threads in [1, 2, 3, 5, 16] {
+            let mut par = init.clone();
+            let mut p = Engine::parallel(Toy { n, rounds_begun: 0 }, threads);
+            for _ in 0..10 {
+                p.round(&mut par);
+            }
+            assert_eq!(serial, par, "threads = {threads}");
+        }
+    }
+
+    #[test]
+    fn hooks_run_once_per_round() {
+        let mut e = Engine::parallel(
+            Toy {
+                n: 8,
+                rounds_begun: 0,
+            },
+            4,
+        );
+        let mut loads = vec![1.0; 8];
+        for expected in 1..=5 {
+            let count = e.round(&mut loads);
+            assert_eq!(count, expected);
+        }
+    }
+
+    #[test]
+    fn pool_survives_many_rounds() {
+        let mut e = Engine::parallel(
+            Toy {
+                n: 64,
+                rounds_begun: 0,
+            },
+            8,
+        );
+        let mut loads: Vec<f64> = (0..64).map(|i| i as f64).collect();
+        let sum: f64 = loads.iter().sum();
+        for _ in 0..500 {
+            e.round(&mut loads);
+        }
+        assert!((loads.iter().sum::<f64>() - sum).abs() < 1e-6);
+        assert_eq!(e.threads(), 8);
+    }
+
+    #[test]
+    fn more_threads_than_nodes() {
+        let mut e = Engine::parallel(
+            Toy {
+                n: 3,
+                rounds_begun: 0,
+            },
+            64,
+        );
+        let mut loads = vec![9.0, 0.0, 0.0];
+        e.round(&mut loads);
+        assert!((loads.iter().sum::<f64>() - 9.0).abs() < 1e-12);
+    }
+
+    /// Serializes the tests that read or write the `DLB_THREADS`
+    /// environment variable: the harness runs tests on threads of one
+    /// process, and `set_var` concurrent with `getenv` is a data race.
+    static ENV_LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+
+    #[test]
+    fn zero_threads_means_auto() {
+        let _guard = ENV_LOCK.lock().unwrap();
+        let e = Engine::parallel(
+            Toy {
+                n: 4,
+                rounds_begun: 0,
+            },
+            0,
+        );
+        assert!(e.threads() >= 1);
+    }
+
+    #[test]
+    fn chunk_ranges_cover_exactly() {
+        for (n, t) in [(10, 3), (7, 7), (5, 9), (100, 4), (1, 1), (0, 3)] {
+            let ranges = chunk_ranges(n, t);
+            assert_eq!(ranges[0].0, 0);
+            assert_eq!(ranges.last().unwrap().1, n);
+            for w in ranges.windows(2) {
+                assert_eq!(w[0].1, w[1].0, "ranges not contiguous");
+            }
+        }
+    }
+
+    #[test]
+    fn worker_panic_propagates_and_pool_stays_usable() {
+        let pool = WorkerPool::new(4);
+        let mut out = vec![0u32; 16];
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            pool.gather(&mut out, |v| {
+                assert!(v != 7, "injected failure");
+                v
+            });
+        }));
+        assert!(result.is_err(), "panic in kernel must propagate");
+        // The pool must still work after a failed gather.
+        let mut out2 = vec![0u32; 16];
+        pool.gather(&mut out2, |v| v * 2);
+        assert_eq!(out2[15], 30);
+    }
+
+    #[test]
+    fn dlb_threads_env_is_respected() {
+        // `recommended_threads` reads the environment on every call; the
+        // write is serialized against the other env readers in this module
+        // via ENV_LOCK (set_var concurrent with getenv is a data race).
+        let _guard = ENV_LOCK.lock().unwrap();
+        std::env::set_var("DLB_THREADS", "3");
+        let got = recommended_threads();
+        std::env::remove_var("DLB_THREADS");
+        assert_eq!(got, 3);
+    }
+}

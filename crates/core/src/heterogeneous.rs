@@ -1,5 +1,5 @@
 //! Extension: diffusion on *heterogeneous* networks (cf. Elsässer–Monien–
-//! Preis \[9\], cited by the paper as related work).
+//! Preis \[9\], cited by the paper as related work), as engine protocols.
 //!
 //! Nodes have speeds/capacities `cᵢ > 0`; the balanced state gives node
 //! `i` load proportional to its capacity, `ℓᵢ* = cᵢ·ρ` with
@@ -16,11 +16,16 @@
 //! `t` across `(i, j)` drops `Φ_c` by `2t(ŵᵢ−ŵⱼ) − t²(1/cᵢ + 1/cⱼ)`, and
 //! the `min(cᵢ,cⱼ)` factor caps `t·(1/cᵢ+1/cⱼ) ≤ 2(ŵᵢ−ŵⱼ)/(4·max d)`, so
 //! every activation still makes progress. With all capacities equal to 1
-//! the protocol *is* Algorithm 1 — a regression test pins the executors to
+//! the protocol *is* Algorithm 1 — a regression test pins the kernels to
 //! bit-equality in that case.
+//!
+//! Both the capacity coefficient `min(cᵢ, cⱼ)` and the degree divisor are
+//! round-invariant, so they are precomputed per CSR slot at construction,
+//! exactly like the homogeneous protocols.
 
-use crate::model::{ContinuousBalancer, DiscreteBalancer, DiscreteRoundStats, RoundStats};
-use dlb_graphs::Graph;
+use crate::engine::{FlowTally, Protocol, TokenTally};
+use crate::model::{DiscreteRoundStats, RoundStats};
+use dlb_graphs::{weights, Graph};
 
 /// Weighted mean `ρ = Σℓ / Σc`.
 pub fn weighted_mean(loads: &[f64], capacities: &[f64]) -> f64 {
@@ -51,42 +56,60 @@ pub fn proportional_target(loads: &[f64], capacities: &[f64]) -> Vec<f64> {
 }
 
 fn validate(g: &Graph, capacities: &[f64]) {
-    assert_eq!(capacities.len(), g.n(), "capacity vector length must equal n");
+    assert_eq!(
+        capacities.len(),
+        g.n(),
+        "capacity vector length must equal n"
+    );
     assert!(
         capacities.iter().all(|&c| c > 0.0 && c.is_finite()),
         "capacities must be positive and finite"
     );
 }
 
-/// New load of node `v` after one heterogeneous round (gather form).
-#[inline]
-fn node_new_load(g: &Graph, caps: &[f64], snapshot: &[f64], v: u32) -> f64 {
-    let cv = caps[v as usize];
-    let wv = snapshot[v as usize] / cv;
-    let dv = g.degree(v);
-    let mut acc = snapshot[v as usize];
-    for &u in g.neighbors(v) {
-        let cu = caps[u as usize];
-        let wu = snapshot[u as usize] / cu;
-        let divisor = 4.0 * dv.max(g.degree(u)) as f64;
-        acc += cv.min(cu) * (wu - wv) / divisor;
+/// CSR-slot-aligned capacity coefficients `min(cᵢ, cⱼ)`.
+fn csr_capacity_coefs(g: &Graph, caps: &[f64]) -> Vec<f64> {
+    let mut out = Vec::with_capacity(g.degree_sum());
+    for v in g.nodes() {
+        let cv = caps[v as usize];
+        for &u in g.neighbors(v) {
+            out.push(cv.min(caps[u as usize]));
+        }
     }
-    acc
+    out
 }
 
-/// Continuous heterogeneous diffusion executor.
+/// Edge-list-aligned capacity coefficients `min(cᵤ, cᵥ)`.
+fn edge_capacity_coefs(g: &Graph, caps: &[f64]) -> Vec<f64> {
+    g.edges()
+        .iter()
+        .map(|&(u, v)| caps[u as usize].min(caps[v as usize]))
+        .collect()
+}
+
+/// Continuous heterogeneous diffusion protocol.
 #[derive(Debug)]
 pub struct HeterogeneousDiffusion<'g> {
     g: &'g Graph,
     capacities: Vec<f64>,
-    snapshot: Vec<f64>,
+    slot_coef: Vec<f64>,
+    slot_div: Vec<f64>,
+    edge_coef: Vec<f64>,
+    edge_div: Vec<f64>,
 }
 
 impl<'g> HeterogeneousDiffusion<'g> {
-    /// Creates the executor; capacities must be positive.
+    /// Creates the protocol; capacities must be positive.
     pub fn new(g: &'g Graph, capacities: Vec<f64>) -> Self {
         validate(g, &capacities);
-        HeterogeneousDiffusion { g, snapshot: vec![0.0; g.n()], capacities }
+        HeterogeneousDiffusion {
+            g,
+            slot_coef: csr_capacity_coefs(g, &capacities),
+            slot_div: weights::csr_divisors(g, 4.0),
+            edge_coef: edge_capacity_coefs(g, &capacities),
+            edge_div: weights::edge_divisors(g, 4.0),
+            capacities,
+        }
     }
 
     /// The capacity vector.
@@ -95,40 +118,42 @@ impl<'g> HeterogeneousDiffusion<'g> {
     }
 }
 
-impl ContinuousBalancer for HeterogeneousDiffusion<'_> {
-    fn round(&mut self, loads: &mut [f64]) -> RoundStats {
-        assert_eq!(loads.len(), self.g.n(), "load vector length must equal n");
-        self.snapshot.copy_from_slice(loads);
-        let phi_before = weighted_phi(&self.snapshot, &self.capacities);
-        for v in 0..self.g.n() as u32 {
-            loads[v as usize] = node_new_load(self.g, &self.capacities, &self.snapshot, v);
-        }
-        let mut active = 0usize;
-        let mut total = 0.0f64;
-        let mut max = 0.0f64;
-        for &(u, v) in self.g.edges() {
-            let (cu, cv) = (self.capacities[u as usize], self.capacities[v as usize]);
-            let wdiff =
-                (self.snapshot[u as usize] / cu - self.snapshot[v as usize] / cv).abs();
-            let t = cu.min(cv) * wdiff / crate::continuous::edge_divisor(self.g, u, v) * 4.0
-                / 4.0;
-            if t > 0.0 {
-                active += 1;
-                total += t;
-                max = max.max(t);
-            }
-        }
-        RoundStats {
-            phi_before,
-            phi_after: weighted_phi(loads, &self.capacities),
-            active_edges: active,
-            total_flow: total,
-            max_flow: max,
-        }
+impl Protocol for HeterogeneousDiffusion<'_> {
+    type Load = f64;
+    type Stats = RoundStats;
+
+    fn n(&self) -> usize {
+        self.g.n()
     }
 
     fn name(&self) -> &'static str {
         "hetero-cont"
+    }
+
+    #[inline]
+    fn node_new_load(&self, snapshot: &[f64], v: u32) -> f64 {
+        let cv = self.capacities[v as usize];
+        let wv = snapshot[v as usize] / cv;
+        let off = self.g.neighbor_offset(v);
+        let mut acc = snapshot[v as usize];
+        for (i, &u) in self.g.neighbors(v).iter().enumerate() {
+            let wu = snapshot[u as usize] / self.capacities[u as usize];
+            acc += self.slot_coef[off + i] * (wu - wv) / self.slot_div[off + i];
+        }
+        acc
+    }
+
+    fn end_round(&mut self, snapshot: &[f64], new_loads: &[f64]) -> RoundStats {
+        let mut tally = FlowTally::default();
+        for (k, &(u, v)) in self.g.edges().iter().enumerate() {
+            let wu = snapshot[u as usize] / self.capacities[u as usize];
+            let wv = snapshot[v as usize] / self.capacities[v as usize];
+            tally.add(self.edge_coef[k] * (wu - wv).abs() / self.edge_div[k]);
+        }
+        tally.stats(
+            weighted_phi(snapshot, &self.capacities),
+            weighted_phi(new_loads, &self.capacities),
+        )
     }
 }
 
@@ -138,14 +163,24 @@ impl ContinuousBalancer for HeterogeneousDiffusion<'_> {
 pub struct HeterogeneousDiscreteDiffusion<'g> {
     g: &'g Graph,
     capacities: Vec<f64>,
-    snapshot: Vec<i64>,
+    slot_coef: Vec<f64>,
+    slot_div: Vec<f64>,
+    edge_coef: Vec<f64>,
+    edge_div: Vec<f64>,
 }
 
 impl<'g> HeterogeneousDiscreteDiffusion<'g> {
-    /// Creates the executor; capacities must be positive.
+    /// Creates the protocol; capacities must be positive.
     pub fn new(g: &'g Graph, capacities: Vec<f64>) -> Self {
         validate(g, &capacities);
-        HeterogeneousDiscreteDiffusion { g, snapshot: vec![0; g.n()], capacities }
+        HeterogeneousDiscreteDiffusion {
+            g,
+            slot_coef: csr_capacity_coefs(g, &capacities),
+            slot_div: weights::csr_divisors(g, 4.0),
+            edge_coef: edge_capacity_coefs(g, &capacities),
+            edge_div: weights::edge_divisors(g, 4.0),
+            capacities,
+        }
     }
 
     /// Weighted potential of a token vector under these capacities.
@@ -153,50 +188,62 @@ impl<'g> HeterogeneousDiscreteDiffusion<'g> {
         let float: Vec<f64> = loads.iter().map(|&l| l as f64).collect();
         weighted_phi(&float, &self.capacities)
     }
+
+    /// Whole tokens across slot `(v → i-th neighbour)` seen from `v`:
+    /// positive = inflow to `v`.
+    #[inline]
+    fn slot_tokens(&self, snapshot: &[i64], v: u32, slot: usize, u: u32) -> i64 {
+        let wv = snapshot[v as usize] as f64 / self.capacities[v as usize];
+        let wu = snapshot[u as usize] as f64 / self.capacities[u as usize];
+        let t = (self.slot_coef[slot] * (wu - wv).abs() / self.slot_div[slot]).floor() as i64;
+        // The richer *normalized* endpoint sends; ties send nothing
+        // (t = 0 on equality since the difference is zero).
+        if wu >= wv {
+            t
+        } else {
+            -t
+        }
+    }
 }
 
-impl DiscreteBalancer for HeterogeneousDiscreteDiffusion<'_> {
-    fn round(&mut self, loads: &mut [i64]) -> DiscreteRoundStats {
-        assert_eq!(loads.len(), self.g.n(), "load vector length must equal n");
-        self.snapshot.copy_from_slice(loads);
-        // The weighted potential is not integral under real capacities;
-        // report it scaled by n² to keep the DiscreteRoundStats contract
-        // (callers comparing drops only need consistency).
-        let n2 = (self.g.n() * self.g.n()) as f64;
-        let phi_hat_before = (self.phi(&self.snapshot.clone()) * n2) as u128;
-        let mut active = 0usize;
-        let mut total = 0u64;
-        let mut max = 0u64;
-        for &(u, v) in self.g.edges() {
-            let (cu, cv) = (self.capacities[u as usize], self.capacities[v as usize]);
-            let (wu, wv) = (
-                self.snapshot[u as usize] as f64 / cu,
-                self.snapshot[v as usize] as f64 / cv,
-            );
-            let divisor = crate::continuous::edge_divisor(self.g, u, v);
-            let t = (cu.min(cv) * (wu - wv).abs() / divisor).floor() as i64;
-            if t > 0 {
-                let (src, dst) =
-                    if wu >= wv { (u as usize, v as usize) } else { (v as usize, u as usize) };
-                loads[src] -= t;
-                loads[dst] += t;
-                active += 1;
-                total += t as u64;
-                max = max.max(t as u64);
-            }
-        }
-        let phi_hat_after = (self.phi(loads) * n2) as u128;
-        DiscreteRoundStats {
-            phi_hat_before,
-            phi_hat_after,
-            active_edges: active,
-            total_tokens: total,
-            max_tokens: max,
-        }
+impl Protocol for HeterogeneousDiscreteDiffusion<'_> {
+    type Load = i64;
+    type Stats = DiscreteRoundStats;
+
+    fn n(&self) -> usize {
+        self.g.n()
     }
 
     fn name(&self) -> &'static str {
         "hetero-disc"
+    }
+
+    #[inline]
+    fn node_new_load(&self, snapshot: &[i64], v: u32) -> i64 {
+        let off = self.g.neighbor_offset(v);
+        let mut acc = snapshot[v as usize];
+        for (i, &u) in self.g.neighbors(v).iter().enumerate() {
+            acc += self.slot_tokens(snapshot, v, off + i, u);
+        }
+        acc
+    }
+
+    fn end_round(&mut self, snapshot: &[i64], new_loads: &[i64]) -> DiscreteRoundStats {
+        // The weighted potential is not integral under real capacities;
+        // report it scaled by n² to keep the DiscreteRoundStats contract
+        // (callers comparing drops only need consistency).
+        let n2 = (self.g.n() * self.g.n()) as f64;
+        let mut tally = TokenTally::default();
+        for (k, &(u, v)) in self.g.edges().iter().enumerate() {
+            let wu = snapshot[u as usize] as f64 / self.capacities[u as usize];
+            let wv = snapshot[v as usize] as f64 / self.capacities[v as usize];
+            let t = (self.edge_coef[k] * (wu - wv).abs() / self.edge_div[k]).floor() as u64;
+            tally.add(t);
+        }
+        tally.stats(
+            (self.phi(snapshot) * n2) as u128,
+            (self.phi(new_loads) * n2) as u128,
+        )
     }
 }
 
@@ -204,6 +251,7 @@ impl DiscreteBalancer for HeterogeneousDiscreteDiffusion<'_> {
 mod tests {
     use super::*;
     use crate::continuous::ContinuousDiffusion;
+    use crate::engine::IntoEngine;
     use crate::potential;
     use dlb_graphs::topology;
 
@@ -213,8 +261,10 @@ mod tests {
         let init: Vec<f64> = (0..16).map(|i| ((i * 41 + 3) % 59) as f64).collect();
         let mut a = init.clone();
         let mut b = init;
-        ContinuousDiffusion::new(&g).round(&mut a);
-        HeterogeneousDiffusion::new(&g, vec![1.0; 16]).round(&mut b);
+        ContinuousDiffusion::new(&g).engine().round(&mut a);
+        HeterogeneousDiffusion::new(&g, vec![1.0; 16])
+            .engine()
+            .round(&mut b);
         for (x, y) in a.iter().zip(&b) {
             assert!((x - y).abs() < 1e-12, "{x} vs {y}");
         }
@@ -224,7 +274,7 @@ mod tests {
     fn conserves_load() {
         let g = topology::cycle(10);
         let caps: Vec<f64> = (0..10).map(|i| 1.0 + (i % 3) as f64).collect();
-        let mut b = HeterogeneousDiffusion::new(&g, caps);
+        let mut b = HeterogeneousDiffusion::new(&g, caps).engine();
         let mut loads: Vec<f64> = (0..10).map(|i| (i * i % 17) as f64).collect();
         let before: f64 = loads.iter().sum();
         for _ in 0..100 {
@@ -236,8 +286,10 @@ mod tests {
     #[test]
     fn weighted_potential_never_increases() {
         let g = topology::hypercube(4);
-        let caps: Vec<f64> = (0..16).map(|i| if i % 4 == 0 { 4.0 } else { 0.5 }).collect();
-        let mut b = HeterogeneousDiffusion::new(&g, caps);
+        let caps: Vec<f64> = (0..16)
+            .map(|i| if i % 4 == 0 { 4.0 } else { 0.5 })
+            .collect();
+        let mut b = HeterogeneousDiffusion::new(&g, caps).engine();
         let mut loads: Vec<f64> = (0..16).map(|i| ((i * 7 + 2) % 23) as f64).collect();
         for _ in 0..200 {
             let s = b.round(&mut loads);
@@ -256,7 +308,7 @@ mod tests {
         // One fast node (capacity 7) and seven slow ones (capacity 1).
         let mut caps = vec![1.0; 8];
         caps[3] = 7.0;
-        let mut b = HeterogeneousDiffusion::new(&g, caps.clone());
+        let mut b = HeterogeneousDiffusion::new(&g, caps.clone()).engine();
         let mut loads = vec![0.0; 8];
         loads[0] = 140.0; // total 140, Σc = 14 → ρ = 10
         for _ in 0..2000 {
@@ -273,7 +325,7 @@ mod tests {
     fn discrete_conserves_tokens_exactly() {
         let g = topology::grid2d(4, 4);
         let caps: Vec<f64> = (0..16).map(|i| 1.0 + (i % 5) as f64 * 0.5).collect();
-        let mut b = HeterogeneousDiscreteDiffusion::new(&g, caps);
+        let mut b = HeterogeneousDiscreteDiffusion::new(&g, caps).engine();
         let mut loads: Vec<i64> = (0..16).map(|i| ((i * 997) % 5000) as i64).collect();
         let before = potential::total_discrete(&loads);
         for _ in 0..300 {
@@ -286,7 +338,7 @@ mod tests {
     fn discrete_approaches_proportional_plateau() {
         let g = topology::complete(6);
         let caps = vec![1.0, 1.0, 1.0, 1.0, 1.0, 5.0];
-        let mut b = HeterogeneousDiscreteDiffusion::new(&g, caps.clone());
+        let mut b = HeterogeneousDiscreteDiffusion::new(&g, caps).engine();
         let mut loads = vec![0i64; 6];
         loads[0] = 10_000; // ρ = 1000: target [1000×5, 5000]
         for _ in 0..5000 {
@@ -298,7 +350,8 @@ mod tests {
             assert!(fast > 3 * l, "fast node {fast} vs slow {l}: {loads:?}");
         }
         // Weighted potential reaches a small plateau.
-        assert!(b.phi(&loads) < 2000.0, "Φ_c = {}", b.phi(&loads));
+        let phi = b.protocol().phi(&loads);
+        assert!(phi < 2000.0, "Φ_c = {phi}");
     }
 
     #[test]
@@ -308,6 +361,26 @@ mod tests {
         assert!(weighted_phi(&loads, &caps) < 1e-12);
         let skewed = vec![10.0, 6.0, 4.0];
         assert!(weighted_phi(&skewed, &caps) > 1.0);
+    }
+
+    #[test]
+    fn serial_parallel_bit_identical() {
+        let g = topology::grid2d(5, 5);
+        let caps: Vec<f64> = (0..25).map(|i| 0.5 + (i % 7) as f64 * 0.75).collect();
+        let init: Vec<f64> = (0..25).map(|i| ((i * 19 + 3) % 37) as f64).collect();
+
+        let mut serial = init.clone();
+        let mut s = HeterogeneousDiffusion::new(&g, caps.clone()).engine();
+        for _ in 0..15 {
+            s.round(&mut serial);
+        }
+
+        let mut par = init;
+        let mut p = HeterogeneousDiffusion::new(&g, caps).engine_parallel(4);
+        for _ in 0..15 {
+            p.round(&mut par);
+        }
+        assert_eq!(serial, par);
     }
 
     #[test]

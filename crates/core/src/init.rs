@@ -67,11 +67,13 @@ pub fn continuous_loads<R: Rng + ?Sized>(
             if n == 1 {
                 return vec![avg];
             }
-            (0..n).map(|i| 2.0 * avg * i as f64 / (n - 1) as f64).collect()
+            (0..n)
+                .map(|i| 2.0 * avg * i as f64 / (n - 1) as f64)
+                .collect()
         }
-        Workload::Bimodal => {
-            (0..n).map(|i| if i < n / 2 { 2.0 * avg } else { 0.0 }).collect()
-        }
+        Workload::Bimodal => (0..n)
+            .map(|i| if i < n / 2 { 2.0 * avg } else { 0.0 })
+            .collect(),
         Workload::Balanced => vec![avg; n],
     }
 }
@@ -109,8 +111,9 @@ pub fn discrete_loads<R: Rng + ?Sized>(
             v
         }
         Workload::Bimodal => {
-            let mut v: Vec<i64> =
-                (0..n).map(|i| if i < n / 2 { 2 * avg } else { 0 }).collect();
+            let mut v: Vec<i64> = (0..n)
+                .map(|i| if i < n / 2 { 2 * avg } else { 0 })
+                .collect();
             if n % 2 == 1 {
                 // Odd n: the middle node takes the leftover to conserve.
                 v[n / 2] = avg * n as i64 - 2 * avg * (n / 2) as i64;

@@ -4,12 +4,38 @@
 //!
 //! The primary contribution of Berenbrink–Friedetzky–Hu (IPPS 2006),
 //! *A New Analytical Method for Parallel, Diffusion-type Load Balancing*,
-//! as an executable library:
+//! as an executable library built around one **unified round engine**.
+//!
+//! ## Architecture: Protocol → Engine → Driver
+//!
+//! Every balancing scheme in the workspace is a per-round load
+//! transformation whose quadratic potential `Φ` the paper's analysis
+//! tracks. The library factors that observation into three layers (see
+//! `ARCHITECTURE.md` at the repository root for the full tour):
+//!
+//! * **[`engine::Protocol`]** — one scheme = one implementation: an
+//!   associated load type (`f64` or `i64` tokens), a per-round setup hook,
+//!   a pure per-node *gather kernel* `node_new_load(snapshot, v)`, and a
+//!   statistics hook. Round-invariant per-edge divisors
+//!   `4·max(dᵢ, dⱼ)` are precomputed CSR-slot-aligned at construction
+//!   ([`dlb_graphs::weights`]), so the hot loop streams contiguous memory.
+//! * **[`engine::Engine`]** — the only two executors in the workspace: one
+//!   serial, one parallel over a persistent [`engine::WorkerPool`]
+//!   (workers live across rounds; `DLB_THREADS` caps the fan-out). Both
+//!   run the identical kernel per node, so serial ≡ parallel results are
+//!   **bit-identical** — an invariant the test-suite pins for every
+//!   protocol.
+//! * **[`runner`]** — the convergence drivers (potential targets, round
+//!   budgets, traces, fixed-point detection) with observed variants for
+//!   instrumentation; `dlb-dynamics` parameterizes the same driver with a
+//!   graph sequence instead of duplicating the loop.
+//!
+//! ## The paper's objects
 //!
 //! * **Algorithm 1** — concurrent neighbourhood diffusion on a fixed
 //!   network: node `i` sends `(ℓᵢ − ℓⱼ)/(4·max(dᵢ, dⱼ))` to every lighter
 //!   neighbour `j`, all edges in parallel. Continuous ([`continuous`]) and
-//!   discrete ([`discrete`], integral tokens, floor rounding) variants.
+//!   discrete ([`discrete`], integral tokens, floor rounding) protocols.
 //! * **The sequentialization machinery** ([`seq`]) — the paper's proof
 //!   device made executable: the same round replayed as one edge activation
 //!   at a time in increasing weight order, with per-activation potential
@@ -28,30 +54,27 @@
 //!   (Theorems 4, 6, 7, 8, 12, 14; Lemmas 2, 5, 11, 13) as documented
 //!   calculator functions, plus the Ghosh–Muthukrishnan dimension-exchange
 //!   bound used in the paper's "constant times faster" comparison.
-//! * **Parallel execution** ([`parallel`]) — a crossbeam scoped-thread
-//!   executor for large instances. The round is formulated as a *gather*
-//!   (each node recomputes its own delta from an immutable snapshot), so
-//!   the parallel executor is bit-identical to the serial one for both the
-//!   continuous and discrete protocols.
-//! * **Drivers and workloads** ([`runner`], [`init`]) — convergence loops
-//!   with traces and stopping conditions, and the initial load
+//! * **Extensions** ([`heterogeneous`], [`init`]) — capacity-weighted
+//!   diffusion on heterogeneous networks, and the initial load
 //!   distributions used across the experiment suite.
 //!
-//! The companion crates provide the substrates: `dlb-graphs` (topologies),
-//! `dlb-spectral` (λ₂, γ), `dlb-dynamics` (Section 5's dynamic networks),
-//! `dlb-baselines` (the protocols the paper compares against), and
+//! The companion crates provide the substrates: `dlb-graphs` (topologies,
+//! precomputed edge weights), `dlb-spectral` (λ₂, γ), `dlb-dynamics`
+//! (Section 5's dynamic networks as engine protocols), `dlb-baselines`
+//! (the protocols the paper compares against, on the same engine), and
 //! `dlb-analysis` (the Monte-Carlo experiment harness).
 
 pub mod bounds;
 pub mod continuous;
 pub mod discrete;
+pub mod engine;
 pub mod heterogeneous;
 pub mod init;
 pub mod model;
-pub mod parallel;
 pub mod potential;
 pub mod random_partner;
 pub mod runner;
 pub mod seq;
 
+pub use engine::{Engine, IntoEngine, Protocol};
 pub use model::{ContinuousBalancer, DiscreteBalancer, DiscreteRoundStats, RoundStats};

@@ -1,5 +1,14 @@
 //! Convergence drivers: run a balancer until a potential target or a round
 //! budget is reached, optionally recording the per-round potential trace.
+//!
+//! These are the *only* convergence loops in the workspace. Everything that
+//! executes rounds — fixed networks, dynamic graph sequences
+//! (`dlb-dynamics` instantiates the observed variants with a spectra
+//! recorder), baselines, experiments — drives an engine (or any other
+//! balancer) through these functions. The `*_observed` variants expose a
+//! per-round hook that receives the balancer and the round's statistics,
+//! which is how callers layer instrumentation (per-round λ₂/δ recording,
+//! custom traces) without duplicating the loop.
 
 use crate::model::{ContinuousBalancer, DiscreteBalancer};
 use crate::potential::{phi, phi_hat};
@@ -26,26 +35,68 @@ pub fn run_continuous<B: ContinuousBalancer + ?Sized>(
     max_rounds: usize,
     record_trace: bool,
 ) -> RunOutcome {
+    run_continuous_observed(
+        balancer,
+        loads,
+        target_phi,
+        max_rounds,
+        record_trace,
+        |_, _, _| {},
+    )
+}
+
+/// [`run_continuous`] with a per-round observer: after each executed round,
+/// `observe(round, balancer, stats)` runs (rounds count from 1). This is
+/// the hook instrumented drivers build on — e.g. the dynamic-network
+/// driver records each round's `(δ⁽ᵏ⁾, λ₂⁽ᵏ⁾)` here.
+pub fn run_continuous_observed<B, F>(
+    balancer: &mut B,
+    loads: &mut [f64],
+    target_phi: f64,
+    max_rounds: usize,
+    record_trace: bool,
+    mut observe: F,
+) -> RunOutcome
+where
+    B: ContinuousBalancer + ?Sized,
+    F: FnMut(usize, &B, &crate::model::RoundStats),
+{
     let mut trace = Vec::new();
     let phi0 = phi(loads);
     if record_trace {
         trace.push(phi0);
     }
     if phi0 <= target_phi {
-        return RunOutcome { rounds: 0, converged: true, final_phi: phi0, trace };
+        return RunOutcome {
+            rounds: 0,
+            converged: true,
+            final_phi: phi0,
+            trace,
+        };
     }
     let mut current = phi0;
     for round in 1..=max_rounds {
         let stats = balancer.round(loads);
+        observe(round, balancer, &stats);
         current = stats.phi_after;
         if record_trace {
             trace.push(current);
         }
         if current <= target_phi {
-            return RunOutcome { rounds: round, converged: true, final_phi: current, trace };
+            return RunOutcome {
+                rounds: round,
+                converged: true,
+                final_phi: current,
+                trace,
+            };
         }
     }
-    RunOutcome { rounds: max_rounds, converged: false, final_phi: current, trace }
+    RunOutcome {
+        rounds: max_rounds,
+        converged: false,
+        final_phi: current,
+        trace,
+    }
 }
 
 /// Runs until `Φ ≤ ε·Φ₀` (the normalization used by Theorems 4 and 7).
@@ -89,17 +140,47 @@ pub fn run_discrete<B: DiscreteBalancer + ?Sized>(
     max_rounds: usize,
     record_trace: bool,
 ) -> DiscreteRunOutcome {
+    run_discrete_observed(
+        balancer,
+        loads,
+        target_phi_hat,
+        max_rounds,
+        record_trace,
+        |_, _, _| {},
+    )
+}
+
+/// [`run_discrete`] with a per-round observer (see
+/// [`run_continuous_observed`]).
+pub fn run_discrete_observed<B, F>(
+    balancer: &mut B,
+    loads: &mut [i64],
+    target_phi_hat: u128,
+    max_rounds: usize,
+    record_trace: bool,
+    mut observe: F,
+) -> DiscreteRunOutcome
+where
+    B: DiscreteBalancer + ?Sized,
+    F: FnMut(usize, &B, &crate::model::DiscreteRoundStats),
+{
     let mut trace = Vec::new();
     let phi0 = phi_hat(loads);
     if record_trace {
         trace.push(phi0);
     }
     if phi0 <= target_phi_hat {
-        return DiscreteRunOutcome { rounds: 0, converged: true, final_phi_hat: phi0, trace };
+        return DiscreteRunOutcome {
+            rounds: 0,
+            converged: true,
+            final_phi_hat: phi0,
+            trace,
+        };
     }
     let mut current = phi0;
     for round in 1..=max_rounds {
         let stats = balancer.round(loads);
+        observe(round, balancer, &stats);
         current = stats.phi_hat_after;
         if record_trace {
             trace.push(current);
@@ -113,7 +194,12 @@ pub fn run_discrete<B: DiscreteBalancer + ?Sized>(
             };
         }
     }
-    DiscreteRunOutcome { rounds: max_rounds, converged: false, final_phi_hat: current, trace }
+    DiscreteRunOutcome {
+        rounds: max_rounds,
+        converged: false,
+        final_phi_hat: current,
+        trace,
+    }
 }
 
 /// One row of a detailed per-round trace.
@@ -188,6 +274,7 @@ mod tests {
     use super::*;
     use crate::continuous::ContinuousDiffusion;
     use crate::discrete::DiscreteDiffusion;
+    use crate::engine::IntoEngine;
     use dlb_graphs::topology;
 
     #[test]
@@ -199,9 +286,12 @@ mod tests {
         let budget = crate::bounds::theorem4_rounds(2, lambda2, eps).ceil() as usize;
         let mut loads = vec![0.0; n];
         loads[0] = n as f64 * 10.0;
-        let mut b = ContinuousDiffusion::new(&g);
+        let mut b = ContinuousDiffusion::new(&g).engine();
         let out = rounds_to_epsilon(&mut b, &mut loads, eps, budget);
-        assert!(out.converged, "did not converge within the paper's bound {budget}");
+        assert!(
+            out.converged,
+            "did not converge within the paper's bound {budget}"
+        );
         assert!(out.rounds <= budget);
     }
 
@@ -210,7 +300,7 @@ mod tests {
         let g = topology::path(8);
         let mut loads = vec![0.0; 8];
         loads[0] = 80.0;
-        let mut b = ContinuousDiffusion::new(&g);
+        let mut b = ContinuousDiffusion::new(&g).engine();
         let out = run_continuous(&mut b, &mut loads, 0.0, 10, true);
         assert_eq!(out.trace.len(), out.rounds + 1);
         for w in out.trace.windows(2) {
@@ -222,7 +312,7 @@ mod tests {
     fn already_converged_runs_zero_rounds() {
         let g = topology::path(4);
         let mut loads = vec![5.0; 4];
-        let mut b = ContinuousDiffusion::new(&g);
+        let mut b = ContinuousDiffusion::new(&g).engine();
         let out = run_continuous(&mut b, &mut loads, 1.0, 100, false);
         assert_eq!(out.rounds, 0);
         assert!(out.converged);
@@ -233,7 +323,7 @@ mod tests {
         let g = topology::path(16);
         let mut loads = vec![0.0; 16];
         loads[0] = 1e9;
-        let mut b = ContinuousDiffusion::new(&g);
+        let mut b = ContinuousDiffusion::new(&g).engine();
         let out = run_continuous(&mut b, &mut loads, 1e-12, 3, false);
         assert!(!out.converged);
         assert_eq!(out.rounds, 3);
@@ -246,11 +336,15 @@ mod tests {
         let target = crate::bounds::theorem6_threshold_hat(4, 2.0, n);
         let mut loads = vec![0i64; n];
         loads[0] = 16 * 1000;
-        let mut b = DiscreteDiffusion::new(&g);
-        let budget =
-            crate::bounds::theorem6_rounds(4, 2.0, crate::potential::phi_discrete(&loads), n)
-                .ceil() as usize
-                + 1;
+        let mut b = DiscreteDiffusion::new(&g).engine();
+        let budget = crate::bounds::theorem6_rounds(
+            4,
+            2.0,
+            crate::potential::phi_discrete(&loads),
+            n,
+        )
+        .ceil() as usize
+            + 1;
         let out = run_discrete(&mut b, &mut loads, target, budget, false);
         assert!(out.converged, "no plateau within Theorem 6 budget {budget}");
     }
@@ -259,7 +353,7 @@ mod tests {
     fn discrete_fixed_point_detection() {
         let g = topology::path(6);
         let mut loads: Vec<i64> = (0..6).collect(); // already a fixed point
-        let mut b = DiscreteDiffusion::new(&g);
+        let mut b = DiscreteDiffusion::new(&g).engine();
         let (rounds, fixed) = run_discrete_to_fixed_point(&mut b, &mut loads, 3, 100);
         assert!(fixed);
         assert_eq!(rounds, 3);
@@ -270,7 +364,7 @@ mod tests {
         let g = topology::cycle(8);
         let mut loads = vec![0.0; 8];
         loads[0] = 80.0;
-        let mut b = ContinuousDiffusion::new(&g);
+        let mut b = ContinuousDiffusion::new(&g).engine();
         let trace = run_continuous_detailed(&mut b, &mut loads, 5);
         assert_eq!(trace.len(), 6);
         assert_eq!(trace[0].total_flow, 0.0);

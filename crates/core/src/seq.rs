@@ -84,7 +84,10 @@ impl SeqRound {
     /// Number of activations violating Lemma 1 beyond tolerance (expected
     /// 0 — the lemma is a theorem).
     pub fn lemma1_violations(&self, tol: f64) -> usize {
-        self.activations.iter().filter(|a| !a.satisfies_lemma1(tol)).count()
+        self.activations
+            .iter()
+            .filter(|a| !a.satisfies_lemma1(tol))
+            .count()
     }
 }
 
@@ -104,7 +107,10 @@ pub fn sequentialized_round(g: &Graph, loads: &mut [f64]) -> SeqRound {
         (snapshot[u as usize] - snapshot[v as usize]).abs() / edge_divisor(g, u, v)
     };
     order.sort_by(|&a, &b| {
-        weight(a).partial_cmp(&weight(b)).expect("finite weights").then(a.cmp(&b))
+        weight(a)
+            .partial_cmp(&weight(b))
+            .expect("finite weights")
+            .then(a.cmp(&b))
     });
 
     let mut activations = Vec::with_capacity(edges.len());
@@ -125,7 +131,11 @@ pub fn sequentialized_round(g: &Graph, loads: &mut [f64]) -> SeqRound {
             lemma1_bound: w * (su - sv).abs(),
         });
     }
-    SeqRound { phi_before, phi_after: phi(loads), activations }
+    SeqRound {
+        phi_before,
+        phi_after: phi(loads),
+        activations,
+    }
 }
 
 /// Certificate for one discrete activation. All potential quantities are in
@@ -174,15 +184,20 @@ pub fn sequentialized_round_discrete(g: &Graph, loads: &mut [i64]) -> DiscreteSe
 
     let edges = g.edges();
     let mut order: Vec<u32> = (0..edges.len() as u32).collect();
-    let tokens = |k: u32| crate::discrete::edge_tokens(g, &snapshot, edges[k as usize].0, edges[k as usize].1);
+    let tokens = |k: u32| {
+        crate::discrete::edge_tokens(g, &snapshot, edges[k as usize].0, edges[k as usize].1)
+    };
     order.sort_by_key(|&k| (tokens(k), k));
 
     let mut activations = Vec::with_capacity(edges.len());
     for &k in &order {
         let (u, v) = edges[k as usize];
         let t = tokens(k);
-        let (sender, receiver) =
-            if snapshot[u as usize] >= snapshot[v as usize] { (u, v) } else { (v, u) };
+        let (sender, receiver) = if snapshot[u as usize] >= snapshot[v as usize] {
+            (u, v)
+        } else {
+            (v, u)
+        };
         // Scaled drop 2T(A − B − T) with A = n·a − S, B = n·b − S, T = n·t.
         let a = loads[sender as usize] as i128;
         let b = loads[receiver as usize] as i128;
@@ -190,9 +205,18 @@ pub fn sequentialized_round_discrete(g: &Graph, loads: &mut [i64]) -> DiscreteSe
         let drop_hat = 2 * tt * (aa - bb - tt);
         loads[sender as usize] -= t;
         loads[receiver as usize] += t;
-        activations.push(DiscreteActivation { edge: (u, v), sender, tokens: t, drop_hat });
+        activations.push(DiscreteActivation {
+            edge: (u, v),
+            sender,
+            tokens: t,
+            drop_hat,
+        });
     }
-    DiscreteSeqRound { phi_hat_before, phi_hat_after: phi_hat(loads), activations }
+    DiscreteSeqRound {
+        phi_hat_before,
+        phi_hat_after: phi_hat(loads),
+        activations,
+    }
 }
 
 /// Activation orders for the *adaptive* sequential comparator.
@@ -234,7 +258,10 @@ pub fn adaptive_sequential_round<R: Rng + ?Sized>(
                 (snapshot[u as usize] - snapshot[v as usize]).abs() / edge_divisor(g, u, v)
             };
             idx.sort_by(|&a, &b| {
-                weight(a).partial_cmp(&weight(b)).expect("finite weights").then(a.cmp(&b))
+                weight(a)
+                    .partial_cmp(&weight(b))
+                    .expect("finite weights")
+                    .then(a.cmp(&b))
             });
         }
     }
@@ -256,7 +283,11 @@ pub fn adaptive_sequential_round<R: Rng + ?Sized>(
             lemma1_bound: w * (a - b).abs(),
         });
     }
-    SeqRound { phi_before, phi_after: phi(loads), activations }
+    SeqRound {
+        phi_before,
+        phi_after: phi(loads),
+        activations,
+    }
 }
 
 #[cfg(test)]
@@ -264,7 +295,7 @@ mod tests {
     use super::*;
     use crate::continuous::ContinuousDiffusion;
     use crate::discrete::DiscreteDiffusion;
-    use crate::model::{ContinuousBalancer, DiscreteBalancer};
+    use crate::engine::IntoEngine;
     use dlb_graphs::topology;
     use rand::rngs::StdRng;
     use rand::SeedableRng;
@@ -275,7 +306,7 @@ mod tests {
         let init: Vec<f64> = (0..16).map(|i| ((i * 29 + 7) % 41) as f64).collect();
 
         let mut conc = init.clone();
-        ContinuousDiffusion::new(&g).round(&mut conc);
+        ContinuousDiffusion::new(&g).engine().round(&mut conc);
 
         let mut seq = init.clone();
         sequentialized_round(&g, &mut seq);
@@ -291,7 +322,7 @@ mod tests {
         let init: Vec<i64> = (0..16).map(|i| ((i * 173 + 19) % 500) as i64).collect();
 
         let mut conc = init.clone();
-        DiscreteDiffusion::new(&g).round(&mut conc);
+        DiscreteDiffusion::new(&g).engine().round(&mut conc);
 
         let mut seq = init.clone();
         sequentialized_round_discrete(&g, &mut seq);
@@ -373,14 +404,19 @@ mod tests {
     fn adaptive_sequential_conserves_and_drops() {
         let g = topology::cycle(9);
         let mut rng = StdRng::seed_from_u64(5);
-        for order in
-            [AdaptiveOrder::EdgeIndex, AdaptiveOrder::Random, AdaptiveOrder::RoundStartWeight]
-        {
+        for order in [
+            AdaptiveOrder::EdgeIndex,
+            AdaptiveOrder::Random,
+            AdaptiveOrder::RoundStartWeight,
+        ] {
             let mut loads: Vec<f64> = (0..9).map(|i| ((i * 5 + 1) % 11) as f64).collect();
             let before: f64 = loads.iter().sum();
             let round = adaptive_sequential_round(&g, &mut loads, order, &mut rng);
             let after: f64 = loads.iter().sum();
-            assert!((before - after).abs() < 1e-9, "load not conserved ({order:?})");
+            assert!(
+                (before - after).abs() < 1e-9,
+                "load not conserved ({order:?})"
+            );
             assert!(
                 round.phi_after <= round.phi_before + 1e-9,
                 "adaptive sequential increased potential ({order:?})"
@@ -394,21 +430,19 @@ mod tests {
         // most a factor of two versus the sequential system. Checked on
         // several graphs and initializations.
         let mut rng = StdRng::seed_from_u64(77);
-        for g in
-            [topology::cycle(16), topology::grid2d(4, 4), topology::hypercube(4)]
-        {
+        for g in [
+            topology::cycle(16),
+            topology::grid2d(4, 4),
+            topology::hypercube(4),
+        ] {
             let init: Vec<f64> = (0..16).map(|i| ((i * 43 + 9) % 37) as f64).collect();
             let mut conc = init.clone();
-            let s = ContinuousDiffusion::new(&g).round(&mut conc);
+            let s = ContinuousDiffusion::new(&g).engine().round(&mut conc);
             let conc_drop = s.phi_before - s.phi_after;
 
             let mut seq = init.clone();
-            let round = adaptive_sequential_round(
-                &g,
-                &mut seq,
-                AdaptiveOrder::RoundStartWeight,
-                &mut rng,
-            );
+            let round =
+                adaptive_sequential_round(&g, &mut seq, AdaptiveOrder::RoundStartWeight, &mut rng);
             let seq_drop = round.phi_before - round.phi_after;
             assert!(
                 conc_drop >= 0.5 * seq_drop - 1e-9,
@@ -423,6 +457,9 @@ mod tests {
         let mut loads = vec![3.0; 5];
         let round = sequentialized_round(&g, &mut loads);
         assert_eq!(round.phi_after, 0.0);
-        assert!(round.activations.iter().all(|a| a.weight == 0.0 && a.drop == 0.0));
+        assert!(round
+            .activations
+            .iter()
+            .all(|a| a.weight == 0.0 && a.drop == 0.0));
     }
 }

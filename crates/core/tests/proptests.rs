@@ -4,8 +4,8 @@
 
 use dlb_core::bounds;
 use dlb_core::continuous::{ContinuousDiffusion, GeneralizedDiffusion};
+use dlb_core::engine::IntoEngine;
 use dlb_core::heterogeneous::{weighted_phi, HeterogeneousDiffusion};
-use dlb_core::model::ContinuousBalancer;
 use dlb_graphs::{topology, Graph};
 use proptest::prelude::*;
 
@@ -36,7 +36,7 @@ proptest! {
     fn heterogeneous_conserves_and_contracts((g, mut loads, caps) in graph_loads_caps()) {
         let total: f64 = loads.iter().sum();
         let phi_before = weighted_phi(&loads, &caps);
-        let mut exec = HeterogeneousDiffusion::new(&g, caps.clone());
+        let mut exec = HeterogeneousDiffusion::new(&g, caps.clone()).engine();
         exec.round(&mut loads);
         let after: f64 = loads.iter().sum();
         prop_assert!((total - after).abs() < 1e-8 * total.max(1.0));
@@ -51,8 +51,8 @@ proptest! {
     fn heterogeneous_unit_caps_equal_algorithm1((g, loads, _) in graph_loads_caps()) {
         let mut a = loads.clone();
         let mut b = loads;
-        ContinuousDiffusion::new(&g).round(&mut a);
-        HeterogeneousDiffusion::new(&g, vec![1.0; g.n()]).round(&mut b);
+        ContinuousDiffusion::new(&g).engine().round(&mut a);
+        HeterogeneousDiffusion::new(&g, vec![1.0; g.n()]).engine().round(&mut b);
         for (x, y) in a.iter().zip(&b) {
             prop_assert!((x - y).abs() < 1e-9);
         }
@@ -63,7 +63,7 @@ proptest! {
         (g, mut loads, _) in graph_loads_caps(),
         k in 2.0f64..16.0,
     ) {
-        let mut exec = GeneralizedDiffusion::new(&g, k);
+        let mut exec = GeneralizedDiffusion::new(&g, k).engine();
         let total: f64 = loads.iter().sum();
         for _ in 0..5 {
             let s = exec.round(&mut loads);

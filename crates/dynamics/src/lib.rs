@@ -23,9 +23,10 @@ pub mod partners;
 pub mod runner;
 pub mod sequence;
 
-pub use runner::{run_dynamic_continuous, run_dynamic_discrete, DynamicContinuousOutcome,
-                 DynamicDiscreteOutcome};
+pub use runner::{
+    run_dynamic_continuous, run_dynamic_discrete, DynamicContinuousOutcome, DynamicDiscreteOutcome,
+};
 pub use sequence::{
-    GraphSequence, IidSubgraphSequence, MarkovChurnSequence, MatchingOnlySequence,
-    OutageSequence, PeriodicSequence, StaticSequence,
+    GraphSequence, IidSubgraphSequence, MarkovChurnSequence, MatchingOnlySequence, OutageSequence,
+    PeriodicSequence, StaticSequence,
 };

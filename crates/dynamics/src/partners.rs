@@ -28,7 +28,11 @@ impl RandomPartnerSequence {
     /// Creates the sequence over `n ≥ 2` nodes.
     pub fn new(n: usize, seed: u64) -> Self {
         assert!(n >= 2, "Algorithm 2 needs n >= 2");
-        RandomPartnerSequence { n, rng: StdRng::seed_from_u64(seed), last_sample: None }
+        RandomPartnerSequence {
+            n,
+            rng: StdRng::seed_from_u64(seed),
+            last_sample: None,
+        }
     }
 }
 
@@ -58,7 +62,7 @@ impl GraphSequence for RandomPartnerSequence {
 mod tests {
     use super::*;
     use dlb_core::continuous::ContinuousDiffusion;
-    use dlb_core::model::ContinuousBalancer;
+    use dlb_core::engine::IntoEngine;
     use dlb_core::random_partner::partner_round;
     use rand::rngs::StdRng;
     use rand::SeedableRng;
@@ -85,7 +89,7 @@ mod tests {
         let init: Vec<f64> = (0..n).map(|i| ((i * 7 + 1) % 19) as f64).collect();
 
         let mut via_alg1 = init.clone();
-        ContinuousDiffusion::new(&g).round(&mut via_alg1);
+        ContinuousDiffusion::new(&g).engine().round(&mut via_alg1);
 
         let mut via_alg2 = init;
         partner_round(&sample, &mut via_alg2);
@@ -112,8 +116,10 @@ mod tests {
         let mut loads = vec![0.0; n];
         loads[0] = n as f64 * 10.0;
         let target = 1e-6 * dlb_core::potential::phi(&loads);
-        let out =
-            crate::runner::run_dynamic_continuous(&mut seq, &mut loads, target, 5000, false);
-        assert!(out.converged, "random-partner dynamic run failed to converge");
+        let out = crate::runner::run_dynamic_continuous(&mut seq, &mut loads, target, 5000, false);
+        assert!(
+            out.converged,
+            "random-partner dynamic run failed to converge"
+        );
     }
 }

@@ -1,17 +1,26 @@
-//! Drivers for diffusion over dynamic networks (Theorems 7 and 8).
+//! Diffusion over dynamic networks (Theorems 7 and 8) on the unified
+//! engine.
 //!
-//! Each round instantiates Algorithm 1 on the sequence's current graph.
-//! When `record_spectra` is set, the driver also computes the per-round
-//! pair `(δ⁽ᵏ⁾, λ₂⁽ᵏ⁾)` with the dense eigensolver, yielding the running
-//! average `A_K = (1/K)·Σ λ₂⁽ᵏ⁾/δ⁽ᵏ⁾` that parameterizes Theorem 7's
-//! bound `K = O(ln(1/ε)/A_K)` and Theorem 8's plateau
+//! The static and dynamic cases are **one driver parameterized by a graph
+//! source**: [`DynamicContinuousDiffusion`]/[`DynamicDiscreteDiffusion`]
+//! are engine [`Protocol`]s whose `begin_round` pulls the next graph from a
+//! [`GraphSequence`] (a [`crate::sequence::StaticSequence`] reproduces the
+//! fixed-network executors bit for bit), and the convergence loop is
+//! `dlb-core`'s observed driver — no duplicated loop here.
+//!
+//! When `record_spectra` is set, the driver's observer also computes the
+//! per-round pair `(δ⁽ᵏ⁾, λ₂⁽ᵏ⁾)` with the dense eigensolver, yielding the
+//! running average `A_K = (1/K)·Σ λ₂⁽ᵏ⁾/δ⁽ᵏ⁾` that parameterizes Theorem
+//! 7's bound `K = O(ln(1/ε)/A_K)` and Theorem 8's plateau
 //! `Φ* = 64·n·max_k (δ⁽ᵏ⁾)³/λ₂⁽ᵏ⁾`.
 
 use crate::sequence::GraphSequence;
-use dlb_core::continuous::ContinuousDiffusion;
-use dlb_core::discrete::DiscreteDiffusion;
-use dlb_core::model::{ContinuousBalancer, DiscreteBalancer};
+use dlb_core::engine::{Engine, FlowTally, Protocol, TokenTally};
+use dlb_core::model::{DiscreteRoundStats, RoundStats};
 use dlb_core::potential::{phi, phi_hat};
+use dlb_core::runner::{run_continuous_observed, run_discrete_observed};
+use dlb_core::{continuous, discrete};
+use dlb_graphs::Graph;
 use dlb_spectral::eigen::laplacian_lambda2;
 
 /// Per-round spectral record.
@@ -31,6 +40,127 @@ impl RoundSpectra {
         } else {
             self.lambda2 / self.delta as f64
         }
+    }
+}
+
+/// Algorithm 1 (continuous) over a per-round graph source, as an engine
+/// protocol: `begin_round` advances the sequence, and the gather runs the
+/// reference on-the-fly kernel ([`continuous::node_new_load`]) — each
+/// round's graph is used exactly once, so there is nothing for a
+/// precomputed divisor table to amortize. The kernel computes the same
+/// divisor values as the fixed-network protocol's precomputed table, so a
+/// static sequence reproduces the fixed executor bit for bit.
+#[derive(Debug)]
+pub struct DynamicContinuousDiffusion<'s, S: GraphSequence + ?Sized> {
+    seq: &'s mut S,
+    g: Option<Graph>,
+}
+
+impl<'s, S: GraphSequence + ?Sized> DynamicContinuousDiffusion<'s, S> {
+    /// Creates the protocol over `seq`.
+    pub fn new(seq: &'s mut S) -> Self {
+        DynamicContinuousDiffusion { seq, g: None }
+    }
+
+    /// The graph used by the most recent round (`None` before the first).
+    pub fn current_graph(&self) -> Option<&Graph> {
+        self.g.as_ref()
+    }
+}
+
+impl<S: GraphSequence + ?Sized> Protocol for DynamicContinuousDiffusion<'_, S> {
+    type Load = f64;
+    type Stats = RoundStats;
+
+    fn n(&self) -> usize {
+        self.seq.n()
+    }
+
+    fn name(&self) -> &'static str {
+        "alg1-cont-dynamic"
+    }
+
+    fn begin_round(&mut self, _snapshot: &[f64]) {
+        self.g = Some(self.seq.next_graph());
+    }
+
+    #[inline]
+    fn node_new_load(&self, snapshot: &[f64], v: u32) -> f64 {
+        let g = self.g.as_ref().expect("begin_round ran");
+        continuous::node_new_load(g, snapshot, v)
+    }
+
+    fn end_round(&mut self, snapshot: &[f64], new_loads: &[f64]) -> RoundStats {
+        let g = self.g.as_ref().expect("begin_round ran");
+        FlowTally::from_flows(g.edges().iter().map(|&(u, v)| {
+            (snapshot[u as usize] - snapshot[v as usize]).abs() / continuous::edge_divisor(g, u, v)
+        }))
+        .stats(phi(snapshot), phi(new_loads))
+    }
+}
+
+/// Discrete twin of [`DynamicContinuousDiffusion`].
+#[derive(Debug)]
+pub struct DynamicDiscreteDiffusion<'s, S: GraphSequence + ?Sized> {
+    seq: &'s mut S,
+    g: Option<Graph>,
+}
+
+impl<'s, S: GraphSequence + ?Sized> DynamicDiscreteDiffusion<'s, S> {
+    /// Creates the protocol over `seq`.
+    pub fn new(seq: &'s mut S) -> Self {
+        DynamicDiscreteDiffusion { seq, g: None }
+    }
+
+    /// The graph used by the most recent round (`None` before the first).
+    pub fn current_graph(&self) -> Option<&Graph> {
+        self.g.as_ref()
+    }
+}
+
+impl<S: GraphSequence + ?Sized> Protocol for DynamicDiscreteDiffusion<'_, S> {
+    type Load = i64;
+    type Stats = DiscreteRoundStats;
+
+    fn n(&self) -> usize {
+        self.seq.n()
+    }
+
+    fn name(&self) -> &'static str {
+        "alg1-disc-dynamic"
+    }
+
+    fn begin_round(&mut self, _snapshot: &[i64]) {
+        self.g = Some(self.seq.next_graph());
+    }
+
+    #[inline]
+    fn node_new_load(&self, snapshot: &[i64], v: u32) -> i64 {
+        let g = self.g.as_ref().expect("begin_round ran");
+        discrete::node_new_load(g, snapshot, v)
+    }
+
+    fn end_round(&mut self, snapshot: &[i64], new_loads: &[i64]) -> DiscreteRoundStats {
+        let g = self.g.as_ref().expect("begin_round ran");
+        TokenTally::from_tokens(
+            g.edges()
+                .iter()
+                .map(|&(u, v)| discrete::edge_tokens(g, snapshot, u, v) as u64),
+        )
+        .stats(phi_hat(snapshot), phi_hat(new_loads))
+    }
+}
+
+/// Records one round's `(δ, λ₂)` from the protocol's current graph.
+fn spectra_of(g: &Graph) -> RoundSpectra {
+    let lambda2 = if g.m() == 0 {
+        0.0
+    } else {
+        laplacian_lambda2(g).expect("dense λ₂ solve")
+    };
+    RoundSpectra {
+        delta: g.max_degree(),
+        lambda2,
     }
 }
 
@@ -58,7 +188,7 @@ impl DynamicContinuousOutcome {
 }
 
 /// Runs continuous Algorithm 1 over `seq` until `Φ ≤ target_phi` or
-/// `max_rounds`.
+/// `max_rounds`, through the engine and `dlb-core`'s driver.
 pub fn run_dynamic_continuous<S: GraphSequence + ?Sized>(
     seq: &mut S,
     loads: &mut [f64],
@@ -67,33 +197,26 @@ pub fn run_dynamic_continuous<S: GraphSequence + ?Sized>(
     record_spectra: bool,
 ) -> DynamicContinuousOutcome {
     assert_eq!(loads.len(), seq.n(), "load vector length must equal n");
+    let mut engine = Engine::serial(DynamicContinuousDiffusion::new(seq));
     let mut spectra = Vec::new();
-    let mut current = phi(loads);
-    if current <= target_phi {
-        return DynamicContinuousOutcome { rounds: 0, converged: true, final_phi: current, spectra };
+    let out = run_continuous_observed(
+        &mut engine,
+        loads,
+        target_phi,
+        max_rounds,
+        false,
+        |_, e: &Engine<DynamicContinuousDiffusion<S>>, _| {
+            if record_spectra {
+                spectra.push(spectra_of(e.protocol().current_graph().expect("round ran")));
+            }
+        },
+    );
+    DynamicContinuousOutcome {
+        rounds: out.rounds,
+        converged: out.converged,
+        final_phi: out.final_phi,
+        spectra,
     }
-    for round in 1..=max_rounds {
-        let g = seq.next_graph();
-        if record_spectra {
-            let lambda2 = if g.m() == 0 {
-                0.0
-            } else {
-                laplacian_lambda2(&g).expect("dense λ₂ solve")
-            };
-            spectra.push(RoundSpectra { delta: g.max_degree(), lambda2 });
-        }
-        let stats = ContinuousDiffusion::new(&g).round(loads);
-        current = stats.phi_after;
-        if current <= target_phi {
-            return DynamicContinuousOutcome {
-                rounds: round,
-                converged: true,
-                final_phi: current,
-                spectra,
-            };
-        }
-    }
-    DynamicContinuousOutcome { rounds: max_rounds, converged: false, final_phi: current, spectra }
 }
 
 /// Outcome of a discrete dynamic run (exact scaled potentials).
@@ -137,7 +260,7 @@ impl DynamicDiscreteOutcome {
 }
 
 /// Runs discrete Algorithm 1 over `seq` until `Φ̂ ≤ target_phi_hat` or
-/// `max_rounds`.
+/// `max_rounds`, through the engine and `dlb-core`'s driver.
 pub fn run_dynamic_discrete<S: GraphSequence + ?Sized>(
     seq: &mut S,
     loads: &mut [i64],
@@ -146,41 +269,24 @@ pub fn run_dynamic_discrete<S: GraphSequence + ?Sized>(
     record_spectra: bool,
 ) -> DynamicDiscreteOutcome {
     assert_eq!(loads.len(), seq.n(), "load vector length must equal n");
+    let mut engine = Engine::serial(DynamicDiscreteDiffusion::new(seq));
     let mut spectra = Vec::new();
-    let mut current = phi_hat(loads);
-    if current <= target_phi_hat {
-        return DynamicDiscreteOutcome {
-            rounds: 0,
-            converged: true,
-            final_phi_hat: current,
-            spectra,
-        };
-    }
-    for round in 1..=max_rounds {
-        let g = seq.next_graph();
-        if record_spectra {
-            let lambda2 = if g.m() == 0 {
-                0.0
-            } else {
-                laplacian_lambda2(&g).expect("dense λ₂ solve")
-            };
-            spectra.push(RoundSpectra { delta: g.max_degree(), lambda2 });
-        }
-        let stats = DiscreteDiffusion::new(&g).round(loads);
-        current = stats.phi_hat_after;
-        if current <= target_phi_hat {
-            return DynamicDiscreteOutcome {
-                rounds: round,
-                converged: true,
-                final_phi_hat: current,
-                spectra,
-            };
-        }
-    }
+    let out = run_discrete_observed(
+        &mut engine,
+        loads,
+        target_phi_hat,
+        max_rounds,
+        false,
+        |_, e: &Engine<DynamicDiscreteDiffusion<S>>, _| {
+            if record_spectra {
+                spectra.push(spectra_of(e.protocol().current_graph().expect("round ran")));
+            }
+        },
+    );
     DynamicDiscreteOutcome {
-        rounds: max_rounds,
-        converged: false,
-        final_phi_hat: current,
+        rounds: out.rounds,
+        converged: out.converged,
+        final_phi_hat: out.final_phi_hat,
         spectra,
     }
 }
@@ -191,6 +297,8 @@ mod tests {
     use crate::sequence::{
         IidSubgraphSequence, MatchingOnlySequence, OutageSequence, StaticSequence,
     };
+    use dlb_core::continuous::ContinuousDiffusion;
+    use dlb_core::engine::IntoEngine;
     use dlb_graphs::topology;
 
     #[test]
@@ -201,7 +309,7 @@ mod tests {
         let init: Vec<f64> = (0..16).map(|i| ((i * 11 + 2) % 23) as f64).collect();
 
         let mut fixed = init.clone();
-        let mut fixed_exec = ContinuousDiffusion::new(&g);
+        let mut fixed_exec = ContinuousDiffusion::new(&g).engine();
         for _ in 0..10 {
             fixed_exec.round(&mut fixed);
         }
@@ -261,7 +369,10 @@ mod tests {
         loads[0] = 120.0;
         let target = 1e-3 * phi(&loads);
         let out = run_dynamic_continuous(&mut seq, &mut loads, target, 50_000, false);
-        assert!(out.converged, "matching-only dynamic model failed to converge");
+        assert!(
+            out.converged,
+            "matching-only dynamic model failed to converge"
+        );
     }
 
     #[test]

@@ -61,7 +61,11 @@ impl IidSubgraphSequence {
     /// Creates the model; `p ∈ [0, 1]`.
     pub fn new(ground: Graph, p: f64, seed: u64) -> Self {
         assert!((0.0..=1.0).contains(&p), "p must be in [0, 1] (p = {p})");
-        IidSubgraphSequence { ground, p, rng: StdRng::seed_from_u64(seed) }
+        IidSubgraphSequence {
+            ground,
+            p,
+            rng: StdRng::seed_from_u64(seed),
+        }
     }
 }
 
@@ -193,7 +197,10 @@ pub struct MatchingOnlySequence {
 impl MatchingOnlySequence {
     /// Creates the model.
     pub fn new(ground: Graph, seed: u64) -> Self {
-        MatchingOnlySequence { ground, rng: StdRng::seed_from_u64(seed) }
+        MatchingOnlySequence {
+            ground,
+            rng: StdRng::seed_from_u64(seed),
+        }
     }
 }
 
@@ -227,7 +234,11 @@ impl<S: GraphSequence> OutageSequence<S> {
     /// Wraps `inner`; rounds `outage_every, 2·outage_every, …` are outages.
     pub fn new(inner: S, outage_every: usize) -> Self {
         assert!(outage_every >= 1, "outage period must be >= 1");
-        OutageSequence { inner, outage_every, counter: 0 }
+        OutageSequence {
+            inner,
+            outage_every,
+            counter: 0,
+        }
     }
 }
 
@@ -238,7 +249,7 @@ impl<S: GraphSequence> GraphSequence for OutageSequence<S> {
 
     fn next_graph(&mut self) -> Graph {
         self.counter += 1;
-        if self.counter % self.outage_every == 0 {
+        if self.counter.is_multiple_of(self.outage_every) {
             // Consume the inner round too, keeping its RNG stream aligned.
             let g = self.inner.next_graph();
             g.edge_subgraph(|_, _| false)
@@ -285,7 +296,10 @@ mod tests {
             total += s.next_graph().m();
         }
         let avg = total as f64 / rounds as f64;
-        assert!((avg - 138.0).abs() < 12.0, "avg kept edges {avg}, want ≈138");
+        assert!(
+            (avg - 138.0).abs() < 12.0,
+            "avg kept edges {avg}, want ≈138"
+        );
     }
 
     #[test]
@@ -303,7 +317,10 @@ mod tests {
             total += s.next_graph().m();
         }
         let avg = total as f64 / rounds as f64 / 120.0;
-        assert!((avg - 2.0 / 3.0).abs() < 0.05, "measured availability {avg}");
+        assert!(
+            (avg - 2.0 / 3.0).abs() < 0.05,
+            "measured availability {avg}"
+        );
     }
 
     #[test]

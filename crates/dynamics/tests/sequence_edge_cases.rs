@@ -89,8 +89,17 @@ fn random_partner_sequence_reproducible_by_seed() {
 fn sequences_report_names() {
     let g = topology::cycle(4);
     assert_eq!(StaticSequence::new(g.clone()).name(), "static");
-    assert_eq!(IidSubgraphSequence::new(g.clone(), 0.5, 0).name(), "iid-subgraph");
-    assert_eq!(MarkovChurnSequence::new(g.clone(), 0.1, 0.1, 0).name(), "markov-churn");
-    assert_eq!(OutageSequence::new(StaticSequence::new(g), 2).name(), "outage");
+    assert_eq!(
+        IidSubgraphSequence::new(g.clone(), 0.5, 0).name(),
+        "iid-subgraph"
+    );
+    assert_eq!(
+        MarkovChurnSequence::new(g.clone(), 0.1, 0.1, 0).name(),
+        "markov-churn"
+    );
+    assert_eq!(
+        OutageSequence::new(StaticSequence::new(g), 2).name(),
+        "outage"
+    );
     assert_eq!(RandomPartnerSequence::new(4, 0).name(), "random-partner");
 }

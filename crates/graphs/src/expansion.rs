@@ -74,7 +74,10 @@ pub fn expansion_upper_bound(lambda2: f64, max_degree: u32, min_degree: u32) -> 
 /// Cut size `|E(S, S̄)|` for an explicit subset given as a boolean mask.
 pub fn cut_size(g: &Graph, in_s: &[bool]) -> usize {
     assert_eq!(in_s.len(), g.n(), "mask length must equal n");
-    g.edges().iter().filter(|&&(u, v)| in_s[u as usize] != in_s[v as usize]).count()
+    g.edges()
+        .iter()
+        .filter(|&&(u, v)| in_s[u as usize] != in_s[v as usize])
+        .count()
 }
 
 #[cfg(test)]
@@ -123,8 +126,7 @@ mod tests {
         assert!((alpha - 1.0 / 5.0).abs() < 1e-12, "alpha = {alpha}");
         // The optimal cut isolates one clique; node 0 (in S̄) is in the
         // first clique, so S = {k..2k} = nodes 5..10 -> bits 4..9 set.
-        let s_nodes: Vec<u32> =
-            (1..10u32).filter(|v| (mask >> (v - 1)) & 1 == 1).collect();
+        let s_nodes: Vec<u32> = (1..10u32).filter(|v| (mask >> (v - 1)) & 1 == 1).collect();
         assert_eq!(s_nodes, vec![5, 6, 7, 8, 9]);
     }
 
@@ -158,7 +160,10 @@ mod tests {
         // For any λ₂ > 0 the lower bound must not exceed the upper bound on
         // the graphs where we can check exactly (regular examples).
         for (g, lambda2) in [
-            (topology::cycle(8), 2.0 - 2.0 * (2.0 * std::f64::consts::PI / 8.0).cos()),
+            (
+                topology::cycle(8),
+                2.0 - 2.0 * (2.0 * std::f64::consts::PI / 8.0).cos(),
+            ),
             (topology::complete(6), 6.0),
             (topology::hypercube(3), 2.0),
         ] {

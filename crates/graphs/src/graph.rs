@@ -114,7 +114,10 @@ impl Graph {
 
     /// Minimum degree over all nodes.
     pub fn min_degree(&self) -> u32 {
-        (0..self.n() as u32).map(|v| self.degree(v)).min().unwrap_or(0)
+        (0..self.n() as u32)
+            .map(|v| self.degree(v))
+            .min()
+            .unwrap_or(0)
     }
 
     /// Sorted slice of neighbours of `v`.
@@ -122,6 +125,16 @@ impl Graph {
     pub fn neighbors(&self, v: u32) -> &[u32] {
         let v = v as usize;
         &self.neighbors[self.offsets[v]..self.offsets[v + 1]]
+    }
+
+    /// Start of `v`'s neighbour slots in the CSR arrays.
+    ///
+    /// `neighbors(v)[i]` lives in global CSR slot `neighbor_offset(v) + i`;
+    /// per-slot side arrays (such as the precomputed edge weights of
+    /// [`crate::weights`]) are indexed with exactly this offset.
+    #[inline]
+    pub fn neighbor_offset(&self, v: u32) -> usize {
+        self.offsets[v as usize]
     }
 
     /// Canonical edge list: each undirected edge appears once as `(u, v)`
@@ -191,7 +204,10 @@ impl GraphBuilder {
         if n == 0 {
             return Err(GraphError::Empty);
         }
-        Ok(GraphBuilder { n, edges: Vec::new() })
+        Ok(GraphBuilder {
+            n,
+            edges: Vec::new(),
+        })
     }
 
     /// Creates a builder with preallocated capacity for `m` edges.
@@ -254,7 +270,12 @@ impl GraphBuilder {
             neighbors[offsets[v]..offsets[v + 1]].sort_unstable();
         }
         let max_degree = degrees.iter().copied().max().unwrap_or(0) as u32;
-        Graph { offsets, neighbors, edges: self.edges, max_degree }
+        Graph {
+            offsets,
+            neighbors,
+            edges: self.edges,
+            max_degree,
+        }
     }
 }
 

@@ -33,6 +33,7 @@ pub mod io;
 pub mod matching;
 pub mod topology;
 pub mod traversal;
+pub mod weights;
 
 pub use graph::{Graph, GraphBuilder, GraphError};
 pub use matching::Matching;

@@ -72,7 +72,9 @@ impl Matching {
             matched[u as usize] = true;
             matched[v as usize] = true;
         }
-        g.edges().iter().all(|&(u, v)| matched[u as usize] || matched[v as usize])
+        g.edges()
+            .iter()
+            .all(|&(u, v)| matched[u as usize] || matched[v as usize])
     }
 }
 

@@ -92,10 +92,12 @@ pub fn grid2d(rows: usize, cols: usize) -> Graph {
     for r in 0..rows {
         for c in 0..cols {
             if c + 1 < cols {
-                b.add_edge(idx(r, c), idx(r, c + 1)).expect("valid grid edge");
+                b.add_edge(idx(r, c), idx(r, c + 1))
+                    .expect("valid grid edge");
             }
             if r + 1 < rows {
-                b.add_edge(idx(r, c), idx(r + 1, c)).expect("valid grid edge");
+                b.add_edge(idx(r, c), idx(r + 1, c))
+                    .expect("valid grid edge");
             }
         }
     }
@@ -115,8 +117,10 @@ pub fn torus2d(rows: usize, cols: usize) -> Graph {
     let mut b = GraphBuilder::with_capacity(n, 2 * n).expect("n >= 9");
     for r in 0..rows {
         for c in 0..cols {
-            b.add_edge(idx(r, c), idx(r, (c + 1) % cols)).expect("valid torus edge");
-            b.add_edge(idx(r, c), idx((r + 1) % rows, c)).expect("valid torus edge");
+            b.add_edge(idx(r, c), idx(r, (c + 1) % cols))
+                .expect("valid torus edge");
+            b.add_edge(idx(r, c), idx((r + 1) % rows, c))
+                .expect("valid torus edge");
         }
     }
     b.build()
@@ -127,7 +131,10 @@ pub fn torus2d(rows: usize, cols: usize) -> Graph {
 /// `δ = dim`, `λ₂ = 2` (independent of `n` — the classic fast-balancing
 /// topology).
 pub fn hypercube(dim: u32) -> Graph {
-    assert!((1..=30).contains(&dim), "hypercube dimension out of range: {dim}");
+    assert!(
+        (1..=30).contains(&dim),
+        "hypercube dimension out of range: {dim}"
+    );
     let n = 1usize << dim;
     let mut b = GraphBuilder::with_capacity(n, n * dim as usize / 2).expect("n >= 2");
     for v in 0..n as u32 {
@@ -146,7 +153,10 @@ pub fn hypercube(dim: u32) -> Graph {
 /// merged). Constant degree ≤ 4; diameter `dim`. One of the topologies
 /// analysed by Rabani–Sinclair–Wanka \[16\].
 pub fn de_bruijn(dim: u32) -> Graph {
-    assert!((1..=30).contains(&dim), "de Bruijn dimension out of range: {dim}");
+    assert!(
+        (1..=30).contains(&dim),
+        "de Bruijn dimension out of range: {dim}"
+    );
     let n = 1usize << dim;
     let mask = (n - 1) as u32;
     let mut b = GraphBuilder::with_capacity(n, 2 * n).expect("n >= 2");
@@ -174,7 +184,10 @@ pub fn de_bruijn(dim: u32) -> Graph {
 /// impossible for `d < n/4`).
 pub fn random_regular<R: Rng + ?Sized>(n: usize, d: usize, rng: &mut R) -> Graph {
     assert!(d >= 1 && d < n, "need 1 <= d < n (d = {d}, n = {n})");
-    assert!(n * d % 2 == 0, "n * d must be even (n = {n}, d = {d})");
+    assert!(
+        (n * d).is_multiple_of(2),
+        "n * d must be even (n = {n}, d = {d})"
+    );
     const MAX_ATTEMPTS: usize = 64;
     let mut stubs: Vec<u32> = Vec::with_capacity(n * d);
     for _ in 0..MAX_ATTEMPTS {
@@ -185,8 +198,7 @@ pub fn random_regular<R: Rng + ?Sized>(n: usize, d: usize, rng: &mut R) -> Graph
             }
         }
         stubs.shuffle(rng);
-        let mut pairs: Vec<(u32, u32)> =
-            stubs.chunks_exact(2).map(|p| (p[0], p[1])).collect();
+        let mut pairs: Vec<(u32, u32)> = stubs.chunks_exact(2).map(|p| (p[0], p[1])).collect();
         if repair_pairing(&mut pairs, rng) {
             let edges = pairs.iter().map(|&(u, v)| (u.min(v), u.max(v)));
             return Graph::from_edges(n, edges).expect("repaired pairing is simple");
@@ -269,16 +281,22 @@ pub fn gnp_connected<R: Rng + ?Sized>(n: usize, p: f64, rng: &mut R) -> Graph {
 /// Requires every dimension `≥ 3`. `δ = 6`,
 /// `λ₂ = 2 − 2·cos(2π/max(a,b,c))`.
 pub fn torus3d(a: usize, b: usize, c: usize) -> Graph {
-    assert!(a >= 3 && b >= 3 && c >= 3, "torus3d needs all dimensions >= 3");
+    assert!(
+        a >= 3 && b >= 3 && c >= 3,
+        "torus3d needs all dimensions >= 3"
+    );
     let n = a * b * c;
     let idx = |x: usize, y: usize, z: usize| ((x * b + y) * c + z) as u32;
     let mut g = GraphBuilder::with_capacity(n, 3 * n).expect("n >= 27");
     for x in 0..a {
         for y in 0..b {
             for z in 0..c {
-                g.add_edge(idx(x, y, z), idx((x + 1) % a, y, z)).expect("valid torus3d edge");
-                g.add_edge(idx(x, y, z), idx(x, (y + 1) % b, z)).expect("valid torus3d edge");
-                g.add_edge(idx(x, y, z), idx(x, y, (z + 1) % c)).expect("valid torus3d edge");
+                g.add_edge(idx(x, y, z), idx((x + 1) % a, y, z))
+                    .expect("valid torus3d edge");
+                g.add_edge(idx(x, y, z), idx(x, (y + 1) % b, z))
+                    .expect("valid torus3d edge");
+                g.add_edge(idx(x, y, z), idx(x, y, (z + 1) % c))
+                    .expect("valid torus3d edge");
             }
         }
     }
@@ -293,7 +311,8 @@ pub fn wheel(n: usize) -> Graph {
     let mut b = GraphBuilder::with_capacity(n, 2 * rim).expect("n >= 4");
     for i in 0..rim as u32 {
         b.add_edge(0, i + 1).expect("valid spoke");
-        b.add_edge(i + 1, (i + 1) % rim as u32 + 1).expect("valid rim edge");
+        b.add_edge(i + 1, (i + 1) % rim as u32 + 1)
+            .expect("valid rim edge");
     }
     b.build()
 }
@@ -302,7 +321,10 @@ pub fn wheel(n: usize) -> Graph {
 /// classic worst case for hitting times, with `λ₂ = O(1/(k·p²))`; an even
 /// harsher instance than the barbell for the paper's `4δ/λ₂` bound.
 pub fn lollipop(k: usize, p: usize) -> Graph {
-    assert!(k >= 2 && p >= 1, "lollipop needs k >= 2 clique nodes and p >= 1 path nodes");
+    assert!(
+        k >= 2 && p >= 1,
+        "lollipop needs k >= 2 clique nodes and p >= 1 path nodes"
+    );
     let n = k + p;
     let mut b = GraphBuilder::with_capacity(n, k * (k - 1) / 2 + p).expect("n >= 3");
     for u in 0..k as u32 {
@@ -311,7 +333,11 @@ pub fn lollipop(k: usize, p: usize) -> Graph {
         }
     }
     for i in 0..p as u32 {
-        let prev = if i == 0 { k as u32 - 1 } else { k as u32 + i - 1 };
+        let prev = if i == 0 {
+            k as u32 - 1
+        } else {
+            k as u32 + i - 1
+        };
         b.add_edge(prev, k as u32 + i).expect("valid path edge");
     }
     b.build()
@@ -342,10 +368,12 @@ pub fn barbell(k: usize) -> Graph {
     for u in 0..k as u32 {
         for v in (u + 1)..k as u32 {
             b.add_edge(u, v).expect("valid clique edge");
-            b.add_edge(u + k as u32, v + k as u32).expect("valid clique edge");
+            b.add_edge(u + k as u32, v + k as u32)
+                .expect("valid clique edge");
         }
     }
-    b.add_edge(k as u32 - 1, k as u32).expect("valid bridge edge");
+    b.add_edge(k as u32 - 1, k as u32)
+        .expect("valid bridge edge");
     b.build()
 }
 

@@ -80,13 +80,16 @@ pub fn lambda2_wheel(n: usize) -> f64 {
 /// Full Laplacian spectrum of the path `P_n`, ascending:
 /// `λ_k = 2 − 2·cos(kπ/n)`, `k = 0..n`.
 pub fn spectrum_path(n: usize) -> Vec<f64> {
-    (0..n).map(|k| 2.0 - 2.0 * (k as f64 * PI / n as f64).cos()).collect()
+    (0..n)
+        .map(|k| 2.0 - 2.0 * (k as f64 * PI / n as f64).cos())
+        .collect()
 }
 
 /// Full Laplacian spectrum of the cycle `C_n`, ascending.
 pub fn spectrum_cycle(n: usize) -> Vec<f64> {
-    let mut spec: Vec<f64> =
-        (0..n).map(|k| 2.0 - 2.0 * (2.0 * PI * k as f64 / n as f64).cos()).collect();
+    let mut spec: Vec<f64> = (0..n)
+        .map(|k| 2.0 - 2.0 * (2.0 * PI * k as f64 / n as f64).cos())
+        .collect();
     spec.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
     spec
 }

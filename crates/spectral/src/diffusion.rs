@@ -80,7 +80,10 @@ pub fn gamma(m: &SymMatrix) -> Result<f64, EigenError> {
 /// Optimal second-order-scheme parameter `β = 2 / (1 + sqrt(1 − γ²))`
 /// (\[15\], Section on SOS).
 pub fn sos_optimal_beta(gamma: f64) -> f64 {
-    assert!((0.0..1.0).contains(&gamma), "SOS needs 0 <= γ < 1 (got {gamma})");
+    assert!(
+        (0.0..1.0).contains(&gamma),
+        "SOS needs 0 <= γ < 1 (got {gamma})"
+    );
     2.0 / (1.0 + (1.0 - gamma * gamma).sqrt())
 }
 
@@ -135,8 +138,8 @@ mod tests {
         let gam = gamma(&m).unwrap();
         let mut expect = 0.0f64;
         for k in 1..n {
-            let mu =
-                1.0 - (2.0 / 3.0) * (1.0 - (2.0 * std::f64::consts::PI * k as f64 / n as f64).cos());
+            let mu = 1.0
+                - (2.0 / 3.0) * (1.0 - (2.0 * std::f64::consts::PI * k as f64 / n as f64).cos());
             expect = expect.max(mu.abs());
         }
         assert!((gam - expect).abs() < 1e-9, "γ = {gam}, want {expect}");
@@ -144,7 +147,11 @@ mod tests {
 
     #[test]
     fn gamma_strictly_less_than_one_on_connected() {
-        for g in [topology::path(8), topology::hypercube(3), topology::petersen()] {
+        for g in [
+            topology::path(8),
+            topology::hypercube(3),
+            topology::petersen(),
+        ] {
             let gam = gamma(&fos_matrix(&g)).unwrap();
             assert!(gam < 1.0 - 1e-9, "γ = {gam}");
         }

@@ -68,7 +68,11 @@ pub struct LanczosOptions {
 
 impl Default for LanczosOptions {
     fn default() -> Self {
-        LanczosOptions { max_iter: 300, tol: 1e-10, seed: 0x1A2C205 }
+        LanczosOptions {
+            max_iter: 300,
+            tol: 1e-10,
+            seed: 0x1A2C205,
+        }
     }
 }
 
@@ -167,8 +171,8 @@ pub fn lanczos_lambda2(g: &Graph, opts: LanczosOptions) -> (f64, usize) {
             tridiagonal_ql(&mut d, &mut e, m, None).expect("tridiagonal QL on Lanczos T");
             let theta = d.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
             let estimate = (c - theta).max(0.0);
-            let converged = (estimate - prev_estimate).abs()
-                <= opts.tol * estimate.abs().max(1e-300);
+            let converged =
+                (estimate - prev_estimate).abs() <= opts.tol * estimate.abs().max(1e-300);
             prev_estimate = estimate;
             if converged || krylov_exhausted || k + 1 == max_k {
                 return (estimate, k + 1);

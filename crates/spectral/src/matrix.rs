@@ -27,7 +27,10 @@ impl SymMatrix {
     /// Zero matrix of dimension `n`.
     pub fn zeros(n: usize) -> Self {
         assert!(n >= 1, "matrix dimension must be >= 1");
-        SymMatrix { n, data: vec![0.0; n * n] }
+        SymMatrix {
+            n,
+            data: vec![0.0; n * n],
+        }
     }
 
     /// Identity matrix of dimension `n`.

@@ -29,7 +29,10 @@ impl std::fmt::Display for EigenError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             EigenError::NoConvergence { eigenvalue_index } => {
-                write!(f, "QL iteration failed to converge for eigenvalue {eigenvalue_index}")
+                write!(
+                    f,
+                    "QL iteration failed to converge for eigenvalue {eigenvalue_index}"
+                )
             }
         }
     }
@@ -180,7 +183,9 @@ pub fn tridiagonal_ql(
     // gives the standard backward-stable guarantee instead. The scale is
     // taken over the whole tridiagonal up front (shifts keep the iterated
     // entries bounded by the same norm).
-    let tst1 = (0..n).map(|i| d[i].abs() + e[i].abs()).fold(f64::MIN_POSITIVE, f64::max);
+    let tst1 = (0..n)
+        .map(|i| d[i].abs() + e[i].abs())
+        .fold(f64::MIN_POSITIVE, f64::max);
 
     for l in 0..n {
         let mut iter = 0usize;
@@ -198,7 +203,9 @@ pub fn tridiagonal_ql(
             }
             iter += 1;
             if iter > 30 {
-                return Err(EigenError::NoConvergence { eigenvalue_index: l });
+                return Err(EigenError::NoConvergence {
+                    eigenvalue_index: l,
+                });
             }
             // Form the implicit Wilkinson-like shift.
             let mut g = (d[l + 1] - d[l]) / (2.0 * e[l]);

@@ -17,9 +17,8 @@ fn arb_graph() -> impl Strategy<Value = Graph> {
 
 /// Strategy: a random dense symmetric matrix.
 fn arb_sym_matrix() -> impl Strategy<Value = SymMatrix> {
-    (1usize..16, proptest::collection::vec(-10.0f64..10.0, 256)).prop_map(|(n, vals)| {
-        SymMatrix::from_fn(n, |i, j| vals[(i * 16 + j) % vals.len()])
-    })
+    (1usize..16, proptest::collection::vec(-10.0f64..10.0, 256))
+        .prop_map(|(n, vals)| SymMatrix::from_fn(n, |i, j| vals[(i * 16 + j) % vals.len()]))
 }
 
 proptest! {

@@ -15,6 +15,7 @@
 
 use dlb_baselines::{FirstOrderDiscrete, MatchingExchangeDiscrete, MatchingKind};
 use dlb_core::discrete::DiscreteDiffusion;
+use dlb_core::engine::IntoEngine;
 use dlb_core::model::DiscreteBalancer;
 use dlb_core::potential;
 use dlb_examples::arg_usize;
@@ -59,34 +60,35 @@ fn main() {
         queues[ingress] += 250_000;
     }
     let mean = potential::total_discrete(&queues) / n as i128;
-    println!(
-        "burst: 1M jobs on 4 ingress nodes; target steady-state ≈ {mean} jobs/node\n"
-    );
+    println!("burst: 1M jobs on 4 ingress nodes; target steady-state ≈ {mean} jobs/node\n");
 
-    println!("{:<28}{:>12}{:>22}", "protocol", "ticks", "final max−min (jobs)");
+    println!(
+        "{:<28}{:>12}{:>22}",
+        "protocol", "ticks", "final max−min (jobs)"
+    );
     println!("{}", "-".repeat(62));
     let rows: Vec<(&str, (usize, i64))> = vec![
         (
             "BFH Algorithm 1",
-            ticks_to_near_balance(&mut DiscreteDiffusion::new(&g), queues.clone()),
+            ticks_to_near_balance(&mut DiscreteDiffusion::new(&g).engine(), queues.clone()),
         ),
         (
             "dimension exchange [12]",
             ticks_to_near_balance(
-                &mut MatchingExchangeDiscrete::new(&g, MatchingKind::Proposal, 7),
+                &mut MatchingExchangeDiscrete::new(&g, MatchingKind::Proposal, 7).engine(),
                 queues.clone(),
             ),
         ),
         (
             "dim. exchange (greedy M)",
             ticks_to_near_balance(
-                &mut MatchingExchangeDiscrete::new(&g, MatchingKind::GreedyMaximal, 7),
+                &mut MatchingExchangeDiscrete::new(&g, MatchingKind::GreedyMaximal, 7).engine(),
                 queues.clone(),
             ),
         ),
         (
             "first-order scheme [15]",
-            ticks_to_near_balance(&mut FirstOrderDiscrete::new(&g), queues.clone()),
+            ticks_to_near_balance(&mut FirstOrderDiscrete::new(&g).engine(), queues.clone()),
         ),
     ];
     for (name, (ticks, spread)) in &rows {

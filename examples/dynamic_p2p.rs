@@ -12,12 +12,10 @@
 //! (Algorithm 2). This exercises the paper's Section 5 (Theorems 7/8) and
 //! Section 6 (Theorems 12/14) machinery on one realistic workload.
 
-use dlb_core::model::ContinuousBalancer;
+use dlb_core::engine::IntoEngine;
 use dlb_core::potential;
 use dlb_core::random_partner::RandomPartnerContinuous;
-use dlb_dynamics::{
-    run_dynamic_continuous, MarkovChurnSequence, OutageSequence,
-};
+use dlb_dynamics::{run_dynamic_continuous, MarkovChurnSequence, OutageSequence};
 use dlb_examples::{arg_usize, log_sparkline};
 use dlb_graphs::topology;
 use rand::rngs::StdRng;
@@ -32,7 +30,11 @@ fn main() {
     // hold most objects).
     let mut objects = vec![0.0f64; n];
     for o in objects.iter_mut() {
-        *o = if rng.gen::<f64>() < 0.05 { rng.gen_range(5_000.0..20_000.0) } else { rng.gen_range(0.0..100.0) };
+        *o = if rng.gen::<f64>() < 0.05 {
+            rng.gen_range(5_000.0..20_000.0)
+        } else {
+            rng.gen_range(0.0..100.0)
+        };
     }
     let phi0 = potential::phi(&objects);
     println!(
@@ -63,7 +65,7 @@ fn main() {
 
     // Scenario B: no overlay — Algorithm 2 gossip.
     let mut b_loads = objects.clone();
-    let mut alg2 = RandomPartnerContinuous::new(n, 0xD2D);
+    let mut alg2 = RandomPartnerContinuous::new(n, 0xD2D).engine();
     let mut trace = vec![potential::phi(&b_loads)];
     let mut ticks = 0usize;
     while *trace.last().expect("non-empty") > target && ticks < 100_000 {

@@ -10,8 +10,8 @@
 //! CPUs drowning. The heterogeneous protocol balances *normalized* load
 //! `ℓᵢ/cᵢ`, so every node finishes its queue at the same time.
 
+use dlb_core::engine::IntoEngine;
 use dlb_core::heterogeneous::{proportional_target, weighted_phi, HeterogeneousDiffusion};
-use dlb_core::model::ContinuousBalancer;
 use dlb_core::potential;
 use dlb_examples::arg_usize;
 use dlb_graphs::topology;
@@ -26,8 +26,8 @@ fn main() {
     let total_capacity: f64 = caps.iter().sum();
     println!(
         "cluster: {side}×{side} torus, {} GPU nodes (cap 8) + {} CPU nodes (cap 1)",
-        n / 8 + usize::from(n % 8 != 0),
-        n - n / 8 - usize::from(n % 8 != 0),
+        n / 8 + usize::from(!n.is_multiple_of(8)),
+        n - n / 8 - usize::from(!n.is_multiple_of(8)),
     );
 
     // A burst of 100k work items lands on one ingress node.
@@ -38,7 +38,7 @@ fn main() {
     println!("burst: {total} items on one node; ideal per-unit-capacity share ρ = {rho:.1}\n");
 
     // Heterogeneous diffusion.
-    let mut hetero = HeterogeneousDiffusion::new(&g, caps.clone());
+    let mut hetero = HeterogeneousDiffusion::new(&g, caps.clone()).engine();
     let mut h_queue = queue.clone();
     let phi0 = weighted_phi(&h_queue, &caps);
     let mut rounds = 0usize;
@@ -60,13 +60,16 @@ fn main() {
     println!("  worst relative deviation from cᵢ·ρ: {worst_dev:.2e}");
 
     // Contrast: homogeneous diffusion equalizes raw queues.
-    let mut homo = dlb_core::continuous::ContinuousDiffusion::new(&g);
+    let mut homo = dlb_core::continuous::ContinuousDiffusion::new(&g).engine();
     let mut q2 = queue;
     for _ in 0..rounds.max(2000) {
         homo.round(&mut q2);
     }
     println!("\nplain Algorithm 1 (capacity-blind), same rounds:");
-    println!("  GPU node queue ≈ {:.1}   CPU node queue ≈ {:.1}", q2[0], q2[1]);
+    println!(
+        "  GPU node queue ≈ {:.1}   CPU node queue ≈ {:.1}",
+        q2[0], q2[1]
+    );
     println!(
         "  → every queue ≈ {:.1} items: GPUs idle 8× too early; makespan is {:.2}× worse.",
         potential::mean(&q2),

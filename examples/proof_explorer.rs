@@ -16,7 +16,7 @@
 //! 3. no activation violates Lemma 1, and the round satisfies Lemma 2.
 
 use dlb_core::continuous::ContinuousDiffusion;
-use dlb_core::model::ContinuousBalancer;
+use dlb_core::engine::IntoEngine;
 use dlb_core::potential::phi;
 use dlb_core::seq::sequentialized_round;
 use dlb_graphs::topology;
@@ -31,7 +31,7 @@ fn main() {
 
     // The concurrent round (what the machines actually do).
     let mut concurrent = init.clone();
-    let stats = ContinuousDiffusion::new(&g).round(&mut concurrent);
+    let stats = ContinuousDiffusion::new(&g).engine().round(&mut concurrent);
 
     // The sequentialized replay (what the proof pretends happens).
     let mut replay = init.clone();
@@ -52,7 +52,11 @@ fn main() {
             a.weight,
             a.drop,
             a.lemma1_bound,
-            if a.satisfies_lemma1(1e-9) { "✓" } else { "✗ VIOLATION" }
+            if a.satisfies_lemma1(1e-9) {
+                "✓"
+            } else {
+                "✗ VIOLATION"
+            }
         );
     }
 
@@ -83,10 +87,7 @@ fn main() {
 
     println!(
         "\nconcurrent round stats: {} active edges, total flow {:.2}, Φ {} → {}",
-        stats.active_edges,
-        stats.total_flow,
-        stats.phi_before,
-        stats.phi_after
+        stats.active_edges, stats.total_flow, stats.phi_before, stats.phi_after
     );
     println!(
         "\nThis is Theorem 4's engine: drop ≥ (1/4δ)·Σ(ℓᵢ−ℓⱼ)² ≥ (λ₂/4δ)·Φ per round \

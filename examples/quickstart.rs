@@ -11,6 +11,7 @@
 
 use dlb_core::continuous::ContinuousDiffusion;
 use dlb_core::discrete::DiscreteDiffusion;
+use dlb_core::engine::IntoEngine;
 use dlb_core::runner::{rounds_to_epsilon, run_discrete};
 use dlb_core::{bounds, potential};
 use dlb_examples::{arg_usize, log_sparkline};
@@ -20,7 +21,10 @@ use dlb_spectral::closed_form;
 fn main() {
     let n = arg_usize("--n", 1024);
     let side = (n as f64).sqrt().round() as usize;
-    assert!(side >= 3 && side * side == n, "--n must be a perfect square ≥ 9");
+    assert!(
+        side >= 3 && side * side == n,
+        "--n must be a perfect square ≥ 9"
+    );
 
     // 1. The network: a torus, the canonical NUMA/mesh-like topology.
     let g = topology::torus2d(side, side);
@@ -34,7 +38,7 @@ fn main() {
     let phi0 = potential::phi(&loads);
     let eps = 1e-6;
     let t_paper = bounds::theorem4_rounds(delta, lambda2, eps);
-    let mut exec = ContinuousDiffusion::new(&g);
+    let mut exec = ContinuousDiffusion::new(&g).engine();
     let out = rounds_to_epsilon(&mut exec, &mut loads, eps, t_paper.ceil() as usize + 10);
     println!("\ncontinuous Algorithm 1 (spike → ε = {eps:.0e}):");
     println!("  Φ₀ = {phi0:.3e}");
@@ -51,7 +55,7 @@ fn main() {
     let threshold = bounds::theorem6_threshold(delta, lambda2, n);
     let threshold_hat = bounds::theorem6_threshold_hat(delta, lambda2, n);
     let t6 = bounds::theorem6_rounds(delta, lambda2, phi0_disc, n);
-    let mut dexec = DiscreteDiffusion::new(&g);
+    let mut dexec = DiscreteDiffusion::new(&g).engine();
     let dout = run_discrete(
         &mut dexec,
         &mut tokens,

@@ -43,7 +43,9 @@ pub fn downsample(values: &[f64], max_len: usize) -> Vec<f64> {
         return values.to_vec();
     }
     let stride = (values.len() - 1) as f64 / (max_len - 1) as f64;
-    (0..max_len).map(|i| values[(i as f64 * stride).round() as usize]).collect()
+    (0..max_len)
+        .map(|i| values[(i as f64 * stride).round() as usize])
+        .collect()
 }
 
 /// Parses `--flag value`-style overrides out of `std::env::args`.
@@ -59,7 +61,9 @@ pub fn arg_value(name: &str) -> Option<String> {
 
 /// `--n 128`-style usize override with a default.
 pub fn arg_usize(name: &str, default: usize) -> usize {
-    arg_value(name).and_then(|v| v.parse().ok()).unwrap_or(default)
+    arg_value(name)
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
 }
 
 #[cfg(test)]

@@ -1,0 +1,192 @@
+//! Engine-level property tests: for **every** `Protocol` implementation in
+//! the workspace, the serial and parallel executors must produce
+//! bit-identical load vectors on arbitrary graphs, initial loads, and
+//! thread counts — the structural guarantee the unified engine owes the
+//! paper's determinism story.
+//!
+//! Randomized protocols participate too: their RNG lives inside the
+//! protocol and `begin_round` runs before the gather fans out, so equal
+//! seeds mean equal rounds regardless of executor.
+
+use dlb_baselines::{
+    ChebyshevContinuous, FirstOrderContinuous, FirstOrderDiscrete, MatchingExchangeContinuous,
+    MatchingExchangeDiscrete, MatchingKind, SecondOrderContinuous,
+};
+use dlb_core::continuous::{ContinuousDiffusion, GeneralizedDiffusion};
+use dlb_core::discrete::DiscreteDiffusion;
+use dlb_core::engine::{Engine, Protocol};
+use dlb_core::heterogeneous::{HeterogeneousDiffusion, HeterogeneousDiscreteDiffusion};
+use dlb_core::random_partner::{RandomPartnerContinuous, RandomPartnerDiscrete};
+use dlb_graphs::{topology, Graph};
+use proptest::prelude::*;
+
+fn arb_graph() -> impl Strategy<Value = Graph> {
+    (0u8..5, 6usize..40).prop_map(|(family, n)| match family {
+        0 => topology::cycle(n),
+        1 => topology::star(n),
+        2 => topology::binary_tree(n),
+        3 => topology::wheel(n.max(4)),
+        _ => topology::grid2d(3, n / 3),
+    })
+}
+
+fn graph_and_loads() -> impl Strategy<Value = (Graph, Vec<f64>, usize)> {
+    arb_graph().prop_flat_map(|g| {
+        let n = g.n();
+        (
+            Just(g),
+            proptest::collection::vec(0.0f64..10_000.0, n),
+            2usize..9,
+        )
+    })
+}
+
+fn graph_and_tokens() -> impl Strategy<Value = (Graph, Vec<i64>, usize)> {
+    arb_graph().prop_flat_map(|g| {
+        let n = g.n();
+        (
+            Just(g),
+            proptest::collection::vec(0i64..1_000_000, n),
+            2usize..9,
+        )
+    })
+}
+
+/// Runs `rounds` rounds serially and in parallel from the same state and
+/// asserts bitwise equality of the final vectors.
+fn assert_bit_identical<P, M>(make: M, init: &[P::Load], threads: usize, rounds: usize)
+where
+    P: Protocol + Sync,
+    M: Fn() -> P,
+{
+    let mut serial = init.to_vec();
+    let mut serial_engine = Engine::serial(make());
+    for _ in 0..rounds {
+        serial_engine.round(&mut serial);
+    }
+    let mut parallel = init.to_vec();
+    let mut parallel_engine = Engine::parallel(make(), threads);
+    for _ in 0..rounds {
+        parallel_engine.round(&mut parallel);
+    }
+    assert_eq!(
+        serial,
+        parallel,
+        "{}: serial and parallel executors diverged at {threads} threads",
+        serial_engine.protocol().name()
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn alg1_continuous_serial_parallel_identical((g, loads, threads) in graph_and_loads()) {
+        assert_bit_identical(|| ContinuousDiffusion::new(&g), &loads, threads, 6);
+    }
+
+    #[test]
+    fn alg1_generalized_serial_parallel_identical((g, loads, threads) in graph_and_loads()) {
+        assert_bit_identical(|| GeneralizedDiffusion::new(&g, 6.0), &loads, threads, 6);
+    }
+
+    #[test]
+    fn alg1_discrete_serial_parallel_identical((g, tokens, threads) in graph_and_tokens()) {
+        assert_bit_identical(|| DiscreteDiffusion::new(&g), &tokens, threads, 6);
+    }
+
+    #[test]
+    fn heterogeneous_serial_parallel_identical((g, loads, threads) in graph_and_loads()) {
+        let caps: Vec<f64> = (0..g.n()).map(|i| 0.5 + (i % 5) as f64).collect();
+        assert_bit_identical(|| HeterogeneousDiffusion::new(&g, caps.clone()), &loads, threads, 6);
+    }
+
+    #[test]
+    fn heterogeneous_discrete_serial_parallel_identical(
+        (g, tokens, threads) in graph_and_tokens()
+    ) {
+        let caps: Vec<f64> = (0..g.n()).map(|i| 1.0 + (i % 3) as f64 * 0.5).collect();
+        assert_bit_identical(
+            || HeterogeneousDiscreteDiffusion::new(&g, caps.clone()),
+            &tokens,
+            threads,
+            6,
+        );
+    }
+
+    #[test]
+    fn random_partner_continuous_serial_parallel_identical(
+        (g, loads, threads) in graph_and_loads(),
+        seed in 0u64..1_000_000,
+    ) {
+        let n = g.n(); // graph only provides the node count here
+        assert_bit_identical(|| RandomPartnerContinuous::new(n, seed), &loads, threads, 6);
+    }
+
+    #[test]
+    fn random_partner_discrete_serial_parallel_identical(
+        (g, tokens, threads) in graph_and_tokens(),
+        seed in 0u64..1_000_000,
+    ) {
+        let n = g.n();
+        assert_bit_identical(|| RandomPartnerDiscrete::new(n, seed), &tokens, threads, 6);
+    }
+
+    #[test]
+    fn fos_serial_parallel_identical((g, loads, threads) in graph_and_loads()) {
+        assert_bit_identical(|| FirstOrderContinuous::new(&g), &loads, threads, 6);
+    }
+
+    #[test]
+    fn fos_discrete_serial_parallel_identical((g, tokens, threads) in graph_and_tokens()) {
+        assert_bit_identical(|| FirstOrderDiscrete::new(&g), &tokens, threads, 6);
+    }
+
+    #[test]
+    fn sos_serial_parallel_identical((g, loads, threads) in graph_and_loads()) {
+        assert_bit_identical(|| SecondOrderContinuous::with_beta(&g, 1.7), &loads, threads, 6);
+    }
+
+    #[test]
+    fn chebyshev_serial_parallel_identical((g, loads, threads) in graph_and_loads()) {
+        assert_bit_identical(|| ChebyshevContinuous::with_gamma(&g, 0.9), &loads, threads, 6);
+    }
+
+    #[test]
+    fn matching_exchange_serial_parallel_identical(
+        (g, loads, threads) in graph_and_loads(),
+        seed in 0u64..1_000_000,
+    ) {
+        assert_bit_identical(
+            || MatchingExchangeContinuous::new(&g, MatchingKind::Proposal, seed),
+            &loads,
+            threads,
+            6,
+        );
+    }
+
+    #[test]
+    fn matching_exchange_discrete_serial_parallel_identical(
+        (g, tokens, threads) in graph_and_tokens(),
+        seed in 0u64..1_000_000,
+    ) {
+        assert_bit_identical(
+            || MatchingExchangeDiscrete::new(&g, MatchingKind::GreedyMaximal, seed),
+            &tokens,
+            threads,
+            6,
+        );
+    }
+
+    #[test]
+    fn conservation_exact_for_discrete_protocols((g, tokens, threads) in graph_and_tokens()) {
+        let total: i128 = tokens.iter().map(|&t| t as i128).sum();
+        let mut loads = tokens.clone();
+        let mut engine = Engine::parallel(DiscreteDiffusion::new(&g), threads);
+        for _ in 0..10 {
+            engine.round(&mut loads);
+        }
+        let after: i128 = loads.iter().map(|&t| t as i128).sum();
+        prop_assert_eq!(total, after, "token conservation violated");
+    }
+}

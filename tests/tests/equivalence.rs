@@ -10,8 +10,7 @@
 
 use dlb_core::continuous::ContinuousDiffusion;
 use dlb_core::discrete::DiscreteDiffusion;
-use dlb_core::model::{ContinuousBalancer, DiscreteBalancer};
-use dlb_core::parallel::{ParallelContinuousDiffusion, ParallelDiscreteDiffusion};
+use dlb_core::engine::IntoEngine;
 use dlb_core::random_partner::{partner_round, sample_partners};
 use dlb_core::seq::{sequentialized_round, sequentialized_round_discrete};
 use dlb_dynamics::partners::sample_to_graph;
@@ -34,7 +33,7 @@ fn sequentialized_equals_concurrent_on_every_graph() {
     for (name, g) in standard_small_graphs() {
         let init = continuous_loads_for(g.n(), 0xA11);
         let mut conc = init.clone();
-        ContinuousDiffusion::new(&g).round(&mut conc);
+        ContinuousDiffusion::new(&g).engine().round(&mut conc);
         let mut seq = init;
         sequentialized_round(&g, &mut seq);
         for (i, (a, b)) in conc.iter().zip(&seq).enumerate() {
@@ -51,7 +50,7 @@ fn discrete_sequentialized_equals_concurrent_exactly_on_every_graph() {
     for (name, g) in standard_small_graphs() {
         let init = discrete_loads_for(g.n(), 0xA12);
         let mut conc = init.clone();
-        DiscreteDiffusion::new(&g).round(&mut conc);
+        DiscreteDiffusion::new(&g).engine().round(&mut conc);
         let mut seq = init;
         sequentialized_round_discrete(&g, &mut seq);
         assert_eq!(conc, seq, "{name}: discrete replay deviated");
@@ -63,13 +62,13 @@ fn parallel_continuous_bit_identical_on_every_graph() {
     for (name, g) in standard_small_graphs() {
         let init = continuous_loads_for(g.n(), 0xA13);
         let mut serial = init.clone();
-        let mut serial_exec = ContinuousDiffusion::new(&g);
+        let mut serial_exec = ContinuousDiffusion::new(&g).engine();
         for _ in 0..5 {
             serial_exec.round(&mut serial);
         }
         for threads in [2usize, 3, 7] {
             let mut par = init.clone();
-            let mut par_exec = ParallelContinuousDiffusion::new(&g, threads);
+            let mut par_exec = ContinuousDiffusion::new(&g).engine_parallel(threads);
             for _ in 0..5 {
                 par_exec.round(&mut par);
             }
@@ -83,12 +82,12 @@ fn parallel_discrete_bit_identical_on_every_graph() {
     for (name, g) in standard_small_graphs() {
         let init = discrete_loads_for(g.n(), 0xA14);
         let mut serial = init.clone();
-        let mut serial_exec = DiscreteDiffusion::new(&g);
+        let mut serial_exec = DiscreteDiffusion::new(&g).engine();
         for _ in 0..5 {
             serial_exec.round(&mut serial);
         }
         let mut par = init;
-        let mut par_exec = ParallelDiscreteDiffusion::new(&g, 4);
+        let mut par_exec = DiscreteDiffusion::new(&g).engine_parallel(4);
         for _ in 0..5 {
             par_exec.round(&mut par);
         }
@@ -104,7 +103,7 @@ fn algorithm2_is_algorithm1_on_link_graph() {
         let g = sample_to_graph(n, &sample);
         let init = continuous_loads_for(n, 0xA16);
         let mut via1 = init.clone();
-        ContinuousDiffusion::new(&g).round(&mut via1);
+        ContinuousDiffusion::new(&g).engine().round(&mut via1);
         let mut via2 = init;
         partner_round(&sample, &mut via2);
         for (a, b) in via1.iter().zip(&via2) {
@@ -118,7 +117,7 @@ fn dynamic_static_sequence_equals_fixed_network() {
     for (name, g) in standard_small_graphs() {
         let init = continuous_loads_for(g.n(), 0xA17);
         let mut fixed = init.clone();
-        let mut exec = ContinuousDiffusion::new(&g);
+        let mut exec = ContinuousDiffusion::new(&g).engine();
         for _ in 0..7 {
             exec.round(&mut fixed);
         }

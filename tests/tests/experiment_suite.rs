@@ -16,7 +16,12 @@ fn all_experiments_run_and_validate_in_quick_mode() {
         assert!(text.len() > 100, "{}: suspiciously short report", report.id);
         assert!(!report.tables.is_empty(), "{}: no tables", report.id);
         for t in &report.tables {
-            assert!(!t.rows.is_empty(), "{}: empty table '{}'", report.id, t.title);
+            assert!(
+                !t.rows.is_empty(),
+                "{}: empty table '{}'",
+                report.id,
+                t.title
+            );
         }
         // Every experiment carries a machine-checkable verdict, and it
         // passes (the `repro verify` CI gate).

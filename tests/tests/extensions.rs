@@ -5,11 +5,11 @@
 use dlb_analysis::localdiv::{local_divergence, max_discrete_deviation};
 use dlb_baselines::{ChebyshevContinuous, FirstOrderContinuous, SecondOrderContinuous};
 use dlb_core::continuous::{ContinuousDiffusion, GeneralizedDiffusion};
+use dlb_core::engine::IntoEngine;
 use dlb_core::heterogeneous::{
-    proportional_target, weighted_phi, HeterogeneousDiffusion,
-    HeterogeneousDiscreteDiffusion,
+    proportional_target, weighted_phi, HeterogeneousDiffusion, HeterogeneousDiscreteDiffusion,
 };
-use dlb_core::model::{ContinuousBalancer, DiscreteBalancer};
+use dlb_core::model::ContinuousBalancer;
 use dlb_core::potential;
 use dlb_core::runner::rounds_to_epsilon;
 use dlb_tests::standard_small_graphs;
@@ -22,8 +22,10 @@ fn heterogeneous_unit_capacity_matches_alg1_on_every_graph() {
         let init: Vec<f64> = (0..g.n()).map(|_| r.gen_range(0.0..1000.0)).collect();
         let mut a = init.clone();
         let mut b = init;
-        ContinuousDiffusion::new(&g).round(&mut a);
-        HeterogeneousDiffusion::new(&g, vec![1.0; g.n()]).round(&mut b);
+        ContinuousDiffusion::new(&g).engine().round(&mut a);
+        HeterogeneousDiffusion::new(&g, vec![1.0; g.n()])
+            .engine()
+            .round(&mut b);
         for (x, y) in a.iter().zip(&b) {
             assert!((x - y).abs() < 1e-9, "{name}: {x} vs {y}");
         }
@@ -37,7 +39,7 @@ fn heterogeneous_proportional_on_every_graph() {
         let caps: Vec<f64> = (0..n).map(|i| 1.0 + (i % 4) as f64).collect();
         let mut loads = vec![0.0; n];
         loads[0] = 1000.0;
-        let mut exec = HeterogeneousDiffusion::new(&g, caps.clone());
+        let mut exec = HeterogeneousDiffusion::new(&g, caps.clone()).engine();
         let phi0 = weighted_phi(&loads, &caps);
         let mut rounds = 0;
         while weighted_phi(&loads, &caps) > 1e-12 * phi0 && rounds < 500_000 {
@@ -64,11 +66,15 @@ fn heterogeneous_discrete_plateau_and_conservation() {
         let mut loads = vec![0i64; n];
         loads[0] = 100_000;
         let total = potential::total_discrete(&loads);
-        let mut exec = HeterogeneousDiscreteDiffusion::new(&g, caps);
+        let mut exec = HeterogeneousDiscreteDiffusion::new(&g, caps).engine();
         for _ in 0..3000 {
             exec.round(&mut loads);
         }
-        assert_eq!(potential::total_discrete(&loads), total, "{name}: tokens lost");
+        assert_eq!(
+            potential::total_discrete(&loads),
+            total,
+            "{name}: tokens lost"
+        );
     }
 }
 
@@ -80,10 +86,10 @@ fn acceleration_ladder_on_slow_graph() {
         loads[0] = 480.0;
         rounds_to_epsilon(b, &mut loads, 1e-6, 2_000_000)
     };
-    let alg1 = race(&mut ContinuousDiffusion::new(&g));
-    let fos = race(&mut FirstOrderContinuous::new(&g));
-    let sos = race(&mut SecondOrderContinuous::with_optimal_beta(&g));
-    let cheb = race(&mut ChebyshevContinuous::new(&g));
+    let alg1 = race(&mut ContinuousDiffusion::new(&g).engine());
+    let fos = race(&mut FirstOrderContinuous::new(&g).engine());
+    let sos = race(&mut SecondOrderContinuous::with_optimal_beta(&g).engine());
+    let cheb = race(&mut ChebyshevContinuous::new(&g).engine());
     assert!(alg1.converged && fos.converged && sos.converged && cheb.converged);
     assert!(fos.rounds < alg1.rounds);
     assert!(sos.rounds < fos.rounds);
@@ -95,7 +101,7 @@ fn generalized_divisor_sweep_stability() {
     for (name, g) in standard_small_graphs() {
         for k in [2.0f64, 4.0, 16.0] {
             let mut loads: Vec<f64> = (0..g.n()).map(|i| ((i * 13) % 29) as f64).collect();
-            let mut exec = GeneralizedDiffusion::new(&g, k);
+            let mut exec = GeneralizedDiffusion::new(&g, k).engine();
             let mut last = potential::phi(&loads);
             for _ in 0..30 {
                 let s = exec.round(&mut loads);

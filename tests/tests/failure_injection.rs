@@ -41,12 +41,22 @@ fn intermittent_outages_only_delay_convergence() {
     let target = 1e-6 * potential::phi(&loads_clean);
 
     let mut clean_seq = StaticSequence::new(ground.clone());
-    let clean =
-        run_dynamic_continuous(&mut clean_seq, &mut loads_clean.clone(), target, 100_000, false);
+    let clean = run_dynamic_continuous(
+        &mut clean_seq,
+        &mut loads_clean.clone(),
+        target,
+        100_000,
+        false,
+    );
 
     let mut faulty_seq = OutageSequence::new(StaticSequence::new(ground), 3);
-    let faulty =
-        run_dynamic_continuous(&mut faulty_seq, &mut loads_clean.clone(), target, 100_000, false);
+    let faulty = run_dynamic_continuous(
+        &mut faulty_seq,
+        &mut loads_clean.clone(),
+        target,
+        100_000,
+        false,
+    );
 
     assert!(clean.converged && faulty.converged);
     // With every 3rd round dead, the slowdown is exactly the 3/2 stretch
@@ -96,8 +106,7 @@ fn potential_never_increases_under_any_churn() {
         let mut loads: Vec<f64> = (0..16).map(|i| ((i * 31) % 47) as f64).collect();
         let mut last = potential::phi(&loads);
         for _ in 0..50 {
-            let out =
-                run_dynamic_continuous(seq.as_mut(), &mut loads, f64::NEG_INFINITY, 1, false);
+            let out = run_dynamic_continuous(seq.as_mut(), &mut loads, f64::NEG_INFINITY, 1, false);
             assert!(
                 out.final_phi <= last + 1e-9,
                 "{}: potential increased {last} -> {}",

@@ -1,0 +1,84 @@
+//! Legacy-equivalence golden tests: the unified engine must reproduce the
+//! **exact** final loads of the deleted pre-engine executors.
+//!
+//! The fixtures in `golden/fixtures_data.rs` were captured by running the
+//! seed tree's `ContinuousDiffusion`/`DiscreteDiffusion` serial executors
+//! (hand-rolled per-protocol loops with on-the-fly degree lookups) for 12
+//! rounds on deterministic random graphs. The engine's precomputed-divisor
+//! kernels perform bit-for-bit the same operations, so equality is exact:
+//! `f64` results are compared by bit pattern, token counts as integers.
+
+mod golden {
+    pub mod fixtures_data;
+}
+
+use dlb_core::continuous::ContinuousDiffusion;
+use dlb_core::discrete::DiscreteDiffusion;
+use dlb_core::engine::IntoEngine;
+use dlb_graphs::Graph;
+use golden::fixtures_data::FIXTURES;
+
+const ROUNDS: usize = 12;
+
+fn rebuild(edges: &[(u32, u32)], n: usize) -> Graph {
+    Graph::from_edges(n, edges.iter().copied()).expect("fixture graph is valid")
+}
+
+#[test]
+fn continuous_engine_reproduces_legacy_executor_bitwise() {
+    for &(name, edges, n, init_bits, final_bits, _, _) in FIXTURES {
+        let g = rebuild(edges, n);
+        let mut loads: Vec<f64> = init_bits.iter().map(|&b| f64::from_bits(b)).collect();
+        let mut engine = ContinuousDiffusion::new(&g).engine();
+        for _ in 0..ROUNDS {
+            engine.round(&mut loads);
+        }
+        for (i, (&got, &want)) in loads.iter().zip(final_bits).enumerate() {
+            assert_eq!(
+                got.to_bits(),
+                want,
+                "{name}: node {i}: engine {got:?} ({:#018x}) != legacy {:?} ({want:#018x})",
+                got.to_bits(),
+                f64::from_bits(want),
+            );
+        }
+    }
+}
+
+#[test]
+fn discrete_engine_reproduces_legacy_executor_exactly() {
+    for &(name, edges, n, _, _, init_tokens, final_tokens) in FIXTURES {
+        let g = rebuild(edges, n);
+        let mut loads: Vec<i64> = init_tokens.to_vec();
+        let mut engine = DiscreteDiffusion::new(&g).engine();
+        for _ in 0..ROUNDS {
+            engine.round(&mut loads);
+        }
+        assert_eq!(
+            loads.as_slice(),
+            final_tokens,
+            "{name}: discrete tokens deviate"
+        );
+    }
+}
+
+#[test]
+fn parallel_engine_reproduces_legacy_executor_bitwise() {
+    // The legacy parallel executors were bit-identical to the legacy
+    // serial ones; the engine's parallel executor must therefore hit the
+    // same golden bits.
+    for &(name, edges, n, init_bits, final_bits, _, _) in FIXTURES {
+        let g = rebuild(edges, n);
+        let mut loads: Vec<f64> = init_bits.iter().map(|&b| f64::from_bits(b)).collect();
+        let mut engine = ContinuousDiffusion::new(&g).engine_parallel(3);
+        for _ in 0..ROUNDS {
+            engine.round(&mut loads);
+        }
+        let got: Vec<u64> = loads.iter().map(|l| l.to_bits()).collect();
+        assert_eq!(
+            got.as_slice(),
+            final_bits,
+            "{name}: parallel engine deviates"
+        );
+    }
+}

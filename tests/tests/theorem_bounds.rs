@@ -3,7 +3,7 @@
 
 use dlb_core::continuous::ContinuousDiffusion;
 use dlb_core::discrete::DiscreteDiffusion;
-use dlb_core::model::DiscreteBalancer;
+use dlb_core::engine::IntoEngine;
 use dlb_core::runner::{rounds_to_epsilon, run_discrete};
 use dlb_core::{bounds, potential};
 use dlb_spectral::eigen::laplacian_lambda2;
@@ -18,7 +18,7 @@ fn theorem4_bound_holds_on_all_graphs() {
         let budget = bounds::theorem4_rounds(g.max_degree(), lambda2, eps).ceil() as usize;
         let mut loads = vec![0.0; n];
         loads[0] = 1000.0 * n as f64;
-        let mut exec = ContinuousDiffusion::new(&g);
+        let mut exec = ContinuousDiffusion::new(&g).engine();
         let out = rounds_to_epsilon(&mut exec, &mut loads, eps, budget);
         assert!(
             out.converged,
@@ -34,8 +34,7 @@ fn theorem4_per_round_drop_factor_holds() {
         let lambda2 = laplacian_lambda2(&g).expect("λ₂");
         let rate = bounds::theorem4_drop_factor(g.max_degree(), lambda2);
         let mut loads: Vec<f64> = (0..n).map(|i| ((i * 83 + 19) % 257) as f64).collect();
-        let mut exec = ContinuousDiffusion::new(&g);
-        use dlb_core::model::ContinuousBalancer;
+        let mut exec = ContinuousDiffusion::new(&g).engine();
         for round in 0..50 {
             let s = exec.round(&mut loads);
             if s.phi_before < 1e-9 {
@@ -61,7 +60,7 @@ fn theorem6_bound_and_plateau_hold_on_all_graphs() {
         let phi0 = potential::phi_discrete(&loads);
         let threshold_hat = bounds::theorem6_threshold_hat(delta, lambda2, n);
         let budget = bounds::theorem6_rounds(delta, lambda2, phi0, n).ceil() as usize + 1;
-        let mut exec = DiscreteDiffusion::new(&g);
+        let mut exec = DiscreteDiffusion::new(&g).engine();
         let out = run_discrete(&mut exec, &mut loads, threshold_hat, budget, false);
         assert!(
             out.converged,
@@ -78,7 +77,7 @@ fn discrete_potential_monotone_on_all_graphs() {
         let n = g.n();
         let mut loads: Vec<i64> = (0..n).map(|i| ((i * 9973 + 11) % 100_000) as i64).collect();
         let total_before = potential::total_discrete(&loads);
-        let mut exec = DiscreteDiffusion::new(&g);
+        let mut exec = DiscreteDiffusion::new(&g).engine();
         let mut last = potential::phi_hat(&loads);
         for round in 0..100 {
             let s = exec.round(&mut loads);
@@ -89,7 +88,11 @@ fn discrete_potential_monotone_on_all_graphs() {
             );
             last = s.phi_hat_after;
         }
-        assert_eq!(potential::total_discrete(&loads), total_before, "{name}: tokens lost");
+        assert_eq!(
+            potential::total_discrete(&loads),
+            total_before,
+            "{name}: tokens lost"
+        );
     }
 }
 
@@ -106,11 +109,11 @@ fn gm_baseline_slower_than_alg1_in_rounds() {
         spike[0] = 100.0 * n as f64;
 
         let mut a_loads = spike.clone();
-        let mut alg1 = ContinuousDiffusion::new(&g);
+        let mut alg1 = ContinuousDiffusion::new(&g).engine();
         let a = rounds_to_epsilon(&mut alg1, &mut a_loads, eps, 1_000_000);
 
         let mut g_loads = spike;
-        let mut gm = MatchingExchangeContinuous::new(&g, MatchingKind::Proposal, 9);
+        let mut gm = MatchingExchangeContinuous::new(&g, MatchingKind::Proposal, 9).engine();
         let m = rounds_to_epsilon(&mut gm, &mut g_loads, eps, 1_000_000);
 
         assert!(a.converged && m.converged);

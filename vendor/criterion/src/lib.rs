@@ -1,0 +1,321 @@
+//! Offline shim for the subset of the `criterion` API this workspace uses.
+//!
+//! Implements a small wall-clock benchmark harness behind criterion's
+//! interface: `criterion_group!` / `criterion_main!`, benchmark groups,
+//! [`BenchmarkId`], and `Bencher::iter`. Each benchmark warms up for the
+//! configured duration, then collects `sample_size` timed samples and
+//! reports min / median / mean per-iteration times on stdout.
+//!
+//! Command-line integration is minimal: any non-flag argument is treated as
+//! a substring filter on the full benchmark id (matching `cargo bench --
+//! <filter>`), and the flags cargo passes to bench binaries (`--bench`,
+//! `--test`) are accepted and ignored. Under `--test` each benchmark runs
+//! exactly one iteration so `cargo test --benches` stays fast.
+
+use std::time::{Duration, Instant};
+
+/// Top-level harness state (subset of upstream `Criterion`).
+#[derive(Debug, Clone)]
+pub struct Criterion {
+    sample_size: usize,
+    warm_up_time: Duration,
+    measurement_time: Duration,
+    filter: Option<String>,
+    test_mode: bool,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        let mut filter = None;
+        let mut test_mode = false;
+        for arg in std::env::args().skip(1) {
+            match arg.as_str() {
+                "--test" => test_mode = true,
+                "--bench" | "--verbose" | "--quiet" | "--noplot" => {}
+                a if a.starts_with("--") => {}
+                a => filter = Some(a.to_string()),
+            }
+        }
+        Criterion {
+            sample_size: 20,
+            warm_up_time: Duration::from_millis(300),
+            measurement_time: Duration::from_millis(1000),
+            filter,
+            test_mode,
+        }
+    }
+}
+
+impl Criterion {
+    /// Sets the number of timed samples per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        assert!(n > 0, "sample_size must be positive");
+        self.sample_size = n;
+        self
+    }
+
+    /// Sets the warm-up duration.
+    pub fn warm_up_time(mut self, d: Duration) -> Self {
+        self.warm_up_time = d;
+        self
+    }
+
+    /// Sets the measurement duration budget.
+    pub fn measurement_time(mut self, d: Duration) -> Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+        }
+    }
+
+    /// Runs a single stand-alone benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: impl Into<BenchmarkId>, f: F) {
+        let id = id.into();
+        self.run_one(&id.full_name(), f);
+    }
+
+    fn run_one<F: FnMut(&mut Bencher)>(&self, full_id: &str, mut f: F) {
+        if let Some(filter) = &self.filter {
+            if !full_id.contains(filter.as_str()) {
+                return;
+            }
+        }
+        let mut bencher = Bencher {
+            sample_size: if self.test_mode { 1 } else { self.sample_size },
+            warm_up_time: if self.test_mode {
+                Duration::ZERO
+            } else {
+                self.warm_up_time
+            },
+            measurement_time: if self.test_mode {
+                Duration::ZERO
+            } else {
+                self.measurement_time
+            },
+            samples: Vec::new(),
+        };
+        f(&mut bencher);
+        bencher.report(full_id);
+    }
+}
+
+/// A benchmark identifier `function_name/parameter` (subset of upstream).
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    function: String,
+    parameter: Option<String>,
+}
+
+impl BenchmarkId {
+    /// Creates an id from a function name and a displayable parameter.
+    pub fn new(function: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            function: function.into(),
+            parameter: Some(parameter.to_string()),
+        }
+    }
+
+    /// Creates an id from a parameter alone.
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            function: String::new(),
+            parameter: Some(parameter.to_string()),
+        }
+    }
+
+    fn full_name(&self) -> String {
+        match &self.parameter {
+            Some(p) if self.function.is_empty() => p.clone(),
+            Some(p) => format!("{}/{}", self.function, p),
+            None => self.function.clone(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId {
+            function: s.to_string(),
+            parameter: None,
+        }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId {
+            function: s,
+            parameter: None,
+        }
+    }
+}
+
+/// A group of related benchmarks sharing an id prefix.
+pub struct BenchmarkGroup<'c> {
+    criterion: &'c mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Benchmarks `f` under `group_name/id`.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: impl Into<BenchmarkId>, f: F) {
+        let full = format!("{}/{}", self.name, id.into().full_name());
+        self.criterion.run_one(&full, f);
+    }
+
+    /// Benchmarks `f` with a borrowed input under `group_name/id`.
+    pub fn bench_with_input<I: ?Sized, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: F,
+    ) {
+        let full = format!("{}/{}", self.name, id.into().full_name());
+        self.criterion.run_one(&full, |b| f(b, input));
+    }
+
+    /// Ends the group (upstream flushes reports here; the shim reports
+    /// eagerly, so this is a no-op kept for API compatibility).
+    pub fn finish(self) {}
+}
+
+/// Timing driver passed to benchmark closures.
+pub struct Bencher {
+    sample_size: usize,
+    warm_up_time: Duration,
+    measurement_time: Duration,
+    samples: Vec<Duration>,
+}
+
+impl Bencher {
+    /// Times repeated calls of `routine`.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warm-up: run the routine until the warm-up budget is spent,
+        // measuring a rough per-iteration cost to size the sample batches.
+        let warm_start = Instant::now();
+        let mut warm_iters: u64 = 0;
+        loop {
+            std::hint::black_box(routine());
+            warm_iters += 1;
+            if warm_start.elapsed() >= self.warm_up_time {
+                break;
+            }
+        }
+        let per_iter = warm_start.elapsed().as_secs_f64() / warm_iters as f64;
+
+        // Size each sample so that all samples together fill the
+        // measurement budget, with at least one iteration per sample.
+        let budget = self.measurement_time.as_secs_f64().max(1e-9);
+        let iters_per_sample =
+            ((budget / self.sample_size as f64 / per_iter.max(1e-9)).ceil() as u64).max(1);
+
+        self.samples.clear();
+        for _ in 0..self.sample_size {
+            let start = Instant::now();
+            for _ in 0..iters_per_sample {
+                std::hint::black_box(routine());
+            }
+            let elapsed = start.elapsed();
+            self.samples.push(elapsed / iters_per_sample as u32);
+        }
+    }
+
+    fn report(&self, full_id: &str) {
+        if self.samples.is_empty() {
+            println!("{full_id:<56} (no samples)");
+            return;
+        }
+        let mut sorted = self.samples.clone();
+        sorted.sort();
+        let min = sorted[0];
+        let median = sorted[sorted.len() / 2];
+        let mean = sorted.iter().sum::<Duration>() / sorted.len() as u32;
+        println!(
+            "{full_id:<56} time: [min {} | median {} | mean {}]",
+            fmt_duration(min),
+            fmt_duration(median),
+            fmt_duration(mean),
+        );
+    }
+}
+
+fn fmt_duration(d: Duration) -> String {
+    let ns = d.as_nanos();
+    if ns < 1_000 {
+        format!("{ns} ns")
+    } else if ns < 1_000_000 {
+        format!("{:.3} µs", ns as f64 / 1e3)
+    } else if ns < 1_000_000_000 {
+        format!("{:.3} ms", ns as f64 / 1e6)
+    } else {
+        format!("{:.3} s", ns as f64 / 1e9)
+    }
+}
+
+/// Declares a benchmark group function (subset of upstream forms).
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion: $crate::Criterion = $config;
+            $( $target(&mut criterion); )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Declares the bench binary's `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+/// Re-export matching `criterion::black_box` (deprecated upstream in favour
+/// of `std::hint::black_box`, which the workspace's benches use directly).
+pub use std::hint::black_box;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_collects_samples() {
+        let mut c = Criterion::default()
+            .sample_size(3)
+            .warm_up_time(Duration::from_millis(1))
+            .measurement_time(Duration::from_millis(2));
+        c.test_mode = false;
+        c.filter = None;
+        let mut ran = false;
+        let mut group = c.benchmark_group("shim");
+        group.bench_function("noop", |b| {
+            b.iter(|| 1 + 1);
+            ran = true;
+        });
+        group.finish();
+        assert!(ran);
+    }
+
+    #[test]
+    fn benchmark_id_formats() {
+        assert_eq!(BenchmarkId::new("f", 8).full_name(), "f/8");
+        assert_eq!(BenchmarkId::from_parameter("x").full_name(), "x");
+        assert_eq!(BenchmarkId::from("plain").full_name(), "plain");
+    }
+}

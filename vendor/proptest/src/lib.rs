@@ -1,0 +1,349 @@
+//! Offline shim for the subset of the `proptest` API this workspace uses.
+//!
+//! Provides randomized property testing with deterministic per-test seeds:
+//! [`Strategy`] with `prop_map` / `prop_flat_map` / `prop_filter`, [`Just`],
+//! [`collection::vec`], range and tuple strategies, and the [`proptest!`]
+//! macro with `prop_assert!` / `prop_assert_eq!` / `prop_assume!`. Unlike
+//! upstream proptest there is **no shrinking**: a failing case panics with
+//! the case index, and the deterministic seeding makes every failure
+//! reproducible by rerunning the test.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::ops::Range;
+
+/// The RNG handed to strategies (deterministic per test and case).
+pub type TestRng = StdRng;
+
+/// Builds the deterministic RNG for one test case.
+pub fn test_rng(test_path: &str, case: u32) -> TestRng {
+    // FNV-1a over the fully qualified test name, mixed with the case index,
+    // so every test gets an independent but reproducible stream.
+    let mut h: u64 = 0xcbf29ce484222325;
+    for b in test_path.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100000001b3);
+    }
+    TestRng::seed_from_u64(h ^ ((case as u64) << 32 | 0x9E37))
+}
+
+/// Runner configuration (subset of upstream `ProptestConfig`).
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of random cases each property runs.
+    pub cases: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 64 }
+    }
+}
+
+impl ProptestConfig {
+    /// Configuration running `cases` random cases.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+/// A generator of random values (subset of upstream `Strategy`; values are
+/// produced directly rather than through value trees, and never shrunk).
+pub trait Strategy {
+    /// The generated type.
+    type Value;
+
+    /// Draws one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Maps generated values through `f`.
+    fn prop_map<U, F: Fn(Self::Value) -> U>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Generates with `self`, then with the strategy `f` returns.
+    fn prop_flat_map<S: Strategy, F: Fn(Self::Value) -> S>(self, f: F) -> FlatMap<Self, F>
+    where
+        Self: Sized,
+    {
+        FlatMap { inner: self, f }
+    }
+
+    /// Rejects values failing `pred` (regenerating, up to an attempt cap).
+    fn prop_filter<F: Fn(&Self::Value) -> bool>(
+        self,
+        whence: &'static str,
+        pred: F,
+    ) -> Filter<Self, F>
+    where
+        Self: Sized,
+    {
+        Filter {
+            inner: self,
+            whence,
+            pred,
+        }
+    }
+}
+
+/// Strategy always yielding a clone of one value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// See [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, U, F: Fn(S::Value) -> U> Strategy for Map<S, F> {
+    type Value = U;
+    fn generate(&self, rng: &mut TestRng) -> U {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// See [`Strategy::prop_flat_map`].
+pub struct FlatMap<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, T: Strategy, F: Fn(S::Value) -> T> Strategy for FlatMap<S, F> {
+    type Value = T::Value;
+    fn generate(&self, rng: &mut TestRng) -> T::Value {
+        let first = self.inner.generate(rng);
+        (self.f)(first).generate(rng)
+    }
+}
+
+/// See [`Strategy::prop_filter`].
+pub struct Filter<S, F> {
+    inner: S,
+    whence: &'static str,
+    pred: F,
+}
+
+impl<S: Strategy, F: Fn(&S::Value) -> bool> Strategy for Filter<S, F> {
+    type Value = S::Value;
+    fn generate(&self, rng: &mut TestRng) -> S::Value {
+        for _ in 0..1000 {
+            let v = self.inner.generate(rng);
+            if (self.pred)(&v) {
+                return v;
+            }
+        }
+        panic!(
+            "prop_filter rejected 1000 candidates in a row: {}",
+            self.whence
+        )
+    }
+}
+
+impl<T> Strategy for Range<T>
+where
+    Range<T>: rand::SampleRange<T> + Clone,
+{
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        use rand::Rng;
+        rng.gen_range(self.clone())
+    }
+}
+
+macro_rules! impl_tuple_strategy {
+    ($($name:ident),+) => {
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            #[allow(non_snake_case)]
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                let ($($name,)+) = self;
+                ($($name.generate(rng),)+)
+            }
+        }
+    };
+}
+
+impl_tuple_strategy!(A);
+impl_tuple_strategy!(A, B);
+impl_tuple_strategy!(A, B, C);
+impl_tuple_strategy!(A, B, C, D);
+impl_tuple_strategy!(A, B, C, D, E);
+
+/// Collection strategies (subset of `proptest::collection`).
+pub mod collection {
+    use super::{Strategy, TestRng};
+    use std::ops::Range;
+
+    /// Length specifications accepted by [`vec`].
+    pub trait IntoSizeRange {
+        /// Draws a concrete length.
+        fn draw_len(&self, rng: &mut TestRng) -> usize;
+    }
+
+    impl IntoSizeRange for usize {
+        fn draw_len(&self, _rng: &mut TestRng) -> usize {
+            *self
+        }
+    }
+
+    impl IntoSizeRange for Range<usize> {
+        fn draw_len(&self, rng: &mut TestRng) -> usize {
+            use rand::Rng;
+            rng.gen_range(self.clone())
+        }
+    }
+
+    /// Strategy for vectors whose elements come from `element`.
+    pub fn vec<S: Strategy, L: IntoSizeRange>(element: S, size: L) -> VecStrategy<S, L> {
+        VecStrategy { element, size }
+    }
+
+    /// See [`vec`].
+    pub struct VecStrategy<S, L> {
+        element: S,
+        size: L,
+    }
+
+    impl<S: Strategy, L: IntoSizeRange> Strategy for VecStrategy<S, L> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let len = self.size.draw_len(rng);
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+/// Runs the body of one `proptest!` test for every case.
+///
+/// Used by the macro expansion; not part of the public upstream API.
+pub fn run_cases(config: ProptestConfig, test_path: &str, mut case_body: impl FnMut(&mut TestRng)) {
+    for case in 0..config.cases {
+        let mut rng = test_rng(test_path, case);
+        case_body(&mut rng);
+    }
+}
+
+/// Property-test macro (subset of upstream `proptest!`).
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_inner!{ ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_inner!{ (<$crate::ProptestConfig as ::std::default::Default>::default()) $($rest)* }
+    };
+}
+
+/// Implementation detail of [`proptest!`].
+#[macro_export]
+#[doc(hidden)]
+macro_rules! __proptest_inner {
+    (($cfg:expr)) => {};
+    (($cfg:expr)
+     $(#[$meta:meta])*
+     fn $name:ident($($pat:pat in $strat:expr),+ $(,)?) $body:block
+     $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            $crate::run_cases(
+                $cfg,
+                concat!(module_path!(), "::", stringify!($name)),
+                |__rng| {
+                    // Closure so `prop_assume!` can abort a single case via
+                    // `return`.
+                    #[allow(clippy::redundant_closure_call)]
+                    (|| {
+                        $(let $pat = $crate::Strategy::generate(&($strat), __rng);)+
+                        $body
+                    })();
+                },
+            );
+        }
+        $crate::__proptest_inner!{ ($cfg) $($rest)* }
+    };
+}
+
+/// Asserts inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { assert!($($tt)*) };
+}
+
+/// Equality assert inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { assert_eq!($($tt)*) };
+}
+
+/// Skips the current case when the assumption fails.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(, $($tt:tt)*)?) => {
+        if !$cond {
+            return;
+        }
+    };
+}
+
+/// Prelude matching `proptest::prelude`.
+pub mod prelude {
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assume, proptest, Just, ProptestConfig, Strategy,
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn ranges_and_maps(x in 0u32..100, (a, b) in (0i64..10, 0i64..10)) {
+            prop_assert!(x < 100);
+            prop_assert!(a < 10 && b < 10);
+        }
+
+        #[test]
+        fn flat_map_and_vec(v in (1usize..8).prop_flat_map(|n| {
+            (Just(n), crate::collection::vec(0.0f64..1.0, n))
+        })) {
+            let (n, items) = v;
+            prop_assert_eq!(items.len(), n);
+            prop_assert!(items.iter().all(|x| (0.0..1.0).contains(x)));
+        }
+
+        #[test]
+        fn filter_and_assume(pair in (0u32..20, 0u32..20).prop_filter("distinct", |(u, v)| u != v)) {
+            let (u, v) = pair;
+            prop_assume!(u < v);
+            prop_assert!(u != v);
+        }
+    }
+
+    #[test]
+    fn deterministic_streams() {
+        let a: Vec<u64> = {
+            let mut rng = crate::test_rng("t", 3);
+            (0..5).map(|_| rand::Rng::gen::<u64>(&mut rng)).collect()
+        };
+        let b: Vec<u64> = {
+            let mut rng = crate::test_rng("t", 3);
+            (0..5).map(|_| rand::Rng::gen::<u64>(&mut rng)).collect()
+        };
+        assert_eq!(a, b);
+    }
+}
