@@ -43,7 +43,7 @@ pub fn run(cfg: &ExpConfig) -> Report {
             let mut out = Vec::new();
             for round in 0..rounds_per_trial {
                 let mut conc = loads.clone();
-                let cs = conc_exec.round(&mut conc);
+                let cs = conc_exec.round(&mut conc).expect("full stats");
                 let conc_drop = cs.phi_before - cs.phi_after;
 
                 let mut seq = loads.clone();

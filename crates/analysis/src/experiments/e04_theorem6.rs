@@ -50,7 +50,7 @@ pub fn run(cfg: &ExpConfig) -> Report {
         let mut l5_violations = 0usize;
         let budget = t_paper as usize + 50;
         for round in 1..=budget {
-            let stats = balancer.round(&mut loads);
+            let stats = balancer.round(&mut loads).expect("full stats");
             if stats.phi_hat_before >= threshold_hat {
                 // Lemma 5's regime: relative drop must be >= λ₂/8δ.
                 if stats.relative_drop() < drop_floor - 1e-9 {

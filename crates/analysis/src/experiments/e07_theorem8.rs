@@ -87,7 +87,10 @@ pub fn run(cfg: &ExpConfig) -> Report {
                     spectra.push((delta, lambda2));
                     ratios_sum += lambda2 / delta as f64;
                 } // disconnected rounds contribute ratio 0 to the average
-                let stats = DiscreteDiffusion::new(&g).engine().round(&mut loads);
+                let stats = DiscreteDiffusion::new(&g)
+                    .engine()
+                    .round(&mut loads)
+                    .expect("full stats");
                 trace_hat.push(stats.phi_hat_after);
             }
             let rounds_run = trace_hat.len() - 1;

@@ -46,7 +46,7 @@ pub fn run(cfg: &ExpConfig) -> Report {
         let factors: Vec<f64> = parallel_trials(trials, cfg.seed ^ 0x10B ^ n as u64, |seed| {
             let mut b = RandomPartnerContinuous::new(n, seed).engine();
             let mut loads = init.clone();
-            let s = b.round(&mut loads);
+            let s = b.round(&mut loads).expect("full stats");
             s.phi_after / phi0
         });
         let s = Summary::from_slice(&factors);
@@ -90,7 +90,7 @@ pub fn run(cfg: &ExpConfig) -> Report {
                 let mut b = RandomPartnerContinuous::new(n, seed).engine();
                 let mut loads = init.clone();
                 for round in 1..=(t_paper as usize) {
-                    let s = b.round(&mut loads);
+                    let s = b.round(&mut loads).expect("full stats");
                     if s.phi_after <= target {
                         return Some(round);
                     }

@@ -48,7 +48,7 @@ pub fn run(cfg: &ExpConfig) -> Report {
         let factors: Vec<f64> = parallel_trials(trials, cfg.seed ^ 0x11B ^ n as u64, |seed| {
             let mut b = RandomPartnerDiscrete::new(n, seed).engine();
             let mut loads = init.clone();
-            let s = b.round(&mut loads);
+            let s = b.round(&mut loads).expect("full stats");
             s.phi_hat_after as f64 / phi0
         });
         let s = Summary::from_slice(&factors);
@@ -94,7 +94,7 @@ pub fn run(cfg: &ExpConfig) -> Report {
                 let mut loads = init.clone();
                 let mut crossed = None;
                 for round in 1..=(t_paper as usize) {
-                    let s = b.round(&mut loads);
+                    let s = b.round(&mut loads).expect("full stats");
                     if s.phi_hat_after <= threshold_hat {
                         crossed = Some(round);
                         break;

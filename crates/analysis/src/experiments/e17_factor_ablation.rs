@@ -57,7 +57,7 @@ pub fn run(cfg: &ExpConfig) -> Report {
             let mut rounds = 0usize;
             let mut diverged = false;
             while phi(&loads) > target && rounds < max_rounds {
-                let s = exec.round(&mut loads);
+                let s = exec.round(&mut loads).expect("full stats");
                 if s.phi_after > s.phi_before * (1.0 + 1e-12) {
                     increases += 1;
                 }

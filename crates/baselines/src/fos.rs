@@ -11,9 +11,8 @@
 //! The diffusion factor is uniform, so there is no per-edge table to
 //! precompute — the kernels are the plainest gathers in the workspace.
 
-use dlb_core::engine::{FlowTally, Protocol, TokenTally};
+use dlb_core::engine::{FlowTally, Protocol, StatsCtx};
 use dlb_core::model::{DiscreteRoundStats, RoundStats};
-use dlb_core::potential::{phi, phi_hat};
 use dlb_graphs::Graph;
 
 /// One first-order step `(M·L)_v` computed matrix-free — the kernel shared
@@ -76,20 +75,31 @@ impl Protocol for FirstOrderContinuous<'_> {
         fos_step(self.g, self.alpha, snapshot, v)
     }
 
-    fn end_round(&mut self, snapshot: &[f64], new_loads: &[f64]) -> RoundStats {
-        fos_flow_tally(self.g, self.alpha, snapshot).stats(phi(snapshot), phi(new_loads))
+    fn compute_stats(
+        &mut self,
+        snapshot: &[f64],
+        new_loads: &[f64],
+        ctx: &StatsCtx<'_>,
+    ) -> RoundStats {
+        fos_flow_tally(self.g, self.alpha, snapshot, ctx)
+            .stats(ctx.phi(snapshot), ctx.phi(new_loads))
     }
 }
 
 /// Flow statistics of one first-order step (`α·|ℓᵤ − ℓᵥ|` per edge) —
 /// shared by FOS, SOS and Chebyshev, whose reported flows are all the
-/// first-order component's.
-pub(crate) fn fos_flow_tally(g: &Graph, alpha: f64, snapshot: &[f64]) -> FlowTally {
-    FlowTally::from_flows(
-        g.edges()
-            .iter()
-            .map(|&(u, v)| alpha * (snapshot[u as usize] - snapshot[v as usize]).abs()),
-    )
+/// first-order component's. Reduced in blocked order through `ctx`.
+pub(crate) fn fos_flow_tally(
+    g: &Graph,
+    alpha: f64,
+    snapshot: &[f64],
+    ctx: &StatsCtx<'_>,
+) -> FlowTally {
+    let edges = g.edges();
+    ctx.flow_tally(edges.len(), |k| {
+        let (u, v) = edges[k];
+        alpha * (snapshot[u as usize] - snapshot[v as usize]).abs()
+    })
 }
 
 /// Discrete first-order scheme: `⌊α·(ℓᵢ − ℓⱼ)⌋` tokens per edge with
@@ -138,13 +148,20 @@ impl Protocol for FirstOrderDiscrete<'_> {
         i64::try_from(acc).expect("load fits i64")
     }
 
-    fn end_round(&mut self, snapshot: &[i64], new_loads: &[i64]) -> DiscreteRoundStats {
-        let mut tally = TokenTally::default();
-        for &(u, v) in self.g.edges() {
+    fn compute_stats(
+        &mut self,
+        snapshot: &[i64],
+        new_loads: &[i64],
+        ctx: &StatsCtx<'_>,
+    ) -> DiscreteRoundStats {
+        let edges = self.g.edges();
+        let divisor = self.divisor as u128;
+        let tally = ctx.token_tally(edges.len(), |k| {
+            let (u, v) = edges[k];
             let diff = (snapshot[u as usize] as i128 - snapshot[v as usize] as i128).unsigned_abs();
-            tally.add((diff / self.divisor as u128) as u64);
-        }
-        tally.stats(phi_hat(snapshot), phi_hat(new_loads))
+            (diff / divisor) as u64
+        });
+        tally.stats(ctx.phi_hat(snapshot), ctx.phi_hat(new_loads))
     }
 }
 
@@ -214,7 +231,7 @@ mod tests {
         let mut d = FirstOrderDiscrete::new(&g).engine();
         let mut loads: Vec<i64> = (0..16).map(|i| ((i * 29) % 100) as i64).collect();
         for _ in 0..50 {
-            let s = d.round(&mut loads);
+            let s = d.round(&mut loads).expect("full stats");
             assert!(s.phi_hat_after <= s.phi_hat_before);
         }
     }
@@ -243,10 +260,14 @@ mod tests {
         let mut fos_loads = vec![0.0; 9];
         fos_loads[0] = 90.0;
         let mut alg1_loads = fos_loads.clone();
-        let fs = FirstOrderContinuous::new(&g).engine().round(&mut fos_loads);
+        let fs = FirstOrderContinuous::new(&g)
+            .engine()
+            .round(&mut fos_loads)
+            .expect("full stats");
         let als = dlb_core::continuous::ContinuousDiffusion::new(&g)
             .engine()
-            .round(&mut alg1_loads);
+            .round(&mut alg1_loads)
+            .expect("full stats");
         assert!(fs.relative_drop() > als.relative_drop());
     }
 

@@ -15,7 +15,7 @@
 //! pattern for schemes whose round is cheap but non-local. Serial and
 //! parallel execution remain trivially bit-identical.
 
-use dlb_core::engine::{FlowTally, Protocol};
+use dlb_core::engine::{Protocol, StatsCtx};
 use dlb_core::model::RoundStats;
 use dlb_core::seq::{adaptive_sequential_round, AdaptiveOrder};
 use dlb_graphs::Graph;
@@ -30,8 +30,9 @@ pub struct SequentialComparator<'g> {
     rng: StdRng,
     /// The round's final state, materialized in `begin_round`.
     result: Vec<f64>,
-    /// The round's statistics, cached for `end_round`.
-    pending_stats: Option<RoundStats>,
+    /// Per-activation transfer amounts of the materialized round, kept so
+    /// the flow tally can run lazily in `compute_stats`.
+    weights: Vec<f64>,
 }
 
 impl<'g> SequentialComparator<'g> {
@@ -43,7 +44,7 @@ impl<'g> SequentialComparator<'g> {
             order,
             rng: StdRng::seed_from_u64(seed),
             result: Vec::new(),
-            pending_stats: None,
+            weights: Vec::new(),
         }
     }
 
@@ -73,11 +74,8 @@ impl Protocol for SequentialComparator<'_> {
         self.result.clear();
         self.result.extend_from_slice(snapshot);
         let r = adaptive_sequential_round(self.g, &mut self.result, self.order, &mut self.rng);
-        let mut tally = FlowTally::default();
-        for a in &r.activations {
-            tally.add(a.weight);
-        }
-        self.pending_stats = Some(tally.stats(r.phi_before, r.phi_after));
+        self.weights.clear();
+        self.weights.extend(r.activations.iter().map(|a| a.weight));
     }
 
     #[inline]
@@ -85,8 +83,19 @@ impl Protocol for SequentialComparator<'_> {
         self.result[v as usize]
     }
 
-    fn end_round(&mut self, _snapshot: &[f64], _new_loads: &[f64]) -> RoundStats {
-        self.pending_stats.take().expect("begin_round ran")
+    fn compute_stats(
+        &mut self,
+        snapshot: &[f64],
+        new_loads: &[f64],
+        ctx: &StatsCtx<'_>,
+    ) -> RoundStats {
+        // The round itself was materialized in `begin_round` (the chain
+        // replay is the protocol); only the statistics run lazily here,
+        // over the recorded activation amounts — so `PhiOnly` zeroes the
+        // tally and skipped rounds pay nothing.
+        let weights = &self.weights;
+        ctx.flow_tally(weights.len(), |k| weights[k])
+            .stats(ctx.phi(snapshot), ctx.phi(new_loads))
     }
 }
 
@@ -106,7 +115,7 @@ mod tests {
         let mut loads: Vec<f64> = (0..16).map(|i| ((i * 5) % 13) as f64).collect();
         let before: f64 = loads.iter().sum();
         for _ in 0..50 {
-            let s = b.round(&mut loads);
+            let s = b.round(&mut loads).expect("full stats");
             assert!(s.phi_after <= s.phi_before + 1e-9);
         }
         assert!((loads.iter().sum::<f64>() - before).abs() < 1e-9);
@@ -134,9 +143,9 @@ mod tests {
         let mut conc_exec = ContinuousDiffusion::new(&g).engine();
         for _ in 0..20 {
             let mut conc_loads = loads.clone();
-            let cs = conc_exec.round(&mut conc_loads);
+            let cs = conc_exec.round(&mut conc_loads).expect("full stats");
             let mut seq_loads = loads.clone();
-            let ss = seq.round(&mut seq_loads);
+            let ss = seq.round(&mut seq_loads).expect("full stats");
             let conc_drop = cs.phi_before - cs.phi_after;
             let seq_drop = ss.phi_before - ss.phi_after;
             assert!(

@@ -17,9 +17,8 @@
 //! deterministically — the paper's "constant times faster" claim that
 //! experiment E12 measures.
 
-use dlb_core::engine::{FlowTally, Protocol, TokenTally};
+use dlb_core::engine::{Protocol, StatsCtx};
 use dlb_core::model::{DiscreteRoundStats, RoundStats};
-use dlb_core::potential::{phi, phi_hat};
 use dlb_graphs::{matching, Graph, Matching};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -141,12 +140,18 @@ impl Protocol for MatchingExchangeContinuous<'_> {
         }
     }
 
-    fn end_round(&mut self, snapshot: &[f64], new_loads: &[f64]) -> RoundStats {
-        let mut tally = FlowTally::default();
-        for &(u, v) in &self.state.pairs {
-            tally.add((snapshot[u as usize] - snapshot[v as usize]).abs() / 2.0);
-        }
-        tally.stats(phi(snapshot), phi(new_loads))
+    fn compute_stats(
+        &mut self,
+        snapshot: &[f64],
+        new_loads: &[f64],
+        ctx: &StatsCtx<'_>,
+    ) -> RoundStats {
+        let pairs = &self.state.pairs;
+        let tally = ctx.flow_tally(pairs.len(), |k| {
+            let (u, v) = pairs[k];
+            (snapshot[u as usize] - snapshot[v as usize]).abs() / 2.0
+        });
+        tally.stats(ctx.phi(snapshot), ctx.phi(new_loads))
     }
 }
 
@@ -202,12 +207,18 @@ impl Protocol for MatchingExchangeDiscrete<'_> {
         }
     }
 
-    fn end_round(&mut self, snapshot: &[i64], new_loads: &[i64]) -> DiscreteRoundStats {
-        let mut tally = TokenTally::default();
-        for &(u, v) in &self.state.pairs {
-            tally.add(((snapshot[u as usize] - snapshot[v as usize]).abs() / 2) as u64);
-        }
-        tally.stats(phi_hat(snapshot), phi_hat(new_loads))
+    fn compute_stats(
+        &mut self,
+        snapshot: &[i64],
+        new_loads: &[i64],
+        ctx: &StatsCtx<'_>,
+    ) -> DiscreteRoundStats {
+        let pairs = &self.state.pairs;
+        let tally = ctx.token_tally(pairs.len(), |k| {
+            let (u, v) = pairs[k];
+            ((snapshot[u as usize] - snapshot[v as usize]).abs() / 2) as u64
+        });
+        tally.stats(ctx.phi_hat(snapshot), ctx.phi_hat(new_loads))
     }
 }
 
@@ -262,7 +273,7 @@ mod tests {
         let mut b = MatchingExchangeContinuous::new(&g, MatchingKind::Proposal, 9).engine();
         let mut loads: Vec<f64> = (0..16).map(|i| ((7 * i) % 13) as f64).collect();
         for _ in 0..100 {
-            let s = b.round(&mut loads);
+            let s = b.round(&mut loads).expect("full stats");
             assert!(s.phi_after <= s.phi_before + 1e-9);
         }
     }
@@ -296,7 +307,7 @@ mod tests {
         let mut acc = 0.0;
         for _ in 0..trials {
             let mut loads = init.clone();
-            let s = b.round(&mut loads);
+            let s = b.round(&mut loads).expect("full stats");
             acc += (s.phi_before - s.phi_after) / phi0;
         }
         let avg_drop = acc / trials as f64;

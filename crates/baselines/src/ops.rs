@@ -20,9 +20,8 @@
 //! advance in `end_round`, after the gather.
 
 use crate::fos::{fos_flow_tally, fos_step};
-use dlb_core::engine::Protocol;
+use dlb_core::engine::{Protocol, StatsCtx};
 use dlb_core::model::RoundStats;
-use dlb_core::potential::phi;
 use dlb_graphs::Graph;
 use dlb_spectral::diffusion::{fos_matrix, gamma};
 
@@ -96,8 +95,10 @@ impl Protocol for ChebyshevContinuous<'_> {
         }
     }
 
-    fn end_round(&mut self, snapshot: &[f64], new_loads: &[f64]) -> RoundStats {
-        // Advance the ω recurrence for the *next* round.
+    fn finish_round(&mut self, snapshot: &[f64], _new_loads: &[f64]) {
+        // Advance the ω recurrence and the `L^{t−1}` history for the
+        // *next* round — mandatory cross-round state, so it runs under
+        // every stats mode.
         self.omega = if self.prev.is_none() {
             // ω₂ = 1/(1 − γ²/2) per the standard recurrence seeded at 2.
             1.0 / (1.0 - self.gamma * self.gamma / 2.0)
@@ -105,8 +106,16 @@ impl Protocol for ChebyshevContinuous<'_> {
             1.0 / (1.0 - self.gamma * self.gamma / 4.0 * self.omega)
         };
         self.prev = Some(snapshot.to_vec());
+    }
 
-        fos_flow_tally(self.g, self.alpha, snapshot).stats(phi(snapshot), phi(new_loads))
+    fn compute_stats(
+        &mut self,
+        snapshot: &[f64],
+        new_loads: &[f64],
+        ctx: &StatsCtx<'_>,
+    ) -> RoundStats {
+        fos_flow_tally(self.g, self.alpha, snapshot, ctx)
+            .stats(ctx.phi(snapshot), ctx.phi(new_loads))
     }
 }
 

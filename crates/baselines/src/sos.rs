@@ -19,9 +19,8 @@
 //! needs no special handling for second-order schemes.
 
 use crate::fos::{fos_flow_tally, fos_step};
-use dlb_core::engine::Protocol;
+use dlb_core::engine::{Protocol, StatsCtx};
 use dlb_core::model::RoundStats;
-use dlb_core::potential::phi;
 use dlb_graphs::Graph;
 use dlb_spectral::diffusion::{fos_matrix, gamma, sos_optimal_beta};
 
@@ -91,14 +90,24 @@ impl Protocol for SecondOrderContinuous<'_> {
         }
     }
 
-    fn end_round(&mut self, snapshot: &[f64], new_loads: &[f64]) -> RoundStats {
+    fn finish_round(&mut self, snapshot: &[f64], _new_loads: &[f64]) {
         // Advance the history *after* the gather: next round's kernel sees
-        // this round's snapshot as L^{t−1}.
+        // this round's snapshot as L^{t−1}. This is mandatory cross-round
+        // state, so it lives in `finish_round` and runs under every
+        // stats mode.
         self.prev = Some(snapshot.to_vec());
+    }
 
+    fn compute_stats(
+        &mut self,
+        snapshot: &[f64],
+        new_loads: &[f64],
+        ctx: &StatsCtx<'_>,
+    ) -> RoundStats {
         // Flow accounting: SOS is not a per-edge transfer protocol, so only
         // the first-order component's flows are reported.
-        fos_flow_tally(self.g, self.alpha, snapshot).stats(phi(snapshot), phi(new_loads))
+        fos_flow_tally(self.g, self.alpha, snapshot, ctx)
+            .stats(ctx.phi(snapshot), ctx.phi(new_loads))
     }
 }
 

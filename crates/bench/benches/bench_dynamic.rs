@@ -33,7 +33,10 @@ fn dynamic(c: &mut Criterion) {
             let mut loads = spike_continuous(ground.n());
             b.iter(|| {
                 let g = seq.next_graph();
-                let stats = ContinuousDiffusion::new(&g).engine().round(&mut loads);
+                let stats = ContinuousDiffusion::new(&g)
+                    .engine()
+                    .round(&mut loads)
+                    .expect("full stats");
                 black_box(stats)
             });
         });

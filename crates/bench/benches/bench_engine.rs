@@ -1,95 +1,275 @@
-//! Engine gather-kernel benchmark: old-style per-round degree-lookup
-//! gather vs. the engine's precomputed-divisor gather, on a 1M-node torus.
+//! Engine benchmark with a machine-readable perf trajectory.
 //!
-//! The legacy executors recomputed `4·max(dᵢ, dⱼ)` inside the hot loop
-//! (two CSR degree lookups + `max` + int→float convert per neighbour
-//! slot); the engine materializes those divisors once, CSR-slot-aligned,
-//! at protocol construction. This bench isolates exactly that difference:
-//! both variants run the same full-vector gather over the same snapshot.
+//! Three groups on one torus instance (1M nodes by default):
 //!
-//! Also measures the full engine round (gather + stats + potentials),
-//! serial vs. pooled-parallel, on the same instance. Set `DLB_THREADS` to
-//! cap the pool on shared machines.
+//! - **gather** — the raw gather kernel, old-style per-round degree-lookup
+//!   vs. the engine's precomputed CSR-slot divisors (PR 1's comparison,
+//!   kept as the historical baseline line in the trajectory);
+//! - **engine_round** — one full `Engine::round` under each [`StatsMode`]
+//!   (`full`, `phionly`, `every10`, `off`), serial and pooled. The round
+//!   is zero-copy double-buffered, so `off` measures the gather alone and
+//!   the gap to `full` is exactly the statistics cost;
+//! - **convergence_run** — a fixed-round end-to-end run through
+//!   `run_continuous` (driver + on-demand `Φ` fallback included), the
+//!   number the ROADMAP's speedup targets are stated against.
+//!
+//! Every result is also appended to `BENCH_engine.json` at the repo root
+//! (median/min ns per round, tagged with topology, `n`, threads, variant)
+//! so the perf trajectory is tracked across PRs. Set `DLB_BENCH_QUICK=1`
+//! for a small instance (CI smoke); set `DLB_THREADS` to cap the pool on
+//! shared machines. Under `cargo test --benches` (`--test` flag) nothing
+//! is written.
+//!
+//! [`StatsMode`]: dlb_core::engine::StatsMode
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use criterion::{take_reports, Criterion};
+use dlb_bench::perf_json::{self, PerfRecord};
 use dlb_core::continuous::{self, ContinuousDiffusion};
-use dlb_core::engine::{recommended_threads, IntoEngine, Protocol};
-use dlb_graphs::topology;
+use dlb_core::engine::{recommended_threads, IntoEngine, Protocol, StatsMode};
+use dlb_core::runner::run_continuous;
+use dlb_graphs::{topology, Graph};
+use std::collections::HashMap;
 use std::hint::black_box;
 use std::time::Duration;
 
-fn gather_kernels(c: &mut Criterion) {
-    let side = 1000; // n = 1,000,000
-    let g = topology::torus2d(side, side);
-    let n = g.n();
-    let snapshot: Vec<f64> = (0..n).map(|i| ((i * 131 + 17) % 4099) as f64).collect();
-    let mut out = vec![0.0f64; n];
+/// Metadata joined with the harness reports when emitting JSON.
+struct Meta {
+    group: &'static str,
+    variant: String,
+    rounds_per_iter: usize,
+    threads: usize,
+}
 
-    let mut group = c.benchmark_group("gather_1m_torus");
+struct Instance {
+    g: Graph,
+    init: Vec<f64>,
+    side: usize,
+}
+
+fn mode_name(mode: StatsMode) -> &'static str {
+    match mode {
+        StatsMode::Full => "full",
+        StatsMode::EveryK(_) => "every10",
+        StatsMode::PhiOnly => "phionly",
+        StatsMode::Off => "off",
+    }
+}
+
+fn gather_kernels(c: &mut Criterion, inst: &Instance, meta: &mut HashMap<String, Meta>) {
+    let n = inst.g.n();
+    let mut out = vec![0.0f64; n];
+    let mut group = c.benchmark_group("gather");
 
     // The on-the-fly reference kernel is exactly what the legacy executors
     // ran in their hot loop.
-    group.bench_function("legacy_degree_lookup", |b| {
-        b.iter(|| {
-            for v in 0..n as u32 {
-                out[v as usize] = continuous::node_new_load(&g, &snapshot, v);
-            }
-            black_box(out[0])
+    for (variant, legacy) in [
+        ("legacy_degree_lookup", true),
+        ("precomputed_weights", false),
+    ] {
+        meta.insert(
+            format!("gather/{variant}"),
+            Meta {
+                group: "gather",
+                variant: variant.to_string(),
+                rounds_per_iter: 1,
+                threads: 1,
+            },
+        );
+        let proto = ContinuousDiffusion::new(&inst.g);
+        group.bench_function(variant, |b| {
+            b.iter(|| {
+                for v in 0..n as u32 {
+                    out[v as usize] = if legacy {
+                        continuous::node_new_load(&inst.g, &inst.init, v)
+                    } else {
+                        proto.node_new_load(&inst.init, v)
+                    };
+                }
+                black_box(out[0])
+            });
         });
-    });
-
-    let proto = ContinuousDiffusion::new(&g);
-    group.bench_function("precomputed_weights", |b| {
-        b.iter(|| {
-            for v in 0..n as u32 {
-                out[v as usize] = proto.node_new_load(&snapshot, v);
-            }
-            black_box(out[0])
-        });
-    });
-
+    }
     group.finish();
 }
 
-fn engine_rounds(c: &mut Criterion) {
-    let side = 1000;
+fn pool_sizes() -> Vec<usize> {
+    let avail = recommended_threads();
+    [2usize, 4, 8]
+        .into_iter()
+        .filter(|&t| t <= 2 * avail)
+        .collect()
+}
+
+fn engine_rounds(c: &mut Criterion, inst: &Instance, meta: &mut HashMap<String, Meta>) {
+    let modes = [
+        StatsMode::Full,
+        StatsMode::PhiOnly,
+        StatsMode::EveryK(10),
+        StatsMode::Off,
+    ];
+    let mut group = c.benchmark_group("engine_round");
+
+    for mode in modes {
+        let variant = format!("serial/{}", mode_name(mode));
+        meta.insert(
+            format!("engine_round/{variant}"),
+            Meta {
+                group: "engine_round",
+                variant: variant.clone(),
+                rounds_per_iter: 1,
+                threads: 1,
+            },
+        );
+        group.bench_function(variant, |b| {
+            let mut engine = ContinuousDiffusion::new(&inst.g)
+                .engine()
+                .with_stats_mode(mode);
+            let mut loads = inst.init.clone();
+            b.iter(|| black_box(engine.round(&mut loads).map(|s| s.phi_after)));
+        });
+    }
+
+    for threads in pool_sizes() {
+        for mode in [StatsMode::Full, StatsMode::Off] {
+            let variant = format!("pool{threads}/{}", mode_name(mode));
+            meta.insert(
+                format!("engine_round/{variant}"),
+                Meta {
+                    group: "engine_round",
+                    variant: variant.clone(),
+                    rounds_per_iter: 1,
+                    threads,
+                },
+            );
+            group.bench_function(variant, |b| {
+                let mut engine = ContinuousDiffusion::new(&inst.g)
+                    .engine_parallel(threads)
+                    .with_stats_mode(mode);
+                let mut loads = inst.init.clone();
+                b.iter(|| black_box(engine.round(&mut loads).map(|s| s.phi_after)));
+            });
+        }
+    }
+    group.finish();
+}
+
+fn convergence_runs(
+    c: &mut Criterion,
+    inst: &Instance,
+    rounds: usize,
+    meta: &mut HashMap<String, Meta>,
+) {
+    let modes = [
+        StatsMode::Full,
+        StatsMode::PhiOnly,
+        StatsMode::EveryK(10),
+        StatsMode::Off,
+    ];
+    let mut group = c.benchmark_group("convergence_run");
+
+    let mut variants: Vec<(String, usize, StatsMode)> = modes
+        .into_iter()
+        .map(|m| (format!("serial/{}", mode_name(m)), 1usize, m))
+        .collect();
+    if let Some(&threads) = pool_sizes().last() {
+        for mode in [StatsMode::Full, StatsMode::Off] {
+            variants.push((format!("pool{threads}/{}", mode_name(mode)), threads, mode));
+        }
+    }
+
+    for (variant, threads, mode) in variants {
+        meta.insert(
+            format!("convergence_run/{variant}"),
+            Meta {
+                group: "convergence_run",
+                variant: variant.clone(),
+                rounds_per_iter: rounds,
+                threads,
+            },
+        );
+        // Protocol (divisor tables), engine and pool are built once —
+        // only the run itself is timed. The per-iteration `loads` reset
+        // is a plain copy shared by every variant. EveryK's cadence keeps
+        // rolling across iterations (rounds_run persists), which averages
+        // to the same per-round work.
+        let mut engine = if threads == 1 {
+            ContinuousDiffusion::new(&inst.g).engine()
+        } else {
+            ContinuousDiffusion::new(&inst.g).engine_parallel(threads)
+        }
+        .with_stats_mode(mode);
+        let mut loads = inst.init.clone();
+        group.bench_function(variant, |b| {
+            b.iter(|| {
+                loads.copy_from_slice(&inst.init);
+                // Unreachable target: the driver executes exactly `rounds`
+                // rounds, convergence checks (and their on-demand Φ
+                // fallback) included.
+                black_box(run_continuous(
+                    &mut engine,
+                    &mut loads,
+                    f64::NEG_INFINITY,
+                    rounds,
+                    false,
+                ))
+            });
+        });
+    }
+    group.finish();
+}
+
+fn main() {
+    let test_mode = std::env::args().any(|a| a == "--test");
+    let quick = matches!(std::env::var("DLB_BENCH_QUICK"), Ok(v) if !v.is_empty() && v != "0");
+    let side = if quick { 100 } else { 1000 };
+    let conv_rounds = if quick { 10 } else { 25 };
+
     let g = topology::torus2d(side, side);
     let n = g.n();
     let init: Vec<f64> = (0..n).map(|i| ((i * 131 + 17) % 4099) as f64).collect();
+    let inst = Instance { g, init, side };
 
-    let mut group = c.benchmark_group("engine_round_1m_torus");
+    let mut c = Criterion::default()
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(if quick { 100 } else { 500 }))
+        .measurement_time(Duration::from_millis(if quick { 400 } else { 2500 }));
 
-    group.bench_function("serial", |b| {
-        let mut engine = ContinuousDiffusion::new(&g).engine();
-        let mut loads = init.clone();
-        b.iter(|| black_box(engine.round(&mut loads)));
-    });
+    let mut meta: HashMap<String, Meta> = HashMap::new();
+    gather_kernels(&mut c, &inst, &mut meta);
+    engine_rounds(&mut c, &inst, &mut meta);
+    convergence_runs(&mut c, &inst, conv_rounds, &mut meta);
 
-    let avail = recommended_threads();
-    for threads in [2usize, 4, 8] {
-        if threads > 2 * avail {
-            continue;
-        }
-        group.bench_with_input(
-            BenchmarkId::new("pool", threads),
-            &threads,
-            |b, &threads| {
-                let mut engine = ContinuousDiffusion::new(&g).engine_parallel(threads);
-                let mut loads = init.clone();
-                b.iter(|| black_box(engine.round(&mut loads)));
-            },
-        );
+    if test_mode {
+        // `cargo test --benches` smoke-runs one iteration of everything;
+        // don't overwrite the committed trajectory with junk timings.
+        return;
     }
 
-    group.finish();
+    let records: Vec<PerfRecord> = take_reports()
+        .into_iter()
+        .filter_map(|r| {
+            let m = meta.get(&r.id)?;
+            let per_round = m.rounds_per_iter as f64;
+            Some(PerfRecord {
+                id: r.id.clone(),
+                group: m.group.to_string(),
+                variant: m.variant.clone(),
+                topology: "torus2d".to_string(),
+                n: inst.side * inst.side,
+                threads: m.threads,
+                rounds_per_iter: m.rounds_per_iter,
+                median_ns_per_round: r.median_ns / per_round,
+                min_ns_per_round: r.min_ns / per_round,
+                samples: r.samples,
+            })
+        })
+        .collect();
+    assert!(
+        !records.is_empty(),
+        "bench produced no records (filter excluded everything?)"
+    );
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_engine.json");
+    perf_json::write(path, "engine", quick, recommended_threads(), &records)
+        .expect("write BENCH_engine.json");
+    println!("wrote {} records to {path}", records.len());
 }
-
-criterion_group! {
-    name = benches;
-    config = Criterion::default()
-        .sample_size(10)
-        .warm_up_time(Duration::from_millis(500))
-        .measurement_time(Duration::from_millis(2500));
-    targets = gather_kernels, engine_rounds
-}
-criterion_main!(benches);

@@ -37,6 +37,97 @@ pub fn spike_discrete(n: usize) -> Vec<i64> {
     v
 }
 
+/// Machine-readable benchmark output (`BENCH_*.json`), written without any
+/// serde dependency so the offline workspace stays dependency-free.
+///
+/// The JSON tracks the perf trajectory across PRs: each record is one
+/// benchmark variant with its median/min per-round time, tagged with
+/// topology, size, thread count and stats mode so future sessions can
+/// diff like against like.
+pub mod perf_json {
+    use std::io::Write;
+
+    /// One benchmark result destined for the JSON report.
+    #[derive(Debug, Clone)]
+    pub struct PerfRecord {
+        /// Full benchmark id as printed by the harness.
+        pub id: String,
+        /// Logical group (`gather`, `engine_round`, `convergence_run`).
+        pub group: String,
+        /// Variant within the group (`serial/full`, `pool4/off`, …).
+        pub variant: String,
+        /// Topology family of the instance.
+        pub topology: String,
+        /// Node count of the instance.
+        pub n: usize,
+        /// Worker threads (1 = serial executor).
+        pub threads: usize,
+        /// Rounds executed per timed iteration (per-round figures divide
+        /// by this).
+        pub rounds_per_iter: usize,
+        /// Median nanoseconds per round.
+        pub median_ns_per_round: f64,
+        /// Fastest-sample nanoseconds per round.
+        pub min_ns_per_round: f64,
+        /// Timed samples behind the figures.
+        pub samples: usize,
+    }
+
+    fn esc(s: &str) -> String {
+        s.replace('\\', "\\\\").replace('"', "\\\"")
+    }
+
+    fn num(x: f64) -> String {
+        if x.is_finite() {
+            format!("{x:.1}")
+        } else {
+            "null".to_string()
+        }
+    }
+
+    /// Writes the report to `path` (pretty-printed, stable key order —
+    /// diff-friendly across PRs). Fails loudly: a bench that cannot
+    /// record its trajectory should not pretend it succeeded.
+    pub fn write(
+        path: &str,
+        bench: &str,
+        quick: bool,
+        threads_available: usize,
+        records: &[PerfRecord],
+    ) -> std::io::Result<()> {
+        let mut out = String::new();
+        out.push_str("{\n");
+        out.push_str("  \"schema\": \"dlb-bench/1\",\n");
+        out.push_str(&format!("  \"bench\": \"{}\",\n", esc(bench)));
+        out.push_str(&format!("  \"quick\": {quick},\n"));
+        out.push_str(&format!("  \"threads_available\": {threads_available},\n"));
+        out.push_str("  \"units\": \"ns_per_round\",\n");
+        out.push_str("  \"results\": [\n");
+        for (i, r) in records.iter().enumerate() {
+            out.push_str(&format!(
+                "    {{\"id\": \"{}\", \"group\": \"{}\", \"variant\": \"{}\", \
+                 \"topology\": \"{}\", \"n\": {}, \"threads\": {}, \
+                 \"rounds_per_iter\": {}, \"median_ns_per_round\": {}, \
+                 \"min_ns_per_round\": {}, \"samples\": {}}}{}\n",
+                esc(&r.id),
+                esc(&r.group),
+                esc(&r.variant),
+                esc(&r.topology),
+                r.n,
+                r.threads,
+                r.rounds_per_iter,
+                num(r.median_ns_per_round),
+                num(r.min_ns_per_round),
+                r.samples,
+                if i + 1 == records.len() { "" } else { "," },
+            ));
+        }
+        out.push_str("  ]\n}\n");
+        let mut f = std::fs::File::create(path)?;
+        f.write_all(out.as_bytes())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -22,9 +22,8 @@
 //! are bit-identical to the historical on-the-fly computation (pinned by
 //! golden fixtures in the workspace test-suite).
 
-use crate::engine::{FlowTally, Protocol};
+use crate::engine::{FlowTally, Protocol, StatsCtx};
 use crate::model::RoundStats;
-use crate::potential::phi;
 use dlb_graphs::{weights, Graph};
 
 /// Per-edge flow divisor `4·max(dᵢ, dⱼ)` of Algorithm 1.
@@ -68,14 +67,19 @@ pub(crate) fn gather_precomputed(g: &Graph, slot_div: &[f64], snapshot: &[f64], 
     acc
 }
 
-/// Per-round flow statistics over edge-list-aligned precomputed divisors.
-pub(crate) fn flow_tally_precomputed(g: &Graph, edge_div: &[f64], snapshot: &[f64]) -> FlowTally {
-    FlowTally::from_flows(
-        g.edges()
-            .iter()
-            .enumerate()
-            .map(|(k, &(u, v))| (snapshot[u as usize] - snapshot[v as usize]).abs() / edge_div[k]),
-    )
+/// Per-round flow statistics over edge-list-aligned precomputed divisors,
+/// reduced in blocked order through `ctx` (pool-parallel when available).
+pub(crate) fn flow_tally_precomputed(
+    g: &Graph,
+    edge_div: &[f64],
+    snapshot: &[f64],
+    ctx: &StatsCtx<'_>,
+) -> FlowTally {
+    let edges = g.edges();
+    ctx.flow_tally(edges.len(), |k| {
+        let (u, v) = edges[k];
+        (snapshot[u as usize] - snapshot[v as usize]).abs() / edge_div[k]
+    })
 }
 
 /// Continuous Algorithm 1 on a fixed network.
@@ -124,9 +128,14 @@ impl Protocol for ContinuousDiffusion<'_> {
         gather_precomputed(self.g, &self.slot_div, snapshot, v)
     }
 
-    fn end_round(&mut self, snapshot: &[f64], new_loads: &[f64]) -> RoundStats {
-        flow_tally_precomputed(self.g, &self.edge_div, snapshot)
-            .stats(phi(snapshot), phi(new_loads))
+    fn compute_stats(
+        &mut self,
+        snapshot: &[f64],
+        new_loads: &[f64],
+        ctx: &StatsCtx<'_>,
+    ) -> RoundStats {
+        flow_tally_precomputed(self.g, &self.edge_div, snapshot, ctx)
+            .stats(ctx.phi(snapshot), ctx.phi(new_loads))
     }
 }
 
@@ -184,9 +193,14 @@ impl Protocol for GeneralizedDiffusion<'_> {
         gather_precomputed(self.g, &self.slot_div, snapshot, v)
     }
 
-    fn end_round(&mut self, snapshot: &[f64], new_loads: &[f64]) -> RoundStats {
-        flow_tally_precomputed(self.g, &self.edge_div, snapshot)
-            .stats(phi(snapshot), phi(new_loads))
+    fn compute_stats(
+        &mut self,
+        snapshot: &[f64],
+        new_loads: &[f64],
+        ctx: &StatsCtx<'_>,
+    ) -> RoundStats {
+        flow_tally_precomputed(self.g, &self.edge_div, snapshot, ctx)
+            .stats(ctx.phi(snapshot), ctx.phi(new_loads))
     }
 }
 
@@ -206,7 +220,10 @@ mod tests {
         // P_2: degrees 1,1; flow = (l0-l1)/4.
         let g = topology::path(2);
         let mut loads = vec![8.0, 0.0];
-        let stats = ContinuousDiffusion::new(&g).engine().round(&mut loads);
+        let stats = ContinuousDiffusion::new(&g)
+            .engine()
+            .round(&mut loads)
+            .expect("full stats");
         assert!((loads[0] - 6.0).abs() < 1e-12);
         assert!((loads[1] - 2.0).abs() < 1e-12);
         assert_eq!(stats.active_edges, 1);
@@ -217,7 +234,10 @@ mod tests {
     fn balanced_vector_is_fixed_point() {
         let g = topology::torus2d(3, 3);
         let mut loads = vec![4.0; 9];
-        let stats = ContinuousDiffusion::new(&g).engine().round(&mut loads);
+        let stats = ContinuousDiffusion::new(&g)
+            .engine()
+            .round(&mut loads)
+            .expect("full stats");
         assert!(loads.iter().all(|&l| (l - 4.0).abs() < 1e-12));
         assert_eq!(stats.active_edges, 0);
         assert_eq!(stats.phi_after, 0.0);
@@ -241,7 +261,7 @@ mod tests {
         let mut loads: Vec<f64> = (0..12).map(|i| ((i * 7 + 3) % 11) as f64).collect();
         let mut d = ContinuousDiffusion::new(&g).engine();
         for _ in 0..100 {
-            let s = d.round(&mut loads);
+            let s = d.round(&mut loads).expect("full stats");
             assert!(
                 s.phi_after <= s.phi_before + 1e-9,
                 "potential increased: {} -> {}",
@@ -281,7 +301,7 @@ mod tests {
         loads[0] = n as f64;
         let mut d = ContinuousDiffusion::new(&g).engine();
         for _ in 0..200 {
-            let s = d.round(&mut loads);
+            let s = d.round(&mut loads).expect("full stats");
             if s.phi_before < 1e-12 {
                 break;
             }
@@ -298,7 +318,10 @@ mod tests {
     fn flows_bounded_by_degree_rule() {
         let g = topology::complete(6);
         let mut loads: Vec<f64> = (0..6).map(|i| (i * 10) as f64).collect();
-        let s = ContinuousDiffusion::new(&g).engine().round(&mut loads);
+        let s = ContinuousDiffusion::new(&g)
+            .engine()
+            .round(&mut loads)
+            .expect("full stats");
         // max single-edge flow on K_6: diff 50, divisor 4*5 = 20 -> 2.5.
         assert!((s.max_flow - 2.5).abs() < 1e-12);
     }
@@ -354,7 +377,8 @@ mod tests {
         loads[0] = 90.0;
         let s = GeneralizedDiffusion::new(&g, 0.5)
             .engine()
-            .round(&mut loads);
+            .round(&mut loads)
+            .expect("full stats");
         assert!(
             s.phi_after > s.phi_before,
             "expected overshoot: {} -> {}",
@@ -372,9 +396,9 @@ mod tests {
         let g = topology::path(2);
         let mut loads = vec![8.0, 0.0];
         let mut exec = GeneralizedDiffusion::new(&g, 1.0).engine();
-        let s1 = exec.round(&mut loads);
+        let s1 = exec.round(&mut loads).expect("full stats");
         assert_eq!(loads, vec![0.0, 8.0]);
-        let s2 = exec.round(&mut loads);
+        let s2 = exec.round(&mut loads).expect("full stats");
         assert_eq!(loads, vec![8.0, 0.0]);
         assert_eq!(s1.phi_before, s2.phi_after); // Φ frozen forever
     }
@@ -388,7 +412,8 @@ mod tests {
         let mut loads = vec![8.0, 0.0];
         let s = GeneralizedDiffusion::new(&g, 2.0)
             .engine()
-            .round(&mut loads);
+            .round(&mut loads)
+            .expect("full stats");
         assert!(s.phi_after <= s.phi_before);
         assert_eq!(loads, vec![4.0, 4.0]);
     }

@@ -12,9 +12,8 @@
 //! slot; token counts are integers, so serial and parallel execution agree
 //! exactly and conservation is exact.
 
-use crate::engine::{Protocol, TokenTally};
+use crate::engine::{Protocol, StatsCtx, TokenTally};
 use crate::model::DiscreteRoundStats;
-use crate::potential::phi_hat;
 use dlb_graphs::{weights, Graph};
 
 /// Tokens sent across edge `{u, v}` this round (from the richer endpoint),
@@ -69,12 +68,20 @@ pub(crate) fn gather_precomputed(g: &Graph, slot_div: &[i64], snapshot: &[i64], 
     i64::try_from(acc).expect("load fits i64")
 }
 
-/// Per-round token statistics over edge-list-aligned precomputed divisors.
-pub(crate) fn token_tally_precomputed(g: &Graph, edge_div: &[i64], snapshot: &[i64]) -> TokenTally {
-    TokenTally::from_tokens(g.edges().iter().enumerate().map(|(k, &(u, v))| {
+/// Per-round token statistics over edge-list-aligned precomputed divisors,
+/// reduced in blocked order through `ctx` (pool-parallel when available).
+pub(crate) fn token_tally_precomputed(
+    g: &Graph,
+    edge_div: &[i64],
+    snapshot: &[i64],
+    ctx: &StatsCtx<'_>,
+) -> TokenTally {
+    let edges = g.edges();
+    ctx.token_tally(edges.len(), |k| {
+        let (u, v) = edges[k];
         let diff = (snapshot[u as usize] as i128 - snapshot[v as usize] as i128).unsigned_abs();
         (diff / edge_div[k] as u128) as u64
-    }))
+    })
 }
 
 /// Discrete Algorithm 1 on a fixed network.
@@ -123,9 +130,14 @@ impl Protocol for DiscreteDiffusion<'_> {
         gather_precomputed(self.g, &self.slot_div, snapshot, v)
     }
 
-    fn end_round(&mut self, snapshot: &[i64], new_loads: &[i64]) -> DiscreteRoundStats {
-        token_tally_precomputed(self.g, &self.edge_div, snapshot)
-            .stats(phi_hat(snapshot), phi_hat(new_loads))
+    fn compute_stats(
+        &mut self,
+        snapshot: &[i64],
+        new_loads: &[i64],
+        ctx: &StatsCtx<'_>,
+    ) -> DiscreteRoundStats {
+        token_tally_precomputed(self.g, &self.edge_div, snapshot, ctx)
+            .stats(ctx.phi_hat(snapshot), ctx.phi_hat(new_loads))
     }
 }
 
@@ -145,7 +157,10 @@ mod tests {
         // P_2: flow = floor((l0 - l1)/4). l = [10, 0]: 2 tokens.
         let g = topology::path(2);
         let mut loads = vec![10i64, 0];
-        let s = DiscreteDiffusion::new(&g).engine().round(&mut loads);
+        let s = DiscreteDiffusion::new(&g)
+            .engine()
+            .round(&mut loads)
+            .expect("full stats");
         assert_eq!(loads, vec![8, 2]);
         assert_eq!(s.total_tokens, 2);
         assert_eq!(s.active_edges, 1);
@@ -156,7 +171,10 @@ mod tests {
         // diff 3 < divisor 4: no transfer.
         let g = topology::path(2);
         let mut loads = vec![3i64, 0];
-        let s = DiscreteDiffusion::new(&g).engine().round(&mut loads);
+        let s = DiscreteDiffusion::new(&g)
+            .engine()
+            .round(&mut loads)
+            .expect("full stats");
         assert_eq!(loads, vec![3, 0]);
         assert_eq!(s.total_tokens, 0);
         assert_eq!(s.drop_hat(), 0);
@@ -194,7 +212,7 @@ mod tests {
         let mut loads: Vec<i64> = (0..16).map(|i| ((i * 13 + 5) % 97) as i64).collect();
         let mut d = DiscreteDiffusion::new(&g).engine();
         for _ in 0..100 {
-            let s = d.round(&mut loads);
+            let s = d.round(&mut loads).expect("full stats");
             assert!(
                 s.phi_hat_after <= s.phi_hat_before,
                 "potential increased: {} -> {}",

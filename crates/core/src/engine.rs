@@ -2,7 +2,7 @@
 //! one parallel executor, shared by every balancing scheme in the
 //! workspace.
 //!
-//! ### The shape of a round
+//! ### The shape of a round (zero-copy, double-buffered)
 //!
 //! Every protocol in the paper — Algorithm 1 (continuous and discrete),
 //! Algorithm 2's random partners, the heterogeneous extension, and the
@@ -10,60 +10,87 @@
 //! transformation of a load vector whose quadratic potential the analysis
 //! tracks. Executing one round always decomposes into
 //!
-//! 1. **snapshot** — copy the round-start loads into an immutable buffer;
-//! 2. **begin** — protocol-specific per-round setup against the snapshot
-//!    ([`Protocol::begin_round`]): sample Algorithm 2's partners, draw a
-//!    matching, advance a dynamic graph sequence, …;
-//! 3. **gather** — every node's new load is computed independently from
-//!    the snapshot by [`Protocol::node_new_load`]. This is the hot loop,
-//!    and the only step the executors differ on: the serial executor walks
-//!    `0..n`, the parallel executor splits the node range into contiguous
-//!    chunks over a persistent [`WorkerPool`]. Because both evaluate the
-//!    *same* kernel per node in the *same* per-node operation order, their
-//!    results are **bit-identical** — the workspace's serial ≡ parallel
-//!    invariant;
-//! 4. **end** — the protocol computes its round statistics from the
-//!    snapshot and the new loads, and updates any cross-round state
-//!    (e.g. the second-order scheme's `L^{t−1}` history)
-//!    ([`Protocol::end_round`]).
+//! 1. **begin** — protocol-specific per-round setup against the round-start
+//!    loads ([`Protocol::begin_round`]): sample Algorithm 2's partners,
+//!    draw a matching, advance a dynamic graph sequence, …;
+//! 2. **gather** — every node's new load is computed independently from
+//!    the round-start loads by [`Protocol::node_new_load`]. This is the hot
+//!    loop, and the only step the executors differ on: the serial executor
+//!    walks `0..n`, the parallel executor splits the node range into
+//!    contiguous chunks over a persistent [`WorkerPool`]. Because both
+//!    evaluate the *same* kernel per node in the *same* per-node operation
+//!    order, their results are **bit-identical** — the workspace's serial
+//!    ≡ parallel invariant. The gather writes into the engine's **back
+//!    buffer**, so the caller's vector doubles as the immutable snapshot:
+//!    there is *no per-round `O(n)` snapshot copy*. After the gather the
+//!    two buffers **swap** (`Vec::swap`, `O(1)`): the caller's vector now
+//!    holds the new loads and the engine's back buffer holds the
+//!    round-start snapshot for the hooks below;
+//! 3. **finish** — cheap mandatory cross-round bookkeeping
+//!    ([`Protocol::finish_round`]): advance the second-order scheme's
+//!    `L^{t−1}` history, step Chebyshev's `ω` recurrence. Runs every
+//!    round;
+//! 4. **stats** (lazy) — per-round statistics
+//!    ([`Protocol::compute_stats`]) run only on rounds the engine's
+//!    [`StatsMode`] requests, through a [`StatsCtx`] that carries the
+//!    executor's worker pool so the `Φ` sweeps and flow tallies can
+//!    parallelize. All statistics reductions use fixed-size blocks
+//!    combined in block order (see [`crate::potential::REDUCE_BLOCK`]),
+//!    so serial and parallel statistics are bit-identical too.
+//!
+//! Kernel inputs and outputs are byte-identical to the historical
+//! copy-the-snapshot formulation, so the ping-pong refactor preserves the
+//! engine ≡ legacy golden fixtures for loads exactly.
 //!
 //! The convergence drivers in [`crate::runner`] sit on top of [`Engine`]
 //! through the [`ContinuousBalancer`]/[`DiscreteBalancer`] traits, which
 //! the engine implements generically — so every scheme gets the serial
-//! executor, the parallel executor, and every driver for free by
-//! implementing [`Protocol`] once.
+//! executor, the parallel executor, lazy statistics, and every driver for
+//! free by implementing [`Protocol`] once. On rounds whose stats were
+//! skipped, the drivers fall back to the balancer's on-demand potential
+//! ([`Protocol::potential_of`]), which reuses the same blocked reduction —
+//! convergence decisions are bit-for-bit independent of the [`StatsMode`].
 //!
 //! ### Threading
 //!
 //! [`WorkerPool`] keeps its threads alive across rounds (a round on a
 //! large graph is microseconds of work per chunk; respawning OS threads
 //! per round costs more than the gather itself). Worker counts come from
-//! [`recommended_threads`], which honours the `DLB_THREADS` environment
-//! variable so nested contexts (benches under test runners, engines inside
-//! Monte-Carlo workers) can cap oversubscription.
+//! [`recommended_threads_cached`], which honours the `DLB_THREADS`
+//! environment variable so nested contexts (benches under test runners,
+//! engines inside Monte-Carlo workers) can cap oversubscription. Pools are
+//! clamped to `n` workers — tiny graphs never spawn parked idle threads.
+//!
+//! [`ContinuousBalancer`]: crate::model::ContinuousBalancer
+//! [`DiscreteBalancer`]: crate::model::DiscreteBalancer
 
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::mpsc;
+use std::sync::OnceLock;
 use std::thread::JoinHandle;
+
+use crate::potential;
 
 /// One synchronous balancing scheme, expressed as a per-round gather.
 ///
 /// Implementors hold the topology, any precomputed edge weights, the RNG
 /// of randomized schemes, and any cross-round history. The engine owns the
-/// snapshot buffer and the execution strategy.
+/// back buffer and the execution strategy.
 ///
 /// Thread-safety is *not* required of protocols in general: only
 /// [`Engine::parallel`] needs `P: Sync` (the gather shares `&self` across
 /// worker threads; [`Protocol::node_new_load`] is the only method called
 /// concurrently). Purely serial protocols — including trait objects like
 /// `Box<dyn GraphSequence>` held inside dynamic protocols — stay free of
-/// `Send`/`Sync` bounds.
+/// `Send`/`Sync` bounds. Statistics closures handed to [`StatsCtx`] must
+/// be `Sync`, but they capture only plain data (slices, graphs, divisor
+/// tables), so this holds even for `!Sync` protocols.
 pub trait Protocol {
     /// The load value type: `f64` for continuous schemes, `i64` tokens for
     /// discrete ones.
-    type Load: Copy + Default + PartialEq + Send + Sync + std::fmt::Debug;
+    type Load: Copy + Default + PartialEq + Send + Sync + std::fmt::Debug + LoadPotential;
 
-    /// Per-round statistics produced by [`Protocol::end_round`].
+    /// Per-round statistics produced by [`Protocol::compute_stats`].
     type Stats;
 
     /// Number of nodes; load vectors must have exactly this length.
@@ -88,10 +115,222 @@ pub trait Protocol {
     /// parallel bit-identity guarantee relies on per-node determinism.
     fn node_new_load(&self, snapshot: &[Self::Load], v: u32) -> Self::Load;
 
-    /// Round statistics from the snapshot and the gathered loads; also the
-    /// place to update cross-round history (runs after the gather, with
-    /// exclusive access to `self`).
-    fn end_round(&mut self, snapshot: &[Self::Load], new_loads: &[Self::Load]) -> Self::Stats;
+    /// Cheap cross-round bookkeeping after the gather (advance the
+    /// second-order history, step acceleration recurrences). Runs every
+    /// round regardless of the engine's [`StatsMode`], with exclusive
+    /// access to `self`. Default: nothing.
+    fn finish_round(&mut self, snapshot: &[Self::Load], new_loads: &[Self::Load]) {
+        let _ = (snapshot, new_loads);
+    }
+
+    /// Round statistics from the snapshot and the gathered loads. Called
+    /// *only* on rounds whose [`StatsMode`] requests statistics; all
+    /// potential sweeps and flow tallies should go through `ctx` so they
+    /// parallelize over the executor's pool and honour
+    /// [`StatsCtx::flows_wanted`].
+    fn compute_stats(
+        &mut self,
+        snapshot: &[Self::Load],
+        new_loads: &[Self::Load],
+        ctx: &StatsCtx<'_>,
+    ) -> Self::Stats;
+
+    /// The scalar potential this protocol's stats report as the
+    /// after-round potential, computed standalone. The convergence drivers
+    /// call it (through the balancer traits) on rounds whose stats were
+    /// skipped, so it **must** be bit-identical to the value
+    /// [`Protocol::compute_stats`] would have reported for `loads`.
+    /// Default: the unweighted `Φ`/`Φ̂` of the load type; protocols with a
+    /// different potential (e.g. capacity-weighted `Φ_c`) must override.
+    fn potential_of(
+        &self,
+        loads: &[Self::Load],
+        ctx: &StatsCtx<'_>,
+    ) -> <Self::Load as LoadPotential>::Phi {
+        <Self::Load as LoadPotential>::potential(loads, ctx)
+    }
+}
+
+/// The default scalar potential of a load type: `Φ` for `f64` vectors,
+/// exact scaled `Φ̂` for `i64` token vectors. This is what
+/// [`Protocol::potential_of`] reports unless a protocol overrides it.
+pub trait LoadPotential: Sized {
+    /// The potential's scalar type (`f64` or exact `u128`).
+    type Phi;
+
+    /// The potential of `loads`, computed through `ctx`'s blocked
+    /// (optionally pooled) reduction.
+    fn potential(loads: &[Self], ctx: &StatsCtx<'_>) -> Self::Phi;
+}
+
+impl LoadPotential for f64 {
+    type Phi = f64;
+
+    fn potential(loads: &[Self], ctx: &StatsCtx<'_>) -> f64 {
+        ctx.phi(loads)
+    }
+}
+
+impl LoadPotential for i64 {
+    type Phi = u128;
+
+    fn potential(loads: &[Self], ctx: &StatsCtx<'_>) -> u128 {
+        ctx.phi_hat(loads)
+    }
+}
+
+/// Which statistics [`Engine::round`] computes per round.
+///
+/// Final loads and round counts are **bit-identical across all modes**:
+/// statistics are observers, never inputs, and the convergence drivers'
+/// on-demand `Φ` fallback reproduces the skipped `phi_after` exactly (same
+/// blocked reduction). Modes only trade per-round bookkeeping cost for
+/// observability.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum StatsMode {
+    /// Full statistics every round (flow tally + both potential sweeps).
+    /// The default; matches the historical always-on behaviour.
+    #[default]
+    Full,
+    /// Full statistics on every `k`-th executed round (the engine's
+    /// rounds `k`, `2k`, …, counted from construction); all other rounds
+    /// skip statistics entirely and return `None`.
+    EveryK(usize),
+    /// Potentials only, every round: the `O(m)` flow tally is skipped and
+    /// its fields report zero.
+    PhiOnly,
+    /// No statistics at all; every round returns `None`. Steady-state
+    /// rounds are gather-only.
+    Off,
+}
+
+impl StatsMode {
+    /// The statistics level for executed round number `round` (1-based),
+    /// or `None` when this round skips stats.
+    fn level_for(self, round: u64) -> Option<StatsLevel> {
+        match self {
+            StatsMode::Full => Some(StatsLevel::Flows),
+            StatsMode::EveryK(k) => {
+                debug_assert!(k >= 1);
+                round
+                    .is_multiple_of(k.max(1) as u64)
+                    .then_some(StatsLevel::Flows)
+            }
+            StatsMode::PhiOnly => Some(StatsLevel::PhiOnly),
+            StatsMode::Off => None,
+        }
+    }
+}
+
+/// How much of the statistics a [`StatsCtx`] computes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum StatsLevel {
+    /// Potentials and the per-edge flow tally.
+    Flows,
+    /// Potentials only; [`StatsCtx::flow_tally`]/[`StatsCtx::token_tally`]
+    /// return zeroed tallies without evaluating the flow closure.
+    PhiOnly,
+}
+
+/// Execution context for statistics computation: carries the executor's
+/// worker pool (if any) and the requested level. All reductions are
+/// **fixed-size blocks combined in block order** — bit-identical whether
+/// the partials are computed serially or over the pool, at any thread
+/// count (see [`crate::potential::REDUCE_BLOCK`]).
+#[derive(Debug, Clone, Copy)]
+pub struct StatsCtx<'a> {
+    pool: Option<&'a WorkerPool>,
+    level: StatsLevel,
+}
+
+impl<'a> StatsCtx<'a> {
+    /// A pool-less full-statistics context, for standalone/off-engine
+    /// statistics computation.
+    pub fn serial() -> StatsCtx<'static> {
+        StatsCtx {
+            pool: None,
+            level: StatsLevel::Flows,
+        }
+    }
+
+    fn new(pool: Option<&'a WorkerPool>, level: StatsLevel) -> Self {
+        StatsCtx { pool, level }
+    }
+
+    /// Whether the flow/token tally is wanted this round (`false` under
+    /// [`StatsMode::PhiOnly`] — tallies then report zeros).
+    pub fn flows_wanted(&self) -> bool {
+        self.level == StatsLevel::Flows
+    }
+
+    /// Blocked (optionally pooled) `Φ` of a continuous vector.
+    pub fn phi(&self, loads: &[f64]) -> f64 {
+        potential::phi_with(loads, self.pool)
+    }
+
+    /// Blocked (optionally pooled) exact `Φ̂` of a token vector.
+    pub fn phi_hat(&self, loads: &[i64]) -> u128 {
+        potential::phi_hat_with(loads, self.pool)
+    }
+
+    /// Blocked (optionally pooled) sum `Σ_{i<n} f(i)` — the building block
+    /// for weighted potentials.
+    pub fn sum(&self, n: usize, f: impl Fn(usize) -> f64 + Sync) -> f64 {
+        potential::blocked_reduce(
+            n,
+            self.pool,
+            |b| {
+                let (s, e) = potential::block_bounds(b, n);
+                (s..e).map(&f).sum::<f64>()
+            },
+            |a, b| a + b,
+            0.0,
+        )
+    }
+
+    /// Tallies `flow(k)` over `m` edges in blocked order, or returns a
+    /// zeroed tally (without evaluating `flow`) when flows are not wanted.
+    pub fn flow_tally(&self, m: usize, flow: impl Fn(usize) -> f64 + Sync) -> FlowTally {
+        if !self.flows_wanted() {
+            return FlowTally::default();
+        }
+        potential::blocked_reduce(
+            m,
+            self.pool,
+            |b| {
+                let (s, e) = potential::block_bounds(b, m);
+                let mut tally = FlowTally::default();
+                for k in s..e {
+                    tally.add(flow(k));
+                }
+                tally
+            },
+            FlowTally::merge,
+            FlowTally::default(),
+        )
+    }
+
+    /// Tallies `tokens(k)` over `m` edges in blocked order, or returns a
+    /// zeroed tally when flows are not wanted.
+    pub fn token_tally(&self, m: usize, tokens: impl Fn(usize) -> u64 + Sync) -> TokenTally {
+        if !self.flows_wanted() {
+            return TokenTally::default();
+        }
+        potential::blocked_reduce(
+            m,
+            self.pool,
+            |b| {
+                let (s, e) = potential::block_bounds(b, m);
+                let mut tally = TokenTally::default();
+                for k in s..e {
+                    tally.add(tokens(k));
+                }
+                tally
+            },
+            TokenTally::merge,
+            TokenTally::default(),
+        )
+    }
 }
 
 /// Worker threads to use by default: `DLB_THREADS` when set to a positive
@@ -101,6 +340,9 @@ pub trait Protocol {
 /// wrong answer in nested contexts — engines inside Monte-Carlo workers,
 /// benches under instrumented runners — where it oversubscribes the
 /// machine and destabilizes measurements.
+///
+/// Re-reads the environment on every call; hot constructors should use
+/// [`recommended_threads_cached`].
 pub fn recommended_threads() -> usize {
     if let Ok(value) = std::env::var("DLB_THREADS") {
         if let Ok(n) = value.trim().parse::<usize>() {
@@ -112,6 +354,17 @@ pub fn recommended_threads() -> usize {
     std::thread::available_parallelism()
         .map(|n| n.get())
         .unwrap_or(1)
+}
+
+/// [`recommended_threads`], resolved once per process and cached in a
+/// `OnceLock`. Used by hot constructors ([`Engine::parallel`] with
+/// `threads == 0`) so building many short-lived engines — Monte-Carlo
+/// sweeps, experiment grids — doesn't re-parse the environment each time.
+/// Later changes to `DLB_THREADS` are deliberately not observed; tests
+/// that exercise the env var use the uncached function.
+pub fn recommended_threads_cached() -> usize {
+    static CACHED: OnceLock<usize> = OnceLock::new();
+    *CACHED.get_or_init(recommended_threads)
 }
 
 /// Splits `0..n` into `threads` contiguous chunks of near-equal length.
@@ -248,22 +501,34 @@ impl Drop for WorkerPool {
     }
 }
 
-/// The unified executor: owns a [`Protocol`], the snapshot buffer, and the
-/// execution strategy (serial or pooled-parallel).
+/// The unified executor: owns a [`Protocol`], the ping-pong back buffer,
+/// the [`StatsMode`], and the execution strategy (serial or
+/// pooled-parallel).
 ///
 /// `Engine` implements [`ContinuousBalancer`] / [`DiscreteBalancer`]
 /// (depending on the protocol's load type), so it plugs directly into the
 /// convergence drivers of [`crate::runner`] and the experiment harness.
+///
+/// [`ContinuousBalancer`]: crate::model::ContinuousBalancer
+/// [`DiscreteBalancer`]: crate::model::DiscreteBalancer
 #[derive(Debug)]
 pub struct Engine<P: Protocol> {
     protocol: P,
-    snapshot: Vec<P::Load>,
+    /// The engine-owned half of the ping-pong buffer pair. Before a round
+    /// it is scratch space the gather writes into; after the `O(1)` swap
+    /// it holds the round-start snapshot the hooks read. The caller's
+    /// vector is the other half.
+    back: Vec<P::Load>,
     /// Parallel mode: the pool plus the monomorphized gather entry point.
     ///
     /// The fn pointer is instantiated in [`Engine::parallel`] — the one
     /// place that knows `P: Sync` — so [`Engine::round`] needs no
     /// thread-safety bounds and serial-only protocols stay `?Sync`.
     pool: Option<(WorkerPool, GatherFn<P>)>,
+    /// Which rounds compute statistics.
+    stats_mode: StatsMode,
+    /// Rounds executed since construction (drives [`StatsMode::EveryK`]).
+    rounds_run: u64,
 }
 
 /// Monomorphized pooled-gather entry point stored by parallel engines.
@@ -284,30 +549,55 @@ impl<P: Protocol> Engine<P> {
         let n = protocol.n();
         Engine {
             protocol,
-            snapshot: vec![P::Load::default(); n],
+            back: vec![P::Load::default(); n],
             pool: None,
+            stats_mode: StatsMode::default(),
+            rounds_run: 0,
         }
     }
 
     /// Parallel executor with an explicit worker count (`0` means
-    /// [`recommended_threads`]). A persistent worker pool is spawned once
-    /// here and reused every round. This is the only place thread-safety
-    /// is demanded of a protocol.
+    /// [`recommended_threads_cached`]). A persistent worker pool is
+    /// spawned once here and reused every round; it is clamped to `n`
+    /// workers so tiny graphs never hold parked idle threads. This is the
+    /// only place thread-safety is demanded of a protocol.
     pub fn parallel(protocol: P, threads: usize) -> Self
     where
         P: Sync,
     {
         let threads = if threads == 0 {
-            recommended_threads()
+            recommended_threads_cached()
         } else {
             threads
         };
         let n = protocol.n();
+        let threads = threads.clamp(1, n.max(1));
         Engine {
             protocol,
-            snapshot: vec![P::Load::default(); n],
+            back: vec![P::Load::default(); n],
             pool: Some((WorkerPool::new(threads), pooled_gather::<P>)),
+            stats_mode: StatsMode::default(),
+            rounds_run: 0,
         }
+    }
+
+    /// Sets the statistics mode, builder-style.
+    pub fn with_stats_mode(mut self, mode: StatsMode) -> Self {
+        self.set_stats_mode(mode);
+        self
+    }
+
+    /// Sets the statistics mode for subsequent rounds.
+    pub fn set_stats_mode(&mut self, mode: StatsMode) {
+        if let StatsMode::EveryK(k) = mode {
+            assert!(k >= 1, "StatsMode::EveryK needs k >= 1");
+        }
+        self.stats_mode = mode;
+    }
+
+    /// The statistics mode in effect.
+    pub fn stats_mode(&self) -> StatsMode {
+        self.stats_mode
     }
 
     /// The protocol being executed.
@@ -330,26 +620,52 @@ impl<P: Protocol> Engine<P> {
         self.pool.as_ref().map_or(1, |(pool, _)| pool.threads())
     }
 
-    /// Executes one synchronous round in place.
-    pub fn round(&mut self, loads: &mut [P::Load]) -> P::Stats {
+    /// On-demand potential of `loads` as this engine's protocol reports it
+    /// in its statistics, computed over the engine's pool when parallel.
+    /// Bit-identical to the `phi_after` a stats-computing round would
+    /// report for the same vector — this is the convergence drivers'
+    /// fallback for rounds whose stats were skipped.
+    pub fn potential(&self, loads: &[P::Load]) -> <P::Load as LoadPotential>::Phi {
+        let ctx = StatsCtx::new(self.pool.as_ref().map(|(p, _)| p), StatsLevel::Flows);
+        self.protocol.potential_of(loads, &ctx)
+    }
+
+    /// Executes one synchronous round.
+    ///
+    /// `loads` enters holding the round-start loads and leaves holding the
+    /// new loads; internally the vector is **swapped** with the engine's
+    /// back buffer, never copied (the caller's `Vec` identity/capacity may
+    /// therefore change across rounds). Returns the round statistics when
+    /// the engine's [`StatsMode`] computes them this round.
+    pub fn round(&mut self, loads: &mut Vec<P::Load>) -> Option<P::Stats> {
         assert_eq!(
             loads.len(),
             self.protocol.n(),
             "load vector length must equal n"
         );
-        self.snapshot.copy_from_slice(loads);
-        self.protocol.begin_round(&self.snapshot);
-        let protocol = &self.protocol;
-        let snapshot = &self.snapshot[..];
-        match &self.pool {
-            None => {
-                for (v, slot) in loads.iter_mut().enumerate() {
-                    *slot = protocol.node_new_load(snapshot, v as u32);
+        self.protocol.begin_round(loads);
+        {
+            let protocol = &self.protocol;
+            let snapshot = &loads[..];
+            match &self.pool {
+                None => {
+                    for (v, slot) in self.back.iter_mut().enumerate() {
+                        *slot = protocol.node_new_load(snapshot, v as u32);
+                    }
                 }
+                Some((pool, gather)) => gather(pool, protocol, snapshot, &mut self.back),
             }
-            Some((pool, gather)) => gather(pool, protocol, snapshot, loads),
         }
-        self.protocol.end_round(&self.snapshot, loads)
+        // O(1) ping-pong: the caller's vector becomes the back buffer
+        // (holding the round-start snapshot), the gather output becomes
+        // the caller's loads.
+        std::mem::swap(loads, &mut self.back);
+        self.rounds_run += 1;
+        self.protocol.finish_round(&self.back, loads);
+        self.stats_mode.level_for(self.rounds_run).map(|level| {
+            let ctx = StatsCtx::new(self.pool.as_ref().map(|(p, _)| p), level);
+            self.protocol.compute_stats(&self.back, loads, &ctx)
+        })
     }
 }
 
@@ -362,7 +678,7 @@ pub trait IntoEngine: Protocol + Sized {
     }
 
     /// Wraps the protocol in a parallel [`Engine`] (`0` threads means
-    /// [`recommended_threads`]).
+    /// [`recommended_threads_cached`]).
     fn engine_parallel(self, threads: usize) -> Engine<Self>
     where
         Self: Sync,
@@ -374,7 +690,7 @@ pub trait IntoEngine: Protocol + Sized {
 impl<P: Protocol> IntoEngine for P {}
 
 /// Accumulator for continuous per-round flow statistics, shared by the
-/// protocols' `end_round` implementations.
+/// protocols' `compute_stats` implementations.
 #[derive(Debug, Clone, Copy, Default)]
 pub struct FlowTally {
     /// Edges/links that carried a nonzero transfer.
@@ -386,8 +702,10 @@ pub struct FlowTally {
 }
 
 impl FlowTally {
-    /// Tallies an iterator of per-edge transfer amounts — the one-line
-    /// form of every continuous stats sweep.
+    /// Tallies an iterator of per-edge transfer amounts — the linear form
+    /// used by the reference (per-link) round implementations. Engine
+    /// statistics go through [`StatsCtx::flow_tally`] instead, whose
+    /// blocked combine keeps serial and parallel stats bit-identical.
     pub fn from_flows(flows: impl IntoIterator<Item = f64>) -> Self {
         let mut tally = FlowTally::default();
         for w in flows {
@@ -403,6 +721,15 @@ impl FlowTally {
             self.active += 1;
             self.total += w;
             self.max = self.max.max(w);
+        }
+    }
+
+    /// Combines two block partials (in block order: `self` is the prefix).
+    pub(crate) fn merge(self, other: Self) -> Self {
+        FlowTally {
+            active: self.active + other.active,
+            total: self.total + other.total,
+            max: self.max.max(other.max),
         }
     }
 
@@ -430,7 +757,8 @@ pub struct TokenTally {
 }
 
 impl TokenTally {
-    /// Tallies an iterator of per-edge token counts.
+    /// Tallies an iterator of per-edge token counts (reference rounds;
+    /// engine statistics use [`StatsCtx::token_tally`]).
     pub fn from_tokens(tokens: impl IntoIterator<Item = u64>) -> Self {
         let mut tally = TokenTally::default();
         for t in tokens {
@@ -446,6 +774,15 @@ impl TokenTally {
             self.active += 1;
             self.total += t;
             self.max = self.max.max(t);
+        }
+    }
+
+    /// Combines two block partials (exact integer sums — order-free).
+    pub(crate) fn merge(self, other: Self) -> Self {
+        TokenTally {
+            active: self.active + other.active,
+            total: self.total + other.total,
+            max: self.max.max(other.max),
         }
     }
 
@@ -469,12 +806,16 @@ impl<P> crate::model::ContinuousBalancer for Engine<P>
 where
     P: Protocol<Load = f64, Stats = crate::model::RoundStats>,
 {
-    fn round(&mut self, loads: &mut [f64]) -> crate::model::RoundStats {
+    fn round(&mut self, loads: &mut Vec<f64>) -> Option<crate::model::RoundStats> {
         Engine::round(self, loads)
     }
 
     fn name(&self) -> &'static str {
         self.protocol.name()
+    }
+
+    fn current_phi(&self, loads: &[f64]) -> f64 {
+        self.potential(loads)
     }
 }
 
@@ -482,12 +823,16 @@ impl<P> crate::model::DiscreteBalancer for Engine<P>
 where
     P: Protocol<Load = i64, Stats = crate::model::DiscreteRoundStats>,
 {
-    fn round(&mut self, loads: &mut [i64]) -> crate::model::DiscreteRoundStats {
+    fn round(&mut self, loads: &mut Vec<i64>) -> Option<crate::model::DiscreteRoundStats> {
         Engine::round(self, loads)
     }
 
     fn name(&self) -> &'static str {
         self.protocol.name()
+    }
+
+    fn current_phi_hat(&self, loads: &[i64]) -> u128 {
+        self.potential(loads)
     }
 }
 
@@ -500,6 +845,15 @@ mod tests {
     struct Toy {
         n: usize,
         rounds_begun: usize,
+        rounds_finished: usize,
+    }
+
+    fn toy(n: usize) -> Toy {
+        Toy {
+            n,
+            rounds_begun: 0,
+            rounds_finished: 0,
+        }
     }
 
     impl Protocol for Toy {
@@ -525,7 +879,11 @@ mod tests {
             0.5 * snapshot[v] + 0.25 * left + 0.25 * right
         }
 
-        fn end_round(&mut self, _snapshot: &[f64], _new: &[f64]) -> usize {
+        fn finish_round(&mut self, _snapshot: &[f64], _new: &[f64]) {
+            self.rounds_finished += 1;
+        }
+
+        fn compute_stats(&mut self, _snapshot: &[f64], _new: &[f64], _ctx: &StatsCtx<'_>) -> usize {
             self.rounds_begun
         }
     }
@@ -536,14 +894,14 @@ mod tests {
         let init: Vec<f64> = (0..n).map(|i| ((i * 31 + 7) % 53) as f64 / 7.0).collect();
 
         let mut serial = init.clone();
-        let mut s = Engine::serial(Toy { n, rounds_begun: 0 });
+        let mut s = Engine::serial(toy(n));
         for _ in 0..10 {
             s.round(&mut serial);
         }
 
         for threads in [1, 2, 3, 5, 16] {
             let mut par = init.clone();
-            let mut p = Engine::parallel(Toy { n, rounds_begun: 0 }, threads);
+            let mut p = Engine::parallel(toy(n), threads);
             for _ in 0..10 {
                 p.round(&mut par);
             }
@@ -553,29 +911,18 @@ mod tests {
 
     #[test]
     fn hooks_run_once_per_round() {
-        let mut e = Engine::parallel(
-            Toy {
-                n: 8,
-                rounds_begun: 0,
-            },
-            4,
-        );
+        let mut e = Engine::parallel(toy(8), 4);
         let mut loads = vec![1.0; 8];
         for expected in 1..=5 {
-            let count = e.round(&mut loads);
+            let count = e.round(&mut loads).expect("full stats by default");
             assert_eq!(count, expected);
+            assert_eq!(e.protocol().rounds_finished, expected);
         }
     }
 
     #[test]
     fn pool_survives_many_rounds() {
-        let mut e = Engine::parallel(
-            Toy {
-                n: 64,
-                rounds_begun: 0,
-            },
-            8,
-        );
+        let mut e = Engine::parallel(toy(64), 8);
         let mut loads: Vec<f64> = (0..64).map(|i| i as f64).collect();
         let sum: f64 = loads.iter().sum();
         for _ in 0..500 {
@@ -586,17 +933,66 @@ mod tests {
     }
 
     #[test]
-    fn more_threads_than_nodes() {
-        let mut e = Engine::parallel(
-            Toy {
-                n: 3,
-                rounds_begun: 0,
-            },
-            64,
-        );
+    fn more_threads_than_nodes_clamps_pool() {
+        // n = 3 with 64 requested threads must not spawn 61 parked idle
+        // workers: the pool is clamped to n.
+        let mut e = Engine::parallel(toy(3), 64);
+        assert_eq!(e.threads(), 3);
         let mut loads = vec![9.0, 0.0, 0.0];
         e.round(&mut loads);
         assert!((loads.iter().sum::<f64>() - 9.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn round_swaps_instead_of_copying() {
+        // The zero-copy contract: after a round the caller's Vec is the
+        // engine's former back buffer. Observable via pointer identity.
+        let mut e = Engine::serial(toy(4));
+        let mut loads = vec![1.0, 2.0, 3.0, 4.0];
+        let before_ptr = loads.as_ptr();
+        e.round(&mut loads);
+        let after_ptr = loads.as_ptr();
+        assert_ne!(before_ptr, after_ptr, "round must swap, not copy back");
+        // Two rounds ping-pong back to the original allocation.
+        e.round(&mut loads);
+        assert_eq!(loads.as_ptr(), before_ptr);
+    }
+
+    #[test]
+    fn stats_modes_skip_and_compute_as_documented() {
+        let run = |mode: StatsMode| -> (Vec<f64>, Vec<Option<usize>>) {
+            let mut e = Engine::serial(toy(16)).with_stats_mode(mode);
+            let mut loads: Vec<f64> = (0..16).map(|i| (i % 5) as f64).collect();
+            let stats: Vec<Option<usize>> = (0..6).map(|_| e.round(&mut loads)).collect();
+            (loads, stats)
+        };
+
+        let (full_loads, full_stats) = run(StatsMode::Full);
+        assert!(full_stats.iter().all(Option::is_some));
+
+        let (off_loads, off_stats) = run(StatsMode::Off);
+        assert!(off_stats.iter().all(Option::is_none));
+        assert_eq!(full_loads, off_loads, "stats mode must not change loads");
+
+        let (k_loads, k_stats) = run(StatsMode::EveryK(3));
+        assert_eq!(full_loads, k_loads);
+        let computed: Vec<bool> = k_stats.iter().map(Option::is_some).collect();
+        assert_eq!(computed, vec![false, false, true, false, false, true]);
+
+        let (p_loads, p_stats) = run(StatsMode::PhiOnly);
+        assert_eq!(full_loads, p_loads);
+        assert!(p_stats.iter().all(Option::is_some));
+    }
+
+    #[test]
+    fn finish_round_runs_even_without_stats() {
+        let mut e = Engine::serial(toy(8)).with_stats_mode(StatsMode::Off);
+        let mut loads = vec![1.0; 8];
+        for _ in 0..5 {
+            assert!(e.round(&mut loads).is_none());
+        }
+        assert_eq!(e.protocol().rounds_finished, 5);
+        assert_eq!(e.protocol().rounds_begun, 5);
     }
 
     /// Serializes the tests that read or write the `DLB_THREADS`
@@ -607,13 +1003,7 @@ mod tests {
     #[test]
     fn zero_threads_means_auto() {
         let _guard = ENV_LOCK.lock().unwrap();
-        let e = Engine::parallel(
-            Toy {
-                n: 4,
-                rounds_begun: 0,
-            },
-            0,
-        );
+        let e = Engine::parallel(toy(4), 0);
         assert!(e.threads() >= 1);
     }
 
@@ -656,5 +1046,40 @@ mod tests {
         let got = recommended_threads();
         std::env::remove_var("DLB_THREADS");
         assert_eq!(got, 3);
+    }
+
+    #[test]
+    fn cached_threads_is_stable_and_positive() {
+        let _guard = ENV_LOCK.lock().unwrap();
+        let first = recommended_threads_cached();
+        assert!(first >= 1);
+        // The cache must not re-read the environment.
+        std::env::set_var("DLB_THREADS", "63");
+        let second = recommended_threads_cached();
+        std::env::remove_var("DLB_THREADS");
+        assert_eq!(first, second);
+    }
+
+    #[test]
+    fn pooled_stats_ctx_matches_serial_bitwise() {
+        let pool = WorkerPool::new(3);
+        let values: Vec<f64> = (0..20_000)
+            .map(|i| ((i * 131 + 17) % 4099) as f64 / 7.0)
+            .collect();
+        let serial = StatsCtx::serial();
+        let pooled = StatsCtx::new(Some(&pool), StatsLevel::Flows);
+        assert_eq!(
+            serial.phi(&values).to_bits(),
+            pooled.phi(&values).to_bits(),
+            "blocked phi must be pool-independent"
+        );
+        let tokens: Vec<i64> = (0..20_000).map(|i| ((i * 37) % 1009) as i64).collect();
+        assert_eq!(serial.phi_hat(&tokens), pooled.phi_hat(&tokens));
+        let flow = |k: usize| ((k * 7 + 1) % 13) as f64 / 3.0;
+        let a = serial.flow_tally(20_000, flow);
+        let b = pooled.flow_tally(20_000, flow);
+        assert_eq!(a.active, b.active);
+        assert_eq!(a.total.to_bits(), b.total.to_bits());
+        assert_eq!(a.max.to_bits(), b.max.to_bits());
     }
 }

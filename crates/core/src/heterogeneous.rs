@@ -23,30 +23,49 @@
 //! round-invariant, so they are precomputed per CSR slot at construction,
 //! exactly like the homogeneous protocols.
 
-use crate::engine::{FlowTally, Protocol, TokenTally};
+use crate::engine::{Protocol, StatsCtx};
 use crate::model::{DiscreteRoundStats, RoundStats};
 use dlb_graphs::{weights, Graph};
 
 /// Weighted mean `ρ = Σℓ / Σc`.
 pub fn weighted_mean(loads: &[f64], capacities: &[f64]) -> f64 {
     assert_eq!(loads.len(), capacities.len());
-    let total: f64 = loads.iter().sum();
-    let cap: f64 = capacities.iter().sum();
-    total / cap
+    weighted_mean_ctx(loads, capacities, &StatsCtx::serial())
 }
 
 /// Weighted potential `Φ_c(L) = Σᵢ cᵢ·(ℓᵢ/cᵢ − ρ)²`. Equals the standard
 /// `Φ` when every capacity is 1.
 pub fn weighted_phi(loads: &[f64], capacities: &[f64]) -> f64 {
-    let rho = weighted_mean(loads, capacities);
-    loads
-        .iter()
-        .zip(capacities)
-        .map(|(&l, &c)| {
-            let w = l / c - rho;
-            c * w * w
-        })
-        .sum()
+    assert_eq!(loads.len(), capacities.len());
+    weighted_phi_ctx(loads, capacities, &StatsCtx::serial())
+}
+
+/// [`weighted_mean`] through a [`StatsCtx`]'s blocked reduction.
+fn weighted_mean_ctx(loads: &[f64], capacities: &[f64], ctx: &StatsCtx<'_>) -> f64 {
+    let n = loads.len();
+    ctx.sum(n, |i| loads[i]) / ctx.sum(n, |i| capacities[i])
+}
+
+/// [`weighted_phi`] through a [`StatsCtx`]'s blocked reduction — the form
+/// the protocol statistics and the drivers' on-demand fallback share, so
+/// both report bit-identical values at any thread count.
+fn weighted_phi_ctx(loads: &[f64], capacities: &[f64], ctx: &StatsCtx<'_>) -> f64 {
+    let rho = weighted_mean_ctx(loads, capacities, ctx);
+    ctx.sum(loads.len(), |i| {
+        let w = loads[i] / capacities[i] - rho;
+        capacities[i] * w * w
+    })
+}
+
+/// Blocked weighted potential of a *token* vector (no intermediate float
+/// vector is materialized).
+fn weighted_phi_tokens_ctx(loads: &[i64], capacities: &[f64], ctx: &StatsCtx<'_>) -> f64 {
+    let n = loads.len();
+    let rho = ctx.sum(n, |i| loads[i] as f64) / ctx.sum(n, |i| capacities[i]);
+    ctx.sum(n, |i| {
+        let w = loads[i] as f64 / capacities[i] - rho;
+        capacities[i] * w * w
+    })
 }
 
 /// The proportional target vector `ℓᵢ* = cᵢ·ρ`.
@@ -143,17 +162,30 @@ impl Protocol for HeterogeneousDiffusion<'_> {
         acc
     }
 
-    fn end_round(&mut self, snapshot: &[f64], new_loads: &[f64]) -> RoundStats {
-        let mut tally = FlowTally::default();
-        for (k, &(u, v)) in self.g.edges().iter().enumerate() {
-            let wu = snapshot[u as usize] / self.capacities[u as usize];
-            let wv = snapshot[v as usize] / self.capacities[v as usize];
-            tally.add(self.edge_coef[k] * (wu - wv).abs() / self.edge_div[k]);
-        }
+    fn compute_stats(
+        &mut self,
+        snapshot: &[f64],
+        new_loads: &[f64],
+        ctx: &StatsCtx<'_>,
+    ) -> RoundStats {
+        let edges = self.g.edges();
+        let caps = &self.capacities;
+        let tally = ctx.flow_tally(edges.len(), |k| {
+            let (u, v) = edges[k];
+            let wu = snapshot[u as usize] / caps[u as usize];
+            let wv = snapshot[v as usize] / caps[v as usize];
+            self.edge_coef[k] * (wu - wv).abs() / self.edge_div[k]
+        });
         tally.stats(
-            weighted_phi(snapshot, &self.capacities),
-            weighted_phi(new_loads, &self.capacities),
+            weighted_phi_ctx(snapshot, caps, ctx),
+            weighted_phi_ctx(new_loads, caps, ctx),
         )
+    }
+
+    fn potential_of(&self, loads: &[f64], ctx: &StatsCtx<'_>) -> f64 {
+        // The stats above report the capacity-weighted Φ_c, so the
+        // drivers' on-demand fallback must too.
+        weighted_phi_ctx(loads, &self.capacities, ctx)
     }
 }
 
@@ -228,22 +260,32 @@ impl Protocol for HeterogeneousDiscreteDiffusion<'_> {
         acc
     }
 
-    fn end_round(&mut self, snapshot: &[i64], new_loads: &[i64]) -> DiscreteRoundStats {
+    fn compute_stats(
+        &mut self,
+        snapshot: &[i64],
+        new_loads: &[i64],
+        ctx: &StatsCtx<'_>,
+    ) -> DiscreteRoundStats {
         // The weighted potential is not integral under real capacities;
         // report it scaled by n² to keep the DiscreteRoundStats contract
         // (callers comparing drops only need consistency).
-        let n2 = (self.g.n() * self.g.n()) as f64;
-        let mut tally = TokenTally::default();
-        for (k, &(u, v)) in self.g.edges().iter().enumerate() {
-            let wu = snapshot[u as usize] as f64 / self.capacities[u as usize];
-            let wv = snapshot[v as usize] as f64 / self.capacities[v as usize];
-            let t = (self.edge_coef[k] * (wu - wv).abs() / self.edge_div[k]).floor() as u64;
-            tally.add(t);
-        }
+        let edges = self.g.edges();
+        let caps = &self.capacities;
+        let tally = ctx.token_tally(edges.len(), |k| {
+            let (u, v) = edges[k];
+            let wu = snapshot[u as usize] as f64 / caps[u as usize];
+            let wv = snapshot[v as usize] as f64 / caps[v as usize];
+            (self.edge_coef[k] * (wu - wv).abs() / self.edge_div[k]).floor() as u64
+        });
         tally.stats(
-            (self.phi(snapshot) * n2) as u128,
-            (self.phi(new_loads) * n2) as u128,
+            self.potential_of(snapshot, ctx),
+            self.potential_of(new_loads, ctx),
         )
+    }
+
+    fn potential_of(&self, loads: &[i64], ctx: &StatsCtx<'_>) -> u128 {
+        let n2 = (self.g.n() * self.g.n()) as f64;
+        (weighted_phi_tokens_ctx(loads, &self.capacities, ctx) * n2) as u128
     }
 }
 
@@ -292,7 +334,7 @@ mod tests {
         let mut b = HeterogeneousDiffusion::new(&g, caps).engine();
         let mut loads: Vec<f64> = (0..16).map(|i| ((i * 7 + 2) % 23) as f64).collect();
         for _ in 0..200 {
-            let s = b.round(&mut loads);
+            let s = b.round(&mut loads).expect("full stats");
             assert!(
                 s.phi_after <= s.phi_before + 1e-9,
                 "Φ_c increased: {} -> {}",

@@ -76,19 +76,42 @@ impl DiscreteRoundStats {
 ///
 /// The graph/topology and any RNG live inside the implementor, so the
 /// harness can drive heterogeneous protocols through one interface.
+///
+/// `round` takes the load vector as a `&mut Vec` because engine-backed
+/// balancers execute rounds zero-copy: the vector is swapped with an
+/// internal back buffer, never copied (its allocation identity may change
+/// across rounds). A round may skip statistics (lazy stats modes) and
+/// return `None`; drivers then fall back to [`Self::current_phi`].
 pub trait ContinuousBalancer {
-    /// Executes one synchronous round in place.
-    fn round(&mut self, loads: &mut [f64]) -> RoundStats;
+    /// Executes one synchronous round in place; returns the round's
+    /// statistics when this round computed them.
+    fn round(&mut self, loads: &mut Vec<f64>) -> Option<RoundStats>;
     /// Short protocol name for tables.
     fn name(&self) -> &'static str;
+    /// The potential of `loads` exactly as this balancer's statistics
+    /// would report it as `phi_after` — the convergence drivers' fallback
+    /// for rounds whose statistics were skipped. Must be bit-identical to
+    /// the stats value on the same vector.
+    fn current_phi(&self, loads: &[f64]) -> f64 {
+        crate::potential::phi(loads)
+    }
 }
 
 /// A protocol balancing a discrete (token) load vector.
+///
+/// See [`ContinuousBalancer`] for the zero-copy `&mut Vec` contract and
+/// the lazy-statistics `Option` return.
 pub trait DiscreteBalancer {
-    /// Executes one synchronous round in place.
-    fn round(&mut self, loads: &mut [i64]) -> DiscreteRoundStats;
+    /// Executes one synchronous round in place; returns the round's
+    /// statistics when this round computed them.
+    fn round(&mut self, loads: &mut Vec<i64>) -> Option<DiscreteRoundStats>;
     /// Short protocol name for tables.
     fn name(&self) -> &'static str;
+    /// The exact scaled potential `Φ̂` of `loads` as this balancer's
+    /// statistics report it (see [`ContinuousBalancer::current_phi`]).
+    fn current_phi_hat(&self, loads: &[i64]) -> u128 {
+        crate::potential::phi_hat(loads)
+    }
 }
 
 #[cfg(test)]

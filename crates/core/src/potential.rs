@@ -16,17 +16,117 @@
 //! Lemma 10's identity `Σᵢ Σⱼ (ℓᵢ − ℓⱼ)² = 2n·Φ(L)` becomes the exact
 //! integer identity `n · Σᵢⱼ (ℓᵢ − ℓⱼ)² = 2·Φ̂(L)`, verified by
 //! [`lemma10_exact_identity_holds`] and experiment E9.
+//!
+//! ### Deterministic block-ordered reductions
+//!
+//! Every potential sweep here reduces through **fixed-size blocks of
+//! [`REDUCE_BLOCK`] elements whose partial results are combined in block
+//! order**. The block size is a constant — *not* derived from a thread
+//! count — so the floating-point summation order is one single, fully
+//! deterministic order no matter how the partials are produced: the serial
+//! path and the pool-parallel path (`*_with` variants taking an optional
+//! [`WorkerPool`]) evaluate the identical per-block loops and the identical
+//! left-to-right combine, and are therefore **bit-identical** to each
+//! other at any thread count. Vectors no longer than [`REDUCE_BLOCK`] are
+//! a single block, i.e. the plain linear sum.
+
+use crate::engine::WorkerPool;
+
+/// Elements per reduction block. Fixed (never thread-derived) so serial
+/// and parallel reductions share one deterministic summation order; large
+/// enough that per-block dispatch overhead is negligible, small enough
+/// that a 1M-node vector still yields a few hundred blocks to parallelize.
+pub const REDUCE_BLOCK: usize = 4096;
+
+/// Number of blocks covering `n` items (0 for an empty range).
+#[inline]
+pub(crate) fn num_blocks(n: usize) -> usize {
+    n.div_ceil(REDUCE_BLOCK)
+}
+
+/// Half-open item range `[start, end)` of block `b` over `n` items.
+#[inline]
+pub(crate) fn block_bounds(b: usize, n: usize) -> (usize, usize) {
+    let start = b * REDUCE_BLOCK;
+    (start, (start + REDUCE_BLOCK).min(n))
+}
+
+/// Evaluates `eval_block(b)` for every block over `n_items` — serially, or
+/// fanned out over `pool` — and folds the partials **in block order** with
+/// `merge`. The fold is identical on both paths, which is the workspace's
+/// serial ≡ parallel bit-identity guarantee for statistics.
+pub(crate) fn blocked_reduce<T, E, M>(
+    n_items: usize,
+    pool: Option<&WorkerPool>,
+    eval_block: E,
+    merge: M,
+    zero: T,
+) -> T
+where
+    T: Clone + Default + Send,
+    E: Fn(usize) -> T + Sync,
+    M: FnMut(T, T) -> T,
+{
+    let blocks = num_blocks(n_items);
+    match pool {
+        Some(pool) if blocks > 1 => {
+            let mut partials = vec![T::default(); blocks];
+            pool.gather(&mut partials, |b| eval_block(b as usize));
+            partials.into_iter().fold(zero, merge)
+        }
+        _ => (0..blocks).map(eval_block).fold(zero, merge),
+    }
+}
+
+/// Block-ordered sum of a continuous vector.
+#[inline]
+pub(crate) fn sum_with(loads: &[f64], pool: Option<&WorkerPool>) -> f64 {
+    blocked_reduce(
+        loads.len(),
+        pool,
+        |b| {
+            let (s, e) = block_bounds(b, loads.len());
+            loads[s..e].iter().sum::<f64>()
+        },
+        |a, b| a + b,
+        0.0,
+    )
+}
 
 /// Mean load `ℓ̄` of a continuous load vector.
 pub fn mean(loads: &[f64]) -> f64 {
+    mean_with(loads, None)
+}
+
+/// [`mean`] with the block partials optionally computed over `pool`
+/// (bit-identical to the serial result).
+pub fn mean_with(loads: &[f64], pool: Option<&WorkerPool>) -> f64 {
     assert!(!loads.is_empty(), "load vector must be non-empty");
-    loads.iter().sum::<f64>() / loads.len() as f64
+    sum_with(loads, pool) / loads.len() as f64
 }
 
 /// Potential `Φ(L) = Σᵢ (ℓᵢ − ℓ̄)²` of a continuous load vector.
 pub fn phi(loads: &[f64]) -> f64 {
-    let mu = mean(loads);
-    loads.iter().map(|&l| (l - mu) * (l - mu)).sum()
+    phi_with(loads, None)
+}
+
+/// [`phi`] with the block partials optionally computed over `pool`
+/// (bit-identical to the serial result — see the module docs).
+pub fn phi_with(loads: &[f64], pool: Option<&WorkerPool>) -> f64 {
+    let mu = mean_with(loads, pool);
+    blocked_reduce(
+        loads.len(),
+        pool,
+        |b| {
+            let (s, e) = block_bounds(b, loads.len());
+            loads[s..e]
+                .iter()
+                .map(|&l| (l - mu) * (l - mu))
+                .sum::<f64>()
+        },
+        |a, b| a + b,
+        0.0,
+    )
 }
 
 /// Discrepancy `K = maxᵢ ℓᵢ − minᵢ ℓᵢ` of a continuous load vector.
@@ -50,16 +150,41 @@ pub fn total_discrete(loads: &[i64]) -> i128 {
 /// Exact for `|ℓᵢ| ≤ 2⁶² / n`; the experiments use loads ≤ 2³² and
 /// `n ≤ 2²⁰`, far inside the safe range.
 pub fn phi_hat(loads: &[i64]) -> u128 {
+    phi_hat_with(loads, None)
+}
+
+/// [`phi_hat`] with the block partials optionally computed over `pool`.
+/// Integer sums are exact in any order; the blocked structure is kept so
+/// the serial and parallel paths run the identical code.
+pub fn phi_hat_with(loads: &[i64], pool: Option<&WorkerPool>) -> u128 {
     let n = loads.len() as i128;
     assert!(n >= 1, "load vector must be non-empty");
-    let s: i128 = total_discrete(loads);
-    loads
-        .iter()
-        .map(|&l| {
-            let centred = n * l as i128 - s;
-            (centred * centred) as u128
-        })
-        .sum()
+    let s: i128 = blocked_reduce(
+        loads.len(),
+        pool,
+        |b| {
+            let (lo, hi) = block_bounds(b, loads.len());
+            loads[lo..hi].iter().map(|&l| l as i128).sum::<i128>()
+        },
+        |a, b| a + b,
+        0i128,
+    );
+    blocked_reduce(
+        loads.len(),
+        pool,
+        |b| {
+            let (lo, hi) = block_bounds(b, loads.len());
+            loads[lo..hi]
+                .iter()
+                .map(|&l| {
+                    let centred = n * l as i128 - s;
+                    (centred * centred) as u128
+                })
+                .sum::<u128>()
+        },
+        |a, b| a + b,
+        0u128,
+    )
 }
 
 /// Floating-point potential of a discrete vector: `Φ = Φ̂ / n²`.

@@ -19,7 +19,7 @@
 //! gather reaches the same state as the paper's per-link formulation, and
 //! serial ≡ parallel bit-identity holds like for every engine protocol.
 
-use crate::engine::{FlowTally, Protocol, TokenTally};
+use crate::engine::{FlowTally, Protocol, StatsCtx, TokenTally};
 use crate::model::{DiscreteRoundStats, RoundStats};
 use crate::potential::{phi, phi_hat};
 use rand::rngs::StdRng;
@@ -225,14 +225,21 @@ impl Protocol for RandomPartnerContinuous {
         acc
     }
 
-    fn end_round(&mut self, snapshot: &[f64], new_loads: &[f64]) -> RoundStats {
+    fn compute_stats(
+        &mut self,
+        snapshot: &[f64],
+        new_loads: &[f64],
+        ctx: &StatsCtx<'_>,
+    ) -> RoundStats {
         let sample = self.last_sample.as_ref().expect("begin_round ran");
-        let mut tally = FlowTally::default();
-        for &(u, v) in &sample.links {
-            let c = 4.0 * sample.degrees[u as usize].max(sample.degrees[v as usize]) as f64;
-            tally.add((snapshot[u as usize] - snapshot[v as usize]).abs() / c);
-        }
-        tally.stats(phi(snapshot), phi(new_loads))
+        let links = &sample.links;
+        let degrees = &sample.degrees;
+        let tally = ctx.flow_tally(links.len(), |k| {
+            let (u, v) = links[k];
+            let c = 4.0 * degrees[u as usize].max(degrees[v as usize]) as f64;
+            (snapshot[u as usize] - snapshot[v as usize]).abs() / c
+        });
+        tally.stats(ctx.phi(snapshot), ctx.phi(new_loads))
     }
 }
 
@@ -289,15 +296,22 @@ impl Protocol for RandomPartnerDiscrete {
         i64::try_from(acc).expect("load fits i64")
     }
 
-    fn end_round(&mut self, snapshot: &[i64], new_loads: &[i64]) -> DiscreteRoundStats {
+    fn compute_stats(
+        &mut self,
+        snapshot: &[i64],
+        new_loads: &[i64],
+        ctx: &StatsCtx<'_>,
+    ) -> DiscreteRoundStats {
         let sample = self.last_sample.as_ref().expect("begin_round ran");
-        let mut tally = TokenTally::default();
-        for &(u, v) in &sample.links {
-            let c = 4 * sample.degrees[u as usize].max(sample.degrees[v as usize]) as i128;
+        let links = &sample.links;
+        let degrees = &sample.degrees;
+        let tally = ctx.token_tally(links.len(), |k| {
+            let (u, v) = links[k];
+            let c = 4 * degrees[u as usize].max(degrees[v as usize]) as i128;
             let diff = snapshot[u as usize] as i128 - snapshot[v as usize] as i128;
-            tally.add((diff.abs() / c) as u64);
-        }
-        tally.stats(phi_hat(snapshot), phi_hat(new_loads))
+            (diff.abs() / c) as u64
+        });
+        tally.stats(ctx.phi_hat(snapshot), ctx.phi_hat(new_loads))
     }
 }
 
@@ -371,7 +385,7 @@ mod tests {
         let mut b = RandomPartnerContinuous::new(40, 11).engine();
         let mut loads: Vec<f64> = (0..40).map(|i| ((i * 13) % 29) as f64).collect();
         for _ in 0..200 {
-            let s = b.round(&mut loads);
+            let s = b.round(&mut loads).expect("full stats");
             assert!(s.phi_after <= s.phi_before + 1e-9);
         }
     }

@@ -9,9 +9,21 @@
 //! per-round hook that receives the balancer and the round's statistics,
 //! which is how callers layer instrumentation (per-round λ₂/δ recording,
 //! custom traces) without duplicating the loop.
+//!
+//! ### Lazy statistics
+//!
+//! A balancer running under a lazy stats mode (see
+//! [`crate::engine::StatsMode`]) may return `None` from a round. The
+//! drivers then fall back to the balancer's on-demand potential
+//! ([`crate::model::ContinuousBalancer::current_phi`] /
+//! [`crate::model::DiscreteBalancer::current_phi_hat`]), which is
+//! bit-identical to the potential the skipped statistics would have
+//! reported — so `RunOutcome.rounds`, `converged`, `final_phi` and the
+//! trace are **independent of the stats mode**. Observers simply see
+//! `None` on skipped rounds.
 
 use crate::model::{ContinuousBalancer, DiscreteBalancer};
-use crate::potential::{phi, phi_hat};
+use crate::potential::phi;
 
 /// Outcome of a continuous run.
 #[derive(Debug, Clone)]
@@ -30,7 +42,7 @@ pub struct RunOutcome {
 /// Runs `balancer` until `Φ ≤ target_phi` or `max_rounds` is exhausted.
 pub fn run_continuous<B: ContinuousBalancer + ?Sized>(
     balancer: &mut B,
-    loads: &mut [f64],
+    loads: &mut Vec<f64>,
     target_phi: f64,
     max_rounds: usize,
     record_trace: bool,
@@ -46,12 +58,13 @@ pub fn run_continuous<B: ContinuousBalancer + ?Sized>(
 }
 
 /// [`run_continuous`] with a per-round observer: after each executed round,
-/// `observe(round, balancer, stats)` runs (rounds count from 1). This is
-/// the hook instrumented drivers build on — e.g. the dynamic-network
-/// driver records each round's `(δ⁽ᵏ⁾, λ₂⁽ᵏ⁾)` here.
+/// `observe(round, balancer, stats)` runs (rounds count from 1; `stats` is
+/// `None` on rounds whose statistics mode skipped them). This is the hook
+/// instrumented drivers build on — e.g. the dynamic-network driver records
+/// each round's `(δ⁽ᵏ⁾, λ₂⁽ᵏ⁾)` here.
 pub fn run_continuous_observed<B, F>(
     balancer: &mut B,
-    loads: &mut [f64],
+    loads: &mut Vec<f64>,
     target_phi: f64,
     max_rounds: usize,
     record_trace: bool,
@@ -59,10 +72,10 @@ pub fn run_continuous_observed<B, F>(
 ) -> RunOutcome
 where
     B: ContinuousBalancer + ?Sized,
-    F: FnMut(usize, &B, &crate::model::RoundStats),
+    F: FnMut(usize, &B, Option<&crate::model::RoundStats>),
 {
     let mut trace = Vec::new();
-    let phi0 = phi(loads);
+    let phi0 = balancer.current_phi(loads);
     if record_trace {
         trace.push(phi0);
     }
@@ -77,8 +90,11 @@ where
     let mut current = phi0;
     for round in 1..=max_rounds {
         let stats = balancer.round(loads);
-        observe(round, balancer, &stats);
-        current = stats.phi_after;
+        observe(round, balancer, stats.as_ref());
+        current = match &stats {
+            Some(s) => s.phi_after,
+            None => balancer.current_phi(loads),
+        };
         if record_trace {
             trace.push(current);
         }
@@ -102,12 +118,12 @@ where
 /// Runs until `Φ ≤ ε·Φ₀` (the normalization used by Theorems 4 and 7).
 pub fn rounds_to_epsilon<B: ContinuousBalancer + ?Sized>(
     balancer: &mut B,
-    loads: &mut [f64],
+    loads: &mut Vec<f64>,
     eps: f64,
     max_rounds: usize,
 ) -> RunOutcome {
     assert!(eps > 0.0 && eps < 1.0, "ε must be in (0, 1)");
-    let target = eps * phi(loads);
+    let target = eps * balancer.current_phi(loads);
     run_continuous(balancer, loads, target, max_rounds, false)
 }
 
@@ -135,7 +151,7 @@ impl DiscreteRunOutcome {
 /// Runs `balancer` until `Φ̂ ≤ target_phi_hat` or the budget is exhausted.
 pub fn run_discrete<B: DiscreteBalancer + ?Sized>(
     balancer: &mut B,
-    loads: &mut [i64],
+    loads: &mut Vec<i64>,
     target_phi_hat: u128,
     max_rounds: usize,
     record_trace: bool,
@@ -154,7 +170,7 @@ pub fn run_discrete<B: DiscreteBalancer + ?Sized>(
 /// [`run_continuous_observed`]).
 pub fn run_discrete_observed<B, F>(
     balancer: &mut B,
-    loads: &mut [i64],
+    loads: &mut Vec<i64>,
     target_phi_hat: u128,
     max_rounds: usize,
     record_trace: bool,
@@ -162,10 +178,10 @@ pub fn run_discrete_observed<B, F>(
 ) -> DiscreteRunOutcome
 where
     B: DiscreteBalancer + ?Sized,
-    F: FnMut(usize, &B, &crate::model::DiscreteRoundStats),
+    F: FnMut(usize, &B, Option<&crate::model::DiscreteRoundStats>),
 {
     let mut trace = Vec::new();
-    let phi0 = phi_hat(loads);
+    let phi0 = balancer.current_phi_hat(loads);
     if record_trace {
         trace.push(phi0);
     }
@@ -180,8 +196,11 @@ where
     let mut current = phi0;
     for round in 1..=max_rounds {
         let stats = balancer.round(loads);
-        observe(round, balancer, &stats);
-        current = stats.phi_hat_after;
+        observe(round, balancer, stats.as_ref());
+        current = match &stats {
+            Some(s) => s.phi_hat_after,
+            None => balancer.current_phi_hat(loads),
+        };
         if record_trace {
             trace.push(current);
         }
@@ -218,9 +237,12 @@ pub struct DetailedRecord {
 /// Runs exactly `rounds` rounds recording per-round potential,
 /// discrepancy and flow — the instrumentation the examples and ad-hoc
 /// analyses plot. Entry 0 is the initial state (with zero flow fields).
+///
+/// Requires a balancer computing full statistics every round (the default
+/// [`crate::engine::StatsMode::Full`]); panics otherwise.
 pub fn run_continuous_detailed<B: ContinuousBalancer + ?Sized>(
     balancer: &mut B,
-    loads: &mut [f64],
+    loads: &mut Vec<f64>,
     rounds: usize,
 ) -> Vec<DetailedRecord> {
     let mut out = Vec::with_capacity(rounds + 1);
@@ -231,7 +253,9 @@ pub fn run_continuous_detailed<B: ContinuousBalancer + ?Sized>(
         total_flow: 0.0,
     });
     for _ in 0..rounds {
-        let stats = balancer.round(loads);
+        let stats = balancer
+            .round(loads)
+            .expect("run_continuous_detailed requires full per-round stats (StatsMode::Full)");
         out.push(DetailedRecord {
             phi: stats.phi_after,
             discrepancy: crate::potential::discrepancy(loads),
@@ -247,16 +271,19 @@ pub fn run_continuous_detailed<B: ContinuousBalancer + ?Sized>(
 /// `max_rounds`). Returns `(rounds_executed, reached_fixed_point)`.
 ///
 /// Useful for measuring the discrete protocol's terminal plateau, which
-/// Theorem 6 bounds by `64δ³n/λ₂`.
+/// Theorem 6 bounds by `64δ³n/λ₂`. Requires full per-round statistics
+/// (the token totals drive the stop rule); panics otherwise.
 pub fn run_discrete_to_fixed_point<B: DiscreteBalancer + ?Sized>(
     balancer: &mut B,
-    loads: &mut [i64],
+    loads: &mut Vec<i64>,
     quiet_rounds: usize,
     max_rounds: usize,
 ) -> (usize, bool) {
     let mut quiet = 0usize;
     for round in 1..=max_rounds {
-        let stats = balancer.round(loads);
+        let stats = balancer
+            .round(loads)
+            .expect("run_discrete_to_fixed_point requires full per-round stats (StatsMode::Full)");
         if stats.total_tokens == 0 {
             quiet += 1;
             if quiet >= quiet_rounds {
@@ -274,7 +301,7 @@ mod tests {
     use super::*;
     use crate::continuous::ContinuousDiffusion;
     use crate::discrete::DiscreteDiffusion;
-    use crate::engine::IntoEngine;
+    use crate::engine::{IntoEngine, StatsMode};
     use dlb_graphs::topology;
 
     #[test]
@@ -327,6 +354,58 @@ mod tests {
         let out = run_continuous(&mut b, &mut loads, 1e-12, 3, false);
         assert!(!out.converged);
         assert_eq!(out.rounds, 3);
+    }
+
+    #[test]
+    fn lazy_stats_modes_preserve_outcome_exactly() {
+        // Same run under every stats mode: identical rounds, convergence
+        // flag, final potential bits, and trace.
+        let g = topology::torus2d(5, 5);
+        let run = |mode: StatsMode| {
+            let mut loads = vec![0.0; 25];
+            loads[0] = 250.0;
+            let mut b = ContinuousDiffusion::new(&g).engine().with_stats_mode(mode);
+            run_continuous(&mut b, &mut loads, 1e-3, 10_000, true)
+        };
+        let full = run(StatsMode::Full);
+        for mode in [StatsMode::EveryK(3), StatsMode::PhiOnly, StatsMode::Off] {
+            let lazy = run(mode);
+            assert_eq!(full.rounds, lazy.rounds, "{mode:?}");
+            assert_eq!(full.converged, lazy.converged, "{mode:?}");
+            assert_eq!(
+                full.final_phi.to_bits(),
+                lazy.final_phi.to_bits(),
+                "{mode:?}"
+            );
+            let full_bits: Vec<u64> = full.trace.iter().map(|p| p.to_bits()).collect();
+            let lazy_bits: Vec<u64> = lazy.trace.iter().map(|p| p.to_bits()).collect();
+            assert_eq!(full_bits, lazy_bits, "{mode:?}");
+        }
+    }
+
+    #[test]
+    fn observer_sees_none_on_skipped_rounds() {
+        let g = topology::cycle(12);
+        let mut loads = vec![0.0; 12];
+        loads[0] = 120.0;
+        let mut b = ContinuousDiffusion::new(&g)
+            .engine()
+            .with_stats_mode(StatsMode::EveryK(4));
+        let mut pattern = Vec::new();
+        run_continuous_observed(
+            &mut b,
+            &mut loads,
+            f64::NEG_INFINITY,
+            8,
+            false,
+            |_, _, s| {
+                pattern.push(s.is_some());
+            },
+        );
+        assert_eq!(
+            pattern,
+            vec![false, false, false, true, false, false, false, true]
+        );
     }
 
     #[test]

@@ -437,7 +437,10 @@ mod tests {
         ] {
             let init: Vec<f64> = (0..16).map(|i| ((i * 43 + 9) % 37) as f64).collect();
             let mut conc = init.clone();
-            let s = ContinuousDiffusion::new(&g).engine().round(&mut conc);
+            let s = ContinuousDiffusion::new(&g)
+                .engine()
+                .round(&mut conc)
+                .expect("full stats");
             let conc_drop = s.phi_before - s.phi_after;
 
             let mut seq = init.clone();

@@ -66,7 +66,7 @@ proptest! {
         let mut exec = GeneralizedDiffusion::new(&g, k).engine();
         let total: f64 = loads.iter().sum();
         for _ in 0..5 {
-            let s = exec.round(&mut loads);
+            let s = exec.round(&mut loads).expect("full stats");
             prop_assert!(s.phi_after <= s.phi_before * (1.0 + 1e-12) + 1e-9);
         }
         let after: f64 = loads.iter().sum();

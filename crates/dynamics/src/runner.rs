@@ -15,9 +15,8 @@
 //! `Φ* = 64·n·max_k (δ⁽ᵏ⁾)³/λ₂⁽ᵏ⁾`.
 
 use crate::sequence::GraphSequence;
-use dlb_core::engine::{Engine, FlowTally, Protocol, TokenTally};
+use dlb_core::engine::{Engine, Protocol, StatsCtx};
 use dlb_core::model::{DiscreteRoundStats, RoundStats};
-use dlb_core::potential::{phi, phi_hat};
 use dlb_core::runner::{run_continuous_observed, run_discrete_observed};
 use dlb_core::{continuous, discrete};
 use dlb_graphs::Graph;
@@ -90,12 +89,19 @@ impl<S: GraphSequence + ?Sized> Protocol for DynamicContinuousDiffusion<'_, S> {
         continuous::node_new_load(g, snapshot, v)
     }
 
-    fn end_round(&mut self, snapshot: &[f64], new_loads: &[f64]) -> RoundStats {
+    fn compute_stats(
+        &mut self,
+        snapshot: &[f64],
+        new_loads: &[f64],
+        ctx: &StatsCtx<'_>,
+    ) -> RoundStats {
         let g = self.g.as_ref().expect("begin_round ran");
-        FlowTally::from_flows(g.edges().iter().map(|&(u, v)| {
+        let edges = g.edges();
+        let tally = ctx.flow_tally(edges.len(), |k| {
+            let (u, v) = edges[k];
             (snapshot[u as usize] - snapshot[v as usize]).abs() / continuous::edge_divisor(g, u, v)
-        }))
-        .stats(phi(snapshot), phi(new_loads))
+        });
+        tally.stats(ctx.phi(snapshot), ctx.phi(new_loads))
     }
 }
 
@@ -140,14 +146,19 @@ impl<S: GraphSequence + ?Sized> Protocol for DynamicDiscreteDiffusion<'_, S> {
         discrete::node_new_load(g, snapshot, v)
     }
 
-    fn end_round(&mut self, snapshot: &[i64], new_loads: &[i64]) -> DiscreteRoundStats {
+    fn compute_stats(
+        &mut self,
+        snapshot: &[i64],
+        new_loads: &[i64],
+        ctx: &StatsCtx<'_>,
+    ) -> DiscreteRoundStats {
         let g = self.g.as_ref().expect("begin_round ran");
-        TokenTally::from_tokens(
-            g.edges()
-                .iter()
-                .map(|&(u, v)| discrete::edge_tokens(g, snapshot, u, v) as u64),
-        )
-        .stats(phi_hat(snapshot), phi_hat(new_loads))
+        let edges = g.edges();
+        let tally = ctx.token_tally(edges.len(), |k| {
+            let (u, v) = edges[k];
+            discrete::edge_tokens(g, snapshot, u, v) as u64
+        });
+        tally.stats(ctx.phi_hat(snapshot), ctx.phi_hat(new_loads))
     }
 }
 
@@ -191,7 +202,7 @@ impl DynamicContinuousOutcome {
 /// `max_rounds`, through the engine and `dlb-core`'s driver.
 pub fn run_dynamic_continuous<S: GraphSequence + ?Sized>(
     seq: &mut S,
-    loads: &mut [f64],
+    loads: &mut Vec<f64>,
     target_phi: f64,
     max_rounds: usize,
     record_spectra: bool,
@@ -205,7 +216,7 @@ pub fn run_dynamic_continuous<S: GraphSequence + ?Sized>(
         target_phi,
         max_rounds,
         false,
-        |_, e: &Engine<DynamicContinuousDiffusion<S>>, _| {
+        |_, e: &Engine<DynamicContinuousDiffusion<S>>, _stats| {
             if record_spectra {
                 spectra.push(spectra_of(e.protocol().current_graph().expect("round ran")));
             }
@@ -263,7 +274,7 @@ impl DynamicDiscreteOutcome {
 /// `max_rounds`, through the engine and `dlb-core`'s driver.
 pub fn run_dynamic_discrete<S: GraphSequence + ?Sized>(
     seq: &mut S,
-    loads: &mut [i64],
+    loads: &mut Vec<i64>,
     target_phi_hat: u128,
     max_rounds: usize,
     record_spectra: bool,
@@ -277,7 +288,7 @@ pub fn run_dynamic_discrete<S: GraphSequence + ?Sized>(
         target_phi_hat,
         max_rounds,
         false,
-        |_, e: &Engine<DynamicDiscreteDiffusion<S>>, _| {
+        |_, e: &Engine<DynamicDiscreteDiffusion<S>>, _stats| {
             if record_spectra {
                 spectra.push(spectra_of(e.protocol().current_graph().expect("round ran")));
             }
@@ -299,6 +310,7 @@ mod tests {
     };
     use dlb_core::continuous::ContinuousDiffusion;
     use dlb_core::engine::IntoEngine;
+    use dlb_core::potential::phi;
     use dlb_graphs::topology;
 
     #[test]

@@ -69,7 +69,7 @@ fn main() {
     let mut trace = vec![potential::phi(&b_loads)];
     let mut ticks = 0usize;
     while *trace.last().expect("non-empty") > target && ticks < 100_000 {
-        let s = alg2.round(&mut b_loads);
+        let s = alg2.round(&mut b_loads).expect("full stats");
         trace.push(s.phi_after);
         ticks += 1;
     }

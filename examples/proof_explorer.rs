@@ -31,7 +31,10 @@ fn main() {
 
     // The concurrent round (what the machines actually do).
     let mut concurrent = init.clone();
-    let stats = ContinuousDiffusion::new(&g).engine().round(&mut concurrent);
+    let stats = ContinuousDiffusion::new(&g)
+        .engine()
+        .round(&mut concurrent)
+        .expect("full stats");
 
     // The sequentialized replay (what the proof pretends happens).
     let mut replay = init.clone();

@@ -104,7 +104,7 @@ fn generalized_divisor_sweep_stability() {
             let mut exec = GeneralizedDiffusion::new(&g, k).engine();
             let mut last = potential::phi(&loads);
             for _ in 0..30 {
-                let s = exec.round(&mut loads);
+                let s = exec.round(&mut loads).expect("full stats");
                 assert!(
                     s.phi_after <= last * (1.0 + 1e-12) + 1e-9,
                     "{name} k={k}: potential increased"

@@ -53,7 +53,7 @@ proptest! {
     fn discrete_round_conserves_and_is_monotone((g, mut loads) in graph_and_discrete_loads()) {
         let total = potential::total_discrete(&loads);
         let phi_before = potential::phi_hat(&loads);
-        let stats = DiscreteDiffusion::new(&g).engine().round(&mut loads);
+        let stats = DiscreteDiffusion::new(&g).engine().round(&mut loads).expect("full stats");
         prop_assert_eq!(potential::total_discrete(&loads), total);
         prop_assert!(stats.phi_hat_after <= phi_before);
         prop_assert_eq!(stats.phi_hat_before, phi_before);
@@ -61,14 +61,14 @@ proptest! {
 
     #[test]
     fn discrete_nonnegative_loads_stay_nonnegative((g, mut loads) in graph_and_discrete_loads()) {
-        DiscreteDiffusion::new(&g).engine().round(&mut loads);
+        DiscreteDiffusion::new(&g).engine().round(&mut loads).expect("full stats");
         prop_assert!(loads.iter().all(|&l| l >= 0));
     }
 
     #[test]
     fn continuous_round_conserves_and_is_monotone((g, mut loads) in graph_and_continuous_loads()) {
         let total: f64 = loads.iter().sum();
-        let stats = ContinuousDiffusion::new(&g).engine().round(&mut loads);
+        let stats = ContinuousDiffusion::new(&g).engine().round(&mut loads).expect("full stats");
         let after: f64 = loads.iter().sum();
         prop_assert!((total - after).abs() <= 1e-9 * total.max(1.0));
         prop_assert!(stats.phi_after <= stats.phi_before * (1.0 + 1e-12) + 1e-9);

@@ -1,0 +1,374 @@
+//! Lazy-statistics and ping-pong-buffer invariants.
+//!
+//! The engine's [`StatsMode`] must be a pure observer: **final loads and
+//! `RunOutcome.rounds` are bit-identical across `Full`, `EveryK(k)`,
+//! `PhiOnly` and `Off`**, and wherever statistics *are* computed they must
+//! equal `Full`'s values exactly. The zero-copy double-buffered round must
+//! reproduce the pre-refactor copy-the-snapshot semantics for any round
+//! count — odd or even, so both ping-pong parities are exercised — which
+//! this suite checks against an explicit reference loop and against the
+//! pre-refactor golden fixtures.
+
+mod golden {
+    pub mod fixtures_data;
+}
+
+use dlb_baselines::{FirstOrderContinuous, SecondOrderContinuous, SequentialComparator};
+use dlb_core::continuous::ContinuousDiffusion;
+use dlb_core::discrete::DiscreteDiffusion;
+use dlb_core::engine::{Engine, IntoEngine, Protocol, StatsMode};
+use dlb_core::heterogeneous::HeterogeneousDiffusion;
+use dlb_core::model::{DiscreteRoundStats, RoundStats};
+use dlb_core::random_partner::RandomPartnerContinuous;
+use dlb_core::runner::{run_continuous, run_discrete};
+use dlb_core::seq::AdaptiveOrder;
+use dlb_graphs::{topology, Graph};
+use golden::fixtures_data::FIXTURES;
+use proptest::prelude::*;
+
+const MODES: [StatsMode; 5] = [
+    StatsMode::EveryK(1),
+    StatsMode::EveryK(3),
+    StatsMode::EveryK(7),
+    StatsMode::PhiOnly,
+    StatsMode::Off,
+];
+
+fn arb_graph() -> impl Strategy<Value = Graph> {
+    (0u8..5, 6usize..40).prop_map(|(family, n)| match family {
+        0 => topology::cycle(n),
+        1 => topology::star(n),
+        2 => topology::binary_tree(n),
+        3 => topology::wheel(n.max(4)),
+        _ => topology::grid2d(3, n / 3),
+    })
+}
+
+fn graph_and_loads() -> impl Strategy<Value = (Graph, Vec<f64>, usize)> {
+    arb_graph().prop_flat_map(|g| {
+        let n = g.n();
+        (
+            Just(g),
+            proptest::collection::vec(0.0f64..10_000.0, n),
+            2usize..9,
+        )
+    })
+}
+
+/// Drives `make()` under `Full` and under `mode` for `rounds` rounds
+/// (serial and parallel) and asserts: bit-identical loads after every
+/// round, and stats — where computed — exactly equal to `Full`'s.
+fn assert_mode_transparent<P, M>(make: M, init: &[f64], mode: StatsMode, threads: usize)
+where
+    P: Protocol<Load = f64, Stats = RoundStats> + Sync,
+    M: Fn() -> P,
+{
+    let rounds = 10;
+    let mut full_engine = Engine::serial(make());
+    let mut lazy_engine = Engine::serial(make()).with_stats_mode(mode);
+    let mut par_engine = Engine::parallel(make(), threads).with_stats_mode(mode);
+    let mut full = init.to_vec();
+    let mut lazy = init.to_vec();
+    let mut par = init.to_vec();
+    for round in 1..=rounds {
+        let fs = full_engine.round(&mut full).expect("Full computes stats");
+        let ls = lazy_engine.round(&mut lazy);
+        let ps = par_engine.round(&mut par);
+        assert_eq!(full, lazy, "{mode:?}: loads diverged at round {round}");
+        assert_eq!(
+            full, par,
+            "{mode:?}: parallel loads diverged at round {round}"
+        );
+        for (label, stats) in [("serial", &ls), ("parallel", &ps)] {
+            if let Some(s) = stats {
+                assert_eq!(
+                    s.phi_before.to_bits(),
+                    fs.phi_before.to_bits(),
+                    "{mode:?}/{label}: phi_before at round {round}"
+                );
+                assert_eq!(
+                    s.phi_after.to_bits(),
+                    fs.phi_after.to_bits(),
+                    "{mode:?}/{label}: phi_after at round {round}"
+                );
+                if matches!(mode, StatsMode::PhiOnly) {
+                    assert_eq!(s.active_edges, 0, "{mode:?}: tally must be zeroed");
+                    assert_eq!(s.total_flow, 0.0);
+                    assert_eq!(s.max_flow, 0.0);
+                } else {
+                    assert_eq!(s.active_edges, fs.active_edges, "{mode:?}/{label}");
+                    assert_eq!(s.total_flow.to_bits(), fs.total_flow.to_bits());
+                    assert_eq!(s.max_flow.to_bits(), fs.max_flow.to_bits());
+                }
+            }
+        }
+        // EveryK computes stats exactly on multiples of k.
+        if let StatsMode::EveryK(k) = mode {
+            assert_eq!(ls.is_some(), round % k == 0, "{mode:?} schedule");
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn alg1_stats_modes_transparent((g, loads, threads) in graph_and_loads()) {
+        for mode in MODES {
+            assert_mode_transparent(|| ContinuousDiffusion::new(&g), &loads, mode, threads);
+        }
+    }
+
+    #[test]
+    fn random_partner_stats_modes_transparent(
+        (g, loads, threads) in graph_and_loads(),
+        seed in 0u64..1_000_000,
+    ) {
+        let n = g.n();
+        for mode in MODES {
+            assert_mode_transparent(|| RandomPartnerContinuous::new(n, seed), &loads, mode, threads);
+        }
+    }
+
+    #[test]
+    fn sos_stats_modes_transparent((g, loads, threads) in graph_and_loads()) {
+        // Second-order history advances in `finish_round`; skipping stats
+        // must not skip the history.
+        for mode in MODES {
+            assert_mode_transparent(
+                || SecondOrderContinuous::with_beta(&g, 1.6),
+                &loads,
+                mode,
+                threads,
+            );
+        }
+    }
+
+    #[test]
+    fn fos_stats_modes_transparent((g, loads, threads) in graph_and_loads()) {
+        for mode in MODES {
+            assert_mode_transparent(|| FirstOrderContinuous::new(&g), &loads, mode, threads);
+        }
+    }
+}
+
+/// The sequential comparator materializes its round in `begin_round`;
+/// its statistics must still be lazy: equal to `Full`'s where computed,
+/// and a zeroed tally under `PhiOnly`.
+#[test]
+fn sequential_comparator_stats_modes_transparent() {
+    let g = topology::torus2d(5, 5);
+    let init: Vec<f64> = (0..25).map(|i| ((i * 13 + 3) % 41) as f64).collect();
+    let rounds = 9;
+
+    let mut full_engine =
+        SequentialComparator::new(&g, AdaptiveOrder::RoundStartWeight, 7).engine();
+    let mut full = init.clone();
+    let full_stats: Vec<RoundStats> = (0..rounds)
+        .map(|_| full_engine.round(&mut full).expect("full stats"))
+        .collect();
+    assert!(full_stats.iter().any(|s| s.active_edges > 0));
+
+    for mode in MODES {
+        let mut engine = SequentialComparator::new(&g, AdaptiveOrder::RoundStartWeight, 7)
+            .engine()
+            .with_stats_mode(mode);
+        let mut loads = init.clone();
+        for (round, fs) in full_stats.iter().enumerate() {
+            if let Some(s) = engine.round(&mut loads) {
+                assert_eq!(s.phi_before.to_bits(), fs.phi_before.to_bits(), "{mode:?}");
+                assert_eq!(s.phi_after.to_bits(), fs.phi_after.to_bits(), "{mode:?}");
+                if matches!(mode, StatsMode::PhiOnly) {
+                    assert_eq!(s.active_edges, 0, "{mode:?}: tally must be zeroed");
+                    assert_eq!(s.total_flow, 0.0);
+                } else {
+                    assert_eq!(&s, fs, "{mode:?} at round {round}");
+                }
+            }
+        }
+        assert_eq!(full, loads, "{mode:?}: loads diverged");
+    }
+}
+
+/// `run_continuous` outcomes (rounds, convergence, final Φ, trace) are
+/// independent of the stats mode — including for the capacity-weighted
+/// potential, whose on-demand fallback must match the weighted stats.
+#[test]
+fn convergence_outcome_mode_independent() {
+    let g = topology::torus2d(6, 6);
+    let run = |mode: StatsMode| {
+        let mut loads = vec![0.0; 36];
+        loads[0] = 360.0;
+        let mut b = ContinuousDiffusion::new(&g).engine().with_stats_mode(mode);
+        run_continuous(&mut b, &mut loads, 1e-2, 100_000, true)
+    };
+    let full = run(StatsMode::Full);
+    assert!(full.converged);
+    for mode in MODES {
+        let lazy = run(mode);
+        assert_eq!(full.rounds, lazy.rounds, "{mode:?}");
+        assert_eq!(full.converged, lazy.converged, "{mode:?}");
+        assert_eq!(full.final_phi.to_bits(), lazy.final_phi.to_bits());
+        let full_bits: Vec<u64> = full.trace.iter().map(|p| p.to_bits()).collect();
+        let lazy_bits: Vec<u64> = lazy.trace.iter().map(|p| p.to_bits()).collect();
+        assert_eq!(full_bits, lazy_bits, "{mode:?}: trace diverged");
+    }
+}
+
+#[test]
+fn heterogeneous_convergence_outcome_mode_independent() {
+    // The weighted-potential protocol overrides `potential_of`; a wrong
+    // fallback would silently change convergence decisions under lazy
+    // modes.
+    let g = topology::grid2d(5, 5);
+    let caps: Vec<f64> = (0..25).map(|i| 0.5 + (i % 4) as f64).collect();
+    let run = |mode: StatsMode| {
+        let mut loads = vec![0.0; 25];
+        loads[0] = 500.0;
+        let mut b = HeterogeneousDiffusion::new(&g, caps.clone())
+            .engine()
+            .with_stats_mode(mode);
+        run_continuous(&mut b, &mut loads, 1e-2, 200_000, false)
+    };
+    let full = run(StatsMode::Full);
+    assert!(full.converged);
+    for mode in MODES {
+        let lazy = run(mode);
+        assert_eq!(full.rounds, lazy.rounds, "{mode:?}");
+        assert_eq!(full.final_phi.to_bits(), lazy.final_phi.to_bits());
+    }
+}
+
+#[test]
+fn discrete_stats_modes_transparent() {
+    let g = topology::hypercube(5);
+    let init: Vec<i64> = (0..32).map(|i| ((i * 997 + 11) % 4096) as i64).collect();
+    let rounds = 12;
+
+    let mut full_engine = DiscreteDiffusion::new(&g).engine();
+    let mut full = init.clone();
+    let full_stats: Vec<DiscreteRoundStats> = (0..rounds)
+        .map(|_| full_engine.round(&mut full).expect("full stats"))
+        .collect();
+
+    for mode in MODES {
+        let mut engine = DiscreteDiffusion::new(&g)
+            .engine_parallel(3)
+            .with_stats_mode(mode);
+        let mut loads = init.clone();
+        for (round, fs) in full_stats.iter().enumerate() {
+            if let Some(s) = engine.round(&mut loads) {
+                assert_eq!(s.phi_hat_before, fs.phi_hat_before, "{mode:?}");
+                assert_eq!(s.phi_hat_after, fs.phi_hat_after, "{mode:?}");
+                if !matches!(mode, StatsMode::PhiOnly) {
+                    assert_eq!(&s, fs, "{mode:?} at round {round}");
+                }
+            }
+        }
+        assert_eq!(full, loads, "{mode:?}: discrete loads diverged");
+    }
+
+    let run = |mode: StatsMode| {
+        let mut loads = init.clone();
+        let mut b = DiscreteDiffusion::new(&g).engine().with_stats_mode(mode);
+        run_discrete(&mut b, &mut loads, 200_000, 10_000, true)
+    };
+    let full_out = run(StatsMode::Full);
+    for mode in MODES {
+        let lazy = run(mode);
+        assert_eq!(full_out.rounds, lazy.rounds, "{mode:?}");
+        assert_eq!(full_out.final_phi_hat, lazy.final_phi_hat, "{mode:?}");
+        assert_eq!(full_out.trace, lazy.trace, "{mode:?}");
+    }
+}
+
+/// The pre-refactor round semantics, verbatim: copy an explicit snapshot,
+/// gather into the load vector with the on-the-fly reference kernel.
+fn reference_rounds_continuous(g: &Graph, loads: &mut [f64], rounds: usize) {
+    let mut snapshot = vec![0.0f64; loads.len()];
+    for _ in 0..rounds {
+        snapshot.copy_from_slice(loads);
+        for v in 0..g.n() as u32 {
+            loads[v as usize] = dlb_core::continuous::node_new_load(g, &snapshot, v);
+        }
+    }
+}
+
+fn reference_rounds_discrete(g: &Graph, loads: &mut [i64], rounds: usize) {
+    let mut snapshot = vec![0i64; loads.len()];
+    for _ in 0..rounds {
+        snapshot.copy_from_slice(loads);
+        for v in 0..g.n() as u32 {
+            loads[v as usize] = dlb_core::discrete::node_new_load(g, &snapshot, v);
+        }
+    }
+}
+
+/// Ping-pong buffers must hand back the correct vector after *odd and
+/// even* round counts (the caller's `Vec` and the engine's back buffer
+/// swap roles every round), matching the pre-refactor golden fixtures.
+#[test]
+fn ping_pong_matches_golden_fixtures_after_odd_and_even_round_counts() {
+    for &(name, edges, n, init_bits, final_bits, init_tokens, final_tokens) in FIXTURES {
+        let g = Graph::from_edges(n, edges.iter().copied()).expect("fixture graph");
+
+        for rounds in [11usize, 12, 1, 2] {
+            // Continuous, serial + parallel, against the reference loop
+            // (and at 12 rounds against the recorded golden bits).
+            let init: Vec<f64> = init_bits.iter().map(|&b| f64::from_bits(b)).collect();
+            let mut want = init.clone();
+            reference_rounds_continuous(&g, &mut want, rounds);
+
+            let mut serial = init.clone();
+            let mut engine = ContinuousDiffusion::new(&g).engine();
+            for _ in 0..rounds {
+                engine.round(&mut serial);
+            }
+            let got: Vec<u64> = serial.iter().map(|l| l.to_bits()).collect();
+            let want_bits: Vec<u64> = want.iter().map(|l| l.to_bits()).collect();
+            assert_eq!(got, want_bits, "{name}: continuous after {rounds} rounds");
+            if rounds == 12 {
+                assert_eq!(got.as_slice(), final_bits, "{name}: golden fixture");
+            }
+
+            let mut par = init;
+            let mut engine = ContinuousDiffusion::new(&g).engine_parallel(3);
+            for _ in 0..rounds {
+                engine.round(&mut par);
+            }
+            let got: Vec<u64> = par.iter().map(|l| l.to_bits()).collect();
+            assert_eq!(got, want_bits, "{name}: parallel after {rounds} rounds");
+
+            // Discrete twin.
+            let mut want = init_tokens.to_vec();
+            reference_rounds_discrete(&g, &mut want, rounds);
+            let mut tokens = init_tokens.to_vec();
+            let mut engine = DiscreteDiffusion::new(&g).engine();
+            for _ in 0..rounds {
+                engine.round(&mut tokens);
+            }
+            assert_eq!(tokens, want, "{name}: discrete after {rounds} rounds");
+            if rounds == 12 {
+                assert_eq!(tokens.as_slice(), final_tokens, "{name}: golden tokens");
+            }
+        }
+    }
+}
+
+/// The swap really is zero-copy: the caller's allocation and the engine's
+/// back buffer alternate, so after two rounds the original allocation is
+/// back in the caller's hands.
+#[test]
+fn ping_pong_alternates_allocations() {
+    let g = topology::cycle(32);
+    let mut engine = ContinuousDiffusion::new(&g).engine();
+    let mut loads: Vec<f64> = (0..32).map(|i| i as f64).collect();
+    let original = loads.as_ptr();
+    engine.round(&mut loads);
+    let swapped = loads.as_ptr();
+    assert_ne!(original, swapped, "round must swap buffers, not copy");
+    engine.round(&mut loads);
+    assert_eq!(loads.as_ptr(), original, "two rounds return the allocation");
+    engine.round(&mut loads);
+    assert_eq!(loads.as_ptr(), swapped, "parity continues");
+}

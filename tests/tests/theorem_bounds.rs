@@ -36,7 +36,7 @@ fn theorem4_per_round_drop_factor_holds() {
         let mut loads: Vec<f64> = (0..n).map(|i| ((i * 83 + 19) % 257) as f64).collect();
         let mut exec = ContinuousDiffusion::new(&g).engine();
         for round in 0..50 {
-            let s = exec.round(&mut loads);
+            let s = exec.round(&mut loads).expect("full stats");
             if s.phi_before < 1e-9 {
                 break;
             }
@@ -80,7 +80,7 @@ fn discrete_potential_monotone_on_all_graphs() {
         let mut exec = DiscreteDiffusion::new(&g).engine();
         let mut last = potential::phi_hat(&loads);
         for round in 0..100 {
-            let s = exec.round(&mut loads);
+            let s = exec.round(&mut loads).expect("full stats");
             assert!(
                 s.phi_hat_after <= last,
                 "{name} round {round}: potential increased {last} -> {}",

@@ -12,7 +12,33 @@
 //! `--test`) are accepted and ignored. Under `--test` each benchmark runs
 //! exactly one iteration so `cargo test --benches` stays fast.
 
+use std::sync::Mutex;
 use std::time::{Duration, Instant};
+
+/// One benchmark's timing summary, recorded by every `Bencher` report so
+/// bench binaries can post-process results (e.g. emit machine-readable
+/// JSON) without re-timing.
+#[derive(Debug, Clone)]
+pub struct SampleReport {
+    /// Full benchmark id (`group/function/parameter`).
+    pub id: String,
+    /// Fastest sample, nanoseconds per iteration.
+    pub min_ns: f64,
+    /// Median sample, nanoseconds per iteration.
+    pub median_ns: f64,
+    /// Mean over samples, nanoseconds per iteration.
+    pub mean_ns: f64,
+    /// Number of timed samples.
+    pub samples: usize,
+}
+
+static REPORTS: Mutex<Vec<SampleReport>> = Mutex::new(Vec::new());
+
+/// Drains every report recorded so far (in execution order). Call after
+/// running the benchmark groups to export the results.
+pub fn take_reports() -> Vec<SampleReport> {
+    std::mem::take(&mut REPORTS.lock().expect("reports lock"))
+}
 
 /// Top-level harness state (subset of upstream `Criterion`).
 #[derive(Debug, Clone)]
@@ -242,6 +268,13 @@ impl Bencher {
             fmt_duration(median),
             fmt_duration(mean),
         );
+        REPORTS.lock().expect("reports lock").push(SampleReport {
+            id: full_id.to_string(),
+            min_ns: min.as_nanos() as f64,
+            median_ns: median.as_nanos() as f64,
+            mean_ns: mean.as_nanos() as f64,
+            samples: sorted.len(),
+        });
     }
 }
 
