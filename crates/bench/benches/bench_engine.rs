@@ -11,7 +11,13 @@
 //!   the gap to `full` is exactly the statistics cost;
 //! - **convergence_run** — a fixed-round end-to-end run through
 //!   `run_continuous` (driver + on-demand `Φ` fallback included), the
-//!   number the ROADMAP's speedup targets are stated against.
+//!   number the ROADMAP's speedup targets are stated against;
+//! - **scenario_run** — a fixed-round online-workload run through
+//!   `dlb_workloads::run_driven` (arrivals + drain applied between
+//!   rounds, full per-round time series recorded): the cost of the
+//!   scenario subsystem relative to a bare convergence run, plus the
+//!   workload-application overhead itself (`no-workload` vs
+//!   `bursty-drain` variants).
 //!
 //! Every result is also appended to `BENCH_engine.json` at the repo root
 //! (median/min ns per round, tagged with topology, `n`, threads, variant)
@@ -218,6 +224,55 @@ fn convergence_runs(
     group.finish();
 }
 
+fn scenario_runs(
+    c: &mut Criterion,
+    inst: &Instance,
+    rounds: usize,
+    meta: &mut HashMap<String, Meta>,
+) {
+    use dlb_workloads::{run_driven, Arrivals, Compose, Drain, StopSpec, Workload};
+
+    let stop = StopSpec::Rounds { rounds };
+    let mut group = c.benchmark_group("scenario_run");
+    // (variant, stats mode, with workload?)
+    let variants: [(&str, StatsMode, bool); 3] = [
+        ("serial/no-workload", StatsMode::Full, false),
+        ("serial/bursty-drain", StatsMode::Full, true),
+        ("serial/bursty-drain-off", StatsMode::Off, true),
+    ];
+    for (variant, mode, with_workload) in variants {
+        meta.insert(
+            format!("scenario_run/{variant}"),
+            Meta {
+                group: "scenario_run",
+                variant: variant.to_string(),
+                rounds_per_iter: rounds,
+                threads: 1,
+            },
+        );
+        let mut engine = ContinuousDiffusion::new(&inst.g)
+            .engine()
+            .with_stats_mode(mode);
+        // Per-node-scaled rates so quick and full instances stress the
+        // same regime. Workload state (carries) rolls across iterations;
+        // the per-round work is identical.
+        let n = inst.g.n() as f64;
+        let mut workload: Compose<f64> = Compose::new(vec![
+            Box::new(Arrivals::bursty(2.0 * n, 0.0, 10, 10)),
+            Box::new(Drain::proportional(0.01)),
+        ]);
+        let mut loads = inst.init.clone();
+        group.bench_function(variant, |b| {
+            b.iter(|| {
+                loads.copy_from_slice(&inst.init);
+                let w = with_workload.then_some(&mut workload as &mut dyn Workload<f64>);
+                black_box(run_driven(&mut engine, &mut loads, w, &stop, "bench"))
+            });
+        });
+    }
+    group.finish();
+}
+
 fn main() {
     let test_mode = std::env::args().any(|a| a == "--test");
     let quick = matches!(std::env::var("DLB_BENCH_QUICK"), Ok(v) if !v.is_empty() && v != "0");
@@ -238,6 +293,7 @@ fn main() {
     gather_kernels(&mut c, &inst, &mut meta);
     engine_rounds(&mut c, &inst, &mut meta);
     convergence_runs(&mut c, &inst, conv_rounds, &mut meta);
+    scenario_runs(&mut c, &inst, conv_rounds, &mut meta);
 
     if test_mode {
         // `cargo test --benches` smoke-runs one iteration of everything;

@@ -341,14 +341,20 @@ impl<'a> StatsCtx<'a> {
 /// benches under instrumented runners — where it oversubscribes the
 /// machine and destabilizes measurements.
 ///
+/// A set-but-invalid `DLB_THREADS` (zero, non-numeric, or empty) panics
+/// with a descriptive message rather than silently falling back: a typo'd
+/// override that is quietly ignored produces wrong-looking measurements
+/// that are much harder to debug than an immediate error.
+///
 /// Re-reads the environment on every call; hot constructors should use
 /// [`recommended_threads_cached`].
 pub fn recommended_threads() -> usize {
     if let Ok(value) = std::env::var("DLB_THREADS") {
-        if let Ok(n) = value.trim().parse::<usize>() {
-            if n >= 1 {
-                return n;
-            }
+        let parsed = value.trim().parse::<usize>();
+        match parsed {
+            Ok(n) if n >= 1 => return n,
+            Ok(_) => panic!("DLB_THREADS must be a positive integer, got \"0\" (unset the variable to use available parallelism)"),
+            Err(_) => panic!("DLB_THREADS must be a positive integer, got {value:?} (unset the variable to use available parallelism)"),
         }
     }
     std::thread::available_parallelism()
@@ -667,6 +673,19 @@ impl<P: Protocol> Engine<P> {
             self.protocol.compute_stats(&self.back, loads, &ctx)
         })
     }
+
+    /// Executes `k` rounds back to back and returns the *last* round's
+    /// statistics (`None` when `k == 0` or the final round's stats were
+    /// skipped by the [`StatsMode`]). Replaces the hand-rolled
+    /// `for _ in 0..k { engine.round(&mut loads) }` loops that steady-state
+    /// phases, tests and examples otherwise repeat.
+    pub fn rounds(&mut self, loads: &mut Vec<P::Load>, k: usize) -> Option<P::Stats> {
+        let mut last = None;
+        for _ in 0..k {
+            last = self.round(loads);
+        }
+        last
+    }
 }
 
 /// Convenience constructors: `protocol.engine()` /
@@ -895,18 +914,37 @@ mod tests {
 
         let mut serial = init.clone();
         let mut s = Engine::serial(toy(n));
-        for _ in 0..10 {
-            s.round(&mut serial);
-        }
+        s.rounds(&mut serial, 10);
 
         for threads in [1, 2, 3, 5, 16] {
             let mut par = init.clone();
             let mut p = Engine::parallel(toy(n), threads);
-            for _ in 0..10 {
-                p.round(&mut par);
-            }
+            p.rounds(&mut par, 10);
             assert_eq!(serial, par, "threads = {threads}");
         }
+    }
+
+    #[test]
+    fn rounds_returns_last_stats_and_matches_single_rounds() {
+        let mut a = Engine::serial(toy(16));
+        let mut b = Engine::serial(toy(16));
+        let mut la: Vec<f64> = (0..16).map(|i| (i % 7) as f64).collect();
+        let mut lb = la.clone();
+        let mut last = None;
+        for _ in 0..5 {
+            last = a.round(&mut la);
+        }
+        let batched = b.rounds(&mut lb, 5);
+        assert_eq!(la, lb);
+        assert_eq!(last, batched); // Toy stats = rounds begun
+                                   // k = 0 is a no-op returning None.
+        assert_eq!(b.rounds(&mut lb, 0), None);
+        assert_eq!(la, lb);
+        // Under EveryK the *last* round decides whether stats come back.
+        let mut c = Engine::serial(toy(16)).with_stats_mode(StatsMode::EveryK(4));
+        let mut lc: Vec<f64> = (0..16).map(|i| (i % 7) as f64).collect();
+        assert!(c.rounds(&mut lc, 4).is_some()); // round 4: computed
+        assert!(c.rounds(&mut lc, 3).is_none()); // round 7: skipped
     }
 
     #[test]
@@ -1046,6 +1084,25 @@ mod tests {
         let got = recommended_threads();
         std::env::remove_var("DLB_THREADS");
         assert_eq!(got, 3);
+    }
+
+    #[test]
+    fn dlb_threads_invalid_values_are_rejected_loudly() {
+        let _guard = ENV_LOCK.lock().unwrap();
+        for bad in ["0", "abc", "", "  ", "-2", "1.5"] {
+            std::env::set_var("DLB_THREADS", bad);
+            let result = catch_unwind(recommended_threads);
+            std::env::remove_var("DLB_THREADS");
+            let err = result.expect_err(&format!("DLB_THREADS={bad:?} must be rejected"));
+            let msg = err
+                .downcast_ref::<String>()
+                .cloned()
+                .unwrap_or_else(|| err.downcast_ref::<&str>().unwrap_or(&"").to_string());
+            assert!(
+                msg.contains("DLB_THREADS must be a positive integer"),
+                "unhelpful error for {bad:?}: {msg}"
+            );
+        }
     }
 
     #[test]

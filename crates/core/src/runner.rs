@@ -68,10 +68,62 @@ pub fn run_continuous_observed<B, F>(
     target_phi: f64,
     max_rounds: usize,
     record_trace: bool,
+    observe: F,
+) -> RunOutcome
+where
+    B: ContinuousBalancer + ?Sized,
+    F: FnMut(usize, &B, Option<&crate::model::RoundStats>),
+{
+    // Without a load-shaping hook "already converged" is final — keep the
+    // historical zero-round early exit here rather than in the driven
+    // loop, where arrivals could still raise the potential.
+    let phi0 = balancer.current_phi(loads);
+    if phi0 <= target_phi {
+        return RunOutcome {
+            rounds: 0,
+            converged: true,
+            final_phi: phi0,
+            trace: if record_trace { vec![phi0] } else { Vec::new() },
+        };
+    }
+    run_continuous_driven(
+        balancer,
+        loads,
+        target_phi,
+        max_rounds,
+        record_trace,
+        |_, _| {},
+        observe,
+    )
+}
+
+/// [`run_continuous_observed`] with an additional *pre-round* hook that may
+/// mutate the load vector before each round executes — the entry point for
+/// online workloads (`dlb-workloads` injects arrivals and applies service
+/// drains here). `pre_round(round, loads)` runs before round `round`
+/// (counting from 1), so the round's gather sees the freshly shaped loads;
+/// the convergence check still evaluates the *post-round* potential. The
+/// initial potential (trace entry 0) is measured before any hook runs.
+///
+/// Unlike the observed/plain drivers, an already-met target does **not**
+/// short-circuit the run: the hook models load that keeps arriving, so
+/// round 1 always executes (with the hook applied) and the target is only
+/// evaluated against post-round potentials — the same semantics as
+/// `dlb-workloads`' scenario runner, keeping the two entry points
+/// bit-identical. Callers that want the zero-round early exit check the
+/// initial potential themselves, as [`run_continuous_observed`] does.
+pub fn run_continuous_driven<B, H, F>(
+    balancer: &mut B,
+    loads: &mut Vec<f64>,
+    target_phi: f64,
+    max_rounds: usize,
+    record_trace: bool,
+    mut pre_round: H,
     mut observe: F,
 ) -> RunOutcome
 where
     B: ContinuousBalancer + ?Sized,
+    H: FnMut(usize, &mut Vec<f64>),
     F: FnMut(usize, &B, Option<&crate::model::RoundStats>),
 {
     let mut trace = Vec::new();
@@ -79,16 +131,9 @@ where
     if record_trace {
         trace.push(phi0);
     }
-    if phi0 <= target_phi {
-        return RunOutcome {
-            rounds: 0,
-            converged: true,
-            final_phi: phi0,
-            trace,
-        };
-    }
     let mut current = phi0;
     for round in 1..=max_rounds {
+        pre_round(round, loads);
         let stats = balancer.round(loads);
         observe(round, balancer, stats.as_ref());
         current = match &stats {
@@ -174,10 +219,51 @@ pub fn run_discrete_observed<B, F>(
     target_phi_hat: u128,
     max_rounds: usize,
     record_trace: bool,
+    observe: F,
+) -> DiscreteRunOutcome
+where
+    B: DiscreteBalancer + ?Sized,
+    F: FnMut(usize, &B, Option<&crate::model::DiscreteRoundStats>),
+{
+    // See run_continuous_observed: the zero-round early exit belongs to
+    // the hook-less drivers only.
+    let phi0 = balancer.current_phi_hat(loads);
+    if phi0 <= target_phi_hat {
+        return DiscreteRunOutcome {
+            rounds: 0,
+            converged: true,
+            final_phi_hat: phi0,
+            trace: if record_trace { vec![phi0] } else { Vec::new() },
+        };
+    }
+    run_discrete_driven(
+        balancer,
+        loads,
+        target_phi_hat,
+        max_rounds,
+        record_trace,
+        |_, _| {},
+        observe,
+    )
+}
+
+/// [`run_discrete_observed`] with a pre-round load-shaping hook (see
+/// [`run_continuous_driven`] — this is the discrete twin used by online
+/// token workloads, with the same no-short-circuit contract: an
+/// already-met target does not skip round 1, because the hook's arrivals
+/// could raise `Φ̂` again).
+pub fn run_discrete_driven<B, H, F>(
+    balancer: &mut B,
+    loads: &mut Vec<i64>,
+    target_phi_hat: u128,
+    max_rounds: usize,
+    record_trace: bool,
+    mut pre_round: H,
     mut observe: F,
 ) -> DiscreteRunOutcome
 where
     B: DiscreteBalancer + ?Sized,
+    H: FnMut(usize, &mut Vec<i64>),
     F: FnMut(usize, &B, Option<&crate::model::DiscreteRoundStats>),
 {
     let mut trace = Vec::new();
@@ -185,16 +271,9 @@ where
     if record_trace {
         trace.push(phi0);
     }
-    if phi0 <= target_phi_hat {
-        return DiscreteRunOutcome {
-            rounds: 0,
-            converged: true,
-            final_phi_hat: phi0,
-            trace,
-        };
-    }
     let mut current = phi0;
     for round in 1..=max_rounds {
+        pre_round(round, loads);
         let stats = balancer.round(loads);
         observe(round, balancer, stats.as_ref());
         current = match &stats {
@@ -406,6 +485,85 @@ mod tests {
             pattern,
             vec![false, false, false, true, false, false, false, true]
         );
+    }
+
+    #[test]
+    fn driven_pre_round_hook_shapes_loads_before_each_round() {
+        use super::run_continuous_driven;
+        let g = topology::cycle(8);
+        // With a no-op hook, driven ≡ observed bit for bit.
+        let mut a = vec![0.0; 8];
+        a[0] = 80.0;
+        let mut b = a.clone();
+        let mut ba = ContinuousDiffusion::new(&g).engine();
+        let mut bb = ContinuousDiffusion::new(&g).engine();
+        let out_a = run_continuous(&mut ba, &mut a, 1e-6, 50, true);
+        let out_b = run_continuous_driven(&mut bb, &mut b, 1e-6, 50, true, |_, _| {}, |_, _, _| {});
+        assert_eq!(out_a.rounds, out_b.rounds);
+        assert_eq!(out_a.final_phi.to_bits(), out_b.final_phi.to_bits());
+        assert_eq!(a, b);
+
+        // An injecting hook runs before the round: round 1's gather sees
+        // the injected spike, and the potential never reaches the target
+        // while injection continues.
+        let mut loads = vec![10.0; 8]; // balanced, Φ = 0 … but phi0 check
+        loads[0] += 1.0; // …must not trivially pass the target
+        let mut bal = ContinuousDiffusion::new(&g).engine();
+        let mut hook_rounds = Vec::new();
+        let out = run_continuous_driven(
+            &mut bal,
+            &mut loads,
+            1e-9,
+            20,
+            false,
+            |round, l: &mut Vec<f64>| {
+                hook_rounds.push(round);
+                l[0] += 100.0; // fresh arrival every round
+            },
+            |_, _, _| {},
+        );
+        assert_eq!(hook_rounds, (1..=20).collect::<Vec<_>>());
+        assert!(!out.converged, "constant injection must defeat the target");
+        // All injected load is still in the system (conservation).
+        let expected: f64 = 81.0 + 20.0 * 100.0;
+        assert!((loads.iter().sum::<f64>() - expected).abs() < 1e-6);
+    }
+
+    #[test]
+    fn driven_runs_the_hook_even_when_already_converged() {
+        use super::run_continuous_driven;
+        // Balanced start: Φ₀ = 0 ≤ target. The observed/plain drivers
+        // short-circuit to zero rounds; the driven loop must NOT — its
+        // hook models arrivals that can raise Φ again, and the scenario
+        // runner (dlb-workloads) always executes round 1.
+        let g = topology::cycle(6);
+        let mut loads = vec![5.0; 6];
+        let mut b = ContinuousDiffusion::new(&g).engine();
+        let out = run_continuous(&mut b, &mut loads, 1.0, 10, true);
+        assert_eq!(out.rounds, 0);
+        assert!(out.converged);
+        assert_eq!(out.trace, vec![0.0]);
+
+        let mut loads = vec![5.0; 6];
+        let mut b = ContinuousDiffusion::new(&g).engine();
+        let mut hook_ran = 0usize;
+        let out = run_continuous_driven(
+            &mut b,
+            &mut loads,
+            1.0,
+            10,
+            false,
+            |_, l: &mut Vec<f64>| {
+                hook_ran += 1;
+                l[0] += 100.0; // arrivals spoil the balance every round
+            },
+            |_, _, _| {},
+        );
+        assert!(hook_ran >= 1, "hook must run despite Φ₀ ≤ target");
+        assert!(!out.converged, "injection keeps Φ above the target");
+        assert_eq!(out.rounds, 10);
+        // All injected load entered the system before any early exit.
+        assert!((loads.iter().sum::<f64>() - (30.0 + 1000.0)).abs() < 1e-9);
     }
 
     #[test]

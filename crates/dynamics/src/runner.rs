@@ -17,7 +17,6 @@
 use crate::sequence::GraphSequence;
 use dlb_core::engine::{Engine, Protocol, StatsCtx};
 use dlb_core::model::{DiscreteRoundStats, RoundStats};
-use dlb_core::runner::{run_continuous_observed, run_discrete_observed};
 use dlb_core::{continuous, discrete};
 use dlb_graphs::Graph;
 use dlb_spectral::eigen::laplacian_lambda2;
@@ -207,15 +206,55 @@ pub fn run_dynamic_continuous<S: GraphSequence + ?Sized>(
     max_rounds: usize,
     record_spectra: bool,
 ) -> DynamicContinuousOutcome {
+    // Hook-less runs keep the historical zero-round early exit; the
+    // driven variant deliberately doesn't short-circuit (its hook models
+    // load that keeps arriving — see dlb_core::runner::run_continuous_driven).
+    let phi0 = dlb_core::potential::phi(loads);
+    if phi0 <= target_phi {
+        return DynamicContinuousOutcome {
+            rounds: 0,
+            converged: true,
+            final_phi: phi0,
+            spectra: Vec::new(),
+        };
+    }
+    run_dynamic_continuous_driven(
+        seq,
+        loads,
+        target_phi,
+        max_rounds,
+        record_spectra,
+        |_, _| {},
+    )
+}
+
+/// [`run_dynamic_continuous`] with a *pre-round* load-shaping hook:
+/// `pre_round(round, loads)` runs before each round's graph is drawn and
+/// balanced, so online workloads (arrivals, service drains — see
+/// `dlb-workloads`) interleave with the dynamic topology exactly as they
+/// do on fixed networks. The hook mutates the load vector in place; the
+/// ping-pong buffers and the convergence bookkeeping are untouched.
+pub fn run_dynamic_continuous_driven<S: GraphSequence + ?Sized, H>(
+    seq: &mut S,
+    loads: &mut Vec<f64>,
+    target_phi: f64,
+    max_rounds: usize,
+    record_spectra: bool,
+    pre_round: H,
+) -> DynamicContinuousOutcome
+where
+    H: FnMut(usize, &mut Vec<f64>),
+{
     assert_eq!(loads.len(), seq.n(), "load vector length must equal n");
     let mut engine = Engine::serial(DynamicContinuousDiffusion::new(seq));
     let mut spectra = Vec::new();
-    let out = run_continuous_observed(
+    let out = dlb_core::runner::run_continuous_driven(
         &mut engine,
         loads,
         target_phi,
         max_rounds,
         false,
+        pre_round,
         |_, e: &Engine<DynamicContinuousDiffusion<S>>, _stats| {
             if record_spectra {
                 spectra.push(spectra_of(e.protocol().current_graph().expect("round ran")));
@@ -279,15 +318,50 @@ pub fn run_dynamic_discrete<S: GraphSequence + ?Sized>(
     max_rounds: usize,
     record_spectra: bool,
 ) -> DynamicDiscreteOutcome {
+    // See run_dynamic_continuous: the zero-round early exit belongs to
+    // the hook-less wrapper.
+    let phi0 = dlb_core::potential::phi_hat(loads);
+    if phi0 <= target_phi_hat {
+        return DynamicDiscreteOutcome {
+            rounds: 0,
+            converged: true,
+            final_phi_hat: phi0,
+            spectra: Vec::new(),
+        };
+    }
+    run_dynamic_discrete_driven(
+        seq,
+        loads,
+        target_phi_hat,
+        max_rounds,
+        record_spectra,
+        |_, _| {},
+    )
+}
+
+/// [`run_dynamic_discrete`] with a pre-round load-shaping hook (see
+/// [`run_dynamic_continuous_driven`]).
+pub fn run_dynamic_discrete_driven<S: GraphSequence + ?Sized, H>(
+    seq: &mut S,
+    loads: &mut Vec<i64>,
+    target_phi_hat: u128,
+    max_rounds: usize,
+    record_spectra: bool,
+    pre_round: H,
+) -> DynamicDiscreteOutcome
+where
+    H: FnMut(usize, &mut Vec<i64>),
+{
     assert_eq!(loads.len(), seq.n(), "load vector length must equal n");
     let mut engine = Engine::serial(DynamicDiscreteDiffusion::new(seq));
     let mut spectra = Vec::new();
-    let out = run_discrete_observed(
+    let out = dlb_core::runner::run_discrete_driven(
         &mut engine,
         loads,
         target_phi_hat,
         max_rounds,
         false,
+        pre_round,
         |_, e: &Engine<DynamicDiscreteDiffusion<S>>, _stats| {
             if record_spectra {
                 spectra.push(spectra_of(e.protocol().current_graph().expect("round ran")));
@@ -322,9 +396,7 @@ mod tests {
 
         let mut fixed = init.clone();
         let mut fixed_exec = ContinuousDiffusion::new(&g).engine();
-        for _ in 0..10 {
-            fixed_exec.round(&mut fixed);
-        }
+        fixed_exec.rounds(&mut fixed, 10);
 
         let mut dynamic = init;
         let mut seq = StaticSequence::new(g);

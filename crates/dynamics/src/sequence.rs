@@ -19,6 +19,25 @@ pub trait GraphSequence {
     fn name(&self) -> &'static str;
 }
 
+/// Boxed sequences forward (including `Box<dyn GraphSequence>` trait
+/// objects, with or without auto-trait bounds), so heterogeneous
+/// collections of models — and scenario descriptions that pick a model at
+/// runtime, as `dlb-workloads` does — can be driven through the same
+/// machinery.
+impl<S: GraphSequence + ?Sized> GraphSequence for Box<S> {
+    fn n(&self) -> usize {
+        (**self).n()
+    }
+
+    fn next_graph(&mut self) -> Graph {
+        (**self).next_graph()
+    }
+
+    fn name(&self) -> &'static str {
+        (**self).name()
+    }
+}
+
 /// The degenerate sequence: every round uses the same graph. Running the
 /// dynamic machinery over it must reproduce the fixed-network results —
 /// an integration-test invariant.

@@ -1,0 +1,315 @@
+//! Scenario run reports: the per-round time series, run totals, the
+//! steady-state Φ band, and a serde-free JSON-lines emission for CI and
+//! cross-run tooling.
+
+/// One row of the scenario time series (state *after* the round's
+/// workload application and balancing round).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RoundRecord {
+    /// Round number (1-based).
+    pub round: u64,
+    /// Load injected by the workload this round.
+    pub injected: f64,
+    /// Load consumed by the workload this round.
+    pub consumed: f64,
+    /// Load migrated over edges by the balancing round. Tallied only on
+    /// rounds whose [`StatsMode`] computed flow statistics (zero on
+    /// skipped rounds and under `PhiOnly`/`Off`) — flows are expensive
+    /// observability, and the time series inherits the engine's laziness.
+    ///
+    /// [`StatsMode`]: dlb_core::engine::StatsMode
+    pub migrated: f64,
+    /// Potential after the round (Φ for continuous and heterogeneous
+    /// protocols — capacity-weighted Φ_c for the latter — and exact Φ̂
+    /// converted to `f64` for discrete protocols). Bit-identical across
+    /// executors, thread counts, and stats modes.
+    pub phi: f64,
+    /// Per-round imbalance `max(load) − min(load)` after the round.
+    pub imbalance: f64,
+    /// Total load in the system after the round.
+    pub total: f64,
+}
+
+/// Why the run stopped.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StopReason {
+    /// The potential target was reached.
+    Converged,
+    /// The steady-state detector fired (the Φ band settled).
+    SteadyState,
+    /// The round budget ran out.
+    RoundBudget,
+}
+
+impl StopReason {
+    /// Stable string for reports.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            StopReason::Converged => "converged",
+            StopReason::SteadyState => "steady-state",
+            StopReason::RoundBudget => "round-budget",
+        }
+    }
+}
+
+/// The trailing-window Φ band: where the potential settled. For
+/// steady-state stops this is the window that triggered the stop; for
+/// other stops it summarizes the trailing `window` rounds.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SteadyBand {
+    /// Window length the band was measured over.
+    pub window: usize,
+    /// Mean Φ over the window.
+    pub phi_mean: f64,
+    /// Minimum Φ over the window.
+    pub phi_min: f64,
+    /// Maximum Φ over the window.
+    pub phi_max: f64,
+}
+
+/// The complete outcome of one scenario run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScenarioReport {
+    /// Scenario name.
+    pub scenario: String,
+    /// Protocol name (from the engine's protocol).
+    pub protocol: String,
+    /// Node count.
+    pub n: usize,
+    /// Engine worker threads the run used (1 = serial executor).
+    pub threads: usize,
+    /// Statistics mode the run used, as a stable string.
+    pub stats: String,
+    /// Rounds executed.
+    pub rounds: usize,
+    /// Why the run stopped.
+    pub stop: StopReason,
+    /// Total load before any workload or round ran.
+    pub initial_total: f64,
+    /// Total load after the last round.
+    pub final_total: f64,
+    /// Σ injected over all rounds.
+    pub injected_total: f64,
+    /// Σ consumed over all rounds.
+    pub consumed_total: f64,
+    /// Σ migrated over stats-computing rounds (see
+    /// [`RoundRecord::migrated`]).
+    pub migrated_total: f64,
+    /// Φ after each round, starting with the initial potential (length
+    /// `rounds + 1`).
+    pub phi_trace: Vec<f64>,
+    /// Per-round records (length `rounds`).
+    pub records: Vec<RoundRecord>,
+    /// Trailing Φ band.
+    pub steady: SteadyBand,
+}
+
+impl ScenarioReport {
+    /// Absolute conservation error `|final − (initial + Σinjected −
+    /// Σconsumed)|`. Exactly zero for discrete (token) protocols; for
+    /// continuous protocols it is floating-point rounding noise — compare
+    /// through [`ScenarioReport::conservation_relative_error`].
+    pub fn conservation_error(&self) -> f64 {
+        let expected = self.initial_total + self.injected_total - self.consumed_total;
+        (self.final_total - expected).abs()
+    }
+
+    /// Conservation error relative to the magnitude of the flows involved
+    /// (floored at 1 so an all-zero scenario doesn't divide by zero).
+    pub fn conservation_relative_error(&self) -> f64 {
+        let scale = self.initial_total.abs() + self.injected_total + self.consumed_total;
+        self.conservation_error() / scale.max(1.0)
+    }
+
+    /// Final potential (last Φ-trace entry).
+    pub fn phi_final(&self) -> f64 {
+        *self.phi_trace.last().expect("trace holds the initial Φ")
+    }
+
+    /// The report as JSON lines: one summary-header object, then one
+    /// object per round. Serde-free (see `dlb_bench::perf_json` for the
+    /// same offline-workspace reasoning); schema `dlb-scenario/1`.
+    pub fn to_jsonl(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "{{\"schema\": \"dlb-scenario/1\", \"scenario\": \"{}\", \"protocol\": \"{}\", \
+             \"n\": {}, \"threads\": {}, \"stats\": \"{}\", \"rounds\": {}, \"stop\": \"{}\", \
+             \"initial_total\": {}, \"final_total\": {}, \"injected_total\": {}, \
+             \"consumed_total\": {}, \"migrated_total\": {}, \"conservation_error\": {}, \
+             \"phi_initial\": {}, \"phi_final\": {}, \"steady_window\": {}, \
+             \"steady_phi_mean\": {}, \"steady_phi_min\": {}, \"steady_phi_max\": {}}}\n",
+            esc(&self.scenario),
+            esc(&self.protocol),
+            self.n,
+            self.threads,
+            esc(&self.stats),
+            self.rounds,
+            self.stop.as_str(),
+            num(self.initial_total),
+            num(self.final_total),
+            num(self.injected_total),
+            num(self.consumed_total),
+            num(self.migrated_total),
+            num(self.conservation_error()),
+            num(self.phi_trace[0]),
+            num(self.phi_final()),
+            self.steady.window,
+            num(self.steady.phi_mean),
+            num(self.steady.phi_min),
+            num(self.steady.phi_max),
+        ));
+        for r in &self.records {
+            out.push_str(&format!(
+                "{{\"round\": {}, \"phi\": {}, \"injected\": {}, \"consumed\": {}, \
+                 \"migrated\": {}, \"imbalance\": {}, \"total\": {}}}\n",
+                r.round,
+                num(r.phi),
+                num(r.injected),
+                num(r.consumed),
+                num(r.migrated),
+                num(r.imbalance),
+                num(r.total),
+            ));
+        }
+        out
+    }
+
+    /// A human-readable multi-line summary for terminal output.
+    pub fn summary(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "scenario {} · {} · n = {} · {} thread(s) · stats {}\n",
+            self.scenario, self.protocol, self.n, self.threads, self.stats
+        ));
+        out.push_str(&format!(
+            "stopped after {} round(s): {}\n",
+            self.rounds,
+            self.stop.as_str()
+        ));
+        out.push_str(&format!(
+            "load: initial {:.3} + injected {:.3} − consumed {:.3} = final {:.3} (error {:.2e})\n",
+            self.initial_total,
+            self.injected_total,
+            self.consumed_total,
+            self.final_total,
+            self.conservation_error(),
+        ));
+        out.push_str(&format!(
+            "Φ: initial {:.4e} → final {:.4e}; trailing band over {} round(s): \
+             mean {:.4e} in [{:.4e}, {:.4e}]\n",
+            self.phi_trace[0],
+            self.phi_final(),
+            self.steady.window,
+            self.steady.phi_mean,
+            self.steady.phi_min,
+            self.steady.phi_max,
+        ));
+        if self.migrated_total > 0.0 {
+            out.push_str(&format!(
+                "migrated over edges: {:.3}\n",
+                self.migrated_total
+            ));
+        }
+        out
+    }
+}
+
+fn esc(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+/// JSON number: shortest round-trip representation, `null` for
+/// non-finite values (JSON has no NaN/∞).
+fn num(x: f64) -> String {
+    if x.is_finite() {
+        format!("{x:?}")
+    } else {
+        "null".to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> ScenarioReport {
+        ScenarioReport {
+            scenario: "s".into(),
+            protocol: "alg1-cont".into(),
+            n: 4,
+            threads: 1,
+            stats: "full".into(),
+            rounds: 2,
+            stop: StopReason::RoundBudget,
+            initial_total: 10.0,
+            final_total: 12.5,
+            injected_total: 4.0,
+            consumed_total: 1.5,
+            migrated_total: 3.0,
+            phi_trace: vec![9.0, 4.0, 2.0],
+            records: vec![
+                RoundRecord {
+                    round: 1,
+                    injected: 2.0,
+                    consumed: 0.5,
+                    migrated: 2.0,
+                    phi: 4.0,
+                    imbalance: 3.0,
+                    total: 11.5,
+                },
+                RoundRecord {
+                    round: 2,
+                    injected: 2.0,
+                    consumed: 1.0,
+                    migrated: 1.0,
+                    phi: 2.0,
+                    imbalance: 1.0,
+                    total: 12.5,
+                },
+            ],
+            steady: SteadyBand {
+                window: 2,
+                phi_mean: 3.0,
+                phi_min: 2.0,
+                phi_max: 4.0,
+            },
+        }
+    }
+
+    #[test]
+    fn conservation_identities() {
+        let r = sample();
+        assert!(r.conservation_error() < 1e-12);
+        assert!(r.conservation_relative_error() < 1e-12);
+        let mut broken = r;
+        broken.final_total = 13.0;
+        assert!((broken.conservation_error() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn jsonl_shape_and_values() {
+        let text = sample().to_jsonl();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 3, "header + one line per round");
+        assert!(lines[0].contains("\"schema\": \"dlb-scenario/1\""));
+        assert!(lines[0].contains("\"stop\": \"round-budget\""));
+        assert!(lines[0].contains("\"phi_final\": 2.0"));
+        assert!(lines[1].starts_with("{\"round\": 1,"));
+        assert!(lines[2].contains("\"total\": 12.5"));
+    }
+
+    #[test]
+    fn non_finite_numbers_become_null() {
+        assert_eq!(num(f64::NAN), "null");
+        assert_eq!(num(f64::INFINITY), "null");
+        assert_eq!(num(0.1), "0.1");
+    }
+
+    #[test]
+    fn summary_mentions_the_essentials() {
+        let s = sample().summary();
+        assert!(s.contains("round-budget"));
+        assert!(s.contains("alg1-cont"));
+        assert!(s.contains("error"));
+    }
+}

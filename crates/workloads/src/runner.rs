@@ -1,0 +1,609 @@
+//! The end-to-end scenario runner: drives an [`Engine`] round by round,
+//! interleaving workload deltas between rounds, and emits the
+//! [`ScenarioReport`] time series.
+//!
+//! ### Execution shape
+//!
+//! Each scenario round is **workload → balance → observe**:
+//!
+//! ```text
+//! loads ──apply workload──▶ loads' ──Engine::round──▶ loads'' ──record──▶ …
+//!        (in place, front buffer)   (zero-copy ping-pong)    (Φ, totals)
+//! ```
+//!
+//! The workload mutates the caller's load vector in place between engine
+//! rounds — the engine's zero-copy double buffering is untouched, no copy
+//! is introduced. The Φ trace uses the round's computed statistics when
+//! the [`StatsMode`] produced them and the engine's on-demand potential
+//! otherwise (the same blocked reduction), so the trace is **bit-identical
+//! across stats modes, executors, and thread counts**; workloads are
+//! applied by one thread and are seeded-deterministic, extending the
+//! workspace's serial ≡ parallel invariant to online scenarios.
+//!
+//! [`StatsMode`]: dlb_core::engine::StatsMode
+
+use std::collections::VecDeque;
+
+use crate::report::{RoundRecord, ScenarioReport, SteadyBand, StopReason};
+use crate::scenario::{compile_workloads, ProtocolSpec, Scenario, StopSpec};
+use crate::workload::{ScenarioLoad, Workload, WorkloadCtx};
+use dlb_core::continuous::ContinuousDiffusion;
+use dlb_core::discrete::DiscreteDiffusion;
+use dlb_core::engine::{Engine, LoadPotential, Protocol, StatsMode};
+use dlb_core::heterogeneous::HeterogeneousDiffusion;
+use dlb_core::init;
+use dlb_core::model::{DiscreteRoundStats, RoundStats};
+use dlb_dynamics::runner::{DynamicContinuousDiffusion, DynamicDiscreteDiffusion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Round statistics the scenario time series can read uniformly:
+/// continuous and discrete stats both expose an after-round potential and
+/// a total-moved figure as `f64`.
+pub trait RoundLike {
+    /// The after-round potential as `f64`.
+    fn phi_after_f64(&self) -> f64;
+    /// Total load/tokens moved over edges this round.
+    fn moved_f64(&self) -> f64;
+}
+
+impl RoundLike for RoundStats {
+    fn phi_after_f64(&self) -> f64 {
+        self.phi_after
+    }
+
+    fn moved_f64(&self) -> f64 {
+        self.total_flow
+    }
+}
+
+impl RoundLike for DiscreteRoundStats {
+    fn phi_after_f64(&self) -> f64 {
+        self.phi_hat_after as f64
+    }
+
+    fn moved_f64(&self) -> f64 {
+        self.total_tokens as f64
+    }
+}
+
+/// Potential scalars (`f64` Φ, `u128` Φ̂) viewed as `f64` for the report
+/// time series. The conversion is deterministic, so trace bit-identity is
+/// preserved.
+pub trait PhiLike {
+    /// The potential as `f64`.
+    fn phi_f64(self) -> f64;
+}
+
+impl PhiLike for f64 {
+    fn phi_f64(self) -> f64 {
+        self
+    }
+}
+
+impl PhiLike for u128 {
+    fn phi_f64(self) -> f64 {
+        self as f64
+    }
+}
+
+/// Stable name of a [`StatsMode`] for reports and scenario files.
+pub fn stats_mode_name(mode: StatsMode) -> String {
+    match mode {
+        StatsMode::Full => "full".into(),
+        StatsMode::EveryK(k) => format!("every:{k}"),
+        StatsMode::PhiOnly => "phionly".into(),
+        StatsMode::Off => "off".into(),
+    }
+}
+
+/// Trailing-window length used for the report's Φ band when the stop
+/// condition doesn't define one.
+const DEFAULT_BAND_WINDOW: usize = 32;
+
+fn band_of(recent: &VecDeque<f64>) -> SteadyBand {
+    if recent.is_empty() {
+        return SteadyBand {
+            window: 0,
+            phi_mean: 0.0,
+            phi_min: 0.0,
+            phi_max: 0.0,
+        };
+    }
+    let (mut min, mut max, mut sum) = (f64::INFINITY, f64::NEG_INFINITY, 0.0);
+    for &phi in recent {
+        min = min.min(phi);
+        max = max.max(phi);
+        sum += phi;
+    }
+    SteadyBand {
+        window: recent.len(),
+        phi_mean: sum / recent.len() as f64,
+        phi_min: min,
+        phi_max: max,
+    }
+}
+
+/// Drives `engine` through `stop`, applying `workload` between rounds,
+/// and collects the full time series. This is the loop behind
+/// [`ScenarioRunner`], exposed for callers that build their own engines
+/// (benches, ad-hoc experiments).
+///
+/// The load vector is left in its final state; `name` labels the report.
+pub fn run_driven<P>(
+    engine: &mut Engine<P>,
+    loads: &mut Vec<P::Load>,
+    mut workload: Option<&mut dyn Workload<P::Load>>,
+    stop: &StopSpec,
+    name: &str,
+) -> ScenarioReport
+where
+    P: Protocol,
+    P::Load: ScenarioLoad,
+    P::Stats: RoundLike,
+    <P::Load as LoadPotential>::Phi: PhiLike,
+{
+    let ctx = WorkloadCtx {
+        initial_total: P::Load::total(loads),
+    };
+    let initial_total = ctx.initial_total;
+    let phi0 = engine.potential(loads).phi_f64();
+    let max_rounds = stop.max_rounds();
+    let band_window = match *stop {
+        StopSpec::SteadyState { window, .. } => window,
+        _ => DEFAULT_BAND_WINDOW,
+    };
+
+    let mut phi_trace = Vec::with_capacity(max_rounds.min(1 << 20) + 1);
+    phi_trace.push(phi0);
+    let mut records: Vec<RoundRecord> = Vec::with_capacity(max_rounds.min(1 << 20));
+    let mut recent: VecDeque<f64> = VecDeque::with_capacity(band_window + 1);
+    let (mut injected_total, mut consumed_total, mut migrated_total) = (0.0f64, 0.0f64, 0.0f64);
+    let mut stop_reason = StopReason::RoundBudget;
+
+    for round in 1..=max_rounds as u64 {
+        let delta = match workload.as_deref_mut() {
+            Some(w) => w.apply(round, loads, &ctx),
+            None => Default::default(),
+        };
+        let stats = engine.round(loads);
+        let (phi, moved) = match &stats {
+            Some(s) => (s.phi_after_f64(), s.moved_f64()),
+            None => (engine.potential(loads).phi_f64(), 0.0),
+        };
+        let (mut min, mut max) = (f64::INFINITY, f64::NEG_INFINITY);
+        for v in loads.iter() {
+            let x = v.to_f64();
+            min = min.min(x);
+            max = max.max(x);
+        }
+        let total = P::Load::total(loads);
+        injected_total += delta.injected;
+        consumed_total += delta.consumed;
+        migrated_total += moved;
+        phi_trace.push(phi);
+        records.push(RoundRecord {
+            round,
+            injected: delta.injected,
+            consumed: delta.consumed,
+            migrated: moved,
+            phi,
+            imbalance: max - min,
+            total,
+        });
+        recent.push_back(phi);
+        if recent.len() > band_window {
+            recent.pop_front();
+        }
+        match *stop {
+            StopSpec::PhiBelow { target, .. } if phi <= target => {
+                stop_reason = StopReason::Converged;
+                break;
+            }
+            StopSpec::SteadyState { window, tol, .. } if recent.len() == window => {
+                let band = band_of(&recent);
+                if band.phi_max - band.phi_min <= tol * band.phi_mean.abs().max(1.0) {
+                    stop_reason = StopReason::SteadyState;
+                    break;
+                }
+            }
+            _ => {}
+        }
+    }
+
+    let final_total = records.last().map_or(initial_total, |r| r.total);
+    ScenarioReport {
+        scenario: name.to_string(),
+        protocol: engine.protocol().name().to_string(),
+        n: engine.protocol().n(),
+        threads: engine.threads(),
+        stats: stats_mode_name(engine.stats_mode()),
+        rounds: records.len(),
+        stop: stop_reason,
+        initial_total,
+        final_total,
+        injected_total,
+        consumed_total,
+        migrated_total,
+        phi_trace,
+        records,
+        steady: band_of(&recent),
+    }
+}
+
+fn build_engine<P: Protocol + Sync>(protocol: P, threads: usize, stats: StatsMode) -> Engine<P> {
+    let engine = match threads {
+        1 => Engine::serial(protocol),
+        t => Engine::parallel(protocol, t),
+    };
+    engine.with_stats_mode(stats)
+}
+
+/// Runs a [`Scenario`], with optional engine overrides for replaying the
+/// same description under a different executor or statistics mode (the
+/// bit-identity suites drive these).
+#[derive(Debug, Clone)]
+pub struct ScenarioRunner {
+    scenario: Scenario,
+    threads: Option<usize>,
+    stats: Option<StatsMode>,
+}
+
+impl ScenarioRunner {
+    /// Wraps a scenario.
+    pub fn new(scenario: Scenario) -> Self {
+        ScenarioRunner {
+            scenario,
+            threads: None,
+            stats: None,
+        }
+    }
+
+    /// Overrides the scenario's thread count for this run.
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = Some(threads);
+        self
+    }
+
+    /// Overrides the scenario's statistics mode for this run.
+    pub fn with_stats(mut self, stats: StatsMode) -> Self {
+        self.stats = Some(stats);
+        self
+    }
+
+    /// Builds everything the scenario names — graph or sequence, initial
+    /// loads, workload, protocol, engine — and drives it to the stop
+    /// condition.
+    pub fn run(&self) -> Result<ScenarioReport, String> {
+        let sc = &self.scenario;
+        sc.validate()?;
+        let g = sc.topology.build();
+        let n = g.n();
+        let threads = self.threads.unwrap_or(sc.threads);
+        let stats = self.stats.unwrap_or(sc.stats);
+        let mut rng = StdRng::seed_from_u64(sc.init.seed);
+
+        match &sc.protocol {
+            ProtocolSpec::Continuous => {
+                let mut loads = init::continuous_loads(n, sc.init.avg, sc.init.dist, &mut rng);
+                let mut workload = compile_workloads::<f64>(&sc.workloads, n);
+                let workload = workload.as_mut().map(|w| w as &mut dyn Workload<f64>);
+                match &sc.sequence {
+                    None => {
+                        let mut engine = build_engine(ContinuousDiffusion::new(&g), threads, stats);
+                        Ok(run_driven(
+                            &mut engine,
+                            &mut loads,
+                            workload,
+                            &sc.stop,
+                            &sc.name,
+                        ))
+                    }
+                    Some(spec) => {
+                        let mut seq = spec.build(g.clone());
+                        let mut engine =
+                            build_engine(DynamicContinuousDiffusion::new(&mut seq), threads, stats);
+                        Ok(run_driven(
+                            &mut engine,
+                            &mut loads,
+                            workload,
+                            &sc.stop,
+                            &sc.name,
+                        ))
+                    }
+                }
+            }
+            ProtocolSpec::Discrete => {
+                // Token scenarios round the average to whole tokens.
+                let avg = sc.init.avg.round() as i64;
+                let mut loads = init::discrete_loads(n, avg, sc.init.dist, &mut rng);
+                let mut workload = compile_workloads::<i64>(&sc.workloads, n);
+                let workload = workload.as_mut().map(|w| w as &mut dyn Workload<i64>);
+                match &sc.sequence {
+                    None => {
+                        let mut engine = build_engine(DiscreteDiffusion::new(&g), threads, stats);
+                        Ok(run_driven(
+                            &mut engine,
+                            &mut loads,
+                            workload,
+                            &sc.stop,
+                            &sc.name,
+                        ))
+                    }
+                    Some(spec) => {
+                        let mut seq = spec.build(g.clone());
+                        let mut engine =
+                            build_engine(DynamicDiscreteDiffusion::new(&mut seq), threads, stats);
+                        Ok(run_driven(
+                            &mut engine,
+                            &mut loads,
+                            workload,
+                            &sc.stop,
+                            &sc.name,
+                        ))
+                    }
+                }
+            }
+            ProtocolSpec::Heterogeneous { capacities } => {
+                let caps = capacities.build(n);
+                let mut loads = init::continuous_loads(n, sc.init.avg, sc.init.dist, &mut rng);
+                let mut workload = compile_workloads::<f64>(&sc.workloads, n);
+                let workload = workload.as_mut().map(|w| w as &mut dyn Workload<f64>);
+                let mut engine =
+                    build_engine(HeterogeneousDiffusion::new(&g, caps), threads, stats);
+                Ok(run_driven(
+                    &mut engine,
+                    &mut loads,
+                    workload,
+                    &sc.stop,
+                    &sc.name,
+                ))
+            }
+        }
+    }
+}
+
+impl Scenario {
+    /// Runs the scenario as described (see [`ScenarioRunner`] for
+    /// per-run overrides).
+    pub fn run(&self) -> Result<ScenarioReport, String> {
+        ScenarioRunner::new(self.clone()).run()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenario::{
+        DrainSpec, PatternSpec, PlacementSpec, SequenceKind, SequenceSpec, TopologySpec,
+        WorkloadSpec,
+    };
+
+    fn trace_bits(report: &ScenarioReport) -> Vec<u64> {
+        report.phi_trace.iter().map(|p| p.to_bits()).collect()
+    }
+
+    #[test]
+    fn builtins_run_and_conserve() {
+        for name in Scenario::builtin_names() {
+            let report = Scenario::builtin(name).unwrap().run().expect(name);
+            assert!(report.rounds > 0, "{name}");
+            assert_eq!(report.phi_trace.len(), report.rounds + 1, "{name}");
+            assert_eq!(report.records.len(), report.rounds, "{name}");
+            assert!(
+                report.conservation_relative_error() < 1e-9,
+                "{name}: conservation error {}",
+                report.conservation_error()
+            );
+        }
+    }
+
+    #[test]
+    fn serial_and_parallel_scenarios_bit_identical() {
+        for name in ["bursty-torus", "zipf-hypercube-drain", "churn-markov"] {
+            let sc = Scenario::builtin(name).unwrap();
+            let serial = ScenarioRunner::new(sc.clone()).run().unwrap();
+            for threads in [2usize, 3] {
+                let par = ScenarioRunner::new(sc.clone())
+                    .with_threads(threads)
+                    .run()
+                    .unwrap();
+                assert_eq!(serial.rounds, par.rounds, "{name}/{threads}");
+                assert_eq!(
+                    trace_bits(&serial),
+                    trace_bits(&par),
+                    "{name}/{threads}: Φ trace diverged"
+                );
+                assert_eq!(
+                    serial.final_total.to_bits(),
+                    par.final_total.to_bits(),
+                    "{name}/{threads}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn stats_modes_do_not_change_the_trajectory() {
+        let sc = Scenario::builtin("bursty-torus").unwrap();
+        let full = ScenarioRunner::new(sc.clone())
+            .with_stats(StatsMode::Full)
+            .run()
+            .unwrap();
+        for mode in [StatsMode::EveryK(7), StatsMode::PhiOnly, StatsMode::Off] {
+            let lazy = ScenarioRunner::new(sc.clone())
+                .with_stats(mode)
+                .run()
+                .unwrap();
+            assert_eq!(full.rounds, lazy.rounds, "{mode:?}");
+            assert_eq!(trace_bits(&full), trace_bits(&lazy), "{mode:?}");
+            assert_eq!(full.stop, lazy.stop, "{mode:?}");
+            // Injected/consumed are workload-side and mode-independent…
+            assert_eq!(
+                full.injected_total.to_bits(),
+                lazy.injected_total.to_bits(),
+                "{mode:?}"
+            );
+            assert_eq!(
+                full.consumed_total.to_bits(),
+                lazy.consumed_total.to_bits(),
+                "{mode:?}"
+            );
+        }
+        // …while migrated totals are only tallied on flow-computing rounds.
+        let off = ScenarioRunner::new(sc)
+            .with_stats(StatsMode::Off)
+            .run()
+            .unwrap();
+        assert_eq!(off.migrated_total, 0.0);
+        assert!(full.migrated_total > 0.0);
+    }
+
+    #[test]
+    fn steady_state_detector_stops_a_balanced_drain() {
+        // Constant uniform arrivals exactly matched by proportional drain
+        // settle Φ quickly; the detector must fire before the budget.
+        let sc = Scenario::new(
+            "steady",
+            TopologySpec::Torus2d { rows: 8, cols: 8 },
+            ProtocolSpec::Continuous,
+        )
+        .with_init(init::Workload::Spike, 50.0, 1)
+        .with_workload(WorkloadSpec::Arrivals {
+            pattern: PatternSpec::Constant { per_round: 64.0 },
+            placement: PlacementSpec::Uniform,
+        })
+        .with_workload(WorkloadSpec::Drain {
+            model: DrainSpec::Proportional { fraction: 0.02 },
+        })
+        .with_stop(StopSpec::SteadyState {
+            window: 16,
+            tol: 0.05,
+            max_rounds: 5000,
+        });
+        let report = sc.run().unwrap();
+        assert_eq!(report.stop, StopReason::SteadyState);
+        assert!(report.rounds < 5000);
+        let band = report.steady;
+        assert_eq!(band.window, 16);
+        assert!(band.phi_min <= band.phi_mean && band.phi_mean <= band.phi_max);
+    }
+
+    #[test]
+    fn phi_below_stop_reports_converged() {
+        let sc = Scenario::new(
+            "conv",
+            TopologySpec::Hypercube { dim: 4 },
+            ProtocolSpec::Continuous,
+        )
+        .with_init(init::Workload::Spike, 10.0, 1)
+        .with_stop(StopSpec::PhiBelow {
+            target: 1e-6,
+            max_rounds: 10_000,
+        });
+        let report = sc.run().unwrap();
+        assert_eq!(report.stop, StopReason::Converged);
+        assert!(report.phi_final() <= 1e-6);
+        // No workload: a pure convergence run conserves the initial total.
+        assert!(report.conservation_relative_error() < 1e-12);
+        assert_eq!(report.injected_total, 0.0);
+        assert_eq!(report.consumed_total, 0.0);
+    }
+
+    #[test]
+    fn discrete_conservation_is_exact() {
+        let report = Scenario::builtin("zipf-hypercube-drain")
+            .unwrap()
+            .run()
+            .unwrap();
+        assert_eq!(
+            report.conservation_error(),
+            0.0,
+            "token conservation must be exact"
+        );
+        // Tokens are integers: the final total is integral.
+        assert_eq!(report.final_total.fract(), 0.0);
+    }
+
+    #[test]
+    fn outage_sequence_scenario_runs() {
+        let sc = Scenario::new(
+            "outage",
+            TopologySpec::Cycle { n: 12 },
+            ProtocolSpec::Continuous,
+        )
+        .with_sequence(SequenceSpec {
+            kind: SequenceKind::Static,
+            outage_every: Some(3),
+        })
+        .with_init(init::Workload::Spike, 10.0, 1)
+        .with_stop(StopSpec::Rounds { rounds: 9 });
+        let report = sc.run().unwrap();
+        assert_eq!(report.rounds, 9);
+        // Outage rounds (3, 6, 9) freeze Φ: trace[k] == trace[k-1].
+        for k in [3usize, 6, 9] {
+            assert_eq!(
+                report.phi_trace[k].to_bits(),
+                report.phi_trace[k - 1].to_bits(),
+                "outage round {k} must not change Φ"
+            );
+        }
+        assert!(report.conservation_relative_error() < 1e-12);
+    }
+
+    #[test]
+    fn static_sequence_scenario_matches_fixed_network_run() {
+        let fixed = Scenario::new(
+            "fixed",
+            TopologySpec::Torus2d { rows: 4, cols: 4 },
+            ProtocolSpec::Continuous,
+        )
+        .with_init(init::Workload::Ramp, 25.0, 1)
+        .with_workload(WorkloadSpec::Arrivals {
+            pattern: PatternSpec::Constant { per_round: 16.0 },
+            placement: PlacementSpec::Hotspot { node: 5 },
+        })
+        .with_stop(StopSpec::Rounds { rounds: 40 });
+        let dynamic = fixed.clone().with_sequence(SequenceSpec {
+            kind: SequenceKind::Static,
+            outage_every: None,
+        });
+        let a = fixed.run().unwrap();
+        let b = dynamic.run().unwrap();
+        assert_eq!(trace_bits(&a), trace_bits(&b));
+        assert_eq!(a.final_total.to_bits(), b.final_total.to_bits());
+    }
+
+    #[test]
+    fn heterogeneous_scenario_tracks_weighted_potential() {
+        let report = Scenario::builtin("adversarial-hetero")
+            .unwrap()
+            .run()
+            .unwrap();
+        assert_eq!(report.protocol, "hetero-cont");
+        assert!(report.conservation_relative_error() < 1e-9);
+        // The adversary keeps re-injecting: the trace can't collapse to 0.
+        assert!(report.phi_final() > 0.0);
+    }
+
+    #[test]
+    fn run_driven_with_no_workload_is_a_plain_convergence_run() {
+        use dlb_core::engine::IntoEngine;
+        let g = dlb_graphs::topology::cycle(16);
+        let mut engine = ContinuousDiffusion::new(&g).engine();
+        let mut loads = vec![0.0; 16];
+        loads[0] = 160.0;
+        let report = run_driven(
+            &mut engine,
+            &mut loads,
+            None,
+            &StopSpec::Rounds { rounds: 12 },
+            "bare",
+        );
+        assert_eq!(report.rounds, 12);
+        assert_eq!(report.scenario, "bare");
+        assert_eq!(report.threads, 1);
+        assert!(report.phi_final() < report.phi_trace[0]);
+        assert!((report.final_total - 160.0).abs() < 1e-9);
+    }
+}

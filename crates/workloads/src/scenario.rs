@@ -1,0 +1,984 @@
+//! Declarative scenarios: one value that names everything an end-to-end
+//! run needs — topology (or dynamic graph sequence), initial load
+//! distribution, online workload, protocol, statistics mode, and stop
+//! condition.
+//!
+//! A [`Scenario`] is plain data (every field `Clone + PartialEq`), so it
+//! can be built programmatically, loaded from a TOML/JSON-lines file (see
+//! [`crate::parse`]), printed, diffed, and replayed — the experiment
+//! configuration *is* the artifact. [`Scenario::run`] (in
+//! [`crate::runner`]) turns it into a [`crate::report::ScenarioReport`].
+
+use crate::workload::{
+    zipf_weights, Arrivals, Compose, Drain, Placement, RatePattern, ScenarioLoad, Workload,
+};
+use dlb_core::engine::StatsMode;
+use dlb_core::init;
+use dlb_dynamics::{
+    GraphSequence, IidSubgraphSequence, MarkovChurnSequence, MatchingOnlySequence, OutageSequence,
+    StaticSequence,
+};
+use dlb_graphs::{topology, Graph};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// A named topology family with its parameters — the fixed ground graph
+/// of the scenario (dynamic models activate per-round subsets of it).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TopologySpec {
+    /// Path `P_n`.
+    Path {
+        /// Node count.
+        n: usize,
+    },
+    /// Cycle `C_n`.
+    Cycle {
+        /// Node count.
+        n: usize,
+    },
+    /// 2-D grid (open boundaries).
+    Grid2d {
+        /// Rows.
+        rows: usize,
+        /// Columns.
+        cols: usize,
+    },
+    /// 2-D torus (wrap-around).
+    Torus2d {
+        /// Rows.
+        rows: usize,
+        /// Columns.
+        cols: usize,
+    },
+    /// Hypercube `Q_dim` (`n = 2^dim`).
+    Hypercube {
+        /// Dimension.
+        dim: u32,
+    },
+    /// Complete graph `K_n`.
+    Complete {
+        /// Node count.
+        n: usize,
+    },
+    /// Star (node 0 is the hub).
+    Star {
+        /// Node count.
+        n: usize,
+    },
+    /// Undirected de Bruijn on `2^dim` nodes.
+    DeBruijn {
+        /// Dimension.
+        dim: u32,
+    },
+    /// Random `d`-regular graph (seeded).
+    RandomRegular {
+        /// Node count.
+        n: usize,
+        /// Degree.
+        d: usize,
+        /// Construction seed.
+        seed: u64,
+    },
+}
+
+impl TopologySpec {
+    /// Family name as used in scenario files.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            TopologySpec::Path { .. } => "path",
+            TopologySpec::Cycle { .. } => "cycle",
+            TopologySpec::Grid2d { .. } => "grid2d",
+            TopologySpec::Torus2d { .. } => "torus2d",
+            TopologySpec::Hypercube { .. } => "hypercube",
+            TopologySpec::Complete { .. } => "complete",
+            TopologySpec::Star { .. } => "star",
+            TopologySpec::DeBruijn { .. } => "debruijn",
+            TopologySpec::RandomRegular { .. } => "random-regular",
+        }
+    }
+
+    /// Node count of the built graph.
+    pub fn n(&self) -> usize {
+        match *self {
+            TopologySpec::Path { n }
+            | TopologySpec::Cycle { n }
+            | TopologySpec::Complete { n }
+            | TopologySpec::Star { n }
+            | TopologySpec::RandomRegular { n, .. } => n,
+            TopologySpec::Grid2d { rows, cols } | TopologySpec::Torus2d { rows, cols } => {
+                rows * cols
+            }
+            TopologySpec::Hypercube { dim } | TopologySpec::DeBruijn { dim } => 1usize << dim,
+        }
+    }
+
+    /// Instantiates the graph.
+    pub fn build(&self) -> Graph {
+        match *self {
+            TopologySpec::Path { n } => topology::path(n),
+            TopologySpec::Cycle { n } => topology::cycle(n),
+            TopologySpec::Grid2d { rows, cols } => topology::grid2d(rows, cols),
+            TopologySpec::Torus2d { rows, cols } => topology::torus2d(rows, cols),
+            TopologySpec::Hypercube { dim } => topology::hypercube(dim),
+            TopologySpec::Complete { n } => topology::complete(n),
+            TopologySpec::Star { n } => topology::star(n),
+            TopologySpec::DeBruijn { dim } => topology::de_bruijn(dim),
+            TopologySpec::RandomRegular { n, d, seed } => {
+                topology::random_regular(n, d, &mut StdRng::seed_from_u64(seed))
+            }
+        }
+    }
+}
+
+/// Which dynamic-network model activates per-round subgraphs of the
+/// ground topology; `None` on the [`Scenario`] means a fixed network.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SequenceSpec {
+    /// The churn model.
+    pub kind: SequenceKind,
+    /// When set, every `k`-th round is a total communication outage
+    /// (wraps the model in [`OutageSequence`]).
+    pub outage_every: Option<usize>,
+}
+
+/// The concrete churn model of a [`SequenceSpec`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum SequenceKind {
+    /// Every round uses the full ground graph (useful to pin the
+    /// static-sequence ≡ fixed-network invariant from a scenario file).
+    Static,
+    /// Each ground edge kept i.i.d. with probability `p` per round.
+    Iid {
+        /// Keep probability.
+        p: f64,
+        /// RNG seed.
+        seed: u64,
+    },
+    /// Markov up/down edge churn.
+    Markov {
+        /// P(up → down) per round.
+        p_fail: f64,
+        /// P(down → up) per round.
+        p_recover: f64,
+        /// RNG seed.
+        seed: u64,
+    },
+    /// Each round activates only a random maximal matching.
+    MatchingOnly {
+        /// RNG seed.
+        seed: u64,
+    },
+}
+
+impl SequenceSpec {
+    /// Model name as used in scenario files.
+    pub fn kind_name(&self) -> &'static str {
+        match self.kind {
+            SequenceKind::Static => "static",
+            SequenceKind::Iid { .. } => "iid",
+            SequenceKind::Markov { .. } => "markov",
+            SequenceKind::MatchingOnly { .. } => "matching-only",
+        }
+    }
+
+    /// Builds the runnable sequence over `ground`. Boxed (`+ Sync`) so the
+    /// runner stays monomorphization-free and the parallel executor can
+    /// share the protocol across workers.
+    pub fn build(&self, ground: Graph) -> Box<dyn GraphSequence + Sync> {
+        let inner: Box<dyn GraphSequence + Sync> = match self.kind {
+            SequenceKind::Static => Box::new(StaticSequence::new(ground)),
+            SequenceKind::Iid { p, seed } => Box::new(IidSubgraphSequence::new(ground, p, seed)),
+            SequenceKind::Markov {
+                p_fail,
+                p_recover,
+                seed,
+            } => Box::new(MarkovChurnSequence::new(ground, p_fail, p_recover, seed)),
+            SequenceKind::MatchingOnly { seed } => {
+                Box::new(MatchingOnlySequence::new(ground, seed))
+            }
+        };
+        match self.outage_every {
+            Some(every) => Box::new(OutageSequence::new(inner, every)),
+            None => inner,
+        }
+    }
+}
+
+/// Which balancing protocol the scenario drives.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ProtocolSpec {
+    /// Algorithm 1, continuous (divisible load).
+    Continuous,
+    /// Algorithm 1, discrete (integral tokens).
+    Discrete,
+    /// Capacity-weighted heterogeneous diffusion (fixed networks only).
+    Heterogeneous {
+        /// How node capacities are generated.
+        capacities: CapacitySpec,
+    },
+}
+
+impl ProtocolSpec {
+    /// Protocol name as used in scenario files.
+    pub fn name(&self) -> &'static str {
+        match self {
+            ProtocolSpec::Continuous => "continuous",
+            ProtocolSpec::Discrete => "discrete",
+            ProtocolSpec::Heterogeneous { .. } => "heterogeneous",
+        }
+    }
+}
+
+/// Deterministic capacity vectors for the heterogeneous protocol.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CapacitySpec {
+    /// All nodes capacity 1 (degenerates to homogeneous diffusion).
+    Uniform,
+    /// A `fast_fraction` of the nodes (lowest ids) have capacity `ratio`,
+    /// the rest capacity 1 — the classic big.LITTLE cluster.
+    TwoTier {
+        /// Fraction of fast nodes in `(0, 1]`.
+        fast_fraction: f64,
+        /// Capacity multiple of the fast tier.
+        ratio: f64,
+    },
+    /// Capacities ramp linearly from 1 to `ratio` across node ids.
+    Ramp {
+        /// Capacity of the last node.
+        ratio: f64,
+    },
+}
+
+impl CapacitySpec {
+    /// Capacity spec name as used in scenario files.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            CapacitySpec::Uniform => "uniform",
+            CapacitySpec::TwoTier { .. } => "two-tier",
+            CapacitySpec::Ramp { .. } => "ramp",
+        }
+    }
+
+    /// Builds the capacity vector for `n` nodes.
+    pub fn build(&self, n: usize) -> Vec<f64> {
+        match *self {
+            CapacitySpec::Uniform => vec![1.0; n],
+            CapacitySpec::TwoTier {
+                fast_fraction,
+                ratio,
+            } => {
+                let fast = ((fast_fraction * n as f64).ceil() as usize).clamp(1, n);
+                (0..n).map(|i| if i < fast { ratio } else { 1.0 }).collect()
+            }
+            CapacitySpec::Ramp { ratio } => {
+                if n == 1 {
+                    return vec![1.0];
+                }
+                (0..n)
+                    .map(|i| 1.0 + (ratio - 1.0) * i as f64 / (n - 1) as f64)
+                    .collect()
+            }
+        }
+    }
+}
+
+/// Initial load distribution: one of `dlb_core::init`'s named
+/// distributions, its average load, and the RNG seed for randomized ones.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct InitSpec {
+    /// The named distribution.
+    pub dist: init::Workload,
+    /// Average load per node.
+    pub avg: f64,
+    /// Seed for randomized distributions.
+    pub seed: u64,
+}
+
+impl InitSpec {
+    /// Parses a distribution name (`spike`, `uniform`, `ramp`, `bimodal`,
+    /// `balanced`).
+    pub fn dist_from_name(name: &str) -> Result<init::Workload, String> {
+        init::Workload::ALL
+            .into_iter()
+            .find(|w| w.name() == name)
+            .ok_or_else(|| format!("unknown init distribution {name:?}"))
+    }
+}
+
+/// Per-round arrival rate, declaratively.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PatternSpec {
+    /// See [`RatePattern::Constant`].
+    Constant {
+        /// Total injected per round.
+        per_round: f64,
+    },
+    /// See [`RatePattern::OnOff`].
+    Bursty {
+        /// Burst rate.
+        high: f64,
+        /// Idle rate.
+        low: f64,
+        /// Burst length (rounds).
+        on_rounds: u64,
+        /// Gap length (rounds).
+        off_rounds: u64,
+    },
+    /// See [`RatePattern::Diurnal`].
+    Diurnal {
+        /// Mean rate.
+        mean: f64,
+        /// Relative swing.
+        amplitude: f64,
+        /// Period (rounds).
+        period: u64,
+    },
+}
+
+impl PatternSpec {
+    fn compile(&self) -> RatePattern {
+        match *self {
+            PatternSpec::Constant { per_round } => RatePattern::Constant { per_round },
+            PatternSpec::Bursty {
+                high,
+                low,
+                on_rounds,
+                off_rounds,
+            } => RatePattern::OnOff {
+                high,
+                low,
+                on_rounds,
+                off_rounds,
+            },
+            PatternSpec::Diurnal {
+                mean,
+                amplitude,
+                period,
+            } => RatePattern::Diurnal {
+                mean,
+                amplitude,
+                period,
+            },
+        }
+    }
+
+    /// Pattern name as used in scenario files.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            PatternSpec::Constant { .. } => "constant",
+            PatternSpec::Bursty { .. } => "bursty",
+            PatternSpec::Diurnal { .. } => "diurnal",
+        }
+    }
+}
+
+/// Arrival placement, declaratively.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PlacementSpec {
+    /// Spread evenly.
+    Uniform,
+    /// Zipf(`s`) hotspot skew through a seeded node permutation.
+    Zipf {
+        /// Skew exponent.
+        s: f64,
+        /// Permutation seed.
+        seed: u64,
+    },
+    /// Fixed node.
+    Hotspot {
+        /// Target node id.
+        node: u32,
+    },
+    /// Currently heaviest node (the adversary).
+    MaxLoaded,
+    /// Uniformly random node per round (seeded).
+    RandomNode {
+        /// RNG seed.
+        seed: u64,
+    },
+}
+
+impl PlacementSpec {
+    fn compile(&self, n: usize) -> Placement {
+        match *self {
+            PlacementSpec::Uniform => Placement::Uniform,
+            PlacementSpec::Zipf { s, seed } => Placement::Weighted(zipf_weights(n, s, seed)),
+            PlacementSpec::Hotspot { node } => Placement::Hotspot(node),
+            PlacementSpec::MaxLoaded => Placement::MaxLoaded,
+            PlacementSpec::RandomNode { seed } => {
+                Placement::RandomNode(StdRng::seed_from_u64(seed))
+            }
+        }
+    }
+
+    /// Placement name as used in scenario files.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            PlacementSpec::Uniform => "uniform",
+            PlacementSpec::Zipf { .. } => "zipf",
+            PlacementSpec::Hotspot { .. } => "hotspot",
+            PlacementSpec::MaxLoaded => "max-loaded",
+            PlacementSpec::RandomNode { .. } => "random-node",
+        }
+    }
+}
+
+/// Service/consumption model, declaratively.
+#[derive(Debug, Clone, PartialEq)]
+pub enum DrainSpec {
+    /// Each node services up to `per_node` per round.
+    FixedCapacity {
+        /// Per-node capacity per round.
+        per_node: f64,
+    },
+    /// Each node services `fraction` of its load per round.
+    Proportional {
+        /// Serviced fraction in `[0, 1]`.
+        fraction: f64,
+    },
+}
+
+impl DrainSpec {
+    /// Model name as used in scenario files.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            DrainSpec::FixedCapacity { .. } => "fixed-capacity",
+            DrainSpec::Proportional { .. } => "proportional",
+        }
+    }
+}
+
+/// One workload component of a scenario, declaratively. Compiled into a
+/// [`Workload`] by [`WorkloadSpec::compile`]; a scenario's list compiles
+/// into a [`Compose`] applied in declaration order.
+#[derive(Debug, Clone, PartialEq)]
+pub enum WorkloadSpec {
+    /// Load arriving into the system.
+    Arrivals {
+        /// How much per round.
+        pattern: PatternSpec,
+        /// Where it lands.
+        placement: PlacementSpec,
+    },
+    /// Load serviced out of the system.
+    Drain {
+        /// The consumption model.
+        model: DrainSpec,
+    },
+}
+
+impl WorkloadSpec {
+    /// Spec kind as used in scenario files.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            WorkloadSpec::Arrivals { .. } => "arrivals",
+            WorkloadSpec::Drain { .. } => "drain",
+        }
+    }
+
+    /// Compiles the spec into a runnable workload over `n` nodes.
+    pub fn compile<L: ScenarioLoad>(&self, n: usize) -> Box<dyn Workload<L>> {
+        match self {
+            WorkloadSpec::Arrivals { pattern, placement } => {
+                Box::new(Arrivals::new(pattern.compile(), placement.compile(n)))
+            }
+            WorkloadSpec::Drain { model } => Box::new(match *model {
+                DrainSpec::FixedCapacity { per_node } => Drain::fixed_capacity(per_node),
+                DrainSpec::Proportional { fraction } => Drain::proportional(fraction),
+            }),
+        }
+    }
+}
+
+/// Compiles a scenario's workload list into one composed workload
+/// (`None` when the list is empty — a pure convergence run).
+pub fn compile_workloads<L: ScenarioLoad>(specs: &[WorkloadSpec], n: usize) -> Option<Compose<L>> {
+    if specs.is_empty() {
+        None
+    } else {
+        Some(Compose::new(specs.iter().map(|s| s.compile(n)).collect()))
+    }
+}
+
+/// When a scenario run ends.
+#[derive(Debug, Clone, PartialEq)]
+pub enum StopSpec {
+    /// Exactly `rounds` rounds.
+    Rounds {
+        /// Round budget.
+        rounds: usize,
+    },
+    /// Until the potential (Φ, or Φ̂ for discrete protocols) drops to
+    /// `target`, capped at `max_rounds`.
+    PhiBelow {
+        /// Potential target.
+        target: f64,
+        /// Round budget.
+        max_rounds: usize,
+    },
+    /// Until the potential is *steady*: over the last `window` rounds,
+    /// `max(Φ) − min(Φ) ≤ tol · max(|mean(Φ)|, 1)`. This is the stop for
+    /// arrival-rate vs. drain-rate regimes, where Φ plateaus at a
+    /// workload-determined band instead of converging to a target.
+    SteadyState {
+        /// Trailing window length (rounds).
+        window: usize,
+        /// Relative band tolerance.
+        tol: f64,
+        /// Round budget.
+        max_rounds: usize,
+    },
+}
+
+impl StopSpec {
+    /// The hard round budget of the condition.
+    pub fn max_rounds(&self) -> usize {
+        match *self {
+            StopSpec::Rounds { rounds } => rounds,
+            StopSpec::PhiBelow { max_rounds, .. } | StopSpec::SteadyState { max_rounds, .. } => {
+                max_rounds
+            }
+        }
+    }
+
+    /// Condition name as used in scenario files.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            StopSpec::Rounds { .. } => "rounds",
+            StopSpec::PhiBelow { .. } => "phi",
+            StopSpec::SteadyState { .. } => "steady",
+        }
+    }
+}
+
+/// A complete, replayable description of one end-to-end run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Scenario {
+    /// Scenario name (reports, tables, `--name` lookup).
+    pub name: String,
+    /// The ground topology.
+    pub topology: TopologySpec,
+    /// Dynamic-network model over the topology; `None` = fixed network.
+    pub sequence: Option<SequenceSpec>,
+    /// The balancing protocol.
+    pub protocol: ProtocolSpec,
+    /// Initial load distribution.
+    pub init: InitSpec,
+    /// Online workload components, applied in order between rounds.
+    pub workloads: Vec<WorkloadSpec>,
+    /// Engine statistics mode.
+    pub stats: StatsMode,
+    /// Engine worker threads: `1` = serial executor (the default), `0` =
+    /// parallel with auto thread count, `t > 1` = parallel with `t`.
+    pub threads: usize,
+    /// Stop condition.
+    pub stop: StopSpec,
+}
+
+impl Scenario {
+    /// A minimal scenario: fixed network, no workload, full stats, serial
+    /// executor, 100-round budget. Shape it with the `with_*` builders.
+    pub fn new(name: impl Into<String>, topology: TopologySpec, protocol: ProtocolSpec) -> Self {
+        Scenario {
+            name: name.into(),
+            topology,
+            sequence: None,
+            protocol,
+            init: InitSpec {
+                dist: init::Workload::Spike,
+                avg: 100.0,
+                seed: 1,
+            },
+            workloads: Vec::new(),
+            stats: StatsMode::Full,
+            threads: 1,
+            stop: StopSpec::Rounds { rounds: 100 },
+        }
+    }
+
+    /// Sets the dynamic-network model.
+    pub fn with_sequence(mut self, sequence: SequenceSpec) -> Self {
+        self.sequence = Some(sequence);
+        self
+    }
+
+    /// Sets the initial load distribution.
+    pub fn with_init(mut self, dist: init::Workload, avg: f64, seed: u64) -> Self {
+        self.init = InitSpec { dist, avg, seed };
+        self
+    }
+
+    /// Appends a workload component.
+    pub fn with_workload(mut self, spec: WorkloadSpec) -> Self {
+        self.workloads.push(spec);
+        self
+    }
+
+    /// Sets the statistics mode.
+    pub fn with_stats(mut self, stats: StatsMode) -> Self {
+        self.stats = stats;
+        self
+    }
+
+    /// Sets the worker-thread count (see the `threads` field).
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
+        self
+    }
+
+    /// Sets the stop condition.
+    pub fn with_stop(mut self, stop: StopSpec) -> Self {
+        self.stop = stop;
+        self
+    }
+
+    /// Validates cross-field consistency; [`Scenario::run`] calls this
+    /// first, and the parser calls it after assembling a file.
+    pub fn validate(&self) -> Result<(), String> {
+        let n = self.topology.n();
+        if n == 0 {
+            return Err("topology has zero nodes".into());
+        }
+        if matches!(self.protocol, ProtocolSpec::Heterogeneous { .. }) && self.sequence.is_some() {
+            return Err(
+                "heterogeneous protocol runs on fixed networks only (remove [sequence])".into(),
+            );
+        }
+        if let Some(seq) = &self.sequence {
+            if let SequenceKind::Iid { p, .. } = seq.kind {
+                if !(0.0..=1.0).contains(&p) {
+                    return Err(format!("sequence p must be in [0, 1], got {p}"));
+                }
+            }
+            if let SequenceKind::Markov {
+                p_fail, p_recover, ..
+            } = seq.kind
+            {
+                if !(0.0..=1.0).contains(&p_fail) || !(0.0..=1.0).contains(&p_recover) {
+                    return Err("markov probabilities must be in [0, 1]".into());
+                }
+            }
+            if seq.outage_every == Some(0) {
+                return Err("outage_every must be >= 1".into());
+            }
+        }
+        if let ProtocolSpec::Heterogeneous { capacities } = &self.protocol {
+            match *capacities {
+                CapacitySpec::TwoTier {
+                    fast_fraction,
+                    ratio,
+                } => {
+                    if !(0.0..=1.0).contains(&fast_fraction) || fast_fraction == 0.0 {
+                        return Err("fast_fraction must be in (0, 1]".into());
+                    }
+                    if ratio <= 0.0 {
+                        return Err("capacity ratio must be positive".into());
+                    }
+                }
+                CapacitySpec::Ramp { ratio } if ratio <= 0.0 => {
+                    return Err("capacity ratio must be positive".into());
+                }
+                _ => {}
+            }
+        }
+        if self.init.avg < 0.0 {
+            return Err("init avg must be non-negative".into());
+        }
+        for w in &self.workloads {
+            match w {
+                WorkloadSpec::Arrivals { placement, .. } => match *placement {
+                    PlacementSpec::Hotspot { node } if node as usize >= n => {
+                        return Err(format!("hotspot node {node} out of range (n = {n})"));
+                    }
+                    PlacementSpec::Zipf { s, .. } if s < 0.0 => {
+                        return Err("zipf exponent must be non-negative".into());
+                    }
+                    _ => {}
+                },
+                WorkloadSpec::Drain { model } => match *model {
+                    DrainSpec::FixedCapacity { per_node } if per_node < 0.0 => {
+                        return Err("drain capacity must be non-negative".into());
+                    }
+                    DrainSpec::Proportional { fraction } if !(0.0..=1.0).contains(&fraction) => {
+                        return Err("drain fraction must be in [0, 1]".into());
+                    }
+                    _ => {}
+                },
+            }
+        }
+        match self.stop {
+            StopSpec::Rounds { rounds: 0 } => return Err("stop rounds must be >= 1".into()),
+            StopSpec::SteadyState { window, tol, .. } => {
+                if window < 2 {
+                    return Err("steady-state window must be >= 2".into());
+                }
+                if tol <= 0.0 {
+                    return Err("steady-state tol must be positive".into());
+                }
+            }
+            _ => {}
+        }
+        if let StatsMode::EveryK(k) = self.stats {
+            if k == 0 {
+                return Err("stats every:k needs k >= 1".into());
+            }
+        }
+        Ok(())
+    }
+
+    /// Names of the built-in scenarios (see [`Scenario::builtin`]).
+    pub fn builtin_names() -> &'static [&'static str] {
+        &[
+            "bursty-torus",
+            "zipf-hypercube-drain",
+            "diurnal-cycle",
+            "adversarial-hetero",
+            "churn-markov",
+        ]
+    }
+
+    /// Looks up a built-in scenario by name. These are the library's
+    /// canonical regimes — used by the example CLI, the CI smoke job, and
+    /// the scenario benches:
+    ///
+    /// * `bursty-torus` — continuous diffusion on a 16×16 torus under
+    ///   on/off bursts with proportional service; runs to steady state;
+    /// * `zipf-hypercube-drain` — discrete tokens on `Q_8` with Zipf
+    ///   hotspot arrivals against a fixed per-node service capacity;
+    /// * `diurnal-cycle` — continuous diffusion on a cycle under a
+    ///   diurnal sine wave;
+    /// * `adversarial-hetero` — heterogeneous two-tier cluster with an
+    ///   adversary re-injecting at the heaviest node;
+    /// * `churn-markov` — continuous diffusion over Markov edge churn
+    ///   with constant arrivals and proportional service.
+    pub fn builtin(name: &str) -> Option<Scenario> {
+        let s = match name {
+            "bursty-torus" => Scenario::new(
+                "bursty-torus",
+                TopologySpec::Torus2d { rows: 16, cols: 16 },
+                ProtocolSpec::Continuous,
+            )
+            .with_init(init::Workload::Spike, 100.0, 1)
+            .with_workload(WorkloadSpec::Arrivals {
+                pattern: PatternSpec::Bursty {
+                    high: 2048.0,
+                    low: 0.0,
+                    on_rounds: 20,
+                    off_rounds: 40,
+                },
+                placement: PlacementSpec::Uniform,
+            })
+            .with_workload(WorkloadSpec::Drain {
+                model: DrainSpec::Proportional { fraction: 0.02 },
+            })
+            .with_stop(StopSpec::SteadyState {
+                window: 60,
+                tol: 0.2,
+                max_rounds: 2000,
+            }),
+            "zipf-hypercube-drain" => Scenario::new(
+                "zipf-hypercube-drain",
+                TopologySpec::Hypercube { dim: 8 },
+                ProtocolSpec::Discrete,
+            )
+            .with_init(init::Workload::Balanced, 50.0, 1)
+            .with_workload(WorkloadSpec::Arrivals {
+                pattern: PatternSpec::Constant { per_round: 300.0 },
+                placement: PlacementSpec::Zipf { s: 1.1, seed: 5 },
+            })
+            .with_workload(WorkloadSpec::Drain {
+                model: DrainSpec::FixedCapacity { per_node: 1.2 },
+            })
+            .with_stop(StopSpec::Rounds { rounds: 300 }),
+            "diurnal-cycle" => Scenario::new(
+                "diurnal-cycle",
+                TopologySpec::Cycle { n: 64 },
+                ProtocolSpec::Continuous,
+            )
+            .with_init(init::Workload::Balanced, 10.0, 1)
+            .with_workload(WorkloadSpec::Arrivals {
+                pattern: PatternSpec::Diurnal {
+                    mean: 64.0,
+                    amplitude: 0.9,
+                    period: 48,
+                },
+                placement: PlacementSpec::Uniform,
+            })
+            .with_workload(WorkloadSpec::Drain {
+                model: DrainSpec::Proportional { fraction: 0.1 },
+            })
+            .with_stop(StopSpec::Rounds { rounds: 480 }),
+            "adversarial-hetero" => Scenario::new(
+                "adversarial-hetero",
+                TopologySpec::Torus2d { rows: 8, cols: 8 },
+                ProtocolSpec::Heterogeneous {
+                    capacities: CapacitySpec::TwoTier {
+                        fast_fraction: 0.25,
+                        ratio: 4.0,
+                    },
+                },
+            )
+            .with_init(init::Workload::Bimodal, 50.0, 1)
+            .with_workload(WorkloadSpec::Arrivals {
+                pattern: PatternSpec::Constant { per_round: 256.0 },
+                placement: PlacementSpec::MaxLoaded,
+            })
+            .with_workload(WorkloadSpec::Drain {
+                model: DrainSpec::FixedCapacity { per_node: 5.0 },
+            })
+            .with_stop(StopSpec::Rounds { rounds: 300 }),
+            "churn-markov" => Scenario::new(
+                "churn-markov",
+                TopologySpec::RandomRegular {
+                    n: 128,
+                    d: 6,
+                    seed: 9,
+                },
+                ProtocolSpec::Continuous,
+            )
+            .with_sequence(SequenceSpec {
+                kind: SequenceKind::Markov {
+                    p_fail: 0.2,
+                    p_recover: 0.5,
+                    seed: 13,
+                },
+                outage_every: None,
+            })
+            .with_init(init::Workload::UniformRandom, 20.0, 3)
+            .with_workload(WorkloadSpec::Arrivals {
+                pattern: PatternSpec::Constant { per_round: 640.0 },
+                placement: PlacementSpec::RandomNode { seed: 21 },
+            })
+            .with_workload(WorkloadSpec::Drain {
+                model: DrainSpec::Proportional { fraction: 0.25 },
+            })
+            .with_stop(StopSpec::SteadyState {
+                window: 40,
+                tol: 0.5,
+                max_rounds: 1000,
+            }),
+            _ => return None,
+        };
+        Some(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builtins_all_validate() {
+        for name in Scenario::builtin_names() {
+            let s = Scenario::builtin(name).expect("builtin exists");
+            assert_eq!(&s.name, name);
+            s.validate().unwrap_or_else(|e| panic!("{name}: {e}"));
+        }
+        assert!(Scenario::builtin("no-such-scenario").is_none());
+    }
+
+    #[test]
+    fn topology_specs_build_with_expected_sizes() {
+        let specs = [
+            TopologySpec::Path { n: 7 },
+            TopologySpec::Cycle { n: 9 },
+            TopologySpec::Grid2d { rows: 3, cols: 5 },
+            TopologySpec::Torus2d { rows: 4, cols: 4 },
+            TopologySpec::Hypercube { dim: 5 },
+            TopologySpec::Complete { n: 11 },
+            TopologySpec::Star { n: 6 },
+            TopologySpec::DeBruijn { dim: 4 },
+            TopologySpec::RandomRegular {
+                n: 20,
+                d: 4,
+                seed: 2,
+            },
+        ];
+        for spec in specs {
+            assert_eq!(spec.build().n(), spec.n(), "{}", spec.kind());
+        }
+    }
+
+    #[test]
+    fn capacity_specs_build() {
+        let caps = CapacitySpec::TwoTier {
+            fast_fraction: 0.25,
+            ratio: 4.0,
+        }
+        .build(8);
+        assert_eq!(caps, vec![4.0, 4.0, 1.0, 1.0, 1.0, 1.0, 1.0, 1.0]);
+        let ramp = CapacitySpec::Ramp { ratio: 3.0 }.build(3);
+        assert_eq!(ramp, vec![1.0, 2.0, 3.0]);
+        assert_eq!(CapacitySpec::Uniform.build(2), vec![1.0, 1.0]);
+    }
+
+    #[test]
+    fn validation_rejects_bad_scenarios() {
+        let base = Scenario::new("t", TopologySpec::Cycle { n: 8 }, ProtocolSpec::Continuous);
+        assert!(base.validate().is_ok());
+        let hetero_dynamic = Scenario::new(
+            "t",
+            TopologySpec::Cycle { n: 8 },
+            ProtocolSpec::Heterogeneous {
+                capacities: CapacitySpec::Uniform,
+            },
+        )
+        .with_sequence(SequenceSpec {
+            kind: SequenceKind::Static,
+            outage_every: None,
+        });
+        assert!(hetero_dynamic.validate().is_err());
+        let bad_hotspot = base.clone().with_workload(WorkloadSpec::Arrivals {
+            pattern: PatternSpec::Constant { per_round: 1.0 },
+            placement: PlacementSpec::Hotspot { node: 8 },
+        });
+        assert!(bad_hotspot.validate().is_err());
+        let bad_drain = base.clone().with_workload(WorkloadSpec::Drain {
+            model: DrainSpec::Proportional { fraction: 1.5 },
+        });
+        assert!(bad_drain.validate().is_err());
+        let bad_stop = base.clone().with_stop(StopSpec::SteadyState {
+            window: 1,
+            tol: 0.1,
+            max_rounds: 10,
+        });
+        assert!(bad_stop.validate().is_err());
+        let zero_rounds = base.with_stop(StopSpec::Rounds { rounds: 0 });
+        assert!(zero_rounds.validate().is_err());
+    }
+
+    #[test]
+    fn sequence_spec_builds_all_kinds() {
+        let g = topology::cycle(6);
+        for (kind, expect_name) in [
+            (SequenceKind::Static, "static"),
+            (SequenceKind::Iid { p: 0.5, seed: 1 }, "iid-subgraph"),
+            (
+                SequenceKind::Markov {
+                    p_fail: 0.1,
+                    p_recover: 0.9,
+                    seed: 1,
+                },
+                "markov-churn",
+            ),
+            (SequenceKind::MatchingOnly { seed: 1 }, "matching-only"),
+        ] {
+            let spec = SequenceSpec {
+                kind,
+                outage_every: None,
+            };
+            let mut seq = spec.build(g.clone());
+            assert_eq!(seq.name(), expect_name);
+            assert_eq!(seq.n(), 6);
+            seq.next_graph();
+        }
+        let outage = SequenceSpec {
+            kind: SequenceKind::Static,
+            outage_every: Some(2),
+        };
+        let mut seq = outage.build(g);
+        assert_eq!(seq.name(), "outage");
+        assert_eq!(seq.next_graph().m(), 6);
+        assert_eq!(seq.next_graph().m(), 0);
+    }
+}

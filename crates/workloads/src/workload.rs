@@ -1,0 +1,737 @@
+//! Online workload models: load that *arrives* and *completes* while the
+//! balancer runs.
+//!
+//! The paper (and everything else in this workspace until now) balances a
+//! fixed total: an initial vector diffuses until its potential hits a
+//! target. Real deployments balance **while work flows through the
+//! system** — requests arrive (often skewed onto a few hot nodes), each
+//! node drains what its service capacity allows, and the interesting
+//! steady states are set by the arrival/drain balance, not by the initial
+//! condition. This module describes that traffic:
+//!
+//! * a [`Workload`] is applied once per round, *between* engine rounds,
+//!   mutating the load vector in place (the engine's zero-copy ping-pong
+//!   is untouched — the front buffer is shaped before the next gather);
+//! * every model is **deterministic under its seed** and is applied by a
+//!   single thread, so a scenario's trajectory is bit-identical across
+//!   engine thread counts — the workspace's serial ≡ parallel invariant
+//!   extends to online workloads;
+//! * all models are generic over the load type through [`ScenarioLoad`]:
+//!   `f64` passes amounts through exactly, `i64` tokens are quantized by
+//!   cumulative rounding (a running carry), so long-run injected totals
+//!   track the requested rates exactly even for fractional rates.
+//!
+//! The generators mirror the regimes the online load-balancing literature
+//! studies: constant-rate arrivals, bursty on/off sources, Zipf/hotspot
+//! skew (heavy traffic concentrated on few nodes), diurnal sine waves,
+//! an adversary that re-injects at the currently heaviest node, and
+//! fixed-capacity / proportional service drains. [`Compose`] chains any
+//! of them into one workload.
+
+use dlb_core::engine::LoadPotential;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+
+/// Totals moved in and out of the system by one workload application.
+///
+/// Values are reported in load units as `f64`; for token workloads they
+/// are exact integers (tokens fit comfortably in the `f64` mantissa), so
+/// the conservation identity `Δtotal ≡ injected − consumed` holds exactly
+/// for the discrete model and to rounding error for the continuous one.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct WorkloadDelta {
+    /// Load injected into the system this application.
+    pub injected: f64,
+    /// Load consumed (serviced) out of the system this application.
+    pub consumed: f64,
+}
+
+impl WorkloadDelta {
+    /// Componentwise sum, used by [`Compose`] and per-run accumulation.
+    pub fn merge(self, other: WorkloadDelta) -> WorkloadDelta {
+        WorkloadDelta {
+            injected: self.injected + other.injected,
+            consumed: self.consumed + other.consumed,
+        }
+    }
+
+    /// Net change `injected − consumed`.
+    pub fn net(self) -> f64 {
+        self.injected - self.consumed
+    }
+}
+
+/// Scenario-level context handed to every workload application.
+#[derive(Debug, Clone, Copy)]
+pub struct WorkloadCtx {
+    /// Total load of the initial vector (before any workload ran), for
+    /// models that scale their rates to the system's starting size.
+    pub initial_total: f64,
+}
+
+/// Load types an online workload can shape: the engine's two load scalars.
+///
+/// The quantization contract is the heart of discrete determinism:
+/// [`ScenarioLoad::quantize`] converts a fractional amount into the load
+/// type while threading a running `carry` of the unrepresentable
+/// remainder. For `f64` the amount passes through untouched; for `i64`
+/// the floor of `amount + carry` is taken and the fraction stays in the
+/// carry — cumulative rounding, so a rate of 0.3 tokens/round injects 3
+/// tokens every 10 rounds instead of rounding to zero forever.
+pub trait ScenarioLoad:
+    LoadPotential + Copy + Default + PartialEq + Send + Sync + std::fmt::Debug + 'static
+{
+    /// Quantizes `amount + *carry`, leaving the remainder in `carry`.
+    fn quantize(amount: f64, carry: &mut f64) -> Self;
+
+    /// `self + delta`.
+    fn add(self, delta: Self) -> Self;
+
+    /// Removes up to `cap` (never driving the load below zero); returns
+    /// the amount actually removed.
+    fn drain_capped(&mut self, cap: Self) -> Self;
+
+    /// Removes `frac` of the (non-negative part of the) load — floored
+    /// for tokens; returns the amount removed.
+    fn drain_fraction(&mut self, frac: f64) -> Self;
+
+    /// The load as `f64` (exact for tokens within the mantissa).
+    fn to_f64(self) -> f64;
+
+    /// Serial sum of a load vector as `f64`.
+    fn total(loads: &[Self]) -> f64;
+}
+
+impl ScenarioLoad for f64 {
+    #[inline]
+    fn quantize(amount: f64, _carry: &mut f64) -> f64 {
+        amount
+    }
+
+    #[inline]
+    fn add(self, delta: f64) -> f64 {
+        self + delta
+    }
+
+    #[inline]
+    fn drain_capped(&mut self, cap: f64) -> f64 {
+        let take = cap.min(*self).max(0.0);
+        *self -= take;
+        take
+    }
+
+    #[inline]
+    fn drain_fraction(&mut self, frac: f64) -> f64 {
+        let take = self.max(0.0) * frac;
+        *self -= take;
+        take
+    }
+
+    #[inline]
+    fn to_f64(self) -> f64 {
+        self
+    }
+
+    fn total(loads: &[f64]) -> f64 {
+        loads.iter().sum()
+    }
+}
+
+impl ScenarioLoad for i64 {
+    #[inline]
+    fn quantize(amount: f64, carry: &mut f64) -> i64 {
+        let with_carry = amount + *carry;
+        let whole = with_carry.floor();
+        *carry = with_carry - whole;
+        whole as i64
+    }
+
+    #[inline]
+    fn add(self, delta: i64) -> i64 {
+        self + delta
+    }
+
+    #[inline]
+    fn drain_capped(&mut self, cap: i64) -> i64 {
+        let take = cap.min(*self).max(0);
+        *self -= take;
+        take
+    }
+
+    #[inline]
+    fn drain_fraction(&mut self, frac: f64) -> i64 {
+        let take = ((*self).max(0) as f64 * frac).floor() as i64;
+        *self -= take;
+        take
+    }
+
+    #[inline]
+    fn to_f64(self) -> f64 {
+        self as f64
+    }
+
+    fn total(loads: &[i64]) -> f64 {
+        loads.iter().map(|&x| x as f64).sum()
+    }
+}
+
+/// One online workload model: applied once per scenario round, mutating
+/// the load vector in place and reporting the totals it moved.
+///
+/// Implementations must be deterministic functions of `(self, round,
+/// loads)` — any randomness comes from a seeded RNG owned by the model —
+/// so scenario trajectories replay bit-identically.
+pub trait Workload<L: ScenarioLoad> {
+    /// Model name for reports and tables.
+    fn name(&self) -> &str;
+
+    /// Applies the round's arrivals/consumption to `loads` (rounds count
+    /// from 1, matching the drivers) and returns the totals moved.
+    fn apply(&mut self, round: u64, loads: &mut [L], ctx: &WorkloadCtx) -> WorkloadDelta;
+}
+
+/// Per-round total arrival rate as a function of the round number.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RatePattern {
+    /// The same total every round.
+    Constant {
+        /// Load injected per round (summed over all nodes).
+        per_round: f64,
+    },
+    /// On/off bursts: `on_rounds` at `high`, then `off_rounds` at `low`,
+    /// repeating (phase starts "on" at round 1).
+    OnOff {
+        /// Rate during the burst.
+        high: f64,
+        /// Rate between bursts (often 0).
+        low: f64,
+        /// Burst length in rounds.
+        on_rounds: u64,
+        /// Gap length in rounds.
+        off_rounds: u64,
+    },
+    /// Diurnal sine wave `mean · (1 + amplitude · sin(2π·t/period))`,
+    /// clamped at zero (an amplitude > 1 models a dead trough).
+    Diurnal {
+        /// Mean rate per round.
+        mean: f64,
+        /// Relative swing around the mean.
+        amplitude: f64,
+        /// Wave period in rounds.
+        period: u64,
+    },
+}
+
+impl RatePattern {
+    /// The total to inject in round `round` (1-based).
+    pub fn rate(&self, round: u64) -> f64 {
+        match *self {
+            RatePattern::Constant { per_round } => per_round,
+            RatePattern::OnOff {
+                high,
+                low,
+                on_rounds,
+                off_rounds,
+            } => {
+                let period = (on_rounds + off_rounds).max(1);
+                if (round - 1) % period < on_rounds {
+                    high
+                } else {
+                    low
+                }
+            }
+            RatePattern::Diurnal {
+                mean,
+                amplitude,
+                period,
+            } => {
+                let phase = 2.0 * std::f64::consts::PI * ((round - 1) % period.max(1)) as f64
+                    / period.max(1) as f64;
+                (mean * (1.0 + amplitude * phase.sin())).max(0.0)
+            }
+        }
+    }
+}
+
+/// Where a round's arrival total lands.
+#[derive(Debug)]
+pub enum Placement {
+    /// Spread evenly over all nodes.
+    Uniform,
+    /// Spread by fixed per-node weights (normalized at construction);
+    /// [`zipf_weights`] builds the canonical heavy-tail instance.
+    Weighted(Vec<f64>),
+    /// All of it on one fixed node.
+    Hotspot(u32),
+    /// All of it on the currently heaviest node (ties → lowest id) — the
+    /// adversary that undoes the balancer's last round.
+    MaxLoaded,
+    /// All of it on one uniformly random node per round (seeded).
+    RandomNode(StdRng),
+}
+
+/// Normalized Zipf(`s`) weights over `n` nodes, assigned rank→node through
+/// a seeded permutation (so the heavy nodes are scattered across the
+/// topology instead of clustered at low ids). Weight of rank `r` (0-based)
+/// is `1/(r+1)^s` before normalization.
+pub fn zipf_weights(n: usize, s: f64, seed: u64) -> Vec<f64> {
+    assert!(n >= 1, "need at least one node");
+    assert!(s >= 0.0, "Zipf exponent must be non-negative");
+    let mut ids: Vec<usize> = (0..n).collect();
+    ids.shuffle(&mut StdRng::seed_from_u64(seed));
+    let mut weights = vec![0.0; n];
+    let mut sum = 0.0;
+    for (rank, &node) in ids.iter().enumerate() {
+        let w = 1.0 / ((rank + 1) as f64).powf(s);
+        weights[node] = w;
+        sum += w;
+    }
+    for w in &mut weights {
+        *w /= sum;
+    }
+    weights
+}
+
+/// Arrival generator: a [`RatePattern`] (how much per round) combined with
+/// a [`Placement`] (where it lands). Injection is quantized through one
+/// running carry in placement order, so token totals follow the requested
+/// rates exactly in the long run.
+#[derive(Debug)]
+pub struct Arrivals {
+    pattern: RatePattern,
+    placement: Placement,
+    carry: f64,
+    name: String,
+}
+
+impl Arrivals {
+    /// Creates the generator from a pattern and a placement.
+    pub fn new(pattern: RatePattern, placement: Placement) -> Self {
+        let pattern_name = match pattern {
+            RatePattern::Constant { .. } => "constant",
+            RatePattern::OnOff { .. } => "bursty",
+            RatePattern::Diurnal { .. } => "diurnal",
+        };
+        let placement_name = match placement {
+            Placement::Uniform => "uniform",
+            Placement::Weighted(_) => "weighted",
+            Placement::Hotspot(_) => "hotspot",
+            Placement::MaxLoaded => "max-loaded",
+            Placement::RandomNode(_) => "random-node",
+        };
+        Arrivals {
+            pattern,
+            placement,
+            carry: 0.0,
+            name: format!("arrivals({pattern_name},{placement_name})"),
+        }
+    }
+
+    /// Constant-rate arrivals spread evenly over the nodes.
+    pub fn constant(per_round: f64) -> Self {
+        Arrivals::new(RatePattern::Constant { per_round }, Placement::Uniform)
+    }
+
+    /// Bursty on/off arrivals spread evenly over the nodes.
+    pub fn bursty(high: f64, low: f64, on_rounds: u64, off_rounds: u64) -> Self {
+        Arrivals::new(
+            RatePattern::OnOff {
+                high,
+                low,
+                on_rounds,
+                off_rounds,
+            },
+            Placement::Uniform,
+        )
+    }
+
+    /// Diurnal sine-wave arrivals spread evenly over the nodes.
+    pub fn diurnal(mean: f64, amplitude: f64, period: u64) -> Self {
+        Arrivals::new(
+            RatePattern::Diurnal {
+                mean,
+                amplitude,
+                period,
+            },
+            Placement::Uniform,
+        )
+    }
+
+    /// Constant-rate arrivals with Zipf(`s`) hotspot skew over `n` nodes.
+    pub fn zipf(per_round: f64, n: usize, s: f64, seed: u64) -> Self {
+        Arrivals::new(
+            RatePattern::Constant { per_round },
+            Placement::Weighted(zipf_weights(n, s, seed)),
+        )
+    }
+
+    /// The adversary: re-injects `per_round` at the currently heaviest
+    /// node every round.
+    pub fn adversarial(per_round: f64) -> Self {
+        Arrivals::new(RatePattern::Constant { per_round }, Placement::MaxLoaded)
+    }
+
+    /// Replaces the placement, builder-style.
+    pub fn with_placement(self, placement: Placement) -> Self {
+        Arrivals::new(self.pattern, placement)
+    }
+}
+
+/// Index of the heaviest node (ties broken toward the lowest id).
+fn argmax<L: ScenarioLoad>(loads: &[L]) -> usize {
+    let mut best = 0usize;
+    for (i, v) in loads.iter().enumerate().skip(1) {
+        if v.to_f64() > loads[best].to_f64() {
+            best = i;
+        }
+    }
+    best
+}
+
+impl<L: ScenarioLoad> Workload<L> for Arrivals {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn apply(&mut self, round: u64, loads: &mut [L], _ctx: &WorkloadCtx) -> WorkloadDelta {
+        let total = self.pattern.rate(round);
+        let n = loads.len();
+        let mut injected = 0.0;
+        let mut give = |slot: &mut L, amount: f64, carry: &mut f64| {
+            let q = L::quantize(amount, carry);
+            *slot = slot.add(q);
+            injected += q.to_f64();
+        };
+        match &mut self.placement {
+            Placement::Uniform => {
+                let per = total / n as f64;
+                for slot in loads.iter_mut() {
+                    give(slot, per, &mut self.carry);
+                }
+            }
+            Placement::Weighted(weights) => {
+                debug_assert_eq!(weights.len(), n, "one weight per node");
+                for (slot, &w) in loads.iter_mut().zip(weights.iter()) {
+                    give(slot, w * total, &mut self.carry);
+                }
+            }
+            Placement::Hotspot(node) => {
+                give(&mut loads[*node as usize], total, &mut self.carry);
+            }
+            Placement::MaxLoaded => {
+                let v = argmax(loads);
+                give(&mut loads[v], total, &mut self.carry);
+            }
+            Placement::RandomNode(rng) => {
+                let v = rng.gen_range(0..n);
+                give(&mut loads[v], total, &mut self.carry);
+            }
+        }
+        WorkloadDelta {
+            injected,
+            consumed: 0.0,
+        }
+    }
+}
+
+/// How service capacity consumes load each round.
+#[derive(Debug, Clone, PartialEq)]
+pub enum DrainModel {
+    /// Every node completes up to `per_node` units per round (an M/D/1-ish
+    /// fixed service rate; backlog above capacity queues).
+    FixedCapacity {
+        /// Per-node service capacity per round.
+        per_node: f64,
+    },
+    /// Every node completes `fraction` of its current (non-negative) load
+    /// per round — service scales with backlog.
+    Proportional {
+        /// Fraction of the load serviced per round, in `[0, 1]`.
+        fraction: f64,
+    },
+}
+
+/// Consumption generator for a [`DrainModel`].
+#[derive(Debug)]
+pub struct Drain {
+    model: DrainModel,
+    carry: f64,
+    name: &'static str,
+}
+
+impl Drain {
+    /// Fixed-capacity drain: each node services up to `per_node` per round.
+    pub fn fixed_capacity(per_node: f64) -> Self {
+        assert!(per_node >= 0.0, "capacity must be non-negative");
+        Drain {
+            model: DrainModel::FixedCapacity { per_node },
+            carry: 0.0,
+            name: "drain(fixed-capacity)",
+        }
+    }
+
+    /// Proportional drain: each node services `fraction` of its load.
+    pub fn proportional(fraction: f64) -> Self {
+        assert!(
+            (0.0..=1.0).contains(&fraction),
+            "drain fraction must be in [0, 1] (got {fraction})"
+        );
+        Drain {
+            model: DrainModel::Proportional { fraction },
+            carry: 0.0,
+            name: "drain(proportional)",
+        }
+    }
+}
+
+impl<L: ScenarioLoad> Workload<L> for Drain {
+    fn name(&self) -> &str {
+        self.name
+    }
+
+    fn apply(&mut self, _round: u64, loads: &mut [L], _ctx: &WorkloadCtx) -> WorkloadDelta {
+        let mut consumed = 0.0;
+        match self.model {
+            DrainModel::FixedCapacity { per_node } => {
+                // One quantization per round: every node shares the round's
+                // integral capacity, and the carry alternates it so
+                // fractional capacities are honoured in the long run.
+                let cap = L::quantize(per_node, &mut self.carry);
+                for slot in loads.iter_mut() {
+                    consumed += slot.drain_capped(cap).to_f64();
+                }
+            }
+            DrainModel::Proportional { fraction } => {
+                for slot in loads.iter_mut() {
+                    consumed += slot.drain_fraction(fraction).to_f64();
+                }
+            }
+        }
+        WorkloadDelta {
+            injected: 0.0,
+            consumed,
+        }
+    }
+}
+
+/// Chains several workloads into one, applied in order (arrivals before
+/// drains is the conventional order; the combinator preserves whatever
+/// order it is given). Deltas are summed.
+pub struct Compose<L: ScenarioLoad> {
+    parts: Vec<Box<dyn Workload<L>>>,
+    name: String,
+}
+
+impl<L: ScenarioLoad> Compose<L> {
+    /// Composes `parts`, applied front to back.
+    pub fn new(parts: Vec<Box<dyn Workload<L>>>) -> Self {
+        let name = format!(
+            "compose[{}]",
+            parts
+                .iter()
+                .map(|p| p.name().to_string())
+                .collect::<Vec<_>>()
+                .join(" + ")
+        );
+        Compose { parts, name }
+    }
+
+    /// Number of composed parts.
+    pub fn len(&self) -> usize {
+        self.parts.len()
+    }
+
+    /// Whether the composition is empty (a no-op workload).
+    pub fn is_empty(&self) -> bool {
+        self.parts.is_empty()
+    }
+}
+
+impl<L: ScenarioLoad> Workload<L> for Compose<L> {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn apply(&mut self, round: u64, loads: &mut [L], ctx: &WorkloadCtx) -> WorkloadDelta {
+        let mut delta = WorkloadDelta::default();
+        for part in &mut self.parts {
+            delta = delta.merge(part.apply(round, loads, ctx));
+        }
+        delta
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const CTX: WorkloadCtx = WorkloadCtx { initial_total: 0.0 };
+
+    #[test]
+    fn constant_uniform_injects_exactly_continuous() {
+        let mut w = Arrivals::constant(10.0);
+        let mut loads = vec![0.0f64; 4];
+        for round in 1..=3 {
+            let d = Workload::<f64>::apply(&mut w, round, &mut loads, &CTX);
+            assert!((d.injected - 10.0).abs() < 1e-12);
+            assert_eq!(d.consumed, 0.0);
+        }
+        assert!((loads.iter().sum::<f64>() - 30.0).abs() < 1e-12);
+        assert!(loads.iter().all(|&v| (v - 7.5).abs() < 1e-12));
+    }
+
+    #[test]
+    fn fractional_token_rate_accumulates_via_carry() {
+        // 0.25 tokens/round across 1 node: must inject a token every 4
+        // rounds, not zero forever (0.25 is exactly representable, so the
+        // carry maths is exact).
+        let mut w = Arrivals::constant(0.25);
+        let mut loads = vec![0i64; 1];
+        let mut injected = 0.0;
+        for round in 1..=100 {
+            injected += Workload::<i64>::apply(&mut w, round, &mut loads, &CTX).injected;
+        }
+        assert_eq!(loads[0], 25);
+        assert_eq!(injected, 25.0);
+        // Rates that aren't binary fractions still track within one token
+        // (the remainder lives in the carry).
+        let mut w = Arrivals::constant(0.3);
+        let mut loads = vec![0i64; 1];
+        for round in 1..=100 {
+            Workload::<i64>::apply(&mut w, round, &mut loads, &CTX);
+        }
+        assert!((loads[0] - 30).abs() <= 1, "got {}", loads[0]);
+    }
+
+    #[test]
+    fn token_injection_matches_reported_delta_exactly() {
+        let mut w = Arrivals::zipf(17.7, 8, 1.2, 42);
+        let mut loads = vec![0i64; 8];
+        let mut injected = 0.0;
+        for round in 1..=50 {
+            injected += Workload::<i64>::apply(&mut w, round, &mut loads, &CTX).injected;
+        }
+        let total: i64 = loads.iter().sum();
+        assert_eq!(total as f64, injected, "token conservation must be exact");
+        // Long-run total tracks the requested rate (carry loses < 1 token).
+        assert!((injected - 50.0 * 17.7).abs() < 1.0);
+    }
+
+    #[test]
+    fn bursty_pattern_phases() {
+        let p = RatePattern::OnOff {
+            high: 5.0,
+            low: 1.0,
+            on_rounds: 2,
+            off_rounds: 3,
+        };
+        let rates: Vec<f64> = (1..=10).map(|r| p.rate(r)).collect();
+        assert_eq!(
+            rates,
+            vec![5.0, 5.0, 1.0, 1.0, 1.0, 5.0, 5.0, 1.0, 1.0, 1.0]
+        );
+    }
+
+    #[test]
+    fn diurnal_is_periodic_and_non_negative() {
+        let p = RatePattern::Diurnal {
+            mean: 10.0,
+            amplitude: 1.5, // over-modulated: trough clamps to 0
+            period: 24,
+        };
+        for r in 1..=48 {
+            let v = p.rate(r);
+            assert!(v >= 0.0);
+            assert_eq!(v.to_bits(), p.rate(r + 24).to_bits(), "period broken");
+        }
+        assert!(p.rate(7) > 10.0, "morning peak above mean");
+    }
+
+    #[test]
+    fn zipf_weights_are_skewed_normalized_and_seeded() {
+        let w = zipf_weights(64, 1.2, 7);
+        assert!((w.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+        let mut sorted = w.clone();
+        sorted.sort_by(|a, b| b.partial_cmp(a).unwrap());
+        assert!(sorted[0] > 5.0 * sorted[32], "head must dominate the tail");
+        assert_eq!(w, zipf_weights(64, 1.2, 7), "same seed, same weights");
+        assert_ne!(w, zipf_weights(64, 1.2, 8), "seed moves the hotspots");
+    }
+
+    #[test]
+    fn adversarial_targets_current_max_with_low_id_ties() {
+        let mut w = Arrivals::adversarial(4.0);
+        let mut loads = vec![1.0f64, 9.0, 9.0, 2.0];
+        Workload::<f64>::apply(&mut w, 1, &mut loads, &CTX);
+        assert_eq!(loads, vec![1.0, 13.0, 9.0, 2.0]); // tie → node 1
+        Workload::<f64>::apply(&mut w, 2, &mut loads, &CTX);
+        assert_eq!(loads, vec![1.0, 17.0, 9.0, 2.0]);
+    }
+
+    #[test]
+    fn random_node_placement_is_seed_deterministic() {
+        let run = |seed: u64| {
+            let mut w = Arrivals::new(
+                RatePattern::Constant { per_round: 1.0 },
+                Placement::RandomNode(StdRng::seed_from_u64(seed)),
+            );
+            let mut loads = vec![0.0f64; 16];
+            for round in 1..=32 {
+                Workload::<f64>::apply(&mut w, round, &mut loads, &CTX);
+            }
+            loads
+        };
+        assert_eq!(run(3), run(3));
+        assert_ne!(run(3), run(4));
+    }
+
+    #[test]
+    fn fixed_drain_caps_at_zero_and_reports_exactly() {
+        let mut d = Drain::fixed_capacity(3.0);
+        let mut loads = vec![5.0f64, 1.0, 0.0];
+        let delta = Workload::<f64>::apply(&mut d, 1, &mut loads, &CTX);
+        assert_eq!(loads, vec![2.0, 0.0, 0.0]);
+        assert!((delta.consumed - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn fractional_token_capacity_alternates() {
+        // Capacity 1.5/node/round: rounds alternate between 1 and 2
+        // tokens of per-node capacity via the carry.
+        let mut d = Drain::fixed_capacity(1.5);
+        let mut loads = vec![100i64, 100];
+        let c1 = Workload::<i64>::apply(&mut d, 1, &mut loads, &CTX).consumed;
+        let c2 = Workload::<i64>::apply(&mut d, 2, &mut loads, &CTX).consumed;
+        assert_eq!(c1 + c2, 6.0, "two rounds drain 2·2·1.5 = 6 tokens");
+        assert_eq!(loads, vec![97, 97]);
+    }
+
+    #[test]
+    fn proportional_drain_floors_tokens() {
+        let mut d = Drain::proportional(0.5);
+        let mut loads = vec![5i64, 1, 0, -3];
+        let delta = Workload::<i64>::apply(&mut d, 1, &mut loads, &CTX);
+        // 5 → drains 2 (floor 2.5), 1 → 0 (floor 0.5), 0 and negatives
+        // untouched.
+        assert_eq!(loads, vec![3, 1, 0, -3]);
+        assert_eq!(delta.consumed, 2.0);
+    }
+
+    #[test]
+    fn compose_sums_deltas_in_order() {
+        let mut w: Compose<f64> = Compose::new(vec![
+            Box::new(Arrivals::constant(8.0)),
+            Box::new(Drain::proportional(0.5)),
+        ]);
+        assert_eq!(w.len(), 2);
+        let mut loads = vec![0.0f64; 4];
+        let d = w.apply(1, &mut loads, &CTX);
+        assert!((d.injected - 8.0).abs() < 1e-12);
+        // Drain runs after injection: half of the fresh 8 is serviced.
+        assert!((d.consumed - 4.0).abs() < 1e-12);
+        assert!((loads.iter().sum::<f64>() - 4.0).abs() < 1e-12);
+        assert!(w.name().contains("arrivals(constant,uniform)"));
+        assert!(w.name().contains("drain(proportional)"));
+    }
+}

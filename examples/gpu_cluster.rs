@@ -62,9 +62,7 @@ fn main() {
     // Contrast: homogeneous diffusion equalizes raw queues.
     let mut homo = dlb_core::continuous::ContinuousDiffusion::new(&g).engine();
     let mut q2 = queue;
-    for _ in 0..rounds.max(2000) {
-        homo.round(&mut q2);
-    }
+    homo.rounds(&mut q2, rounds.max(2000));
     println!("\nplain Algorithm 1 (capacity-blind), same rounds:");
     println!(
         "  GPU node queue ≈ {:.1}   CPU node queue ≈ {:.1}",

@@ -1,0 +1,112 @@
+//! Scenario runner CLI: run a named built-in scenario or a scenario file
+//! (TOML or JSON-lines) end to end and print its report.
+//!
+//! ```text
+//! cargo run --release --example scenarios -- --list
+//! cargo run --release --example scenarios -- --name bursty-torus
+//! cargo run --release --example scenarios -- --file my_scenario.toml
+//! cargo run --release --example scenarios -- --name zipf-hypercube-drain \
+//!     --json report.jsonl --threads 4 --print-spec
+//! ```
+//!
+//! Options:
+//!
+//! * `--name <builtin>` / `--file <path>` — which scenario to run;
+//! * `--threads <t>` — override the scenario's executor (1 = serial,
+//!   0 = auto-parallel);
+//! * `--json <path>` — also write the report as JSON lines
+//!   (schema `dlb-scenario/1`; the CI smoke job asserts the conservation
+//!   invariant from this output);
+//! * `--print-spec` — echo the scenario back in canonical TOML before
+//!   running (what you'd commit as a fixture);
+//! * `--list` — list the built-in scenarios.
+//!
+//! Exits non-zero if the run violates load conservation, so the example
+//! doubles as an end-to-end smoke check.
+
+use dlb_examples::{arg_value, log_sparkline};
+use dlb_workloads::{Scenario, ScenarioRunner};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.iter().any(|a| a == "--list") {
+        println!("built-in scenarios:");
+        for name in Scenario::builtin_names() {
+            let s = Scenario::builtin(name).expect("builtin exists");
+            println!(
+                "  {name:<22} {} on {} (n = {}), {} workload component(s)",
+                s.protocol.name(),
+                s.topology.kind(),
+                s.topology.n(),
+                s.workloads.len()
+            );
+        }
+        return;
+    }
+
+    let scenario = match (arg_value("--name"), arg_value("--file")) {
+        (Some(name), None) => Scenario::builtin(&name).unwrap_or_else(|| {
+            eprintln!("unknown scenario {name:?}; --list shows the built-ins");
+            std::process::exit(2);
+        }),
+        (None, Some(path)) => {
+            let text = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+                eprintln!("cannot read {path}: {e}");
+                std::process::exit(2);
+            });
+            Scenario::from_spec(&text).unwrap_or_else(|e| {
+                eprintln!("cannot parse {path}: {e}");
+                std::process::exit(2);
+            })
+        }
+        _ => {
+            eprintln!("usage: scenarios (--name <builtin> | --file <path>) [--threads t] [--json out.jsonl] [--print-spec] [--list]");
+            std::process::exit(2);
+        }
+    };
+
+    if args.iter().any(|a| a == "--print-spec") {
+        print!("{}", scenario.to_toml());
+        println!();
+    }
+
+    let mut runner = ScenarioRunner::new(scenario);
+    if let Some(threads) = arg_value("--threads") {
+        let threads: usize = threads.parse().unwrap_or_else(|_| {
+            eprintln!("--threads must be an integer");
+            std::process::exit(2);
+        });
+        runner = runner.with_threads(threads);
+    }
+
+    let report = runner.run().unwrap_or_else(|e| {
+        eprintln!("scenario failed: {e}");
+        std::process::exit(1);
+    });
+
+    print!("{}", report.summary());
+    println!(
+        "Φ trace (log scale):  {}",
+        log_sparkline(&report.phi_trace, 1e-12)
+    );
+    let imbalance: Vec<f64> = report.records.iter().map(|r| r.imbalance).collect();
+    if !imbalance.is_empty() {
+        println!("imbalance (log):      {}", log_sparkline(&imbalance, 1e-12));
+    }
+
+    if let Some(path) = arg_value("--json") {
+        std::fs::write(&path, report.to_jsonl()).unwrap_or_else(|e| {
+            eprintln!("cannot write {path}: {e}");
+            std::process::exit(1);
+        });
+        println!("report written to {path} (JSON lines, schema dlb-scenario/1)");
+    }
+
+    // The example doubles as a smoke check: a conservation violation is a
+    // bug in the subsystem, not a property of any scenario.
+    let rel_err = report.conservation_relative_error();
+    if rel_err > 1e-9 {
+        eprintln!("LOAD CONSERVATION VIOLATED: relative error {rel_err:.3e}");
+        std::process::exit(1);
+    }
+}

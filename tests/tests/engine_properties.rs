@@ -61,14 +61,10 @@ where
 {
     let mut serial = init.to_vec();
     let mut serial_engine = Engine::serial(make());
-    for _ in 0..rounds {
-        serial_engine.round(&mut serial);
-    }
+    serial_engine.rounds(&mut serial, rounds);
     let mut parallel = init.to_vec();
     let mut parallel_engine = Engine::parallel(make(), threads);
-    for _ in 0..rounds {
-        parallel_engine.round(&mut parallel);
-    }
+    parallel_engine.rounds(&mut parallel, rounds);
     assert_eq!(
         serial,
         parallel,

@@ -321,9 +321,7 @@ fn ping_pong_matches_golden_fixtures_after_odd_and_even_round_counts() {
 
             let mut serial = init.clone();
             let mut engine = ContinuousDiffusion::new(&g).engine();
-            for _ in 0..rounds {
-                engine.round(&mut serial);
-            }
+            engine.rounds(&mut serial, rounds);
             let got: Vec<u64> = serial.iter().map(|l| l.to_bits()).collect();
             let want_bits: Vec<u64> = want.iter().map(|l| l.to_bits()).collect();
             assert_eq!(got, want_bits, "{name}: continuous after {rounds} rounds");
@@ -333,9 +331,7 @@ fn ping_pong_matches_golden_fixtures_after_odd_and_even_round_counts() {
 
             let mut par = init;
             let mut engine = ContinuousDiffusion::new(&g).engine_parallel(3);
-            for _ in 0..rounds {
-                engine.round(&mut par);
-            }
+            engine.rounds(&mut par, rounds);
             let got: Vec<u64> = par.iter().map(|l| l.to_bits()).collect();
             assert_eq!(got, want_bits, "{name}: parallel after {rounds} rounds");
 
@@ -344,9 +340,7 @@ fn ping_pong_matches_golden_fixtures_after_odd_and_even_round_counts() {
             reference_rounds_discrete(&g, &mut want, rounds);
             let mut tokens = init_tokens.to_vec();
             let mut engine = DiscreteDiffusion::new(&g).engine();
-            for _ in 0..rounds {
-                engine.round(&mut tokens);
-            }
+            engine.rounds(&mut tokens, rounds);
             assert_eq!(tokens, want, "{name}: discrete after {rounds} rounds");
             if rounds == 12 {
                 assert_eq!(tokens.as_slice(), final_tokens, "{name}: golden tokens");
