@@ -84,6 +84,10 @@ impl Protocol for FirstOrderContinuous<'_> {
         fos_flow_tally(self.g, self.alpha, snapshot, ctx)
             .stats(ctx.phi(snapshot), ctx.phi(new_loads))
     }
+
+    fn current_graph(&self) -> Option<&Graph> {
+        Some(self.g)
+    }
 }
 
 /// Flow statistics of one first-order step (`α·|ℓᵤ − ℓᵥ|` per edge) —
@@ -162,6 +166,10 @@ impl Protocol for FirstOrderDiscrete<'_> {
             (diff / divisor) as u64
         });
         tally.stats(ctx.phi_hat(snapshot), ctx.phi_hat(new_loads))
+    }
+
+    fn current_graph(&self) -> Option<&Graph> {
+        Some(self.g)
     }
 }
 

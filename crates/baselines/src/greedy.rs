@@ -97,6 +97,10 @@ impl Protocol for SequentialComparator<'_> {
         ctx.flow_tally(weights.len(), |k| weights[k])
             .stats(ctx.phi(snapshot), ctx.phi(new_loads))
     }
+
+    fn current_graph(&self) -> Option<&Graph> {
+        Some(self.g)
+    }
 }
 
 #[cfg(test)]

@@ -153,6 +153,10 @@ impl Protocol for MatchingExchangeContinuous<'_> {
         });
         tally.stats(ctx.phi(snapshot), ctx.phi(new_loads))
     }
+
+    fn current_graph(&self) -> Option<&Graph> {
+        Some(self.g)
+    }
 }
 
 /// Discrete dimension exchange: the richer matched endpoint sends
@@ -219,6 +223,10 @@ impl Protocol for MatchingExchangeDiscrete<'_> {
             ((snapshot[u as usize] - snapshot[v as usize]).abs() / 2) as u64
         });
         tally.stats(ctx.phi_hat(snapshot), ctx.phi_hat(new_loads))
+    }
+
+    fn current_graph(&self) -> Option<&Graph> {
+        Some(self.g)
     }
 }
 

@@ -109,6 +109,10 @@ impl Protocol for SecondOrderContinuous<'_> {
         fos_flow_tally(self.g, self.alpha, snapshot, ctx)
             .stats(ctx.phi(snapshot), ctx.phi(new_loads))
     }
+
+    fn current_graph(&self) -> Option<&Graph> {
+        Some(self.g)
+    }
 }
 
 #[cfg(test)]

@@ -9,6 +9,11 @@
 //!   (`full`, `phionly`, `every10`, `off`), serial and pooled. The round
 //!   is zero-copy double-buffered, so `off` measures the gather alone and
 //!   the gap to `full` is exactly the statistics cost;
+//! - **sharded_round** — one `Engine::round` on the sharded backend
+//!   (range and BFS partitions at several shard counts). Each record
+//!   carries the plan's `edge_cut` and `halo` size in the JSON, so the
+//!   perf trajectory tracks communication volume alongside per-round ms —
+//!   the numbers a distributed backend's exchange step would pay;
 //! - **convergence_run** — a fixed-round end-to-end run through
 //!   `run_continuous` (driver + on-demand `Φ` fallback included), the
 //!   number the ROADMAP's speedup targets are stated against;
@@ -33,7 +38,7 @@ use dlb_bench::perf_json::{self, PerfRecord};
 use dlb_core::continuous::{self, ContinuousDiffusion};
 use dlb_core::engine::{recommended_threads, IntoEngine, Protocol, StatsMode};
 use dlb_core::runner::run_continuous;
-use dlb_graphs::{topology, Graph};
+use dlb_graphs::{topology, Graph, PartitionSpec};
 use std::collections::HashMap;
 use std::hint::black_box;
 use std::time::Duration;
@@ -44,6 +49,22 @@ struct Meta {
     variant: String,
     rounds_per_iter: usize,
     threads: usize,
+    /// Sharded variants: the plan's edge cut and halo size.
+    edge_cut: Option<usize>,
+    halo: Option<usize>,
+}
+
+impl Meta {
+    fn new(group: &'static str, variant: String, rounds_per_iter: usize, threads: usize) -> Meta {
+        Meta {
+            group,
+            variant,
+            rounds_per_iter,
+            threads,
+            edge_cut: None,
+            halo: None,
+        }
+    }
 }
 
 struct Instance {
@@ -74,12 +95,7 @@ fn gather_kernels(c: &mut Criterion, inst: &Instance, meta: &mut HashMap<String,
     ] {
         meta.insert(
             format!("gather/{variant}"),
-            Meta {
-                group: "gather",
-                variant: variant.to_string(),
-                rounds_per_iter: 1,
-                threads: 1,
-            },
+            Meta::new("gather", variant.to_string(), 1, 1),
         );
         let proto = ContinuousDiffusion::new(&inst.g);
         group.bench_function(variant, |b| {
@@ -119,12 +135,7 @@ fn engine_rounds(c: &mut Criterion, inst: &Instance, meta: &mut HashMap<String, 
         let variant = format!("serial/{}", mode_name(mode));
         meta.insert(
             format!("engine_round/{variant}"),
-            Meta {
-                group: "engine_round",
-                variant: variant.clone(),
-                rounds_per_iter: 1,
-                threads: 1,
-            },
+            Meta::new("engine_round", variant.clone(), 1, 1),
         );
         group.bench_function(variant, |b| {
             let mut engine = ContinuousDiffusion::new(&inst.g)
@@ -140,18 +151,50 @@ fn engine_rounds(c: &mut Criterion, inst: &Instance, meta: &mut HashMap<String, 
             let variant = format!("pool{threads}/{}", mode_name(mode));
             meta.insert(
                 format!("engine_round/{variant}"),
-                Meta {
-                    group: "engine_round",
-                    variant: variant.clone(),
-                    rounds_per_iter: 1,
-                    threads,
-                },
+                Meta::new("engine_round", variant.clone(), 1, threads),
             );
             group.bench_function(variant, |b| {
                 let mut engine = ContinuousDiffusion::new(&inst.g)
                     .engine_parallel(threads)
                     .with_stats_mode(mode);
                 let mut loads = inst.init.clone();
+                b.iter(|| black_box(engine.round(&mut loads).map(|s| s.phi_after)));
+            });
+        }
+    }
+    group.finish();
+}
+
+fn sharded_rounds(c: &mut Criterion, inst: &Instance, meta: &mut HashMap<String, Meta>) {
+    let mut group = c.benchmark_group("sharded_round");
+    let threads = pool_sizes().last().copied().unwrap_or(2);
+
+    let mut specs = Vec::new();
+    for shards in [threads.max(2), 4 * threads.max(2)] {
+        specs.push(PartitionSpec::Range { shards });
+        specs.push(PartitionSpec::Bfs { shards });
+    }
+    for spec in specs {
+        for mode in [StatsMode::Full, StatsMode::Off] {
+            let variant = format!(
+                "{}{}x{threads}t/{}",
+                spec.strategy_name(),
+                spec.shards(),
+                mode_name(mode)
+            );
+            let mut engine = ContinuousDiffusion::new(&inst.g)
+                .engine_sharded(spec, threads)
+                .with_stats_mode(mode);
+            let mut loads = inst.init.clone();
+            // Warm one round so the shard plan exists and its edge-cut /
+            // halo metadata can ride along in the JSON records.
+            engine.round(&mut loads);
+            let metrics = engine.shard_metrics().expect("plan derived");
+            let mut m = Meta::new("sharded_round", variant.clone(), 1, threads);
+            m.edge_cut = Some(metrics.edge_cut);
+            m.halo = Some(metrics.halo);
+            meta.insert(format!("sharded_round/{variant}"), m);
+            group.bench_function(variant, |b| {
                 b.iter(|| black_box(engine.round(&mut loads).map(|s| s.phi_after)));
             });
         }
@@ -186,12 +229,7 @@ fn convergence_runs(
     for (variant, threads, mode) in variants {
         meta.insert(
             format!("convergence_run/{variant}"),
-            Meta {
-                group: "convergence_run",
-                variant: variant.clone(),
-                rounds_per_iter: rounds,
-                threads,
-            },
+            Meta::new("convergence_run", variant.clone(), rounds, threads),
         );
         // Protocol (divisor tables), engine and pool are built once —
         // only the run itself is timed. The per-iteration `loads` reset
@@ -243,12 +281,7 @@ fn scenario_runs(
     for (variant, mode, with_workload) in variants {
         meta.insert(
             format!("scenario_run/{variant}"),
-            Meta {
-                group: "scenario_run",
-                variant: variant.to_string(),
-                rounds_per_iter: rounds,
-                threads: 1,
-            },
+            Meta::new("scenario_run", variant.to_string(), rounds, 1),
         );
         let mut engine = ContinuousDiffusion::new(&inst.g)
             .engine()
@@ -292,6 +325,7 @@ fn main() {
     let mut meta: HashMap<String, Meta> = HashMap::new();
     gather_kernels(&mut c, &inst, &mut meta);
     engine_rounds(&mut c, &inst, &mut meta);
+    sharded_rounds(&mut c, &inst, &mut meta);
     convergence_runs(&mut c, &inst, conv_rounds, &mut meta);
     scenario_runs(&mut c, &inst, conv_rounds, &mut meta);
 
@@ -317,6 +351,8 @@ fn main() {
                 median_ns_per_round: r.median_ns / per_round,
                 min_ns_per_round: r.min_ns / per_round,
                 samples: r.samples,
+                edge_cut: m.edge_cut,
+                halo: m.halo,
             })
         })
         .collect();

@@ -71,6 +71,12 @@ pub mod perf_json {
         pub min_ns_per_round: f64,
         /// Timed samples behind the figures.
         pub samples: usize,
+        /// Sharded-backend only: edges crossing shards in the plan the
+        /// variant executed (communication volume). Omitted from the JSON
+        /// when absent.
+        pub edge_cut: Option<usize>,
+        /// Sharded-backend only: total halo entries exchanged per round.
+        pub halo: Option<usize>,
     }
 
     fn esc(s: &str) -> String {
@@ -104,11 +110,18 @@ pub mod perf_json {
         out.push_str("  \"units\": \"ns_per_round\",\n");
         out.push_str("  \"results\": [\n");
         for (i, r) in records.iter().enumerate() {
+            let mut shard_meta = String::new();
+            if let Some(cut) = r.edge_cut {
+                shard_meta.push_str(&format!(", \"edge_cut\": {cut}"));
+            }
+            if let Some(halo) = r.halo {
+                shard_meta.push_str(&format!(", \"halo\": {halo}"));
+            }
             out.push_str(&format!(
                 "    {{\"id\": \"{}\", \"group\": \"{}\", \"variant\": \"{}\", \
                  \"topology\": \"{}\", \"n\": {}, \"threads\": {}, \
                  \"rounds_per_iter\": {}, \"median_ns_per_round\": {}, \
-                 \"min_ns_per_round\": {}, \"samples\": {}}}{}\n",
+                 \"min_ns_per_round\": {}, \"samples\": {}{}}}{}\n",
                 esc(&r.id),
                 esc(&r.group),
                 esc(&r.variant),
@@ -119,6 +132,7 @@ pub mod perf_json {
                 num(r.median_ns_per_round),
                 num(r.min_ns_per_round),
                 r.samples,
+                shard_meta,
                 if i + 1 == records.len() { "" } else { "," },
             ));
         }

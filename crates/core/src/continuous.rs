@@ -137,6 +137,10 @@ impl Protocol for ContinuousDiffusion<'_> {
         flow_tally_precomputed(self.g, &self.edge_div, snapshot, ctx)
             .stats(ctx.phi(snapshot), ctx.phi(new_loads))
     }
+
+    fn current_graph(&self) -> Option<&Graph> {
+        Some(self.g)
+    }
 }
 
 /// Generalized protocol with a configurable divisor factor `k`:
@@ -201,6 +205,10 @@ impl Protocol for GeneralizedDiffusion<'_> {
     ) -> RoundStats {
         flow_tally_precomputed(self.g, &self.edge_div, snapshot, ctx)
             .stats(ctx.phi(snapshot), ctx.phi(new_loads))
+    }
+
+    fn current_graph(&self) -> Option<&Graph> {
+        Some(self.g)
     }
 }
 

@@ -139,6 +139,10 @@ impl Protocol for DiscreteDiffusion<'_> {
         token_tally_precomputed(self.g, &self.edge_div, snapshot, ctx)
             .stats(ctx.phi_hat(snapshot), ctx.phi_hat(new_loads))
     }
+
+    fn current_graph(&self) -> Option<&Graph> {
+        Some(self.g)
+    }
 }
 
 #[cfg(test)]

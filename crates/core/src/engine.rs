@@ -1,5 +1,6 @@
-//! The unified round engine: one [`Protocol`] abstraction, one serial and
-//! one parallel executor, shared by every balancing scheme in the
+//! The unified round engine: one [`Protocol`] abstraction and one
+//! backend-generic executor ([`Backend::Serial`], [`Backend::Pool`],
+//! [`Backend::Sharded`]), shared by every balancing scheme in the
 //! workspace.
 //!
 //! ### The shape of a round (zero-copy, double-buffered)
@@ -15,12 +16,15 @@
 //!    draw a matching, advance a dynamic graph sequence, …;
 //! 2. **gather** — every node's new load is computed independently from
 //!    the round-start loads by [`Protocol::node_new_load`]. This is the hot
-//!    loop, and the only step the executors differ on: the serial executor
-//!    walks `0..n`, the parallel executor splits the node range into
-//!    contiguous chunks over a persistent [`WorkerPool`]. Because both
-//!    evaluate the *same* kernel per node in the *same* per-node operation
+//!    loop, and the only step the executors differ on: the serial backend
+//!    walks `0..n`, the pool backend splits the node range into contiguous
+//!    chunks over a persistent [`WorkerPool`], and the sharded backend
+//!    assigns whole graph-partition shards to persistent workers (interior
+//!    nodes first, then boundary nodes — with edge-cut/halo accounting per
+//!    round, see [`Engine::shard_metrics`]). Because all three evaluate
+//!    the *same* kernel per node in the *same* per-node operation
 //!    order, their results are **bit-identical** — the workspace's serial
-//!    ≡ parallel invariant. The gather writes into the engine's **back
+//!    ≡ parallel ≡ sharded invariant. The gather writes into the engine's **back
 //!    buffer**, so the caller's vector doubles as the immutable snapshot:
 //!    there is *no per-round `O(n)` snapshot copy*. After the gather the
 //!    two buffers **swap** (`Vec::swap`, `O(1)`): the caller's vector now
@@ -70,6 +74,8 @@ use std::sync::OnceLock;
 use std::thread::JoinHandle;
 
 use crate::potential;
+use dlb_graphs::partition::{graph_fingerprint, PartitionSpec, ShardPlan};
+use dlb_graphs::Graph;
 
 /// One synchronous balancing scheme, expressed as a per-round gather.
 ///
@@ -148,6 +154,35 @@ pub trait Protocol {
         ctx: &StatsCtx<'_>,
     ) -> <Self::Load as LoadPotential>::Phi {
         <Self::Load as LoadPotential>::potential(loads, ctx)
+    }
+
+    /// The graph the current round's gather is local to, if the protocol
+    /// is graph-based. The sharded backend derives its shard plan
+    /// (interior/boundary/halo sets, edge cut) from this graph; `None`
+    /// (the default) makes the sharded backend fall back to a locality-
+    /// blind contiguous range plan — still bit-identical, just without
+    /// halo accounting (e.g. random-partner schemes, whose reads are not
+    /// neighbourhood-local).
+    ///
+    /// Only meaningful after [`Protocol::begin_round`] has run for the
+    /// round (dynamic protocols draw their graph there).
+    fn current_graph(&self) -> Option<&Graph> {
+        None
+    }
+
+    /// Monotone counter that changes whenever [`Protocol::current_graph`]
+    /// *may* have started returning a different graph. Fixed-topology
+    /// protocols keep the default constant `0`, so the sharded backend
+    /// derives its plan exactly once and never re-examines the graph.
+    ///
+    /// Conservative over-bumping is allowed: each bump costs the backend
+    /// one `O(m)` fingerprint pass to re-resolve the plan (memoized per
+    /// *distinct* graph, so periodic schedules still reuse plans). The
+    /// dynamic protocols bump every round — their `GraphSequence` already
+    /// materializes a fresh `O(n + m)` graph per round, so the
+    /// fingerprint adds a constant factor, not a new asymptotic cost.
+    fn graph_version(&self) -> u64 {
+        0
     }
 }
 
@@ -333,6 +368,49 @@ impl<'a> StatsCtx<'a> {
     }
 }
 
+/// The execution strategy of an [`Engine`] — plain data, so drivers,
+/// scenario files, and benches can carry the choice declaratively and
+/// build the executor at the last moment.
+///
+/// All three backends produce **bit-identical** loads, Φ traces, and
+/// statistics for every protocol: they evaluate the same kernel per node
+/// and reduce statistics in the same fixed block order; backends only
+/// decide *which worker* computes a node and what locality/communication
+/// accounting is available.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Backend {
+    /// Single-threaded executor walking `0..n`.
+    Serial,
+    /// Flat index-range chunking over a persistent [`WorkerPool`].
+    Pool {
+        /// Worker count (`0` = [`recommended_threads_cached`]).
+        threads: usize,
+    },
+    /// Graph-partitioned execution: one shard per [`ShardPlan`] view,
+    /// each gathered as interior-then-boundary by a persistent worker,
+    /// with per-round edge-cut/halo accounting (see
+    /// [`Engine::shard_metrics`]). Shard plans are derived from
+    /// [`Protocol::current_graph`] and memoized per distinct graph.
+    Sharded {
+        /// How the node set is partitioned into shards.
+        partition: PartitionSpec,
+        /// Worker count (`0` = auto; clamped to the shard count).
+        threads: usize,
+    },
+}
+
+impl Backend {
+    /// Stable backend name (`serial`, `pool`, `sharded`) for reports and
+    /// scenario files.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Backend::Serial => "serial",
+            Backend::Pool { .. } => "pool",
+            Backend::Sharded { .. } => "sharded",
+        }
+    }
+}
+
 /// Worker threads to use by default: `DLB_THREADS` when set to a positive
 /// integer, otherwise the machine's available parallelism.
 ///
@@ -494,6 +572,59 @@ impl WorkerPool {
         }
         assert!(all_ok, "engine worker panicked during gather");
     }
+
+    /// Runs `job(j)` for every `j in 0..jobs` across the pool (worker `w`
+    /// takes jobs `w, w + W, w + 2W, …`) and blocks until all complete.
+    /// The sharded executor dispatches one job per shard through this.
+    ///
+    /// Unlike [`WorkerPool::gather`] the jobs produce no values — any
+    /// output happens through whatever `job` captures (the sharded gather
+    /// writes disjoint owned slots of the back buffer).
+    pub fn broadcast<F>(&self, jobs: usize, job: F)
+    where
+        F: Fn(usize) + Sync,
+    {
+        if jobs == 0 {
+            return;
+        }
+        let workers = self.threads().min(jobs);
+        let (done_tx, done_rx) = mpsc::channel::<bool>();
+        let mut dispatched = 0usize;
+
+        {
+            let job = &job;
+            for w in 0..workers {
+                let done = done_tx.clone();
+                let task: Box<dyn FnOnce() + Send + '_> = Box::new(move || {
+                    let outcome = catch_unwind(AssertUnwindSafe(|| {
+                        let mut j = w;
+                        while j < jobs {
+                            job(j);
+                            j += workers;
+                        }
+                    }));
+                    let _ = done.send(outcome.is_ok());
+                });
+                // SAFETY: the task borrows `job` and `done`, both of which
+                // outlive it — this function blocks on `done_rx` below
+                // until every dispatched task has sent its completion
+                // message, which each task does only after its last use of
+                // the borrows. Same argument as `gather`.
+                let task: Task =
+                    unsafe { std::mem::transmute::<Box<dyn FnOnce() + Send + '_>, Task>(task) };
+                self.senders[w]
+                    .send(task)
+                    .expect("engine worker exited early");
+                dispatched += 1;
+            }
+        }
+
+        let mut all_ok = true;
+        for _ in 0..dispatched {
+            all_ok &= done_rx.recv().expect("engine worker exited early");
+        }
+        assert!(all_ok, "engine worker panicked during broadcast");
+    }
 }
 
 impl Drop for WorkerPool {
@@ -525,12 +656,12 @@ pub struct Engine<P: Protocol> {
     /// it holds the round-start snapshot the hooks read. The caller's
     /// vector is the other half.
     back: Vec<P::Load>,
-    /// Parallel mode: the pool plus the monomorphized gather entry point.
+    /// The executor strategy (serial walk, flat pool, or sharded).
     ///
-    /// The fn pointer is instantiated in [`Engine::parallel`] — the one
-    /// place that knows `P: Sync` — so [`Engine::round`] needs no
-    /// thread-safety bounds and serial-only protocols stay `?Sync`.
-    pool: Option<(WorkerPool, GatherFn<P>)>,
+    /// The gather fn pointers inside are instantiated in the constructors
+    /// — the only places that know `P: Sync` — so [`Engine::round`] needs
+    /// no thread-safety bounds and serial-only protocols stay `?Sync`.
+    exec: Exec<P>,
     /// Which rounds compute statistics.
     stats_mode: StatsMode,
     /// Rounds executed since construction (drives [`StatsMode::EveryK`]).
@@ -539,6 +670,10 @@ pub struct Engine<P: Protocol> {
 
 /// Monomorphized pooled-gather entry point stored by parallel engines.
 type GatherFn<P> = fn(&WorkerPool, &P, &[<P as Protocol>::Load], &mut [<P as Protocol>::Load]);
+
+/// Monomorphized sharded-gather entry point stored by sharded engines.
+type ShardedGatherFn<P> =
+    fn(&WorkerPool, &P, &[<P as Protocol>::Load], &mut [<P as Protocol>::Load], &ShardPlan);
 
 fn pooled_gather<P: Protocol + Sync>(
     pool: &WorkerPool,
@@ -549,6 +684,169 @@ fn pooled_gather<P: Protocol + Sync>(
     pool.gather(out, |v| protocol.node_new_load(snapshot, v));
 }
 
+/// Shared mutable output pointer for the sharded scatter-gather. Shards
+/// own pairwise-disjoint node sets covering `0..n` exactly once (a
+/// [`ShardPlan`] invariant), so concurrent workers never write the same
+/// slot.
+struct SharedOut<T>(*mut T);
+
+unsafe impl<T: Send> Sync for SharedOut<T> {}
+
+impl<T> SharedOut<T> {
+    /// The shared base pointer (a method so closures capture the whole
+    /// `Sync` wrapper rather than the raw pointer field).
+    fn base(&self) -> *mut T {
+        self.0
+    }
+}
+
+fn sharded_gather<P: Protocol + Sync>(
+    pool: &WorkerPool,
+    protocol: &P,
+    snapshot: &[P::Load],
+    out: &mut [P::Load],
+    plan: &ShardPlan,
+) {
+    // A hard assert, not a debug one: the raw-pointer scatter below relies
+    // on every owned id lying inside `out`, and `current_graph()` is an
+    // overridable hook — a protocol whose graph disagrees with its `n()`
+    // must fail loudly, not corrupt the heap in release builds.
+    assert_eq!(
+        out.len(),
+        plan.n(),
+        "shard plan node count must equal the load vector length"
+    );
+    let out_ptr = SharedOut(out.as_mut_ptr());
+    let views = plan.views();
+    pool.broadcast(views.len(), |s| {
+        let view = &views[s];
+        // Interior first, then boundary: the order a message-passing
+        // backend uses (interior work overlaps the halo receive). The
+        // kernel is a pure per-node function, so the split cannot change
+        // results — the serial ≡ pool ≡ sharded bit-identity invariant.
+        for &v in view.interior().iter().chain(view.boundary()) {
+            let value = protocol.node_new_load(snapshot, v);
+            // SAFETY: `v` is owned by shard `s`; owned sets are disjoint
+            // across shards and within `0..out.len()`, so this write
+            // aliases no other worker's writes.
+            unsafe { *out_ptr.base().add(v as usize) = value };
+        }
+    });
+}
+
+/// Per-round locality/communication metrics of the sharded backend's
+/// current plan (see [`Engine::shard_metrics`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ShardMetrics {
+    /// Shards in the current plan.
+    pub shards: usize,
+    /// Edges crossing shards in the current plan.
+    pub edge_cut: usize,
+    /// Total halo entries (boundary loads a distributed backend would
+    /// exchange per round).
+    pub halo: usize,
+    /// Total interior nodes (computable with no exchange).
+    pub interior: usize,
+    /// Distinct plans derived so far (1 for fixed topologies; counts
+    /// fingerprint-cache misses for dynamic sequences).
+    pub plans_built: u64,
+}
+
+/// How many memoized shard plans a sharded engine keeps before evicting
+/// the oldest. Periodic schedules cycle within the cache; fully random
+/// sequences (fresh graph every round) rebuild each round regardless.
+const SHARD_PLAN_CACHE: usize = 32;
+
+/// Fingerprint key for the graph-free trivial plan.
+const TRIVIAL_PLAN_KEY: u64 = 0;
+
+struct ShardedExec<P: Protocol> {
+    pool: WorkerPool,
+    gather: ShardedGatherFn<P>,
+    spec: PartitionSpec,
+    /// Memoized plans keyed by graph fingerprint, oldest first.
+    plans: Vec<(u64, ShardPlan)>,
+    /// Index into `plans` of the plan in use.
+    current: usize,
+    /// The protocol's `graph_version` the current plan was resolved for —
+    /// while it is unchanged, no re-fingerprinting happens.
+    cached_version: Option<u64>,
+    plans_built: u64,
+}
+
+impl<P: Protocol> std::fmt::Debug for ShardedExec<P> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ShardedExec")
+            .field("spec", &self.spec)
+            .field("threads", &self.pool.threads())
+            .field("plans", &self.plans.len())
+            .field("plans_built", &self.plans_built)
+            .finish()
+    }
+}
+
+impl<P: Protocol> ShardedExec<P> {
+    /// Resolves the plan for the protocol's current graph, memoized per
+    /// distinct graph: while `graph_version` is unchanged the cached plan
+    /// is reused without touching the graph; on a version change the
+    /// graph is re-fingerprinted and either found in the cache (periodic
+    /// schedules) or a new plan is built (capped FIFO cache).
+    fn refresh_plan(&mut self, protocol: &P) {
+        let version = protocol.graph_version();
+        if self.cached_version == Some(version) && self.current < self.plans.len() {
+            return;
+        }
+        let (key, graph) = match protocol.current_graph() {
+            Some(g) => (graph_fingerprint(g), Some(g)),
+            None => (TRIVIAL_PLAN_KEY, None),
+        };
+        let idx = match self.plans.iter().position(|(k, _)| *k == key) {
+            Some(i) => i,
+            None => {
+                if self.plans.len() >= SHARD_PLAN_CACHE {
+                    self.plans.remove(0);
+                }
+                let plan = match graph {
+                    Some(g) => ShardPlan::build(g, &self.spec.build(g)),
+                    None => ShardPlan::trivial(protocol.n(), self.spec.shards()),
+                };
+                self.plans.push((key, plan));
+                self.plans_built += 1;
+                self.plans.len() - 1
+            }
+        };
+        self.current = idx;
+        self.cached_version = Some(version);
+    }
+
+    fn current_plan(&self) -> &ShardPlan {
+        &self.plans[self.current].1
+    }
+}
+
+/// The executor strategy of an engine, with everything monomorphized at
+/// construction time.
+#[derive(Debug)]
+enum Exec<P: Protocol> {
+    Serial,
+    Pool {
+        pool: WorkerPool,
+        gather: GatherFn<P>,
+    },
+    Sharded(Box<ShardedExec<P>>),
+}
+
+impl<P: Protocol> Exec<P> {
+    /// The pool backing statistics reductions, if any.
+    fn stats_pool(&self) -> Option<&WorkerPool> {
+        match self {
+            Exec::Serial => None,
+            Exec::Pool { pool, .. } => Some(pool),
+            Exec::Sharded(sh) => Some(&sh.pool),
+        }
+    }
+}
+
 impl<P: Protocol> Engine<P> {
     /// Serial executor for `protocol`.
     pub fn serial(protocol: P) -> Self {
@@ -556,7 +854,7 @@ impl<P: Protocol> Engine<P> {
         Engine {
             protocol,
             back: vec![P::Load::default(); n],
-            pool: None,
+            exec: Exec::Serial,
             stats_mode: StatsMode::default(),
             rounds_run: 0,
         }
@@ -565,8 +863,9 @@ impl<P: Protocol> Engine<P> {
     /// Parallel executor with an explicit worker count (`0` means
     /// [`recommended_threads_cached`]). A persistent worker pool is
     /// spawned once here and reused every round; it is clamped to `n`
-    /// workers so tiny graphs never hold parked idle threads. This is the
-    /// only place thread-safety is demanded of a protocol.
+    /// workers so tiny graphs never hold parked idle threads. Like every
+    /// non-serial constructor, this is where thread-safety is demanded of
+    /// a protocol.
     pub fn parallel(protocol: P, threads: usize) -> Self
     where
         P: Sync,
@@ -581,9 +880,67 @@ impl<P: Protocol> Engine<P> {
         Engine {
             protocol,
             back: vec![P::Load::default(); n],
-            pool: Some((WorkerPool::new(threads), pooled_gather::<P>)),
+            exec: Exec::Pool {
+                pool: WorkerPool::new(threads),
+                gather: pooled_gather::<P>,
+            },
             stats_mode: StatsMode::default(),
             rounds_run: 0,
+        }
+    }
+
+    /// Sharded executor: the node set is partitioned per `partition`, and
+    /// persistent workers gather whole shards (interior nodes first, then
+    /// boundary nodes), with per-round edge-cut/halo accounting available
+    /// through [`Engine::shard_metrics`].
+    ///
+    /// The shard plan is derived from [`Protocol::current_graph`] on the
+    /// first round and re-derived whenever [`Protocol::graph_version`]
+    /// changes (memoized per distinct graph, so dynamic sequences that
+    /// revisit graphs reuse their plans). `threads == 0` means auto; the
+    /// worker count is clamped to the shard count — with fewer workers
+    /// than shards, each worker serves several shards round-robin.
+    pub fn sharded(protocol: P, partition: PartitionSpec, threads: usize) -> Self
+    where
+        P: Sync,
+    {
+        assert!(partition.shards() >= 1, "sharded backend needs >= 1 shard");
+        let threads = if threads == 0 {
+            recommended_threads_cached()
+        } else {
+            threads
+        };
+        let n = protocol.n();
+        let threads = threads.clamp(1, partition.shards().min(n.max(1)));
+        Engine {
+            protocol,
+            back: vec![P::Load::default(); n],
+            exec: Exec::Sharded(Box::new(ShardedExec {
+                pool: WorkerPool::new(threads),
+                gather: sharded_gather::<P>,
+                spec: partition,
+                plans: Vec::new(),
+                current: usize::MAX,
+                cached_version: None,
+                plans_built: 0,
+            })),
+            stats_mode: StatsMode::default(),
+            rounds_run: 0,
+        }
+    }
+
+    /// Builds the executor a [`Backend`] value describes. Protocols that
+    /// cannot be `Sync` must call [`Engine::serial`] directly.
+    pub fn with_backend(protocol: P, backend: Backend) -> Self
+    where
+        P: Sync,
+    {
+        match backend {
+            Backend::Serial => Engine::serial(protocol),
+            Backend::Pool { threads } => Engine::parallel(protocol, threads),
+            Backend::Sharded { partition, threads } => {
+                Engine::sharded(protocol, partition, threads)
+            }
         }
     }
 
@@ -623,7 +980,43 @@ impl<P: Protocol> Engine<P> {
 
     /// Worker count (1 for the serial executor).
     pub fn threads(&self) -> usize {
-        self.pool.as_ref().map_or(1, |(pool, _)| pool.threads())
+        self.exec.stats_pool().map_or(1, WorkerPool::threads)
+    }
+
+    /// The backend this engine executes with, reconstructed as the
+    /// declarative [`Backend`] value (thread counts are the resolved,
+    /// post-clamping ones).
+    pub fn backend(&self) -> Backend {
+        match &self.exec {
+            Exec::Serial => Backend::Serial,
+            Exec::Pool { pool, .. } => Backend::Pool {
+                threads: pool.threads(),
+            },
+            Exec::Sharded(sh) => Backend::Sharded {
+                partition: sh.spec,
+                threads: sh.pool.threads(),
+            },
+        }
+    }
+
+    /// Locality/communication metrics of the sharded backend's current
+    /// plan: `None` for the serial and pool backends, and before the
+    /// first sharded round (plans are derived lazily against the round's
+    /// graph).
+    pub fn shard_metrics(&self) -> Option<ShardMetrics> {
+        match &self.exec {
+            Exec::Sharded(sh) if sh.current < sh.plans.len() => {
+                let plan = sh.current_plan();
+                Some(ShardMetrics {
+                    shards: plan.views().len(),
+                    edge_cut: plan.edge_cut(),
+                    halo: plan.halo_total(),
+                    interior: plan.interior_total(),
+                    plans_built: sh.plans_built,
+                })
+            }
+            _ => None,
+        }
     }
 
     /// On-demand potential of `loads` as this engine's protocol reports it
@@ -632,7 +1025,7 @@ impl<P: Protocol> Engine<P> {
     /// report for the same vector — this is the convergence drivers'
     /// fallback for rounds whose stats were skipped.
     pub fn potential(&self, loads: &[P::Load]) -> <P::Load as LoadPotential>::Phi {
-        let ctx = StatsCtx::new(self.pool.as_ref().map(|(p, _)| p), StatsLevel::Flows);
+        let ctx = StatsCtx::new(self.exec.stats_pool(), StatsLevel::Flows);
         self.protocol.potential_of(loads, &ctx)
     }
 
@@ -653,13 +1046,26 @@ impl<P: Protocol> Engine<P> {
         {
             let protocol = &self.protocol;
             let snapshot = &loads[..];
-            match &self.pool {
-                None => {
+            match &mut self.exec {
+                Exec::Serial => {
                     for (v, slot) in self.back.iter_mut().enumerate() {
                         *slot = protocol.node_new_load(snapshot, v as u32);
                     }
                 }
-                Some((pool, gather)) => gather(pool, protocol, snapshot, &mut self.back),
+                Exec::Pool { pool, gather } => gather(pool, protocol, snapshot, &mut self.back),
+                Exec::Sharded(sh) => {
+                    // Resolve the plan *after* begin_round: dynamic
+                    // protocols draw their round graph there.
+                    sh.refresh_plan(protocol);
+                    let sh = &**sh;
+                    (sh.gather)(
+                        &sh.pool,
+                        protocol,
+                        snapshot,
+                        &mut self.back,
+                        sh.current_plan(),
+                    );
+                }
             }
         }
         // O(1) ping-pong: the caller's vector becomes the back buffer
@@ -669,7 +1075,7 @@ impl<P: Protocol> Engine<P> {
         self.rounds_run += 1;
         self.protocol.finish_round(&self.back, loads);
         self.stats_mode.level_for(self.rounds_run).map(|level| {
-            let ctx = StatsCtx::new(self.pool.as_ref().map(|(p, _)| p), level);
+            let ctx = StatsCtx::new(self.exec.stats_pool(), level);
             self.protocol.compute_stats(&self.back, loads, &ctx)
         })
     }
@@ -703,6 +1109,23 @@ pub trait IntoEngine: Protocol + Sized {
         Self: Sync,
     {
         Engine::parallel(self, threads)
+    }
+
+    /// Wraps the protocol in a sharded [`Engine`] (see
+    /// [`Engine::sharded`]).
+    fn engine_sharded(self, partition: PartitionSpec, threads: usize) -> Engine<Self>
+    where
+        Self: Sync,
+    {
+        Engine::sharded(self, partition, threads)
+    }
+
+    /// Wraps the protocol in whatever executor `backend` describes.
+    fn engine_with(self, backend: Backend) -> Engine<Self>
+    where
+        Self: Sync,
+    {
+        Engine::with_backend(self, backend)
     }
 }
 
@@ -922,6 +1345,83 @@ mod tests {
             p.rounds(&mut par, 10);
             assert_eq!(serial, par, "threads = {threads}");
         }
+    }
+
+    #[test]
+    fn sharded_backend_bit_identical_without_a_graph() {
+        // Toy exposes no graph, so the sharded backend runs on the
+        // trivial range plan — results must still match the serial ones
+        // at every shard/thread combination, including shards > n.
+        let n = 131;
+        let init: Vec<f64> = (0..n).map(|i| ((i * 17 + 3) % 29) as f64 / 3.0).collect();
+        let mut serial = init.clone();
+        Engine::serial(toy(n)).rounds(&mut serial, 8);
+
+        for shards in [1usize, 2, 5, 200] {
+            for threads in [1usize, 3, 8] {
+                let mut sharded = init.clone();
+                let mut e = Engine::sharded(toy(n), PartitionSpec::Range { shards }, threads);
+                e.rounds(&mut sharded, 8);
+                assert_eq!(serial, sharded, "shards = {shards}, threads = {threads}");
+                let metrics = e.shard_metrics().expect("plan derived after a round");
+                assert_eq!(metrics.shards, shards);
+                assert_eq!(metrics.plans_built, 1, "trivial plan derived once");
+                assert_eq!(metrics.halo, 0, "graph-free protocol has no halo info");
+            }
+        }
+    }
+
+    #[test]
+    fn with_backend_builds_every_backend() {
+        let backends = [
+            Backend::Serial,
+            Backend::Pool { threads: 3 },
+            Backend::Sharded {
+                partition: PartitionSpec::Range { shards: 4 },
+                threads: 2,
+            },
+        ];
+        let mut reference = vec![1.0, 5.0, 2.0, 8.0, 3.0, 7.0, 4.0, 6.0];
+        Engine::serial(toy(8)).rounds(&mut reference, 5);
+        for backend in backends {
+            let mut e = Engine::with_backend(toy(8), backend);
+            assert_eq!(e.backend().name(), backend.name());
+            let mut loads = vec![1.0, 5.0, 2.0, 8.0, 3.0, 7.0, 4.0, 6.0];
+            e.rounds(&mut loads, 5);
+            assert_eq!(loads, reference, "{}", backend.name());
+        }
+    }
+
+    #[test]
+    fn shard_metrics_absent_off_the_sharded_backend() {
+        assert!(Engine::serial(toy(4)).shard_metrics().is_none());
+        assert!(Engine::parallel(toy(4), 2).shard_metrics().is_none());
+        // And before the first round even on the sharded backend (plans
+        // are derived lazily against the round's graph).
+        let e = Engine::sharded(toy(4), PartitionSpec::Range { shards: 2 }, 1);
+        assert!(e.shard_metrics().is_none());
+    }
+
+    #[test]
+    fn broadcast_covers_all_jobs_and_propagates_panics() {
+        let pool = WorkerPool::new(3);
+        let hits: Vec<std::sync::atomic::AtomicUsize> = (0..10)
+            .map(|_| std::sync::atomic::AtomicUsize::new(0))
+            .collect();
+        pool.broadcast(10, |j| {
+            hits[j].fetch_add(1, std::sync::atomic::Ordering::SeqCst);
+        });
+        for (j, h) in hits.iter().enumerate() {
+            assert_eq!(h.load(std::sync::atomic::Ordering::SeqCst), 1, "job {j}");
+        }
+        // Zero jobs is a no-op.
+        pool.broadcast(0, |_| panic!("must not run"));
+        // A panicking job propagates and the pool stays usable.
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            pool.broadcast(4, |j| assert!(j != 2, "injected failure"));
+        }));
+        assert!(result.is_err());
+        pool.broadcast(4, |_| {});
     }
 
     #[test]

@@ -187,6 +187,10 @@ impl Protocol for HeterogeneousDiffusion<'_> {
         // drivers' on-demand fallback must too.
         weighted_phi_ctx(loads, &self.capacities, ctx)
     }
+
+    fn current_graph(&self) -> Option<&Graph> {
+        Some(self.g)
+    }
 }
 
 /// Discrete heterogeneous diffusion: `⌊·⌋` of the continuous amount, whole
@@ -286,6 +290,10 @@ impl Protocol for HeterogeneousDiscreteDiffusion<'_> {
     fn potential_of(&self, loads: &[i64], ctx: &StatsCtx<'_>) -> u128 {
         let n2 = (self.g.n() * self.g.n()) as f64;
         (weighted_phi_tokens_ctx(loads, &self.capacities, ctx) * n2) as u128
+    }
+
+    fn current_graph(&self) -> Option<&Graph> {
+        Some(self.g)
     }
 }
 

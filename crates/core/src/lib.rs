@@ -19,12 +19,15 @@
 //!   statistics hook. Round-invariant per-edge divisors
 //!   `4·max(dᵢ, dⱼ)` are precomputed CSR-slot-aligned at construction
 //!   ([`dlb_graphs::weights`]), so the hot loop streams contiguous memory.
-//! * **[`engine::Engine`]** — the only two executors in the workspace: one
-//!   serial, one parallel over a persistent [`engine::WorkerPool`]
-//!   (workers live across rounds; `DLB_THREADS` caps the fan-out). Both
-//!   run the identical kernel per node, so serial ≡ parallel results are
-//!   **bit-identical** — an invariant the test-suite pins for every
-//!   protocol.
+//! * **[`engine::Engine`]** — the one backend-generic executor in the
+//!   workspace ([`engine::Backend`]): a serial walk, a flat-chunked pool
+//!   over a persistent [`engine::WorkerPool`] (workers live across
+//!   rounds; `DLB_THREADS` caps the fan-out), and a graph-partitioned
+//!   sharded backend ([`dlb_graphs::partition`]) whose persistent workers
+//!   gather whole shards interior-first with per-round edge-cut/halo
+//!   accounting. All run the identical kernel per node, so serial ≡ pool
+//!   ≡ sharded results are **bit-identical** — an invariant the
+//!   test-suite pins for every protocol.
 //! * **[`runner`]** — the convergence drivers (potential targets, round
 //!   budgets, traces, fixed-point detection) with observed variants for
 //!   instrumentation; `dlb-dynamics` parameterizes the same driver with a
@@ -76,5 +79,5 @@ pub mod random_partner;
 pub mod runner;
 pub mod seq;
 
-pub use engine::{Engine, IntoEngine, Protocol};
+pub use engine::{Backend, Engine, IntoEngine, Protocol, ShardMetrics};
 pub use model::{ContinuousBalancer, DiscreteBalancer, DiscreteRoundStats, RoundStats};

@@ -24,8 +24,9 @@ pub mod runner;
 pub mod sequence;
 
 pub use runner::{
-    run_dynamic_continuous, run_dynamic_continuous_driven, run_dynamic_discrete,
-    run_dynamic_discrete_driven, DynamicContinuousOutcome, DynamicDiscreteOutcome,
+    run_dynamic_continuous, run_dynamic_continuous_driven, run_dynamic_continuous_on,
+    run_dynamic_discrete, run_dynamic_discrete_driven, run_dynamic_discrete_on,
+    DynamicContinuousOutcome, DynamicDiscreteOutcome,
 };
 pub use sequence::{
     GraphSequence, IidSubgraphSequence, MarkovChurnSequence, MatchingOnlySequence, OutageSequence,

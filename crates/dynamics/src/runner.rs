@@ -15,7 +15,7 @@
 //! `Φ* = 64·n·max_k (δ⁽ᵏ⁾)³/λ₂⁽ᵏ⁾`.
 
 use crate::sequence::GraphSequence;
-use dlb_core::engine::{Engine, Protocol, StatsCtx};
+use dlb_core::engine::{Backend, Engine, Protocol, StatsCtx};
 use dlb_core::model::{DiscreteRoundStats, RoundStats};
 use dlb_core::{continuous, discrete};
 use dlb_graphs::Graph;
@@ -50,14 +50,21 @@ impl RoundSpectra {
 /// static sequence reproduces the fixed executor bit for bit.
 #[derive(Debug)]
 pub struct DynamicContinuousDiffusion<'s, S: GraphSequence + ?Sized> {
-    seq: &'s mut S,
     g: Option<Graph>,
+    /// Bumped on every graph switch so the sharded backend knows to
+    /// re-resolve its shard plan (memoized per distinct graph).
+    version: u64,
+    seq: &'s mut S,
 }
 
 impl<'s, S: GraphSequence + ?Sized> DynamicContinuousDiffusion<'s, S> {
     /// Creates the protocol over `seq`.
     pub fn new(seq: &'s mut S) -> Self {
-        DynamicContinuousDiffusion { seq, g: None }
+        DynamicContinuousDiffusion {
+            seq,
+            g: None,
+            version: 0,
+        }
     }
 
     /// The graph used by the most recent round (`None` before the first).
@@ -80,6 +87,15 @@ impl<S: GraphSequence + ?Sized> Protocol for DynamicContinuousDiffusion<'_, S> {
 
     fn begin_round(&mut self, _snapshot: &[f64]) {
         self.g = Some(self.seq.next_graph());
+        self.version += 1;
+    }
+
+    fn current_graph(&self) -> Option<&Graph> {
+        self.g.as_ref()
+    }
+
+    fn graph_version(&self) -> u64 {
+        self.version
     }
 
     #[inline]
@@ -107,14 +123,21 @@ impl<S: GraphSequence + ?Sized> Protocol for DynamicContinuousDiffusion<'_, S> {
 /// Discrete twin of [`DynamicContinuousDiffusion`].
 #[derive(Debug)]
 pub struct DynamicDiscreteDiffusion<'s, S: GraphSequence + ?Sized> {
-    seq: &'s mut S,
     g: Option<Graph>,
+    /// See [`DynamicContinuousDiffusion`]: bumped per graph switch for
+    /// the sharded backend's plan memoization.
+    version: u64,
+    seq: &'s mut S,
 }
 
 impl<'s, S: GraphSequence + ?Sized> DynamicDiscreteDiffusion<'s, S> {
     /// Creates the protocol over `seq`.
     pub fn new(seq: &'s mut S) -> Self {
-        DynamicDiscreteDiffusion { seq, g: None }
+        DynamicDiscreteDiffusion {
+            seq,
+            g: None,
+            version: 0,
+        }
     }
 
     /// The graph used by the most recent round (`None` before the first).
@@ -137,6 +160,15 @@ impl<S: GraphSequence + ?Sized> Protocol for DynamicDiscreteDiffusion<'_, S> {
 
     fn begin_round(&mut self, _snapshot: &[i64]) {
         self.g = Some(self.seq.next_graph());
+        self.version += 1;
+    }
+
+    fn current_graph(&self) -> Option<&Graph> {
+        self.g.as_ref()
+    }
+
+    fn graph_version(&self) -> u64 {
+        self.version
     }
 
     #[inline]
@@ -246,7 +278,57 @@ where
     H: FnMut(usize, &mut Vec<f64>),
 {
     assert_eq!(loads.len(), seq.n(), "load vector length must equal n");
-    let mut engine = Engine::serial(DynamicContinuousDiffusion::new(seq));
+    let engine = Engine::serial(DynamicContinuousDiffusion::new(seq));
+    drive_continuous(
+        engine,
+        loads,
+        target_phi,
+        max_rounds,
+        record_spectra,
+        pre_round,
+    )
+}
+
+/// [`run_dynamic_continuous`] on an explicit engine [`Backend`]. The
+/// sharded backend re-derives its shard plan whenever the sequence
+/// switches graphs, memoized per distinct graph — a periodic schedule
+/// builds exactly one plan per schedule entry.
+pub fn run_dynamic_continuous_on<S>(
+    backend: Backend,
+    seq: &mut S,
+    loads: &mut Vec<f64>,
+    target_phi: f64,
+    max_rounds: usize,
+    record_spectra: bool,
+) -> DynamicContinuousOutcome
+where
+    S: GraphSequence + Sync + ?Sized,
+{
+    assert_eq!(loads.len(), seq.n(), "load vector length must equal n");
+    let engine = Engine::with_backend(DynamicContinuousDiffusion::new(seq), backend);
+    drive_continuous(
+        engine,
+        loads,
+        target_phi,
+        max_rounds,
+        record_spectra,
+        |_, _| {},
+    )
+}
+
+/// The shared convergence loop behind the continuous dynamic entry
+/// points, generic over how the engine was constructed.
+fn drive_continuous<S: GraphSequence + ?Sized, H>(
+    mut engine: Engine<DynamicContinuousDiffusion<'_, S>>,
+    loads: &mut Vec<f64>,
+    target_phi: f64,
+    max_rounds: usize,
+    record_spectra: bool,
+    pre_round: H,
+) -> DynamicContinuousOutcome
+where
+    H: FnMut(usize, &mut Vec<f64>),
+{
     let mut spectra = Vec::new();
     let out = dlb_core::runner::run_continuous_driven(
         &mut engine,
@@ -353,7 +435,54 @@ where
     H: FnMut(usize, &mut Vec<i64>),
 {
     assert_eq!(loads.len(), seq.n(), "load vector length must equal n");
-    let mut engine = Engine::serial(DynamicDiscreteDiffusion::new(seq));
+    let engine = Engine::serial(DynamicDiscreteDiffusion::new(seq));
+    drive_discrete(
+        engine,
+        loads,
+        target_phi_hat,
+        max_rounds,
+        record_spectra,
+        pre_round,
+    )
+}
+
+/// [`run_dynamic_discrete`] on an explicit engine [`Backend`] (see
+/// [`run_dynamic_continuous_on`]).
+pub fn run_dynamic_discrete_on<S>(
+    backend: Backend,
+    seq: &mut S,
+    loads: &mut Vec<i64>,
+    target_phi_hat: u128,
+    max_rounds: usize,
+    record_spectra: bool,
+) -> DynamicDiscreteOutcome
+where
+    S: GraphSequence + Sync + ?Sized,
+{
+    assert_eq!(loads.len(), seq.n(), "load vector length must equal n");
+    let engine = Engine::with_backend(DynamicDiscreteDiffusion::new(seq), backend);
+    drive_discrete(
+        engine,
+        loads,
+        target_phi_hat,
+        max_rounds,
+        record_spectra,
+        |_, _| {},
+    )
+}
+
+/// The shared convergence loop behind the discrete dynamic entry points.
+fn drive_discrete<S: GraphSequence + ?Sized, H>(
+    mut engine: Engine<DynamicDiscreteDiffusion<'_, S>>,
+    loads: &mut Vec<i64>,
+    target_phi_hat: u128,
+    max_rounds: usize,
+    record_spectra: bool,
+    pre_round: H,
+) -> DynamicDiscreteOutcome
+where
+    H: FnMut(usize, &mut Vec<i64>),
+{
     let mut spectra = Vec::new();
     let out = dlb_core::runner::run_discrete_driven(
         &mut engine,

@@ -352,6 +352,28 @@ mod tests {
     }
 
     #[test]
+    fn has_edge_binary_search_on_high_degree_star() {
+        // Regression pin for the O(log δ) `has_edge`: the hub of a star
+        // has a huge sorted neighbour row, and `binary_search` must agree
+        // with membership at every position — first, last, middle, and
+        // absent values (the classic off-by-one spots of a hand-rolled
+        // scan-to-search conversion).
+        let n = 50_001u32;
+        let g = Graph::from_edges(n as usize, (1..n).map(|v| (0, v))).unwrap();
+        assert_eq!(g.degree(0), n - 1);
+        for v in [1, 2, n / 2, n - 2, n - 1] {
+            assert!(g.has_edge(0, v), "hub → {v}");
+            assert!(g.has_edge(v, 0), "{v} → hub");
+        }
+        // Leaves are not adjacent to each other, and out-of-range nodes
+        // are never adjacent.
+        assert!(!g.has_edge(1, 2));
+        assert!(!g.has_edge(n - 1, n - 2));
+        assert!(!g.has_edge(0, n));
+        assert!(!g.has_edge(n, 0));
+    }
+
+    #[test]
     fn edge_list_canonical() {
         let g = Graph::from_edges(4, [(3, 1), (2, 0), (1, 0)]).unwrap();
         assert_eq!(g.edges(), &[(0, 1), (0, 2), (1, 3)]);

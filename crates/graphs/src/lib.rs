@@ -22,7 +22,13 @@
 //! * [`expansion`] — exact edge expansion for small graphs and Cheeger-type
 //!   bounds, connecting `λ₂` to the combinatorial expansion `α` used in the
 //!   paper's Section 4;
-//! * [`traversal`] — BFS utilities (connectivity, diameter, components).
+//! * [`traversal`] — BFS utilities (connectivity, diameter, components);
+//! * [`partition`] — graph partitioning for sharded execution: contiguous
+//!   range and BFS-grown region partitioners with edge-cut/imbalance
+//!   metrics, and per-shard [`ShardView`]s (owned interior/boundary node
+//!   sets, halo of remote neighbours, reindexed local CSR) that the
+//!   sharded engine backend — and a future distributed one — executes
+//!   from.
 //!
 //! All randomized constructions take an explicit [`rand::Rng`] so that every
 //! experiment in the workspace is reproducible from a single `u64` seed.
@@ -31,9 +37,11 @@ pub mod expansion;
 pub mod graph;
 pub mod io;
 pub mod matching;
+pub mod partition;
 pub mod topology;
 pub mod traversal;
 pub mod weights;
 
 pub use graph::{Graph, GraphBuilder, GraphError};
 pub use matching::Matching;
+pub use partition::{Partition, PartitionSpec, ShardPlan, ShardView};

@@ -1,5 +1,6 @@
 //! Property-based tests for the graph substrate.
 
+use dlb_graphs::partition::{Partition, PartitionSpec, ShardPlan};
 use dlb_graphs::{matching, topology, traversal, Graph, GraphBuilder};
 use proptest::prelude::*;
 use rand::rngs::StdRng;
@@ -133,5 +134,101 @@ proptest! {
         } else {
             prop_assert!(!traversal::is_connected(&g));
         }
+    }
+
+    /// Partition invariants over random graphs × shard counts (including
+    /// `shards = 1` and `shards > n`): every node covered exactly once,
+    /// the max-imbalance bound `max shard ≤ ⌈n/shards⌉` respected by the
+    /// BFS partitioner (range sizes differ by ≤ 1, an even tighter bound),
+    /// and the reported edge cut equal to a brute-force recount.
+    #[test]
+    fn partition_invariants((n, edges) in arb_edge_list(), shards in 1usize..60) {
+        let g = Graph::from_edges(n, edges.iter().copied()).expect("valid edges");
+        for spec in [PartitionSpec::Range { shards }, PartitionSpec::Bfs { shards }] {
+            let p = spec.build(&g);
+            prop_assert_eq!(p.n(), n);
+            prop_assert_eq!(p.shards(), shards);
+
+            // Coverage: each node owned exactly once (owner vector and
+            // member lists agree).
+            let mut seen = vec![0usize; n];
+            for (s, members) in p.member_lists().into_iter().enumerate() {
+                for v in members {
+                    prop_assert_eq!(p.owner_of(v), s);
+                    seen[v as usize] += 1;
+                }
+            }
+            prop_assert!(seen.iter().all(|&c| c == 1), "{:?}: coverage broken", spec);
+
+            // Balance bound.
+            prop_assert!(
+                p.max_shard_size() <= p.size_bound(),
+                "{:?}: {} > {}", spec, p.max_shard_size(), p.size_bound()
+            );
+            if matches!(spec, PartitionSpec::Range { .. }) {
+                let (min_nonempty, max) = (
+                    (0..shards).map(|s| p.shard_size(s)).filter(|&s| s > 0).min().unwrap_or(0),
+                    p.max_shard_size(),
+                );
+                prop_assert!(max - min_nonempty <= 1, "range sizes differ by > 1");
+            }
+
+            // Edge cut = brute-force recount over the edge list.
+            let brute = g
+                .edges()
+                .iter()
+                .filter(|&&(u, v)| p.owner_of(u) != p.owner_of(v))
+                .count();
+            prop_assert_eq!(p.edge_cut(&g), brute, "{:?}: edge cut mismatch", spec);
+        }
+    }
+
+    /// Shard-plan invariants on the same instances: views cover all nodes,
+    /// interior nodes have owned-only neighbourhoods, halos are exactly
+    /// the remote neighbours of the boundary, halo totals add up, and the
+    /// local CSR maps back onto the global one.
+    #[test]
+    fn shard_plan_invariants((n, edges) in arb_edge_list(), shards in 1usize..20) {
+        let g = Graph::from_edges(n, edges.iter().copied()).expect("valid edges");
+        let p = Partition::bfs(&g, shards);
+        let plan = ShardPlan::build(&g, &p);
+        prop_assert_eq!(plan.edge_cut(), p.edge_cut(&g));
+        let mut covered = 0usize;
+        let mut halo_sum = 0usize;
+        let mut interior_sum = 0usize;
+        for view in plan.views() {
+            covered += view.owned().len();
+            halo_sum += view.halo().len();
+            interior_sum += view.interior().len();
+            for &v in view.interior() {
+                for &u in g.neighbors(v) {
+                    prop_assert_eq!(p.owner_of(u), view.shard());
+                }
+            }
+            for &v in view.boundary() {
+                prop_assert!(g.neighbors(v).iter().any(|&u| p.owner_of(u) != view.shard()));
+            }
+            let mut expect_halo: Vec<u32> = view
+                .boundary()
+                .iter()
+                .flat_map(|&v| g.neighbors(v).iter().copied())
+                .filter(|&u| p.owner_of(u) != view.shard())
+                .collect();
+            expect_halo.sort_unstable();
+            expect_halo.dedup();
+            prop_assert_eq!(view.halo(), &expect_halo[..]);
+            for (row, &v) in view.owned().iter().enumerate() {
+                let mut neigh: Vec<u32> = view
+                    .local_neighbors_of(row)
+                    .iter()
+                    .map(|&lid| view.global_of(lid))
+                    .collect();
+                neigh.sort_unstable();
+                prop_assert_eq!(&neigh[..], g.neighbors(v));
+            }
+        }
+        prop_assert_eq!(covered, n);
+        prop_assert_eq!(plan.halo_total(), halo_sum);
+        prop_assert_eq!(plan.interior_total(), interior_sum);
     }
 }

@@ -53,7 +53,8 @@ pub mod workload;
 pub use report::{RoundRecord, ScenarioReport, SteadyBand, StopReason};
 pub use runner::{run_driven, ScenarioRunner};
 pub use scenario::{
-    CapacitySpec, DrainSpec, InitSpec, PatternSpec, PlacementSpec, ProtocolSpec, Scenario,
+    exec_from_threads, exec_spec_from_parts, partition_from_name, validate_exec, CapacitySpec,
+    DrainSpec, ExecSpec, InitSpec, PatternSpec, PlacementSpec, ProtocolSpec, Scenario,
     SequenceKind, SequenceSpec, StopSpec, TopologySpec, WorkloadSpec,
 };
 pub use workload::{

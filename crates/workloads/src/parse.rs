@@ -60,8 +60,8 @@
 //! likewise for JSON lines, pinned by tests.
 
 use crate::scenario::{
-    CapacitySpec, DrainSpec, InitSpec, PatternSpec, PlacementSpec, ProtocolSpec, Scenario,
-    SequenceKind, SequenceSpec, StopSpec, TopologySpec, WorkloadSpec,
+    exec_spec_from_parts, CapacitySpec, DrainSpec, ExecSpec, InitSpec, PatternSpec, PlacementSpec,
+    ProtocolSpec, Scenario, SequenceKind, SequenceSpec, StopSpec, TopologySpec, WorkloadSpec,
 };
 use dlb_core::engine::StatsMode;
 
@@ -692,9 +692,17 @@ fn scenario_from_tables(tables: Vec<Table>) -> Result<Scenario, String> {
     }
 
     let st = scenario_t.ok_or("missing [scenario] section")?;
-    st.check_keys(&["name", "protocol", "threads", "stats"])?;
+    st.check_keys(&[
+        "name",
+        "protocol",
+        "threads",
+        "stats",
+        "backend",
+        "shards",
+        "partition",
+    ])?;
     let name = st.str_of("name")?.to_string();
-    let threads = st.u64_or("threads", 1)? as usize;
+    let exec = exec_from(&st)?;
     let stats = match st.get("stats") {
         None => StatsMode::Full,
         Some(_) => parse_stats_mode(st.str_of("stats")?).map_err(|e| st.err(e))?,
@@ -743,11 +751,37 @@ fn scenario_from_tables(tables: Vec<Table>) -> Result<Scenario, String> {
         init,
         workloads,
         stats,
-        threads,
+        exec,
         stop,
     };
     scenario.validate()?;
     Ok(scenario)
+}
+
+/// Parses the execution backend out of the `[scenario]` table. Without a
+/// `backend` key the legacy `threads` scalar decides (1 = serial, else
+/// pool); with one, `threads`/`shards`/`partition` refine it. The gating
+/// rules (`shards`/`partition` rejected outside `backend = "sharded"`, so
+/// a misspelled backend cannot silently drop the sharding request) live
+/// in [`exec_spec_from_parts`], shared with the CLI overrides.
+fn exec_from(st: &Table) -> Result<ExecSpec, String> {
+    let backend = match st.get("backend") {
+        None => None,
+        Some(_) => Some(st.str_of("backend")?),
+    };
+    let threads = match st.get("threads") {
+        None => None,
+        Some(_) => Some(st.usize_of("threads")?),
+    };
+    let shards = match st.get("shards") {
+        None => None,
+        Some(_) => Some(st.usize_of("shards")?),
+    };
+    let partition = match st.get("partition") {
+        None => None,
+        Some(_) => Some(st.str_of("partition")?),
+    };
+    exec_spec_from_parts(backend, threads, shards, partition).map_err(|e| st.err(e))
 }
 
 // ---------------------------------------------------------------------------
@@ -911,23 +945,38 @@ fn stop_entries(s: &StopSpec) -> Vec<(String, String)> {
 /// `[[workload]]` tables.
 type RenderedSection = (&'static str, bool, Vec<(String, String)>);
 
+/// Renders the execution backend as `[scenario]` entries.
+fn exec_entries(exec: &ExecSpec) -> Vec<(String, String)> {
+    let mut e = vec![("backend".to_string(), format!("\"{}\"", exec.name()))];
+    match *exec {
+        ExecSpec::Serial => {}
+        ExecSpec::Pool { threads } => e.push(("threads".into(), threads.to_string())),
+        ExecSpec::Sharded { partition, threads } => {
+            e.push((
+                "partition".into(),
+                format!("\"{}\"", partition.strategy_name()),
+            ));
+            e.push(("shards".into(), partition.shards().to_string()));
+            e.push(("threads".into(), threads.to_string()));
+        }
+    }
+    e
+}
+
 /// All sections of a scenario in canonical order.
 fn scenario_sections(s: &Scenario) -> Vec<RenderedSection> {
-    let mut out = vec![(
-        "scenario",
-        false,
-        vec![
-            // The name is the only free-form string a scenario carries;
-            // everything else renders fixed identifiers.
-            ("name".to_string(), qstr(&s.name)),
-            ("protocol".to_string(), format!("\"{}\"", s.protocol.name())),
-            ("threads".to_string(), s.threads.to_string()),
-            (
-                "stats".to_string(),
-                format!("\"{}\"", crate::runner::stats_mode_name(s.stats)),
-            ),
-        ],
-    )];
+    let mut scenario_entries = vec![
+        // The name is the only free-form string a scenario carries;
+        // everything else renders fixed identifiers.
+        ("name".to_string(), qstr(&s.name)),
+        ("protocol".to_string(), format!("\"{}\"", s.protocol.name())),
+    ];
+    scenario_entries.extend(exec_entries(&s.exec));
+    scenario_entries.push((
+        "stats".to_string(),
+        format!("\"{}\"", crate::runner::stats_mode_name(s.stats)),
+    ));
+    let mut out = vec![("scenario", false, scenario_entries)];
     out.push(("topology", false, topology_entries(&s.topology)));
     if let Some(seq) = &s.sequence {
         out.push(("sequence", false, sequence_entries(seq)));
@@ -1058,9 +1107,69 @@ rounds = 5
 "#;
         let s = Scenario::from_toml(text).unwrap();
         assert_eq!(s.name, "commented");
-        assert_eq!(s.threads, 1, "threads defaults to serial");
+        assert_eq!(s.exec, ExecSpec::Serial, "exec defaults to serial");
         assert_eq!(s.stats, StatsMode::Full, "stats defaults to full");
         assert!(s.workloads.is_empty());
+    }
+
+    #[test]
+    fn backend_keys_parse_and_are_gated() {
+        let base = |scenario_extra: &str| {
+            format!(
+                "[scenario]\nname = \"x\"\nprotocol = \"continuous\"\n{scenario_extra}\n\
+                 [topology]\nkind = \"cycle\"\nn = 8\n\
+                 [init]\ndist = \"spike\"\navg = 1.0\n\
+                 [stop]\nkind = \"rounds\"\nrounds = 2\n"
+            )
+        };
+        // Legacy threads scalar still decides without a backend key.
+        let pool = Scenario::from_toml(&base("threads = 4")).unwrap();
+        assert_eq!(pool.exec, ExecSpec::Pool { threads: 4 });
+        // Explicit backends.
+        let serial = Scenario::from_toml(&base("backend = \"serial\"")).unwrap();
+        assert_eq!(serial.exec, ExecSpec::Serial);
+        let auto_pool = Scenario::from_toml(&base("backend = \"pool\"")).unwrap();
+        assert_eq!(auto_pool.exec, ExecSpec::Pool { threads: 0 });
+        let sharded = Scenario::from_toml(&base(
+            "backend = \"sharded\"\nshards = 8\npartition = \"bfs\"\nthreads = 2",
+        ))
+        .unwrap();
+        assert_eq!(
+            sharded.exec,
+            ExecSpec::Sharded {
+                partition: dlb_graphs::PartitionSpec::Bfs { shards: 8 },
+                threads: 2
+            }
+        );
+        // Defaults: partition = range, threads = auto.
+        let defaulted = Scenario::from_toml(&base("backend = \"sharded\"\nshards = 4")).unwrap();
+        assert_eq!(
+            defaulted.exec,
+            ExecSpec::Sharded {
+                partition: dlb_graphs::PartitionSpec::Range { shards: 4 },
+                threads: 0
+            }
+        );
+        // Gating: shards/partition without the sharded backend, unknown
+        // names, sharded without shards.
+        for (text, needle) in [
+            (base("shards = 4"), "only valid with backend"),
+            (
+                base("backend = \"pool\"\npartition = \"bfs\""),
+                "only valid with backend",
+            ),
+            (base("backend = \"warp\""), "unknown backend"),
+            (base("backend = \"sharded\""), "needs shards"),
+            (
+                base("backend = \"sharded\"\nshards = 4\npartition = \"metis\""),
+                "unknown partition strategy",
+            ),
+            (base("backend = \"sharded\"\nshards = 0"), "shards >= 1"),
+            (base("backend = \"serial\"\nthreads = 3"), "one thread"),
+        ] {
+            let err = Scenario::from_toml(&text).unwrap_err();
+            assert!(err.contains(needle), "expected {needle:?} in {err}");
+        }
     }
 
     #[test]

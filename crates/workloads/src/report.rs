@@ -76,6 +76,9 @@ pub struct ScenarioReport {
     pub protocol: String,
     /// Node count.
     pub n: usize,
+    /// Execution backend the run used (`serial`, `pool`, `sharded`).
+    /// Trajectories are backend-independent; recorded for provenance.
+    pub backend: String,
     /// Engine worker threads the run used (1 = serial executor).
     pub threads: usize,
     /// Statistics mode the run used, as a stable string.
@@ -133,7 +136,7 @@ impl ScenarioReport {
         let mut out = String::new();
         out.push_str(&format!(
             "{{\"schema\": \"dlb-scenario/1\", \"scenario\": \"{}\", \"protocol\": \"{}\", \
-             \"n\": {}, \"threads\": {}, \"stats\": \"{}\", \"rounds\": {}, \"stop\": \"{}\", \
+             \"n\": {}, \"backend\": \"{}\", \"threads\": {}, \"stats\": \"{}\", \"rounds\": {}, \"stop\": \"{}\", \
              \"initial_total\": {}, \"final_total\": {}, \"injected_total\": {}, \
              \"consumed_total\": {}, \"migrated_total\": {}, \"conservation_error\": {}, \
              \"phi_initial\": {}, \"phi_final\": {}, \"steady_window\": {}, \
@@ -141,6 +144,7 @@ impl ScenarioReport {
             esc(&self.scenario),
             esc(&self.protocol),
             self.n,
+            esc(&self.backend),
             self.threads,
             esc(&self.stats),
             self.rounds,
@@ -178,8 +182,8 @@ impl ScenarioReport {
     pub fn summary(&self) -> String {
         let mut out = String::new();
         out.push_str(&format!(
-            "scenario {} · {} · n = {} · {} thread(s) · stats {}\n",
-            self.scenario, self.protocol, self.n, self.threads, self.stats
+            "scenario {} · {} · n = {} · {} backend · {} thread(s) · stats {}\n",
+            self.scenario, self.protocol, self.n, self.backend, self.threads, self.stats
         ));
         out.push_str(&format!(
             "stopped after {} round(s): {}\n",
@@ -237,6 +241,7 @@ mod tests {
             scenario: "s".into(),
             protocol: "alg1-cont".into(),
             n: 4,
+            backend: "serial".into(),
             threads: 1,
             stats: "full".into(),
             rounds: 2,

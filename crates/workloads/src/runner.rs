@@ -25,7 +25,9 @@
 use std::collections::VecDeque;
 
 use crate::report::{RoundRecord, ScenarioReport, SteadyBand, StopReason};
-use crate::scenario::{compile_workloads, ProtocolSpec, Scenario, StopSpec};
+use crate::scenario::{
+    compile_workloads, exec_from_threads, validate_exec, ExecSpec, ProtocolSpec, Scenario, StopSpec,
+};
 use crate::workload::{ScenarioLoad, Workload, WorkloadCtx};
 use dlb_core::continuous::ContinuousDiffusion;
 use dlb_core::discrete::DiscreteDiffusion;
@@ -216,6 +218,7 @@ where
         scenario: name.to_string(),
         protocol: engine.protocol().name().to_string(),
         n: engine.protocol().n(),
+        backend: engine.backend().name().to_string(),
         threads: engine.threads(),
         stats: stats_mode_name(engine.stats_mode()),
         rounds: records.len(),
@@ -231,12 +234,8 @@ where
     }
 }
 
-fn build_engine<P: Protocol + Sync>(protocol: P, threads: usize, stats: StatsMode) -> Engine<P> {
-    let engine = match threads {
-        1 => Engine::serial(protocol),
-        t => Engine::parallel(protocol, t),
-    };
-    engine.with_stats_mode(stats)
+fn build_engine<P: Protocol + Sync>(protocol: P, exec: ExecSpec, stats: StatsMode) -> Engine<P> {
+    Engine::with_backend(protocol, exec).with_stats_mode(stats)
 }
 
 /// Runs a [`Scenario`], with optional engine overrides for replaying the
@@ -245,7 +244,7 @@ fn build_engine<P: Protocol + Sync>(protocol: P, threads: usize, stats: StatsMod
 #[derive(Debug, Clone)]
 pub struct ScenarioRunner {
     scenario: Scenario,
-    threads: Option<usize>,
+    exec: Option<ExecSpec>,
     stats: Option<StatsMode>,
 }
 
@@ -254,14 +253,20 @@ impl ScenarioRunner {
     pub fn new(scenario: Scenario) -> Self {
         ScenarioRunner {
             scenario,
-            threads: None,
+            exec: None,
             stats: None,
         }
     }
 
-    /// Overrides the scenario's thread count for this run.
-    pub fn with_threads(mut self, threads: usize) -> Self {
-        self.threads = Some(threads);
+    /// Overrides the scenario's executor for this run through the legacy
+    /// `threads` scalar (see [`exec_from_threads`]).
+    pub fn with_threads(self, threads: usize) -> Self {
+        self.with_exec(exec_from_threads(threads))
+    }
+
+    /// Overrides the scenario's execution backend for this run.
+    pub fn with_exec(mut self, exec: ExecSpec) -> Self {
+        self.exec = Some(exec);
         self
     }
 
@@ -277,9 +282,12 @@ impl ScenarioRunner {
     pub fn run(&self) -> Result<ScenarioReport, String> {
         let sc = &self.scenario;
         sc.validate()?;
+        let exec = self.exec.unwrap_or(sc.exec);
+        // The scenario's own exec was just validated; an override comes in
+        // unchecked and must not panic inside the engine constructor.
+        validate_exec(&exec)?;
         let g = sc.topology.build();
         let n = g.n();
-        let threads = self.threads.unwrap_or(sc.threads);
         let stats = self.stats.unwrap_or(sc.stats);
         let mut rng = StdRng::seed_from_u64(sc.init.seed);
 
@@ -290,7 +298,7 @@ impl ScenarioRunner {
                 let workload = workload.as_mut().map(|w| w as &mut dyn Workload<f64>);
                 match &sc.sequence {
                     None => {
-                        let mut engine = build_engine(ContinuousDiffusion::new(&g), threads, stats);
+                        let mut engine = build_engine(ContinuousDiffusion::new(&g), exec, stats);
                         Ok(run_driven(
                             &mut engine,
                             &mut loads,
@@ -302,7 +310,7 @@ impl ScenarioRunner {
                     Some(spec) => {
                         let mut seq = spec.build(g.clone());
                         let mut engine =
-                            build_engine(DynamicContinuousDiffusion::new(&mut seq), threads, stats);
+                            build_engine(DynamicContinuousDiffusion::new(&mut seq), exec, stats);
                         Ok(run_driven(
                             &mut engine,
                             &mut loads,
@@ -321,7 +329,7 @@ impl ScenarioRunner {
                 let workload = workload.as_mut().map(|w| w as &mut dyn Workload<i64>);
                 match &sc.sequence {
                     None => {
-                        let mut engine = build_engine(DiscreteDiffusion::new(&g), threads, stats);
+                        let mut engine = build_engine(DiscreteDiffusion::new(&g), exec, stats);
                         Ok(run_driven(
                             &mut engine,
                             &mut loads,
@@ -333,7 +341,7 @@ impl ScenarioRunner {
                     Some(spec) => {
                         let mut seq = spec.build(g.clone());
                         let mut engine =
-                            build_engine(DynamicDiscreteDiffusion::new(&mut seq), threads, stats);
+                            build_engine(DynamicDiscreteDiffusion::new(&mut seq), exec, stats);
                         Ok(run_driven(
                             &mut engine,
                             &mut loads,
@@ -349,8 +357,7 @@ impl ScenarioRunner {
                 let mut loads = init::continuous_loads(n, sc.init.avg, sc.init.dist, &mut rng);
                 let mut workload = compile_workloads::<f64>(&sc.workloads, n);
                 let workload = workload.as_mut().map(|w| w as &mut dyn Workload<f64>);
-                let mut engine =
-                    build_engine(HeterogeneousDiffusion::new(&g, caps), threads, stats);
+                let mut engine = build_engine(HeterogeneousDiffusion::new(&g, caps), exec, stats);
                 Ok(run_driven(
                     &mut engine,
                     &mut loads,

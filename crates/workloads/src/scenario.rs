@@ -12,12 +12,13 @@
 use crate::workload::{
     zipf_weights, Arrivals, Compose, Drain, Placement, RatePattern, ScenarioLoad, Workload,
 };
-use dlb_core::engine::StatsMode;
+use dlb_core::engine::{Backend, StatsMode};
 use dlb_core::init;
 use dlb_dynamics::{
     GraphSequence, IidSubgraphSequence, MarkovChurnSequence, MatchingOnlySequence, OutageSequence,
     StaticSequence,
 };
+use dlb_graphs::PartitionSpec;
 use dlb_graphs::{topology, Graph};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -500,6 +501,103 @@ pub fn compile_workloads<L: ScenarioLoad>(specs: &[WorkloadSpec], n: usize) -> O
     }
 }
 
+/// How a scenario executes: the engine [`Backend`] carried declaratively
+/// (`backend = "serial" | "pool" | "sharded"` in scenario files, with
+/// `threads`, `shards`, and `partition = "range" | "bfs"` as applicable).
+/// It is exactly `dlb_core`'s [`Backend`] — plain `Copy` data, so
+/// scenarios stay printable, diffable, and replayable.
+pub type ExecSpec = Backend;
+
+/// Maps the legacy `threads` scalar onto an [`ExecSpec`]: `1` = the
+/// serial executor (the historical default), anything else = the flat
+/// pool (`0` = auto worker count). Scenario files without an explicit
+/// `backend` key parse through this, and
+/// [`crate::runner::ScenarioRunner::with_threads`] overrides through it.
+pub fn exec_from_threads(threads: usize) -> ExecSpec {
+    match threads {
+        1 => ExecSpec::Serial,
+        t => ExecSpec::Pool { threads: t },
+    }
+}
+
+/// Parses a partition strategy name (`range`, `bfs`) into a
+/// [`PartitionSpec`] over `shards ≥ 1`.
+pub fn partition_from_name(name: &str, shards: usize) -> Result<PartitionSpec, String> {
+    if shards == 0 {
+        return Err("sharded backend needs shards >= 1".into());
+    }
+    match name {
+        "range" => Ok(PartitionSpec::Range { shards }),
+        "bfs" => Ok(PartitionSpec::Bfs { shards }),
+        other => Err(format!(
+            "unknown partition strategy {other:?} (expected range or bfs)"
+        )),
+    }
+}
+
+/// Validates an [`ExecSpec`] (shared by [`Scenario::validate`] and the
+/// runner's override path, so a bad programmatic override errors instead
+/// of panicking inside the engine constructor).
+pub fn validate_exec(exec: &ExecSpec) -> Result<(), String> {
+    if let ExecSpec::Sharded { partition, .. } = exec {
+        if partition.shards() == 0 {
+            return Err("sharded backend needs shards >= 1".into());
+        }
+    }
+    Ok(())
+}
+
+/// Assembles an [`ExecSpec`] from the four declarative parts every entry
+/// point exposes — the `backend`/`threads`/`shards`/`partition` keys of a
+/// scenario file, or the CLI flags of the same names. This is the single
+/// home of the gating rules (`shards`/`partition` only with the sharded
+/// backend, `serial` is one thread, `partition` defaults to `range`,
+/// `threads` defaults to auto for pool/sharded), so file parsing and CLI
+/// overrides cannot drift apart.
+pub fn exec_spec_from_parts(
+    backend: Option<&str>,
+    threads: Option<usize>,
+    shards: Option<usize>,
+    partition: Option<&str>,
+) -> Result<ExecSpec, String> {
+    let reject_shard_keys = || -> Result<(), String> {
+        if shards.is_some() || partition.is_some() {
+            return Err("shards/partition are only valid with backend = \"sharded\"".into());
+        }
+        Ok(())
+    };
+    match backend {
+        None => {
+            reject_shard_keys()?;
+            Ok(exec_from_threads(threads.unwrap_or(1)))
+        }
+        Some("serial") => {
+            reject_shard_keys()?;
+            if threads.is_some_and(|t| t != 1) {
+                return Err("backend \"serial\" runs one thread (drop the threads key or use backend = \"pool\")".into());
+            }
+            Ok(ExecSpec::Serial)
+        }
+        Some("pool") => {
+            reject_shard_keys()?;
+            Ok(ExecSpec::Pool {
+                threads: threads.unwrap_or(0),
+            })
+        }
+        Some("sharded") => {
+            let shards = shards.ok_or("backend \"sharded\" needs shards")?;
+            let partition = partition_from_name(partition.unwrap_or("range"), shards)?;
+            Ok(ExecSpec::Sharded {
+                partition,
+                threads: threads.unwrap_or(0),
+            })
+        }
+        Some(other) => Err(format!(
+            "unknown backend {other:?} (expected serial, pool, or sharded)"
+        )),
+    }
+}
+
 /// When a scenario run ends.
 #[derive(Debug, Clone, PartialEq)]
 pub enum StopSpec {
@@ -568,9 +666,9 @@ pub struct Scenario {
     pub workloads: Vec<WorkloadSpec>,
     /// Engine statistics mode.
     pub stats: StatsMode,
-    /// Engine worker threads: `1` = serial executor (the default), `0` =
-    /// parallel with auto thread count, `t > 1` = parallel with `t`.
-    pub threads: usize,
+    /// Execution backend (serial / pool / sharded). Trajectories are
+    /// bit-identical across backends; this only chooses the executor.
+    pub exec: ExecSpec,
     /// Stop condition.
     pub stop: StopSpec,
 }
@@ -591,7 +689,7 @@ impl Scenario {
             },
             workloads: Vec::new(),
             stats: StatsMode::Full,
-            threads: 1,
+            exec: ExecSpec::Serial,
             stop: StopSpec::Rounds { rounds: 100 },
         }
     }
@@ -620,9 +718,15 @@ impl Scenario {
         self
     }
 
-    /// Sets the worker-thread count (see the `threads` field).
-    pub fn with_threads(mut self, threads: usize) -> Self {
-        self.threads = threads;
+    /// Sets the executor from the legacy `threads` scalar (see
+    /// [`exec_from_threads`]).
+    pub fn with_threads(self, threads: usize) -> Self {
+        self.with_exec(exec_from_threads(threads))
+    }
+
+    /// Sets the execution backend.
+    pub fn with_exec(mut self, exec: ExecSpec) -> Self {
+        self.exec = exec;
         self
     }
 
@@ -723,6 +827,7 @@ impl Scenario {
                 return Err("stats every:k needs k >= 1".into());
             }
         }
+        validate_exec(&self.exec)?;
         Ok(())
     }
 
@@ -730,6 +835,7 @@ impl Scenario {
     pub fn builtin_names() -> &'static [&'static str] {
         &[
             "bursty-torus",
+            "bursty-torus-sharded",
             "zipf-hypercube-drain",
             "diurnal-cycle",
             "adversarial-hetero",
@@ -743,6 +849,9 @@ impl Scenario {
     ///
     /// * `bursty-torus` — continuous diffusion on a 16×16 torus under
     ///   on/off bursts with proportional service; runs to steady state;
+    /// * `bursty-torus-sharded` — the same regime on the sharded backend
+    ///   (8 BFS-grown shards, 2 workers); its trajectory is bit-identical
+    ///   to `bursty-torus`, which the CI cross-backend smoke asserts;
     /// * `zipf-hypercube-drain` — discrete tokens on `Q_8` with Zipf
     ///   hotspot arrivals against a fixed per-node service capacity;
     /// * `diurnal-cycle` — continuous diffusion on a cycle under a
@@ -776,6 +885,14 @@ impl Scenario {
                 tol: 0.2,
                 max_rounds: 2000,
             }),
+            "bursty-torus-sharded" => {
+                let mut s = Scenario::builtin("bursty-torus").expect("base builtin exists");
+                s.name = "bursty-torus-sharded".into();
+                s.with_exec(ExecSpec::Sharded {
+                    partition: PartitionSpec::Bfs { shards: 8 },
+                    threads: 2,
+                })
+            }
             "zipf-hypercube-drain" => Scenario::new(
                 "zipf-hypercube-drain",
                 TopologySpec::Hypercube { dim: 8 },

@@ -12,20 +12,76 @@
 //! Options:
 //!
 //! * `--name <builtin>` / `--file <path>` — which scenario to run;
-//! * `--threads <t>` — override the scenario's executor (1 = serial,
-//!   0 = auto-parallel);
+//! * `--backend <serial|pool|sharded>` — override the scenario's
+//!   execution backend (trajectories are backend-independent, so this is
+//!   safe to vary freely — the CI cross-backend smoke relies on it);
+//! * `--threads <t>` — worker count (with `--backend`, refines it; alone
+//!   it is the legacy scalar: 1 = serial, 0 = auto-pool, t > 1 = pool);
+//! * `--shards <k>` / `--partition <range|bfs>` — sharded-backend
+//!   parameters (`--shards` implies `--backend sharded`);
 //! * `--json <path>` — also write the report as JSON lines
 //!   (schema `dlb-scenario/1`; the CI smoke job asserts the conservation
 //!   invariant from this output);
 //! * `--print-spec` — echo the scenario back in canonical TOML before
-//!   running (what you'd commit as a fixture);
-//! * `--list` — list the built-in scenarios.
+//!   running (what you'd commit as a fixture — including the `backend` /
+//!   `shards` / `partition` keys of the exec spec);
+//! * `--list` — list the built-in scenarios with their exec spec.
 //!
 //! Exits non-zero if the run violates load conservation, so the example
 //! doubles as an end-to-end smoke check.
 
 use dlb_examples::{arg_value, log_sparkline};
-use dlb_workloads::{Scenario, ScenarioRunner};
+use dlb_workloads::{exec_spec_from_parts, ExecSpec, Scenario, ScenarioRunner};
+
+/// Human-readable exec-spec summary for `--list`.
+fn exec_summary(exec: &ExecSpec) -> String {
+    match *exec {
+        ExecSpec::Serial => "serial".to_string(),
+        ExecSpec::Pool { threads: 0 } => "pool(auto)".to_string(),
+        ExecSpec::Pool { threads } => format!("pool({threads})"),
+        ExecSpec::Sharded { partition, threads } => format!(
+            "sharded({} x{}, {} workers)",
+            partition.strategy_name(),
+            partition.shards(),
+            if threads == 0 {
+                "auto".to_string()
+            } else {
+                threads.to_string()
+            }
+        ),
+    }
+}
+
+/// Builds the exec-spec override from `--backend`/`--threads`/`--shards`/
+/// `--partition`, or `None` when no exec flag was given. The gating rules
+/// live in `dlb_workloads::exec_spec_from_parts`, shared with the
+/// scenario-file parser; the one CLI-only convenience is that `--shards`
+/// or `--partition` imply `--backend sharded`.
+fn exec_override() -> Option<ExecSpec> {
+    let fail = |msg: &str| -> ! {
+        eprintln!("{msg}");
+        std::process::exit(2);
+    };
+    let threads: Option<usize> = arg_value("--threads").map(|t| {
+        t.parse()
+            .unwrap_or_else(|_| fail("--threads must be an integer"))
+    });
+    let shards: Option<usize> = arg_value("--shards").map(|s| {
+        s.parse()
+            .unwrap_or_else(|_| fail("--shards must be an integer"))
+    });
+    let strategy = arg_value("--partition");
+    let backend = arg_value("--backend")
+        .or_else(|| (shards.is_some() || strategy.is_some()).then(|| "sharded".to_string()));
+    if backend.is_none() {
+        return threads
+            .map(|t| exec_spec_from_parts(None, Some(t), None, None).unwrap_or_else(|e| fail(&e)));
+    }
+    Some(
+        exec_spec_from_parts(backend.as_deref(), threads, shards, strategy.as_deref())
+            .unwrap_or_else(|e| fail(&e)),
+    )
+}
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -34,13 +90,18 @@ fn main() {
         for name in Scenario::builtin_names() {
             let s = Scenario::builtin(name).expect("builtin exists");
             println!(
-                "  {name:<22} {} on {} (n = {}), {} workload component(s)",
+                "  {name:<22} {} on {} (n = {}), {} workload component(s), exec {}",
                 s.protocol.name(),
                 s.topology.kind(),
                 s.topology.n(),
-                s.workloads.len()
+                s.workloads.len(),
+                exec_summary(&s.exec),
             );
         }
+        println!(
+            "\nexec overrides: --backend serial|pool|sharded, --threads t, \
+             --shards k, --partition range|bfs"
+        );
         return;
     }
 
@@ -60,7 +121,11 @@ fn main() {
             })
         }
         _ => {
-            eprintln!("usage: scenarios (--name <builtin> | --file <path>) [--threads t] [--json out.jsonl] [--print-spec] [--list]");
+            eprintln!(
+                "usage: scenarios (--name <builtin> | --file <path>) \
+                 [--backend serial|pool|sharded] [--threads t] [--shards k] \
+                 [--partition range|bfs] [--json out.jsonl] [--print-spec] [--list]"
+            );
             std::process::exit(2);
         }
     };
@@ -71,12 +136,8 @@ fn main() {
     }
 
     let mut runner = ScenarioRunner::new(scenario);
-    if let Some(threads) = arg_value("--threads") {
-        let threads: usize = threads.parse().unwrap_or_else(|_| {
-            eprintln!("--threads must be an integer");
-            std::process::exit(2);
-        });
-        runner = runner.with_threads(threads);
+    if let Some(exec) = exec_override() {
+        runner = runner.with_exec(exec);
     }
 
     let report = runner.run().unwrap_or_else(|e| {

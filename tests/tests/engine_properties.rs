@@ -1,8 +1,9 @@
 //! Engine-level property tests: for **every** `Protocol` implementation in
-//! the workspace, the serial and parallel executors must produce
-//! bit-identical load vectors on arbitrary graphs, initial loads, and
-//! thread counts — the structural guarantee the unified engine owes the
-//! paper's determinism story.
+//! the workspace, all three executor backends — serial, pool, and sharded
+//! (both range and BFS partitions, including shard counts exceeding `n`)
+//! — must produce bit-identical load vectors **and per-round statistics**
+//! on arbitrary graphs, initial loads, and thread counts — the structural
+//! guarantee the unified engine owes the paper's determinism story.
 //!
 //! Randomized protocols participate too: their RNG lives inside the
 //! protocol and `begin_round` runs before the gather fans out, so equal
@@ -10,13 +11,14 @@
 
 use dlb_baselines::{
     ChebyshevContinuous, FirstOrderContinuous, FirstOrderDiscrete, MatchingExchangeContinuous,
-    MatchingExchangeDiscrete, MatchingKind, SecondOrderContinuous,
+    MatchingExchangeDiscrete, MatchingKind, SecondOrderContinuous, SequentialComparator,
 };
 use dlb_core::continuous::{ContinuousDiffusion, GeneralizedDiffusion};
 use dlb_core::discrete::DiscreteDiffusion;
-use dlb_core::engine::{Engine, Protocol};
+use dlb_core::engine::{Backend, Engine, Protocol};
 use dlb_core::heterogeneous::{HeterogeneousDiffusion, HeterogeneousDiscreteDiffusion};
 use dlb_core::random_partner::{RandomPartnerContinuous, RandomPartnerDiscrete};
+use dlb_graphs::PartitionSpec;
 use dlb_graphs::{topology, Graph};
 use proptest::prelude::*;
 
@@ -52,25 +54,54 @@ fn graph_and_tokens() -> impl Strategy<Value = (Graph, Vec<i64>, usize)> {
     })
 }
 
-/// Runs `rounds` rounds serially and in parallel from the same state and
-/// asserts bitwise equality of the final vectors.
+/// Runs `rounds` rounds on one engine, collecting the per-round
+/// statistics alongside the final loads.
+fn run_collecting<P: Protocol>(
+    mut engine: Engine<P>,
+    init: &[P::Load],
+    rounds: usize,
+) -> (Vec<P::Load>, Vec<Option<P::Stats>>) {
+    let mut loads = init.to_vec();
+    let stats = (0..rounds).map(|_| engine.round(&mut loads)).collect();
+    (loads, stats)
+}
+
+/// Runs `rounds` rounds on every backend — serial, pool, sharded/range,
+/// sharded/BFS (with one shard count near the thread count and one
+/// exceeding `n`) — from the same state and asserts bitwise equality of
+/// the final vectors *and* of every round's statistics.
 fn assert_bit_identical<P, M>(make: M, init: &[P::Load], threads: usize, rounds: usize)
 where
     P: Protocol + Sync,
+    P::Stats: PartialEq + std::fmt::Debug,
     M: Fn() -> P,
 {
-    let mut serial = init.to_vec();
-    let mut serial_engine = Engine::serial(make());
-    serial_engine.rounds(&mut serial, rounds);
-    let mut parallel = init.to_vec();
-    let mut parallel_engine = Engine::parallel(make(), threads);
-    parallel_engine.rounds(&mut parallel, rounds);
-    assert_eq!(
-        serial,
-        parallel,
-        "{}: serial and parallel executors diverged at {threads} threads",
-        serial_engine.protocol().name()
-    );
+    let (serial, serial_stats) = run_collecting(Engine::serial(make()), init, rounds);
+    let name = make().name();
+
+    let shard_counts = [threads + 1, init.len() + 3]; // incl. shards > n
+    let mut backends = vec![Backend::Pool { threads }];
+    for shards in shard_counts {
+        backends.push(Backend::Sharded {
+            partition: PartitionSpec::Range { shards },
+            threads,
+        });
+        backends.push(Backend::Sharded {
+            partition: PartitionSpec::Bfs { shards },
+            threads,
+        });
+    }
+    for backend in backends {
+        let (loads, stats) = run_collecting(Engine::with_backend(make(), backend), init, rounds);
+        assert_eq!(
+            serial, loads,
+            "{name}: serial and {backend:?} loads diverged at {threads} threads"
+        );
+        assert_eq!(
+            serial_stats, stats,
+            "{name}: serial and {backend:?} statistics diverged at {threads} threads"
+        );
+    }
 }
 
 proptest! {
@@ -171,6 +202,24 @@ proptest! {
             &tokens,
             threads,
             6,
+        );
+    }
+
+    #[test]
+    fn greedy_sequential_serial_parallel_identical(
+        (g, loads, threads) in graph_and_loads(),
+        seed in 0u64..1_000_000,
+    ) {
+        // The whole round materializes in begin_round (the chain replay IS
+        // the protocol); the gather just reads the result buffer, so every
+        // backend must agree trivially — worth pinning precisely because
+        // the kernel's data dependence is unlike every other protocol's.
+        use dlb_core::seq::AdaptiveOrder;
+        assert_bit_identical(
+            || SequentialComparator::new(&g, AdaptiveOrder::Random, seed),
+            &loads,
+            threads,
+            4,
         );
     }
 
