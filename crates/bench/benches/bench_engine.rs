@@ -14,6 +14,13 @@
 //!   carries the plan's `edge_cut` and `halo` size in the JSON, so the
 //!   perf trajectory tracks communication volume alongside per-round ms —
 //!   the numbers a distributed backend's exchange step would pay;
+//! - **message_round** — one `Engine::round` on the message-passing
+//!   backend (one shard-isolated worker per shard, halo values crossing
+//!   shards only as batched channel messages). Each record additionally
+//!   carries the round's actual `messages` and `values_sent`, measuring
+//!   what shard isolation costs on shared memory relative to
+//!   `sharded_round`'s zero-copy scatter — the gap is the price of the
+//!   ownership transfer plus the exchange itself;
 //! - **convergence_run** — a fixed-round end-to-end run through
 //!   `run_continuous` (driver + on-demand `Φ` fallback included), the
 //!   number the ROADMAP's speedup targets are stated against;
@@ -49,9 +56,12 @@ struct Meta {
     variant: String,
     rounds_per_iter: usize,
     threads: usize,
-    /// Sharded variants: the plan's edge cut and halo size.
+    /// Sharded/message variants: the plan's edge cut and halo size.
     edge_cut: Option<usize>,
     halo: Option<usize>,
+    /// Message variants: per-round batched messages and values moved.
+    messages: Option<usize>,
+    values_sent: Option<usize>,
 }
 
 impl Meta {
@@ -63,6 +73,8 @@ impl Meta {
             threads,
             edge_cut: None,
             halo: None,
+            messages: None,
+            values_sent: None,
         }
     }
 }
@@ -202,6 +214,48 @@ fn sharded_rounds(c: &mut Criterion, inst: &Instance, meta: &mut HashMap<String,
     group.finish();
 }
 
+fn message_rounds(c: &mut Criterion, inst: &Instance, meta: &mut HashMap<String, Meta>) {
+    let mut group = c.benchmark_group("message_round");
+    let workers = pool_sizes().last().copied().unwrap_or(2);
+
+    let mut specs = vec![PartitionSpec::Range {
+        shards: workers.max(2),
+    }];
+    for shards in [workers.max(2), 4 * workers.max(2)] {
+        specs.push(PartitionSpec::Bfs { shards });
+    }
+    for spec in specs {
+        for mode in [StatsMode::Full, StatsMode::Off] {
+            let variant = format!(
+                "{}{}w/{}",
+                spec.strategy_name(),
+                spec.shards(),
+                mode_name(mode)
+            );
+            let mut engine = ContinuousDiffusion::new(&inst.g)
+                .engine_message(spec)
+                .with_stats_mode(mode);
+            let mut loads = inst.init.clone();
+            // Warm one round so the exchange plan exists and the comm
+            // metadata (messages, values moved — the numbers a
+            // distributed transport would pay) rides along in the JSON.
+            engine.round(&mut loads);
+            let metrics = engine.shard_metrics().expect("plan derived");
+            let comm = engine.comm_metrics().expect("comm recorded");
+            let mut m = Meta::new("message_round", variant.clone(), 1, spec.shards());
+            m.edge_cut = Some(metrics.edge_cut);
+            m.halo = Some(metrics.halo);
+            m.messages = Some(comm.messages);
+            m.values_sent = Some(comm.values_sent);
+            meta.insert(format!("message_round/{variant}"), m);
+            group.bench_function(variant, |b| {
+                b.iter(|| black_box(engine.round(&mut loads).map(|s| s.phi_after)));
+            });
+        }
+    }
+    group.finish();
+}
+
 fn convergence_runs(
     c: &mut Criterion,
     inst: &Instance,
@@ -326,6 +380,7 @@ fn main() {
     gather_kernels(&mut c, &inst, &mut meta);
     engine_rounds(&mut c, &inst, &mut meta);
     sharded_rounds(&mut c, &inst, &mut meta);
+    message_rounds(&mut c, &inst, &mut meta);
     convergence_runs(&mut c, &inst, conv_rounds, &mut meta);
     scenario_runs(&mut c, &inst, conv_rounds, &mut meta);
 
@@ -353,6 +408,8 @@ fn main() {
                 samples: r.samples,
                 edge_cut: m.edge_cut,
                 halo: m.halo,
+                messages: m.messages,
+                values_sent: m.values_sent,
             })
         })
         .collect();

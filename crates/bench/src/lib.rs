@@ -71,12 +71,19 @@ pub mod perf_json {
         pub min_ns_per_round: f64,
         /// Timed samples behind the figures.
         pub samples: usize,
-        /// Sharded-backend only: edges crossing shards in the plan the
-        /// variant executed (communication volume). Omitted from the JSON
-        /// when absent.
+        /// Sharded/message-backend only: edges crossing shards in the
+        /// plan the variant executed (communication volume). Omitted from
+        /// the JSON when absent.
         pub edge_cut: Option<usize>,
-        /// Sharded-backend only: total halo entries exchanged per round.
+        /// Sharded/message-backend only: total halo entries exchanged per
+        /// round.
         pub halo: Option<usize>,
+        /// Message-backend only: batched shard→shard messages posted per
+        /// round.
+        pub messages: Option<usize>,
+        /// Message-backend only: load values carried by those messages
+        /// per round.
+        pub values_sent: Option<usize>,
     }
 
     fn esc(s: &str) -> String {
@@ -116,6 +123,12 @@ pub mod perf_json {
             }
             if let Some(halo) = r.halo {
                 shard_meta.push_str(&format!(", \"halo\": {halo}"));
+            }
+            if let Some(messages) = r.messages {
+                shard_meta.push_str(&format!(", \"messages\": {messages}"));
+            }
+            if let Some(values) = r.values_sent {
+                shard_meta.push_str(&format!(", \"values_sent\": {values}"));
             }
             out.push_str(&format!(
                 "    {{\"id\": \"{}\", \"group\": \"{}\", \"variant\": \"{}\", \

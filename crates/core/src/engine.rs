@@ -1,7 +1,7 @@
 //! The unified round engine: one [`Protocol`] abstraction and one
 //! backend-generic executor ([`Backend::Serial`], [`Backend::Pool`],
-//! [`Backend::Sharded`]), shared by every balancing scheme in the
-//! workspace.
+//! [`Backend::Sharded`], [`Backend::Message`]), shared by every balancing
+//! scheme in the workspace.
 //!
 //! ### The shape of a round (zero-copy, double-buffered)
 //!
@@ -18,13 +18,16 @@
 //!    the round-start loads by [`Protocol::node_new_load`]. This is the hot
 //!    loop, and the only step the executors differ on: the serial backend
 //!    walks `0..n`, the pool backend splits the node range into contiguous
-//!    chunks over a persistent [`WorkerPool`], and the sharded backend
+//!    chunks over a persistent [`WorkerPool`], the sharded backend
 //!    assigns whole graph-partition shards to persistent workers (interior
 //!    nodes first, then boundary nodes — with edge-cut/halo accounting per
-//!    round, see [`Engine::shard_metrics`]). Because all three evaluate
-//!    the *same* kernel per node in the *same* per-node operation
-//!    order, their results are **bit-identical** — the workspace's serial
-//!    ≡ parallel ≡ sharded invariant. The gather writes into the engine's **back
+//!    round, see [`Engine::shard_metrics`]), and the message backend runs
+//!    one shard-owning worker per shard with boundary loads crossing
+//!    shards as batched messages (see [`Engine::comm_metrics`]). Because
+//!    all four evaluate the *same* kernel per node in the *same* per-node
+//!    operation order, their results are **bit-identical** — the
+//!    workspace's serial ≡ parallel ≡ sharded ≡ message invariant. The
+//!    shared-memory backends write into the engine's **back
 //!    buffer**, so the caller's vector doubles as the immutable snapshot:
 //!    there is *no per-round `O(n)` snapshot copy*. After the gather the
 //!    two buffers **swap** (`Vec::swap`, `O(1)`): the caller's vector now
@@ -74,7 +77,7 @@ use std::sync::OnceLock;
 use std::thread::JoinHandle;
 
 use crate::potential;
-use dlb_graphs::partition::{graph_fingerprint, PartitionSpec, ShardPlan};
+use dlb_graphs::partition::{graph_fingerprint, PartitionSpec, ShardPlan, ShardView};
 use dlb_graphs::Graph;
 
 /// One synchronous balancing scheme, expressed as a per-round gather.
@@ -93,8 +96,10 @@ use dlb_graphs::Graph;
 /// tables), so this holds even for `!Sync` protocols.
 pub trait Protocol {
     /// The load value type: `f64` for continuous schemes, `i64` tokens for
-    /// discrete ones.
-    type Load: Copy + Default + PartialEq + Send + Sync + std::fmt::Debug + LoadPotential;
+    /// discrete ones. (`'static` because the message-passing backend's
+    /// long-lived shard workers own load buffers beyond any one round's
+    /// borrows — trivially satisfied by the plain scalar load types.)
+    type Load: Copy + Default + PartialEq + Send + Sync + std::fmt::Debug + LoadPotential + 'static;
 
     /// Per-round statistics produced by [`Protocol::compute_stats`].
     type Stats;
@@ -163,6 +168,14 @@ pub trait Protocol {
     /// blind contiguous range plan — still bit-identical, just without
     /// halo accounting (e.g. random-partner schemes, whose reads are not
     /// neighbourhood-local).
+    ///
+    /// Returning `Some(g)` is a **locality contract**, not just a hint:
+    /// [`Protocol::node_new_load`] for node `v` must read the snapshot
+    /// only at `v` and `v`'s neighbours in `g`. The message backend
+    /// relies on it hard — a shard worker's frame holds *only* its owned
+    /// and halo values, so a kernel reading outside `{v} ∪ N(v)` would
+    /// see stale data. Protocols with wider reads must return `None`
+    /// (the message backend then runs a full exchange).
     ///
     /// Only meaningful after [`Protocol::begin_round`] has run for the
     /// round (dynamic protocols draw their graph there).
@@ -372,11 +385,12 @@ impl<'a> StatsCtx<'a> {
 /// scenario files, and benches can carry the choice declaratively and
 /// build the executor at the last moment.
 ///
-/// All three backends produce **bit-identical** loads, Φ traces, and
+/// All four backends produce **bit-identical** loads, Φ traces, and
 /// statistics for every protocol: they evaluate the same kernel per node
 /// and reduce statistics in the same fixed block order; backends only
-/// decide *which worker* computes a node and what locality/communication
-/// accounting is available.
+/// decide *which worker* computes a node, how its input values reach it
+/// (shared snapshot vs. explicit messages), and what
+/// locality/communication accounting is available.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Backend {
     /// Single-threaded executor walking `0..n`.
@@ -397,16 +411,29 @@ pub enum Backend {
         /// Worker count (`0` = auto; clamped to the shard count).
         threads: usize,
     },
+    /// Message-passing execution: one long-lived worker **per shard**,
+    /// each owning only its shard's loads. During a round no worker
+    /// touches the global load vector — boundary loads travel as batched
+    /// per-neighbour-shard messages over typed channels (the
+    /// [`dlb_graphs::partition::ShardView::halo_groups`] schedule), with
+    /// per-round communication accounting via [`Engine::comm_metrics`].
+    /// The shared-memory rehearsal for a true distributed backend: after
+    /// this, "distributed" is a transport swap, not a redesign.
+    Message {
+        /// How the node set is partitioned into shards (= workers).
+        partition: PartitionSpec,
+    },
 }
 
 impl Backend {
-    /// Stable backend name (`serial`, `pool`, `sharded`) for reports and
-    /// scenario files.
+    /// Stable backend name (`serial`, `pool`, `sharded`, `message`) for
+    /// reports and scenario files.
     pub fn name(&self) -> &'static str {
         match self {
             Backend::Serial => "serial",
             Backend::Pool { .. } => "pool",
             Backend::Sharded { .. } => "sharded",
+            Backend::Message { .. } => "message",
         }
     }
 }
@@ -752,77 +779,642 @@ pub struct ShardMetrics {
     pub plans_built: u64,
 }
 
-/// How many memoized shard plans a sharded engine keeps before evicting
-/// the oldest. Periodic schedules cycle within the cache; fully random
-/// sequences (fresh graph every round) rebuild each round regardless.
+/// How many memoized shard plans a sharded or message engine keeps before
+/// evicting the oldest. Periodic schedules cycle within the cache; fully
+/// random sequences (fresh graph every round) rebuild each round
+/// regardless.
 const SHARD_PLAN_CACHE: usize = 32;
 
 /// Fingerprint key for the graph-free trivial plan.
 const TRIVIAL_PLAN_KEY: u64 = 0;
 
-struct ShardedExec<P: Protocol> {
-    pool: WorkerPool,
-    gather: ShardedGatherFn<P>,
+/// Fingerprint-keyed, capped-FIFO memoization of per-graph execution
+/// plans, shared by the sharded backend (`T = ShardPlan`) and the
+/// message backend (`T = Arc<MessagePlan>`): while the protocol's
+/// `graph_version` is unchanged the cached entry is reused without
+/// touching the graph; on a version change the graph is re-fingerprinted
+/// and either found in the cache (periodic schedules) or a new entry is
+/// built.
+#[derive(Debug)]
+struct PlanCache<T> {
     spec: PartitionSpec,
-    /// Memoized plans keyed by graph fingerprint, oldest first.
-    plans: Vec<(u64, ShardPlan)>,
-    /// Index into `plans` of the plan in use.
+    /// Memoized entries keyed by graph fingerprint, oldest first.
+    entries: Vec<(u64, T)>,
+    /// Index into `entries` of the entry in use (`usize::MAX` before the
+    /// first refresh).
     current: usize,
-    /// The protocol's `graph_version` the current plan was resolved for —
-    /// while it is unchanged, no re-fingerprinting happens.
+    /// The protocol's `graph_version` the current entry was resolved for.
     cached_version: Option<u64>,
-    plans_built: u64,
+    built: u64,
 }
 
-impl<P: Protocol> std::fmt::Debug for ShardedExec<P> {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("ShardedExec")
-            .field("spec", &self.spec)
-            .field("threads", &self.pool.threads())
-            .field("plans", &self.plans.len())
-            .field("plans_built", &self.plans_built)
-            .finish()
+impl<T> PlanCache<T> {
+    fn new(spec: PartitionSpec) -> Self {
+        PlanCache {
+            spec,
+            entries: Vec::new(),
+            current: usize::MAX,
+            cached_version: None,
+            built: 0,
+        }
     }
-}
 
-impl<P: Protocol> ShardedExec<P> {
-    /// Resolves the plan for the protocol's current graph, memoized per
-    /// distinct graph: while `graph_version` is unchanged the cached plan
-    /// is reused without touching the graph; on a version change the
-    /// graph is re-fingerprinted and either found in the cache (periodic
-    /// schedules) or a new plan is built (capped FIFO cache).
-    fn refresh_plan(&mut self, protocol: &P) {
+    /// Whether a current entry exists (false before the first round).
+    fn resolved(&self) -> bool {
+        self.current < self.entries.len()
+    }
+
+    fn current(&self) -> &T {
+        &self.entries[self.current].1
+    }
+
+    /// Resolves the entry for the protocol's current graph, building via
+    /// `build(spec, graph, n)` on a cache miss.
+    fn refresh<P: Protocol>(
+        &mut self,
+        protocol: &P,
+        build: impl FnOnce(&PartitionSpec, Option<&Graph>, usize) -> T,
+    ) {
         let version = protocol.graph_version();
-        if self.cached_version == Some(version) && self.current < self.plans.len() {
+        if self.cached_version == Some(version) && self.resolved() {
             return;
         }
         let (key, graph) = match protocol.current_graph() {
             Some(g) => (graph_fingerprint(g), Some(g)),
             None => (TRIVIAL_PLAN_KEY, None),
         };
-        let idx = match self.plans.iter().position(|(k, _)| *k == key) {
+        let idx = match self.entries.iter().position(|(k, _)| *k == key) {
             Some(i) => i,
             None => {
-                if self.plans.len() >= SHARD_PLAN_CACHE {
-                    self.plans.remove(0);
+                if self.entries.len() >= SHARD_PLAN_CACHE {
+                    self.entries.remove(0);
                 }
-                let plan = match graph {
-                    Some(g) => ShardPlan::build(g, &self.spec.build(g)),
-                    None => ShardPlan::trivial(protocol.n(), self.spec.shards()),
-                };
-                self.plans.push((key, plan));
-                self.plans_built += 1;
-                self.plans.len() - 1
+                let entry = build(&self.spec, graph, protocol.n());
+                self.entries.push((key, entry));
+                self.built += 1;
+                self.entries.len() - 1
             }
         };
         self.current = idx;
         self.cached_version = Some(version);
     }
+}
 
-    fn current_plan(&self) -> &ShardPlan {
-        &self.plans[self.current].1
+/// Builds the [`ShardPlan`] for a graph (or the trivial range plan when
+/// the protocol exposes none) — the `build` closure of both backends'
+/// [`PlanCache`].
+fn build_shard_plan(spec: &PartitionSpec, graph: Option<&Graph>, n: usize) -> ShardPlan {
+    match graph {
+        Some(g) => ShardPlan::build(g, &spec.build(g)),
+        None => ShardPlan::trivial(n, spec.shards()),
     }
 }
+
+struct ShardedExec<P: Protocol> {
+    pool: WorkerPool,
+    gather: ShardedGatherFn<P>,
+    plans: PlanCache<ShardPlan>,
+}
+
+impl<P: Protocol> std::fmt::Debug for ShardedExec<P> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ShardedExec")
+            .field("spec", &self.plans.spec)
+            .field("threads", &self.pool.threads())
+            .field("plans", &self.plans.entries.len())
+            .field("plans_built", &self.plans.built)
+            .finish()
+    }
+}
+
+impl<P: Protocol> ShardedExec<P> {
+    fn refresh_plan(&mut self, protocol: &P) {
+        self.plans.refresh(protocol, build_shard_plan);
+    }
+
+    fn current_plan(&self) -> &ShardPlan {
+        self.plans.current()
+    }
+}
+
+/// Per-round communication metrics of the message backend's most recent
+/// round (see [`Engine::comm_metrics`]). This is the telemetry a
+/// distributed deployment pays for real: the per-round exchange volume
+/// that communication-aware diffusive balancers optimize.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CommMetrics {
+    /// Shard workers in the round.
+    pub shards: usize,
+    /// Batched halo messages sent shard→shard this round (one per
+    /// ordered neighbour-shard pair with a nonempty exchange group).
+    pub messages: usize,
+    /// Total load values carried by those messages.
+    pub values_sent: usize,
+    /// `values_sent` in bytes of the load type — the wire volume a
+    /// distributed transport would move per round.
+    pub halo_bytes: usize,
+    /// Largest per-shard send volume (values) — the straggler bound on
+    /// the exchange step.
+    pub max_shard_values_sent: usize,
+}
+
+/// One batched exchange group's id list. Shared (`Arc`) because every
+/// list appears in two schedules — the receiver's `recv` and the mirror
+/// entry in the sender's `send` — and because full-exchange plans post
+/// the *same* owned block to every other shard: sharing keeps the
+/// schedule `O(halo)` / `O(n)` instead of materializing per-pair copies.
+type ExchangeIds = std::sync::Arc<Vec<u32>>;
+
+/// The exchange schedule of one message-backend plan, wrapped around the
+/// [`ShardPlan`] it was derived from and memoized per distinct graph
+/// exactly like the sharded backend's plans.
+#[derive(Debug)]
+struct MessagePlan {
+    /// The underlying shard plan: one view per shard
+    /// (interior/boundary classification and owned lists — the gather
+    /// order within a shard) plus the locality metrics.
+    plan: ShardPlan,
+    /// `send[s]` = this shard's posting schedule: `(dest, global ids)`
+    /// per neighbour shard, the mirror image of `recv[dest]`.
+    send: Vec<Vec<(usize, ExchangeIds)>>,
+    /// `recv[s]` = [`ShardView::halo_groups`] of shard `s` — one batched
+    /// message expected per entry.
+    recv: Vec<Vec<(usize, ExchangeIds)>>,
+    /// True for graph-less protocols (trivial plan): reads are not
+    /// neighbourhood-local, so every shard broadcasts its whole owned
+    /// block to every other computing shard and the gather waits for the
+    /// full exchange before computing anything.
+    full_exchange: bool,
+}
+
+impl MessagePlan {
+    fn build(spec: &PartitionSpec, graph: Option<&Graph>, n: usize) -> MessagePlan {
+        let plan = build_shard_plan(spec, graph, n);
+        let shards = plan.views().len();
+        let full_exchange = graph.is_none();
+        let recv: Vec<Vec<(usize, ExchangeIds)>> = if full_exchange {
+            // Non-local reads: every computing shard needs the whole
+            // vector, so its "halo" is every other shard's owned block —
+            // one shared id list per source, not one copy per pair.
+            let owned_blocks: Vec<ExchangeIds> = plan
+                .views()
+                .iter()
+                .map(|v| std::sync::Arc::new(v.owned().to_vec()))
+                .collect();
+            plan.views()
+                .iter()
+                .map(|view| {
+                    if view.owned().is_empty() {
+                        return Vec::new(); // nothing to compute, receive nothing
+                    }
+                    plan.views()
+                        .iter()
+                        .filter(|src| src.shard() != view.shard() && !src.owned().is_empty())
+                        .map(|src| (src.shard(), owned_blocks[src.shard()].clone()))
+                        .collect()
+                })
+                .collect()
+        } else {
+            plan.views()
+                .iter()
+                .map(|v| {
+                    v.halo_groups()
+                        .into_iter()
+                        .map(|(src, ids)| (src, std::sync::Arc::new(ids)))
+                        .collect()
+                })
+                .collect()
+        };
+        let mut send: Vec<Vec<(usize, ExchangeIds)>> = vec![Vec::new(); shards];
+        for (dest, groups) in recv.iter().enumerate() {
+            for (src, ids) in groups {
+                send[*src].push((dest, ids.clone()));
+            }
+        }
+        MessagePlan {
+            plan,
+            send,
+            recv,
+            full_exchange,
+        }
+    }
+
+    fn views(&self) -> &[ShardView] {
+        self.plan.views()
+    }
+}
+
+/// A lifetime-erased gather kernel shipped to a shard worker for one
+/// round. See the safety argument at the erasure site
+/// ([`make_message_kernel`]).
+type MsgKernel<L> = Box<dyn Fn(&[L], u32) -> L + Send + 'static>;
+
+/// [`MsgKernel`] before the lifetime erasure: still borrowing the
+/// protocol it wraps.
+type BorrowedMsgKernel<'p, L> = Box<dyn Fn(&[L], u32) -> L + Send + 'p>;
+
+/// Wraps `protocol.node_new_load` for one round, erasing the `&P` borrow
+/// to `'static`.
+///
+/// SAFETY (of the erasure, discharged by the caller protocol):
+/// [`Engine::round`] blocks until every worker has reported its round
+/// completion, and workers drop their kernel box *before* reporting — so
+/// the borrow of `protocol` never outlives the `round` call that created
+/// it. Same argument as [`WorkerPool::gather`]'s task erasure.
+fn make_message_kernel<P: Protocol + Sync>(protocol: &P) -> MsgKernel<P::Load> {
+    let kernel: BorrowedMsgKernel<'_, P::Load> =
+        Box::new(move |snapshot, v| protocol.node_new_load(snapshot, v));
+    unsafe { std::mem::transmute::<BorrowedMsgKernel<'_, P::Load>, MsgKernel<P::Load>>(kernel) }
+}
+
+/// Everything a shard worker can receive: plan updates and round
+/// commands from the coordinator, batched halo values from peer shards.
+enum ToWorker<L> {
+    /// A new exchange schedule (sent before the round that first uses it).
+    Plan(std::sync::Arc<MessagePlan>),
+    /// Execute one round: the kernel and this shard's round-start owned
+    /// values (ascending global id, parallel to the view's owned list).
+    Round { kernel: MsgKernel<L>, owned: Vec<L> },
+    /// Batched halo values from shard `src`, parallel to the id list both
+    /// sides derive from the current plan.
+    Halo { src: u32, values: Vec<L> },
+    /// Shut down the worker loop.
+    Exit,
+}
+
+/// What one shard-worker round produced.
+enum RoundOutcome<L> {
+    /// Normal completion (whether or not the kernel succeeded): the
+    /// worker reports and parks for the next round.
+    Report {
+        ok: bool,
+        results: Vec<L>,
+        messages: usize,
+        values_sent: usize,
+    },
+    /// The worker consumed `Exit` (or its channel closed) mid-round —
+    /// the engine is going away. It must still report a failed round to
+    /// release the coordinator's barrier, and then **terminate** rather
+    /// than re-park: its own `peers` clone of its sender keeps the
+    /// channel alive, so no disconnect (and no second `Exit`) would
+    /// ever wake it again, and `MessageExec::drop`'s join would hang.
+    Shutdown,
+}
+
+/// A shard worker's round report to the coordinator.
+struct WorkerDone<L> {
+    shard: usize,
+    /// False when the kernel panicked or a halo message was malformed;
+    /// the coordinator propagates this as a panic after the barrier.
+    ok: bool,
+    /// New loads of the owned nodes in gather order
+    /// (interior-then-boundary, exactly the shard's compute order).
+    results: Vec<L>,
+    /// Halo messages this shard posted this round.
+    messages: usize,
+    /// Values carried by those messages.
+    values_sent: usize,
+}
+
+/// One round of the shard worker, after its `Round` command arrived.
+/// Returns the round report, or signals worker shutdown.
+///
+/// The phase order is the message-passing round shape — and it is also
+/// what makes a kernel panic unable to deadlock the barrier: halo
+/// messages carry round-*start* owned values, so every send completes
+/// before the first kernel evaluation can run (and possibly panic).
+///
+/// 1. refresh the frame's owned slots from the round command;
+/// 2. **post** boundary loads, batched per neighbour shard;
+/// 3. gather **interior** nodes (owned reads only — overlaps the
+///    receives); skipped under full exchange, where no node is
+///    computable before the receives;
+/// 4. **receive** the expected halo batches, scattering each into the
+///    frame at the ids both sides derive from the plan;
+/// 5. gather **boundary** nodes (halo reads now satisfied).
+#[allow(clippy::too_many_arguments)]
+fn message_worker_round<L: Copy>(
+    shard: usize,
+    plan: &MessagePlan,
+    kernel: &MsgKernel<L>,
+    owned_values: &[L],
+    frame: &mut [L],
+    stash: &mut Vec<(u32, Vec<L>)>,
+    rx: &mpsc::Receiver<ToWorker<L>>,
+    peers: &[mpsc::Sender<ToWorker<L>>],
+) -> RoundOutcome<L> {
+    let view = &plan.views()[shard];
+    let mut ok = true;
+
+    // 1. Own this round's values.
+    debug_assert_eq!(owned_values.len(), view.owned().len());
+    for (&v, &value) in view.owned().iter().zip(owned_values) {
+        frame[v as usize] = value;
+    }
+
+    // 2. Post boundary loads (round-start values — independent of any
+    // later kernel outcome, so peers can never be starved by a panic).
+    let mut messages = 0usize;
+    let mut values_sent = 0usize;
+    for (dest, ids) in &plan.send[shard] {
+        let values: Vec<L> = ids.iter().map(|&v| frame[v as usize]).collect();
+        messages += 1;
+        values_sent += values.len();
+        // A dead peer means the round is already doomed; the coordinator
+        // surfaces that through the missing/failed Done, not here.
+        let _ = peers[*dest].send(ToWorker::Halo {
+            src: shard as u32,
+            values,
+        });
+    }
+
+    let mut results: Vec<L> = Vec::with_capacity(view.owned().len());
+    let gather = |nodes: &[u32], results: &mut Vec<L>, frame: &[L], ok: &mut bool| {
+        let outcome = catch_unwind(AssertUnwindSafe(|| {
+            nodes.iter().map(|&v| kernel(frame, v)).collect::<Vec<L>>()
+        }));
+        match outcome {
+            Ok(mut values) => results.append(&mut values),
+            Err(_) => *ok = false,
+        }
+    };
+
+    // 3. Interior gather overlaps the halo receive (graph plans only:
+    // interior nodes read owned values alone by construction).
+    if !plan.full_exchange {
+        gather(view.interior(), &mut results, frame, &mut ok);
+    }
+
+    // 4. Receive the expected batches (early arrivals were stashed while
+    // waiting for the round command).
+    let expected = plan.recv[shard].len();
+    let scatter = |src: u32, values: Vec<L>, frame: &mut [L]| -> bool {
+        match plan.recv[shard].iter().find(|(s, _)| *s == src as usize) {
+            Some((_, ids)) if ids.len() == values.len() => {
+                for (&v, value) in ids.iter().zip(values) {
+                    frame[v as usize] = value;
+                }
+                true
+            }
+            _ => false, // unscheduled source or wrong batch size
+        }
+    };
+    let mut received = 0usize;
+    for (src, values) in stash.drain(..) {
+        ok &= scatter(src, values, frame);
+        received += 1;
+    }
+    while received < expected {
+        match rx.recv() {
+            Ok(ToWorker::Halo { src, values }) => {
+                ok &= scatter(src, values, frame);
+                received += 1;
+            }
+            // Exit (engine dropped mid-round) or a closed channel:
+            // abandon the round and terminate rather than blocking
+            // forever (or re-parking with no wake-up left).
+            _ => return RoundOutcome::Shutdown,
+        }
+    }
+
+    // 5. Boundary gather (everything under full exchange).
+    if plan.full_exchange {
+        gather(view.owned(), &mut results, frame, &mut ok);
+        debug_assert!(view.boundary().is_empty(), "trivial views have no boundary");
+    } else {
+        gather(view.boundary(), &mut results, frame, &mut ok);
+    }
+
+    RoundOutcome::Report {
+        ok,
+        results,
+        messages,
+        values_sent,
+    }
+}
+
+/// The long-lived shard worker loop: parks on its channel between rounds,
+/// holding its frame (the shard-local value store) across rounds.
+fn message_worker<L: Copy + Default + Send + 'static>(
+    shard: usize,
+    n: usize,
+    rx: mpsc::Receiver<ToWorker<L>>,
+    peers: Vec<mpsc::Sender<ToWorker<L>>>,
+    done: mpsc::Sender<WorkerDone<L>>,
+) {
+    // The shard's value store, addressed by global node id so the
+    // protocol kernel (a global-index function) runs unchanged. Only the
+    // owned and halo slots are ever written — its *information content*
+    // is exactly the ShardView-local state; global addressing is the
+    // price of reusing one kernel across 16 protocols instead of
+    // reimplementing each over the local CSR.
+    let mut frame: Vec<L> = vec![L::default(); n];
+    let mut plan: Option<std::sync::Arc<MessagePlan>> = None;
+    // Halo batches that arrived before this worker's round command (peer
+    // shards may start a round earlier; the round barrier guarantees
+    // they belong to the same round).
+    let mut stash: Vec<(u32, Vec<L>)> = Vec::new();
+    loop {
+        let (kernel, owned_values) = loop {
+            match rx.recv() {
+                Ok(ToWorker::Plan(p)) => plan = Some(p),
+                Ok(ToWorker::Round { kernel, owned }) => break (kernel, owned),
+                Ok(ToWorker::Halo { src, values }) => stash.push((src, values)),
+                Ok(ToWorker::Exit) | Err(_) => return,
+            }
+        };
+        let current = plan.as_ref().expect("plan precedes the first round");
+        let outcome = message_worker_round(
+            shard,
+            current,
+            &kernel,
+            &owned_values,
+            &mut frame,
+            &mut stash,
+            &rx,
+            &peers,
+        );
+        // Drop the kernel before reporting: the coordinator's round
+        // returns (releasing the protocol borrow) once every report is
+        // in, so the erased borrow must be dead by then.
+        drop(kernel);
+        let (report, terminate) = match outcome {
+            RoundOutcome::Report {
+                ok,
+                results,
+                messages,
+                values_sent,
+            } => (
+                WorkerDone {
+                    shard,
+                    ok,
+                    results,
+                    messages,
+                    values_sent,
+                },
+                false,
+            ),
+            // Shutdown mid-round: still release the coordinator's
+            // barrier with a failed report, then terminate.
+            RoundOutcome::Shutdown => (
+                WorkerDone {
+                    shard,
+                    ok: false,
+                    results: Vec::new(),
+                    messages: 0,
+                    values_sent: 0,
+                },
+                true,
+            ),
+        };
+        if done.send(report).is_err() || terminate {
+            return; // engine gone
+        }
+    }
+}
+
+/// The message backend's coordinator-side state: channels to the
+/// long-lived shard workers and the memoized exchange plans.
+struct MessageExec<L> {
+    to_workers: Vec<mpsc::Sender<ToWorker<L>>>,
+    from_workers: mpsc::Receiver<WorkerDone<L>>,
+    handles: Vec<JoinHandle<()>>,
+    plans: PlanCache<std::sync::Arc<MessagePlan>>,
+    /// Fingerprint of the plan last broadcast to the workers; a round
+    /// only re-broadcasts when the current plan's fingerprint differs.
+    broadcast_key: Option<u64>,
+    /// The most recent round's communication metrics.
+    last_comm: Option<CommMetrics>,
+}
+
+impl<L> std::fmt::Debug for MessageExec<L> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("MessageExec")
+            .field("spec", &self.plans.spec)
+            .field("shards", &self.to_workers.len())
+            .field("plans", &self.plans.entries.len())
+            .field("plans_built", &self.plans.built)
+            .finish()
+    }
+}
+
+impl<L: Copy + Default + Send + 'static> MessageExec<L> {
+    fn new(spec: PartitionSpec, n: usize) -> MessageExec<L> {
+        let shards = spec.shards();
+        let (done_tx, from_workers) = mpsc::channel::<WorkerDone<L>>();
+        let mut to_workers = Vec::with_capacity(shards);
+        let mut receivers = Vec::with_capacity(shards);
+        for _ in 0..shards {
+            let (tx, rx) = mpsc::channel::<ToWorker<L>>();
+            to_workers.push(tx);
+            receivers.push(rx);
+        }
+        let handles = receivers
+            .into_iter()
+            .enumerate()
+            .map(|(s, rx)| {
+                let peers = to_workers.clone();
+                let done = done_tx.clone();
+                std::thread::Builder::new()
+                    .name(format!("dlb-msg-{s}"))
+                    .spawn(move || message_worker(s, n, rx, peers, done))
+                    .expect("spawn message shard worker")
+            })
+            .collect();
+        MessageExec {
+            to_workers,
+            from_workers,
+            handles,
+            plans: PlanCache::new(spec),
+            broadcast_key: None,
+            last_comm: None,
+        }
+    }
+
+    fn shards(&self) -> usize {
+        self.to_workers.len()
+    }
+
+    /// One message-passing round: broadcast the plan if it changed,
+    /// command every worker with its owned round-start values, collect
+    /// the round barrier, and scatter the per-shard results into `out`.
+    fn round(&mut self, kernels: impl Fn() -> MsgKernel<L>, snapshot: &[L], out: &mut [L]) {
+        let plan = self.plans.current().clone();
+        let key = self.plans.entries[self.plans.current].0;
+        assert_eq!(
+            out.len(),
+            plan.views().iter().map(|v| v.owned().len()).sum::<usize>(),
+            "message plan node count must equal the load vector length"
+        );
+        let rebroadcast = self.broadcast_key != Some(key);
+        for (s, tx) in self.to_workers.iter().enumerate() {
+            if rebroadcast {
+                tx.send(ToWorker::Plan(plan.clone()))
+                    .expect("message worker exited early");
+            }
+            let owned: Vec<L> = plan.views()[s]
+                .owned()
+                .iter()
+                .map(|&v| snapshot[v as usize])
+                .collect();
+            tx.send(ToWorker::Round {
+                kernel: kernels(),
+                owned,
+            })
+            .expect("message worker exited early");
+        }
+        self.broadcast_key = Some(key);
+
+        let shards = self.shards();
+        let mut results: Vec<Option<Vec<L>>> = (0..shards).map(|_| None).collect();
+        let mut all_ok = true;
+        let mut comm = CommMetrics {
+            shards,
+            ..CommMetrics::default()
+        };
+        for _ in 0..shards {
+            let report = self
+                .from_workers
+                .recv()
+                .expect("message worker exited early");
+            all_ok &= report.ok;
+            comm.messages += report.messages;
+            comm.values_sent += report.values_sent;
+            comm.max_shard_values_sent = comm.max_shard_values_sent.max(report.values_sent);
+            results[report.shard] = Some(report.results);
+        }
+        comm.halo_bytes = comm.values_sent * std::mem::size_of::<L>();
+        self.last_comm = Some(comm);
+        assert!(all_ok, "message worker panicked during round");
+
+        for (view, shard_results) in plan.views().iter().zip(results) {
+            let shard_results = shard_results.expect("every shard reported");
+            // Results arrive in the shard's gather order:
+            // interior-then-boundary.
+            let order = view.interior().iter().chain(view.boundary());
+            debug_assert_eq!(shard_results.len(), view.owned().len());
+            for (&v, value) in order.zip(shard_results) {
+                out[v as usize] = value;
+            }
+        }
+    }
+}
+
+impl<L> Drop for MessageExec<L> {
+    fn drop(&mut self) {
+        for tx in &self.to_workers {
+            let _ = tx.send(ToWorker::Exit);
+        }
+        self.to_workers.clear();
+        for handle in self.handles.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+/// Monomorphized per-round kernel factory stored by message engines —
+/// instantiated in the constructor, the only place that knows `P: Sync`.
+type MessageKernelFn<P> = fn(&P) -> MsgKernel<<P as Protocol>::Load>;
 
 /// The executor strategy of an engine, with everything monomorphized at
 /// construction time.
@@ -834,13 +1426,21 @@ enum Exec<P: Protocol> {
         gather: GatherFn<P>,
     },
     Sharded(Box<ShardedExec<P>>),
+    Message {
+        exec: Box<MessageExec<<P as Protocol>::Load>>,
+        make_kernel: MessageKernelFn<P>,
+    },
 }
 
 impl<P: Protocol> Exec<P> {
-    /// The pool backing statistics reductions, if any.
+    /// The pool backing statistics reductions, if any. The message
+    /// backend folds its statistics on the coordinator (`None`): the
+    /// blocked reductions are bit-identical with or without a pool, and
+    /// the shard workers are round-scoped channel servers, not a gather
+    /// pool.
     fn stats_pool(&self) -> Option<&WorkerPool> {
         match self {
-            Exec::Serial => None,
+            Exec::Serial | Exec::Message { .. } => None,
             Exec::Pool { pool, .. } => Some(pool),
             Exec::Sharded(sh) => Some(&sh.pool),
         }
@@ -918,12 +1518,42 @@ impl<P: Protocol> Engine<P> {
             exec: Exec::Sharded(Box::new(ShardedExec {
                 pool: WorkerPool::new(threads),
                 gather: sharded_gather::<P>,
-                spec: partition,
-                plans: Vec::new(),
-                current: usize::MAX,
-                cached_version: None,
-                plans_built: 0,
+                plans: PlanCache::new(partition),
             })),
+            stats_mode: StatsMode::default(),
+            rounds_run: 0,
+        }
+    }
+
+    /// Message-passing executor: one long-lived worker thread per shard,
+    /// each owning only its shard's loads. During a round the workers
+    /// never read the global load vector — the coordinator hands each its
+    /// owned round-start values, boundary loads cross shards as batched
+    /// per-neighbour-shard messages over typed channels (the
+    /// [`ShardView::halo_groups`] schedule), and each shard gathers
+    /// interior-then-boundary locally. Per-round exchange volume is
+    /// reported by [`Engine::comm_metrics`].
+    ///
+    /// Loads, Φ traces, and statistics are bit-identical to every other
+    /// backend: the same pure kernel runs per node, each worker's frame
+    /// holds exactly the snapshot values the kernel reads (owned + halo),
+    /// and statistics fold through the identical block-ordered
+    /// [`StatsCtx`] reductions. Protocols exposing no graph fall back to
+    /// a full exchange (their reads are not neighbourhood-local), which
+    /// the communication metrics make visible rather than hide.
+    pub fn message(protocol: P, partition: PartitionSpec) -> Self
+    where
+        P: Sync,
+    {
+        assert!(partition.shards() >= 1, "message backend needs >= 1 shard");
+        let n = protocol.n();
+        Engine {
+            back: vec![P::Load::default(); n],
+            exec: Exec::Message {
+                exec: Box::new(MessageExec::new(partition, n)),
+                make_kernel: make_message_kernel::<P>,
+            },
+            protocol,
             stats_mode: StatsMode::default(),
             rounds_run: 0,
         }
@@ -941,6 +1571,7 @@ impl<P: Protocol> Engine<P> {
             Backend::Sharded { partition, threads } => {
                 Engine::sharded(protocol, partition, threads)
             }
+            Backend::Message { partition } => Engine::message(protocol, partition),
         }
     }
 
@@ -978,9 +1609,13 @@ impl<P: Protocol> Engine<P> {
         self.protocol
     }
 
-    /// Worker count (1 for the serial executor).
+    /// Worker count (1 for the serial executor; the shard count for the
+    /// message backend — one worker per shard).
     pub fn threads(&self) -> usize {
-        self.exec.stats_pool().map_or(1, WorkerPool::threads)
+        match &self.exec {
+            Exec::Message { exec, .. } => exec.shards(),
+            other => other.stats_pool().map_or(1, WorkerPool::threads),
+        }
     }
 
     /// The backend this engine executes with, reconstructed as the
@@ -993,28 +1628,54 @@ impl<P: Protocol> Engine<P> {
                 threads: pool.threads(),
             },
             Exec::Sharded(sh) => Backend::Sharded {
-                partition: sh.spec,
+                partition: sh.plans.spec,
                 threads: sh.pool.threads(),
+            },
+            Exec::Message { exec, .. } => Backend::Message {
+                partition: exec.plans.spec,
             },
         }
     }
 
-    /// Locality/communication metrics of the sharded backend's current
-    /// plan: `None` for the serial and pool backends, and before the
-    /// first sharded round (plans are derived lazily against the round's
-    /// graph).
+    /// Locality/communication metrics of the sharded or message
+    /// backend's current plan: `None` for the serial and pool backends,
+    /// and before the first round (plans are derived lazily against the
+    /// round's graph).
     pub fn shard_metrics(&self) -> Option<ShardMetrics> {
         match &self.exec {
-            Exec::Sharded(sh) if sh.current < sh.plans.len() => {
+            Exec::Sharded(sh) if sh.plans.resolved() => {
                 let plan = sh.current_plan();
                 Some(ShardMetrics {
                     shards: plan.views().len(),
                     edge_cut: plan.edge_cut(),
                     halo: plan.halo_total(),
                     interior: plan.interior_total(),
-                    plans_built: sh.plans_built,
+                    plans_built: sh.plans.built,
                 })
             }
+            Exec::Message { exec, .. } if exec.plans.resolved() => {
+                let plan = exec.plans.current();
+                Some(ShardMetrics {
+                    shards: plan.views().len(),
+                    edge_cut: plan.plan.edge_cut(),
+                    halo: plan.plan.halo_total(),
+                    interior: plan.plan.interior_total(),
+                    plans_built: exec.plans.built,
+                })
+            }
+            _ => None,
+        }
+    }
+
+    /// Communication metrics of the message backend's most recent round
+    /// (messages posted, values/bytes moved, largest per-shard send):
+    /// `None` for every other backend, and before the first message
+    /// round. Shared-memory backends move no messages — their
+    /// "exchange" is the snapshot swap — so only the message backend
+    /// reports here.
+    pub fn comm_metrics(&self) -> Option<CommMetrics> {
+        match &self.exec {
+            Exec::Message { exec, .. } => exec.last_comm,
             _ => None,
         }
     }
@@ -1065,6 +1726,15 @@ impl<P: Protocol> Engine<P> {
                         &mut self.back,
                         sh.current_plan(),
                     );
+                }
+                Exec::Message { exec, make_kernel } => {
+                    // Same post-begin_round plan resolution as the
+                    // sharded backend, memoized per distinct graph.
+                    exec.plans.refresh(protocol, |spec, graph, n| {
+                        std::sync::Arc::new(MessagePlan::build(spec, graph, n))
+                    });
+                    let make_kernel = *make_kernel;
+                    exec.round(|| make_kernel(protocol), snapshot, &mut self.back);
                 }
             }
         }
@@ -1118,6 +1788,15 @@ pub trait IntoEngine: Protocol + Sized {
         Self: Sync,
     {
         Engine::sharded(self, partition, threads)
+    }
+
+    /// Wraps the protocol in a message-passing [`Engine`] (see
+    /// [`Engine::message`]).
+    fn engine_message(self, partition: PartitionSpec) -> Engine<Self>
+    where
+        Self: Sync,
+    {
+        Engine::message(self, partition)
     }
 
     /// Wraps the protocol in whatever executor `backend` describes.
@@ -1371,6 +2050,171 @@ mod tests {
         }
     }
 
+    /// Toy protocol over an explicit cycle graph, so the message backend
+    /// runs a real batched halo exchange instead of the full-exchange
+    /// fallback.
+    struct GraphToy {
+        g: dlb_graphs::Graph,
+    }
+
+    fn graph_toy(n: usize) -> GraphToy {
+        GraphToy {
+            g: dlb_graphs::topology::cycle(n),
+        }
+    }
+
+    impl Protocol for GraphToy {
+        type Load = f64;
+        type Stats = u64;
+
+        fn n(&self) -> usize {
+            self.g.n()
+        }
+
+        fn name(&self) -> &'static str {
+            "graph-toy"
+        }
+
+        fn node_new_load(&self, snapshot: &[f64], v: u32) -> f64 {
+            let mut acc = 0.5 * snapshot[v as usize];
+            for &u in self.g.neighbors(v) {
+                acc += 0.25 * snapshot[u as usize];
+            }
+            acc
+        }
+
+        fn compute_stats(&mut self, _s: &[f64], new: &[f64], ctx: &StatsCtx<'_>) -> u64 {
+            ctx.phi(new).to_bits()
+        }
+
+        fn current_graph(&self) -> Option<&dlb_graphs::Graph> {
+            Some(&self.g)
+        }
+    }
+
+    #[test]
+    fn message_backend_bit_identical_with_halo_exchange() {
+        let n = 48;
+        let init: Vec<f64> = (0..n).map(|i| ((i * 37 + 5) % 41) as f64 / 3.0).collect();
+        let mut serial = init.clone();
+        let mut s = Engine::serial(graph_toy(n));
+        let serial_stats: Vec<_> = (0..6).map(|_| s.round(&mut serial)).collect();
+
+        for spec in [
+            PartitionSpec::Range { shards: 1 },
+            PartitionSpec::Range { shards: 4 },
+            PartitionSpec::Bfs { shards: 6 },
+            PartitionSpec::Range { shards: n + 5 }, // shards > n
+        ] {
+            let mut msg = init.clone();
+            let mut e = Engine::message(graph_toy(n), spec);
+            let msg_stats: Vec<_> = (0..6).map(|_| e.round(&mut msg)).collect();
+            assert_eq!(serial, msg, "{spec:?}: loads diverged");
+            assert_eq!(serial_stats, msg_stats, "{spec:?}: stats diverged");
+            let comm = e.comm_metrics().expect("message rounds report comm");
+            let metrics = e.shard_metrics().expect("plan derived");
+            // Each halo entry is delivered exactly once per round, so the
+            // round's exchanged values equal the plan's halo size.
+            assert_eq!(comm.values_sent, metrics.halo, "{spec:?}");
+            assert_eq!(comm.shards, spec.shards(), "{spec:?}");
+            assert_eq!(
+                comm.halo_bytes,
+                comm.values_sent * std::mem::size_of::<f64>()
+            );
+            assert!(comm.max_shard_values_sent <= comm.values_sent);
+            assert_eq!(metrics.plans_built, 1, "fixed graph derives one plan");
+            if spec.shards() > 1 {
+                assert!(comm.messages > 0, "{spec:?}: cut cycle must message");
+            } else {
+                assert_eq!(comm.messages, 0, "one shard has nobody to message");
+            }
+        }
+    }
+
+    #[test]
+    fn message_backend_full_exchange_without_a_graph() {
+        // Toy exposes no graph but reads ring neighbours, i.e. arbitrary
+        // remote slots under a range split — exactly the case the
+        // full-exchange fallback exists for.
+        let n = 30;
+        let init: Vec<f64> = (0..n).map(|i| ((i * 13 + 1) % 17) as f64).collect();
+        let mut serial = init.clone();
+        Engine::serial(toy(n)).rounds(&mut serial, 5);
+
+        for shards in [2usize, 5, 64] {
+            let mut msg = init.clone();
+            let mut e = Engine::message(toy(n), PartitionSpec::Range { shards });
+            e.rounds(&mut msg, 5);
+            assert_eq!(serial, msg, "shards = {shards}");
+            let comm = e.comm_metrics().expect("comm recorded");
+            // k non-empty shards broadcast their owned blocks to the
+            // k − 1 other computing shards.
+            let k = shards.min(n);
+            assert_eq!(comm.messages, k * (k - 1), "shards = {shards}");
+            assert_eq!(comm.values_sent, n * (k - 1), "shards = {shards}");
+        }
+    }
+
+    #[test]
+    fn comm_metrics_absent_off_the_message_backend() {
+        let mut loads = vec![1.0, 2.0, 3.0, 4.0];
+        let mut e = Engine::serial(toy(4));
+        e.round(&mut loads);
+        assert!(e.comm_metrics().is_none());
+        let mut e = Engine::sharded(toy(4), PartitionSpec::Range { shards: 2 }, 1);
+        e.round(&mut loads);
+        assert!(e.comm_metrics().is_none());
+        // And before the first message round.
+        let e = Engine::message(toy(4), PartitionSpec::Range { shards: 2 });
+        assert!(e.comm_metrics().is_none());
+    }
+
+    /// Kernel that panics on one node — for the barrier-safety test.
+    struct PanickingToy {
+        n: usize,
+        bad: u32,
+    }
+
+    impl Protocol for PanickingToy {
+        type Load = f64;
+        type Stats = ();
+
+        fn n(&self) -> usize {
+            self.n
+        }
+
+        fn name(&self) -> &'static str {
+            "panicking-toy"
+        }
+
+        fn node_new_load(&self, snapshot: &[f64], v: u32) -> f64 {
+            assert!(v != self.bad, "injected failure");
+            snapshot[v as usize]
+        }
+
+        fn compute_stats(&mut self, _s: &[f64], _n: &[f64], _ctx: &StatsCtx<'_>) {}
+    }
+
+    #[test]
+    fn message_worker_panic_propagates_without_deadlocking_the_barrier() {
+        let mut e = Engine::message(
+            PanickingToy { n: 12, bad: 7 },
+            PartitionSpec::Range { shards: 3 },
+        );
+        let mut loads: Vec<f64> = (0..12).map(|i| i as f64).collect();
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            e.round(&mut loads);
+        }));
+        assert!(result.is_err(), "kernel panic must propagate");
+        // The round barrier completed (no deadlock) and the workers are
+        // alive: a clean protocol on the same engine shape still runs.
+        e.protocol_mut().bad = u32::MAX;
+        let mut loads: Vec<f64> = (0..12).map(|i| i as f64).collect();
+        let reference = loads.clone();
+        e.round(&mut loads);
+        assert_eq!(loads, reference, "identity kernel after recovery");
+    }
+
     #[test]
     fn with_backend_builds_every_backend() {
         let backends = [
@@ -1379,6 +2223,9 @@ mod tests {
             Backend::Sharded {
                 partition: PartitionSpec::Range { shards: 4 },
                 threads: 2,
+            },
+            Backend::Message {
+                partition: PartitionSpec::Bfs { shards: 3 },
             },
         ];
         let mut reference = vec![1.0, 5.0, 2.0, 8.0, 3.0, 7.0, 4.0, 6.0];

@@ -290,9 +290,10 @@ where
 }
 
 /// [`run_dynamic_continuous`] on an explicit engine [`Backend`]. The
-/// sharded backend re-derives its shard plan whenever the sequence
-/// switches graphs, memoized per distinct graph — a periodic schedule
-/// builds exactly one plan per schedule entry.
+/// sharded and message backends re-derive their shard/exchange plans
+/// whenever the sequence switches graphs, memoized per distinct graph —
+/// a periodic schedule builds exactly one plan per schedule entry (and
+/// the message backend re-broadcasts only on an actual plan change).
 pub fn run_dynamic_continuous_on<S>(
     backend: Backend,
     seq: &mut S,

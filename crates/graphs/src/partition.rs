@@ -362,6 +362,28 @@ impl ShardView {
         &self.halo_owner
     }
 
+    /// The batched exchange schedule of this shard's receive side: the
+    /// halo, grouped by owning shard — one `(source shard, global ids)`
+    /// entry per neighbour shard, sources ascending, ids ascending within
+    /// each group, every halo node in exactly one group. A message-passing
+    /// round receives exactly one batched message per entry; the send side
+    /// is the mirror image (shard `s` sends to `t` precisely the values of
+    /// `t`'s group for source `s`), so both endpoints derive the id list
+    /// from the same plan and the message itself carries only the values.
+    pub fn halo_groups(&self) -> Vec<(usize, Vec<u32>)> {
+        let mut groups: Vec<(usize, Vec<u32>)> = Vec::new();
+        // `halo` is ascending, so pushing in halo order keeps every
+        // group's ids ascending; sources are sorted afterwards.
+        for (&h, &owner) in self.halo.iter().zip(&self.halo_owner) {
+            match groups.iter_mut().find(|(s, _)| *s == owner as usize) {
+                Some((_, ids)) => ids.push(h),
+                None => groups.push((owner as usize, vec![h])),
+            }
+        }
+        groups.sort_by_key(|&(s, _)| s);
+        groups
+    }
+
     /// Number of halo values received from `src` per round.
     pub fn halo_from(&self, src: usize) -> usize {
         self.halo_owner
@@ -562,9 +584,12 @@ impl ShardPlan {
 /// A cheap structural fingerprint of a graph (FNV-1a over `n`, `m`, and
 /// the canonical edge list). Used to memoize shard plans across the
 /// graphs of a dynamic sequence: equal graphs always collide, and a
-/// spurious collision is astronomically unlikely — and harmless to
-/// correctness either way, since every plan covers each node exactly once
-/// (only the locality metrics would be misattributed).
+/// spurious collision is astronomically unlikely (~2⁻⁶⁴ per distinct
+/// pair). For the sharded backend a collision would only misattribute
+/// locality metrics (every plan still covers each node exactly once); the
+/// message-passing backend additionally derives its halo exchange
+/// schedule from the memoized plan, so there a collision would exchange
+/// the wrong values — the risk is accepted at these odds.
 pub fn graph_fingerprint(g: &Graph) -> u64 {
     const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
     const PRIME: u64 = 0x0000_0100_0000_01b3;
@@ -779,6 +804,65 @@ mod tests {
                     .sum();
                 let global_sum: f64 = g.neighbors(v).iter().map(|&u| global[u as usize]).sum();
                 assert_eq!(local_sum.to_bits(), global_sum.to_bits(), "node {v}");
+            }
+        }
+    }
+
+    #[test]
+    fn halo_groups_deliver_each_boundary_value_exactly_once() {
+        // The batched exchange schedule: per receiving shard, every halo
+        // node appears in exactly one (source, ids) group, the group's
+        // source really owns it, and the send side (derived as the mirror
+        // image) posts every boundary value exactly once per neighbour
+        // shard that reads it.
+        for (g, shards) in [
+            (topology::torus2d(6, 6), 4),
+            (topology::hypercube(5), 5),
+            (topology::star(20), 3),
+            (topology::path(6), 9), // shards > n
+        ] {
+            let p = Partition::bfs(&g, shards);
+            let plan = ShardPlan::build(&g, &p);
+            for view in plan.views() {
+                let groups = view.halo_groups();
+                // Sources ascending and unique, ids ascending within.
+                for w in groups.windows(2) {
+                    assert!(w[0].0 < w[1].0, "sources not strictly ascending");
+                }
+                let mut delivered: Vec<u32> = Vec::new();
+                for (src, ids) in &groups {
+                    assert_ne!(*src, view.shard(), "self-message scheduled");
+                    assert!(!ids.is_empty(), "empty exchange group scheduled");
+                    for w in ids.windows(2) {
+                        assert!(w[0] < w[1], "group ids not ascending");
+                    }
+                    for &h in ids {
+                        assert_eq!(p.owner_of(h), *src, "group entry not owned by source");
+                        delivered.push(h);
+                    }
+                }
+                delivered.sort_unstable();
+                assert_eq!(
+                    delivered,
+                    view.halo(),
+                    "halo not covered exactly once by the exchange groups"
+                );
+            }
+            // Send side: shard s posts node v to shard t iff v sits in
+            // t's group for source s — i.e. exactly once per reader.
+            for t in plan.views() {
+                for (src, ids) in t.halo_groups() {
+                    for &v in &ids {
+                        assert!(
+                            plan.views()[src].owned().binary_search(&v).is_ok(),
+                            "scheduled send of a non-owned node"
+                        );
+                        assert!(
+                            plan.views()[src].boundary().contains(&v),
+                            "halo node {v} not classified boundary on its owner"
+                        );
+                    }
+                }
             }
         }
     }

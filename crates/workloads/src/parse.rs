@@ -11,6 +11,9 @@
 //! name = "bursty-torus"
 //! protocol = "continuous"        # continuous | discrete | heterogeneous
 //! threads = 1                    # 1 = serial, 0 = auto-parallel, t > 1 = pool
+//! # or explicitly: backend = "serial" | "pool" | "sharded" | "message",
+//! # with shards = k and partition = "range" | "bfs" for the last two
+//! # (message runs one worker per shard — no threads key)
 //! stats = "full"                 # full | phionly | every:k | off
 //!
 //! [topology]
@@ -761,9 +764,12 @@ fn scenario_from_tables(tables: Vec<Table>) -> Result<Scenario, String> {
 /// Parses the execution backend out of the `[scenario]` table. Without a
 /// `backend` key the legacy `threads` scalar decides (1 = serial, else
 /// pool); with one, `threads`/`shards`/`partition` refine it. The gating
-/// rules (`shards`/`partition` rejected outside `backend = "sharded"`, so
-/// a misspelled backend cannot silently drop the sharding request) live
-/// in [`exec_spec_from_parts`], shared with the CLI overrides.
+/// rules (`shards`/`partition` rejected outside `backend = "sharded"` /
+/// `"message"`, `threads` rejected on `"message"` — one worker per shard
+/// — so a misspelled backend cannot silently drop the sharding request)
+/// live in [`exec_spec_from_parts`], shared with the CLI overrides; every
+/// failure is wrapped in the `[scenario]` section+line diagnostic like
+/// any other key error.
 fn exec_from(st: &Table) -> Result<ExecSpec, String> {
     let backend = match st.get("backend") {
         None => None,
@@ -959,6 +965,14 @@ fn exec_entries(exec: &ExecSpec) -> Vec<(String, String)> {
             e.push(("shards".into(), partition.shards().to_string()));
             e.push(("threads".into(), threads.to_string()));
         }
+        // No threads key: the message backend runs one worker per shard.
+        ExecSpec::Message { partition } => {
+            e.push((
+                "partition".into(),
+                format!("\"{}\"", partition.strategy_name()),
+            ));
+            e.push(("shards".into(), partition.shards().to_string()));
+        }
     }
     e
 }
@@ -1150,8 +1164,30 @@ rounds = 5
                 threads: 0
             }
         );
-        // Gating: shards/partition without the sharded backend, unknown
-        // names, sharded without shards.
+        // The message backend: one worker per shard, no threads knob.
+        let message = Scenario::from_toml(&base(
+            "backend = \"message\"\nshards = 6\npartition = \"bfs\"",
+        ))
+        .unwrap();
+        assert_eq!(
+            message.exec,
+            ExecSpec::Message {
+                partition: dlb_graphs::PartitionSpec::Bfs { shards: 6 }
+            }
+        );
+        let message_default =
+            Scenario::from_toml(&base("backend = \"message\"\nshards = 3")).unwrap();
+        assert_eq!(
+            message_default.exec,
+            ExecSpec::Message {
+                partition: dlb_graphs::PartitionSpec::Range { shards: 3 }
+            }
+        );
+        // Gating — one case per error path of the exec assembly:
+        // misplaced shards/partition, unknown backend, sharded/message
+        // without shards, unknown partition strategy, zero shards,
+        // serial/message with a threads key. Every diagnostic carries the
+        // section and line, exactly like other key errors.
         for (text, needle) in [
             (base("shards = 4"), "only valid with backend"),
             (
@@ -1160,15 +1196,29 @@ rounds = 5
             ),
             (base("backend = \"warp\""), "unknown backend"),
             (base("backend = \"sharded\""), "needs shards"),
+            (base("backend = \"message\""), "needs shards"),
             (
                 base("backend = \"sharded\"\nshards = 4\npartition = \"metis\""),
                 "unknown partition strategy",
             ),
+            (
+                base("backend = \"message\"\nshards = 4\npartition = \"metis\""),
+                "unknown partition strategy",
+            ),
             (base("backend = \"sharded\"\nshards = 0"), "shards >= 1"),
+            (base("backend = \"message\"\nshards = 0"), "shards >= 1"),
             (base("backend = \"serial\"\nthreads = 3"), "one thread"),
+            (
+                base("backend = \"message\"\nshards = 4\nthreads = 2"),
+                "one worker per shard",
+            ),
         ] {
             let err = Scenario::from_toml(&text).unwrap_err();
             assert!(err.contains(needle), "expected {needle:?} in {err}");
+            assert!(
+                err.starts_with("[scenario] (line "),
+                "exec error lacks the section+line diagnostic: {err}"
+            );
         }
     }
 

@@ -52,6 +52,25 @@ impl StopReason {
     }
 }
 
+/// Run-total communication volume of a message-backend run (summed over
+/// rounds from the engine's per-round
+/// [`CommMetrics`](dlb_core::engine::CommMetrics)). Shared-memory
+/// backends move no messages, so reports carry this only when the run
+/// executed on `backend = "message"`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CommTotals {
+    /// Batched halo messages sent shard→shard over the whole run.
+    pub messages: u64,
+    /// Load values carried by those messages.
+    pub values_sent: u64,
+    /// `values_sent` in bytes of the load type — the wire volume a
+    /// distributed transport would have moved.
+    pub halo_bytes: u64,
+    /// Largest single-round per-shard send volume (values) — the
+    /// straggler bound on the exchange step.
+    pub max_round_shard_values: u64,
+}
+
 /// The trailing-window Φ band: where the potential settled. For
 /// steady-state stops this is the window that triggered the stop; for
 /// other stops it summarizes the trailing `window` rounds.
@@ -105,6 +124,9 @@ pub struct ScenarioReport {
     pub records: Vec<RoundRecord>,
     /// Trailing Φ band.
     pub steady: SteadyBand,
+    /// Run-total communication volume (message backend only; `None` on
+    /// the shared-memory backends).
+    pub comm: Option<CommTotals>,
 }
 
 impl ScenarioReport {
@@ -134,13 +156,23 @@ impl ScenarioReport {
     /// same offline-workspace reasoning); schema `dlb-scenario/1`.
     pub fn to_jsonl(&self) -> String {
         let mut out = String::new();
+        // Message-backend runs append their communication totals to the
+        // header; shared-memory runs omit the keys entirely.
+        let comm_fields = match &self.comm {
+            Some(c) => format!(
+                ", \"comm_messages\": {}, \"comm_values_sent\": {}, \
+                 \"comm_halo_bytes\": {}, \"comm_max_round_shard_values\": {}",
+                c.messages, c.values_sent, c.halo_bytes, c.max_round_shard_values
+            ),
+            None => String::new(),
+        };
         out.push_str(&format!(
             "{{\"schema\": \"dlb-scenario/1\", \"scenario\": \"{}\", \"protocol\": \"{}\", \
              \"n\": {}, \"backend\": \"{}\", \"threads\": {}, \"stats\": \"{}\", \"rounds\": {}, \"stop\": \"{}\", \
              \"initial_total\": {}, \"final_total\": {}, \"injected_total\": {}, \
              \"consumed_total\": {}, \"migrated_total\": {}, \"conservation_error\": {}, \
              \"phi_initial\": {}, \"phi_final\": {}, \"steady_window\": {}, \
-             \"steady_phi_mean\": {}, \"steady_phi_min\": {}, \"steady_phi_max\": {}}}\n",
+             \"steady_phi_mean\": {}, \"steady_phi_min\": {}, \"steady_phi_max\": {}{comm_fields}}}\n",
             esc(&self.scenario),
             esc(&self.protocol),
             self.n,
@@ -214,6 +246,13 @@ impl ScenarioReport {
                 self.migrated_total
             ));
         }
+        if let Some(c) = &self.comm {
+            out.push_str(&format!(
+                "shard messages: {} carrying {} value(s) ({} bytes); \
+                 max per-shard round send {} value(s)\n",
+                c.messages, c.values_sent, c.halo_bytes, c.max_round_shard_values
+            ));
+        }
         out
     }
 }
@@ -278,6 +317,7 @@ mod tests {
                 phi_min: 2.0,
                 phi_max: 4.0,
             },
+            comm: None,
         }
     }
 
@@ -301,6 +341,31 @@ mod tests {
         assert!(lines[0].contains("\"phi_final\": 2.0"));
         assert!(lines[1].starts_with("{\"round\": 1,"));
         assert!(lines[2].contains("\"total\": 12.5"));
+    }
+
+    #[test]
+    fn comm_totals_appear_only_for_message_runs() {
+        let plain = sample().to_jsonl();
+        assert!(!plain.contains("comm_messages"), "{plain}");
+        let mut msg = sample();
+        msg.backend = "message".into();
+        msg.comm = Some(CommTotals {
+            messages: 12,
+            values_sent: 34,
+            halo_bytes: 272,
+            max_round_shard_values: 9,
+        });
+        let text = msg.to_jsonl();
+        let header = text.lines().next().unwrap();
+        assert!(header.contains("\"comm_messages\": 12"), "{header}");
+        assert!(header.contains("\"comm_values_sent\": 34"), "{header}");
+        assert!(header.contains("\"comm_halo_bytes\": 272"), "{header}");
+        assert!(
+            header.contains("\"comm_max_round_shard_values\": 9"),
+            "{header}"
+        );
+        assert!(header.ends_with('}'), "header stays one JSON object");
+        assert!(msg.summary().contains("shard messages: 12"));
     }
 
     #[test]

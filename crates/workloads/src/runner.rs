@@ -24,7 +24,7 @@
 
 use std::collections::VecDeque;
 
-use crate::report::{RoundRecord, ScenarioReport, SteadyBand, StopReason};
+use crate::report::{CommTotals, RoundRecord, ScenarioReport, SteadyBand, StopReason};
 use crate::scenario::{
     compile_workloads, exec_from_threads, validate_exec, ExecSpec, ProtocolSpec, Scenario, StopSpec,
 };
@@ -162,6 +162,7 @@ where
     let mut recent: VecDeque<f64> = VecDeque::with_capacity(band_window + 1);
     let (mut injected_total, mut consumed_total, mut migrated_total) = (0.0f64, 0.0f64, 0.0f64);
     let mut stop_reason = StopReason::RoundBudget;
+    let mut comm: Option<CommTotals> = None;
 
     for round in 1..=max_rounds as u64 {
         let delta = match workload.as_deref_mut() {
@@ -169,6 +170,15 @@ where
             None => Default::default(),
         };
         let stats = engine.round(loads);
+        if let Some(c) = engine.comm_metrics() {
+            let totals = comm.get_or_insert_with(CommTotals::default);
+            totals.messages += c.messages as u64;
+            totals.values_sent += c.values_sent as u64;
+            totals.halo_bytes += c.halo_bytes as u64;
+            totals.max_round_shard_values = totals
+                .max_round_shard_values
+                .max(c.max_shard_values_sent as u64);
+        }
         let (phi, moved) = match &stats {
             Some(s) => (s.phi_after_f64(), s.moved_f64()),
             None => (engine.potential(loads).phi_f64(), 0.0),
@@ -231,6 +241,7 @@ where
         phi_trace,
         records,
         steady: band_of(&recent),
+        comm,
     }
 }
 
@@ -427,6 +438,41 @@ mod tests {
                     "{name}/{threads}"
                 );
             }
+        }
+    }
+
+    #[test]
+    fn message_backend_scenarios_bit_identical_with_comm_totals() {
+        // Fixed, discrete, and dynamic-topology regimes on shard-isolated
+        // workers must reproduce the serial trajectory bit for bit while
+        // reporting their exchange volume.
+        for name in ["bursty-torus", "zipf-hypercube-drain", "churn-markov"] {
+            let sc = Scenario::builtin(name).unwrap();
+            let serial = ScenarioRunner::new(sc.clone()).run().unwrap();
+            assert!(serial.comm.is_none(), "{name}: serial run reported comm");
+            let msg = ScenarioRunner::new(sc.clone())
+                .with_exec(ExecSpec::Message {
+                    partition: dlb_graphs::PartitionSpec::Bfs { shards: 6 },
+                })
+                .run()
+                .unwrap();
+            assert_eq!(serial.rounds, msg.rounds, "{name}");
+            assert_eq!(
+                trace_bits(&serial),
+                trace_bits(&msg),
+                "{name}: Φ trace diverged on the message backend"
+            );
+            assert_eq!(
+                serial.final_total.to_bits(),
+                msg.final_total.to_bits(),
+                "{name}"
+            );
+            assert_eq!(msg.backend, "message", "{name}");
+            let comm = msg.comm.expect("message run reports comm totals");
+            assert!(comm.messages > 0, "{name}: no messages recorded");
+            assert!(comm.values_sent > 0, "{name}: no values recorded");
+            assert_eq!(comm.halo_bytes, comm.values_sent * 8, "{name}");
+            assert!(comm.max_round_shard_values > 0, "{name}");
         }
     }
 

@@ -502,10 +502,12 @@ pub fn compile_workloads<L: ScenarioLoad>(specs: &[WorkloadSpec], n: usize) -> O
 }
 
 /// How a scenario executes: the engine [`Backend`] carried declaratively
-/// (`backend = "serial" | "pool" | "sharded"` in scenario files, with
-/// `threads`, `shards`, and `partition = "range" | "bfs"` as applicable).
-/// It is exactly `dlb_core`'s [`Backend`] — plain `Copy` data, so
-/// scenarios stay printable, diffable, and replayable.
+/// (`backend = "serial" | "pool" | "sharded" | "message"` in scenario
+/// files, with `threads`, `shards`, and `partition = "range" | "bfs"` as
+/// applicable — the message backend runs one worker per shard, so it
+/// takes `shards`/`partition` but no `threads`). It is exactly
+/// `dlb_core`'s [`Backend`] — plain `Copy` data, so scenarios stay
+/// printable, diffable, and replayable.
 pub type ExecSpec = Backend;
 
 /// Maps the legacy `threads` scalar onto an [`ExecSpec`]: `1` = the
@@ -524,7 +526,7 @@ pub fn exec_from_threads(threads: usize) -> ExecSpec {
 /// [`PartitionSpec`] over `shards ≥ 1`.
 pub fn partition_from_name(name: &str, shards: usize) -> Result<PartitionSpec, String> {
     if shards == 0 {
-        return Err("sharded backend needs shards >= 1".into());
+        return Err("sharded/message backends need shards >= 1".into());
     }
     match name {
         "range" => Ok(PartitionSpec::Range { shards }),
@@ -539,21 +541,25 @@ pub fn partition_from_name(name: &str, shards: usize) -> Result<PartitionSpec, S
 /// runner's override path, so a bad programmatic override errors instead
 /// of panicking inside the engine constructor).
 pub fn validate_exec(exec: &ExecSpec) -> Result<(), String> {
-    if let ExecSpec::Sharded { partition, .. } = exec {
-        if partition.shards() == 0 {
-            return Err("sharded backend needs shards >= 1".into());
+    match exec {
+        ExecSpec::Sharded { partition, .. } if partition.shards() == 0 => {
+            Err("sharded backend needs shards >= 1".into())
         }
+        ExecSpec::Message { partition } if partition.shards() == 0 => {
+            Err("message backend needs shards >= 1".into())
+        }
+        _ => Ok(()),
     }
-    Ok(())
 }
 
 /// Assembles an [`ExecSpec`] from the four declarative parts every entry
 /// point exposes — the `backend`/`threads`/`shards`/`partition` keys of a
 /// scenario file, or the CLI flags of the same names. This is the single
 /// home of the gating rules (`shards`/`partition` only with the sharded
-/// backend, `serial` is one thread, `partition` defaults to `range`,
-/// `threads` defaults to auto for pool/sharded), so file parsing and CLI
-/// overrides cannot drift apart.
+/// and message backends, `serial` is one thread, the message backend has
+/// no `threads` knob at all — one worker per shard, `partition` defaults
+/// to `range`, `threads` defaults to auto for pool/sharded), so file
+/// parsing and CLI overrides cannot drift apart.
 pub fn exec_spec_from_parts(
     backend: Option<&str>,
     threads: Option<usize>,
@@ -562,7 +568,9 @@ pub fn exec_spec_from_parts(
 ) -> Result<ExecSpec, String> {
     let reject_shard_keys = || -> Result<(), String> {
         if shards.is_some() || partition.is_some() {
-            return Err("shards/partition are only valid with backend = \"sharded\"".into());
+            return Err(
+                "shards/partition are only valid with backend = \"sharded\" or \"message\"".into(),
+            );
         }
         Ok(())
     };
@@ -592,8 +600,18 @@ pub fn exec_spec_from_parts(
                 threads: threads.unwrap_or(0),
             })
         }
+        Some("message") => {
+            if threads.is_some() {
+                return Err(
+                    "backend \"message\" runs one worker per shard (drop the threads key)".into(),
+                );
+            }
+            let shards = shards.ok_or("backend \"message\" needs shards")?;
+            let partition = partition_from_name(partition.unwrap_or("range"), shards)?;
+            Ok(ExecSpec::Message { partition })
+        }
         Some(other) => Err(format!(
-            "unknown backend {other:?} (expected serial, pool, or sharded)"
+            "unknown backend {other:?} (expected serial, pool, sharded, or message)"
         )),
     }
 }
@@ -836,6 +854,7 @@ impl Scenario {
         &[
             "bursty-torus",
             "bursty-torus-sharded",
+            "bursty-torus-message",
             "zipf-hypercube-drain",
             "diurnal-cycle",
             "adversarial-hetero",
@@ -851,7 +870,12 @@ impl Scenario {
     ///   on/off bursts with proportional service; runs to steady state;
     /// * `bursty-torus-sharded` — the same regime on the sharded backend
     ///   (8 BFS-grown shards, 2 workers); its trajectory is bit-identical
-    ///   to `bursty-torus`, which the CI cross-backend smoke asserts;
+    ///   to `bursty-torus`, which the CI cross-backend matrix asserts;
+    /// * `bursty-torus-message` — the same regime on the message-passing
+    ///   backend (8 BFS-grown shard workers, halo values crossing shards
+    ///   only as batched messages); trajectory bit-identical to
+    ///   `bursty-torus`, with per-round communication totals in its
+    ///   report;
     /// * `zipf-hypercube-drain` — discrete tokens on `Q_8` with Zipf
     ///   hotspot arrivals against a fixed per-node service capacity;
     /// * `diurnal-cycle` — continuous diffusion on a cycle under a
@@ -891,6 +915,13 @@ impl Scenario {
                 s.with_exec(ExecSpec::Sharded {
                     partition: PartitionSpec::Bfs { shards: 8 },
                     threads: 2,
+                })
+            }
+            "bursty-torus-message" => {
+                let mut s = Scenario::builtin("bursty-torus").expect("base builtin exists");
+                s.name = "bursty-torus-message".into();
+                s.with_exec(ExecSpec::Message {
+                    partition: PartitionSpec::Bfs { shards: 8 },
                 })
             }
             "zipf-hypercube-drain" => Scenario::new(

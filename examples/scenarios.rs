@@ -12,13 +12,15 @@
 //! Options:
 //!
 //! * `--name <builtin>` / `--file <path>` — which scenario to run;
-//! * `--backend <serial|pool|sharded>` — override the scenario's
+//! * `--backend <serial|pool|sharded|message>` — override the scenario's
 //!   execution backend (trajectories are backend-independent, so this is
-//!   safe to vary freely — the CI cross-backend smoke relies on it);
+//!   safe to vary freely — the CI cross-backend matrix relies on it);
 //! * `--threads <t>` — worker count (with `--backend`, refines it; alone
-//!   it is the legacy scalar: 1 = serial, 0 = auto-pool, t > 1 = pool);
-//! * `--shards <k>` / `--partition <range|bfs>` — sharded-backend
-//!   parameters (`--shards` implies `--backend sharded`);
+//!   it is the legacy scalar: 1 = serial, 0 = auto-pool, t > 1 = pool;
+//!   rejected with `--backend message`, which runs one worker per shard);
+//! * `--shards <k>` / `--partition <range|bfs>` — sharded/message-backend
+//!   parameters (without `--backend`, `--shards` implies
+//!   `--backend sharded`);
 //! * `--json <path>` — also write the report as JSON lines
 //!   (schema `dlb-scenario/1`; the CI smoke job asserts the conservation
 //!   invariant from this output);
@@ -48,6 +50,11 @@ fn exec_summary(exec: &ExecSpec) -> String {
             } else {
                 threads.to_string()
             }
+        ),
+        ExecSpec::Message { partition } => format!(
+            "message({} x{}, 1 worker/shard)",
+            partition.strategy_name(),
+            partition.shards(),
         ),
     }
 }
@@ -99,7 +106,7 @@ fn main() {
             );
         }
         println!(
-            "\nexec overrides: --backend serial|pool|sharded, --threads t, \
+            "\nexec overrides: --backend serial|pool|sharded|message, --threads t, \
              --shards k, --partition range|bfs"
         );
         return;
@@ -123,7 +130,7 @@ fn main() {
         _ => {
             eprintln!(
                 "usage: scenarios (--name <builtin> | --file <path>) \
-                 [--backend serial|pool|sharded] [--threads t] [--shards k] \
+                 [--backend serial|pool|sharded|message] [--threads t] [--shards k] \
                  [--partition range|bfs] [--json out.jsonl] [--print-spec] [--list]"
             );
             std::process::exit(2);

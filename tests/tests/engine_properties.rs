@@ -1,9 +1,13 @@
 //! Engine-level property tests: for **every** `Protocol` implementation in
-//! the workspace, all three executor backends — serial, pool, and sharded
-//! (both range and BFS partitions, including shard counts exceeding `n`)
-//! — must produce bit-identical load vectors **and per-round statistics**
-//! on arbitrary graphs, initial loads, and thread counts — the structural
-//! guarantee the unified engine owes the paper's determinism story.
+//! the workspace, all four executor backends — serial, pool, sharded, and
+//! message-passing (both range and BFS partitions, including shard counts
+//! exceeding `n`) — must produce bit-identical load vectors **and
+//! per-round statistics** on arbitrary graphs, initial loads, and thread
+//! counts — the structural guarantee the unified engine owes the paper's
+//! determinism story. For the message backend this additionally pins that
+//! shard-isolated workers exchanging only batched halo messages (or the
+//! full exchange, for non-neighbourhood-local protocols) reconstruct the
+//! shared-memory rounds exactly.
 //!
 //! Randomized protocols participate too: their RNG lives inside the
 //! protocol and `begin_round` runs before the gather fans out, so equal
@@ -68,8 +72,10 @@ fn run_collecting<P: Protocol>(
 
 /// Runs `rounds` rounds on every backend — serial, pool, sharded/range,
 /// sharded/BFS (with one shard count near the thread count and one
-/// exceeding `n`) — from the same state and asserts bitwise equality of
-/// the final vectors *and* of every round's statistics.
+/// exceeding `n`), and the message backend (shard-isolated workers over
+/// channels, both partition strategies, again incl. shards > `n`) — from
+/// the same state and asserts bitwise equality of the final vectors *and*
+/// of every round's statistics.
 fn assert_bit_identical<P, M>(make: M, init: &[P::Load], threads: usize, rounds: usize)
 where
     P: Protocol + Sync,
@@ -91,6 +97,21 @@ where
             threads,
         });
     }
+    backends.push(Backend::Message {
+        partition: PartitionSpec::Range {
+            shards: threads + 1,
+        },
+    });
+    backends.push(Backend::Message {
+        partition: PartitionSpec::Bfs {
+            shards: threads + 1,
+        },
+    });
+    backends.push(Backend::Message {
+        partition: PartitionSpec::Range {
+            shards: init.len() + 3,
+        },
+    });
     for backend in backends {
         let (loads, stats) = run_collecting(Engine::with_backend(make(), backend), init, rounds);
         assert_eq!(

@@ -185,7 +185,7 @@ pub mod collection {
     use super::{Strategy, TestRng};
     use std::ops::Range;
 
-    /// Length specifications accepted by [`vec`].
+    /// Length specifications accepted by [`vec()`].
     pub trait IntoSizeRange {
         /// Draws a concrete length.
         fn draw_len(&self, rng: &mut TestRng) -> usize;
@@ -209,7 +209,7 @@ pub mod collection {
         VecStrategy { element, size }
     }
 
-    /// See [`vec`].
+    /// See [`vec()`].
     pub struct VecStrategy<S, L> {
         element: S,
         size: L,
@@ -224,11 +224,36 @@ pub mod collection {
     }
 }
 
-/// Runs the body of one `proptest!` test for every case.
+/// Reads the `PROPTEST_CASES` environment variable: a **cap** on the
+/// per-test case count. Unlike upstream proptest (where the variable
+/// *overrides* the configured count), the cap only ever lowers a test's
+/// configured cases — CI uses it to keep a grown property suite under
+/// the job timeout without inflating tests that deliberately run few
+/// cases. A set-but-invalid value panics, mirroring the workspace's
+/// `DLB_THREADS` policy: a typo'd override that is silently ignored runs
+/// a different test suite than the one asked for.
+fn cases_cap() -> Option<u32> {
+    let value = std::env::var("PROPTEST_CASES").ok()?;
+    match value.trim().parse::<u32>() {
+        Ok(n) if n >= 1 => Some(n),
+        _ => panic!(
+            "PROPTEST_CASES must be a positive integer, got {value:?} \
+             (unset the variable to run the configured case counts)"
+        ),
+    }
+}
+
+/// Runs the body of one `proptest!` test for every case (capped by the
+/// `PROPTEST_CASES` environment variable — a cap that only lowers the
+/// configured count, panicking on a set-but-invalid value).
 ///
 /// Used by the macro expansion; not part of the public upstream API.
 pub fn run_cases(config: ProptestConfig, test_path: &str, mut case_body: impl FnMut(&mut TestRng)) {
-    for case in 0..config.cases {
+    let cases = match cases_cap() {
+        Some(cap) => config.cases.min(cap),
+        None => config.cases,
+    };
+    for case in 0..cases {
         let mut rng = test_rng(test_path, case);
         case_body(&mut rng);
     }
