@@ -21,6 +21,18 @@
 //!   what shard isolation costs on shared memory relative to
 //!   `sharded_round`'s zero-copy scatter — the gap is the price of the
 //!   ownership transfer plus the exchange itself;
+//! - **kernel_gather** — the degree-specialized kernel dispatch layer:
+//!   one serial `Engine::round` (stats off — the gather alone) per
+//!   [`KernelKind`] (`scalar` | `unrolled` | `simd`) on a degree-4
+//!   torus, a regular hypercube, and an irregular tree whose short
+//!   degree runs defeat the run-block schedule. Same computation, same
+//!   bits — the group measures exactly what each dispatch flavour buys;
+//! - **thread_scaling** — one `Engine::round` (stats off) for every
+//!   backend at every thread count `1..=available`: serial once,
+//!   pool/sharded/message per count (shards = threads for the sharded
+//!   and message rows). Each record carries `speedup_vs_serial`
+//!   (serial median / variant median, computed after the run), making
+//!   the scaling protocol a first-class part of the trajectory;
 //! - **convergence_run** — a fixed-round end-to-end run through
 //!   `run_continuous` (driver + on-demand `Φ` fallback included), the
 //!   number the ROADMAP's speedup targets are stated against;
@@ -43,8 +55,9 @@
 use criterion::{take_reports, Criterion};
 use dlb_bench::perf_json::{self, PerfRecord};
 use dlb_core::continuous::{self, ContinuousDiffusion};
-use dlb_core::engine::{recommended_threads, IntoEngine, Protocol, StatsMode};
+use dlb_core::engine::{recommended_threads, Backend, Engine, IntoEngine, Protocol, StatsMode};
 use dlb_core::runner::run_continuous;
+use dlb_core::KernelKind;
 use dlb_graphs::{topology, Graph, PartitionSpec};
 use std::collections::HashMap;
 use std::hint::black_box;
@@ -62,6 +75,10 @@ struct Meta {
     /// Message variants: per-round batched messages and values moved.
     messages: Option<usize>,
     values_sent: Option<usize>,
+    /// Groups running off the shared torus instance leave these `None`;
+    /// `kernel_gather` benches its own per-topology instances.
+    topology: Option<&'static str>,
+    n: Option<usize>,
 }
 
 impl Meta {
@@ -75,6 +92,8 @@ impl Meta {
             halo: None,
             messages: None,
             values_sent: None,
+            topology: None,
+            n: None,
         }
     }
 }
@@ -256,6 +275,93 @@ fn message_rounds(c: &mut Criterion, inst: &Instance, meta: &mut HashMap<String,
     group.finish();
 }
 
+/// The kernel-dispatch comparison: serial rounds with statistics off, so
+/// the measured time is the gather alone, per [`KernelKind`] and per
+/// degree structure. Instances are sized below the main torus — the
+/// group's job is relative flavour cost on each structure, not absolute
+/// scale.
+fn kernel_gather(c: &mut Criterion, quick: bool, meta: &mut HashMap<String, Meta>) {
+    let side = if quick { 64 } else { 512 };
+    let dim = if quick { 12 } else { 18 };
+    let graphs: [(&'static str, Graph); 3] = [
+        // Degree 4 everywhere: one run, the unrolled d=4 fast path.
+        ("torus", topology::torus2d(side, side)),
+        // Regular at a degree with a lane remainder (no unrolled match).
+        ("hypercube", topology::hypercube(dim)),
+        // Degrees 1/2/3 in short alternating runs: the irregular tail —
+        // the schedule degenerates to per-run dispatch with tiny runs.
+        ("irregular", topology::binary_tree(side * side)),
+    ];
+    let mut group = c.benchmark_group("kernel_gather");
+    for (name, g) in &graphs {
+        let init: Vec<f64> = (0..g.n()).map(|i| ((i * 131 + 17) % 4099) as f64).collect();
+        for kind in KernelKind::ALL {
+            let variant = format!("{name}/{}", kind.name());
+            let mut m = Meta::new("kernel_gather", variant.clone(), 1, 1);
+            m.topology = Some(name);
+            m.n = Some(g.n());
+            meta.insert(format!("kernel_gather/{variant}"), m);
+            group.bench_function(variant, |b| {
+                let mut engine = ContinuousDiffusion::new(g)
+                    .engine()
+                    .with_kernel(kind)
+                    .with_stats_mode(StatsMode::Off);
+                let mut loads = init.clone();
+                b.iter(|| {
+                    engine.round(&mut loads);
+                    black_box(loads[0])
+                });
+            });
+        }
+    }
+    group.finish();
+}
+
+/// The thread-scaling protocol: every backend at every worker count from
+/// 1 to the machine's available threads, stats off, on the shared torus
+/// instance. `main` joins the records with `speedup_vs_serial` —
+/// serial median over variant median — after the run.
+fn thread_scaling(c: &mut Criterion, inst: &Instance, meta: &mut HashMap<String, Meta>) {
+    let avail = recommended_threads().max(2);
+    let mut group = c.benchmark_group("thread_scaling");
+    let mut variants: Vec<(String, usize, Backend)> =
+        vec![("serial/1t".to_string(), 1, Backend::Serial)];
+    for t in 1..=avail {
+        variants.push((format!("pool/{t}t"), t, Backend::Pool { threads: t }));
+        variants.push((
+            format!("sharded/{t}t"),
+            t,
+            Backend::Sharded {
+                partition: PartitionSpec::Range { shards: t.max(2) },
+                threads: t,
+            },
+        ));
+        variants.push((
+            format!("message/{t}t"),
+            t,
+            Backend::Message {
+                partition: PartitionSpec::Range { shards: t.max(2) },
+            },
+        ));
+    }
+    for (variant, threads, backend) in variants {
+        meta.insert(
+            format!("thread_scaling/{variant}"),
+            Meta::new("thread_scaling", variant.clone(), 1, threads),
+        );
+        let mut engine = Engine::with_backend(ContinuousDiffusion::new(&inst.g), backend)
+            .with_stats_mode(StatsMode::Off);
+        let mut loads = inst.init.clone();
+        group.bench_function(variant, |b| {
+            b.iter(|| {
+                engine.round(&mut loads);
+                black_box(loads[0])
+            });
+        });
+    }
+    group.finish();
+}
+
 fn convergence_runs(
     c: &mut Criterion,
     inst: &Instance,
@@ -378,9 +484,11 @@ fn main() {
 
     let mut meta: HashMap<String, Meta> = HashMap::new();
     gather_kernels(&mut c, &inst, &mut meta);
+    kernel_gather(&mut c, quick, &mut meta);
     engine_rounds(&mut c, &inst, &mut meta);
     sharded_rounds(&mut c, &inst, &mut meta);
     message_rounds(&mut c, &inst, &mut meta);
+    thread_scaling(&mut c, &inst, &mut meta);
     convergence_runs(&mut c, &inst, conv_rounds, &mut meta);
     scenario_runs(&mut c, &inst, conv_rounds, &mut meta);
 
@@ -390,7 +498,7 @@ fn main() {
         return;
     }
 
-    let records: Vec<PerfRecord> = take_reports()
+    let mut records: Vec<PerfRecord> = take_reports()
         .into_iter()
         .filter_map(|r| {
             let m = meta.get(&r.id)?;
@@ -399,8 +507,8 @@ fn main() {
                 id: r.id.clone(),
                 group: m.group.to_string(),
                 variant: m.variant.clone(),
-                topology: "torus2d".to_string(),
-                n: inst.side * inst.side,
+                topology: m.topology.unwrap_or("torus2d").to_string(),
+                n: m.n.unwrap_or(inst.side * inst.side),
                 threads: m.threads,
                 rounds_per_iter: m.rounds_per_iter,
                 median_ns_per_round: r.median_ns / per_round,
@@ -410,9 +518,23 @@ fn main() {
                 halo: m.halo,
                 messages: m.messages,
                 values_sent: m.values_sent,
+                speedup_vs_serial: None,
             })
         })
         .collect();
+    // Join the scaling protocol's speedups: serial median over variant
+    // median, from the same run.
+    let serial_median = records
+        .iter()
+        .find(|r| r.group == "thread_scaling" && r.variant == "serial/1t")
+        .map(|r| r.median_ns_per_round);
+    if let Some(serial_median) = serial_median {
+        for r in &mut records {
+            if r.group == "thread_scaling" && r.median_ns_per_round > 0.0 {
+                r.speedup_vs_serial = Some(serial_median / r.median_ns_per_round);
+            }
+        }
+    }
     assert!(
         !records.is_empty(),
         "bench produced no records (filter excluded everything?)"

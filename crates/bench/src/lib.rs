@@ -84,6 +84,11 @@ pub mod perf_json {
         /// Message-backend only: load values carried by those messages
         /// per round.
         pub values_sent: Option<usize>,
+        /// Thread-scaling records only: this variant's speedup relative
+        /// to the serial single-thread baseline of the same run
+        /// (`serial_median / variant_median`; > 1 is faster than
+        /// serial). Omitted from the JSON when absent.
+        pub speedup_vs_serial: Option<f64>,
     }
 
     fn esc(s: &str) -> String {
@@ -129,6 +134,11 @@ pub mod perf_json {
             }
             if let Some(values) = r.values_sent {
                 shard_meta.push_str(&format!(", \"values_sent\": {values}"));
+            }
+            if let Some(speedup) = r.speedup_vs_serial {
+                if speedup.is_finite() {
+                    shard_meta.push_str(&format!(", \"speedup_vs_serial\": {speedup:.3}"));
+                }
             }
             out.push_str(&format!(
                 "    {{\"id\": \"{}\", \"group\": \"{}\", \"variant\": \"{}\", \

@@ -55,16 +55,12 @@ pub fn node_new_load(g: &Graph, snapshot: &[f64], v: u32) -> f64 {
 
 /// Shared gather kernel over CSR-slot-aligned precomputed divisors
 /// (bit-identical to [`node_new_load`] because the divisor values are
-/// equal and the operation order is unchanged).
+/// equal and the operation order is unchanged). One instantiation of the
+/// generic [`crate::kernels::gather_node`] loop — the discrete twin in
+/// [`crate::discrete`] is the `i64` instantiation of the same code.
 #[inline]
 pub(crate) fn gather_precomputed(g: &Graph, slot_div: &[f64], snapshot: &[f64], v: u32) -> f64 {
-    let lv = snapshot[v as usize];
-    let off = g.neighbor_offset(v);
-    let mut acc = lv;
-    for (i, &u) in g.neighbors(v).iter().enumerate() {
-        acc += (snapshot[u as usize] - lv) / slot_div[off + i];
-    }
-    acc
+    crate::kernels::gather_node(g, slot_div, snapshot, v)
 }
 
 /// Per-round flow statistics over edge-list-aligned precomputed divisors,
@@ -141,6 +137,13 @@ impl Protocol for ContinuousDiffusion<'_> {
     fn current_graph(&self) -> Option<&Graph> {
         Some(self.g)
     }
+
+    fn gather_spec(&self) -> Option<crate::kernels::GatherSpec<'_, f64>> {
+        Some(crate::kernels::GatherSpec {
+            graph: self.g,
+            slot_div: &self.slot_div,
+        })
+    }
 }
 
 /// Generalized protocol with a configurable divisor factor `k`:
@@ -209,6 +212,13 @@ impl Protocol for GeneralizedDiffusion<'_> {
 
     fn current_graph(&self) -> Option<&Graph> {
         Some(self.g)
+    }
+
+    fn gather_spec(&self) -> Option<crate::kernels::GatherSpec<'_, f64>> {
+        Some(crate::kernels::GatherSpec {
+            graph: self.g,
+            slot_div: &self.slot_div,
+        })
     }
 }
 

@@ -50,22 +50,13 @@ pub fn node_new_load(g: &Graph, snapshot: &[i64], v: u32) -> i64 {
 }
 
 /// Shared gather kernel over CSR-slot-aligned precomputed integer divisors
-/// (exactly [`node_new_load`]: identical integer operations).
+/// (exactly [`node_new_load`]: identical integer operations). One
+/// instantiation of the generic [`crate::kernels::gather_node`] loop —
+/// the continuous twin in [`crate::continuous`] is the `f64`
+/// instantiation of the same code.
 #[inline]
 pub(crate) fn gather_precomputed(g: &Graph, slot_div: &[i64], snapshot: &[i64], v: u32) -> i64 {
-    let lv = snapshot[v as usize] as i128;
-    let off = g.neighbor_offset(v);
-    let mut acc = lv;
-    for (i, &u) in g.neighbors(v).iter().enumerate() {
-        let lu = snapshot[u as usize] as i128;
-        let c = slot_div[off + i] as i128;
-        if lu > lv {
-            acc += (lu - lv) / c;
-        } else if lv > lu {
-            acc -= (lv - lu) / c;
-        }
-    }
-    i64::try_from(acc).expect("load fits i64")
+    crate::kernels::gather_node(g, slot_div, snapshot, v)
 }
 
 /// Per-round token statistics over edge-list-aligned precomputed divisors,
@@ -142,6 +133,13 @@ impl Protocol for DiscreteDiffusion<'_> {
 
     fn current_graph(&self) -> Option<&Graph> {
         Some(self.g)
+    }
+
+    fn gather_spec(&self) -> Option<crate::kernels::GatherSpec<'_, i64>> {
+        Some(crate::kernels::GatherSpec {
+            graph: self.g,
+            slot_div: &self.slot_div,
+        })
     }
 }
 

@@ -76,9 +76,10 @@ use std::sync::mpsc;
 use std::sync::OnceLock;
 use std::thread::JoinHandle;
 
+use crate::kernels::{self, DiffusionLoad, GatherSpec, KernelKind};
 use crate::potential;
 use dlb_graphs::partition::{graph_fingerprint, PartitionSpec, ShardPlan, ShardView};
-use dlb_graphs::Graph;
+use dlb_graphs::{GatherPlan, Graph};
 
 /// One synchronous balancing scheme, expressed as a per-round gather.
 ///
@@ -98,8 +99,19 @@ pub trait Protocol {
     /// The load value type: `f64` for continuous schemes, `i64` tokens for
     /// discrete ones. (`'static` because the message-passing backend's
     /// long-lived shard workers own load buffers beyond any one round's
-    /// borrows — trivially satisfied by the plain scalar load types.)
-    type Load: Copy + Default + PartialEq + Send + Sync + std::fmt::Debug + LoadPotential + 'static;
+    /// borrows — trivially satisfied by the plain scalar load types.
+    /// [`DiffusionLoad`] supplies the generic quotient/accumulate
+    /// operations the specialized gather kernels are written over; both
+    /// scalar load types implement it.)
+    type Load: Copy
+        + Default
+        + PartialEq
+        + Send
+        + Sync
+        + std::fmt::Debug
+        + LoadPotential
+        + DiffusionLoad
+        + 'static;
 
     /// Per-round statistics produced by [`Protocol::compute_stats`].
     type Stats;
@@ -196,6 +208,23 @@ pub trait Protocol {
     /// fingerprint adds a constant factor, not a new asymptotic cost.
     fn graph_version(&self) -> u64 {
         0
+    }
+
+    /// The canonical-gather descriptor, if this protocol's
+    /// [`Protocol::node_new_load`] is *exactly* the quotient-accumulate
+    /// diffusion loop `ℓᵥ + Σᵤ (ℓᵤ − ℓᵥ)/div(v,u)` over a fixed graph
+    /// with CSR-slot-aligned precomputed divisors. Protocols returning
+    /// `Some` opt into the engine's degree-specialized kernel dispatch
+    /// (see [`crate::kernels`]); the spec's graph must be the same object
+    /// [`Protocol::current_graph`] reports, valid for the current round.
+    ///
+    /// The default `None` keeps a protocol on its own `node_new_load`
+    /// everywhere — correct for every scheme whose update is not the
+    /// canonical loop (α-scaled first/second-order flows,
+    /// capacity-weighted heterogeneous diffusion, matching exchanges,
+    /// random partners, sequential chains).
+    fn gather_spec(&self) -> Option<GatherSpec<'_, Self::Load>> {
+        None
     }
 }
 
@@ -552,12 +581,34 @@ impl WorkerPool {
         L: Send,
         K: Fn(u32) -> L + Sync,
     {
+        self.gather_chunks(out, |start, chunk| {
+            for (k, slot) in chunk.iter_mut().enumerate() {
+                *slot = kernel((start + k) as u32);
+            }
+        });
+    }
+
+    /// Chunk-granular form of [`WorkerPool::gather`]: `fill(start, chunk)`
+    /// must write every slot of `chunk`, where `chunk` is the contiguous
+    /// sub-slice of `out` beginning at global index `start`. Batch gather
+    /// kernels (degree-run dispatch, see [`crate::kernels`]) use this
+    /// directly so each worker runs one planned sweep per chunk instead of
+    /// `n` virtual calls.
+    ///
+    /// Chunk boundaries never change results as long as `fill` writes
+    /// `chunk[i]` as a pure function of `start + i` — the same contract
+    /// [`WorkerPool::gather`] imposes per node.
+    pub fn gather_chunks<L, F>(&self, out: &mut [L], fill: F)
+    where
+        L: Send,
+        F: Fn(usize, &mut [L]) + Sync,
+    {
         let ranges = chunk_ranges(out.len(), self.threads());
         let (done_tx, done_rx) = mpsc::channel::<bool>();
         let mut dispatched = 0usize;
 
         {
-            let kernel = &kernel;
+            let fill = &fill;
             let mut rest = &mut out[..];
             let mut offset = 0usize;
             for (w, &(start, end)) in ranges.iter().enumerate() {
@@ -567,16 +618,14 @@ impl WorkerPool {
                 let done = done_tx.clone();
                 let task: Box<dyn FnOnce() + Send + '_> = Box::new(move || {
                     let outcome = catch_unwind(AssertUnwindSafe(|| {
-                        for (k, slot) in chunk.iter_mut().enumerate() {
-                            *slot = kernel((start + k) as u32);
-                        }
+                        fill(start, chunk);
                     }));
                     // Send after the chunk borrow ends; a panic in the
-                    // kernel must still signal completion or the caller
+                    // fill must still signal completion or the caller
                     // would deadlock.
                     let _ = done.send(outcome.is_ok());
                 });
-                // SAFETY: the task borrows `kernel`, `chunk` (a disjoint
+                // SAFETY: the task borrows `fill`, `chunk` (a disjoint
                 // sub-slice of `out`) and `done`. All three outlive the
                 // task: this function blocks on `done_rx` below until every
                 // dispatched task has sent its completion message, which
@@ -689,6 +738,9 @@ pub struct Engine<P: Protocol> {
     /// — the only places that know `P: Sync` — so [`Engine::round`] needs
     /// no thread-safety bounds and serial-only protocols stay `?Sync`.
     exec: Exec<P>,
+    /// The kernel dispatcher: selected flavour plus memoized per-graph
+    /// [`GatherPlan`]s, consulted by every backend.
+    kernel: KernelState,
     /// Which rounds compute statistics.
     stats_mode: StatsMode,
     /// Rounds executed since construction (drives [`StatsMode::EveryK`]).
@@ -696,19 +748,43 @@ pub struct Engine<P: Protocol> {
 }
 
 /// Monomorphized pooled-gather entry point stored by parallel engines.
-type GatherFn<P> = fn(&WorkerPool, &P, &[<P as Protocol>::Load], &mut [<P as Protocol>::Load]);
+/// The trailing pair is the round's kernel selection: the flavour and the
+/// memoized [`GatherPlan`] (`None` when the protocol exposes no
+/// [`Protocol::gather_spec`] — the gather then runs `node_new_load`).
+type GatherFn<P> = fn(
+    &WorkerPool,
+    &P,
+    &[<P as Protocol>::Load],
+    &mut [<P as Protocol>::Load],
+    KernelKind,
+    Option<&GatherPlan>,
+);
 
 /// Monomorphized sharded-gather entry point stored by sharded engines.
-type ShardedGatherFn<P> =
-    fn(&WorkerPool, &P, &[<P as Protocol>::Load], &mut [<P as Protocol>::Load], &ShardPlan);
+type ShardedGatherFn<P> = fn(
+    &WorkerPool,
+    &P,
+    &[<P as Protocol>::Load],
+    &mut [<P as Protocol>::Load],
+    &ShardPlan,
+    KernelKind,
+    Option<&GatherPlan>,
+);
 
 fn pooled_gather<P: Protocol + Sync>(
     pool: &WorkerPool,
     protocol: &P,
     snapshot: &[P::Load],
     out: &mut [P::Load],
+    kind: KernelKind,
+    plan: Option<&GatherPlan>,
 ) {
-    pool.gather(out, |v| protocol.node_new_load(snapshot, v));
+    match (plan, protocol.gather_spec()) {
+        (Some(plan), Some(spec)) => pool.gather_chunks(out, |start, chunk| {
+            kernels::gather_span(kind, plan, &spec, snapshot, start as u32, chunk);
+        }),
+        _ => pool.gather(out, |v| protocol.node_new_load(snapshot, v)),
+    }
 }
 
 /// Shared mutable output pointer for the sharded scatter-gather. Shards
@@ -733,6 +809,8 @@ fn sharded_gather<P: Protocol + Sync>(
     snapshot: &[P::Load],
     out: &mut [P::Load],
     plan: &ShardPlan,
+    kind: KernelKind,
+    gather_plan: Option<&GatherPlan>,
 ) {
     // A hard assert, not a debug one: the raw-pointer scatter below relies
     // on every owned id lying inside `out`, and `current_graph()` is an
@@ -745,18 +823,36 @@ fn sharded_gather<P: Protocol + Sync>(
     );
     let out_ptr = SharedOut(out.as_mut_ptr());
     let views = plan.views();
+    let spec = protocol.gather_spec();
     pool.broadcast(views.len(), |s| {
         let view = &views[s];
         // Interior first, then boundary: the order a message-passing
         // backend uses (interior work overlaps the halo receive). The
         // kernel is a pure per-node function, so the split cannot change
         // results — the serial ≡ pool ≡ sharded bit-identity invariant.
-        for &v in view.interior().iter().chain(view.boundary()) {
-            let value = protocol.node_new_load(snapshot, v);
-            // SAFETY: `v` is owned by shard `s`; owned sets are disjoint
-            // across shards and within `0..out.len()`, so this write
-            // aliases no other worker's writes.
-            unsafe { *out_ptr.base().add(v as usize) = value };
+        match (gather_plan, &spec) {
+            (Some(gp), Some(spec)) => {
+                // Dispatchable protocol: run the planned batch gather over
+                // the shard's node lists. Contiguous owned segments (range
+                // partitions, shard interiors) hit the strided run kernels
+                // — the shard split is also the L2 blocking boundary.
+                // SAFETY (per emitted node): identical to the scalar arm
+                // below — `gather_list` emits exactly the nodes of the
+                // lists it is given, all owned by shard `s`.
+                let mut emit =
+                    |v: u32, value: P::Load| unsafe { *out_ptr.base().add(v as usize) = value };
+                kernels::gather_list(kind, gp, spec, snapshot, view.interior(), &mut emit);
+                kernels::gather_list(kind, gp, spec, snapshot, view.boundary(), &mut emit);
+            }
+            _ => {
+                for &v in view.interior().iter().chain(view.boundary()) {
+                    let value = protocol.node_new_load(snapshot, v);
+                    // SAFETY: `v` is owned by shard `s`; owned sets are
+                    // disjoint across shards and within `0..out.len()`, so
+                    // this write aliases no other worker's writes.
+                    unsafe { *out_ptr.base().add(v as usize) = value };
+                }
+            }
         }
     });
 }
@@ -789,15 +885,16 @@ const SHARD_PLAN_CACHE: usize = 32;
 const TRIVIAL_PLAN_KEY: u64 = 0;
 
 /// Fingerprint-keyed, capped-FIFO memoization of per-graph execution
-/// plans, shared by the sharded backend (`T = ShardPlan`) and the
-/// message backend (`T = Arc<MessagePlan>`): while the protocol's
-/// `graph_version` is unchanged the cached entry is reused without
-/// touching the graph; on a version change the graph is re-fingerprinted
-/// and either found in the cache (periodic schedules) or a new entry is
-/// built.
+/// plans, shared by the sharded backend (`T = ShardPlan`), the message
+/// backend (`T = Arc<MessagePlan>`), and the kernel dispatcher
+/// (`T = Arc<GatherPlan>`): while the protocol's `graph_version` is
+/// unchanged the cached entry is reused without touching the graph; on a
+/// version change the graph is re-fingerprinted and either found in the
+/// cache (periodic schedules) or a new entry is built. Build inputs
+/// beyond the graph (e.g. the partition spec) live with the executor and
+/// are captured by the `build` closure.
 #[derive(Debug)]
 struct PlanCache<T> {
-    spec: PartitionSpec,
     /// Memoized entries keyed by graph fingerprint, oldest first.
     entries: Vec<(u64, T)>,
     /// Index into `entries` of the entry in use (`usize::MAX` before the
@@ -809,9 +906,8 @@ struct PlanCache<T> {
 }
 
 impl<T> PlanCache<T> {
-    fn new(spec: PartitionSpec) -> Self {
+    fn new() -> Self {
         PlanCache {
-            spec,
             entries: Vec::new(),
             current: usize::MAX,
             cached_version: None,
@@ -829,11 +925,11 @@ impl<T> PlanCache<T> {
     }
 
     /// Resolves the entry for the protocol's current graph, building via
-    /// `build(spec, graph, n)` on a cache miss.
+    /// `build(graph, n)` on a cache miss.
     fn refresh<P: Protocol>(
         &mut self,
         protocol: &P,
-        build: impl FnOnce(&PartitionSpec, Option<&Graph>, usize) -> T,
+        build: impl FnOnce(Option<&Graph>, usize) -> T,
     ) {
         let version = protocol.graph_version();
         if self.cached_version == Some(version) && self.resolved() {
@@ -849,7 +945,7 @@ impl<T> PlanCache<T> {
                 if self.entries.len() >= SHARD_PLAN_CACHE {
                     self.entries.remove(0);
                 }
-                let entry = build(&self.spec, graph, protocol.n());
+                let entry = build(graph, protocol.n());
                 self.entries.push((key, entry));
                 self.built += 1;
                 self.entries.len() - 1
@@ -870,16 +966,53 @@ fn build_shard_plan(spec: &PartitionSpec, graph: Option<&Graph>, n: usize) -> Sh
     }
 }
 
+/// The engine's kernel dispatcher: the selected [`KernelKind`] and the
+/// memoized per-graph [`GatherPlan`]s (same fingerprint cache as the
+/// shard plans, so dynamic sequences that revisit graphs reuse their
+/// degree analysis). Every backend consults it; protocols that expose no
+/// [`Protocol::gather_spec`] never build a plan and keep their
+/// `node_new_load` path.
+#[derive(Debug)]
+struct KernelState {
+    kind: KernelKind,
+    plans: PlanCache<std::sync::Arc<GatherPlan>>,
+}
+
+impl KernelState {
+    fn new() -> Self {
+        KernelState {
+            kind: kernels::kernel_kind_cached(),
+            plans: PlanCache::new(),
+        }
+    }
+
+    /// Resolves the gather plan for the protocol's current graph, or
+    /// `None` when the protocol opts out of kernel dispatch (no
+    /// [`GatherSpec`]) or exposes no graph to analyse. The `Arc` is
+    /// cloned out so the caller holds the plan independently of later
+    /// cache evictions.
+    fn resolve<P: Protocol>(&mut self, protocol: &P) -> Option<std::sync::Arc<GatherPlan>> {
+        if protocol.gather_spec().is_none() || protocol.current_graph().is_none() {
+            return None;
+        }
+        self.plans.refresh(protocol, |graph, _n| {
+            std::sync::Arc::new(GatherPlan::build(graph.expect("graph checked above")))
+        });
+        Some(self.plans.current().clone())
+    }
+}
+
 struct ShardedExec<P: Protocol> {
     pool: WorkerPool,
     gather: ShardedGatherFn<P>,
+    spec: PartitionSpec,
     plans: PlanCache<ShardPlan>,
 }
 
 impl<P: Protocol> std::fmt::Debug for ShardedExec<P> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("ShardedExec")
-            .field("spec", &self.plans.spec)
+            .field("spec", &self.spec)
             .field("threads", &self.pool.threads())
             .field("plans", &self.plans.entries.len())
             .field("plans_built", &self.plans.built)
@@ -889,7 +1022,9 @@ impl<P: Protocol> std::fmt::Debug for ShardedExec<P> {
 
 impl<P: Protocol> ShardedExec<P> {
     fn refresh_plan(&mut self, protocol: &P) {
-        self.plans.refresh(protocol, build_shard_plan);
+        let spec = self.spec;
+        self.plans
+            .refresh(protocol, |graph, n| build_shard_plan(&spec, graph, n));
     }
 
     fn current_plan(&self) -> &ShardPlan {
@@ -1005,25 +1140,46 @@ impl MessagePlan {
 }
 
 /// A lifetime-erased gather kernel shipped to a shard worker for one
-/// round. See the safety argument at the erasure site
-/// ([`make_message_kernel`]).
-type MsgKernel<L> = Box<dyn Fn(&[L], u32) -> L + Send + 'static>;
+/// round: `(frame, nodes, out)` appends one new load per listed node, in
+/// list order. The list form lets a worker hand whole interior/boundary
+/// batches to the planned run kernels ([`kernels::gather_list`]) instead
+/// of paying a dynamic dispatch per node. See the safety argument at the
+/// erasure site ([`make_message_kernel`]).
+type MsgKernel<L> = Box<dyn Fn(&[L], &[u32], &mut Vec<L>) + Send + 'static>;
 
 /// [`MsgKernel`] before the lifetime erasure: still borrowing the
 /// protocol it wraps.
-type BorrowedMsgKernel<'p, L> = Box<dyn Fn(&[L], u32) -> L + Send + 'p>;
+type BorrowedMsgKernel<'p, L> = Box<dyn Fn(&[L], &[u32], &mut Vec<L>) + Send + 'p>;
 
-/// Wraps `protocol.node_new_load` for one round, erasing the `&P` borrow
-/// to `'static`.
+/// Wraps the protocol's gather for one round, erasing the `&P` borrow to
+/// `'static`. With a resolved [`GatherPlan`] and a protocol-supplied
+/// [`GatherSpec`], the kernel runs the planned batch gather (identical
+/// lane order, so bit-identity holds); otherwise it falls back to
+/// per-node `node_new_load`.
 ///
 /// SAFETY (of the erasure, discharged by the caller protocol):
 /// [`Engine::round`] blocks until every worker has reported its round
 /// completion, and workers drop their kernel box *before* reporting — so
 /// the borrow of `protocol` never outlives the `round` call that created
 /// it. Same argument as [`WorkerPool::gather`]'s task erasure.
-fn make_message_kernel<P: Protocol + Sync>(protocol: &P) -> MsgKernel<P::Load> {
-    let kernel: BorrowedMsgKernel<'_, P::Load> =
-        Box::new(move |snapshot, v| protocol.node_new_load(snapshot, v));
+fn make_message_kernel<P: Protocol + Sync>(
+    protocol: &P,
+    kind: KernelKind,
+    plan: Option<std::sync::Arc<GatherPlan>>,
+) -> MsgKernel<P::Load> {
+    let kernel: BorrowedMsgKernel<'_, P::Load> = match plan {
+        Some(plan) if protocol.gather_spec().is_some() => Box::new(move |frame, nodes, out| {
+            let spec = protocol
+                .gather_spec()
+                .expect("spec checked at kernel construction");
+            kernels::gather_list(kind, &plan, &spec, frame, nodes, &mut |_, value| {
+                out.push(value)
+            });
+        }),
+        _ => Box::new(move |frame, nodes, out| {
+            out.extend(nodes.iter().map(|&v| protocol.node_new_load(frame, v)));
+        }),
+    };
     unsafe { std::mem::transmute::<BorrowedMsgKernel<'_, P::Load>, MsgKernel<P::Load>>(kernel) }
 }
 
@@ -1131,7 +1287,9 @@ fn message_worker_round<L: Copy>(
     let mut results: Vec<L> = Vec::with_capacity(view.owned().len());
     let gather = |nodes: &[u32], results: &mut Vec<L>, frame: &[L], ok: &mut bool| {
         let outcome = catch_unwind(AssertUnwindSafe(|| {
-            nodes.iter().map(|&v| kernel(frame, v)).collect::<Vec<L>>()
+            let mut values = Vec::with_capacity(nodes.len());
+            kernel(frame, nodes, &mut values);
+            values
         }));
         match outcome {
             Ok(mut values) => results.append(&mut values),
@@ -1279,6 +1437,7 @@ struct MessageExec<L> {
     to_workers: Vec<mpsc::Sender<ToWorker<L>>>,
     from_workers: mpsc::Receiver<WorkerDone<L>>,
     handles: Vec<JoinHandle<()>>,
+    spec: PartitionSpec,
     plans: PlanCache<std::sync::Arc<MessagePlan>>,
     /// Fingerprint of the plan last broadcast to the workers; a round
     /// only re-broadcasts when the current plan's fingerprint differs.
@@ -1290,7 +1449,7 @@ struct MessageExec<L> {
 impl<L> std::fmt::Debug for MessageExec<L> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("MessageExec")
-            .field("spec", &self.plans.spec)
+            .field("spec", &self.spec)
             .field("shards", &self.to_workers.len())
             .field("plans", &self.plans.entries.len())
             .field("plans_built", &self.plans.built)
@@ -1325,7 +1484,8 @@ impl<L: Copy + Default + Send + 'static> MessageExec<L> {
             to_workers,
             from_workers,
             handles,
-            plans: PlanCache::new(spec),
+            spec,
+            plans: PlanCache::new(),
             broadcast_key: None,
             last_comm: None,
         }
@@ -1414,7 +1574,10 @@ impl<L> Drop for MessageExec<L> {
 
 /// Monomorphized per-round kernel factory stored by message engines —
 /// instantiated in the constructor, the only place that knows `P: Sync`.
-type MessageKernelFn<P> = fn(&P) -> MsgKernel<<P as Protocol>::Load>;
+/// The trailing pair is the round's kernel selection, exactly as in
+/// [`GatherFn`].
+type MessageKernelFn<P> =
+    fn(&P, KernelKind, Option<std::sync::Arc<GatherPlan>>) -> MsgKernel<<P as Protocol>::Load>;
 
 /// The executor strategy of an engine, with everything monomorphized at
 /// construction time.
@@ -1455,6 +1618,7 @@ impl<P: Protocol> Engine<P> {
             protocol,
             back: vec![P::Load::default(); n],
             exec: Exec::Serial,
+            kernel: KernelState::new(),
             stats_mode: StatsMode::default(),
             rounds_run: 0,
         }
@@ -1477,6 +1641,13 @@ impl<P: Protocol> Engine<P> {
         };
         let n = protocol.n();
         let threads = threads.clamp(1, n.max(1));
+        if threads == 1 {
+            // A one-worker pool adds two channel hops per round for zero
+            // parallelism; the serial executor is the same computation
+            // (bit-identical by the engine invariant) without the fan-out
+            // tax, so take it outright.
+            return Engine::serial(protocol);
+        }
         Engine {
             protocol,
             back: vec![P::Load::default(); n],
@@ -1484,6 +1655,7 @@ impl<P: Protocol> Engine<P> {
                 pool: WorkerPool::new(threads),
                 gather: pooled_gather::<P>,
             },
+            kernel: KernelState::new(),
             stats_mode: StatsMode::default(),
             rounds_run: 0,
         }
@@ -1518,8 +1690,10 @@ impl<P: Protocol> Engine<P> {
             exec: Exec::Sharded(Box::new(ShardedExec {
                 pool: WorkerPool::new(threads),
                 gather: sharded_gather::<P>,
-                plans: PlanCache::new(partition),
+                spec: partition,
+                plans: PlanCache::new(),
             })),
+            kernel: KernelState::new(),
             stats_mode: StatsMode::default(),
             rounds_run: 0,
         }
@@ -1554,6 +1728,7 @@ impl<P: Protocol> Engine<P> {
                 make_kernel: make_message_kernel::<P>,
             },
             protocol,
+            kernel: KernelState::new(),
             stats_mode: StatsMode::default(),
             rounds_run: 0,
         }
@@ -1573,6 +1748,26 @@ impl<P: Protocol> Engine<P> {
             }
             Backend::Message { partition } => Engine::message(protocol, partition),
         }
+    }
+
+    /// Selects the gather kernel flavour, builder-style. The default is
+    /// [`KernelKind::Unrolled`], overridable process-wide through the
+    /// `DLB_KERNEL` environment variable (`scalar` | `unrolled` | `simd`);
+    /// this call overrides both. All flavours are bit-identical — the
+    /// selection trades only speed.
+    pub fn with_kernel(mut self, kind: KernelKind) -> Self {
+        self.set_kernel(kind);
+        self
+    }
+
+    /// Selects the gather kernel flavour for subsequent rounds.
+    pub fn set_kernel(&mut self, kind: KernelKind) {
+        self.kernel.kind = kind;
+    }
+
+    /// The gather kernel flavour in effect.
+    pub fn kernel(&self) -> KernelKind {
+        self.kernel.kind
     }
 
     /// Sets the statistics mode, builder-style.
@@ -1628,11 +1823,11 @@ impl<P: Protocol> Engine<P> {
                 threads: pool.threads(),
             },
             Exec::Sharded(sh) => Backend::Sharded {
-                partition: sh.plans.spec,
+                partition: sh.spec,
                 threads: sh.pool.threads(),
             },
             Exec::Message { exec, .. } => Backend::Message {
-                partition: exec.plans.spec,
+                partition: exec.spec,
             },
         }
     }
@@ -1707,16 +1902,34 @@ impl<P: Protocol> Engine<P> {
         {
             let protocol = &self.protocol;
             let snapshot = &loads[..];
+            // Resolve the kernel selection *after* begin_round: dynamic
+            // protocols draw their round graph there, and the gather plan
+            // must analyse that graph.
+            let kind = self.kernel.kind;
+            let plan = self.kernel.resolve(protocol);
             match &mut self.exec {
-                Exec::Serial => {
-                    for (v, slot) in self.back.iter_mut().enumerate() {
-                        *slot = protocol.node_new_load(snapshot, v as u32);
+                Exec::Serial => match (plan.as_deref(), protocol.gather_spec()) {
+                    (Some(plan), Some(spec)) => {
+                        kernels::gather_span(kind, plan, &spec, snapshot, 0, &mut self.back);
                     }
+                    _ => {
+                        for (v, slot) in self.back.iter_mut().enumerate() {
+                            *slot = protocol.node_new_load(snapshot, v as u32);
+                        }
+                    }
+                },
+                Exec::Pool { pool, gather } => {
+                    gather(
+                        pool,
+                        protocol,
+                        snapshot,
+                        &mut self.back,
+                        kind,
+                        plan.as_deref(),
+                    );
                 }
-                Exec::Pool { pool, gather } => gather(pool, protocol, snapshot, &mut self.back),
                 Exec::Sharded(sh) => {
-                    // Resolve the plan *after* begin_round: dynamic
-                    // protocols draw their round graph there.
+                    // Same post-begin_round resolution for the shard plan.
                     sh.refresh_plan(protocol);
                     let sh = &**sh;
                     (sh.gather)(
@@ -1725,16 +1938,23 @@ impl<P: Protocol> Engine<P> {
                         snapshot,
                         &mut self.back,
                         sh.current_plan(),
+                        kind,
+                        plan.as_deref(),
                     );
                 }
                 Exec::Message { exec, make_kernel } => {
                     // Same post-begin_round plan resolution as the
                     // sharded backend, memoized per distinct graph.
-                    exec.plans.refresh(protocol, |spec, graph, n| {
-                        std::sync::Arc::new(MessagePlan::build(spec, graph, n))
+                    let spec = exec.spec;
+                    exec.plans.refresh(protocol, |graph, n| {
+                        std::sync::Arc::new(MessagePlan::build(&spec, graph, n))
                     });
                     let make_kernel = *make_kernel;
-                    exec.round(|| make_kernel(protocol), snapshot, &mut self.back);
+                    exec.round(
+                        || make_kernel(protocol, kind, plan.clone()),
+                        snapshot,
+                        &mut self.back,
+                    );
                 }
             }
         }
@@ -2462,6 +2682,61 @@ mod tests {
         let second = recommended_threads_cached();
         std::env::remove_var("DLB_THREADS");
         assert_eq!(first, second);
+    }
+
+    #[test]
+    fn pool_with_one_thread_takes_the_serial_executor() {
+        let _guard = ENV_LOCK.lock().unwrap();
+        let e = Engine::parallel(toy(8), 1);
+        assert!(matches!(e.exec, Exec::Serial));
+        assert_eq!(e.backend(), Backend::Serial);
+        // The clamp can also resolve to one worker: n == 1 graphs.
+        let e = Engine::parallel(toy(1), 16);
+        assert!(matches!(e.exec, Exec::Serial));
+    }
+
+    #[test]
+    fn dlb_kernel_env_is_respected() {
+        let _guard = ENV_LOCK.lock().unwrap();
+        for (value, kind) in [
+            ("scalar", KernelKind::Scalar),
+            ("unrolled", KernelKind::Unrolled),
+            ("simd", KernelKind::Simd),
+        ] {
+            std::env::set_var("DLB_KERNEL", value);
+            let got = KernelKind::from_env();
+            std::env::remove_var("DLB_KERNEL");
+            assert_eq!(got, kind, "DLB_KERNEL={value}");
+        }
+        // Unset: the default flavour.
+        assert_eq!(KernelKind::from_env(), KernelKind::default());
+    }
+
+    #[test]
+    fn dlb_kernel_invalid_values_are_rejected_loudly() {
+        let _guard = ENV_LOCK.lock().unwrap();
+        for bad in ["", "SIMD", "avx", "auto", " scalar"] {
+            std::env::set_var("DLB_KERNEL", bad);
+            let result = catch_unwind(KernelKind::from_env);
+            std::env::remove_var("DLB_KERNEL");
+            let err = result.expect_err(&format!("DLB_KERNEL={bad:?} must be rejected"));
+            let msg = err
+                .downcast_ref::<String>()
+                .cloned()
+                .unwrap_or_else(|| err.downcast_ref::<&str>().unwrap_or(&"").to_string());
+            assert!(
+                msg.contains("DLB_KERNEL must be"),
+                "unhelpful error for {bad:?}: {msg}"
+            );
+        }
+    }
+
+    #[test]
+    fn with_kernel_overrides_the_selection() {
+        let mut e = Engine::serial(toy(4)).with_kernel(KernelKind::Scalar);
+        assert_eq!(e.kernel(), KernelKind::Scalar);
+        e.set_kernel(KernelKind::Simd);
+        assert_eq!(e.kernel(), KernelKind::Simd);
     }
 
     #[test]

@@ -1,0 +1,678 @@
+//! Degree-specialized gather kernels and the runtime kernel dispatcher.
+//!
+//! Algorithm 1's round is one sparse gather — per node `v`,
+//! `ℓᵥ' = ℓᵥ + Σᵤ (ℓᵤ − ℓᵥ)/(4·max(dᵥ, dᵤ))` over the CSR neighbourhood —
+//! and all three canonical-divisor protocols ([`crate::continuous`],
+//! [`crate::discrete`]) run the *same* loop, differing only in the load
+//! scalar (`f64` vs `i64` tokens). This module factors that loop into:
+//!
+//! * [`DiffusionLoad`] — the scalar abstraction (accumulator type,
+//!   per-neighbour quotient, ordered accumulate) instantiated once for
+//!   `f64` and once for `i64`, so specialized kernels are written once;
+//! * [`GatherSpec`] — what a protocol exposes to opt into dispatch: its
+//!   graph plus the CSR-slot-aligned divisor table;
+//! * [`KernelKind`] — the runtime-selectable kernel flavour (`scalar`,
+//!   `unrolled`, `simd`), overridable via the `DLB_KERNEL` environment
+//!   variable;
+//! * the batch entry points `gather_span` / `gather_list`, which walk a
+//!   [`GatherPlan`]'s degree runs in L2-sized tiles and dispatch a
+//!   fixed-degree unrolled kernel (d = 2, 3, 4, 8), a chunked-lanes
+//!   kernel for other uniform degrees, or the per-node scalar loop.
+//!
+//! ## Why this preserves bit-identity
+//!
+//! The engine's non-negotiable invariant is that every backend and every
+//! kernel produce bit-identical loads. The specialized kernels keep it by
+//! construction: each per-neighbour quotient `(ℓᵤ − ℓᵥ)/div` depends only
+//! on its own three inputs, and IEEE 754 subtraction and division are
+//! correctly rounded — computing the quotients as independent lanes
+//! (autovectorized, or explicit SSE2 behind the `simd` feature) yields
+//! exactly the bits the scalar loop computes one at a time. The
+//! **additions** are different: floating-point `+` is not associative, so
+//! the accumulation always runs sequentially in CSR neighbour order, the
+//! same order as the scalar reference. Only the order-free work
+//! vectorizes; the order-sensitive reduction never does.
+
+use dlb_graphs::{GatherPlan, Graph};
+
+/// Nodes per dispatch tile. At 8 bytes per load this keeps a tile's
+/// output window (32 KiB) plus its divisor/neighbour stream comfortably
+/// inside a typical 256 KiB–1 MiB L2, so the snapshot lines a tile
+/// re-touches (e.g. the ±row wraps of a torus) stay resident while the
+/// tile runs.
+const TILE_NODES: u32 = 4096;
+
+/// Lane width of the chunked generic-degree kernel (uniform degrees
+/// outside the unrolled set, e.g. a hypercube's `log n` or a star hub).
+const LANES: usize = 8;
+
+/// Runtime-selectable gather kernel flavour.
+///
+/// Every flavour produces bit-identical results (see the module docs);
+/// they differ only in how the per-neighbour quotients are scheduled.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum KernelKind {
+    /// The reference loop: one quotient at a time, accumulated
+    /// immediately. Exactly [`Protocol::node_new_load`] per node.
+    ///
+    /// [`Protocol::node_new_load`]: crate::engine::Protocol::node_new_load
+    Scalar,
+    /// Degree-run dispatch with fixed-degree unrolled quotient lanes
+    /// (d = 2, 3, 4, 8) written in autovectorization-friendly shape, plus
+    /// a chunked-lanes path for other uniform degrees. The default.
+    #[default]
+    Unrolled,
+    /// Same schedule as [`KernelKind::Unrolled`] with the f64 quotient
+    /// lanes computed by explicit `std::arch` SSE2 (`_mm_div_pd`) when the
+    /// `simd` cargo feature is enabled on x86_64; elsewhere it falls back
+    /// to the portable lanes and remains bit-identical.
+    Simd,
+}
+
+impl KernelKind {
+    /// Every kernel flavour, for sweeps in tests and benches.
+    pub const ALL: [KernelKind; 3] = [KernelKind::Scalar, KernelKind::Unrolled, KernelKind::Simd];
+
+    /// Stable lowercase name (`scalar` / `unrolled` / `simd`), matching
+    /// the accepted `DLB_KERNEL` values.
+    pub fn name(self) -> &'static str {
+        match self {
+            KernelKind::Scalar => "scalar",
+            KernelKind::Unrolled => "unrolled",
+            KernelKind::Simd => "simd",
+        }
+    }
+
+    /// Reads `DLB_KERNEL` (uncached). Unset means the default
+    /// ([`KernelKind::Unrolled`]); any value other than
+    /// `scalar`/`unrolled`/`simd` panics loudly, mirroring the
+    /// `DLB_THREADS` contract — a typo must never silently change which
+    /// kernel CI exercises.
+    pub fn from_env() -> KernelKind {
+        match std::env::var("DLB_KERNEL") {
+            Ok(value) => match value.as_str() {
+                "scalar" => KernelKind::Scalar,
+                "unrolled" => KernelKind::Unrolled,
+                "simd" => KernelKind::Simd,
+                _ => panic!(
+                    "DLB_KERNEL must be \"scalar\", \"unrolled\" or \"simd\", got {value:?} \
+                     (unset the variable to use the default kernel)"
+                ),
+            },
+            Err(_) => KernelKind::default(),
+        }
+    }
+}
+
+/// Process-wide cached `DLB_KERNEL` reading, for engine constructors on
+/// the hot path (the variable is read once, like `DLB_THREADS` via
+/// `recommended_threads_cached`). Tests exercising the parsing use
+/// [`KernelKind::from_env`] directly.
+pub(crate) fn kernel_kind_cached() -> KernelKind {
+    static CACHE: std::sync::OnceLock<KernelKind> = std::sync::OnceLock::new();
+    *CACHE.get_or_init(KernelKind::from_env)
+}
+
+/// A load scalar the canonical diffusion gather can be written
+/// generically over: `f64` (continuous load) or `i64` (integral tokens).
+///
+/// The contract that makes specialization safe is *operation equality*:
+/// for any inputs, [`DiffusionLoad::quotient`] and
+/// [`DiffusionLoad::accumulate`] must compute exactly what the historical
+/// scalar loops computed, so that any kernel performing the same
+/// operations in the same accumulation order is bit-identical.
+pub trait DiffusionLoad: Copy + Send + Sync + 'static {
+    /// Accumulator wide enough for a full neighbourhood sum (`f64`
+    /// itself; `i128` for `i64` tokens, which cannot overflow across a
+    /// `u32`-indexed neighbourhood).
+    type Acc: Copy;
+
+    /// Lifts a load into the accumulator domain.
+    fn lift(self) -> Self::Acc;
+
+    /// Lowers a finished accumulator back to the load type
+    /// (overflow-checked for tokens).
+    fn lower(acc: Self::Acc) -> Self;
+
+    /// The per-neighbour transfer quotient: `(ℓᵤ − ℓᵥ)/div` for `f64`,
+    /// the sign-split floor quotient for tokens. Pure in its three
+    /// inputs — lane order never changes its bits.
+    fn quotient(lv: Self, lu: Self, div: Self) -> Self::Acc;
+
+    /// One ordered accumulation step. **Order-sensitive** for `f64`;
+    /// callers must apply quotients in CSR neighbour order.
+    fn accumulate(acc: Self::Acc, q: Self::Acc) -> Self::Acc;
+
+    /// `D` independent quotients at once. The default is a plain per-lane
+    /// loop over arrays — the `chunks_exact`-shaped form LLVM
+    /// autovectorizes — and implementations must keep it semantically
+    /// identical to `D` calls of [`DiffusionLoad::quotient`].
+    #[inline]
+    fn quotient_lanes<const D: usize>(lv: Self, lus: [Self; D], divs: [Self; D]) -> [Self::Acc; D] {
+        std::array::from_fn(|i| Self::quotient(lv, lus[i], divs[i]))
+    }
+
+    /// Explicit-SIMD quotient lanes. Defaults to
+    /// [`DiffusionLoad::quotient_lanes`]; `f64` overrides it with SSE2
+    /// intrinsics when the `simd` cargo feature is enabled on x86_64.
+    /// Must stay bit-identical to the portable lanes (IEEE 754 division
+    /// is correctly rounded, so hardware vector divides qualify).
+    #[inline]
+    fn quotient_lanes_arch<const D: usize>(
+        lv: Self,
+        lus: [Self; D],
+        divs: [Self; D],
+    ) -> [Self::Acc; D] {
+        Self::quotient_lanes(lv, lus, divs)
+    }
+}
+
+impl DiffusionLoad for f64 {
+    type Acc = f64;
+
+    #[inline]
+    fn lift(self) -> f64 {
+        self
+    }
+
+    #[inline]
+    fn lower(acc: f64) -> f64 {
+        acc
+    }
+
+    #[inline]
+    fn quotient(lv: f64, lu: f64, div: f64) -> f64 {
+        (lu - lv) / div
+    }
+
+    #[inline]
+    fn accumulate(acc: f64, q: f64) -> f64 {
+        acc + q
+    }
+
+    #[cfg(all(feature = "simd", target_arch = "x86_64"))]
+    #[inline]
+    fn quotient_lanes_arch<const D: usize>(lv: f64, lus: [f64; D], divs: [f64; D]) -> [f64; D] {
+        use std::arch::x86_64::{_mm_div_pd, _mm_loadu_pd, _mm_set1_pd, _mm_storeu_pd, _mm_sub_pd};
+        let mut out = [0.0f64; D];
+        // SAFETY: SSE2 is part of the x86_64 baseline (no runtime feature
+        // detection needed); the unaligned loads/stores stay within the
+        // D-element stack arrays. `_mm_sub_pd`/`_mm_div_pd` are IEEE 754
+        // correctly-rounded per lane, hence bit-identical to the scalar
+        // `(lu - lv) / div`.
+        unsafe {
+            let lvv = _mm_set1_pd(lv);
+            let mut i = 0;
+            while i + 2 <= D {
+                let lu = _mm_loadu_pd(lus.as_ptr().add(i));
+                let dv = _mm_loadu_pd(divs.as_ptr().add(i));
+                _mm_storeu_pd(out.as_mut_ptr().add(i), _mm_div_pd(_mm_sub_pd(lu, lvv), dv));
+                i += 2;
+            }
+            if i < D {
+                out[i] = (lus[i] - lv) / divs[i];
+            }
+        }
+        out
+    }
+}
+
+impl DiffusionLoad for i64 {
+    type Acc = i128;
+
+    #[inline]
+    fn lift(self) -> i128 {
+        self as i128
+    }
+
+    #[inline]
+    fn lower(acc: i128) -> i64 {
+        i64::try_from(acc).expect("load fits i64")
+    }
+
+    #[inline]
+    fn quotient(lv: i64, lu: i64, div: i64) -> i128 {
+        let (lv, lu, c) = (lv as i128, lu as i128, div as i128);
+        if lu > lv {
+            (lu - lv) / c
+        } else if lv > lu {
+            -((lv - lu) / c)
+        } else {
+            0
+        }
+    }
+
+    #[inline]
+    fn accumulate(acc: i128, q: i128) -> i128 {
+        acc + q
+    }
+}
+
+/// What a protocol exposes to opt into kernel dispatch: the fixed graph
+/// its gather walks and the CSR-slot-aligned divisor table
+/// (`4·max(dᵥ, dᵤ)` per slot, from [`dlb_graphs::weights`]).
+///
+/// Protocols whose per-node update is *not* the canonical
+/// quotient-accumulate loop (FOS/SOS α-scaled flows, capacity-weighted
+/// heterogeneous diffusion, matching exchanges, …) simply never expose a
+/// spec and keep running their own `node_new_load` everywhere.
+#[derive(Debug, Clone, Copy)]
+pub struct GatherSpec<'p, L> {
+    /// The CSR graph the gather iterates (also the graph the engine
+    /// fingerprints for plan memoization).
+    pub graph: &'p Graph,
+    /// Per-neighbour-slot divisors, length [`Graph::degree_sum`], indexed
+    /// by [`Graph::neighbor_offset`]`(v) + i`.
+    pub slot_div: &'p [L],
+}
+
+/// The one generic per-node gather: the historical `gather_precomputed`
+/// loops of `continuous.rs` / `discrete.rs`, deduplicated. This is also
+/// the [`KernelKind::Scalar`] reference every specialized kernel must
+/// match bit-for-bit.
+#[inline]
+pub(crate) fn gather_node<L: DiffusionLoad>(
+    g: &Graph,
+    slot_div: &[L],
+    snapshot: &[L],
+    v: u32,
+) -> L {
+    let lv = snapshot[v as usize];
+    let off = g.neighbor_offset(v);
+    let mut acc = lv.lift();
+    for (i, &u) in g.neighbors(v).iter().enumerate() {
+        acc = L::accumulate(
+            acc,
+            L::quotient(lv, snapshot[u as usize], slot_div[off + i]),
+        );
+    }
+    L::lower(acc)
+}
+
+/// Per-run slices threaded through the specialized kernels: the flat CSR
+/// adjacency and divisor arrays plus the run's stride origin.
+struct RunSlices<'a, L> {
+    flat: &'a [u32],
+    divs: &'a [L],
+    snapshot: &'a [L],
+    /// First node of the degree run.
+    start: u32,
+    /// CSR offset of `start`; node `v` in the run has slots at
+    /// `base + (v − start)·degree`.
+    base: usize,
+}
+
+/// Fixed-degree unrolled kernel: the whole neighbourhood is one `[_; D]`
+/// quotient-lane array, then a sequential in-order accumulation.
+#[inline]
+fn tile_fixed<L: DiffusionLoad, const D: usize, F: FnMut(u32, L)>(
+    simd: bool,
+    rs: &RunSlices<'_, L>,
+    lo: u32,
+    hi: u32,
+    emit: &mut F,
+) {
+    for v in lo..hi {
+        let off = rs.base + (v - rs.start) as usize * D;
+        let nbrs = &rs.flat[off..off + D];
+        let lv = rs.snapshot[v as usize];
+        let lus: [L; D] = std::array::from_fn(|i| rs.snapshot[nbrs[i] as usize]);
+        let divs: [L; D] = std::array::from_fn(|i| rs.divs[off + i]);
+        let q = if simd {
+            L::quotient_lanes_arch(lv, lus, divs)
+        } else {
+            L::quotient_lanes(lv, lus, divs)
+        };
+        let mut acc = lv.lift();
+        for lane in q {
+            acc = L::accumulate(acc, lane);
+        }
+        emit(v, L::lower(acc));
+    }
+}
+
+/// Chunked-lanes kernel for uniform degrees outside the unrolled set
+/// (hypercubes, cliques, star hubs): `LANES`-wide quotient blocks via
+/// `chunks_exact`, scalar remainder, accumulation still in CSR order.
+#[inline]
+fn tile_lanes<L: DiffusionLoad, F: FnMut(u32, L)>(
+    simd: bool,
+    rs: &RunSlices<'_, L>,
+    degree: usize,
+    lo: u32,
+    hi: u32,
+    emit: &mut F,
+) {
+    for v in lo..hi {
+        let off = rs.base + (v - rs.start) as usize * degree;
+        let nbrs = &rs.flat[off..off + degree];
+        let divs = &rs.divs[off..off + degree];
+        let lv = rs.snapshot[v as usize];
+        let mut acc = lv.lift();
+        let mut chunks_n = nbrs.chunks_exact(LANES);
+        let mut chunks_d = divs.chunks_exact(LANES);
+        for (cn, cd) in (&mut chunks_n).zip(&mut chunks_d) {
+            let lus: [L; LANES] = std::array::from_fn(|i| rs.snapshot[cn[i] as usize]);
+            let dv: [L; LANES] = std::array::from_fn(|i| cd[i]);
+            let q = if simd {
+                L::quotient_lanes_arch(lv, lus, dv)
+            } else {
+                L::quotient_lanes(lv, lus, dv)
+            };
+            for lane in q {
+                acc = L::accumulate(acc, lane);
+            }
+        }
+        for (&u, &d) in chunks_n.remainder().iter().zip(chunks_d.remainder()) {
+            acc = L::accumulate(acc, L::quotient(lv, rs.snapshot[u as usize], d));
+        }
+        emit(v, L::lower(acc));
+    }
+}
+
+/// Gathers the contiguous node range `lo..hi`, dispatching per degree run
+/// and walking each run in [`TILE_NODES`]-sized L2 tiles. `emit` is
+/// called exactly once per node, in ascending node order.
+fn gather_contiguous<L: DiffusionLoad, F: FnMut(u32, L)>(
+    kind: KernelKind,
+    plan: &GatherPlan,
+    spec: &GatherSpec<'_, L>,
+    snapshot: &[L],
+    lo: u32,
+    hi: u32,
+    emit: &mut F,
+) {
+    debug_assert_eq!(plan.n(), spec.graph.n(), "plan built for a different graph");
+    debug_assert_eq!(
+        spec.slot_div.len(),
+        spec.graph.degree_sum(),
+        "divisor table must be CSR-slot aligned"
+    );
+    if lo >= hi {
+        return;
+    }
+    if kind == KernelKind::Scalar {
+        for v in lo..hi {
+            emit(v, gather_node(spec.graph, spec.slot_div, snapshot, v));
+        }
+        return;
+    }
+    let simd = kind == KernelKind::Simd;
+    let flat = spec.graph.neighbor_slots();
+    let runs = plan.runs();
+    let mut r = plan.run_index(lo);
+    let mut v = lo;
+    while v < hi {
+        let run = &runs[r];
+        let run_hi = hi.min(run.end);
+        let rs = RunSlices {
+            flat,
+            divs: spec.slot_div,
+            snapshot,
+            start: run.start,
+            base: run.base,
+        };
+        let mut t = v;
+        while t < run_hi {
+            let te = run_hi.min(t + TILE_NODES);
+            match run.degree {
+                0 => {
+                    // Isolated nodes: the gather degenerates to the
+                    // identity (lift/lower round-trip, exact for both
+                    // load types).
+                    for w in t..te {
+                        emit(w, L::lower(snapshot[w as usize].lift()));
+                    }
+                }
+                2 => tile_fixed::<L, 2, _>(simd, &rs, t, te, emit),
+                3 => tile_fixed::<L, 3, _>(simd, &rs, t, te, emit),
+                4 => tile_fixed::<L, 4, _>(simd, &rs, t, te, emit),
+                8 => tile_fixed::<L, 8, _>(simd, &rs, t, te, emit),
+                d => tile_lanes(simd, &rs, d as usize, t, te, emit),
+            }
+            t = te;
+        }
+        v = run_hi;
+        r += 1;
+    }
+}
+
+/// Batch gather over the contiguous node range `start .. start + out.len()`,
+/// writing `out[i] = new_load(start + i)`. The serial backend calls this
+/// with the whole vector; pool workers call it per chunk.
+pub(crate) fn gather_span<L: DiffusionLoad>(
+    kind: KernelKind,
+    plan: &GatherPlan,
+    spec: &GatherSpec<'_, L>,
+    snapshot: &[L],
+    start: u32,
+    out: &mut [L],
+) {
+    let hi = start + out.len() as u32;
+    gather_contiguous(kind, plan, spec, snapshot, start, hi, &mut |v, val| {
+        out[(v - start) as usize] = val;
+    });
+}
+
+/// Batch gather over an arbitrary node list (a shard's interior or
+/// boundary, a message worker's owned set), detecting maximal contiguous
+/// ascending segments so range/contiguous partitions still hit the
+/// strided run kernels. `emit` is called once per node **in list order**.
+pub(crate) fn gather_list<L: DiffusionLoad, F: FnMut(u32, L)>(
+    kind: KernelKind,
+    plan: &GatherPlan,
+    spec: &GatherSpec<'_, L>,
+    snapshot: &[L],
+    nodes: &[u32],
+    emit: &mut F,
+) {
+    let mut i = 0;
+    while i < nodes.len() {
+        let lo = nodes[i];
+        let mut j = i + 1;
+        while j < nodes.len() && nodes[j] == nodes[j - 1] + 1 {
+            j += 1;
+        }
+        gather_contiguous(kind, plan, spec, snapshot, lo, lo + (j - i) as u32, emit);
+        i = j;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dlb_graphs::weights::{csr_divisors, csr_divisors_int};
+    use dlb_graphs::{topology, GraphBuilder};
+
+    fn f64_loads(n: usize) -> Vec<f64> {
+        (0..n)
+            .map(|i| ((i * 131 + 17) % 4099) as f64 * 0.37)
+            .collect()
+    }
+
+    fn i64_loads(n: usize) -> Vec<i64> {
+        (0..n).map(|i| ((i * 977 + 31) % 100_003) as i64).collect()
+    }
+
+    /// A degree-mixed graph: short path spine with hanging leaves and an
+    /// isolated tail — runs of degree 2/3/1/0 that don't tile any width.
+    fn comb() -> Graph {
+        let mut b = GraphBuilder::new(14).unwrap();
+        for i in 0..5u32 {
+            b.add_edge(i, i + 1).unwrap();
+            b.add_edge(i, 6 + i).unwrap();
+        }
+        b.build()
+    }
+
+    fn adversarial_graphs() -> Vec<Graph> {
+        vec![
+            topology::torus2d(5, 7), // regular d=4, one run
+            topology::cycle(17),     // regular d=2
+            topology::hypercube(4),  // regular d=4
+            topology::hypercube(5),  // regular d=5 → lanes path
+            topology::complete(10),  // regular d=9 → 8-lane chunk + remainder
+            topology::star(40),      // hub d=39 + leaves d=1
+            topology::path(11),      // endpoint runs
+            topology::binary_tree(21),
+            comb(),
+            Graph::from_edges(9, [(0, 1), (1, 2)]).unwrap(), // mostly isolated
+        ]
+    }
+
+    #[test]
+    fn span_matches_scalar_reference_f64() {
+        for g in adversarial_graphs() {
+            let div = csr_divisors(&g, 4.0);
+            let spec = GatherSpec {
+                graph: &g,
+                slot_div: &div,
+            };
+            let plan = GatherPlan::build(&g);
+            let snap = f64_loads(g.n());
+            let reference: Vec<f64> = g.nodes().map(|v| gather_node(&g, &div, &snap, v)).collect();
+            for kind in KernelKind::ALL {
+                let mut out = vec![0.0; g.n()];
+                gather_span(kind, &plan, &spec, &snap, 0, &mut out);
+                for (v, (a, b)) in reference.iter().zip(&out).enumerate() {
+                    assert!(
+                        a.to_bits() == b.to_bits(),
+                        "{kind:?} diverged at node {v} on {g:?}: {a} vs {b}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn span_matches_scalar_reference_i64() {
+        for g in adversarial_graphs() {
+            let div = csr_divisors_int(&g, 4);
+            let spec = GatherSpec {
+                graph: &g,
+                slot_div: &div,
+            };
+            let plan = GatherPlan::build(&g);
+            let snap = i64_loads(g.n());
+            let reference: Vec<i64> = g.nodes().map(|v| gather_node(&g, &div, &snap, v)).collect();
+            for kind in KernelKind::ALL {
+                let mut out = vec![0i64; g.n()];
+                gather_span(kind, &plan, &spec, &snap, 0, &mut out);
+                assert_eq!(reference, out, "{kind:?} diverged on {g:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn partial_spans_respect_offsets() {
+        let g = topology::torus2d(6, 6);
+        let div = csr_divisors(&g, 4.0);
+        let spec = GatherSpec {
+            graph: &g,
+            slot_div: &div,
+        };
+        let plan = GatherPlan::build(&g);
+        let snap = f64_loads(g.n());
+        let mut full = vec![0.0; g.n()];
+        gather_span(KernelKind::Scalar, &plan, &spec, &snap, 0, &mut full);
+        for kind in KernelKind::ALL {
+            for (lo, len) in [(0u32, 7usize), (5, 13), (30, 6), (35, 1), (36, 0)] {
+                let mut out = vec![0.0; len];
+                gather_span(kind, &plan, &spec, &snap, lo, &mut out);
+                assert_eq!(&full[lo as usize..lo as usize + len], &out[..], "{kind:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn list_gather_detects_contiguous_segments() {
+        let g = topology::star(23);
+        let div = csr_divisors(&g, 4.0);
+        let spec = GatherSpec {
+            graph: &g,
+            slot_div: &div,
+        };
+        let plan = GatherPlan::build(&g);
+        let snap = f64_loads(g.n());
+        // Shard-shaped list: a contiguous leaf range, a gap, the hub last
+        // (boundary-after-interior ordering).
+        let nodes: Vec<u32> = (3..9).chain(12..19).chain([0]).collect();
+        for kind in KernelKind::ALL {
+            let mut got = Vec::new();
+            gather_list(kind, &plan, &spec, &snap, &nodes, &mut |v, val: f64| {
+                got.push((v, val))
+            });
+            let want: Vec<(u32, f64)> = nodes
+                .iter()
+                .map(|&v| (v, gather_node(&g, &div, &snap, v)))
+                .collect();
+            assert_eq!(
+                want.len(),
+                got.len(),
+                "{kind:?} emitted a different node count"
+            );
+            for (w, g2) in want.iter().zip(&got) {
+                assert_eq!(w.0, g2.0, "{kind:?} emission order");
+                assert_eq!(w.1.to_bits(), g2.1.to_bits(), "{kind:?} value");
+            }
+        }
+    }
+
+    #[test]
+    fn arch_lanes_match_portable_lanes() {
+        // Exercise quotient_lanes_arch directly at several widths; with
+        // the `simd` feature this hits the SSE2 path (even/odd D covers
+        // the scalar tail lane).
+        let lv = 3.25f64;
+        let lus = [7.5, -2.0, 1e300, 5e-324, 0.125, -9.75, 3.25, 2.5];
+        let divs = [8.0, 12.0, 20.0, 4.0, 16.0, 24.0, 8.0, 12.0];
+        macro_rules! check {
+            ($d:literal) => {{
+                let l: [f64; $d] = std::array::from_fn(|i| lus[i]);
+                let d: [f64; $d] = std::array::from_fn(|i| divs[i]);
+                let a = <f64 as DiffusionLoad>::quotient_lanes(lv, l, d);
+                let b = <f64 as DiffusionLoad>::quotient_lanes_arch(lv, l, d);
+                for i in 0..$d {
+                    assert_eq!(a[i].to_bits(), b[i].to_bits(), "lane {i} of {}", $d);
+                }
+            }};
+        }
+        check!(2);
+        check!(3);
+        check!(4);
+        check!(5);
+        check!(8);
+    }
+
+    #[test]
+    fn discrete_quotient_matches_sign_split_reference() {
+        for (lv, lu, c) in [
+            (10i64, 4, 8),
+            (4, 10, 8),
+            (7, 7, 12),
+            (-5, 9, 4),
+            (9, -5, 4),
+        ] {
+            let q = <i64 as DiffusionLoad>::quotient(lv, lu, c);
+            let reference = {
+                let (lv, lu, c) = (lv as i128, lu as i128, c as i128);
+                if lu > lv {
+                    (lu - lv) / c
+                } else if lv > lu {
+                    -((lv - lu) / c)
+                } else {
+                    0
+                }
+            };
+            assert_eq!(q, reference);
+        }
+    }
+
+    #[test]
+    fn kernel_kind_names_round_trip() {
+        for kind in KernelKind::ALL {
+            assert!(matches!(kind.name(), "scalar" | "unrolled" | "simd"));
+        }
+        assert_eq!(KernelKind::default(), KernelKind::Unrolled);
+    }
+}

@@ -73,6 +73,7 @@ pub mod discrete;
 pub mod engine;
 pub mod heterogeneous;
 pub mod init;
+pub mod kernels;
 pub mod model;
 pub mod potential;
 pub mod random_partner;
@@ -80,4 +81,5 @@ pub mod runner;
 pub mod seq;
 
 pub use engine::{Backend, Engine, IntoEngine, Protocol, ShardMetrics};
+pub use kernels::{DiffusionLoad, GatherSpec, KernelKind};
 pub use model::{ContinuousBalancer, DiscreteBalancer, DiscreteRoundStats, RoundStats};

@@ -144,6 +144,17 @@ impl Graph {
         &self.edges
     }
 
+    /// The flat CSR adjacency array (all neighbour lists concatenated,
+    /// length `2m`). Node `v`'s neighbours occupy slots
+    /// `neighbor_offset(v) .. neighbor_offset(v) + degree(v)`; kernels
+    /// that already know a node's offset and degree (e.g. from a
+    /// [`crate::structure::GatherPlan`] degree run) index this directly
+    /// and skip the per-node offsets lookup.
+    #[inline]
+    pub fn neighbor_slots(&self) -> &[u32] {
+        &self.neighbors
+    }
+
     /// Whether `(u, v)` is an edge. `O(log δ)` via binary search.
     pub fn has_edge(&self, u: u32, v: u32) -> bool {
         if u as usize >= self.n() || v as usize >= self.n() {

@@ -28,7 +28,10 @@
 //!   metrics, and per-shard [`ShardView`]s (owned interior/boundary node
 //!   sets, halo of remote neighbours, reindexed local CSR) that the
 //!   sharded engine backend — and a future distributed one — executes
-//!   from.
+//!   from;
+//! * [`structure`] — degree-structure analysis ([`GatherPlan`]): maximal
+//!   equal-degree node runs with strided CSR bases, the iteration
+//!   schedule behind the engine's degree-specialized gather kernels.
 //!
 //! All randomized constructions take an explicit [`rand::Rng`] so that every
 //! experiment in the workspace is reproducible from a single `u64` seed.
@@ -38,6 +41,7 @@ pub mod graph;
 pub mod io;
 pub mod matching;
 pub mod partition;
+pub mod structure;
 pub mod topology;
 pub mod traversal;
 pub mod weights;
@@ -45,3 +49,4 @@ pub mod weights;
 pub use graph::{Graph, GraphBuilder, GraphError};
 pub use matching::Matching;
 pub use partition::{Partition, PartitionSpec, ShardPlan, ShardView};
+pub use structure::{DegreeRun, DegreeStructure, GatherPlan};

@@ -12,6 +12,11 @@
 //! Randomized protocols participate too: their RNG lives inside the
 //! protocol and `begin_round` runs before the gather fans out, so equal
 //! seeds mean equal rounds regardless of executor.
+//!
+//! The kernel dispatch layer adds a third axis: every [`KernelKind`]
+//! (scalar reference, unrolled, simd) must match the serial **scalar**
+//! gather bit-for-bit on every backend — the degree-specialized kernels
+//! are a speed story only, never a results story.
 
 use dlb_baselines::{
     ChebyshevContinuous, FirstOrderContinuous, FirstOrderDiscrete, MatchingExchangeContinuous,
@@ -22,6 +27,7 @@ use dlb_core::discrete::DiscreteDiffusion;
 use dlb_core::engine::{Backend, Engine, Protocol};
 use dlb_core::heterogeneous::{HeterogeneousDiffusion, HeterogeneousDiscreteDiffusion};
 use dlb_core::random_partner::{RandomPartnerContinuous, RandomPartnerDiscrete};
+use dlb_core::KernelKind;
 use dlb_graphs::PartitionSpec;
 use dlb_graphs::{topology, Graph};
 use proptest::prelude::*;
@@ -75,14 +81,21 @@ fn run_collecting<P: Protocol>(
 /// exceeding `n`), and the message backend (shard-isolated workers over
 /// channels, both partition strategies, again incl. shards > `n`) — from
 /// the same state and asserts bitwise equality of the final vectors *and*
-/// of every round's statistics.
+/// of every round's statistics. The reference is the serial engine with
+/// the **scalar** kernel; the backend sweep then runs at the default
+/// kernel, and a second sweep crosses every [`KernelKind`] with one
+/// backend of each executor family.
 fn assert_bit_identical<P, M>(make: M, init: &[P::Load], threads: usize, rounds: usize)
 where
     P: Protocol + Sync,
     P::Stats: PartialEq + std::fmt::Debug,
     M: Fn() -> P,
 {
-    let (serial, serial_stats) = run_collecting(Engine::serial(make()), init, rounds);
+    let (serial, serial_stats) = run_collecting(
+        Engine::serial(make()).with_kernel(KernelKind::Scalar),
+        init,
+        rounds,
+    );
     let name = make().name();
 
     let shard_counts = [threads + 1, init.len() + 3]; // incl. shards > n
@@ -122,6 +135,42 @@ where
             serial_stats, stats,
             "{name}: serial and {backend:?} statistics diverged at {threads} threads"
         );
+    }
+
+    // The kernel axis: every flavour × one backend per executor family
+    // must reproduce the scalar serial reference bit-for-bit.
+    let kernel_backends = [
+        Backend::Serial,
+        Backend::Pool { threads },
+        Backend::Sharded {
+            partition: PartitionSpec::Range {
+                shards: threads + 1,
+            },
+            threads,
+        },
+        Backend::Message {
+            partition: PartitionSpec::Range {
+                shards: threads + 1,
+            },
+        },
+    ];
+    for kind in KernelKind::ALL {
+        for backend in kernel_backends {
+            let engine = Engine::with_backend(make(), backend).with_kernel(kind);
+            let (loads, stats) = run_collecting(engine, init, rounds);
+            assert_eq!(
+                serial,
+                loads,
+                "{name}: scalar serial and {backend:?} loads diverged with the {} kernel",
+                kind.name()
+            );
+            assert_eq!(
+                serial_stats,
+                stats,
+                "{name}: scalar serial and {backend:?} statistics diverged with the {} kernel",
+                kind.name()
+            );
+        }
     }
 }
 
