@@ -21,6 +21,13 @@
 //!   what shard isolation costs on shared memory relative to
 //!   `sharded_round`'s zero-copy scatter — the gap is the price of the
 //!   ownership transfer plus the exchange itself;
+//! - **fault_overhead** — one `Engine::round` (stats off) on the sharded
+//!   and message backends with fault injection `absent` vs. `armed_idle`
+//!   (a `FaultPlan` installed whose only event never fires). `absent`
+//!   runs the legacy unsupervised path and must stay at parity with the
+//!   prior trajectory (the robustness acceptance: ≤ 1% on the fault-free
+//!   hot path); the gap to `armed_idle` is the explicit price of arming
+//!   supervision (timeout-based receives) even when nothing fires;
 //! - **kernel_gather** — the degree-specialized kernel dispatch layer:
 //!   one serial `Engine::round` (stats off — the gather alone) per
 //!   [`KernelKind`] (`scalar` | `unrolled` | `simd`) on a degree-4
@@ -57,7 +64,7 @@ use dlb_bench::perf_json::{self, PerfRecord};
 use dlb_core::continuous::{self, ContinuousDiffusion};
 use dlb_core::engine::{recommended_threads, Backend, Engine, IntoEngine, Protocol, StatsMode};
 use dlb_core::runner::run_continuous;
-use dlb_core::KernelKind;
+use dlb_core::{FaultKind, FaultPlan, KernelKind};
 use dlb_graphs::{topology, Graph, PartitionSpec};
 use std::collections::HashMap;
 use std::hint::black_box;
@@ -269,6 +276,45 @@ fn message_rounds(c: &mut Criterion, inst: &Instance, meta: &mut HashMap<String,
             meta.insert(format!("message_round/{variant}"), m);
             group.bench_function(variant, |b| {
                 b.iter(|| black_box(engine.round(&mut loads).map(|s| s.phi_after)));
+            });
+        }
+    }
+    group.finish();
+}
+
+/// The fault-tolerance overhead check: one `Engine::round` (stats off) on
+/// the sharded and message backends with no [`FaultPlan`] installed
+/// (`absent` — the unsupervised fast path) vs. a plan armed whose single
+/// event sits at a round the run never reaches (`armed_idle` —
+/// supervision active, nothing ever fires). `absent` must hold the
+/// prior trajectory's medians (the robustness acceptance: an engine
+/// without a plan pays ≤ 1% for the feature existing); the gap to
+/// `armed_idle` quantifies what explicitly arming supervision costs.
+fn fault_overhead(c: &mut Criterion, inst: &Instance, meta: &mut HashMap<String, Meta>) {
+    let threads = pool_sizes().last().copied().unwrap_or(2);
+    let shards = threads.max(2);
+    let partition = PartitionSpec::Range { shards };
+    let idle_plan = FaultPlan::new().event(u64::MAX, 0, FaultKind::Panic);
+    let mut group = c.benchmark_group("fault_overhead");
+    for (backend_name, backend, workers) in [
+        ("sharded", Backend::Sharded { partition, threads }, threads),
+        ("message", Backend::Message { partition }, shards),
+    ] {
+        for (arm, plan) in [("absent", None), ("armed_idle", Some(idle_plan.clone()))] {
+            let variant = format!("{backend_name}/{arm}");
+            meta.insert(
+                format!("fault_overhead/{variant}"),
+                Meta::new("fault_overhead", variant.clone(), 1, workers),
+            );
+            let mut engine = Engine::with_backend(ContinuousDiffusion::new(&inst.g), backend)
+                .with_stats_mode(StatsMode::Off);
+            engine.set_faults(plan);
+            let mut loads = inst.init.clone();
+            group.bench_function(variant, |b| {
+                b.iter(|| {
+                    engine.round(&mut loads);
+                    black_box(loads[0])
+                });
             });
         }
     }
@@ -488,6 +534,7 @@ fn main() {
     engine_rounds(&mut c, &inst, &mut meta);
     sharded_rounds(&mut c, &inst, &mut meta);
     message_rounds(&mut c, &inst, &mut meta);
+    fault_overhead(&mut c, &inst, &mut meta);
     thread_scaling(&mut c, &inst, &mut meta);
     convergence_runs(&mut c, &inst, conv_rounds, &mut meta);
     scenario_runs(&mut c, &inst, conv_rounds, &mut meta);

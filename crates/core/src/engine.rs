@@ -74,8 +74,11 @@
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::mpsc;
 use std::sync::OnceLock;
+use std::sync::{Arc, RwLock};
 use std::thread::JoinHandle;
+use std::time::Duration;
 
+use crate::faults::{FaultKind, FaultPlan, FaultStats};
 use crate::kernels::{self, DiffusionLoad, GatherSpec, KernelKind};
 use crate::potential;
 use dlb_graphs::partition::{graph_fingerprint, PartitionSpec, ShardPlan, ShardView};
@@ -467,6 +470,59 @@ impl Backend {
     }
 }
 
+/// The phase of a round in which a worker failure surfaced (see
+/// [`EngineError`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EnginePhase {
+    /// The pool backend's chunked gather.
+    Gather,
+    /// The sharded backend's per-shard job broadcast (including the
+    /// coordinator's recompute of a failed shard).
+    Broadcast,
+    /// The message backend's exchange round.
+    Exchange,
+}
+
+impl std::fmt::Display for EnginePhase {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            EnginePhase::Gather => "gather",
+            EnginePhase::Broadcast => "broadcast",
+            EnginePhase::Exchange => "exchange",
+        })
+    }
+}
+
+/// A typed worker failure from a fallible round ([`Engine::try_round`]):
+/// which shard failed, on which engine round, in which phase. The
+/// panicking [`Engine::round`] formats this into its panic message, so
+/// even legacy callers see the shard and round instead of a bare
+/// `"worker panicked"`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EngineError {
+    /// The shard whose worker failed. For the pool backend — which has
+    /// chunks, not shards — this is the failed chunk (= worker) index.
+    pub shard: usize,
+    /// The 1-based engine round of the failed attempt (counting executed
+    /// rounds since construction; a failed attempt does not advance the
+    /// count, so a retry reports the same round number).
+    pub round: u64,
+    /// Where in the round the failure surfaced.
+    pub phase: EnginePhase,
+}
+
+impl std::fmt::Display for EngineError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "engine worker panicked during {}: shard {}, round {}",
+            self.phase, self.shard, self.round
+        )
+    }
+}
+
+impl std::error::Error for EngineError {}
+
 /// Worker threads to use by default: `DLB_THREADS` when set to a positive
 /// integer, otherwise the machine's available parallelism.
 ///
@@ -603,8 +659,24 @@ impl WorkerPool {
         L: Send,
         F: Fn(usize, &mut [L]) + Sync,
     {
+        if let Err(chunks) = self.try_gather_chunks(out, fill) {
+            panic!("engine worker panicked during gather (chunk {})", chunks[0]);
+        }
+    }
+
+    /// Fallible form of [`WorkerPool::gather_chunks`]: instead of
+    /// panicking when a chunk's fill panics, returns the sorted indices
+    /// of the failed chunks (chunk `i` covers the `i`-th contiguous range
+    /// of `out`, handled by worker `i`). Slots of a failed chunk are
+    /// left unwritten; the surviving chunks are always completed — the
+    /// barrier is released either way.
+    pub fn try_gather_chunks<L, F>(&self, out: &mut [L], fill: F) -> Result<(), Vec<usize>>
+    where
+        L: Send,
+        F: Fn(usize, &mut [L]) + Sync,
+    {
         let ranges = chunk_ranges(out.len(), self.threads());
-        let (done_tx, done_rx) = mpsc::channel::<bool>();
+        let (done_tx, done_rx) = mpsc::channel::<(usize, bool)>();
         let mut dispatched = 0usize;
 
         {
@@ -623,7 +695,7 @@ impl WorkerPool {
                     // Send after the chunk borrow ends; a panic in the
                     // fill must still signal completion or the caller
                     // would deadlock.
-                    let _ = done.send(outcome.is_ok());
+                    let _ = done.send((w, outcome.is_ok()));
                 });
                 // SAFETY: the task borrows `fill`, `chunk` (a disjoint
                 // sub-slice of `out`) and `done`. All three outlive the
@@ -642,11 +714,19 @@ impl WorkerPool {
             }
         }
 
-        let mut all_ok = true;
+        let mut failed = Vec::new();
         for _ in 0..dispatched {
-            all_ok &= done_rx.recv().expect("engine worker exited early");
+            let (w, ok) = done_rx.recv().expect("engine worker exited early");
+            if !ok {
+                failed.push(w);
+            }
         }
-        assert!(all_ok, "engine worker panicked during gather");
+        if failed.is_empty() {
+            Ok(())
+        } else {
+            failed.sort_unstable();
+            Err(failed)
+        }
     }
 
     /// Runs `job(j)` for every `j in 0..jobs` across the pool (worker `w`
@@ -660,11 +740,27 @@ impl WorkerPool {
     where
         F: Fn(usize) + Sync,
     {
+        if let Err(failed) = self.try_broadcast(jobs, job) {
+            panic!(
+                "engine worker panicked during broadcast (job {})",
+                failed[0]
+            );
+        }
+    }
+
+    /// Fallible form of [`WorkerPool::broadcast`]: panics are caught per
+    /// *job*, not per worker stride, so one failing job cannot take down
+    /// the rest of its worker's jobs. Returns the sorted indices of the
+    /// failed jobs; all other jobs always run to completion.
+    pub fn try_broadcast<F>(&self, jobs: usize, job: F) -> Result<(), Vec<usize>>
+    where
+        F: Fn(usize) + Sync,
+    {
         if jobs == 0 {
-            return;
+            return Ok(());
         }
         let workers = self.threads().min(jobs);
-        let (done_tx, done_rx) = mpsc::channel::<bool>();
+        let (done_tx, done_rx) = mpsc::channel::<Vec<usize>>();
         let mut dispatched = 0usize;
 
         {
@@ -672,14 +768,15 @@ impl WorkerPool {
             for w in 0..workers {
                 let done = done_tx.clone();
                 let task: Box<dyn FnOnce() + Send + '_> = Box::new(move || {
-                    let outcome = catch_unwind(AssertUnwindSafe(|| {
-                        let mut j = w;
-                        while j < jobs {
-                            job(j);
-                            j += workers;
+                    let mut failed = Vec::new();
+                    let mut j = w;
+                    while j < jobs {
+                        if catch_unwind(AssertUnwindSafe(|| job(j))).is_err() {
+                            failed.push(j);
                         }
-                    }));
-                    let _ = done.send(outcome.is_ok());
+                        j += workers;
+                    }
+                    let _ = done.send(failed);
                 });
                 // SAFETY: the task borrows `job` and `done`, both of which
                 // outlive it — this function blocks on `done_rx` below
@@ -695,11 +792,16 @@ impl WorkerPool {
             }
         }
 
-        let mut all_ok = true;
+        let mut failed = Vec::new();
         for _ in 0..dispatched {
-            all_ok &= done_rx.recv().expect("engine worker exited early");
+            failed.extend(done_rx.recv().expect("engine worker exited early"));
         }
-        assert!(all_ok, "engine worker panicked during broadcast");
+        if failed.is_empty() {
+            Ok(())
+        } else {
+            failed.sort_unstable();
+            Err(failed)
+        }
     }
 }
 
@@ -745,12 +847,22 @@ pub struct Engine<P: Protocol> {
     stats_mode: StatsMode,
     /// Rounds executed since construction (drives [`StatsMode::EveryK`]).
     rounds_run: u64,
+    /// The armed fault-injection schedule, if any. `None` keeps every
+    /// backend on its exact legacy code path (no supervision polling);
+    /// `Some` — even of an empty plan — runs the sharded and message
+    /// backends supervised.
+    faults: Option<FaultPlan>,
+    /// Cumulative injection/recovery counters (see
+    /// [`Engine::fault_stats`]).
+    fault_stats: FaultStats,
 }
 
 /// Monomorphized pooled-gather entry point stored by parallel engines.
 /// The trailing pair is the round's kernel selection: the flavour and the
 /// memoized [`GatherPlan`] (`None` when the protocol exposes no
 /// [`Protocol::gather_spec`] — the gather then runs `node_new_load`).
+/// Errors are the failed chunk indices (see
+/// [`WorkerPool::try_gather_chunks`]).
 type GatherFn<P> = fn(
     &WorkerPool,
     &P,
@@ -758,9 +870,12 @@ type GatherFn<P> = fn(
     &mut [<P as Protocol>::Load],
     KernelKind,
     Option<&GatherPlan>,
-);
+) -> Result<(), Vec<usize>>;
 
 /// Monomorphized sharded-gather entry point stored by sharded engines.
+/// The trailing slice is the round's injected faults (empty when no
+/// [`FaultPlan`] is armed); errors are the failed shard indices, which
+/// the engine recomputes from the snapshot.
 type ShardedGatherFn<P> = fn(
     &WorkerPool,
     &P,
@@ -769,7 +884,8 @@ type ShardedGatherFn<P> = fn(
     &ShardPlan,
     KernelKind,
     Option<&GatherPlan>,
-);
+    &[(usize, FaultKind)],
+) -> Result<(), Vec<usize>>;
 
 fn pooled_gather<P: Protocol + Sync>(
     pool: &WorkerPool,
@@ -778,12 +894,16 @@ fn pooled_gather<P: Protocol + Sync>(
     out: &mut [P::Load],
     kind: KernelKind,
     plan: Option<&GatherPlan>,
-) {
+) -> Result<(), Vec<usize>> {
     match (plan, protocol.gather_spec()) {
-        (Some(plan), Some(spec)) => pool.gather_chunks(out, |start, chunk| {
+        (Some(plan), Some(spec)) => pool.try_gather_chunks(out, |start, chunk| {
             kernels::gather_span(kind, plan, &spec, snapshot, start as u32, chunk);
         }),
-        _ => pool.gather(out, |v| protocol.node_new_load(snapshot, v)),
+        _ => pool.try_gather_chunks(out, |start, chunk| {
+            for (k, slot) in chunk.iter_mut().enumerate() {
+                *slot = protocol.node_new_load(snapshot, (start + k) as u32);
+            }
+        }),
     }
 }
 
@@ -803,6 +923,7 @@ impl<T> SharedOut<T> {
     }
 }
 
+#[allow(clippy::too_many_arguments)]
 fn sharded_gather<P: Protocol + Sync>(
     pool: &WorkerPool,
     protocol: &P,
@@ -811,7 +932,8 @@ fn sharded_gather<P: Protocol + Sync>(
     plan: &ShardPlan,
     kind: KernelKind,
     gather_plan: Option<&GatherPlan>,
-) {
+    faults: &[(usize, FaultKind)],
+) -> Result<(), Vec<usize>> {
     // A hard assert, not a debug one: the raw-pointer scatter below relies
     // on every owned id lying inside `out`, and `current_graph()` is an
     // overridable hook — a protocol whose graph disagrees with its `n()`
@@ -821,10 +943,32 @@ fn sharded_gather<P: Protocol + Sync>(
         plan.n(),
         "shard plan node count must equal the load vector length"
     );
+    // An injected crash: the shard's gather never runs (its slots keep
+    // stale back-buffer values), exactly as if the job had panicked —
+    // the engine then recomputes the shard from the snapshot. Modeled as
+    // an aborted job rather than a real `panic!` so injection runs don't
+    // spray panic backtraces over test and bench output.
+    let injected: Vec<usize> = faults
+        .iter()
+        .filter(|(_, k)| matches!(k, FaultKind::Panic))
+        .map(|(s, _)| *s)
+        .collect();
     let out_ptr = SharedOut(out.as_mut_ptr());
     let views = plan.views();
     let spec = protocol.gather_spec();
-    pool.broadcast(views.len(), |s| {
+    let outcome = pool.try_broadcast(views.len(), |s| {
+        if injected.contains(&s) {
+            return;
+        }
+        for &(shard, kind) in faults {
+            if shard == s {
+                if let FaultKind::Delay { ms } = kind {
+                    std::thread::sleep(Duration::from_millis(ms));
+                }
+                // Halo fault kinds are message-backend-only: the sharded
+                // backend moves no messages.
+            }
+        }
         let view = &views[s];
         // Interior first, then boundary: the order a message-passing
         // backend uses (interior work overlaps the halo receive). The
@@ -855,6 +999,21 @@ fn sharded_gather<P: Protocol + Sync>(
             }
         }
     });
+    let mut failed = match outcome {
+        Ok(()) => Vec::new(),
+        Err(f) => f,
+    };
+    for s in injected {
+        if !failed.contains(&s) {
+            failed.push(s);
+        }
+    }
+    if failed.is_empty() {
+        Ok(())
+    } else {
+        failed.sort_unstable();
+        Err(failed)
+    }
 }
 
 /// Per-round locality/communication metrics of the sharded backend's
@@ -1183,17 +1342,44 @@ fn make_message_kernel<P: Protocol + Sync>(
     unsafe { std::mem::transmute::<BorrowedMsgKernel<'_, P::Load>, MsgKernel<P::Load>>(kernel) }
 }
 
+/// How often a supervising coordinator's collect loop wakes to scan for
+/// dead worker threads. Worker-side retransmit requests are governed by
+/// the armed plan's [`FaultPlan::patience`] instead; unsupervised rounds
+/// (no plan armed) never poll at all — they block exactly as before.
+const SUPERVISE_POLL: Duration = Duration::from_millis(25);
+
+/// One round's command to a shard worker.
+struct RoundCmd<L> {
+    /// The round's gather kernel (lifetime-erased; see
+    /// [`make_message_kernel`]).
+    kernel: MsgKernel<L>,
+    /// This shard's round-start owned values (ascending global id,
+    /// parallel to the view's owned list).
+    owned: Vec<L>,
+    /// The coordinator's round-attempt sequence number. Halo batches and
+    /// reports carry it so anything from a past attempt — a straggler's
+    /// duplicate, a failed round's in-flight send — is discarded instead
+    /// of being consumed by a later round.
+    seq: u64,
+    /// Faults injected into this worker this round (empty when no
+    /// [`FaultPlan`] is armed — an empty `Vec` does not allocate).
+    faults: Vec<FaultKind>,
+    /// `Some(patience)` when supervision is on: how long to wait on a
+    /// missing halo batch before asking the coordinator to retransmit
+    /// it. `None` keeps the legacy blocking receive.
+    nack_after: Option<Duration>,
+}
+
 /// Everything a shard worker can receive: plan updates and round
 /// commands from the coordinator, batched halo values from peer shards.
 enum ToWorker<L> {
     /// A new exchange schedule (sent before the round that first uses it).
-    Plan(std::sync::Arc<MessagePlan>),
-    /// Execute one round: the kernel and this shard's round-start owned
-    /// values (ascending global id, parallel to the view's owned list).
-    Round { kernel: MsgKernel<L>, owned: Vec<L> },
-    /// Batched halo values from shard `src`, parallel to the id list both
-    /// sides derive from the current plan.
-    Halo { src: u32, values: Vec<L> },
+    Plan(Arc<MessagePlan>),
+    /// Execute one round.
+    Round(Box<RoundCmd<L>>),
+    /// Batched halo values from shard `src` for round attempt `seq`,
+    /// parallel to the id list both sides derive from the current plan.
+    Halo { src: u32, seq: u64, values: Vec<L> },
     /// Shut down the worker loop.
     Exit,
 }
@@ -1215,13 +1401,38 @@ enum RoundOutcome<L> {
     /// channel alive, so no disconnect (and no second `Exit`) would
     /// ever wake it again, and `MessageExec::drop`'s join would hang.
     Shutdown,
+    /// An injected [`FaultKind::Panic`]: the worker thread dies *without
+    /// reporting*, before posting any halo batch — modeling a crashed
+    /// worker. The kernel box is dropped on the way out (thread-local
+    /// destruction completes before `JoinHandle::is_finished` turns
+    /// true, so the erased protocol borrow never outlives the round
+    /// that is supervising it). The coordinator detects the death via
+    /// the thread handle, recomputes the shard from its snapshot,
+    /// retransmits the dead shard's outbound batches, and respawns.
+    Die,
+}
+
+/// A shard worker's message to the coordinator.
+enum FromWorker<L> {
+    /// The round barrier report.
+    Done(WorkerDone<L>),
+    /// Supervised receive timed out: shard `shard` is still missing the
+    /// batch from `src` for round attempt `seq` — the coordinator
+    /// rebuilds it from the round-start snapshot and retransmits.
+    /// Receiver-side dedup makes a re-request for a merely-late batch
+    /// harmless, so correctness is independent of timing.
+    MissingHalo { shard: usize, src: usize, seq: u64 },
 }
 
 /// A shard worker's round report to the coordinator.
 struct WorkerDone<L> {
     shard: usize,
+    /// The round attempt this report answers (stale reports are
+    /// discarded by the coordinator).
+    seq: u64,
     /// False when the kernel panicked or a halo message was malformed;
-    /// the coordinator propagates this as a panic after the barrier.
+    /// the coordinator surfaces this as an [`EngineError`] after the
+    /// barrier.
     ok: bool,
     /// New loads of the owned nodes in gather order
     /// (interior-then-boundary, exactly the shard's compute order).
@@ -1252,19 +1463,34 @@ struct WorkerDone<L> {
 fn message_worker_round<L: Copy>(
     shard: usize,
     plan: &MessagePlan,
-    kernel: &MsgKernel<L>,
-    owned_values: &[L],
+    cmd: &RoundCmd<L>,
     frame: &mut [L],
-    stash: &mut Vec<(u32, Vec<L>)>,
+    stash: &mut Vec<(u32, u64, Vec<L>)>,
     rx: &mpsc::Receiver<ToWorker<L>>,
-    peers: &[mpsc::Sender<ToWorker<L>>],
+    peers: &RwLock<Vec<mpsc::Sender<ToWorker<L>>>>,
+    supervisor: &mpsc::Sender<FromWorker<L>>,
 ) -> RoundOutcome<L> {
     let view = &plan.views()[shard];
     let mut ok = true;
 
+    // 0. Injected faults for this worker this round (the list is empty —
+    // and free to scan — when no plan is armed).
+    let mut drop_halos = false;
+    let mut duplicate = false;
+    let mut reorder = false;
+    for fault in &cmd.faults {
+        match *fault {
+            FaultKind::Panic => return RoundOutcome::Die,
+            FaultKind::Delay { ms } => std::thread::sleep(Duration::from_millis(ms)),
+            FaultKind::DropHalo => drop_halos = true,
+            FaultKind::DuplicateHalo => duplicate = true,
+            FaultKind::ReorderHalo => reorder = true,
+        }
+    }
+
     // 1. Own this round's values.
-    debug_assert_eq!(owned_values.len(), view.owned().len());
-    for (&v, &value) in view.owned().iter().zip(owned_values) {
+    debug_assert_eq!(cmd.owned.len(), view.owned().len());
+    for (&v, &value) in view.owned().iter().zip(&cmd.owned) {
         frame[v as usize] = value;
     }
 
@@ -1272,18 +1498,40 @@ fn message_worker_round<L: Copy>(
     // later kernel outcome, so peers can never be starved by a panic).
     let mut messages = 0usize;
     let mut values_sent = 0usize;
-    for (dest, ids) in &plan.send[shard] {
-        let values: Vec<L> = ids.iter().map(|&v| frame[v as usize]).collect();
-        messages += 1;
-        values_sent += values.len();
-        // A dead peer means the round is already doomed; the coordinator
-        // surfaces that through the missing/failed Done, not here.
-        let _ = peers[*dest].send(ToWorker::Halo {
-            src: shard as u32,
-            values,
-        });
+    if !drop_halos {
+        // One uncontended read-lock per round: the coordinator only
+        // write-locks the peer table when it respawns a dead worker.
+        let peers = peers.read().expect("peer table poisoned");
+        let schedule = &plan.send[shard];
+        for i in 0..schedule.len() {
+            // ReorderHalo posts in reversed schedule order — semantically
+            // invisible, since batches are keyed by source shard.
+            let i = if reorder { schedule.len() - 1 - i } else { i };
+            let (dest, ids) = &schedule[i];
+            let values: Vec<L> = ids.iter().map(|&v| frame[v as usize]).collect();
+            if duplicate {
+                messages += 1;
+                values_sent += values.len();
+                let _ = peers[*dest].send(ToWorker::Halo {
+                    src: shard as u32,
+                    seq: cmd.seq,
+                    values: values.clone(),
+                });
+            }
+            messages += 1;
+            values_sent += values.len();
+            // A dead peer means the round is already doomed; the
+            // coordinator surfaces that through the missing Done (or
+            // recovers it under supervision), not here.
+            let _ = peers[*dest].send(ToWorker::Halo {
+                src: shard as u32,
+                seq: cmd.seq,
+                values,
+            });
+        }
     }
 
+    let kernel = &cmd.kernel;
     let mut results: Vec<L> = Vec::with_capacity(view.owned().len());
     let gather = |nodes: &[u32], results: &mut Vec<L>, frame: &[L], ok: &mut bool| {
         let outcome = catch_unwind(AssertUnwindSafe(|| {
@@ -1304,31 +1552,87 @@ fn message_worker_round<L: Copy>(
     }
 
     // 4. Receive the expected batches (early arrivals were stashed while
-    // waiting for the round command).
-    let expected = plan.recv[shard].len();
-    let scatter = |src: u32, values: Vec<L>, frame: &mut [L]| -> bool {
-        match plan.recv[shard].iter().find(|(s, _)| *s == src as usize) {
-            Some((_, ids)) if ids.len() == values.len() => {
-                for (&v, value) in ids.iter().zip(values) {
-                    frame[v as usize] = value;
+    // waiting for the round command). Batches are deduplicated per
+    // source within the round, and matched by sequence tag: stale
+    // batches (a past attempt's stragglers) are dropped, future ones
+    // (defensive — the barrier should make them impossible) re-stashed.
+    let recv_sched = &plan.recv[shard];
+    let expected = recv_sched.len();
+    let mut got = vec![false; expected];
+    let mut received = 0usize;
+    let deliver = |src: u32,
+                   values: Vec<L>,
+                   frame: &mut [L],
+                   got: &mut [bool],
+                   received: &mut usize,
+                   ok: &mut bool| {
+        match recv_sched.iter().position(|(s, _)| *s == src as usize) {
+            Some(i) if got[i] => {} // duplicate batch: drop
+            Some(i) => {
+                got[i] = true;
+                *received += 1;
+                let ids = &recv_sched[i].1;
+                if ids.len() == values.len() {
+                    for (&v, value) in ids.iter().zip(values) {
+                        frame[v as usize] = value;
+                    }
+                } else {
+                    *ok = false; // wrong batch size
                 }
-                true
             }
-            _ => false, // unscheduled source or wrong batch size
+            None => {
+                // Unscheduled source: count it toward the barrier (so the
+                // round still completes and reports the failure) and fail.
+                *received += 1;
+                *ok = false;
+            }
         }
     };
-    let mut received = 0usize;
-    for (src, values) in stash.drain(..) {
-        ok &= scatter(src, values, frame);
-        received += 1;
+    let pending = std::mem::take(stash);
+    for (src, seq, values) in pending {
+        match seq.cmp(&cmd.seq) {
+            std::cmp::Ordering::Less => {} // stale: discard
+            std::cmp::Ordering::Greater => stash.push((src, seq, values)),
+            std::cmp::Ordering::Equal => {
+                deliver(src, values, frame, &mut got, &mut received, &mut ok)
+            }
+        }
     }
     while received < expected {
-        match rx.recv() {
-            Ok(ToWorker::Halo { src, values }) => {
-                ok &= scatter(src, values, frame);
-                received += 1;
-            }
-            // Exit (engine dropped mid-round) or a closed channel:
+        let msg = match cmd.nack_after {
+            None => match rx.recv() {
+                Ok(msg) => msg,
+                Err(_) => return RoundOutcome::Shutdown,
+            },
+            Some(patience) => match rx.recv_timeout(patience) {
+                Ok(msg) => msg,
+                Err(mpsc::RecvTimeoutError::Timeout) => {
+                    // Ask the coordinator to retransmit whatever is still
+                    // missing; it rebuilds any batch from its round-start
+                    // snapshot. Repeats every `patience` until satisfied.
+                    for (i, (src, _)) in recv_sched.iter().enumerate() {
+                        if !got[i] {
+                            let _ = supervisor.send(FromWorker::MissingHalo {
+                                shard,
+                                src: *src,
+                                seq: cmd.seq,
+                            });
+                        }
+                    }
+                    continue;
+                }
+                Err(mpsc::RecvTimeoutError::Disconnected) => return RoundOutcome::Shutdown,
+            },
+        };
+        match msg {
+            ToWorker::Halo { src, seq, values } => match seq.cmp(&cmd.seq) {
+                std::cmp::Ordering::Less => {} // stale: discard
+                std::cmp::Ordering::Greater => stash.push((src, seq, values)),
+                std::cmp::Ordering::Equal => {
+                    deliver(src, values, frame, &mut got, &mut received, &mut ok)
+                }
+            },
+            // Exit (engine dropped mid-round) or an unexpected command:
             // abandon the round and terminate rather than blocking
             // forever (or re-parking with no wake-up left).
             _ => return RoundOutcome::Shutdown,
@@ -1357,45 +1661,42 @@ fn message_worker<L: Copy + Default + Send + 'static>(
     shard: usize,
     n: usize,
     rx: mpsc::Receiver<ToWorker<L>>,
-    peers: Vec<mpsc::Sender<ToWorker<L>>>,
-    done: mpsc::Sender<WorkerDone<L>>,
+    peers: Arc<RwLock<Vec<mpsc::Sender<ToWorker<L>>>>>,
+    done: mpsc::Sender<FromWorker<L>>,
 ) {
     // The shard's value store, addressed by global node id so the
     // protocol kernel (a global-index function) runs unchanged. Only the
     // owned and halo slots are ever written — its *information content*
     // is exactly the ShardView-local state; global addressing is the
     // price of reusing one kernel across 16 protocols instead of
-    // reimplementing each over the local CSR.
+    // reimplementing each over the local CSR. A respawned worker starts
+    // from a default frame: no state transfer is needed, because every
+    // slot a round's kernel reads is rewritten that round from the
+    // coordinator's snapshot (owned values) and the halo exchange.
     let mut frame: Vec<L> = vec![L::default(); n];
-    let mut plan: Option<std::sync::Arc<MessagePlan>> = None;
+    let mut plan: Option<Arc<MessagePlan>> = None;
     // Halo batches that arrived before this worker's round command (peer
-    // shards may start a round earlier; the round barrier guarantees
-    // they belong to the same round).
-    let mut stash: Vec<(u32, Vec<L>)> = Vec::new();
+    // shards may start a round earlier), tagged with their round-attempt
+    // sequence so stale leftovers are discarded at the next round start.
+    let mut stash: Vec<(u32, u64, Vec<L>)> = Vec::new();
     loop {
-        let (kernel, owned_values) = loop {
+        let cmd = loop {
             match rx.recv() {
                 Ok(ToWorker::Plan(p)) => plan = Some(p),
-                Ok(ToWorker::Round { kernel, owned }) => break (kernel, owned),
-                Ok(ToWorker::Halo { src, values }) => stash.push((src, values)),
+                Ok(ToWorker::Round(cmd)) => break cmd,
+                Ok(ToWorker::Halo { src, seq, values }) => stash.push((src, seq, values)),
                 Ok(ToWorker::Exit) | Err(_) => return,
             }
         };
         let current = plan.as_ref().expect("plan precedes the first round");
         let outcome = message_worker_round(
-            shard,
-            current,
-            &kernel,
-            &owned_values,
-            &mut frame,
-            &mut stash,
-            &rx,
-            &peers,
+            shard, current, &cmd, &mut frame, &mut stash, &rx, &peers, &done,
         );
+        let seq = cmd.seq;
         // Drop the kernel before reporting: the coordinator's round
         // returns (releasing the protocol borrow) once every report is
         // in, so the erased borrow must be dead by then.
-        drop(kernel);
+        drop(cmd);
         let (report, terminate) = match outcome {
             RoundOutcome::Report {
                 ok,
@@ -1405,6 +1706,7 @@ fn message_worker<L: Copy + Default + Send + 'static>(
             } => (
                 WorkerDone {
                     shard,
+                    seq,
                     ok,
                     results,
                     messages,
@@ -1417,6 +1719,7 @@ fn message_worker<L: Copy + Default + Send + 'static>(
             RoundOutcome::Shutdown => (
                 WorkerDone {
                     shard,
+                    seq,
                     ok: false,
                     results: Vec::new(),
                     messages: 0,
@@ -1424,8 +1727,14 @@ fn message_worker<L: Copy + Default + Send + 'static>(
                 },
                 true,
             ),
+            // Injected crash: vanish without reporting. The kernel box
+            // was just dropped above, and the thread's locals are fully
+            // destroyed before `is_finished()` turns true — so the
+            // supervisor's death detection doubles as proof the erased
+            // protocol borrow is dead.
+            RoundOutcome::Die => return,
         };
-        if done.send(report).is_err() || terminate {
+        if done.send(FromWorker::Done(report)).is_err() || terminate {
             return; // engine gone
         }
     }
@@ -1435,15 +1744,29 @@ fn message_worker<L: Copy + Default + Send + 'static>(
 /// long-lived shard workers and the memoized exchange plans.
 struct MessageExec<L> {
     to_workers: Vec<mpsc::Sender<ToWorker<L>>>,
-    from_workers: mpsc::Receiver<WorkerDone<L>>,
+    from_workers: mpsc::Receiver<FromWorker<L>>,
+    /// The coordinator's own clone of the workers' report sender. Kept
+    /// for respawns — and so `from_workers` never observes a full
+    /// disconnect even if every worker dies at once.
+    done_tx: mpsc::Sender<FromWorker<L>>,
+    /// The peer dispatch table workers post halo batches through, shared
+    /// so a respawn can swap in the replacement's sender in place.
+    peers: Arc<RwLock<Vec<mpsc::Sender<ToWorker<L>>>>>,
     handles: Vec<JoinHandle<()>>,
+    /// Node count (respawned workers need it for their frame).
+    n: usize,
     spec: PartitionSpec,
-    plans: PlanCache<std::sync::Arc<MessagePlan>>,
+    plans: PlanCache<Arc<MessagePlan>>,
     /// Fingerprint of the plan last broadcast to the workers; a round
     /// only re-broadcasts when the current plan's fingerprint differs.
     broadcast_key: Option<u64>,
     /// The most recent round's communication metrics.
     last_comm: Option<CommMetrics>,
+    /// Round-attempt counter stamped on every command, halo batch, and
+    /// report. Incremented per attempt (not per *successful* round), so
+    /// a retry after a failed attempt gets a fresh tag and any stale
+    /// in-flight batch is discarded rather than consumed.
+    round_seq: u64,
 }
 
 impl<L> std::fmt::Debug for MessageExec<L> {
@@ -1460,7 +1783,7 @@ impl<L> std::fmt::Debug for MessageExec<L> {
 impl<L: Copy + Default + Send + 'static> MessageExec<L> {
     fn new(spec: PartitionSpec, n: usize) -> MessageExec<L> {
         let shards = spec.shards();
-        let (done_tx, from_workers) = mpsc::channel::<WorkerDone<L>>();
+        let (done_tx, from_workers) = mpsc::channel::<FromWorker<L>>();
         let mut to_workers = Vec::with_capacity(shards);
         let mut receivers = Vec::with_capacity(shards);
         for _ in 0..shards {
@@ -1468,11 +1791,12 @@ impl<L: Copy + Default + Send + 'static> MessageExec<L> {
             to_workers.push(tx);
             receivers.push(rx);
         }
+        let peers = Arc::new(RwLock::new(to_workers.clone()));
         let handles = receivers
             .into_iter()
             .enumerate()
             .map(|(s, rx)| {
-                let peers = to_workers.clone();
+                let peers = Arc::clone(&peers);
                 let done = done_tx.clone();
                 std::thread::Builder::new()
                     .name(format!("dlb-msg-{s}"))
@@ -1483,11 +1807,15 @@ impl<L: Copy + Default + Send + 'static> MessageExec<L> {
         MessageExec {
             to_workers,
             from_workers,
+            done_tx,
+            peers,
             handles,
+            n,
             spec,
             plans: PlanCache::new(),
             broadcast_key: None,
             last_comm: None,
+            round_seq: 0,
         }
     }
 
@@ -1495,10 +1823,50 @@ impl<L: Copy + Default + Send + 'static> MessageExec<L> {
         self.to_workers.len()
     }
 
+    /// Replaces a dead shard worker with a fresh thread: a new channel
+    /// is installed in the dispatch table and the shared peer table (so
+    /// peers' next posts reach the replacement), and the current plan is
+    /// re-sent. No state transfer is needed — the coordinator's snapshot
+    /// is the authoritative store, and every slot a worker's kernel
+    /// reads is rewritten each round from it.
+    fn respawn(&mut self, shard: usize, plan: &Arc<MessagePlan>) {
+        let (tx, rx) = mpsc::channel::<ToWorker<L>>();
+        self.to_workers[shard] = tx.clone();
+        self.peers.write().expect("peer table poisoned")[shard] = tx;
+        let peers = Arc::clone(&self.peers);
+        let done = self.done_tx.clone();
+        let n = self.n;
+        self.handles[shard] = std::thread::Builder::new()
+            .name(format!("dlb-msg-{shard}"))
+            .spawn(move || message_worker(shard, n, rx, peers, done))
+            .expect("respawn message shard worker");
+        self.to_workers[shard]
+            .send(ToWorker::Plan(plan.clone()))
+            .expect("freshly respawned worker must be alive");
+    }
+
     /// One message-passing round: broadcast the plan if it changed,
     /// command every worker with its owned round-start values, collect
     /// the round barrier, and scatter the per-shard results into `out`.
-    fn round(&mut self, kernels: impl Fn() -> MsgKernel<L>, snapshot: &[L], out: &mut [L]) {
+    /// Returns the first failed shard on a kernel failure.
+    ///
+    /// With `faults` present the round runs **supervised**: the collect
+    /// loop polls instead of blocking, retransmits missing halo batches
+    /// on worker nacks (any batch is reconstructible from `snapshot` and
+    /// the plan), and recovers dead workers — recompute the shard's
+    /// owned values from the snapshot (bit-identical: the snapshot is a
+    /// superset of any worker frame and the kernel is pure per node),
+    /// retransmit the dead shard's outbound batches, respawn the thread.
+    /// Recovery traffic is charged to the round's [`CommMetrics`].
+    /// Without `faults` every receive is the legacy blocking path.
+    fn round(
+        &mut self,
+        kernels: impl Fn() -> MsgKernel<L>,
+        snapshot: &[L],
+        out: &mut [L],
+        faults: Option<(&FaultPlan, u64)>,
+        fault_stats: &mut FaultStats,
+    ) -> Result<(), usize> {
         let plan = self.plans.current().clone();
         let key = self.plans.entries[self.plans.current].0;
         assert_eq!(
@@ -1506,46 +1874,181 @@ impl<L: Copy + Default + Send + 'static> MessageExec<L> {
             plan.views().iter().map(|v| v.owned().len()).sum::<usize>(),
             "message plan node count must equal the load vector length"
         );
+        self.round_seq += 1;
+        let seq = self.round_seq;
+        let shards = self.shards();
+        let supervised = faults.is_some();
+        let nack_after = faults.map(|(fault_plan, _)| fault_plan.patience());
+        let mut shard_faults: Vec<Vec<FaultKind>> = vec![Vec::new(); shards];
+        if let Some((fault_plan, round_no)) = faults {
+            for event in fault_plan.events_at(round_no) {
+                if event.shard < shards {
+                    shard_faults[event.shard].push(event.kind);
+                    fault_stats.faults_injected += 1;
+                }
+            }
+        }
+
         let rebroadcast = self.broadcast_key != Some(key);
-        for (s, tx) in self.to_workers.iter().enumerate() {
-            if rebroadcast {
-                tx.send(ToWorker::Plan(plan.clone()))
-                    .expect("message worker exited early");
+        for (s, pending_faults) in shard_faults.iter_mut().enumerate() {
+            if rebroadcast
+                && self.to_workers[s]
+                    .send(ToWorker::Plan(plan.clone()))
+                    .is_err()
+            {
+                // A worker found dead at dispatch (it died under a
+                // previous engine's... never normally: deaths are
+                // recovered in the round they happen). Defensive respawn
+                // under supervision; without it, keep the legacy panic.
+                assert!(supervised, "message worker exited early");
+                self.respawn(s, &plan);
+                fault_stats.recoveries += 1;
             }
             let owned: Vec<L> = plan.views()[s]
                 .owned()
                 .iter()
                 .map(|&v| snapshot[v as usize])
                 .collect();
-            tx.send(ToWorker::Round {
+            let cmd = ToWorker::Round(Box::new(RoundCmd {
                 kernel: kernels(),
                 owned,
-            })
-            .expect("message worker exited early");
+                seq,
+                faults: std::mem::take(pending_faults),
+                nack_after,
+            }));
+            if let Err(mpsc::SendError(cmd)) = self.to_workers[s].send(cmd) {
+                assert!(supervised, "message worker exited early");
+                self.respawn(s, &plan);
+                fault_stats.recoveries += 1;
+                self.to_workers[s]
+                    .send(cmd)
+                    .expect("respawned message worker exited early");
+            }
         }
         self.broadcast_key = Some(key);
 
-        let shards = self.shards();
         let mut results: Vec<Option<Vec<L>>> = (0..shards).map(|_| None).collect();
-        let mut all_ok = true;
+        let mut outstanding = shards;
+        let mut failed: Option<usize> = None;
         let mut comm = CommMetrics {
             shards,
             ..CommMetrics::default()
         };
-        for _ in 0..shards {
-            let report = self
-                .from_workers
-                .recv()
-                .expect("message worker exited early");
-            all_ok &= report.ok;
-            comm.messages += report.messages;
-            comm.values_sent += report.values_sent;
-            comm.max_shard_values_sent = comm.max_shard_values_sent.max(report.values_sent);
-            results[report.shard] = Some(report.results);
+        while outstanding > 0 {
+            let msg = if supervised {
+                match self.from_workers.recv_timeout(SUPERVISE_POLL) {
+                    Ok(msg) => msg,
+                    Err(mpsc::RecvTimeoutError::Timeout) => {
+                        // Scan the silent shards for dead worker threads.
+                        // `is_finished()` implies the thread's locals —
+                        // including any round command left in its queue —
+                        // are destroyed, so no erased kernel borrow
+                        // survives past this round.
+                        for (s, slot) in results.iter_mut().enumerate() {
+                            if slot.is_none() && self.handles[s].is_finished() {
+                                let view = &plan.views()[s];
+                                // Re-home the dead shard: recompute its
+                                // owned values from the snapshot (the
+                                // injected-death path never reaches the
+                                // kernel, so a genuine kernel panic here
+                                // reproduces and fails the round).
+                                let kernel = kernels();
+                                let mut values: Vec<L> = Vec::new();
+                                let computed = catch_unwind(AssertUnwindSafe(|| {
+                                    let mut out = Vec::with_capacity(view.owned().len());
+                                    if plan.full_exchange {
+                                        kernel(snapshot, view.owned(), &mut out);
+                                    } else {
+                                        kernel(snapshot, view.interior(), &mut out);
+                                        kernel(snapshot, view.boundary(), &mut out);
+                                    }
+                                    out
+                                }));
+                                match computed {
+                                    Ok(out) => values = out,
+                                    Err(_) => {
+                                        failed.get_or_insert(s);
+                                    }
+                                }
+                                // Retransmit the dead shard's outbound
+                                // batches so its starved peers don't wait
+                                // out their patience (receiver dedup makes
+                                // any overlap with a nack-triggered
+                                // retransmission harmless).
+                                for (dest, ids) in &plan.send[s] {
+                                    let halo: Vec<L> =
+                                        ids.iter().map(|&v| snapshot[v as usize]).collect();
+                                    comm.messages += 1;
+                                    comm.values_sent += halo.len();
+                                    let _ = self.to_workers[*dest].send(ToWorker::Halo {
+                                        src: s as u32,
+                                        seq,
+                                        values: halo,
+                                    });
+                                }
+                                fault_stats.recoveries += 1;
+                                fault_stats.rehomed_values += view.owned().len() as u64;
+                                self.respawn(s, &plan);
+                                *slot = Some(values);
+                                outstanding -= 1;
+                            }
+                        }
+                        continue;
+                    }
+                    Err(mpsc::RecvTimeoutError::Disconnected) => {
+                        unreachable!("coordinator holds its own report sender")
+                    }
+                }
+            } else {
+                self.from_workers
+                    .recv()
+                    .expect("message worker exited early")
+            };
+            match msg {
+                FromWorker::Done(report) => {
+                    // Stale attempts and shards already recovered by the
+                    // supervisor are discarded, not consumed.
+                    if report.seq != seq || results[report.shard].is_some() {
+                        continue;
+                    }
+                    if !report.ok {
+                        failed.get_or_insert(report.shard);
+                    }
+                    comm.messages += report.messages;
+                    comm.values_sent += report.values_sent;
+                    comm.max_shard_values_sent = comm.max_shard_values_sent.max(report.values_sent);
+                    results[report.shard] = Some(report.results);
+                    outstanding -= 1;
+                }
+                FromWorker::MissingHalo {
+                    shard,
+                    src,
+                    seq: want,
+                } => {
+                    if want != seq {
+                        continue; // stale nack from a past attempt
+                    }
+                    // Rebuild the missing batch from the snapshot and
+                    // retransmit it; charged as recovery traffic.
+                    if let Some((_, ids)) = plan.recv[shard].iter().find(|(g, _)| *g == src) {
+                        let values: Vec<L> = ids.iter().map(|&v| snapshot[v as usize]).collect();
+                        comm.messages += 1;
+                        comm.values_sent += values.len();
+                        let _ = self.to_workers[shard].send(ToWorker::Halo {
+                            src: src as u32,
+                            seq,
+                            values,
+                        });
+                        fault_stats.recoveries += 1;
+                    }
+                }
+            }
         }
         comm.halo_bytes = comm.values_sent * std::mem::size_of::<L>();
         self.last_comm = Some(comm);
-        assert!(all_ok, "message worker panicked during round");
+        if let Some(shard) = failed {
+            return Err(shard);
+        }
 
         for (view, shard_results) in plan.views().iter().zip(results) {
             let shard_results = shard_results.expect("every shard reported");
@@ -1557,6 +2060,7 @@ impl<L: Copy + Default + Send + 'static> MessageExec<L> {
                 out[v as usize] = value;
             }
         }
+        Ok(())
     }
 }
 
@@ -1621,6 +2125,8 @@ impl<P: Protocol> Engine<P> {
             kernel: KernelState::new(),
             stats_mode: StatsMode::default(),
             rounds_run: 0,
+            faults: None,
+            fault_stats: FaultStats::default(),
         }
     }
 
@@ -1658,6 +2164,8 @@ impl<P: Protocol> Engine<P> {
             kernel: KernelState::new(),
             stats_mode: StatsMode::default(),
             rounds_run: 0,
+            faults: None,
+            fault_stats: FaultStats::default(),
         }
     }
 
@@ -1696,6 +2204,8 @@ impl<P: Protocol> Engine<P> {
             kernel: KernelState::new(),
             stats_mode: StatsMode::default(),
             rounds_run: 0,
+            faults: None,
+            fault_stats: FaultStats::default(),
         }
     }
 
@@ -1731,6 +2241,8 @@ impl<P: Protocol> Engine<P> {
             kernel: KernelState::new(),
             stats_mode: StatsMode::default(),
             rounds_run: 0,
+            faults: None,
+            fault_stats: FaultStats::default(),
         }
     }
 
@@ -1787,6 +2299,40 @@ impl<P: Protocol> Engine<P> {
     /// The statistics mode in effect.
     pub fn stats_mode(&self) -> StatsMode {
         self.stats_mode
+    }
+
+    /// Arms a deterministic [`FaultPlan`], builder-style.
+    ///
+    /// With a plan armed — even an empty one — the sharded and message
+    /// backends run **supervised**: worker deaths are detected and
+    /// recovered (respawn + re-homing from the round-start snapshot),
+    /// missing halo batches are retransmitted, and injected faults fire
+    /// per the plan's schedule. Recovery is exact, so an armed engine's
+    /// loads stay bit-identical to an unarmed one's. Without a plan every
+    /// backend takes its legacy code path unchanged — absence is
+    /// zero-cost. The serial and pool backends have no shard workers to
+    /// fault, so they ignore injection (pool kernel panics still surface
+    /// through [`Engine::try_round`] either way).
+    pub fn with_faults(mut self, plan: FaultPlan) -> Self {
+        self.set_faults(Some(plan));
+        self
+    }
+
+    /// Arms or disarms the fault plan for subsequent rounds (see
+    /// [`Engine::with_faults`]).
+    pub fn set_faults(&mut self, plan: Option<FaultPlan>) {
+        self.faults = plan;
+    }
+
+    /// The armed fault plan, if any.
+    pub fn faults(&self) -> Option<&FaultPlan> {
+        self.faults.as_ref()
+    }
+
+    /// Cumulative fault-injection and recovery counters since
+    /// construction (all zero when no plan was ever armed).
+    pub fn fault_stats(&self) -> FaultStats {
+        self.fault_stats
     }
 
     /// The protocol being executed.
@@ -1893,15 +2439,33 @@ impl<P: Protocol> Engine<P> {
     /// therefore change across rounds). Returns the round statistics when
     /// the engine's [`StatsMode`] computes them this round.
     pub fn round(&mut self, loads: &mut Vec<P::Load>) -> Option<P::Stats> {
+        match self.try_round(loads) {
+            Ok(stats) => stats,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Executes one synchronous round, returning a typed
+    /// [`EngineError`] — shard, round, phase — instead of panicking when
+    /// a worker's kernel fails. Same swap semantics as [`Engine::round`].
+    ///
+    /// On `Err` the caller's vector still holds the round-start loads
+    /// (the swap never happened) and the engine's round counter does not
+    /// advance; note [`Protocol::begin_round`] has already run, so a
+    /// dynamic protocol's graph sequence has consumed the failed round's
+    /// graph.
+    pub fn try_round(&mut self, loads: &mut Vec<P::Load>) -> Result<Option<P::Stats>, EngineError> {
         assert_eq!(
             loads.len(),
             self.protocol.n(),
             "load vector length must equal n"
         );
+        let round_no = self.rounds_run + 1;
         self.protocol.begin_round(loads);
         {
             let protocol = &self.protocol;
             let snapshot = &loads[..];
+            let faults = self.faults.as_ref();
             // Resolve the kernel selection *after* begin_round: dynamic
             // protocols draw their round graph there, and the gather plan
             // must analyse that graph.
@@ -1926,21 +2490,73 @@ impl<P: Protocol> Engine<P> {
                         &mut self.back,
                         kind,
                         plan.as_deref(),
-                    );
+                    )
+                    .map_err(|chunks| EngineError {
+                        shard: chunks[0],
+                        round: round_no,
+                        phase: EnginePhase::Gather,
+                    })?;
                 }
                 Exec::Sharded(sh) => {
                     // Same post-begin_round resolution for the shard plan.
                     sh.refresh_plan(protocol);
                     let sh = &**sh;
-                    (sh.gather)(
+                    let shard_plan = sh.current_plan();
+                    // Panic/Delay fire in shared-memory workers too; the
+                    // halo kinds are message-only and are skipped here.
+                    let mut shard_faults: Vec<(usize, FaultKind)> = Vec::new();
+                    if let Some(fault_plan) = faults {
+                        for event in fault_plan.events_at(round_no) {
+                            if event.shard < shard_plan.views().len()
+                                && matches!(event.kind, FaultKind::Panic | FaultKind::Delay { .. })
+                            {
+                                shard_faults.push((event.shard, event.kind));
+                                self.fault_stats.faults_injected += 1;
+                            }
+                        }
+                    }
+                    if let Err(failed) = (sh.gather)(
                         &sh.pool,
                         protocol,
                         snapshot,
                         &mut self.back,
-                        sh.current_plan(),
+                        shard_plan,
                         kind,
                         plan.as_deref(),
-                    );
+                        &shard_faults,
+                    ) {
+                        // Re-home every failed shard: recompute its owned
+                        // values from the snapshot in the worker's own
+                        // gather order. Injected deaths never reached the
+                        // kernel, so this is bit-identical to the lost
+                        // work; a genuine kernel panic reproduces here
+                        // and fails the round with its shard id.
+                        for &s in &failed {
+                            let view = &shard_plan.views()[s];
+                            let order: Vec<u32> = view
+                                .interior()
+                                .iter()
+                                .chain(view.boundary())
+                                .copied()
+                                .collect();
+                            let computed = catch_unwind(AssertUnwindSafe(|| {
+                                order
+                                    .iter()
+                                    .map(|&v| protocol.node_new_load(snapshot, v))
+                                    .collect::<Vec<P::Load>>()
+                            }));
+                            let values = computed.map_err(|_| EngineError {
+                                shard: s,
+                                round: round_no,
+                                phase: EnginePhase::Broadcast,
+                            })?;
+                            for (&v, value) in order.iter().zip(values) {
+                                self.back[v as usize] = value;
+                            }
+                            self.fault_stats.recoveries += 1;
+                            self.fault_stats.rehomed_values += view.owned().len() as u64;
+                        }
+                    }
                 }
                 Exec::Message { exec, make_kernel } => {
                     // Same post-begin_round plan resolution as the
@@ -1954,7 +2570,14 @@ impl<P: Protocol> Engine<P> {
                         || make_kernel(protocol, kind, plan.clone()),
                         snapshot,
                         &mut self.back,
-                    );
+                        faults.map(|fault_plan| (fault_plan, round_no)),
+                        &mut self.fault_stats,
+                    )
+                    .map_err(|shard| EngineError {
+                        shard,
+                        round: round_no,
+                        phase: EnginePhase::Exchange,
+                    })?;
                 }
             }
         }
@@ -1964,10 +2587,10 @@ impl<P: Protocol> Engine<P> {
         std::mem::swap(loads, &mut self.back);
         self.rounds_run += 1;
         self.protocol.finish_round(&self.back, loads);
-        self.stats_mode.level_for(self.rounds_run).map(|level| {
+        Ok(self.stats_mode.level_for(self.rounds_run).map(|level| {
             let ctx = StatsCtx::new(self.exec.stats_pool(), level);
             self.protocol.compute_stats(&self.back, loads, &ctx)
-        })
+        }))
     }
 
     /// Executes `k` rounds back to back and returns the *last* round's
@@ -2180,6 +2803,7 @@ where
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::faults::FaultEvent;
 
     /// Toy protocol: every node averages with its ring neighbours' parity
     /// sign — enough structure to detect chunking bugs.
@@ -2433,6 +3057,192 @@ mod tests {
         let reference = loads.clone();
         e.round(&mut loads);
         assert_eq!(loads, reference, "identity kernel after recovery");
+    }
+
+    #[test]
+    fn try_round_reports_shard_round_and_phase() {
+        // Pool: the failed chunk surfaces as a typed Gather error.
+        let mut e = Engine::parallel(PanickingToy { n: 12, bad: 7 }, 3);
+        let mut loads: Vec<f64> = (0..12).map(|i| i as f64).collect();
+        let err = e.try_round(&mut loads).unwrap_err();
+        assert_eq!(err.phase, EnginePhase::Gather);
+        assert_eq!(err.round, 1);
+        assert!(err.to_string().contains("round 1"), "{err}");
+
+        // Sharded: the recompute reproduces the kernel panic and names
+        // the shard (node 7 lives in range shard 1 of 3 over n = 12).
+        let mut e = Engine::sharded(
+            PanickingToy { n: 12, bad: 7 },
+            PartitionSpec::Range { shards: 3 },
+            2,
+        );
+        let mut loads: Vec<f64> = (0..12).map(|i| i as f64).collect();
+        let err = e.try_round(&mut loads).unwrap_err();
+        assert_eq!(
+            err,
+            EngineError {
+                shard: 1,
+                round: 1,
+                phase: EnginePhase::Broadcast
+            }
+        );
+
+        // Message: the failing worker's report carries its shard id.
+        let mut e = Engine::message(
+            PanickingToy { n: 12, bad: 7 },
+            PartitionSpec::Range { shards: 3 },
+        );
+        let mut loads: Vec<f64> = (0..12).map(|i| i as f64).collect();
+        let err = e.try_round(&mut loads).unwrap_err();
+        assert_eq!(
+            err,
+            EngineError {
+                shard: 1,
+                round: 1,
+                phase: EnginePhase::Exchange
+            }
+        );
+        assert_eq!(
+            err.to_string(),
+            "engine worker panicked during exchange: shard 1, round 1"
+        );
+        // A failed round leaves the loads untouched and the counter
+        // frozen, so a fixed protocol retries the same round number.
+        assert_eq!(loads, (0..12).map(|i| i as f64).collect::<Vec<_>>());
+        e.protocol_mut().bad = u32::MAX;
+        let err = e.try_round(&mut loads); // identity kernel now
+        assert!(err.is_ok());
+    }
+
+    #[test]
+    fn message_fault_injection_recovers_bit_identically() {
+        let n = 48;
+        let rounds = 8;
+        let init: Vec<f64> = (0..n).map(|i| ((i * 37 + 5) % 41) as f64 / 3.0).collect();
+        let mut serial = init.clone();
+        let mut s = Engine::serial(graph_toy(n));
+        let serial_stats: Vec<_> = (0..rounds).map(|_| s.round(&mut serial)).collect();
+
+        // One of every fault kind, across distinct rounds and shards. The
+        // delay (30 ms) exceeds the patience (25 ms), so starved peers
+        // exercise the nack → retransmit path too.
+        let plan = FaultPlan::new()
+            .event(2, 1, FaultKind::Panic)
+            .event(3, 0, FaultKind::DropHalo)
+            .event(4, 2, FaultKind::DuplicateHalo)
+            .event(5, 3, FaultKind::ReorderHalo)
+            .event(6, 1, FaultKind::Delay { ms: 30 })
+            .with_patience(Duration::from_millis(25));
+        let mut faulted = init.clone();
+        let mut e =
+            Engine::message(graph_toy(n), PartitionSpec::Range { shards: 4 }).with_faults(plan);
+        let faulted_stats: Vec<_> = (0..rounds).map(|_| e.round(&mut faulted)).collect();
+
+        assert_eq!(serial, faulted, "recovery must be exact");
+        assert_eq!(serial_stats, faulted_stats, "stats must survive faults");
+        let stats = e.fault_stats();
+        assert_eq!(stats.faults_injected, 5);
+        assert!(
+            stats.recoveries >= 2,
+            "panic re-home and halo retransmits: {stats:?}"
+        );
+        // Exactly one worker died: shard 1 owns 48/4 = 12 values.
+        assert_eq!(stats.rehomed_values, 12);
+    }
+
+    #[test]
+    fn sharded_fault_injection_recovers_bit_identically() {
+        let n = 48;
+        let init: Vec<f64> = (0..n).map(|i| ((i * 37 + 5) % 41) as f64 / 3.0).collect();
+        let mut serial = init.clone();
+        Engine::serial(graph_toy(n)).rounds(&mut serial, 6);
+
+        // Halo kinds are message-only and must not count as injected on
+        // the sharded backend.
+        let plan = FaultPlan::new()
+            .event(2, 1, FaultKind::Panic)
+            .event(3, 2, FaultKind::Delay { ms: 5 })
+            .event(4, 0, FaultKind::DropHalo);
+        let mut faulted = init.clone();
+        let mut e =
+            Engine::sharded(graph_toy(n), PartitionSpec::Range { shards: 4 }, 2).with_faults(plan);
+        e.rounds(&mut faulted, 6);
+
+        assert_eq!(serial, faulted, "recovery must be exact");
+        let stats = e.fault_stats();
+        assert_eq!(stats.faults_injected, 2, "drop is message-only");
+        assert_eq!(stats.recoveries, 1, "one dead shard re-homed");
+        assert_eq!(stats.rehomed_values, 12);
+    }
+
+    #[test]
+    fn duplicated_batches_never_leak_into_later_rounds() {
+        // Regression for the stale-batch hazard: every shard duplicates
+        // every halo batch on round 1; rounds 2..3 must not consume any
+        // leftover (sequence tags + per-round dedup discard them).
+        let n = 32;
+        let init: Vec<f64> = (0..n).map(|i| ((i * 13 + 1) % 23) as f64).collect();
+        let mut serial = init.clone();
+        Engine::serial(graph_toy(n)).rounds(&mut serial, 3);
+
+        let mut plan = FaultPlan::new();
+        for shard in 0..4 {
+            plan.push(FaultEvent {
+                round: 1,
+                shard,
+                kind: FaultKind::DuplicateHalo,
+            });
+        }
+        let mut faulted = init.clone();
+        let mut e =
+            Engine::message(graph_toy(n), PartitionSpec::Range { shards: 4 }).with_faults(plan);
+        e.rounds(&mut faulted, 3);
+        assert_eq!(serial, faulted, "stale duplicates must be discarded");
+        assert_eq!(e.fault_stats().faults_injected, 4);
+    }
+
+    #[test]
+    fn armed_empty_plan_changes_nothing_but_supervision() {
+        let n = 40;
+        let init: Vec<f64> = (0..n).map(|i| ((i * 7 + 2) % 19) as f64).collect();
+        let mut serial = init.clone();
+        Engine::serial(graph_toy(n)).rounds(&mut serial, 5);
+
+        for backend in [
+            Backend::Sharded {
+                partition: PartitionSpec::Range { shards: 4 },
+                threads: 2,
+            },
+            Backend::Message {
+                partition: PartitionSpec::Range { shards: 4 },
+            },
+        ] {
+            let mut loads = init.clone();
+            let mut e = Engine::with_backend(graph_toy(n), backend).with_faults(FaultPlan::new());
+            e.rounds(&mut loads, 5);
+            assert_eq!(serial, loads, "{}", backend.name());
+            assert!(!e.fault_stats().any(), "{}", backend.name());
+        }
+    }
+
+    #[test]
+    fn supervised_round_still_surfaces_genuine_kernel_panics() {
+        // Supervision must recover *injected* deaths, not mask real
+        // kernel bugs: an armed (empty) plan still reports the panic.
+        let mut e = Engine::message(
+            PanickingToy { n: 12, bad: 7 },
+            PartitionSpec::Range { shards: 3 },
+        )
+        .with_faults(FaultPlan::new().with_patience(Duration::from_millis(25)));
+        let mut loads: Vec<f64> = (0..12).map(|i| i as f64).collect();
+        let err = e.try_round(&mut loads).unwrap_err();
+        assert_eq!(err.shard, 1);
+        assert_eq!(err.phase, EnginePhase::Exchange);
+        // The engine stays usable afterwards.
+        e.protocol_mut().bad = u32::MAX;
+        let reference = loads.clone();
+        e.round(&mut loads);
+        assert_eq!(loads, reference, "identity kernel after the failure");
     }
 
     #[test]

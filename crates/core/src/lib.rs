@@ -71,6 +71,7 @@ pub mod bounds;
 pub mod continuous;
 pub mod discrete;
 pub mod engine;
+pub mod faults;
 pub mod heterogeneous;
 pub mod init;
 pub mod kernels;
@@ -80,6 +81,7 @@ pub mod random_partner;
 pub mod runner;
 pub mod seq;
 
-pub use engine::{Backend, Engine, IntoEngine, Protocol, ShardMetrics};
+pub use engine::{Backend, Engine, EngineError, EnginePhase, IntoEngine, Protocol, ShardMetrics};
+pub use faults::{FaultEvent, FaultKind, FaultPlan, FaultStats};
 pub use kernels::{DiffusionLoad, GatherSpec, KernelKind};
 pub use model::{ContinuousBalancer, DiscreteBalancer, DiscreteRoundStats, RoundStats};

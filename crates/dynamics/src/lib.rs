@@ -29,6 +29,6 @@ pub use runner::{
     DynamicContinuousOutcome, DynamicDiscreteOutcome,
 };
 pub use sequence::{
-    GraphSequence, IidSubgraphSequence, MarkovChurnSequence, MatchingOnlySequence, OutageSequence,
-    PeriodicSequence, StaticSequence,
+    ChurnSchedule, GraphSequence, IidSubgraphSequence, MarkovChurnSequence, MatchingOnlySequence,
+    OutageSequence, PeriodicSequence, ShardChurnSequence, StaticSequence,
 };

@@ -282,6 +282,151 @@ impl<S: GraphSequence> GraphSequence for OutageSequence<S> {
     }
 }
 
+/// A deterministic shard fail/recover schedule for
+/// [`ShardChurnSequence`]: every `every` rounds (when no shard is
+/// already down) one seeded-random shard fails and stays down for
+/// `down` consecutive rounds, then recovers. One failure at a time —
+/// the regime where re-homing is well-defined round-by-round.
+#[derive(Debug, Clone)]
+pub struct ChurnSchedule {
+    every: usize,
+    down: usize,
+    shards: usize,
+    rng: StdRng,
+    counter: usize,
+    remaining_down: usize,
+    failed: Option<usize>,
+    failures: u64,
+}
+
+impl ChurnSchedule {
+    /// Creates the schedule; `every`, `down`, and `shards` must all be
+    /// at least 1. Fully determined by `seed`.
+    pub fn new(every: usize, down: usize, shards: usize, seed: u64) -> Self {
+        assert!(every >= 1, "churn period must be >= 1");
+        assert!(down >= 1, "downtime must be >= 1");
+        assert!(shards >= 1, "churn needs >= 1 shard");
+        ChurnSchedule {
+            every,
+            down,
+            shards,
+            rng: StdRng::seed_from_u64(seed),
+            counter: 0,
+            remaining_down: 0,
+            failed: None,
+            failures: 0,
+        }
+    }
+
+    /// Advances one round and returns the shard that is down this round,
+    /// if any. A new failure starts on rounds `every, 2·every, …` unless
+    /// a previous one is still draining.
+    pub fn advance(&mut self) -> Option<usize> {
+        self.counter += 1;
+        if self.remaining_down > 0 {
+            self.remaining_down -= 1;
+            if self.remaining_down == 0 {
+                self.failed = None;
+            }
+        }
+        if self.failed.is_none() && self.counter.is_multiple_of(self.every) {
+            self.failed = Some(self.rng.gen_range(0..self.shards));
+            self.remaining_down = self.down;
+            self.failures += 1;
+        }
+        self.failed
+    }
+
+    /// The shard currently down, if any.
+    pub fn failed(&self) -> Option<usize> {
+        self.failed
+    }
+
+    /// Failures started so far.
+    pub fn failures(&self) -> u64 {
+        self.failures
+    }
+
+    /// The number of shards the schedule draws from.
+    pub fn shards(&self) -> usize {
+        self.shards
+    }
+}
+
+/// Shard-level churn: wraps another sequence and, per
+/// [`ChurnSchedule`], takes one whole shard out of service for a few
+/// rounds — every edge incident to the failed shard's nodes is removed
+/// from that round's graph, isolating them completely.
+///
+/// This is the node-level analogue of [`OutageSequence`], and reduces
+/// to the same semantics on the failed shard's cut: isolated nodes keep
+/// their loads frozen (a node with no active edges neither sends nor
+/// receives), so total load is conserved exactly and the potential
+/// cannot increase in a degraded round — diffusion still runs on the
+/// surviving subgraph with divisors from the *round* graph. On recovery
+/// the shard re-joins with the loads it held at failure; no separate
+/// restore step exists or is needed.
+///
+/// Executor-level faults (worker deaths, dropped batches) are the
+/// orthogonal concern handled by `dlb_core::faults` — they recover
+/// bit-exactly and never change the round's numerics, while shard churn
+/// *is* a change to the round's numerics, modeled here as topology.
+pub struct ShardChurnSequence<S> {
+    inner: S,
+    owners: Vec<u32>,
+    schedule: ChurnSchedule,
+}
+
+impl<S: GraphSequence> ShardChurnSequence<S> {
+    /// Wraps `inner` with a node→shard assignment (`owners[v]` is the
+    /// shard of node `v`, as [`dlb_graphs::Partition::owners`] reports)
+    /// and a fail/recover schedule.
+    ///
+    /// [`dlb_graphs::Partition::owners`]: dlb_graphs::partition::Partition::owners
+    pub fn new(inner: S, owners: Vec<u32>, schedule: ChurnSchedule) -> Self {
+        assert_eq!(owners.len(), inner.n(), "owner map must cover every node");
+        assert!(
+            owners.iter().all(|&s| (s as usize) < schedule.shards()),
+            "owner map names a shard outside the schedule's range"
+        );
+        ShardChurnSequence {
+            inner,
+            owners,
+            schedule,
+        }
+    }
+
+    /// The schedule's state (which shard is down, failures so far).
+    pub fn schedule(&self) -> &ChurnSchedule {
+        &self.schedule
+    }
+}
+
+impl<S: GraphSequence> GraphSequence for ShardChurnSequence<S> {
+    fn n(&self) -> usize {
+        self.inner.n()
+    }
+
+    fn next_graph(&mut self) -> Graph {
+        // Always consume the inner round, keeping its RNG stream aligned
+        // (the OutageSequence idiom): a degraded round is the *same*
+        // round the fault-free run would have drawn, minus one shard.
+        let g = self.inner.next_graph();
+        match self.schedule.advance() {
+            Some(s) => {
+                let s = s as u32;
+                let owners = &self.owners;
+                g.edge_subgraph(|_, (u, v)| owners[u as usize] != s && owners[v as usize] != s)
+            }
+            None => g,
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "churn-shards"
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -373,5 +518,96 @@ mod tests {
         let mut s = OutageSequence::new(StaticSequence::new(topology::cycle(8)), 3);
         let sizes: Vec<usize> = (0..9).map(|_| s.next_graph().m()).collect();
         assert_eq!(sizes, vec![8, 8, 0, 8, 8, 0, 8, 8, 0]);
+    }
+
+    #[test]
+    fn churn_schedule_fails_one_shard_at_a_time() {
+        let mut sched = ChurnSchedule::new(3, 2, 4, 7);
+        let mut down_rounds = 0usize;
+        let mut prev: Option<usize> = None;
+        for round in 1..=30 {
+            let failed = sched.advance();
+            assert_eq!(failed, sched.failed());
+            if let Some(s) = failed {
+                assert!(s < 4);
+                down_rounds += 1;
+                if let Some(p) = prev {
+                    assert_eq!(p, s, "round {round}: failure must drain before the next");
+                }
+            }
+            prev = failed;
+        }
+        // Failures start at rounds 3, 6 (the round-3 one has drained),
+        // 9, … — every third round, each spanning two rounds; the last
+        // (round 30) has only its first down-round inside the window.
+        assert_eq!(sched.failures(), 10);
+        assert_eq!(down_rounds, 19);
+        // Reproducible: same seed, same draw sequence.
+        let mut a = ChurnSchedule::new(3, 2, 4, 7);
+        let mut b = ChurnSchedule::new(3, 2, 4, 7);
+        for _ in 0..30 {
+            assert_eq!(a.advance(), b.advance());
+        }
+    }
+
+    #[test]
+    fn shard_churn_isolates_the_failed_shard() {
+        let ground = topology::torus2d(4, 4);
+        let owners: Vec<u32> = (0..16).map(|v| (v / 4) as u32).collect();
+        let mut s = ShardChurnSequence::new(
+            StaticSequence::new(ground.clone()),
+            owners.clone(),
+            ChurnSchedule::new(2, 1, 4, 11),
+        );
+        assert_eq!(s.n(), 16);
+        assert_eq!(s.name(), "churn-shards");
+        for round in 1..=10 {
+            let g = s.next_graph();
+            match s.schedule().failed() {
+                None => assert_eq!(g.m(), ground.m(), "round {round}: full graph"),
+                Some(failed) => {
+                    assert!(g.m() < ground.m(), "round {round}: edges removed");
+                    for (u, v) in g.edges() {
+                        assert_ne!(owners[*u as usize] as usize, failed, "round {round}");
+                        assert_ne!(owners[*v as usize] as usize, failed, "round {round}");
+                    }
+                    // Only the failed shard's incident edges are gone.
+                    let expect = ground.edge_subgraph(|_, (u, v)| {
+                        owners[u as usize] as usize != failed
+                            && owners[v as usize] as usize != failed
+                    });
+                    assert_eq!(g.edges(), expect.edges(), "round {round}");
+                }
+            }
+        }
+        assert!(
+            s.schedule().failures() >= 4,
+            "period-2 churn over 10 rounds"
+        );
+    }
+
+    #[test]
+    fn shard_churn_keeps_the_inner_stream_aligned() {
+        // A degraded round must be the same inner draw minus one shard:
+        // the wrapped and unwrapped sequences stay in lockstep.
+        let ground = topology::complete(12);
+        let owners: Vec<u32> = (0..12).map(|v| (v % 3) as u32).collect();
+        let mut plain = IidSubgraphSequence::new(ground.clone(), 0.5, 99);
+        let mut churned = ShardChurnSequence::new(
+            IidSubgraphSequence::new(ground, 0.5, 99),
+            owners.clone(),
+            ChurnSchedule::new(2, 1, 3, 5),
+        );
+        for _ in 1..=8 {
+            let reference = plain.next_graph();
+            let g = churned.next_graph();
+            let expect = match churned.schedule().failed() {
+                None => reference,
+                Some(failed) => reference.edge_subgraph(|_, (u, v)| {
+                    owners[u as usize] as usize != failed && owners[v as usize] as usize != failed
+                }),
+            };
+            assert_eq!(g.edges(), expect.edges());
+        }
     }
 }

@@ -48,9 +48,11 @@
 //! ```
 //!
 //! Optional sections: `[sequence]` (dynamic-network model; `kind =
-//! "static"|"iid"|"markov"|"matching-only"`, plus `outage_every`) and
+//! "static"|"iid"|"markov"|"matching-only"`, plus `outage_every`),
 //! `[capacities]` (required for — and only allowed with — the
-//! heterogeneous protocol).
+//! heterogeneous protocol), and `[faults]` (shard fail/recover churn
+//! plus executor fault kinds: `every`, `down`, `shards`, `seed`, the
+//! bools `panic`/`drop`/`duplicate`/`reorder`, and `delay_ms`).
 //!
 //! ### JSON lines
 //!
@@ -63,8 +65,9 @@
 //! likewise for JSON lines, pinned by tests.
 
 use crate::scenario::{
-    exec_spec_from_parts, CapacitySpec, DrainSpec, ExecSpec, InitSpec, PatternSpec, PlacementSpec,
-    ProtocolSpec, Scenario, SequenceKind, SequenceSpec, StopSpec, TopologySpec, WorkloadSpec,
+    exec_spec_from_parts, CapacitySpec, DrainSpec, ExecSpec, FaultsSpec, InitSpec, PatternSpec,
+    PlacementSpec, ProtocolSpec, Scenario, SequenceKind, SequenceSpec, StopSpec, TopologySpec,
+    WorkloadSpec,
 };
 use dlb_core::engine::StatsMode;
 
@@ -144,6 +147,22 @@ impl Table {
             Ok(default)
         } else {
             self.u64_of(key)
+        }
+    }
+
+    fn bool_of(&self, key: &str) -> Result<bool, String> {
+        match self.get(key) {
+            Some(Value::Bool(b)) => Ok(*b),
+            Some(v) => Err(self.err(format!("{key} must be a bool, got {}", v.type_name()))),
+            None => Err(self.err(format!("missing key {key}"))),
+        }
+    }
+
+    fn bool_or(&self, key: &str, default: bool) -> Result<bool, String> {
+        if self.get(key).is_none() {
+            Ok(default)
+        } else {
+            self.bool_of(key)
         }
     }
 
@@ -637,6 +656,35 @@ fn workload_from(t: &Table) -> Result<WorkloadSpec, String> {
     Ok(spec)
 }
 
+fn faults_from(t: &Table) -> Result<FaultsSpec, String> {
+    t.check_keys(&[
+        "every",
+        "down",
+        "shards",
+        "seed",
+        "panic",
+        "drop",
+        "duplicate",
+        "reorder",
+        "delay_ms",
+    ])?;
+    let d = FaultsSpec::default();
+    Ok(FaultsSpec {
+        every: t.u64_or("every", d.every as u64)? as usize,
+        down: t.u64_or("down", d.down as u64)? as usize,
+        shards: t.u64_or("shards", d.shards as u64)? as usize,
+        seed: t.u64_or("seed", d.seed)?,
+        panic: t.bool_or("panic", false)?,
+        drop: t.bool_or("drop", false)?,
+        duplicate: t.bool_or("duplicate", false)?,
+        reorder: t.bool_or("reorder", false)?,
+        delay_ms: match t.get("delay_ms") {
+            None => None,
+            Some(_) => Some(t.u64_of("delay_ms")?),
+        },
+    })
+}
+
 fn stop_from(t: &Table) -> Result<StopSpec, String> {
     let spec = match t.str_of("kind")? {
         "rounds" => {
@@ -672,6 +720,7 @@ fn scenario_from_tables(tables: Vec<Table>) -> Result<Scenario, String> {
     let mut capacities_t: Option<Table> = None;
     let mut init_t: Option<Table> = None;
     let mut stop_t: Option<Table> = None;
+    let mut faults_t: Option<Table> = None;
     let mut workload_ts: Vec<Table> = Vec::new();
 
     for t in tables {
@@ -682,6 +731,7 @@ fn scenario_from_tables(tables: Vec<Table>) -> Result<Scenario, String> {
             "capacities" => &mut capacities_t,
             "init" => &mut init_t,
             "stop" => &mut stop_t,
+            "faults" => &mut faults_t,
             "workload" => {
                 workload_ts.push(t);
                 continue;
@@ -741,6 +791,7 @@ fn scenario_from_tables(tables: Vec<Table>) -> Result<Scenario, String> {
     };
 
     let stop = stop_from(&stop_t.ok_or("missing [stop] section")?)?;
+    let faults = faults_t.map(|t| faults_from(&t)).transpose()?;
     let workloads = workload_ts
         .iter()
         .map(workload_from)
@@ -755,6 +806,7 @@ fn scenario_from_tables(tables: Vec<Table>) -> Result<Scenario, String> {
         workloads,
         stats,
         exec,
+        faults,
         stop,
     };
     scenario.validate()?;
@@ -926,6 +978,30 @@ fn workload_entries(w: &WorkloadSpec) -> Vec<(String, String)> {
     e
 }
 
+fn faults_entries(f: &FaultsSpec) -> Vec<(String, String)> {
+    let mut e = vec![
+        ("every".to_string(), f.every.to_string()),
+        ("down".to_string(), f.down.to_string()),
+        ("shards".to_string(), f.shards.to_string()),
+        ("seed".to_string(), f.seed.to_string()),
+    ];
+    // Disabled kinds are the parser's defaults — render only what's on.
+    for (key, on) in [
+        ("panic", f.panic),
+        ("drop", f.drop),
+        ("duplicate", f.duplicate),
+        ("reorder", f.reorder),
+    ] {
+        if on {
+            e.push((key.to_string(), "true".to_string()));
+        }
+    }
+    if let Some(ms) = f.delay_ms {
+        e.push(("delay_ms".to_string(), ms.to_string()));
+    }
+    e
+}
+
 fn stop_entries(s: &StopSpec) -> Vec<(String, String)> {
     let mut e = vec![("kind".to_string(), format!("\"{}\"", s.kind()))];
     match *s {
@@ -1008,6 +1084,9 @@ fn scenario_sections(s: &Scenario) -> Vec<RenderedSection> {
         ],
     ));
     out.push(("stop", false, stop_entries(&s.stop)));
+    if let Some(f) = &s.faults {
+        out.push(("faults", false, faults_entries(f)));
+    }
     for w in &s.workloads {
         out.push(("workload", true, workload_entries(w)));
     }
@@ -1270,6 +1349,54 @@ sede = 42
 "#;
         let err = Scenario::from_toml(workload_typo).unwrap_err();
         assert!(err.contains("unknown key \"sede\""), "{err}");
+    }
+
+    #[test]
+    fn faults_section_parses_round_trips_and_rejects_typos() {
+        let base = |faults: &str| {
+            format!(
+                "[scenario]\nname = \"x\"\nprotocol = \"continuous\"\n\
+                 backend = \"message\"\nshards = 4\n\
+                 [topology]\nkind = \"cycle\"\nn = 16\n\
+                 [init]\ndist = \"spike\"\navg = 1.0\n\
+                 [stop]\nkind = \"rounds\"\nrounds = 10\n\
+                 [faults]\n{faults}"
+            )
+        };
+        let s = Scenario::from_toml(&base(
+            "every = 5\ndown = 2\nseed = 9\npanic = true\ndrop = true\ndelay_ms = 3\n",
+        ))
+        .unwrap();
+        let f = s.faults.clone().expect("faults parsed");
+        assert_eq!(f.every, 5);
+        assert_eq!(f.down, 2);
+        assert_eq!(f.shards, 0, "shards defaults to derive-from-backend");
+        assert_eq!(f.seed, 9);
+        assert!(f.panic && f.drop && !f.duplicate && !f.reorder);
+        assert_eq!(f.delay_ms, Some(3));
+        // Round-trips in both formats, like every other section.
+        assert_eq!(s, Scenario::from_toml(&s.to_toml()).unwrap());
+        assert_eq!(s, Scenario::from_jsonl(&s.to_jsonl()).unwrap());
+
+        // Typos and type errors carry the [faults] section + line.
+        for (text, needle) in [
+            ("evry = 5\n", "unknown key \"evry\""),
+            ("panic = 1\n", "panic must be a bool"),
+            ("every = -2\n", "every must be non-negative"),
+        ] {
+            let err = Scenario::from_toml(&base(text)).unwrap_err();
+            assert!(err.contains(needle), "expected {needle:?} in {err}");
+            assert!(
+                err.starts_with("[faults] (line "),
+                "faults error lacks the section+line diagnostic: {err}"
+            );
+        }
+        // Parsed scenarios hit the same validation as built ones: halo
+        // fault kinds need the message backend.
+        let sharded =
+            base("drop = true\n").replace("backend = \"message\"", "backend = \"sharded\"");
+        let err = Scenario::from_toml(&sharded).unwrap_err();
+        assert!(err.contains("message"), "{err}");
     }
 
     #[test]

@@ -71,6 +71,28 @@ pub struct CommTotals {
     pub max_round_shard_values: u64,
 }
 
+/// Run-total fault and recovery counters of a fault-injected run: the
+/// executor faults the engine's [`FaultPlan`](dlb_core::FaultPlan)
+/// delivered plus the scenario-level shard churn failures, and what the
+/// supervisor (or the churn model's re-homing accounting) did about them.
+/// Reports carry this only when the scenario declared a `[faults]`
+/// section.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct FaultTotals {
+    /// Fault events delivered over the whole run: executor faults the
+    /// engine injected (worker panics, dropped/duplicated/reordered halo
+    /// batches, slow workers) plus shard-churn failures the sequence
+    /// applied.
+    pub faults_injected: u64,
+    /// Recoveries completed: dead workers respawned with their shard
+    /// recomputed and re-homed, plus churned shards whose down window
+    /// drained inside the run.
+    pub recoveries: u64,
+    /// Load values re-homed across all recoveries (owned values of each
+    /// failed shard, counted once per failure).
+    pub rehomed_values: u64,
+}
+
 /// The trailing-window Φ band: where the potential settled. For
 /// steady-state stops this is the window that triggered the stop; for
 /// other stops it summarizes the trailing `window` rounds.
@@ -127,6 +149,9 @@ pub struct ScenarioReport {
     /// Run-total communication volume (message backend only; `None` on
     /// the shared-memory backends).
     pub comm: Option<CommTotals>,
+    /// Run-total fault/recovery counters (fault-injected runs only;
+    /// `None` when the scenario declared no faults).
+    pub faults: Option<FaultTotals>,
 }
 
 impl ScenarioReport {
@@ -166,13 +191,22 @@ impl ScenarioReport {
             ),
             None => String::new(),
         };
+        // Fault-injected runs append their fault/recovery counters the
+        // same way; fault-free runs omit the keys entirely.
+        let fault_fields = match &self.faults {
+            Some(f) => format!(
+                ", \"faults_injected\": {}, \"recoveries\": {}, \"rehomed_values\": {}",
+                f.faults_injected, f.recoveries, f.rehomed_values
+            ),
+            None => String::new(),
+        };
         out.push_str(&format!(
             "{{\"schema\": \"dlb-scenario/1\", \"scenario\": \"{}\", \"protocol\": \"{}\", \
              \"n\": {}, \"backend\": \"{}\", \"threads\": {}, \"stats\": \"{}\", \"rounds\": {}, \"stop\": \"{}\", \
              \"initial_total\": {}, \"final_total\": {}, \"injected_total\": {}, \
              \"consumed_total\": {}, \"migrated_total\": {}, \"conservation_error\": {}, \
              \"phi_initial\": {}, \"phi_final\": {}, \"steady_window\": {}, \
-             \"steady_phi_mean\": {}, \"steady_phi_min\": {}, \"steady_phi_max\": {}{comm_fields}}}\n",
+             \"steady_phi_mean\": {}, \"steady_phi_min\": {}, \"steady_phi_max\": {}{comm_fields}{fault_fields}}}\n",
             esc(&self.scenario),
             esc(&self.protocol),
             self.n,
@@ -253,6 +287,12 @@ impl ScenarioReport {
                 c.messages, c.values_sent, c.halo_bytes, c.max_round_shard_values
             ));
         }
+        if let Some(f) = &self.faults {
+            out.push_str(&format!(
+                "faults: {} injected, {} recovered, {} value(s) re-homed\n",
+                f.faults_injected, f.recoveries, f.rehomed_values
+            ));
+        }
         out
     }
 }
@@ -318,6 +358,7 @@ mod tests {
                 phi_max: 4.0,
             },
             comm: None,
+            faults: None,
         }
     }
 
@@ -366,6 +407,36 @@ mod tests {
         );
         assert!(header.ends_with('}'), "header stays one JSON object");
         assert!(msg.summary().contains("shard messages: 12"));
+    }
+
+    #[test]
+    fn fault_totals_appear_only_for_fault_injected_runs() {
+        let plain = sample().to_jsonl();
+        assert!(!plain.contains("faults_injected"), "{plain}");
+        let mut faulty = sample();
+        faulty.faults = Some(FaultTotals {
+            faults_injected: 5,
+            recoveries: 4,
+            rehomed_values: 96,
+        });
+        let text = faulty.to_jsonl();
+        let header = text.lines().next().unwrap();
+        assert!(header.contains("\"faults_injected\": 5"), "{header}");
+        assert!(header.contains("\"recoveries\": 4"), "{header}");
+        assert!(header.contains("\"rehomed_values\": 96"), "{header}");
+        assert!(header.ends_with('}'), "header stays one JSON object");
+        assert!(faulty.summary().contains("faults: 5 injected"));
+        // Comm and fault blocks compose on the same header.
+        faulty.comm = Some(CommTotals {
+            messages: 1,
+            values_sent: 2,
+            halo_bytes: 16,
+            max_round_shard_values: 2,
+        });
+        let both = faulty.to_jsonl();
+        let header = both.lines().next().unwrap();
+        assert!(header.contains("\"comm_messages\": 1"), "{header}");
+        assert!(header.contains("\"recoveries\": 4"), "{header}");
     }
 
     #[test]

@@ -24,7 +24,7 @@
 
 use std::collections::VecDeque;
 
-use crate::report::{CommTotals, RoundRecord, ScenarioReport, SteadyBand, StopReason};
+use crate::report::{CommTotals, FaultTotals, RoundRecord, ScenarioReport, SteadyBand, StopReason};
 use crate::scenario::{
     compile_workloads, exec_from_threads, validate_exec, ExecSpec, ProtocolSpec, Scenario, StopSpec,
 };
@@ -36,6 +36,7 @@ use dlb_core::heterogeneous::HeterogeneousDiffusion;
 use dlb_core::init;
 use dlb_core::model::{DiscreteRoundStats, RoundStats};
 use dlb_dynamics::runner::{DynamicContinuousDiffusion, DynamicDiscreteDiffusion};
+use dlb_dynamics::{ChurnSchedule, GraphSequence, ShardChurnSequence, StaticSequence};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -224,6 +225,16 @@ where
     }
 
     let final_total = records.last().map_or(initial_total, |r| r.total);
+    // An engine armed with a fault plan (even an empty one) reports its
+    // executor-fault counters; unarmed engines omit the section.
+    let faults = engine.faults().map(|_| {
+        let fs = engine.fault_stats();
+        FaultTotals {
+            faults_injected: fs.faults_injected,
+            recoveries: fs.recoveries,
+            rehomed_values: fs.rehomed_values,
+        }
+    });
     ScenarioReport {
         scenario: name.to_string(),
         protocol: engine.protocol().name().to_string(),
@@ -242,11 +253,91 @@ where
         records,
         steady: band_of(&recent),
         comm,
+        faults,
     }
 }
 
 fn build_engine<P: Protocol + Sync>(protocol: P, exec: ExecSpec, stats: StatsMode) -> Engine<P> {
     Engine::with_backend(protocol, exec).with_stats_mode(stats)
+}
+
+/// Fault machinery compiled once per run from a scenario's `[faults]`
+/// section: the churn geometry (shard owner map on the ground graph,
+/// per-shard member counts for re-homing totals) and the executor
+/// [`FaultPlan`](dlb_core::FaultPlan) to arm the engine with. The shard
+/// count and owner map resolve against the *scenario's own* backend, so
+/// an executor override (the bit-identity replays) runs the identical
+/// degraded trajectory.
+struct FaultSetup {
+    every: usize,
+    down: usize,
+    seed: u64,
+    shards: usize,
+    owners: Vec<u32>,
+    members: Vec<u64>,
+    plan: Option<dlb_core::FaultPlan>,
+}
+
+fn compile_faults(sc: &Scenario, g: &dlb_graphs::Graph) -> Result<Option<FaultSetup>, String> {
+    let Some(f) = &sc.faults else { return Ok(None) };
+    let shards = f.resolved_shards(&sc.exec)?;
+    let partition = match &sc.exec {
+        ExecSpec::Sharded { partition, .. } | ExecSpec::Message { partition } => *partition,
+        _ => dlb_graphs::PartitionSpec::Range { shards },
+    };
+    let part = partition.build(g);
+    let members = part.member_lists().iter().map(|m| m.len() as u64).collect();
+    let plan = f
+        .has_exec_kinds()
+        .then(|| f.fault_plan(shards, sc.stop.max_rounds()));
+    Ok(Some(FaultSetup {
+        every: f.every,
+        down: f.down,
+        seed: f.seed,
+        shards,
+        owners: part.owners().to_vec(),
+        members,
+        plan,
+    }))
+}
+
+/// Wraps the run's graph stream in the shard fail/recover churn model
+/// when the scenario declares faults.
+fn churned_sequence(
+    base: Box<dyn GraphSequence + Sync>,
+    faults: &Option<FaultSetup>,
+) -> Box<dyn GraphSequence + Sync> {
+    match faults {
+        Some(fs) => Box::new(ShardChurnSequence::new(
+            base,
+            fs.owners.clone(),
+            ChurnSchedule::new(fs.every, fs.down, fs.shards, fs.seed),
+        )),
+        None => base,
+    }
+}
+
+/// Merges the scenario-level churn counters into the report's fault
+/// totals by replaying the same seeded schedule over the rounds the run
+/// actually executed: each failure re-homes the failed shard's owned
+/// values; a failure whose down window drained inside the run counts as
+/// recovered.
+fn merge_churn_totals(mut report: ScenarioReport, faults: &Option<FaultSetup>) -> ScenarioReport {
+    let Some(fs) = faults else { return report };
+    let mut totals = report.faults.take().unwrap_or_default();
+    let mut sched = ChurnSchedule::new(fs.every, fs.down, fs.shards, fs.seed);
+    for _ in 0..report.rounds {
+        let before = sched.failures();
+        let failed = sched.advance();
+        if sched.failures() > before {
+            let s = failed.expect("a new failure names a shard");
+            totals.faults_injected += 1;
+            totals.rehomed_values += fs.members[s];
+        }
+    }
+    totals.recoveries += sched.failures() - u64::from(sched.failed().is_some());
+    report.faults = Some(totals);
+    report
 }
 
 /// Runs a [`Scenario`], with optional engine overrides for replaying the
@@ -300,6 +391,7 @@ impl ScenarioRunner {
         let g = sc.topology.build();
         let n = g.n();
         let stats = self.stats.unwrap_or(sc.stats);
+        let faults = compile_faults(sc, &g)?;
         let mut rng = StdRng::seed_from_u64(sc.init.seed);
 
         match &sc.protocol {
@@ -307,8 +399,8 @@ impl ScenarioRunner {
                 let mut loads = init::continuous_loads(n, sc.init.avg, sc.init.dist, &mut rng);
                 let mut workload = compile_workloads::<f64>(&sc.workloads, n);
                 let workload = workload.as_mut().map(|w| w as &mut dyn Workload<f64>);
-                match &sc.sequence {
-                    None => {
+                match (&sc.sequence, &faults) {
+                    (None, None) => {
                         let mut engine = build_engine(ContinuousDiffusion::new(&g), exec, stats);
                         Ok(run_driven(
                             &mut engine,
@@ -318,17 +410,22 @@ impl ScenarioRunner {
                             &sc.name,
                         ))
                     }
-                    Some(spec) => {
-                        let mut seq = spec.build(g.clone());
+                    (seq_spec, _) => {
+                        // Faults force the dynamic protocol even on a
+                        // fixed network: churn degrades the round graph.
+                        let base = match seq_spec {
+                            Some(spec) => spec.build(g.clone()),
+                            None => Box::new(StaticSequence::new(g.clone())) as _,
+                        };
+                        let mut seq = churned_sequence(base, &faults);
                         let mut engine =
                             build_engine(DynamicContinuousDiffusion::new(&mut seq), exec, stats);
-                        Ok(run_driven(
-                            &mut engine,
-                            &mut loads,
-                            workload,
-                            &sc.stop,
-                            &sc.name,
-                        ))
+                        if let Some(plan) = faults.as_ref().and_then(|fs| fs.plan.as_ref()) {
+                            engine.set_faults(Some(plan.clone()));
+                        }
+                        let report =
+                            run_driven(&mut engine, &mut loads, workload, &sc.stop, &sc.name);
+                        Ok(merge_churn_totals(report, &faults))
                     }
                 }
             }
@@ -338,8 +435,8 @@ impl ScenarioRunner {
                 let mut loads = init::discrete_loads(n, avg, sc.init.dist, &mut rng);
                 let mut workload = compile_workloads::<i64>(&sc.workloads, n);
                 let workload = workload.as_mut().map(|w| w as &mut dyn Workload<i64>);
-                match &sc.sequence {
-                    None => {
+                match (&sc.sequence, &faults) {
+                    (None, None) => {
                         let mut engine = build_engine(DiscreteDiffusion::new(&g), exec, stats);
                         Ok(run_driven(
                             &mut engine,
@@ -349,17 +446,20 @@ impl ScenarioRunner {
                             &sc.name,
                         ))
                     }
-                    Some(spec) => {
-                        let mut seq = spec.build(g.clone());
+                    (seq_spec, _) => {
+                        let base = match seq_spec {
+                            Some(spec) => spec.build(g.clone()),
+                            None => Box::new(StaticSequence::new(g.clone())) as _,
+                        };
+                        let mut seq = churned_sequence(base, &faults);
                         let mut engine =
                             build_engine(DynamicDiscreteDiffusion::new(&mut seq), exec, stats);
-                        Ok(run_driven(
-                            &mut engine,
-                            &mut loads,
-                            workload,
-                            &sc.stop,
-                            &sc.name,
-                        ))
+                        if let Some(plan) = faults.as_ref().and_then(|fs| fs.plan.as_ref()) {
+                            engine.set_faults(Some(plan.clone()));
+                        }
+                        let report =
+                            run_driven(&mut engine, &mut loads, workload, &sc.stop, &sc.name);
+                        Ok(merge_churn_totals(report, &faults))
                     }
                 }
             }
@@ -473,6 +573,77 @@ mod tests {
             assert!(comm.values_sent > 0, "{name}: no values recorded");
             assert_eq!(comm.halo_bytes, comm.values_sent * 8, "{name}");
             assert!(comm.max_round_shard_values > 0, "{name}");
+        }
+    }
+
+    #[test]
+    fn fault_injected_scenario_recovers_and_matches_serial_replay() {
+        let sc = Scenario::builtin("churn-shards-message").unwrap();
+        let msg = sc.run().unwrap();
+        assert_eq!(msg.backend, "message");
+        let f = msg.faults.expect("fault run reports totals");
+        assert!(f.faults_injected > 0, "no faults delivered");
+        assert!(f.recoveries > 0, "no recoveries recorded");
+        assert!(f.rehomed_values > 0, "no values re-homed");
+        assert!(msg.conservation_relative_error() < 1e-9);
+        // The headline guarantee at scenario level: executor faults are
+        // recovered exactly, so a serial replay over the same degraded
+        // round sequence (same churn seed, same owner map) reproduces
+        // the trajectory bit for bit.
+        let serial = ScenarioRunner::new(sc.clone())
+            .with_exec(ExecSpec::Serial)
+            .run()
+            .unwrap();
+        assert_eq!(serial.rounds, msg.rounds);
+        assert_eq!(
+            trace_bits(&serial),
+            trace_bits(&msg),
+            "Φ trace diverged under injected faults"
+        );
+        assert_eq!(serial.final_total.to_bits(), msg.final_total.to_bits());
+        // The serial replay still carries the churn counters (executor
+        // faults are a message/sharded concept and stay at zero there).
+        let sf = serial.faults.expect("churn counters survive the override");
+        assert!(sf.faults_injected > 0);
+        assert!(sf.faults_injected <= f.faults_injected);
+        // The fault section round-trips through the report's JSONL.
+        let header = msg.to_jsonl();
+        let header = header.lines().next().unwrap().to_string();
+        assert!(header.contains("\"faults_injected\""), "{header}");
+        assert!(header.contains("\"recoveries\""), "{header}");
+        assert!(header.contains("\"rehomed_values\""), "{header}");
+    }
+
+    #[test]
+    fn pure_churn_scenario_freezes_the_failed_shard() {
+        // Churn without executor fault kinds on the serial backend: the
+        // failed shard's nodes drop out of the round graph, so the run
+        // still conserves exactly and reports the churn counters.
+        let sc = Scenario::new(
+            "churn-only",
+            TopologySpec::Torus2d { rows: 4, cols: 4 },
+            ProtocolSpec::Discrete,
+        )
+        .with_init(init::Workload::Spike, 64.0, 3)
+        .with_faults(crate::scenario::FaultsSpec {
+            every: 4,
+            down: 2,
+            shards: 4,
+            seed: 11,
+            ..crate::scenario::FaultsSpec::default()
+        })
+        .with_stop(StopSpec::Rounds { rounds: 24 });
+        let report = sc.run().unwrap();
+        assert_eq!(report.rounds, 24);
+        assert_eq!(report.conservation_error(), 0.0, "tokens conserve exactly");
+        let f = report.faults.expect("churn counters reported");
+        assert_eq!(f.faults_injected, 6, "failures at rounds 4,8,…,24");
+        assert_eq!(f.recoveries, 5, "the round-24 failure is still down");
+        assert_eq!(f.rehomed_values, 6 * 4, "4 owned values per failure");
+        // Φ never increases across a pure-churn run without workloads:
+        // degraded rounds freeze the failed shard and balance the rest.
+        for w in report.phi_trace.windows(2) {
+            assert!(w[1] <= w[0], "Φ increased across a degraded round");
         }
     }
 

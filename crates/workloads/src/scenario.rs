@@ -616,6 +616,190 @@ pub fn exec_spec_from_parts(
     }
 }
 
+/// Declarative fault injection: shard-level fail/recover churn plus
+/// optional executor-level faults, the `[faults]` section of a scenario
+/// file and the `--faults` CLI flag.
+///
+/// Two orthogonal things are driven from one seeded schedule
+/// ([`dlb_dynamics::ChurnSchedule`]): every `every` rounds one random
+/// shard fails for `down` rounds — its nodes drop out of the round graph
+/// (loads frozen, outage semantics on the cut; exact conservation and
+/// Φ-monotonicity hold by construction) — and, per the enabled kind
+/// flags, a deterministic executor [`dlb_core::FaultPlan`] fires worker
+/// panics / dropped / duplicated / reordered halo batches / delays on
+/// the same failure rounds. Executor faults are recovered bit-exactly by
+/// the engine's supervision and never change the trajectory; shard churn
+/// *is* part of the (degraded) trajectory. Together they reproduce the
+/// headline guarantee: the run matches a fault-free run over the same
+/// effective round sequence.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FaultsSpec {
+    /// A shard failure starts every `every` rounds (when none is
+    /// already down).
+    pub every: usize,
+    /// Each failure lasts `down` consecutive rounds.
+    pub down: usize,
+    /// Shard count the churn draws from; `0` derives it from the
+    /// sharded/message backend's partition (and must match it when both
+    /// are set explicitly).
+    pub shards: usize,
+    /// Seed of the churn schedule (which shard fails when).
+    pub seed: u64,
+    /// Kill the failed shard's worker on each failure round
+    /// (sharded/message backends).
+    pub panic: bool,
+    /// Drop the failed shard's outgoing halo batches (message backend).
+    pub drop: bool,
+    /// Duplicate every halo batch of the failed shard (message backend).
+    pub duplicate: bool,
+    /// Reorder the failed shard's halo batches (message backend).
+    pub reorder: bool,
+    /// Delay the failed shard's worker by this many milliseconds
+    /// (sharded/message backends).
+    pub delay_ms: Option<u64>,
+}
+
+impl Default for FaultsSpec {
+    fn default() -> Self {
+        FaultsSpec {
+            every: 20,
+            down: 3,
+            shards: 0,
+            seed: 1,
+            panic: false,
+            drop: false,
+            duplicate: false,
+            reorder: false,
+            delay_ms: None,
+        }
+    }
+}
+
+impl FaultsSpec {
+    /// Whether any executor-level fault kind is enabled (as opposed to
+    /// pure shard churn).
+    pub fn has_exec_kinds(&self) -> bool {
+        self.panic || self.drop || self.duplicate || self.reorder || self.delay_ms.is_some()
+    }
+
+    /// The enabled executor fault kinds, in canonical order.
+    pub fn exec_kinds(&self) -> Vec<dlb_core::FaultKind> {
+        let mut kinds = Vec::new();
+        if self.panic {
+            kinds.push(dlb_core::FaultKind::Panic);
+        }
+        if self.drop {
+            kinds.push(dlb_core::FaultKind::DropHalo);
+        }
+        if self.duplicate {
+            kinds.push(dlb_core::FaultKind::DuplicateHalo);
+        }
+        if self.reorder {
+            kinds.push(dlb_core::FaultKind::ReorderHalo);
+        }
+        if let Some(ms) = self.delay_ms {
+            kinds.push(dlb_core::FaultKind::Delay { ms });
+        }
+        kinds
+    }
+
+    /// Resolves the churn shard count against the backend: an explicit
+    /// `shards` wins (but must match a sharded/message partition), `0`
+    /// derives from the partition.
+    pub fn resolved_shards(&self, exec: &ExecSpec) -> Result<usize, String> {
+        let backend_shards = match exec {
+            ExecSpec::Sharded { partition, .. } | ExecSpec::Message { partition } => {
+                Some(partition.shards())
+            }
+            _ => None,
+        };
+        match (self.shards, backend_shards) {
+            (0, Some(s)) => Ok(s),
+            (0, None) => {
+                Err("faults need an explicit shards count on the serial/pool backends".into())
+            }
+            (s, Some(b)) if s != b => Err(format!(
+                "faults shards ({s}) must match the backend's shard count ({b})"
+            )),
+            (s, _) => Ok(s),
+        }
+    }
+
+    /// Replays the seeded churn schedule over `max_rounds` and compiles
+    /// the executor [`dlb_core::FaultPlan`]: failure `i` (starting at
+    /// round `T` on shard `s`) fires the `i mod k`-th of the `k` enabled
+    /// kinds at round `T` on shard `s`. Deterministic — the same spec
+    /// always arms the same plan, and the runner replays the same
+    /// schedule for its churn counters.
+    pub fn fault_plan(&self, shards: usize, max_rounds: usize) -> dlb_core::FaultPlan {
+        let kinds = self.exec_kinds();
+        let mut plan = dlb_core::FaultPlan::new();
+        if kinds.is_empty() {
+            return plan;
+        }
+        let mut sched = dlb_dynamics::ChurnSchedule::new(self.every, self.down, shards, self.seed);
+        let mut failures = 0usize;
+        for round in 1..=max_rounds as u64 {
+            let before = sched.failures();
+            let failed = sched.advance();
+            if sched.failures() > before {
+                let shard = failed.expect("a new failure names a shard");
+                plan = plan.event(round, shard, kinds[failures % kinds.len()]);
+                failures += 1;
+            }
+        }
+        plan
+    }
+
+    /// Parses the CLI's compact `--faults` spec string, e.g.
+    /// `"every=40,down=5,seed=7,panic,drop,delay=3"`: bare words enable
+    /// executor fault kinds, `key=value` pairs set the churn numbers
+    /// (`every`, `down`, `shards`, `seed`) or the delay (`delay`, in
+    /// milliseconds). An empty string selects the defaults — pure shard
+    /// churn with no executor faults.
+    pub fn from_arg(spec: &str) -> Result<FaultsSpec, String> {
+        let mut f = FaultsSpec::default();
+        for part in spec.split(',').map(str::trim).filter(|p| !p.is_empty()) {
+            match part.split_once('=') {
+                None => match part {
+                    "panic" => f.panic = true,
+                    "drop" => f.drop = true,
+                    "duplicate" => f.duplicate = true,
+                    "reorder" => f.reorder = true,
+                    other => {
+                        return Err(format!(
+                            "unknown fault flag {other:?} (expected panic, drop, \
+                             duplicate, or reorder)"
+                        ))
+                    }
+                },
+                Some((key, value)) => {
+                    let num = || {
+                        value
+                            .trim()
+                            .parse::<u64>()
+                            .map_err(|_| format!("fault key {key} needs an integer, got {value:?}"))
+                    };
+                    match key.trim() {
+                        "every" => f.every = num()? as usize,
+                        "down" => f.down = num()? as usize,
+                        "shards" => f.shards = num()? as usize,
+                        "seed" => f.seed = num()?,
+                        "delay" => f.delay_ms = Some(num()?),
+                        other => {
+                            return Err(format!(
+                                "unknown fault key {other:?} (expected every, down, \
+                                 shards, seed, or delay)"
+                            ))
+                        }
+                    }
+                }
+            }
+        }
+        Ok(f)
+    }
+}
+
 /// When a scenario run ends.
 #[derive(Debug, Clone, PartialEq)]
 pub enum StopSpec {
@@ -687,6 +871,9 @@ pub struct Scenario {
     /// Execution backend (serial / pool / sharded). Trajectories are
     /// bit-identical across backends; this only chooses the executor.
     pub exec: ExecSpec,
+    /// Fault injection: shard fail/recover churn plus executor faults;
+    /// `None` = fault-free.
+    pub faults: Option<FaultsSpec>,
     /// Stop condition.
     pub stop: StopSpec,
 }
@@ -708,6 +895,7 @@ impl Scenario {
             workloads: Vec::new(),
             stats: StatsMode::Full,
             exec: ExecSpec::Serial,
+            faults: None,
             stop: StopSpec::Rounds { rounds: 100 },
         }
     }
@@ -751,6 +939,12 @@ impl Scenario {
     /// Sets the stop condition.
     pub fn with_stop(mut self, stop: StopSpec) -> Self {
         self.stop = stop;
+        self
+    }
+
+    /// Sets the fault-injection spec.
+    pub fn with_faults(mut self, faults: FaultsSpec) -> Self {
+        self.faults = Some(faults);
         self
     }
 
@@ -846,6 +1040,28 @@ impl Scenario {
             }
         }
         validate_exec(&self.exec)?;
+        if let Some(faults) = &self.faults {
+            if matches!(self.protocol, ProtocolSpec::Heterogeneous { .. }) {
+                return Err(
+                    "heterogeneous protocol runs on fixed networks only (remove [faults])".into(),
+                );
+            }
+            if faults.every == 0 {
+                return Err("faults every must be >= 1".into());
+            }
+            if faults.down == 0 {
+                return Err("faults down must be >= 1".into());
+            }
+            let message = matches!(self.exec, ExecSpec::Message { .. });
+            let sharded = matches!(self.exec, ExecSpec::Sharded { .. });
+            if (faults.panic || faults.delay_ms.is_some()) && !(sharded || message) {
+                return Err("faults panic/delay need backend = \"sharded\" or \"message\"".into());
+            }
+            if (faults.drop || faults.duplicate || faults.reorder) && !message {
+                return Err("faults drop/duplicate/reorder need backend = \"message\"".into());
+            }
+            faults.resolved_shards(&self.exec)?;
+        }
         Ok(())
     }
 
@@ -859,6 +1075,7 @@ impl Scenario {
             "diurnal-cycle",
             "adversarial-hetero",
             "churn-markov",
+            "churn-shards-message",
         ]
     }
 
@@ -883,7 +1100,14 @@ impl Scenario {
     /// * `adversarial-hetero` — heterogeneous two-tier cluster with an
     ///   adversary re-injecting at the heaviest node;
     /// * `churn-markov` — continuous diffusion over Markov edge churn
-    ///   with constant arrivals and proportional service.
+    ///   with constant arrivals and proportional service;
+    /// * `churn-shards-message` — the `bursty-torus-message` regime under
+    ///   shard fail/recover churn (one of the 8 shards down for 5 rounds
+    ///   every 40) with worker panics and dropped halo batches injected
+    ///   on each failure round; the report carries the fault/recovery
+    ///   counters, and the engine's supervision keeps the trajectory
+    ///   bit-identical to a fault-free run over the same degraded
+    ///   sequence.
     pub fn builtin(name: &str) -> Option<Scenario> {
         let s = match name {
             "bursty-torus" => Scenario::new(
@@ -1005,6 +1229,19 @@ impl Scenario {
                 tol: 0.5,
                 max_rounds: 1000,
             }),
+            "churn-shards-message" => {
+                let mut s = Scenario::builtin("bursty-torus-message").expect("base builtin exists");
+                s.name = "churn-shards-message".into();
+                s.with_faults(FaultsSpec {
+                    every: 40,
+                    down: 5,
+                    seed: 7,
+                    panic: true,
+                    drop: true,
+                    ..FaultsSpec::default()
+                })
+                .with_stop(StopSpec::Rounds { rounds: 240 })
+            }
             _ => return None,
         };
         Some(s)
@@ -1093,6 +1330,85 @@ mod tests {
         assert!(bad_stop.validate().is_err());
         let zero_rounds = base.with_stop(StopSpec::Rounds { rounds: 0 });
         assert!(zero_rounds.validate().is_err());
+    }
+
+    #[test]
+    fn faults_spec_parses_the_cli_arg_and_validates() {
+        let f = FaultsSpec::from_arg("every=40, down=5, seed=7, panic, drop, delay=3").unwrap();
+        assert_eq!(f.every, 40);
+        assert_eq!(f.down, 5);
+        assert_eq!(f.seed, 7);
+        assert!(f.panic && f.drop && !f.duplicate && !f.reorder);
+        assert_eq!(f.delay_ms, Some(3));
+        assert_eq!(FaultsSpec::from_arg("").unwrap(), FaultsSpec::default());
+        assert!(FaultsSpec::from_arg("panik").is_err());
+        assert!(FaultsSpec::from_arg("every=lots").is_err());
+        assert!(FaultsSpec::from_arg("budget=3").is_err());
+
+        // Validation gates kinds on the backend and churn on homogeneity.
+        let base = Scenario::new("t", TopologySpec::Cycle { n: 8 }, ProtocolSpec::Continuous);
+        let churn_no_shards = base.clone().with_faults(FaultsSpec::default());
+        assert!(
+            churn_no_shards.validate().is_err(),
+            "serial backend needs an explicit shards count"
+        );
+        let churn = base.clone().with_faults(FaultsSpec {
+            shards: 4,
+            ..FaultsSpec::default()
+        });
+        assert!(churn.validate().is_ok(), "{:?}", churn.validate());
+        let panic_serial = base.clone().with_faults(FaultsSpec {
+            shards: 4,
+            panic: true,
+            ..FaultsSpec::default()
+        });
+        assert!(panic_serial.validate().is_err(), "panic needs workers");
+        let zero_every = base.with_faults(FaultsSpec {
+            every: 0,
+            shards: 4,
+            ..FaultsSpec::default()
+        });
+        assert!(zero_every.validate().is_err());
+        let hetero = Scenario::new(
+            "t",
+            TopologySpec::Cycle { n: 8 },
+            ProtocolSpec::Heterogeneous {
+                capacities: CapacitySpec::Uniform,
+            },
+        )
+        .with_faults(FaultsSpec {
+            shards: 4,
+            ..FaultsSpec::default()
+        });
+        assert!(hetero.validate().is_err(), "faults are homogeneous-only");
+    }
+
+    #[test]
+    fn fault_plan_is_deterministic_and_cycles_kinds() {
+        let f = FaultsSpec {
+            every: 5,
+            down: 2,
+            shards: 4,
+            seed: 3,
+            panic: true,
+            drop: true,
+            ..FaultsSpec::default()
+        };
+        let plan = f.fault_plan(4, 30);
+        let again = f.fault_plan(4, 30);
+        assert_eq!(plan.events(), again.events(), "same spec, same plan");
+        // Failures at rounds 5, 10, …, 30 alternate panic/drop.
+        assert_eq!(plan.len(), 6);
+        for (i, ev) in plan.events().iter().enumerate() {
+            assert_eq!(ev.round, 5 * (i as u64 + 1));
+            assert!(ev.shard < 4);
+            let expect = if i % 2 == 0 {
+                dlb_core::FaultKind::Panic
+            } else {
+                dlb_core::FaultKind::DropHalo
+            };
+            assert_eq!(ev.kind, expect, "failure {i}");
+        }
     }
 
     #[test]

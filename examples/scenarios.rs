@@ -21,6 +21,12 @@
 //! * `--shards <k>` / `--partition <range|bfs>` — sharded/message-backend
 //!   parameters (without `--backend`, `--shards` implies
 //!   `--backend sharded`);
+//! * `--faults <spec>` — inject deterministic faults, overriding any
+//!   `[faults]` section: a comma list like
+//!   `"every=40,down=5,seed=7,panic,drop,delay=3"` (bare words enable
+//!   executor fault kinds, `key=value` pairs set the churn numbers; the
+//!   CI fault matrix drives this and asserts conservation plus clean
+//!   recovery from the JSON output);
 //! * `--json <path>` — also write the report as JSON lines
 //!   (schema `dlb-scenario/1`; the CI smoke job asserts the conservation
 //!   invariant from this output);
@@ -33,7 +39,7 @@
 //! doubles as an end-to-end smoke check.
 
 use dlb_examples::{arg_value, log_sparkline};
-use dlb_workloads::{exec_spec_from_parts, ExecSpec, Scenario, ScenarioRunner};
+use dlb_workloads::{exec_spec_from_parts, ExecSpec, FaultsSpec, Scenario, ScenarioRunner};
 
 /// Human-readable exec-spec summary for `--list`.
 fn exec_summary(exec: &ExecSpec) -> String {
@@ -107,7 +113,8 @@ fn main() {
         }
         println!(
             "\nexec overrides: --backend serial|pool|sharded|message, --threads t, \
-             --shards k, --partition range|bfs"
+             --shards k, --partition range|bfs\n\
+             fault injection: --faults \"every=40,down=5,seed=7,panic,drop,delay=3\""
         );
         return;
     }
@@ -131,10 +138,19 @@ fn main() {
             eprintln!(
                 "usage: scenarios (--name <builtin> | --file <path>) \
                  [--backend serial|pool|sharded|message] [--threads t] [--shards k] \
-                 [--partition range|bfs] [--json out.jsonl] [--print-spec] [--list]"
+                 [--partition range|bfs] [--faults spec] [--json out.jsonl] \
+                 [--print-spec] [--list]"
             );
             std::process::exit(2);
         }
+    };
+
+    let scenario = match arg_value("--faults") {
+        Some(spec) => scenario.with_faults(FaultsSpec::from_arg(&spec).unwrap_or_else(|e| {
+            eprintln!("bad --faults spec: {e}");
+            std::process::exit(2);
+        })),
+        None => scenario,
     };
 
     if args.iter().any(|a| a == "--print-spec") {
