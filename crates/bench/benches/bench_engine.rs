@@ -28,6 +28,11 @@
 //!   prior trajectory (the robustness acceptance: ≤ 1% on the fault-free
 //!   hot path); the gap to `armed_idle` is the explicit price of arming
 //!   supervision (timeout-based receives) even when nothing fires;
+//! - **telemetry_overhead** — one `Engine::round` (stats off) with the
+//!   telemetry recorder `off` (the no-op branch, must sit in the noise
+//!   band of the pre-telemetry trajectory) vs. `armed` (every per-phase
+//!   span recorded into preallocated rings; acceptance: ≤ 5% over `off`
+//!   on the 1M-node torus), serial and message backends;
 //! - **kernel_gather** — the degree-specialized kernel dispatch layer:
 //!   one serial `Engine::round` (stats off — the gather alone) per
 //!   [`KernelKind`] (`scalar` | `unrolled` | `simd`) on a degree-4
@@ -64,7 +69,7 @@ use dlb_bench::perf_json::{self, PerfRecord};
 use dlb_core::continuous::{self, ContinuousDiffusion};
 use dlb_core::engine::{recommended_threads, Backend, Engine, IntoEngine, Protocol, StatsMode};
 use dlb_core::runner::run_continuous;
-use dlb_core::{FaultKind, FaultPlan, KernelKind};
+use dlb_core::{FaultKind, FaultPlan, KernelKind, Telemetry};
 use dlb_graphs::{topology, Graph, PartitionSpec};
 use std::collections::HashMap;
 use std::hint::black_box;
@@ -321,6 +326,48 @@ fn fault_overhead(c: &mut Criterion, inst: &Instance, meta: &mut HashMap<String,
     group.finish();
 }
 
+/// The telemetry overhead check: one `Engine::round` (stats off) with the
+/// recorder `off` (the default `Telemetry::Off` no-op branch — must stay
+/// within measurement noise of the pre-telemetry trajectory) vs. `armed`
+/// (preallocated ring buffers capturing every per-phase span). The
+/// acceptance bound is armed ≤ 5% over off on the 1M-node torus: recording
+/// is a monotonic clock read plus a ring push per phase, amortized over a
+/// millisecond-scale round. Serial records engine-lane spans only; the
+/// message backend adds per-shard lanes (the worst recording density).
+fn telemetry_overhead(c: &mut Criterion, inst: &Instance, meta: &mut HashMap<String, Meta>) {
+    let threads = pool_sizes().last().copied().unwrap_or(2);
+    let shards = threads.max(2);
+    let partition = PartitionSpec::Range { shards };
+    let mut group = c.benchmark_group("telemetry_overhead");
+    for (backend_name, backend, workers) in [
+        ("serial", Backend::Serial, 1),
+        ("message", Backend::Message { partition }, shards),
+    ] {
+        for arm in ["off", "armed"] {
+            let variant = format!("{backend_name}/{arm}");
+            meta.insert(
+                format!("telemetry_overhead/{variant}"),
+                Meta::new("telemetry_overhead", variant.clone(), 1, workers),
+            );
+            let tel = match arm {
+                "armed" => Telemetry::armed(shards, dlb_core::telemetry::DEFAULT_CAPACITY),
+                _ => Telemetry::Off,
+            };
+            let mut engine = Engine::with_backend(ContinuousDiffusion::new(&inst.g), backend)
+                .with_stats_mode(StatsMode::Off)
+                .with_telemetry(tel);
+            let mut loads = inst.init.clone();
+            group.bench_function(variant, |b| {
+                b.iter(|| {
+                    engine.round(&mut loads);
+                    black_box(loads[0])
+                });
+            });
+        }
+    }
+    group.finish();
+}
+
 /// The kernel-dispatch comparison: serial rounds with statistics off, so
 /// the measured time is the gather alone, per [`KernelKind`] and per
 /// degree structure. Instances are sized below the main torus — the
@@ -535,6 +582,7 @@ fn main() {
     sharded_rounds(&mut c, &inst, &mut meta);
     message_rounds(&mut c, &inst, &mut meta);
     fault_overhead(&mut c, &inst, &mut meta);
+    telemetry_overhead(&mut c, &inst, &mut meta);
     thread_scaling(&mut c, &inst, &mut meta);
     convergence_runs(&mut c, &inst, conv_rounds, &mut meta);
     scenario_runs(&mut c, &inst, conv_rounds, &mut meta);

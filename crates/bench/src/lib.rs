@@ -140,8 +140,12 @@ pub mod perf_json {
                     shard_meta.push_str(&format!(", \"speedup_vs_serial\": {speedup:.3}"));
                 }
             }
+            // Each record carries the schema tag too, so consumers that
+            // slurp individual records (jq '.results[]', CI validators)
+            // can check versioning without the enclosing document.
             out.push_str(&format!(
-                "    {{\"id\": \"{}\", \"group\": \"{}\", \"variant\": \"{}\", \
+                "    {{\"schema\": \"dlb-bench/1\", \
+                 \"id\": \"{}\", \"group\": \"{}\", \"variant\": \"{}\", \
                  \"topology\": \"{}\", \"n\": {}, \"threads\": {}, \
                  \"rounds_per_iter\": {}, \"median_ns_per_round\": {}, \
                  \"min_ns_per_round\": {}, \"samples\": {}{}}}{}\n",
@@ -168,6 +172,43 @@ pub mod perf_json {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn perf_json_records_carry_the_schema_tag() {
+        let rec = perf_json::PerfRecord {
+            id: "engine_round/serial/full".into(),
+            group: "engine_round".into(),
+            variant: "serial/full".into(),
+            topology: "torus2d".into(),
+            n: 1024,
+            threads: 1,
+            rounds_per_iter: 8,
+            median_ns_per_round: 1234.5,
+            min_ns_per_round: 1200.0,
+            samples: 10,
+            edge_cut: None,
+            halo: None,
+            messages: None,
+            values_sent: None,
+            speedup_vs_serial: None,
+        };
+        let path = std::env::temp_dir().join("dlb_bench_schema_test.json");
+        let path = path.to_str().unwrap();
+        perf_json::write(path, "engine", true, 4, &[rec]).unwrap();
+        let text = std::fs::read_to_string(path).unwrap();
+        std::fs::remove_file(path).ok();
+        assert!(text.contains("\"schema\": \"dlb-bench/1\",\n"), "{text}");
+        let record_line = text
+            .lines()
+            .find(|l| l.contains("\"id\""))
+            .expect("a record line");
+        assert!(
+            record_line
+                .trim_start()
+                .starts_with("{\"schema\": \"dlb-bench/1\""),
+            "per-record schema tag missing: {record_line}"
+        );
+    }
 
     #[test]
     fn fixtures_consistent() {

@@ -83,6 +83,10 @@ use crate::kernels::{self, DiffusionLoad, GatherSpec, KernelKind};
 use crate::potential;
 use dlb_graphs::partition::{graph_fingerprint, PartitionSpec, ShardPlan, ShardView};
 use dlb_graphs::{GatherPlan, Graph};
+use dlb_telemetry::{
+    CommCounters, FaultCounters, MetricsSnapshot, Phase as SpanPhase, ShardCounters, Telemetry,
+    ENGINE_LANE,
+};
 
 /// One synchronous balancing scheme, expressed as a per-round gather.
 ///
@@ -855,6 +859,10 @@ pub struct Engine<P: Protocol> {
     /// Cumulative injection/recovery counters (see
     /// [`Engine::fault_stats`]).
     fault_stats: FaultStats,
+    /// Span recording. [`Telemetry::Off`] (the default) keeps every
+    /// instrumentation site a no-op enum branch — no clock read, no
+    /// allocation — so untraced rounds run the exact legacy path.
+    telemetry: Telemetry,
 }
 
 /// Monomorphized pooled-gather entry point stored by parallel engines.
@@ -873,9 +881,11 @@ type GatherFn<P> = fn(
 ) -> Result<(), Vec<usize>>;
 
 /// Monomorphized sharded-gather entry point stored by sharded engines.
-/// The trailing slice is the round's injected faults (empty when no
+/// The fault slice is the round's injected faults (empty when no
 /// [`FaultPlan`] is armed); errors are the failed shard indices, which
-/// the engine recomputes from the snapshot.
+/// the engine recomputes from the snapshot. The trailing pair is the
+/// telemetry handle (per-shard gather spans) and the round number spans
+/// are tagged with.
 type ShardedGatherFn<P> = fn(
     &WorkerPool,
     &P,
@@ -885,6 +895,8 @@ type ShardedGatherFn<P> = fn(
     KernelKind,
     Option<&GatherPlan>,
     &[(usize, FaultKind)],
+    &Telemetry,
+    u64,
 ) -> Result<(), Vec<usize>>;
 
 fn pooled_gather<P: Protocol + Sync>(
@@ -933,6 +945,8 @@ fn sharded_gather<P: Protocol + Sync>(
     kind: KernelKind,
     gather_plan: Option<&GatherPlan>,
     faults: &[(usize, FaultKind)],
+    tel: &Telemetry,
+    round_no: u64,
 ) -> Result<(), Vec<usize>> {
     // A hard assert, not a debug one: the raw-pointer scatter below relies
     // on every owned id lying inside `out`, and `current_graph()` is an
@@ -985,17 +999,32 @@ fn sharded_gather<P: Protocol + Sync>(
                 // lists it is given, all owned by shard `s`.
                 let mut emit =
                     |v: u32, value: P::Load| unsafe { *out_ptr.base().add(v as usize) = value };
+                let t0 = tel.start();
                 kernels::gather_list(kind, gp, spec, snapshot, view.interior(), &mut emit);
+                tel.record(s as u32, round_no, SpanPhase::GatherInterior, t0);
+                let t1 = tel.start();
                 kernels::gather_list(kind, gp, spec, snapshot, view.boundary(), &mut emit);
+                tel.record(s as u32, round_no, SpanPhase::GatherBoundary, t1);
             }
             _ => {
-                for &v in view.interior().iter().chain(view.boundary()) {
+                // Interior then boundary, as two loops so each gets its
+                // own span — same node order as the chained iteration.
+                let t0 = tel.start();
+                for &v in view.interior() {
                     let value = protocol.node_new_load(snapshot, v);
                     // SAFETY: `v` is owned by shard `s`; owned sets are
                     // disjoint across shards and within `0..out.len()`, so
                     // this write aliases no other worker's writes.
                     unsafe { *out_ptr.base().add(v as usize) = value };
                 }
+                tel.record(s as u32, round_no, SpanPhase::GatherInterior, t0);
+                let t1 = tel.start();
+                for &v in view.boundary() {
+                    let value = protocol.node_new_load(snapshot, v);
+                    // SAFETY: identical to the interior loop above.
+                    unsafe { *out_ptr.base().add(v as usize) = value };
+                }
+                tel.record(s as u32, round_no, SpanPhase::GatherBoundary, t1);
             }
         }
     });
@@ -1368,6 +1397,14 @@ struct RoundCmd<L> {
     /// missing halo batch before asking the coordinator to retransmit
     /// it. `None` keeps the legacy blocking receive.
     nack_after: Option<Duration>,
+    /// Span recording for this round. Workers spawn before the engine's
+    /// telemetry can be armed, so the handle rides in with each command:
+    /// an `Off` copy is a unit-variant move, an armed one costs one Arc
+    /// increment per shard per round.
+    telemetry: Telemetry,
+    /// The engine round number the command executes (spans are tagged
+    /// with it; the attempt-scoped `seq` stays the dedup key).
+    round: u64,
 }
 
 /// Everything a shard worker can receive: plan updates and round
@@ -1496,8 +1533,11 @@ fn message_worker_round<L: Copy>(
 
     // 2. Post boundary loads (round-start values — independent of any
     // later kernel outcome, so peers can never be starved by a panic).
+    let tel = &cmd.telemetry;
+    let lane = shard as u32;
     let mut messages = 0usize;
     let mut values_sent = 0usize;
+    let t_post = tel.start();
     if !drop_halos {
         // One uncontended read-lock per round: the coordinator only
         // write-locks the peer table when it respawns a dead worker.
@@ -1530,6 +1570,7 @@ fn message_worker_round<L: Copy>(
             });
         }
     }
+    tel.record(lane, cmd.round, SpanPhase::PostHalo, t_post);
 
     let kernel = &cmd.kernel;
     let mut results: Vec<L> = Vec::with_capacity(view.owned().len());
@@ -1548,7 +1589,9 @@ fn message_worker_round<L: Copy>(
     // 3. Interior gather overlaps the halo receive (graph plans only:
     // interior nodes read owned values alone by construction).
     if !plan.full_exchange {
+        let t0 = tel.start();
         gather(view.interior(), &mut results, frame, &mut ok);
+        tel.record(lane, cmd.round, SpanPhase::GatherInterior, t0);
     }
 
     // 4. Receive the expected batches (early arrivals were stashed while
@@ -1588,6 +1631,7 @@ fn message_worker_round<L: Copy>(
             }
         }
     };
+    let t_recv = tel.start();
     let pending = std::mem::take(stash);
     for (src, seq, values) in pending {
         match seq.cmp(&cmd.seq) {
@@ -1638,14 +1682,17 @@ fn message_worker_round<L: Copy>(
             _ => return RoundOutcome::Shutdown,
         }
     }
+    tel.record(lane, cmd.round, SpanPhase::RecvHalo, t_recv);
 
     // 5. Boundary gather (everything under full exchange).
+    let t_bnd = tel.start();
     if plan.full_exchange {
         gather(view.owned(), &mut results, frame, &mut ok);
         debug_assert!(view.boundary().is_empty(), "trivial views have no boundary");
     } else {
         gather(view.boundary(), &mut results, frame, &mut ok);
     }
+    tel.record(lane, cmd.round, SpanPhase::GatherBoundary, t_bnd);
 
     RoundOutcome::Report {
         ok,
@@ -1859,6 +1906,7 @@ impl<L: Copy + Default + Send + 'static> MessageExec<L> {
     /// retransmit the dead shard's outbound batches, respawn the thread.
     /// Recovery traffic is charged to the round's [`CommMetrics`].
     /// Without `faults` every receive is the legacy blocking path.
+    #[allow(clippy::too_many_arguments)]
     fn round(
         &mut self,
         kernels: impl Fn() -> MsgKernel<L>,
@@ -1866,6 +1914,8 @@ impl<L: Copy + Default + Send + 'static> MessageExec<L> {
         out: &mut [L],
         faults: Option<(&FaultPlan, u64)>,
         fault_stats: &mut FaultStats,
+        tel: &Telemetry,
+        round_no: u64,
     ) -> Result<(), usize> {
         let plan = self.plans.current().clone();
         let key = self.plans.entries[self.plans.current].0;
@@ -1889,6 +1939,9 @@ impl<L: Copy + Default + Send + 'static> MessageExec<L> {
             }
         }
 
+        // Dispatch: slice the snapshot into per-shard owned blocks and
+        // command every worker — the coordinator half of the scatter.
+        let t_dispatch = tel.start();
         let rebroadcast = self.broadcast_key != Some(key);
         for (s, pending_faults) in shard_faults.iter_mut().enumerate() {
             if rebroadcast
@@ -1915,6 +1968,8 @@ impl<L: Copy + Default + Send + 'static> MessageExec<L> {
                 seq,
                 faults: std::mem::take(pending_faults),
                 nack_after,
+                telemetry: tel.clone(),
+                round: round_no,
             }));
             if let Err(mpsc::SendError(cmd)) = self.to_workers[s].send(cmd) {
                 assert!(supervised, "message worker exited early");
@@ -1926,6 +1981,7 @@ impl<L: Copy + Default + Send + 'static> MessageExec<L> {
             }
         }
         self.broadcast_key = Some(key);
+        tel.record(ENGINE_LANE, round_no, SpanPhase::ScatterOwned, t_dispatch);
 
         let mut results: Vec<Option<Vec<L>>> = (0..shards).map(|_| None).collect();
         let mut outstanding = shards;
@@ -1946,6 +2002,7 @@ impl<L: Copy + Default + Send + 'static> MessageExec<L> {
                         // survives past this round.
                         for (s, slot) in results.iter_mut().enumerate() {
                             if slot.is_none() && self.handles[s].is_finished() {
+                                let t_recover = tel.start();
                                 let view = &plan.views()[s];
                                 // Re-home the dead shard: recompute its
                                 // owned values from the snapshot (the
@@ -1991,6 +2048,12 @@ impl<L: Copy + Default + Send + 'static> MessageExec<L> {
                                 self.respawn(s, &plan);
                                 *slot = Some(values);
                                 outstanding -= 1;
+                                tel.record(
+                                    ENGINE_LANE,
+                                    round_no,
+                                    SpanPhase::FaultRecovery,
+                                    t_recover,
+                                );
                             }
                         }
                         continue;
@@ -2031,6 +2094,7 @@ impl<L: Copy + Default + Send + 'static> MessageExec<L> {
                     // Rebuild the missing batch from the snapshot and
                     // retransmit it; charged as recovery traffic.
                     if let Some((_, ids)) = plan.recv[shard].iter().find(|(g, _)| *g == src) {
+                        let t_recover = tel.start();
                         let values: Vec<L> = ids.iter().map(|&v| snapshot[v as usize]).collect();
                         comm.messages += 1;
                         comm.values_sent += values.len();
@@ -2040,6 +2104,7 @@ impl<L: Copy + Default + Send + 'static> MessageExec<L> {
                             values,
                         });
                         fault_stats.recoveries += 1;
+                        tel.record(ENGINE_LANE, round_no, SpanPhase::FaultRecovery, t_recover);
                     }
                 }
             }
@@ -2050,6 +2115,9 @@ impl<L: Copy + Default + Send + 'static> MessageExec<L> {
             return Err(shard);
         }
 
+        // Gather half of the scatter: fold the per-shard results back
+        // into the global vector.
+        let t_scatter = tel.start();
         for (view, shard_results) in plan.views().iter().zip(results) {
             let shard_results = shard_results.expect("every shard reported");
             // Results arrive in the shard's gather order:
@@ -2060,6 +2128,7 @@ impl<L: Copy + Default + Send + 'static> MessageExec<L> {
                 out[v as usize] = value;
             }
         }
+        tel.record(ENGINE_LANE, round_no, SpanPhase::ScatterOwned, t_scatter);
         Ok(())
     }
 }
@@ -2127,6 +2196,7 @@ impl<P: Protocol> Engine<P> {
             rounds_run: 0,
             faults: None,
             fault_stats: FaultStats::default(),
+            telemetry: Telemetry::Off,
         }
     }
 
@@ -2166,6 +2236,7 @@ impl<P: Protocol> Engine<P> {
             rounds_run: 0,
             faults: None,
             fault_stats: FaultStats::default(),
+            telemetry: Telemetry::Off,
         }
     }
 
@@ -2206,6 +2277,7 @@ impl<P: Protocol> Engine<P> {
             rounds_run: 0,
             faults: None,
             fault_stats: FaultStats::default(),
+            telemetry: Telemetry::Off,
         }
     }
 
@@ -2243,6 +2315,7 @@ impl<P: Protocol> Engine<P> {
             rounds_run: 0,
             faults: None,
             fault_stats: FaultStats::default(),
+            telemetry: Telemetry::Off,
         }
     }
 
@@ -2333,6 +2406,67 @@ impl<P: Protocol> Engine<P> {
     /// construction (all zero when no plan was ever armed).
     pub fn fault_stats(&self) -> FaultStats {
         self.fault_stats
+    }
+
+    /// Arms span recording, builder-style. An armed engine records one
+    /// typed span per round section — plan builds, per-shard gathers, the
+    /// message workers' post/receive phases, stats, fault recovery — into
+    /// the handle's per-lane ring buffers. Recording never touches loads:
+    /// armed rounds stay bit-identical to [`Telemetry::Off`] rounds, and
+    /// `Off` (the default) is a no-op enum branch at every site.
+    pub fn with_telemetry(mut self, telemetry: Telemetry) -> Self {
+        self.set_telemetry(telemetry);
+        self
+    }
+
+    /// Arms or disarms span recording for subsequent rounds (see
+    /// [`Engine::with_telemetry`]).
+    pub fn set_telemetry(&mut self, telemetry: Telemetry) {
+        self.telemetry = telemetry;
+    }
+
+    /// The telemetry handle in effect.
+    pub fn telemetry(&self) -> &Telemetry {
+        &self.telemetry
+    }
+
+    /// One unified read of every counter family this engine maintains:
+    /// round count, message-backend communication volume, shard-plan
+    /// locality, fault injection/recovery, and the recorder's own span
+    /// accounting. Families a backend doesn't produce are `None` — the
+    /// same availability rules as [`Engine::comm_metrics`] and
+    /// [`Engine::shard_metrics`].
+    pub fn metrics_snapshot(&self) -> MetricsSnapshot {
+        let comm = self.comm_metrics().map(|c| CommCounters {
+            shards: c.shards as u64,
+            messages: c.messages as u64,
+            values_sent: c.values_sent as u64,
+            halo_bytes: c.halo_bytes as u64,
+            max_shard_values_sent: c.max_shard_values_sent as u64,
+        });
+        let shard = self.shard_metrics().map(|s| ShardCounters {
+            shards: s.shards as u64,
+            edge_cut: s.edge_cut as u64,
+            halo: s.halo as u64,
+            interior: s.interior as u64,
+            plans_built: s.plans_built,
+        });
+        let (spans_recorded, spans_dropped) = match self.telemetry.recorder() {
+            Some(r) => (r.recorded(), r.dropped()),
+            None => (0, 0),
+        };
+        MetricsSnapshot {
+            rounds_run: self.rounds_run,
+            comm,
+            shard,
+            faults: FaultCounters {
+                faults_injected: self.fault_stats.faults_injected,
+                recoveries: self.fault_stats.recoveries,
+                rehomed_values: self.fault_stats.rehomed_values,
+            },
+            spans_recorded,
+            spans_dropped,
+        }
     }
 
     /// The protocol being executed.
@@ -2466,23 +2600,35 @@ impl<P: Protocol> Engine<P> {
             let protocol = &self.protocol;
             let snapshot = &loads[..];
             let faults = self.faults.as_ref();
+            let tel = &self.telemetry;
             // Resolve the kernel selection *after* begin_round: dynamic
             // protocols draw their round graph there, and the gather plan
-            // must analyse that graph.
+            // must analyse that graph. A `Plan` span is emitted only when
+            // the fingerprint cache actually built a new plan.
             let kind = self.kernel.kind;
+            let t_plan = tel.start();
+            let built_before = self.kernel.plans.built;
             let plan = self.kernel.resolve(protocol);
+            if self.kernel.plans.built > built_before {
+                tel.record(ENGINE_LANE, round_no, SpanPhase::Plan, t_plan);
+            }
             match &mut self.exec {
                 Exec::Serial => match (plan.as_deref(), protocol.gather_spec()) {
                     (Some(plan), Some(spec)) => {
+                        let t0 = tel.start();
                         kernels::gather_span(kind, plan, &spec, snapshot, 0, &mut self.back);
+                        tel.record(ENGINE_LANE, round_no, SpanPhase::GatherInterior, t0);
                     }
                     _ => {
+                        let t0 = tel.start();
                         for (v, slot) in self.back.iter_mut().enumerate() {
                             *slot = protocol.node_new_load(snapshot, v as u32);
                         }
+                        tel.record(ENGINE_LANE, round_no, SpanPhase::GatherInterior, t0);
                     }
                 },
                 Exec::Pool { pool, gather } => {
+                    let t0 = tel.start();
                     gather(
                         pool,
                         protocol,
@@ -2496,10 +2642,16 @@ impl<P: Protocol> Engine<P> {
                         round: round_no,
                         phase: EnginePhase::Gather,
                     })?;
+                    tel.record(ENGINE_LANE, round_no, SpanPhase::GatherInterior, t0);
                 }
                 Exec::Sharded(sh) => {
                     // Same post-begin_round resolution for the shard plan.
+                    let t_plan = tel.start();
+                    let built_before = sh.plans.built;
                     sh.refresh_plan(protocol);
+                    if sh.plans.built > built_before {
+                        tel.record(ENGINE_LANE, round_no, SpanPhase::Plan, t_plan);
+                    }
                     let sh = &**sh;
                     let shard_plan = sh.current_plan();
                     // Panic/Delay fire in shared-memory workers too; the
@@ -2524,7 +2676,10 @@ impl<P: Protocol> Engine<P> {
                         kind,
                         plan.as_deref(),
                         &shard_faults,
+                        tel,
+                        round_no,
                     ) {
+                        let t_recover = tel.start();
                         // Re-home every failed shard: recompute its owned
                         // values from the snapshot in the worker's own
                         // gather order. Injected deaths never reached the
@@ -2556,15 +2711,21 @@ impl<P: Protocol> Engine<P> {
                             self.fault_stats.recoveries += 1;
                             self.fault_stats.rehomed_values += view.owned().len() as u64;
                         }
+                        tel.record(ENGINE_LANE, round_no, SpanPhase::FaultRecovery, t_recover);
                     }
                 }
                 Exec::Message { exec, make_kernel } => {
                     // Same post-begin_round plan resolution as the
                     // sharded backend, memoized per distinct graph.
                     let spec = exec.spec;
+                    let t_plan = tel.start();
+                    let built_before = exec.plans.built;
                     exec.plans.refresh(protocol, |graph, n| {
                         std::sync::Arc::new(MessagePlan::build(&spec, graph, n))
                     });
+                    if exec.plans.built > built_before {
+                        tel.record(ENGINE_LANE, round_no, SpanPhase::Plan, t_plan);
+                    }
                     let make_kernel = *make_kernel;
                     exec.round(
                         || make_kernel(protocol, kind, plan.clone()),
@@ -2572,6 +2733,8 @@ impl<P: Protocol> Engine<P> {
                         &mut self.back,
                         faults.map(|fault_plan| (fault_plan, round_no)),
                         &mut self.fault_stats,
+                        tel,
+                        round_no,
                     )
                     .map_err(|shard| EngineError {
                         shard,
@@ -2588,8 +2751,12 @@ impl<P: Protocol> Engine<P> {
         self.rounds_run += 1;
         self.protocol.finish_round(&self.back, loads);
         Ok(self.stats_mode.level_for(self.rounds_run).map(|level| {
+            let t0 = self.telemetry.start();
             let ctx = StatsCtx::new(self.exec.stats_pool(), level);
-            self.protocol.compute_stats(&self.back, loads, &ctx)
+            let stats = self.protocol.compute_stats(&self.back, loads, &ctx);
+            self.telemetry
+                .record(ENGINE_LANE, self.rounds_run, SpanPhase::Stats, t0);
+            stats
         }))
     }
 

@@ -81,6 +81,12 @@ pub mod random_partner;
 pub mod runner;
 pub mod seq;
 
+/// Span recording, aggregation, and trace export (re-exported
+/// `dlb_telemetry`): arm an engine with [`Engine::with_telemetry`]
+/// (`engine::Engine::with_telemetry`) and read the unified counter
+/// registry via `Engine::metrics_snapshot`.
+pub use dlb_telemetry as telemetry;
+pub use dlb_telemetry::{MetricsSnapshot, Recorder, Telemetry};
 pub use engine::{Backend, Engine, EngineError, EnginePhase, IntoEngine, Protocol, ShardMetrics};
 pub use faults::{FaultEvent, FaultKind, FaultPlan, FaultStats};
 pub use kernels::{DiffusionLoad, GatherSpec, KernelKind};

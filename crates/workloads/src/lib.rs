@@ -50,12 +50,14 @@ pub mod runner;
 pub mod scenario;
 pub mod workload;
 
-pub use report::{CommTotals, FaultTotals, RoundRecord, ScenarioReport, SteadyBand, StopReason};
+pub use report::{
+    CommTotals, FaultTotals, RoundRecord, ScenarioReport, SteadyBand, StopReason, TelemetryTotals,
+};
 pub use runner::{run_driven, ScenarioRunner};
 pub use scenario::{
     exec_from_threads, exec_spec_from_parts, partition_from_name, validate_exec, CapacitySpec,
     DrainSpec, ExecSpec, FaultsSpec, InitSpec, PatternSpec, PlacementSpec, ProtocolSpec, Scenario,
-    SequenceKind, SequenceSpec, StopSpec, TopologySpec, WorkloadSpec,
+    SequenceKind, SequenceSpec, StopSpec, TelemetrySpec, TopologySpec, WorkloadSpec,
 };
 pub use workload::{
     zipf_weights, Arrivals, Compose, Drain, DrainModel, Placement, RatePattern, ScenarioLoad,

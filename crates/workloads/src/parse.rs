@@ -66,8 +66,8 @@
 
 use crate::scenario::{
     exec_spec_from_parts, CapacitySpec, DrainSpec, ExecSpec, FaultsSpec, InitSpec, PatternSpec,
-    PlacementSpec, ProtocolSpec, Scenario, SequenceKind, SequenceSpec, StopSpec, TopologySpec,
-    WorkloadSpec,
+    PlacementSpec, ProtocolSpec, Scenario, SequenceKind, SequenceSpec, StopSpec, TelemetrySpec,
+    TopologySpec, WorkloadSpec,
 };
 use dlb_core::engine::StatsMode;
 
@@ -685,6 +685,16 @@ fn faults_from(t: &Table) -> Result<FaultsSpec, String> {
     })
 }
 
+fn telemetry_from(t: &Table) -> Result<TelemetrySpec, String> {
+    t.check_keys(&["enabled", "buffer", "bins"])?;
+    let d = TelemetrySpec::default();
+    Ok(TelemetrySpec {
+        enabled: t.bool_or("enabled", d.enabled)?,
+        buffer: t.u64_or("buffer", d.buffer as u64)? as usize,
+        bins: t.u64_or("bins", d.bins as u64)? as usize,
+    })
+}
+
 fn stop_from(t: &Table) -> Result<StopSpec, String> {
     let spec = match t.str_of("kind")? {
         "rounds" => {
@@ -721,6 +731,7 @@ fn scenario_from_tables(tables: Vec<Table>) -> Result<Scenario, String> {
     let mut init_t: Option<Table> = None;
     let mut stop_t: Option<Table> = None;
     let mut faults_t: Option<Table> = None;
+    let mut telemetry_t: Option<Table> = None;
     let mut workload_ts: Vec<Table> = Vec::new();
 
     for t in tables {
@@ -732,6 +743,7 @@ fn scenario_from_tables(tables: Vec<Table>) -> Result<Scenario, String> {
             "init" => &mut init_t,
             "stop" => &mut stop_t,
             "faults" => &mut faults_t,
+            "telemetry" => &mut telemetry_t,
             "workload" => {
                 workload_ts.push(t);
                 continue;
@@ -792,6 +804,7 @@ fn scenario_from_tables(tables: Vec<Table>) -> Result<Scenario, String> {
 
     let stop = stop_from(&stop_t.ok_or("missing [stop] section")?)?;
     let faults = faults_t.map(|t| faults_from(&t)).transpose()?;
+    let telemetry = telemetry_t.map(|t| telemetry_from(&t)).transpose()?;
     let workloads = workload_ts
         .iter()
         .map(workload_from)
@@ -807,6 +820,7 @@ fn scenario_from_tables(tables: Vec<Table>) -> Result<Scenario, String> {
         stats,
         exec,
         faults,
+        telemetry,
         stop,
     };
     scenario.validate()?;
@@ -1002,6 +1016,17 @@ fn faults_entries(f: &FaultsSpec) -> Vec<(String, String)> {
     e
 }
 
+fn telemetry_entries(t: &TelemetrySpec) -> Vec<(String, String)> {
+    let mut e = Vec::new();
+    // `enabled = true` is the parser's default — render only the opt-out.
+    if !t.enabled {
+        e.push(("enabled".to_string(), "false".to_string()));
+    }
+    e.push(("buffer".to_string(), t.buffer.to_string()));
+    e.push(("bins".to_string(), t.bins.to_string()));
+    e
+}
+
 fn stop_entries(s: &StopSpec) -> Vec<(String, String)> {
     let mut e = vec![("kind".to_string(), format!("\"{}\"", s.kind()))];
     match *s {
@@ -1086,6 +1111,9 @@ fn scenario_sections(s: &Scenario) -> Vec<RenderedSection> {
     out.push(("stop", false, stop_entries(&s.stop)));
     if let Some(f) = &s.faults {
         out.push(("faults", false, faults_entries(f)));
+    }
+    if let Some(t) = &s.telemetry {
+        out.push(("telemetry", false, telemetry_entries(t)));
     }
     for w in &s.workloads {
         out.push(("workload", true, workload_entries(w)));
@@ -1397,6 +1425,52 @@ sede = 42
             base("drop = true\n").replace("backend = \"message\"", "backend = \"sharded\"");
         let err = Scenario::from_toml(&sharded).unwrap_err();
         assert!(err.contains("message"), "{err}");
+    }
+
+    #[test]
+    fn telemetry_section_parses_round_trips_and_rejects_typos() {
+        let base = |telemetry: &str| {
+            format!(
+                "[scenario]\nname = \"x\"\nprotocol = \"continuous\"\n\
+                 backend = \"message\"\nshards = 4\n\
+                 [topology]\nkind = \"cycle\"\nn = 16\n\
+                 [init]\ndist = \"spike\"\navg = 1.0\n\
+                 [stop]\nkind = \"rounds\"\nrounds = 10\n\
+                 [telemetry]\n{telemetry}"
+            )
+        };
+        // Defaults: present-but-empty section arms with default shape.
+        let s = Scenario::from_toml(&base("")).unwrap();
+        let t = s.telemetry.clone().expect("telemetry parsed");
+        assert_eq!(t, TelemetrySpec::default());
+        assert!(t.enabled);
+        // Explicit keys, including the opt-out.
+        let s = Scenario::from_toml(&base("enabled = false\nbuffer = 512\nbins = 8\n")).unwrap();
+        let t = s.telemetry.clone().expect("telemetry parsed");
+        assert!(!t.enabled);
+        assert_eq!(t.buffer, 512);
+        assert_eq!(t.bins, 8);
+        // Round-trips in both formats, like every other section.
+        assert_eq!(s, Scenario::from_toml(&s.to_toml()).unwrap());
+        assert_eq!(s, Scenario::from_jsonl(&s.to_jsonl()).unwrap());
+        // Typos and type errors carry the [telemetry] section + line.
+        for (text, needle) in [
+            ("bufer = 512\n", "unknown key \"bufer\""),
+            ("enabled = 1\n", "enabled must be a bool"),
+            ("buffer = -4\n", "buffer must be non-negative"),
+        ] {
+            let err = Scenario::from_toml(&base(text)).unwrap_err();
+            assert!(err.contains(needle), "expected {needle:?} in {err}");
+            assert!(
+                err.starts_with("[telemetry] (line "),
+                "telemetry error lacks the section+line diagnostic: {err}"
+            );
+        }
+        // Parsed scenarios hit the same validation as built ones.
+        let err = Scenario::from_toml(&base("buffer = 0\n")).unwrap_err();
+        assert!(err.contains("telemetry buffer must be >= 1"), "{err}");
+        let err = Scenario::from_toml(&base("bins = 0\n")).unwrap_err();
+        assert!(err.contains("telemetry bins must be >= 1"), "{err}");
     }
 
     #[test]

@@ -93,6 +93,42 @@ pub struct FaultTotals {
     pub rehomed_values: u64,
 }
 
+/// Run-total span-recording summary of a traced run, distilled from the
+/// recorder's [`TraceSummary`](dlb_telemetry::TraceSummary). Reports
+/// carry this only when the scenario (or the CLI's `--trace` flag) armed
+/// telemetry.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TelemetryTotals {
+    /// Spans retained in the trace across all lanes.
+    pub spans: u64,
+    /// Spans lost to ring-buffer wraparound.
+    pub dropped: u64,
+    /// Per-phase `(name, span count, total ns)`, largest total first.
+    pub phases: Vec<(String, u64, u64)>,
+    /// Mean over rounds of the per-round max/mean shard busy-time ratio
+    /// — the system-level analogue of the paper's load imbalance.
+    /// `None` when no shard lane recorded (serial/pool runs).
+    pub busy_imbalance_mean: Option<f64>,
+    /// The worst round's max/mean shard busy-time ratio.
+    pub busy_imbalance_max: Option<f64>,
+}
+
+impl From<&dlb_telemetry::TraceSummary> for TelemetryTotals {
+    fn from(s: &dlb_telemetry::TraceSummary) -> Self {
+        TelemetryTotals {
+            spans: s.spans,
+            dropped: s.dropped,
+            phases: s
+                .phases
+                .iter()
+                .map(|p| (p.phase.name().to_string(), p.count, p.total_ns))
+                .collect(),
+            busy_imbalance_mean: s.imbalance.map(|i| i.mean_ratio),
+            busy_imbalance_max: s.imbalance.map(|i| i.max_ratio),
+        }
+    }
+}
+
 /// The trailing-window Φ band: where the potential settled. For
 /// steady-state stops this is the window that triggered the stop; for
 /// other stops it summarizes the trailing `window` rounds.
@@ -152,6 +188,9 @@ pub struct ScenarioReport {
     /// Run-total fault/recovery counters (fault-injected runs only;
     /// `None` when the scenario declared no faults).
     pub faults: Option<FaultTotals>,
+    /// Span-recording summary (traced runs only; `None` when telemetry
+    /// was off).
+    pub telemetry: Option<TelemetryTotals>,
 }
 
 impl ScenarioReport {
@@ -200,13 +239,35 @@ impl ScenarioReport {
             ),
             None => String::new(),
         };
+        // Traced runs append their span totals and busy imbalance;
+        // untraced runs omit the keys entirely.
+        let telemetry_fields = match &self.telemetry {
+            Some(t) => {
+                let top = t
+                    .phases
+                    .first()
+                    .map(|(name, _, _)| esc(name))
+                    .unwrap_or_default();
+                format!(
+                    ", \"telemetry_spans\": {}, \"telemetry_dropped\": {}, \
+                     \"telemetry_top_phase\": \"{}\", \"busy_imbalance_mean\": {}, \
+                     \"busy_imbalance_max\": {}",
+                    t.spans,
+                    t.dropped,
+                    top,
+                    t.busy_imbalance_mean.map_or("null".into(), num),
+                    t.busy_imbalance_max.map_or("null".into(), num),
+                )
+            }
+            None => String::new(),
+        };
         out.push_str(&format!(
             "{{\"schema\": \"dlb-scenario/1\", \"scenario\": \"{}\", \"protocol\": \"{}\", \
              \"n\": {}, \"backend\": \"{}\", \"threads\": {}, \"stats\": \"{}\", \"rounds\": {}, \"stop\": \"{}\", \
              \"initial_total\": {}, \"final_total\": {}, \"injected_total\": {}, \
              \"consumed_total\": {}, \"migrated_total\": {}, \"conservation_error\": {}, \
              \"phi_initial\": {}, \"phi_final\": {}, \"steady_window\": {}, \
-             \"steady_phi_mean\": {}, \"steady_phi_min\": {}, \"steady_phi_max\": {}{comm_fields}{fault_fields}}}\n",
+             \"steady_phi_mean\": {}, \"steady_phi_min\": {}, \"steady_phi_max\": {}{comm_fields}{fault_fields}{telemetry_fields}}}\n",
             esc(&self.scenario),
             esc(&self.protocol),
             self.n,
@@ -274,6 +335,15 @@ impl ScenarioReport {
             self.steady.phi_min,
             self.steady.phi_max,
         ));
+        // The system-level analogue of Φ's load imbalance: how unevenly
+        // the *work* of a round spread over the shard workers.
+        if let Some(t) = &self.telemetry {
+            if let (Some(mean), Some(max)) = (t.busy_imbalance_mean, t.busy_imbalance_max) {
+                out.push_str(&format!(
+                    "shard busy imbalance (max/mean per round): mean {mean:.3}, worst {max:.3}\n"
+                ));
+            }
+        }
         if self.migrated_total > 0.0 {
             out.push_str(&format!(
                 "migrated over edges: {:.3}\n",
@@ -293,7 +363,34 @@ impl ScenarioReport {
                 f.faults_injected, f.recoveries, f.rehomed_values
             ));
         }
+        if let Some(t) = &self.telemetry {
+            out.push_str(&format!(
+                "telemetry: {} span(s) recorded ({} dropped); top phases by total time:\n",
+                t.spans, t.dropped
+            ));
+            for (name, count, total_ns) in t.phases.iter().take(5) {
+                out.push_str(&format!(
+                    "  {:<16} {:>12}  ({} span(s))\n",
+                    name,
+                    fmt_ns(*total_ns),
+                    count
+                ));
+            }
+        }
         out
+    }
+}
+
+/// Human duration: nanoseconds rendered at a readable scale.
+fn fmt_ns(ns: u64) -> String {
+    if ns >= 1_000_000_000 {
+        format!("{:.3} s", ns as f64 / 1e9)
+    } else if ns >= 1_000_000 {
+        format!("{:.3} ms", ns as f64 / 1e6)
+    } else if ns >= 1_000 {
+        format!("{:.3} µs", ns as f64 / 1e3)
+    } else {
+        format!("{ns} ns")
     }
 }
 
@@ -359,6 +456,7 @@ mod tests {
             },
             comm: None,
             faults: None,
+            telemetry: None,
         }
     }
 
@@ -437,6 +535,45 @@ mod tests {
         let header = both.lines().next().unwrap();
         assert!(header.contains("\"comm_messages\": 1"), "{header}");
         assert!(header.contains("\"recoveries\": 4"), "{header}");
+    }
+
+    #[test]
+    fn telemetry_totals_appear_only_for_traced_runs() {
+        let plain = sample().to_jsonl();
+        assert!(!plain.contains("telemetry_spans"), "{plain}");
+        let mut traced = sample();
+        traced.telemetry = Some(TelemetryTotals {
+            spans: 42,
+            dropped: 1,
+            phases: vec![
+                ("gather-interior".into(), 20, 2_500_000),
+                ("stats".into(), 10, 400_000),
+            ],
+            busy_imbalance_mean: Some(1.25),
+            busy_imbalance_max: Some(1.5),
+        });
+        let text = traced.to_jsonl();
+        let header = text.lines().next().unwrap();
+        assert!(header.contains("\"telemetry_spans\": 42"), "{header}");
+        assert!(header.contains("\"telemetry_dropped\": 1"), "{header}");
+        assert!(
+            header.contains("\"telemetry_top_phase\": \"gather-interior\""),
+            "{header}"
+        );
+        assert!(header.contains("\"busy_imbalance_mean\": 1.25"), "{header}");
+        assert!(header.contains("\"busy_imbalance_max\": 1.5"), "{header}");
+        assert!(header.ends_with('}'), "header stays one JSON object");
+        let s = traced.summary();
+        assert!(s.contains("shard busy imbalance"), "{s}");
+        assert!(s.contains("gather-interior"), "{s}");
+        assert!(s.contains("2.500 ms"), "{s}");
+        // A serial trace has no shard lanes, hence no imbalance line.
+        traced.telemetry.as_mut().unwrap().busy_imbalance_mean = None;
+        traced.telemetry.as_mut().unwrap().busy_imbalance_max = None;
+        assert!(!traced.summary().contains("shard busy imbalance"));
+        let header = traced.to_jsonl();
+        let header = header.lines().next().unwrap();
+        assert!(header.contains("\"busy_imbalance_mean\": null"), "{header}");
     }
 
     #[test]

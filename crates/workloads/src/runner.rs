@@ -24,7 +24,9 @@
 
 use std::collections::VecDeque;
 
-use crate::report::{CommTotals, FaultTotals, RoundRecord, ScenarioReport, SteadyBand, StopReason};
+use crate::report::{
+    CommTotals, FaultTotals, RoundRecord, ScenarioReport, SteadyBand, StopReason, TelemetryTotals,
+};
 use crate::scenario::{
     compile_workloads, exec_from_threads, validate_exec, ExecSpec, ProtocolSpec, Scenario, StopSpec,
 };
@@ -37,6 +39,7 @@ use dlb_core::init;
 use dlb_core::model::{DiscreteRoundStats, RoundStats};
 use dlb_dynamics::runner::{DynamicContinuousDiffusion, DynamicDiscreteDiffusion};
 use dlb_dynamics::{ChurnSchedule, GraphSequence, ShardChurnSequence, StaticSequence};
+use dlb_telemetry::{Phase as SpanPhase, Telemetry, TraceSummary, ENGINE_LANE};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -146,6 +149,9 @@ where
     P::Stats: RoundLike,
     <P::Load as LoadPotential>::Phi: PhiLike,
 {
+    // One handle clone up front: a unit copy when telemetry is off, one
+    // Arc increment when armed — either way the round loop borrows freely.
+    let tel = engine.telemetry().clone();
     let ctx = WorkloadCtx {
         initial_total: P::Load::total(loads),
     };
@@ -167,7 +173,12 @@ where
 
     for round in 1..=max_rounds as u64 {
         let delta = match workload.as_deref_mut() {
-            Some(w) => w.apply(round, loads, &ctx),
+            Some(w) => {
+                let t0 = tel.start();
+                let delta = w.apply(round, loads, &ctx);
+                tel.record(ENGINE_LANE, round, SpanPhase::WorkloadApply, t0);
+                delta
+            }
             None => Default::default(),
         };
         let stats = engine.round(loads);
@@ -235,6 +246,13 @@ where
             rehomed_values: fs.rehomed_values,
         }
     });
+    // Distill the recorder (when armed) into plain totals; histogram bin
+    // count is irrelevant to the totals, so the default shape is fine.
+    let telemetry = tel.recorder().map(|rec| {
+        let summary =
+            TraceSummary::from_events(&rec.events(), dlb_telemetry::DEFAULT_BINS, rec.dropped());
+        TelemetryTotals::from(&summary)
+    });
     ScenarioReport {
         scenario: name.to_string(),
         protocol: engine.protocol().name().to_string(),
@@ -254,11 +272,19 @@ where
         steady: band_of(&recent),
         comm,
         faults,
+        telemetry,
     }
 }
 
-fn build_engine<P: Protocol + Sync>(protocol: P, exec: ExecSpec, stats: StatsMode) -> Engine<P> {
-    Engine::with_backend(protocol, exec).with_stats_mode(stats)
+fn build_engine<P: Protocol + Sync>(
+    protocol: P,
+    exec: ExecSpec,
+    stats: StatsMode,
+    tel: Telemetry,
+) -> Engine<P> {
+    Engine::with_backend(protocol, exec)
+        .with_stats_mode(stats)
+        .with_telemetry(tel)
 }
 
 /// Fault machinery compiled once per run from a scenario's `[faults]`
@@ -348,6 +374,7 @@ pub struct ScenarioRunner {
     scenario: Scenario,
     exec: Option<ExecSpec>,
     stats: Option<StatsMode>,
+    telemetry: Option<Telemetry>,
 }
 
 impl ScenarioRunner {
@@ -357,6 +384,7 @@ impl ScenarioRunner {
             scenario,
             exec: None,
             stats: None,
+            telemetry: None,
         }
     }
 
@@ -378,6 +406,16 @@ impl ScenarioRunner {
         self
     }
 
+    /// Supplies the telemetry handle for this run, overriding the
+    /// scenario's `[telemetry]` section. Callers that keep a clone of an
+    /// armed handle (the CLI's `--trace` export) can read the raw span
+    /// events back from their own [`Recorder`](dlb_telemetry::Recorder)
+    /// after the run.
+    pub fn with_telemetry(mut self, telemetry: Telemetry) -> Self {
+        self.telemetry = Some(telemetry);
+        self
+    }
+
     /// Builds everything the scenario names — graph or sequence, initial
     /// loads, workload, protocol, engine — and drives it to the stop
     /// condition.
@@ -391,6 +429,17 @@ impl ScenarioRunner {
         let g = sc.topology.build();
         let n = g.n();
         let stats = self.stats.unwrap_or(sc.stats);
+        // Telemetry arms from the override (CLI export), else from the
+        // scenario's `[telemetry]` section; a scenario without one runs
+        // fully unobserved — `Telemetry::Off` is a no-op branch, so those
+        // runs stay bit-identical and cost nothing extra per round.
+        let tel = match &self.telemetry {
+            Some(t) => t.clone(),
+            None => sc
+                .telemetry
+                .as_ref()
+                .map_or(Telemetry::Off, |spec| spec.armed(&exec)),
+        };
         let faults = compile_faults(sc, &g)?;
         let mut rng = StdRng::seed_from_u64(sc.init.seed);
 
@@ -401,7 +450,8 @@ impl ScenarioRunner {
                 let workload = workload.as_mut().map(|w| w as &mut dyn Workload<f64>);
                 match (&sc.sequence, &faults) {
                     (None, None) => {
-                        let mut engine = build_engine(ContinuousDiffusion::new(&g), exec, stats);
+                        let mut engine =
+                            build_engine(ContinuousDiffusion::new(&g), exec, stats, tel.clone());
                         Ok(run_driven(
                             &mut engine,
                             &mut loads,
@@ -418,8 +468,12 @@ impl ScenarioRunner {
                             None => Box::new(StaticSequence::new(g.clone())) as _,
                         };
                         let mut seq = churned_sequence(base, &faults);
-                        let mut engine =
-                            build_engine(DynamicContinuousDiffusion::new(&mut seq), exec, stats);
+                        let mut engine = build_engine(
+                            DynamicContinuousDiffusion::new(&mut seq),
+                            exec,
+                            stats,
+                            tel.clone(),
+                        );
                         if let Some(plan) = faults.as_ref().and_then(|fs| fs.plan.as_ref()) {
                             engine.set_faults(Some(plan.clone()));
                         }
@@ -437,7 +491,8 @@ impl ScenarioRunner {
                 let workload = workload.as_mut().map(|w| w as &mut dyn Workload<i64>);
                 match (&sc.sequence, &faults) {
                     (None, None) => {
-                        let mut engine = build_engine(DiscreteDiffusion::new(&g), exec, stats);
+                        let mut engine =
+                            build_engine(DiscreteDiffusion::new(&g), exec, stats, tel.clone());
                         Ok(run_driven(
                             &mut engine,
                             &mut loads,
@@ -452,8 +507,12 @@ impl ScenarioRunner {
                             None => Box::new(StaticSequence::new(g.clone())) as _,
                         };
                         let mut seq = churned_sequence(base, &faults);
-                        let mut engine =
-                            build_engine(DynamicDiscreteDiffusion::new(&mut seq), exec, stats);
+                        let mut engine = build_engine(
+                            DynamicDiscreteDiffusion::new(&mut seq),
+                            exec,
+                            stats,
+                            tel.clone(),
+                        );
                         if let Some(plan) = faults.as_ref().and_then(|fs| fs.plan.as_ref()) {
                             engine.set_faults(Some(plan.clone()));
                         }
@@ -468,7 +527,12 @@ impl ScenarioRunner {
                 let mut loads = init::continuous_loads(n, sc.init.avg, sc.init.dist, &mut rng);
                 let mut workload = compile_workloads::<f64>(&sc.workloads, n);
                 let workload = workload.as_mut().map(|w| w as &mut dyn Workload<f64>);
-                let mut engine = build_engine(HeterogeneousDiffusion::new(&g, caps), exec, stats);
+                let mut engine = build_engine(
+                    HeterogeneousDiffusion::new(&g, caps),
+                    exec,
+                    stats,
+                    tel.clone(),
+                );
                 Ok(run_driven(
                     &mut engine,
                     &mut loads,
@@ -808,6 +872,52 @@ mod tests {
         assert!(report.conservation_relative_error() < 1e-9);
         // The adversary keeps re-injecting: the trace can't collapse to 0.
         assert!(report.phi_final() > 0.0);
+    }
+
+    #[test]
+    fn telemetry_armed_runs_report_totals_and_stay_bit_identical() {
+        let plain = Scenario::builtin("bursty-torus").unwrap();
+        let traced = plain
+            .clone()
+            .with_telemetry(crate::scenario::TelemetrySpec::default());
+        let a = plain.run().unwrap();
+        let b = traced.clone().run().unwrap();
+        assert!(a.telemetry.is_none(), "no [telemetry] section → no totals");
+        assert_eq!(
+            trace_bits(&a),
+            trace_bits(&b),
+            "recording changed the trajectory"
+        );
+        assert_eq!(a.final_total.to_bits(), b.final_total.to_bits());
+        let t = b.telemetry.expect("armed run reports totals");
+        assert!(t.spans > 0);
+        for phase in ["workload-apply", "gather-interior", "stats"] {
+            assert!(
+                t.phases.iter().any(|(p, ..)| p == phase),
+                "missing {phase} in {:?}",
+                t.phases
+            );
+        }
+        // Serial backend: no shard lanes, hence no busy imbalance.
+        assert!(t.busy_imbalance_mean.is_none());
+
+        // Message backend: per-shard lanes yield imbalance ratios ≥ 1 and
+        // the boundary-gather phase, with the trajectory still identical.
+        let msg = ScenarioRunner::new(traced)
+            .with_exec(ExecSpec::Message {
+                partition: dlb_graphs::PartitionSpec::Bfs { shards: 4 },
+            })
+            .run()
+            .unwrap();
+        assert_eq!(trace_bits(&a), trace_bits(&msg), "message run diverged");
+        let mt = msg.telemetry.as_ref().expect("message run reports totals");
+        let mean = mt.busy_imbalance_mean.expect("shard lanes present");
+        let max = mt.busy_imbalance_max.unwrap();
+        assert!(mean >= 1.0 && max >= mean, "mean {mean}, max {max}");
+        assert!(mt.phases.iter().any(|(p, ..)| p == "gather-boundary"));
+        let header = msg.to_jsonl();
+        let header = header.lines().next().unwrap();
+        assert!(header.contains("\"telemetry_spans\""), "{header}");
     }
 
     #[test]

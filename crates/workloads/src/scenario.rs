@@ -800,6 +800,61 @@ impl FaultsSpec {
     }
 }
 
+/// Span-recording spec: the `[telemetry]` section of a scenario file
+/// (and what the scenarios example's `--trace` flag arms implicitly).
+///
+/// An enabled spec arms the engine with a [`dlb_telemetry::Telemetry`]
+/// recorder — one ring-buffer lane per shard worker plus the engine lane
+/// — so the run's report carries per-phase time totals and the per-shard
+/// round-time imbalance, and the raw trace can be exported as
+/// `dlb-trace/1` JSONL or a Chrome `trace_event` file. Recording never
+/// touches loads: a traced run's trajectory is bit-identical to an
+/// untraced one.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TelemetrySpec {
+    /// Arm span recording for the run (`enabled = false` keeps the spec
+    /// in the file but runs untraced).
+    pub enabled: bool,
+    /// Per-lane ring capacity: spans retained per lane before the oldest
+    /// are overwritten (and counted as dropped).
+    pub buffer: usize,
+    /// Histogram bin count for the per-phase duration summaries.
+    pub bins: usize,
+}
+
+impl Default for TelemetrySpec {
+    fn default() -> Self {
+        TelemetrySpec {
+            enabled: true,
+            buffer: dlb_telemetry::DEFAULT_CAPACITY,
+            bins: dlb_telemetry::DEFAULT_BINS,
+        }
+    }
+}
+
+impl TelemetrySpec {
+    /// Shard-lane count the recorder needs under `exec`: the partition's
+    /// shard count on the sharded/message backends, none on serial/pool
+    /// (their spans all land on the engine lane).
+    pub fn lanes(exec: &ExecSpec) -> usize {
+        match exec {
+            ExecSpec::Sharded { partition, .. } | ExecSpec::Message { partition } => {
+                partition.shards()
+            }
+            _ => 0,
+        }
+    }
+
+    /// Builds the armed telemetry handle for `exec` (or
+    /// [`dlb_telemetry::Telemetry::Off`] when the spec is disabled).
+    pub fn armed(&self, exec: &ExecSpec) -> dlb_telemetry::Telemetry {
+        if !self.enabled {
+            return dlb_telemetry::Telemetry::Off;
+        }
+        dlb_telemetry::Telemetry::armed(Self::lanes(exec), self.buffer)
+    }
+}
+
 /// When a scenario run ends.
 #[derive(Debug, Clone, PartialEq)]
 pub enum StopSpec {
@@ -874,6 +929,9 @@ pub struct Scenario {
     /// Fault injection: shard fail/recover churn plus executor faults;
     /// `None` = fault-free.
     pub faults: Option<FaultsSpec>,
+    /// Span recording: per-phase round tracing and trace export;
+    /// `None` = untraced (the zero-cost default).
+    pub telemetry: Option<TelemetrySpec>,
     /// Stop condition.
     pub stop: StopSpec,
 }
@@ -896,6 +954,7 @@ impl Scenario {
             stats: StatsMode::Full,
             exec: ExecSpec::Serial,
             faults: None,
+            telemetry: None,
             stop: StopSpec::Rounds { rounds: 100 },
         }
     }
@@ -945,6 +1004,12 @@ impl Scenario {
     /// Sets the fault-injection spec.
     pub fn with_faults(mut self, faults: FaultsSpec) -> Self {
         self.faults = Some(faults);
+        self
+    }
+
+    /// Sets the span-recording spec.
+    pub fn with_telemetry(mut self, telemetry: TelemetrySpec) -> Self {
+        self.telemetry = Some(telemetry);
         self
     }
 
@@ -1061,6 +1126,14 @@ impl Scenario {
                 return Err("faults drop/duplicate/reorder need backend = \"message\"".into());
             }
             faults.resolved_shards(&self.exec)?;
+        }
+        if let Some(telemetry) = &self.telemetry {
+            if telemetry.buffer == 0 {
+                return Err("telemetry buffer must be >= 1".into());
+            }
+            if telemetry.bins == 0 {
+                return Err("telemetry bins must be >= 1".into());
+            }
         }
         Ok(())
     }

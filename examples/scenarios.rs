@@ -30,6 +30,10 @@
 //! * `--json <path>` — also write the report as JSON lines
 //!   (schema `dlb-scenario/1`; the CI smoke job asserts the conservation
 //!   invariant from this output);
+//! * `--trace <path>` — record per-phase span telemetry and write the
+//!   trace after the run; `--trace-format jsonl` (default, schema
+//!   `dlb-trace/1`) or `--trace-format chrome` (Chrome `trace_event`
+//!   JSON — open in `about:tracing` or Perfetto, one lane per shard);
 //! * `--print-spec` — echo the scenario back in canonical TOML before
 //!   running (what you'd commit as a fixture — including the `backend` /
 //!   `shards` / `partition` keys of the exec spec);
@@ -39,6 +43,7 @@
 //! doubles as an end-to-end smoke check.
 
 use dlb_examples::{arg_value, log_sparkline};
+use dlb_telemetry::{CommCounters, FaultCounters, MetricsSnapshot, TraceMeta};
 use dlb_workloads::{exec_spec_from_parts, ExecSpec, FaultsSpec, Scenario, ScenarioRunner};
 
 /// Human-readable exec-spec summary for `--list`.
@@ -139,6 +144,7 @@ fn main() {
                 "usage: scenarios (--name <builtin> | --file <path>) \
                  [--backend serial|pool|sharded|message] [--threads t] [--shards k] \
                  [--partition range|bfs] [--faults spec] [--json out.jsonl] \
+                 [--trace out.trace] [--trace-format jsonl|chrome] \
                  [--print-spec] [--list]"
             );
             std::process::exit(2);
@@ -158,9 +164,30 @@ fn main() {
         println!();
     }
 
+    let trace_path = arg_value("--trace");
+    let trace_format = arg_value("--trace-format").unwrap_or_else(|| "jsonl".to_string());
+    if !matches!(trace_format.as_str(), "jsonl" | "chrome") {
+        eprintln!("--trace-format must be jsonl or chrome, got {trace_format:?}");
+        std::process::exit(2);
+    }
+
+    let exec = exec_override();
+    // `--trace` arms a recorder the CLI keeps a handle to, so the raw
+    // span events can be exported after the run; the buffer shape comes
+    // from the scenario's `[telemetry]` section when it has one.
+    let effective_exec = exec.unwrap_or(scenario.exec);
+    let tel = trace_path.as_ref().map(|_| {
+        let mut spec = scenario.telemetry.clone().unwrap_or_default();
+        spec.enabled = true; // an explicit --trace wins over the section's opt-out
+        spec.armed(&effective_exec)
+    });
+
     let mut runner = ScenarioRunner::new(scenario);
-    if let Some(exec) = exec_override() {
+    if let Some(exec) = exec {
         runner = runner.with_exec(exec);
+    }
+    if let Some(tel) = &tel {
+        runner = runner.with_telemetry(tel.clone());
     }
 
     let report = runner.run().unwrap_or_else(|e| {
@@ -184,6 +211,60 @@ fn main() {
             std::process::exit(1);
         });
         println!("report written to {path} (JSON lines, schema dlb-scenario/1)");
+    }
+
+    if let (Some(path), Some(tel)) = (&trace_path, &tel) {
+        let rec = tel.recorder().expect("--trace armed the recorder");
+        let events = rec.events();
+        let meta = TraceMeta {
+            scenario: report.scenario.clone(),
+            backend: report.backend.clone(),
+            shards: rec.shard_lanes(),
+        };
+        // The trace's metrics record is rebuilt from the report: the CLI
+        // never sees the engine, but the report carries the same totals.
+        let metrics = MetricsSnapshot {
+            rounds_run: report.rounds as u64,
+            comm: report.comm.as_ref().map(|c| CommCounters {
+                shards: rec.shard_lanes() as u64,
+                messages: c.messages,
+                values_sent: c.values_sent,
+                halo_bytes: c.halo_bytes,
+                max_shard_values_sent: c.max_round_shard_values,
+            }),
+            shard: None,
+            faults: report
+                .faults
+                .as_ref()
+                .map_or_else(FaultCounters::default, |f| FaultCounters {
+                    faults_injected: f.faults_injected,
+                    recoveries: f.recoveries,
+                    rehomed_values: f.rehomed_values,
+                }),
+            spans_recorded: rec.recorded(),
+            spans_dropped: rec.dropped(),
+        };
+        let mut out = Vec::new();
+        let write = match trace_format.as_str() {
+            "chrome" => dlb_telemetry::write_chrome(&mut out, &meta, &events),
+            _ => dlb_telemetry::write_jsonl(&mut out, &meta, &events, Some(&metrics)),
+        };
+        write
+            .and_then(|()| std::fs::write(path, &out))
+            .unwrap_or_else(|e| {
+                eprintln!("cannot write {path}: {e}");
+                std::process::exit(1);
+            });
+        println!(
+            "trace written to {path} ({} span(s), {} dropped, format {})",
+            events.len(),
+            rec.dropped(),
+            if trace_format == "chrome" {
+                "chrome trace_event"
+            } else {
+                "dlb-trace/1 JSONL"
+            }
+        );
     }
 
     // The example doubles as a smoke check: a conservation violation is a
