@@ -20,7 +20,13 @@
 //!   carries the round's actual `messages` and `values_sent`, measuring
 //!   what shard isolation costs on shared memory relative to
 //!   `sharded_round`'s zero-copy scatter — the gap is the price of the
-//!   ownership transfer plus the exchange itself;
+//!   ownership transfer plus the exchange itself. The `resident-*`
+//!   variants run the same instances through `Engine::round_resident`
+//!   (workers keep their owned loads; steady-state stats-off rounds
+//!   move zero owned values through the coordinator, which the bench
+//!   asserts via the recorded `owned_values_in/out`, `delta_values`
+//!   and `collects` counters) — the legacy-vs-resident gap within this
+//!   group isolates the ownership-transfer tax alone;
 //! - **fault_overhead** — one `Engine::round` (stats off) on the sharded
 //!   and message backends with fault injection `absent` vs. `armed_idle`
 //!   (a `FaultPlan` installed whose only event never fires). `absent`
@@ -87,6 +93,13 @@ struct Meta {
     /// Message variants: per-round batched messages and values moved.
     messages: Option<usize>,
     values_sent: Option<usize>,
+    /// Message variants: coordinator-transfer volume of the measured
+    /// round (owned values in/out, routed deltas, collect phases) —
+    /// zero owned transfer on resident steady-state rounds.
+    owned_values_in: Option<usize>,
+    owned_values_out: Option<usize>,
+    delta_values: Option<usize>,
+    collects: Option<usize>,
     /// Groups running off the shared torus instance leave these `None`;
     /// `kernel_gather` benches its own per-topology instances.
     topology: Option<&'static str>,
@@ -104,6 +117,10 @@ impl Meta {
             halo: None,
             messages: None,
             values_sent: None,
+            owned_values_in: None,
+            owned_values_out: None,
+            delta_values: None,
+            collects: None,
             topology: None,
             n: None,
         }
@@ -278,10 +295,71 @@ fn message_rounds(c: &mut Criterion, inst: &Instance, meta: &mut HashMap<String,
             m.halo = Some(metrics.halo);
             m.messages = Some(comm.messages);
             m.values_sent = Some(comm.values_sent);
+            m.owned_values_in = Some(comm.owned_values_in);
+            m.owned_values_out = Some(comm.owned_values_out);
             meta.insert(format!("message_round/{variant}"), m);
             group.bench_function(variant, |b| {
                 b.iter(|| black_box(engine.round(&mut loads).map(|s| s.phi_after)));
             });
+        }
+    }
+
+    // Shard-resident rounds: the workers keep their owned loads across
+    // rounds, so a steady-state round ships no owned values either way —
+    // only halo batches cross the channels. The warmup runs the seed
+    // round plus one steady round, so the recorded metadata is the
+    // per-round transfer the timed iterations actually pay (zero owned
+    // transfer on stats-off, delta-free rounds — the acceptance check).
+    let mut specs = vec![PartitionSpec::Range {
+        shards: workers.max(2),
+    }];
+    for shards in [workers.max(2), 4 * workers.max(2)] {
+        specs.push(PartitionSpec::Bfs { shards });
+    }
+    for spec in specs {
+        for mode in [StatsMode::Full, StatsMode::Off] {
+            let variant = format!(
+                "resident-{}{}w/{}",
+                spec.strategy_name(),
+                spec.shards(),
+                mode_name(mode)
+            );
+            let mut engine = Engine::with_backend(
+                ContinuousDiffusion::new(&inst.g),
+                Backend::Message {
+                    partition: spec,
+                    resident: true,
+                },
+            )
+            .with_stats_mode(mode);
+            let loads = inst.init.clone();
+            engine.resident_begin(&loads);
+            engine.round_resident(); // seed round: ships owned slices once
+            engine.round_resident(); // steady round: the shape being timed
+            let metrics = engine.shard_metrics().expect("plan derived");
+            let comm = engine.comm_metrics().expect("comm recorded");
+            let mut m = Meta::new("message_round", variant.clone(), 1, spec.shards());
+            m.edge_cut = Some(metrics.edge_cut);
+            m.halo = Some(metrics.halo);
+            m.messages = Some(comm.messages);
+            m.values_sent = Some(comm.values_sent);
+            m.owned_values_in = Some(comm.owned_values_in);
+            m.owned_values_out = Some(comm.owned_values_out);
+            m.delta_values = Some(comm.delta_values);
+            m.collects = Some(comm.collects);
+            if matches!(mode, StatsMode::Off) {
+                // The tentpole invariant, asserted where the numbers are
+                // made: a stats-off, delta-free resident round moves no
+                // owned values at all.
+                assert_eq!(comm.owned_values_in, 0, "{variant}: owned values sent");
+                assert_eq!(comm.owned_values_out, 0, "{variant}: owned values returned");
+                assert_eq!(comm.collects, 0, "{variant}: unexpected collect");
+            }
+            meta.insert(format!("message_round/{variant}"), m);
+            group.bench_function(variant, |b| {
+                b.iter(|| black_box(engine.round_resident().map(|s| s.phi_after)));
+            });
+            engine.resident_end();
         }
     }
     group.finish();
@@ -303,7 +381,14 @@ fn fault_overhead(c: &mut Criterion, inst: &Instance, meta: &mut HashMap<String,
     let mut group = c.benchmark_group("fault_overhead");
     for (backend_name, backend, workers) in [
         ("sharded", Backend::Sharded { partition, threads }, threads),
-        ("message", Backend::Message { partition }, shards),
+        (
+            "message",
+            Backend::Message {
+                partition,
+                resident: false,
+            },
+            shards,
+        ),
     ] {
         for (arm, plan) in [("absent", None), ("armed_idle", Some(idle_plan.clone()))] {
             let variant = format!("{backend_name}/{arm}");
@@ -341,7 +426,14 @@ fn telemetry_overhead(c: &mut Criterion, inst: &Instance, meta: &mut HashMap<Str
     let mut group = c.benchmark_group("telemetry_overhead");
     for (backend_name, backend, workers) in [
         ("serial", Backend::Serial, 1),
-        ("message", Backend::Message { partition }, shards),
+        (
+            "message",
+            Backend::Message {
+                partition,
+                resident: false,
+            },
+            shards,
+        ),
     ] {
         for arm in ["off", "armed"] {
             let variant = format!("{backend_name}/{arm}");
@@ -434,6 +526,7 @@ fn thread_scaling(c: &mut Criterion, inst: &Instance, meta: &mut HashMap<String,
             t,
             Backend::Message {
                 partition: PartitionSpec::Range { shards: t.max(2) },
+                resident: false,
             },
         ));
     }
@@ -613,6 +706,10 @@ fn main() {
                 halo: m.halo,
                 messages: m.messages,
                 values_sent: m.values_sent,
+                owned_values_in: m.owned_values_in,
+                owned_values_out: m.owned_values_out,
+                delta_values: m.delta_values,
+                collects: m.collects,
                 speedup_vs_serial: None,
             })
         })

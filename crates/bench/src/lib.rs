@@ -84,6 +84,19 @@ pub mod perf_json {
         /// Message-backend only: load values carried by those messages
         /// per round.
         pub values_sent: Option<usize>,
+        /// Message-backend only: owned load values the coordinator
+        /// shipped to workers in the measured round (zero on resident
+        /// steady-state rounds).
+        pub owned_values_in: Option<usize>,
+        /// Message-backend only: owned load values workers shipped back
+        /// in the measured round (zero on resident collect-free rounds).
+        pub owned_values_out: Option<usize>,
+        /// Resident message rounds only: workload delta values routed to
+        /// owner shards in the measured round.
+        pub delta_values: Option<usize>,
+        /// Resident message rounds only: collect phases in the measured
+        /// round.
+        pub collects: Option<usize>,
         /// Thread-scaling records only: this variant's speedup relative
         /// to the serial single-thread baseline of the same run
         /// (`serial_median / variant_median`; > 1 is faster than
@@ -134,6 +147,18 @@ pub mod perf_json {
             }
             if let Some(values) = r.values_sent {
                 shard_meta.push_str(&format!(", \"values_sent\": {values}"));
+            }
+            if let Some(v) = r.owned_values_in {
+                shard_meta.push_str(&format!(", \"owned_values_in\": {v}"));
+            }
+            if let Some(v) = r.owned_values_out {
+                shard_meta.push_str(&format!(", \"owned_values_out\": {v}"));
+            }
+            if let Some(v) = r.delta_values {
+                shard_meta.push_str(&format!(", \"delta_values\": {v}"));
+            }
+            if let Some(v) = r.collects {
+                shard_meta.push_str(&format!(", \"collects\": {v}"));
             }
             if let Some(speedup) = r.speedup_vs_serial {
                 if speedup.is_finite() {
@@ -190,6 +215,10 @@ mod tests {
             halo: None,
             messages: None,
             values_sent: None,
+            owned_values_in: None,
+            owned_values_out: None,
+            delta_values: None,
+            collects: None,
             speedup_vs_serial: None,
         };
         let path = std::env::temp_dir().join("dlb_bench_schema_test.json");

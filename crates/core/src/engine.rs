@@ -153,6 +153,22 @@ pub trait Protocol {
         let _ = (snapshot, new_loads);
     }
 
+    /// Whether [`Protocol::begin_round`] / [`Protocol::finish_round`]
+    /// read the load *values* handed to them. The message backend's
+    /// resident sessions use this as the collect gate: when the hooks
+    /// are load-blind (graph draws, RNG advances, counters — or the
+    /// default no-ops), a stats-off resident round needs no owned values
+    /// on the coordinator at all, and [`Engine::round_resident`] skips
+    /// the collect entirely. When `true` (the conservative default),
+    /// every resident round collects so the hooks always see current
+    /// values. Overriding to `false` while a hook does read loads would
+    /// hand that hook stale values — the loads themselves stay
+    /// bit-identical either way (only hook inputs are at stake), but a
+    /// protocol with load-dependent hook state would diverge.
+    fn hooks_read_loads(&self) -> bool {
+        true
+    }
+
     /// Round statistics from the snapshot and the gathered loads. Called
     /// *only* on rounds whose [`StatsMode`] requests statistics; all
     /// potential sweeps and flow tallies should go through `ctx` so they
@@ -458,6 +474,19 @@ pub enum Backend {
     Message {
         /// How the node set is partitioned into shards (= workers).
         partition: PartitionSpec,
+        /// Run rounds **shard-resident**: workers keep their owned loads
+        /// across rounds, the coordinator ships only per-round workload
+        /// deltas in and collects owned values back only when something
+        /// needs them — a stats-on round, a caller reading loads, or
+        /// session end. Steady-state rounds then move halo-sized, not
+        /// `n`-sized, traffic. The flag is routing intent for
+        /// runners/benches: they drive the engine through
+        /// [`Engine::resident_begin`] / [`Engine::round_resident`]
+        /// instead of [`Engine::round`]. Incompatible with an armed
+        /// [`FaultPlan`] — recovery re-homes shards from the
+        /// coordinator's round-start snapshot, which resident rounds
+        /// deliberately don't hold.
+        resident: bool,
     },
 }
 
@@ -863,6 +892,26 @@ pub struct Engine<P: Protocol> {
     /// instrumentation site a no-op enum branch — no clock read, no
     /// allocation — so untraced rounds run the exact legacy path.
     telemetry: Telemetry,
+    /// Active resident message session, if any (see
+    /// [`Engine::resident_begin`]). While `Some`, [`Engine::round`] is
+    /// rejected — the caller's load vector is stale by construction.
+    resident: Option<ResidentSession<P::Load>>,
+}
+
+/// Coordinator-side state of a resident message session.
+#[derive(Debug)]
+struct ResidentSession<L> {
+    /// The coordinator's copy of the loads. Authoritative only when
+    /// `fresh`; otherwise the workers' frames hold the truth and the
+    /// mirror is a stale scratch vector awaiting the next collect.
+    mirror: Vec<L>,
+    /// Whether `mirror` currently equals the session's true loads
+    /// (workers' values with `pending` folded in).
+    fresh: bool,
+    /// Workload deltas queued since the last round dispatch: already
+    /// applied to `mirror` whenever it is fresh, not yet in any worker
+    /// frame. Routed out with the next round command.
+    pending: Vec<(u32, L)>,
 }
 
 /// Monomorphized pooled-gather entry point stored by parallel engines.
@@ -1239,6 +1288,22 @@ pub struct CommMetrics {
     /// Largest per-shard send volume (values) — the straggler bound on
     /// the exchange step.
     pub max_shard_values_sent: usize,
+    /// Owned values the coordinator shipped **to** workers this round:
+    /// `n` on legacy rounds (every shard's round-start slice) and on the
+    /// resident seeding round; zero on resident steady-state rounds —
+    /// the formerly hidden half of the ownership-transfer tax.
+    pub owned_values_in: usize,
+    /// Owned values workers shipped **back** this round: `n` on legacy
+    /// rounds (results), `2n` on resident collect rounds (round-start
+    /// snapshot + results, so stats stay bit-identical), zero on
+    /// stats-off, read-free resident rounds.
+    pub owned_values_out: usize,
+    /// Workload delta assignments routed to resident workers this round.
+    pub delta_values: usize,
+    /// Collect operations folded into this round's metrics (an in-round
+    /// collect, or an explicit [`Engine::resident_sync`] since the last
+    /// round).
+    pub collects: usize,
 }
 
 /// One batched exchange group's id list. Shared (`Arc`) because every
@@ -1377,14 +1442,46 @@ fn make_message_kernel<P: Protocol + Sync>(
 /// (no plan armed) never poll at all — they block exactly as before.
 const SUPERVISE_POLL: Duration = Duration::from_millis(25);
 
+/// How a round command establishes the shard's round-start owned values.
+enum OwnedIn<L> {
+    /// The coordinator supplies the full owned slice (ascending global
+    /// id, parallel to the view's owned list) — every legacy round, and
+    /// the seeding round of a resident session.
+    Values(Vec<L>),
+    /// Resident steady state: the worker's frame already holds the
+    /// owned values from the previous round's scatter; apply only these
+    /// workload deltas — `(global id, new value)` assignments — before
+    /// posting halos.
+    Deltas(Vec<(u32, L)>),
+}
+
+/// Whether (and how much) a round's report carries owned values back to
+/// the coordinator.
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum CollectMode {
+    /// Report nothing — resident steady state (stats off, no reader).
+    None,
+    /// Report the gathered new loads (every legacy round).
+    New,
+    /// Report the new loads **and** the round-start owned values
+    /// (resident stats/collect rounds: `compute_stats` and load-reading
+    /// hooks need both sides of the snapshot swap).
+    Both,
+}
+
 /// One round's command to a shard worker.
 struct RoundCmd<L> {
     /// The round's gather kernel (lifetime-erased; see
     /// [`make_message_kernel`]).
     kernel: MsgKernel<L>,
-    /// This shard's round-start owned values (ascending global id,
-    /// parallel to the view's owned list).
-    owned: Vec<L>,
+    /// Round-start owned values: a full slice, or resident deltas.
+    owned: OwnedIn<L>,
+    /// What the round report carries back.
+    collect: CollectMode,
+    /// Freed buffers riding back to the worker's free list (the
+    /// coordinator returns the vectors it consumed from earlier reports,
+    /// so steady-state rounds recycle instead of allocating).
+    recycle: Vec<Vec<L>>,
     /// The coordinator's round-attempt sequence number. Halo batches and
     /// reports carry it so anything from a past attempt — a straggler's
     /// duplicate, a failed round's in-flight send — is discarded instead
@@ -1417,6 +1514,10 @@ enum ToWorker<L> {
     /// Batched halo values from shard `src` for round attempt `seq`,
     /// parallel to the id list both sides derive from the current plan.
     Halo { src: u32, seq: u64, values: Vec<L> },
+    /// Report the frame's current owned values (ascending global id) —
+    /// a resident session's out-of-round sync (a caller reading loads,
+    /// session end, or a plan change forcing a reseed).
+    Collect { seq: u64 },
     /// Shut down the worker loop.
     Exit,
 }
@@ -1428,6 +1529,9 @@ enum RoundOutcome<L> {
     Report {
         ok: bool,
         results: Vec<L>,
+        /// Round-start owned values (ascending global id) — nonempty
+        /// only under [`CollectMode::Both`].
+        prev: Vec<L>,
         messages: usize,
         values_sent: usize,
     },
@@ -1453,6 +1557,13 @@ enum RoundOutcome<L> {
 enum FromWorker<L> {
     /// The round barrier report.
     Done(WorkerDone<L>),
+    /// Answer to [`ToWorker::Collect`]: the frame's current owned
+    /// values, ascending global id.
+    Collected {
+        shard: usize,
+        seq: u64,
+        values: Vec<L>,
+    },
     /// Supervised receive timed out: shard `shard` is still missing the
     /// batch from `src` for round attempt `seq` — the coordinator
     /// rebuilds it from the round-start snapshot and retransmits.
@@ -1473,11 +1584,38 @@ struct WorkerDone<L> {
     ok: bool,
     /// New loads of the owned nodes in gather order
     /// (interior-then-boundary, exactly the shard's compute order).
+    /// Empty under [`CollectMode::None`].
     results: Vec<L>,
+    /// Round-start owned values (ascending global id), captured after
+    /// delta application — nonempty only under [`CollectMode::Both`].
+    prev: Vec<L>,
     /// Halo messages this shard posted this round.
     messages: usize,
     /// Values carried by those messages.
     values_sent: usize,
+}
+
+/// Cap on a buffer free list (worker- and coordinator-side): enough to
+/// cover a round's working set — halo posts in flight, results, the
+/// collect capture — without hoarding `O(n)`-capacity vectors.
+const MSG_FREE_CAP: usize = 8;
+
+/// Pops a recycled buffer (cleared) from a free list, or allocates.
+fn pooled<L>(free: &mut Vec<Vec<L>>) -> Vec<L> {
+    match free.pop() {
+        Some(mut v) => {
+            v.clear();
+            v
+        }
+        None => Vec::new(),
+    }
+}
+
+/// Returns a spent buffer to a bounded free list (dropped when full).
+fn recycle_into<L>(free: &mut Vec<Vec<L>>, v: Vec<L>) {
+    if free.len() < MSG_FREE_CAP {
+        free.push(v);
+    }
 }
 
 /// One round of the shard worker, after its `Round` command arrived.
@@ -1500,15 +1638,22 @@ struct WorkerDone<L> {
 fn message_worker_round<L: Copy>(
     shard: usize,
     plan: &MessagePlan,
-    cmd: &RoundCmd<L>,
+    cmd: &mut RoundCmd<L>,
     frame: &mut [L],
     stash: &mut Vec<(u32, u64, Vec<L>)>,
+    free: &mut Vec<Vec<L>>,
     rx: &mpsc::Receiver<ToWorker<L>>,
     peers: &RwLock<Vec<mpsc::Sender<ToWorker<L>>>>,
     supervisor: &mpsc::Sender<FromWorker<L>>,
 ) -> RoundOutcome<L> {
     let view = &plan.views()[shard];
     let mut ok = true;
+
+    // Freed buffers riding back from the coordinator replenish the free
+    // list before this round draws from it.
+    for v in cmd.recycle.drain(..) {
+        recycle_into(free, v);
+    }
 
     // 0. Injected faults for this worker this round (the list is empty —
     // and free to scan — when no plan is armed).
@@ -1525,10 +1670,32 @@ fn message_worker_round<L: Copy>(
         }
     }
 
-    // 1. Own this round's values.
-    debug_assert_eq!(cmd.owned.len(), view.owned().len());
-    for (&v, &value) in view.owned().iter().zip(&cmd.owned) {
-        frame[v as usize] = value;
+    // 1. Own this round's values: a full coordinator slice (legacy and
+    // seeding rounds), or resident workload deltas applied on top of
+    // the frame the previous round's scatter left behind.
+    match std::mem::replace(&mut cmd.owned, OwnedIn::Deltas(Vec::new())) {
+        OwnedIn::Values(values) => {
+            debug_assert_eq!(values.len(), view.owned().len());
+            for (&v, &value) in view.owned().iter().zip(&values) {
+                frame[v as usize] = value;
+            }
+            recycle_into(free, values);
+        }
+        OwnedIn::Deltas(deltas) => {
+            for &(v, value) in &deltas {
+                frame[v as usize] = value;
+            }
+        }
+    }
+
+    // Collect rounds capture the round-start owned values (deltas
+    // included) before the gather's scatter overwrites them — the
+    // coordinator needs both sides of the snapshot swap for stats and
+    // load-reading hooks.
+    let mut prev: Vec<L> = Vec::new();
+    if cmd.collect == CollectMode::Both {
+        prev = pooled(free);
+        prev.extend(view.owned().iter().map(|&v| frame[v as usize]));
     }
 
     // 2. Post boundary loads (round-start values — independent of any
@@ -1548,7 +1715,8 @@ fn message_worker_round<L: Copy>(
             // invisible, since batches are keyed by source shard.
             let i = if reorder { schedule.len() - 1 - i } else { i };
             let (dest, ids) = &schedule[i];
-            let values: Vec<L> = ids.iter().map(|&v| frame[v as usize]).collect();
+            let mut values = pooled(free);
+            values.extend(ids.iter().map(|&v| frame[v as usize]));
             if duplicate {
                 messages += 1;
                 values_sent += values.len();
@@ -1573,16 +1741,15 @@ fn message_worker_round<L: Copy>(
     tel.record(lane, cmd.round, SpanPhase::PostHalo, t_post);
 
     let kernel = &cmd.kernel;
-    let mut results: Vec<L> = Vec::with_capacity(view.owned().len());
+    let mut results = pooled(free);
+    results.reserve(view.owned().len());
     let gather = |nodes: &[u32], results: &mut Vec<L>, frame: &[L], ok: &mut bool| {
-        let outcome = catch_unwind(AssertUnwindSafe(|| {
-            let mut values = Vec::with_capacity(nodes.len());
-            kernel(frame, nodes, &mut values);
-            values
-        }));
-        match outcome {
-            Ok(mut values) => results.append(&mut values),
-            Err(_) => *ok = false,
+        // Gather straight into the (pooled) report buffer — no
+        // per-segment staging vector. A panicking kernel may leave a
+        // partial tail, but a failed round's results are discarded
+        // wholesale by the coordinator, so the tail is never read.
+        if catch_unwind(AssertUnwindSafe(|| kernel(frame, nodes, results))).is_err() {
+            *ok = false;
         }
     };
 
@@ -1608,20 +1775,24 @@ fn message_worker_round<L: Copy>(
                    frame: &mut [L],
                    got: &mut [bool],
                    received: &mut usize,
+                   free: &mut Vec<Vec<L>>,
                    ok: &mut bool| {
         match recv_sched.iter().position(|(s, _)| *s == src as usize) {
-            Some(i) if got[i] => {} // duplicate batch: drop
+            Some(i) if got[i] => recycle_into(free, values), // duplicate batch: drop
             Some(i) => {
                 got[i] = true;
                 *received += 1;
                 let ids = &recv_sched[i].1;
                 if ids.len() == values.len() {
-                    for (&v, value) in ids.iter().zip(values) {
+                    for (&v, &value) in ids.iter().zip(values.iter()) {
                         frame[v as usize] = value;
                     }
                 } else {
                     *ok = false; // wrong batch size
                 }
+                // The sender's buffer stays with this worker: received
+                // batches are the free list's steady-state refill.
+                recycle_into(free, values);
             }
             None => {
                 // Unscheduled source: count it toward the barrier (so the
@@ -1638,7 +1809,7 @@ fn message_worker_round<L: Copy>(
             std::cmp::Ordering::Less => {} // stale: discard
             std::cmp::Ordering::Greater => stash.push((src, seq, values)),
             std::cmp::Ordering::Equal => {
-                deliver(src, values, frame, &mut got, &mut received, &mut ok)
+                deliver(src, values, frame, &mut got, &mut received, free, &mut ok)
             }
         }
     }
@@ -1673,7 +1844,7 @@ fn message_worker_round<L: Copy>(
                 std::cmp::Ordering::Less => {} // stale: discard
                 std::cmp::Ordering::Greater => stash.push((src, seq, values)),
                 std::cmp::Ordering::Equal => {
-                    deliver(src, values, frame, &mut got, &mut received, &mut ok)
+                    deliver(src, values, frame, &mut got, &mut received, free, &mut ok)
                 }
             },
             // Exit (engine dropped mid-round) or an unexpected command:
@@ -1694,9 +1865,43 @@ fn message_worker_round<L: Copy>(
     }
     tel.record(lane, cmd.round, SpanPhase::GatherBoundary, t_bnd);
 
+    // 6. Scatter the new loads into the frame's owned slots: this is
+    // what makes the frame *resident* — next round's halos and gathers
+    // read current values with no coordinator refresh. Results arrive
+    // in gather order (interior-then-boundary; owned order under full
+    // exchange). Skipped on a failed round, which keeps the frame at
+    // the round-start state the coordinator still knows about.
+    if ok {
+        if plan.full_exchange {
+            for (&v, &value) in view.owned().iter().zip(results.iter()) {
+                frame[v as usize] = value;
+            }
+        } else {
+            let order = view.interior().iter().chain(view.boundary());
+            for (&v, &value) in order.zip(results.iter()) {
+                frame[v as usize] = value;
+            }
+        }
+    }
+
+    // 7. Report only what the coordinator asked for; unsent buffers stay
+    // in the free list for the next round.
+    let (results, prev) = match cmd.collect {
+        CollectMode::None => {
+            recycle_into(free, results);
+            debug_assert!(prev.is_empty());
+            (Vec::new(), Vec::new())
+        }
+        CollectMode::New => {
+            debug_assert!(prev.is_empty());
+            (results, Vec::new())
+        }
+        CollectMode::Both => (results, prev),
+    };
     RoundOutcome::Report {
         ok,
         results,
+        prev,
         messages,
         values_sent,
     }
@@ -1726,18 +1931,37 @@ fn message_worker<L: Copy + Default + Send + 'static>(
     // shards may start a round earlier), tagged with their round-attempt
     // sequence so stale leftovers are discarded at the next round start.
     let mut stash: Vec<(u32, u64, Vec<L>)> = Vec::new();
+    // Spent halo/report buffers recycled across rounds (fed by received
+    // batches and the coordinator's `recycle` rides).
+    let mut free: Vec<Vec<L>> = Vec::new();
     loop {
-        let cmd = loop {
+        let mut cmd = loop {
             match rx.recv() {
                 Ok(ToWorker::Plan(p)) => plan = Some(p),
                 Ok(ToWorker::Round(cmd)) => break cmd,
                 Ok(ToWorker::Halo { src, seq, values }) => stash.push((src, seq, values)),
+                Ok(ToWorker::Collect { seq }) => {
+                    // Out-of-round sync: report the frame's current owned
+                    // values (ascending global id). Only resident
+                    // sessions send this, between rounds, so the frame
+                    // is quiescent here.
+                    let current = plan.as_ref().expect("plan precedes the first collect");
+                    let view = &current.views()[shard];
+                    let mut values = pooled(&mut free);
+                    values.extend(view.owned().iter().map(|&v| frame[v as usize]));
+                    if done
+                        .send(FromWorker::Collected { shard, seq, values })
+                        .is_err()
+                    {
+                        return;
+                    }
+                }
                 Ok(ToWorker::Exit) | Err(_) => return,
             }
         };
         let current = plan.as_ref().expect("plan precedes the first round");
         let outcome = message_worker_round(
-            shard, current, &cmd, &mut frame, &mut stash, &rx, &peers, &done,
+            shard, current, &mut cmd, &mut frame, &mut stash, &mut free, &rx, &peers, &done,
         );
         let seq = cmd.seq;
         // Drop the kernel before reporting: the coordinator's round
@@ -1748,6 +1972,7 @@ fn message_worker<L: Copy + Default + Send + 'static>(
             RoundOutcome::Report {
                 ok,
                 results,
+                prev,
                 messages,
                 values_sent,
             } => (
@@ -1756,6 +1981,7 @@ fn message_worker<L: Copy + Default + Send + 'static>(
                     seq,
                     ok,
                     results,
+                    prev,
                     messages,
                     values_sent,
                 },
@@ -1769,6 +1995,7 @@ fn message_worker<L: Copy + Default + Send + 'static>(
                     seq,
                     ok: false,
                     results: Vec::new(),
+                    prev: Vec::new(),
                     messages: 0,
                     values_sent: 0,
                 },
@@ -1814,6 +2041,30 @@ struct MessageExec<L> {
     /// a retry after a failed attempt gets a fresh tag and any stale
     /// in-flight batch is discarded rather than consumed.
     round_seq: u64,
+    /// Whether this executor was declared [`Backend::Message`] with
+    /// `resident: true` (routing intent only — the resident session API
+    /// works either way; see [`Engine::resident_begin`]).
+    resident_backend: bool,
+    /// Resident-session seeding state: the plan the worker frames
+    /// currently hold owned values under, plus the owner map for delta
+    /// routing. `None` until the session's first round (and after any
+    /// [`Engine::resident_end`]).
+    seeded: Option<ResidentSeed>,
+    /// Coordinator-side buffer free list, fed by consumed report
+    /// vectors; drawn on for owned dispatch slices and recycle rides.
+    free: Vec<Vec<L>>,
+}
+
+/// What the worker frames are currently seeded under (resident sessions).
+struct ResidentSeed {
+    /// Fingerprint key of the seeded plan (mismatch with the current
+    /// plan forces a collect-then-reseed).
+    key: u64,
+    /// The seeded plan itself, retained so a post-change collect can
+    /// still scatter under the ownership the frames actually hold.
+    plan: Arc<MessagePlan>,
+    /// `owner[v]` = shard owning global node `v` (delta routing).
+    owner: Vec<u32>,
 }
 
 impl<L> std::fmt::Debug for MessageExec<L> {
@@ -1828,7 +2079,7 @@ impl<L> std::fmt::Debug for MessageExec<L> {
 }
 
 impl<L: Copy + Default + Send + 'static> MessageExec<L> {
-    fn new(spec: PartitionSpec, n: usize) -> MessageExec<L> {
+    fn new(spec: PartitionSpec, n: usize, resident_backend: bool) -> MessageExec<L> {
         let shards = spec.shards();
         let (done_tx, from_workers) = mpsc::channel::<FromWorker<L>>();
         let mut to_workers = Vec::with_capacity(shards);
@@ -1863,6 +2114,9 @@ impl<L: Copy + Default + Send + 'static> MessageExec<L> {
             broadcast_key: None,
             last_comm: None,
             round_seq: 0,
+            resident_backend,
+            seeded: None,
+            free: Vec::new(),
         }
     }
 
@@ -1939,6 +2193,10 @@ impl<L: Copy + Default + Send + 'static> MessageExec<L> {
             }
         }
 
+        let mut comm = CommMetrics {
+            shards,
+            ..CommMetrics::default()
+        };
         // Dispatch: slice the snapshot into per-shard owned blocks and
         // command every worker — the coordinator half of the scatter.
         let t_dispatch = tel.start();
@@ -1957,14 +2215,19 @@ impl<L: Copy + Default + Send + 'static> MessageExec<L> {
                 self.respawn(s, &plan);
                 fault_stats.recoveries += 1;
             }
-            let owned: Vec<L> = plan.views()[s]
-                .owned()
-                .iter()
-                .map(|&v| snapshot[v as usize])
-                .collect();
+            let mut owned = pooled(&mut self.free);
+            owned.extend(
+                plan.views()[s]
+                    .owned()
+                    .iter()
+                    .map(|&v| snapshot[v as usize]),
+            );
+            comm.owned_values_in += owned.len();
             let cmd = ToWorker::Round(Box::new(RoundCmd {
                 kernel: kernels(),
-                owned,
+                owned: OwnedIn::Values(owned),
+                collect: CollectMode::New,
+                recycle: Vec::new(),
                 seq,
                 faults: std::mem::take(pending_faults),
                 nack_after,
@@ -1986,10 +2249,6 @@ impl<L: Copy + Default + Send + 'static> MessageExec<L> {
         let mut results: Vec<Option<Vec<L>>> = (0..shards).map(|_| None).collect();
         let mut outstanding = shards;
         let mut failed: Option<usize> = None;
-        let mut comm = CommMetrics {
-            shards,
-            ..CommMetrics::default()
-        };
         while outstanding > 0 {
             let msg = if supervised {
                 match self.from_workers.recv_timeout(SUPERVISE_POLL) {
@@ -2080,8 +2339,14 @@ impl<L: Copy + Default + Send + 'static> MessageExec<L> {
                     comm.messages += report.messages;
                     comm.values_sent += report.values_sent;
                     comm.max_shard_values_sent = comm.max_shard_values_sent.max(report.values_sent);
+                    comm.owned_values_out += report.results.len() + report.prev.len();
                     results[report.shard] = Some(report.results);
                     outstanding -= 1;
+                }
+                FromWorker::Collected { .. } => {
+                    // Stale resident-sync answer — impossible between a
+                    // synchronous collect and the next round, but cheap
+                    // to tolerate.
                 }
                 FromWorker::MissingHalo {
                     shard,
@@ -2116,7 +2381,8 @@ impl<L: Copy + Default + Send + 'static> MessageExec<L> {
         }
 
         // Gather half of the scatter: fold the per-shard results back
-        // into the global vector.
+        // into the global vector. The spent report buffers feed the
+        // coordinator's free list for the next round's owned dispatch.
         let t_scatter = tel.start();
         for (view, shard_results) in plan.views().iter().zip(results) {
             let shard_results = shard_results.expect("every shard reported");
@@ -2124,13 +2390,260 @@ impl<L: Copy + Default + Send + 'static> MessageExec<L> {
             // interior-then-boundary.
             let order = view.interior().iter().chain(view.boundary());
             debug_assert_eq!(shard_results.len(), view.owned().len());
-            for (&v, value) in order.zip(shard_results) {
+            for (&v, &value) in order.zip(shard_results.iter()) {
                 out[v as usize] = value;
             }
+            recycle_into(&mut self.free, shard_results);
         }
         tel.record(ENGINE_LANE, round_no, SpanPhase::ScatterOwned, t_scatter);
         Ok(())
     }
+
+    /// One **resident** round: no owned values travel in (a seeding
+    /// round ships the mirror once; steady-state rounds ship only the
+    /// routed workload deltas) and owned values travel back only under
+    /// `collect` — [`CollectMode::Both`] scatters the round-start values
+    /// into `prev_out` and the new loads into `mirror`. Never
+    /// supervised: the engine rejects resident rounds under an armed
+    /// fault plan, because recovery re-homes shards from a round-start
+    /// snapshot the coordinator deliberately no longer holds.
+    #[allow(clippy::too_many_arguments)]
+    fn resident_round(
+        &mut self,
+        kernels: impl Fn() -> MsgKernel<L>,
+        seed: bool,
+        mirror: &mut [L],
+        prev_out: &mut [L],
+        pending: &mut Vec<(u32, L)>,
+        collect: CollectMode,
+        tel: &Telemetry,
+        round_no: u64,
+    ) -> Result<(), usize> {
+        let plan = self.plans.current().clone();
+        let key = self.plans.entries[self.plans.current].0;
+        assert_eq!(
+            mirror.len(),
+            plan.views().iter().map(|v| v.owned().len()).sum::<usize>(),
+            "message plan node count must equal the load vector length"
+        );
+        self.round_seq += 1;
+        let seq = self.round_seq;
+        let shards = self.shards();
+        let mut comm = CommMetrics {
+            shards,
+            ..CommMetrics::default()
+        };
+
+        // Route the queued workload deltas by the owner map (deltas are
+        // `(global id, value)` assignments — idempotent, so routing
+        // cannot perturb bit-identity).
+        let mut routed: Vec<Vec<(u32, L)>> = vec![Vec::new(); shards];
+        if !seed {
+            let owner = &self
+                .seeded
+                .as_ref()
+                .expect("steady resident rounds follow a seeded round")
+                .owner;
+            comm.delta_values = pending.len();
+            for (v, value) in pending.drain(..) {
+                routed[owner[v as usize] as usize].push((v, value));
+            }
+        } else {
+            // The seed slices below are drawn from the mirror, which
+            // already folds every queued delta in.
+            pending.clear();
+        }
+
+        // Dispatch: a compact command per worker — deltas (plus recycled
+        // buffers) in steady state, full owned slices when seeding.
+        let t_dispatch = tel.start();
+        if self.broadcast_key != Some(key) {
+            for tx in &self.to_workers {
+                tx.send(ToWorker::Plan(plan.clone()))
+                    .expect("message worker exited early");
+            }
+            self.broadcast_key = Some(key);
+        }
+        for (s, deltas) in routed.into_iter().enumerate() {
+            let owned = if seed {
+                let mut owned = pooled(&mut self.free);
+                owned.extend(plan.views()[s].owned().iter().map(|&v| mirror[v as usize]));
+                comm.owned_values_in += owned.len();
+                OwnedIn::Values(owned)
+            } else {
+                OwnedIn::Deltas(deltas)
+            };
+            // Hand back as many buffers as this round's report will
+            // consume, so steady-state collect rounds stay allocation-free.
+            let rides = match collect {
+                CollectMode::None => 0,
+                CollectMode::New => 1,
+                CollectMode::Both => 2,
+            };
+            let mut recycle = Vec::new();
+            for _ in 0..rides {
+                match self.free.pop() {
+                    Some(v) => recycle.push(v),
+                    None => break,
+                }
+            }
+            let cmd = ToWorker::Round(Box::new(RoundCmd {
+                kernel: kernels(),
+                owned,
+                collect,
+                recycle,
+                seq,
+                faults: Vec::new(),
+                nack_after: None,
+                telemetry: tel.clone(),
+                round: round_no,
+            }));
+            self.to_workers[s]
+                .send(cmd)
+                .expect("message worker exited early");
+        }
+        let dispatch_phase = if seed {
+            SpanPhase::ScatterOwned
+        } else {
+            SpanPhase::DeltaScatter
+        };
+        tel.record(ENGINE_LANE, round_no, dispatch_phase, t_dispatch);
+        if seed {
+            self.seeded = Some(ResidentSeed {
+                key,
+                plan: plan.clone(),
+                owner: build_owner_map(&plan, mirror.len()),
+            });
+        }
+
+        // Barrier: always blocking — resident rounds are never
+        // supervised.
+        let mut reports: Vec<Option<WorkerDone<L>>> = (0..shards).map(|_| None).collect();
+        let mut outstanding = shards;
+        let mut failed: Option<usize> = None;
+        while outstanding > 0 {
+            match self
+                .from_workers
+                .recv()
+                .expect("message worker exited early")
+            {
+                FromWorker::Done(report) => {
+                    if report.seq != seq || reports[report.shard].is_some() {
+                        continue;
+                    }
+                    if !report.ok {
+                        failed.get_or_insert(report.shard);
+                    }
+                    comm.messages += report.messages;
+                    comm.values_sent += report.values_sent;
+                    comm.max_shard_values_sent = comm.max_shard_values_sent.max(report.values_sent);
+                    comm.owned_values_out += report.results.len() + report.prev.len();
+                    outstanding -= 1;
+                    let shard = report.shard;
+                    reports[shard] = Some(report);
+                }
+                FromWorker::Collected { .. } | FromWorker::MissingHalo { .. } => {
+                    // Stale sync answers / nacks cannot occur on the
+                    // unsupervised resident path; ignore defensively.
+                }
+            }
+        }
+        comm.halo_bytes = comm.values_sent * std::mem::size_of::<L>();
+        if collect == CollectMode::Both {
+            comm.collects = 1;
+        }
+        self.last_comm = Some(comm);
+        if let Some(shard) = failed {
+            return Err(shard);
+        }
+
+        // Collect half (stats/read rounds only): scatter the round-start
+        // values into `prev_out` and the new loads into the mirror.
+        if collect == CollectMode::Both {
+            let t_collect = tel.start();
+            for (view, report) in plan.views().iter().zip(reports) {
+                let report = report.expect("every shard reported");
+                debug_assert_eq!(report.prev.len(), view.owned().len());
+                debug_assert_eq!(report.results.len(), view.owned().len());
+                for (&v, &value) in view.owned().iter().zip(report.prev.iter()) {
+                    prev_out[v as usize] = value;
+                }
+                let order = view.interior().iter().chain(view.boundary());
+                for (&v, &value) in order.zip(report.results.iter()) {
+                    mirror[v as usize] = value;
+                }
+                recycle_into(&mut self.free, report.prev);
+                recycle_into(&mut self.free, report.results);
+            }
+            tel.record(ENGINE_LANE, round_no, SpanPhase::Collect, t_collect);
+        }
+        Ok(())
+    }
+
+    /// Out-of-round sync: collects every worker's current owned values
+    /// into `out` (global order) under the **seeded** plan — the
+    /// ownership the frames actually hold, which may lag the current
+    /// plan across a graph change. Traffic is folded into the last
+    /// round's [`CommMetrics`], where the next metrics read will see it.
+    fn collect_resident(&mut self, out: &mut [L], tel: &Telemetry, round_no: u64) {
+        let plan = self
+            .seeded
+            .as_ref()
+            .expect("resident sync requires a seeded session")
+            .plan
+            .clone();
+        self.round_seq += 1;
+        let seq = self.round_seq;
+        let t0 = tel.start();
+        for tx in &self.to_workers {
+            tx.send(ToWorker::Collect { seq })
+                .expect("message worker exited early");
+        }
+        let mut outstanding = self.shards();
+        while outstanding > 0 {
+            match self
+                .from_workers
+                .recv()
+                .expect("message worker exited early")
+            {
+                FromWorker::Collected {
+                    shard,
+                    seq: got,
+                    values,
+                } => {
+                    if got != seq {
+                        continue;
+                    }
+                    let view = &plan.views()[shard];
+                    debug_assert_eq!(values.len(), view.owned().len());
+                    for (&v, &value) in view.owned().iter().zip(values.iter()) {
+                        out[v as usize] = value;
+                    }
+                    recycle_into(&mut self.free, values);
+                    outstanding -= 1;
+                }
+                FromWorker::Done(_) | FromWorker::MissingHalo { .. } => {
+                    // No round is in flight between resident rounds.
+                }
+            }
+        }
+        if let Some(c) = self.last_comm.as_mut() {
+            c.owned_values_out += out.len();
+            c.collects += 1;
+        }
+        tel.record(ENGINE_LANE, round_no, SpanPhase::Collect, t0);
+    }
+}
+
+/// `owner[v]` = shard owning global node `v`, from the plan's views.
+fn build_owner_map(plan: &MessagePlan, n: usize) -> Vec<u32> {
+    let mut owner = vec![0u32; n];
+    for view in plan.views() {
+        for &v in view.owned() {
+            owner[v as usize] = view.shard() as u32;
+        }
+    }
+    owner
 }
 
 impl<L> Drop for MessageExec<L> {
@@ -2197,6 +2710,7 @@ impl<P: Protocol> Engine<P> {
             faults: None,
             fault_stats: FaultStats::default(),
             telemetry: Telemetry::Off,
+            resident: None,
         }
     }
 
@@ -2237,6 +2751,7 @@ impl<P: Protocol> Engine<P> {
             faults: None,
             fault_stats: FaultStats::default(),
             telemetry: Telemetry::Off,
+            resident: None,
         }
     }
 
@@ -2278,6 +2793,7 @@ impl<P: Protocol> Engine<P> {
             faults: None,
             fault_stats: FaultStats::default(),
             telemetry: Telemetry::Off,
+            resident: None,
         }
     }
 
@@ -2306,7 +2822,7 @@ impl<P: Protocol> Engine<P> {
         Engine {
             back: vec![P::Load::default(); n],
             exec: Exec::Message {
-                exec: Box::new(MessageExec::new(partition, n)),
+                exec: Box::new(MessageExec::new(partition, n, false)),
                 make_kernel: make_message_kernel::<P>,
             },
             protocol,
@@ -2316,7 +2832,25 @@ impl<P: Protocol> Engine<P> {
             faults: None,
             fault_stats: FaultStats::default(),
             telemetry: Telemetry::Off,
+            resident: None,
         }
+    }
+
+    /// Message-passing executor declared **shard-resident** (see
+    /// [`Backend::Message`]'s `resident` flag): identical to
+    /// [`Engine::message`] except that [`Engine::backend`] reports
+    /// `resident: true`, so runners and benches route rounds through the
+    /// resident session API ([`Engine::resident_begin`] /
+    /// [`Engine::round_resident`]) instead of [`Engine::round`].
+    pub fn message_resident(protocol: P, partition: PartitionSpec) -> Self
+    where
+        P: Sync,
+    {
+        let mut engine = Engine::message(protocol, partition);
+        if let Exec::Message { exec, .. } = &mut engine.exec {
+            exec.resident_backend = true;
+        }
+        engine
     }
 
     /// Builds the executor a [`Backend`] value describes. Protocols that
@@ -2331,7 +2865,14 @@ impl<P: Protocol> Engine<P> {
             Backend::Sharded { partition, threads } => {
                 Engine::sharded(protocol, partition, threads)
             }
-            Backend::Message { partition } => Engine::message(protocol, partition),
+            Backend::Message {
+                partition,
+                resident: false,
+            } => Engine::message(protocol, partition),
+            Backend::Message {
+                partition,
+                resident: true,
+            } => Engine::message_resident(protocol, partition),
         }
     }
 
@@ -2443,6 +2984,10 @@ impl<P: Protocol> Engine<P> {
             values_sent: c.values_sent as u64,
             halo_bytes: c.halo_bytes as u64,
             max_shard_values_sent: c.max_shard_values_sent as u64,
+            owned_values_in: c.owned_values_in as u64,
+            owned_values_out: c.owned_values_out as u64,
+            delta_values: c.delta_values as u64,
+            collects: c.collects as u64,
         });
         let shard = self.shard_metrics().map(|s| ShardCounters {
             shards: s.shards as u64,
@@ -2508,6 +3053,7 @@ impl<P: Protocol> Engine<P> {
             },
             Exec::Message { exec, .. } => Backend::Message {
                 partition: exec.spec,
+                resident: exec.resident_backend,
             },
         }
     }
@@ -2593,6 +3139,11 @@ impl<P: Protocol> Engine<P> {
             loads.len(),
             self.protocol.n(),
             "load vector length must equal n"
+        );
+        assert!(
+            self.resident.is_none(),
+            "a resident session is active: drive rounds with round_resident() \
+             or close the session with resident_end() first"
         );
         let round_no = self.rounds_run + 1;
         self.protocol.begin_round(loads);
@@ -2771,6 +3322,242 @@ impl<P: Protocol> Engine<P> {
             last = self.round(loads);
         }
         last
+    }
+
+    // -----------------------------------------------------------------
+    // Resident message sessions
+    // -----------------------------------------------------------------
+
+    /// Opens a **resident session** on a message-backend engine: the
+    /// shard workers take persistent ownership of their load slices, and
+    /// subsequent [`Engine::round_resident`] calls ship only a compact
+    /// command (plus any workload deltas queued through
+    /// [`Engine::resident_apply`]) instead of copying all `n` owned
+    /// values in and out every round. Owned values travel back only when
+    /// something needs them — a stats-on round per the [`StatsMode`], a
+    /// protocol whose hooks read loads ([`Protocol::hooks_read_loads`]),
+    /// an explicit [`Engine::resident_sync`] / [`Engine::resident_loads`]
+    /// read, or [`Engine::resident_end`] — so steady-state rounds move
+    /// halo-sized, not `n`-sized, traffic. Loads and statistics stay
+    /// bit-identical to [`Engine::round`] on every mode: the same kernel
+    /// runs per node from the same frame values, and collect rounds
+    /// reassemble the exact snapshot/new-loads pair the legacy swap
+    /// produces.
+    ///
+    /// `loads` seeds the session; the workers receive it on the first
+    /// resident round (plans resolve lazily against that round's graph).
+    /// While a session is active [`Engine::round`] panics — the caller's
+    /// vector would be stale by construction. Incompatible with an armed
+    /// [`FaultPlan`]: supervised recovery re-homes shards from the
+    /// coordinator's round-start snapshot, which resident rounds
+    /// deliberately no longer hold.
+    pub fn resident_begin(&mut self, loads: &[P::Load]) {
+        assert!(
+            matches!(self.exec, Exec::Message { .. }),
+            "resident sessions need the message backend"
+        );
+        assert!(
+            self.faults.is_none(),
+            "resident sessions are incompatible with an armed FaultPlan"
+        );
+        assert!(
+            self.resident.is_none(),
+            "a resident session is already active"
+        );
+        assert_eq!(
+            loads.len(),
+            self.protocol.n(),
+            "load vector length must equal n"
+        );
+        if let Exec::Message { exec, .. } = &mut self.exec {
+            exec.seeded = None; // force a seed on the first round
+        }
+        self.resident = Some(ResidentSession {
+            mirror: loads.to_vec(),
+            fresh: true,
+            pending: Vec::new(),
+        });
+    }
+
+    /// Whether a resident session is active.
+    pub fn resident_active(&self) -> bool {
+        self.resident.is_some()
+    }
+
+    /// Queues workload deltas — `(node, new value)` assignments to the
+    /// *round-start* loads of the next resident round. They are routed
+    /// to the owning workers with the next round command (the
+    /// delta-sized replacement for rewriting all owned values), exactly
+    /// as if the caller had mutated the load vector before a legacy
+    /// round.
+    pub fn resident_apply(&mut self, deltas: &[(u32, P::Load)]) {
+        let st = self.resident.as_mut().expect("no resident session active");
+        for &(v, value) in deltas {
+            assert!((v as usize) < st.mirror.len(), "delta node out of range");
+            if st.fresh {
+                st.mirror[v as usize] = value;
+            }
+            st.pending.push((v, value));
+        }
+    }
+
+    /// Brings the session mirror up to date: collects the workers'
+    /// current owned values if any steady-state round ran since the last
+    /// collect (the traffic is folded into [`Engine::comm_metrics`]),
+    /// then folds queued deltas in. A no-op when the mirror is fresh.
+    pub fn resident_sync(&mut self) {
+        let st = self.resident.as_mut().expect("no resident session active");
+        if st.fresh {
+            return;
+        }
+        let Exec::Message { exec, .. } = &mut self.exec else {
+            unreachable!("resident sessions exist only on the message backend");
+        };
+        exec.collect_resident(&mut st.mirror, &self.telemetry, self.rounds_run);
+        for &(v, value) in &st.pending {
+            st.mirror[v as usize] = value;
+        }
+        st.fresh = true;
+    }
+
+    /// The session's current loads (syncing first if needed).
+    pub fn resident_loads(&mut self) -> &[P::Load] {
+        self.resident_sync();
+        &self
+            .resident
+            .as_ref()
+            .expect("no resident session active")
+            .mirror
+    }
+
+    /// Closes the session and returns the final loads (collected from
+    /// the workers if needed). The engine is a plain message-backend
+    /// engine again: [`Engine::round`] works, with any vector.
+    pub fn resident_end(&mut self) -> Vec<P::Load> {
+        self.resident_sync();
+        if let Exec::Message { exec, .. } = &mut self.exec {
+            exec.seeded = None;
+        }
+        self.resident
+            .take()
+            .expect("no resident session active")
+            .mirror
+    }
+
+    /// Executes one resident round (see [`Engine::resident_begin`]),
+    /// panicking on worker failure like [`Engine::round`].
+    pub fn round_resident(&mut self) -> Option<P::Stats> {
+        match self.try_round_resident() {
+            Ok(stats) => stats,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Executes one resident round, returning a typed [`EngineError`]
+    /// instead of panicking when a worker's kernel fails. On `Err` the
+    /// workers' frames still hold the round-start values (the scatter
+    /// never ran), the session stays open, and the round counter does
+    /// not advance; as with [`Engine::try_round`],
+    /// [`Protocol::begin_round`] has already consumed the failed
+    /// round's graph.
+    pub fn try_round_resident(&mut self) -> Result<Option<P::Stats>, EngineError> {
+        assert!(
+            self.faults.is_none(),
+            "resident rounds are incompatible with an armed FaultPlan \
+             (recovery needs the coordinator's round-start snapshot)"
+        );
+        let mut st = self
+            .resident
+            .take()
+            .expect("no resident session active (call resident_begin first)");
+        let round_no = self.rounds_run + 1;
+        let hooks = self.protocol.hooks_read_loads();
+        let level = self.stats_mode.level_for(round_no);
+        // The collect gate: stats rounds need the snapshot/new pair on
+        // the coordinator; load-reading hooks need a fresh mirror every
+        // round. Everything else stays worker-resident.
+        let collect = if hooks || level.is_some() {
+            CollectMode::Both
+        } else {
+            CollectMode::None
+        };
+        debug_assert!(
+            !hooks || st.fresh,
+            "hooks_read_loads implies an always-fresh mirror"
+        );
+        self.protocol.begin_round(&st.mirror);
+        let outcome = {
+            let protocol = &self.protocol;
+            let tel = &self.telemetry;
+            let kind = self.kernel.kind;
+            let t_plan = tel.start();
+            let built_before = self.kernel.plans.built;
+            let plan = self.kernel.resolve(protocol);
+            if self.kernel.plans.built > built_before {
+                tel.record(ENGINE_LANE, round_no, SpanPhase::Plan, t_plan);
+            }
+            let Exec::Message { exec, make_kernel } = &mut self.exec else {
+                panic!("resident sessions need the message backend");
+            };
+            let spec = exec.spec;
+            let t_plan = tel.start();
+            let built_before = exec.plans.built;
+            exec.plans.refresh(protocol, |graph, n| {
+                std::sync::Arc::new(MessagePlan::build(&spec, graph, n))
+            });
+            if exec.plans.built > built_before {
+                tel.record(ENGINE_LANE, round_no, SpanPhase::Plan, t_plan);
+            }
+            let key = exec.plans.entries[exec.plans.current].0;
+            let seed = exec.seeded.as_ref().map(|s| s.key) != Some(key);
+            if seed && !st.fresh {
+                // The graph — and with it the ownership map — changed
+                // under a stale mirror: collect under the *old* plan
+                // (the ownership the frames actually hold), fold queued
+                // deltas, and let the dispatch below reseed.
+                exec.collect_resident(&mut st.mirror, tel, round_no);
+                for &(v, value) in &st.pending {
+                    st.mirror[v as usize] = value;
+                }
+                st.fresh = true;
+            }
+            let make_kernel = *make_kernel;
+            exec.resident_round(
+                || make_kernel(protocol, kind, plan.clone()),
+                seed,
+                &mut st.mirror,
+                &mut self.back,
+                &mut st.pending,
+                collect,
+                tel,
+                round_no,
+            )
+        };
+        if let Err(shard) = outcome {
+            self.resident = Some(st);
+            return Err(EngineError {
+                shard,
+                round: round_no,
+                phase: EnginePhase::Exchange,
+            });
+        }
+        st.fresh = collect == CollectMode::Both;
+        self.rounds_run += 1;
+        // On collect rounds `back` holds the round-start snapshot and
+        // the mirror holds the new loads — exactly the legacy swap
+        // shape. On steady rounds both are stale, and the collect gate
+        // guarantees the hooks never read them.
+        self.protocol.finish_round(&self.back, &st.mirror);
+        let stats = level.map(|lvl| {
+            let t0 = self.telemetry.start();
+            let ctx = StatsCtx::new(self.exec.stats_pool(), lvl);
+            let stats = self.protocol.compute_stats(&self.back, &st.mirror, &ctx);
+            self.telemetry
+                .record(ENGINE_LANE, self.rounds_run, SpanPhase::Stats, t0);
+            stats
+        });
+        self.resident = Some(st);
+        Ok(stats)
     }
 }
 
@@ -3382,6 +4169,7 @@ mod tests {
             },
             Backend::Message {
                 partition: PartitionSpec::Range { shards: 4 },
+                resident: false,
             },
         ] {
             let mut loads = init.clone();
@@ -3423,6 +4211,7 @@ mod tests {
             },
             Backend::Message {
                 partition: PartitionSpec::Bfs { shards: 3 },
+                resident: false,
             },
         ];
         let mut reference = vec![1.0, 5.0, 2.0, 8.0, 3.0, 7.0, 4.0, 6.0];

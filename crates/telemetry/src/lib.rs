@@ -68,11 +68,18 @@ pub enum Phase {
     WorkloadApply,
     /// Fault handling: worker respawn, load re-homing, halo retransmit.
     FaultRecovery,
+    /// Coordinator routing per-shard workload deltas to resident workers
+    /// (the message backend's resident-session replacement for
+    /// [`Phase::ScatterOwned`] on steady-state rounds).
+    DeltaScatter,
+    /// Coordinator collecting owned values back from resident workers —
+    /// a stats-on round, a caller reading loads, or session end.
+    Collect,
 }
 
 impl Phase {
     /// All phases, in taxonomy order.
-    pub const ALL: [Phase; 9] = [
+    pub const ALL: [Phase; 11] = [
         Phase::Plan,
         Phase::ScatterOwned,
         Phase::PostHalo,
@@ -82,6 +89,8 @@ impl Phase {
         Phase::Stats,
         Phase::WorkloadApply,
         Phase::FaultRecovery,
+        Phase::DeltaScatter,
+        Phase::Collect,
     ];
 
     /// Stable kebab-case name used in both export formats.
@@ -96,6 +105,8 @@ impl Phase {
             Phase::Stats => "stats",
             Phase::WorkloadApply => "workload-apply",
             Phase::FaultRecovery => "fault-recovery",
+            Phase::DeltaScatter => "delta-scatter",
+            Phase::Collect => "collect",
         }
     }
 }
@@ -332,6 +343,16 @@ pub struct CommCounters {
     pub values_sent: u64,
     pub halo_bytes: u64,
     pub max_shard_values_sent: u64,
+    /// Owned values the coordinator shipped *to* workers (legacy rounds
+    /// and resident-session seeding; zero on resident steady-state rounds).
+    pub owned_values_in: u64,
+    /// Owned values workers shipped *back* (legacy results, resident
+    /// collects — zero on stats-off, read-free resident rounds).
+    pub owned_values_out: u64,
+    /// Workload delta assignments routed to resident workers.
+    pub delta_values: u64,
+    /// Collect operations (in-round or explicit sync) this round.
+    pub collects: u64,
 }
 
 /// Partition-structure counters (sharded and message backends).

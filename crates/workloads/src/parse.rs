@@ -765,6 +765,7 @@ fn scenario_from_tables(tables: Vec<Table>) -> Result<Scenario, String> {
         "backend",
         "shards",
         "partition",
+        "resident",
     ])?;
     let name = st.str_of("name")?.to_string();
     let exec = exec_from(&st)?;
@@ -853,7 +854,11 @@ fn exec_from(st: &Table) -> Result<ExecSpec, String> {
         None => None,
         Some(_) => Some(st.str_of("partition")?),
     };
-    exec_spec_from_parts(backend, threads, shards, partition).map_err(|e| st.err(e))
+    let resident = match st.get("resident") {
+        None => None,
+        Some(_) => Some(st.bool_of("resident")?),
+    };
+    exec_spec_from_parts(backend, threads, shards, partition, resident).map_err(|e| st.err(e))
 }
 
 // ---------------------------------------------------------------------------
@@ -1067,12 +1072,20 @@ fn exec_entries(exec: &ExecSpec) -> Vec<(String, String)> {
             e.push(("threads".into(), threads.to_string()));
         }
         // No threads key: the message backend runs one worker per shard.
-        ExecSpec::Message { partition } => {
+        ExecSpec::Message {
+            partition,
+            resident,
+        } => {
             e.push((
                 "partition".into(),
                 format!("\"{}\"", partition.strategy_name()),
             ));
             e.push(("shards".into(), partition.shards().to_string()));
+            // Only render the non-default so legacy files round-trip
+            // byte-identically.
+            if resident {
+                e.push(("resident".into(), "true".into()));
+            }
         }
     }
     e
@@ -1279,7 +1292,8 @@ rounds = 5
         assert_eq!(
             message.exec,
             ExecSpec::Message {
-                partition: dlb_graphs::PartitionSpec::Bfs { shards: 6 }
+                partition: dlb_graphs::PartitionSpec::Bfs { shards: 6 },
+                resident: false
             }
         );
         let message_default =
@@ -1287,9 +1301,26 @@ rounds = 5
         assert_eq!(
             message_default.exec,
             ExecSpec::Message {
-                partition: dlb_graphs::PartitionSpec::Range { shards: 3 }
+                partition: dlb_graphs::PartitionSpec::Range { shards: 3 },
+                resident: false
             }
         );
+        let resident =
+            Scenario::from_toml(&base("backend = \"message\"\nshards = 3\nresident = true"))
+                .unwrap();
+        assert_eq!(
+            resident.exec,
+            ExecSpec::Message {
+                partition: dlb_graphs::PartitionSpec::Range { shards: 3 },
+                resident: true
+            }
+        );
+        // resident = true survives the render → parse round trip (and
+        // resident = false renders no key at all).
+        let rendered = resident.to_toml();
+        assert!(rendered.contains("resident = true"));
+        assert_eq!(Scenario::from_toml(&rendered).unwrap().exec, resident.exec);
+        assert!(!message.to_toml().contains("resident"));
         // Gating — one case per error path of the exec assembly:
         // misplaced shards/partition, unknown backend, sharded/message
         // without shards, unknown partition strategy, zero shards,
@@ -1318,6 +1349,14 @@ rounds = 5
             (
                 base("backend = \"message\"\nshards = 4\nthreads = 2"),
                 "one worker per shard",
+            ),
+            (
+                base("backend = \"pool\"\nresident = true"),
+                "only valid with backend = \"message\"",
+            ),
+            (
+                base("backend = \"sharded\"\nshards = 4\nresident = false"),
+                "only valid with backend = \"message\"",
             ),
         ] {
             let err = Scenario::from_toml(&text).unwrap_err();

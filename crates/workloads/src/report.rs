@@ -69,6 +69,20 @@ pub struct CommTotals {
     /// Largest single-round per-shard send volume (values) — the
     /// straggler bound on the exchange step.
     pub max_round_shard_values: u64,
+    /// Owned load values the coordinator shipped *to* workers over the
+    /// whole run (legacy rounds resend every shard's slice; resident
+    /// rounds ship only the seed round plus per-round deltas).
+    pub owned_values_in: u64,
+    /// Owned load values workers shipped *back* to the coordinator
+    /// (results and round-start snapshots; zero on resident rounds that
+    /// skip the collect phase).
+    pub owned_values_out: u64,
+    /// Workload delta values routed to their owner shards (resident
+    /// rounds only).
+    pub delta_values: u64,
+    /// Collect phases executed (resident sessions only: stats-on rounds,
+    /// load reads, and run end).
+    pub collects: u64,
 }
 
 /// Run-total fault and recovery counters of a fault-injected run: the
@@ -156,6 +170,9 @@ pub struct ScenarioReport {
     /// Execution backend the run used (`serial`, `pool`, `sharded`).
     /// Trajectories are backend-independent; recorded for provenance.
     pub backend: String,
+    /// Whether the message backend ran shard-resident rounds (always
+    /// `false` on the other backends).
+    pub resident: bool,
     /// Engine worker threads the run used (1 = serial executor).
     pub threads: usize,
     /// Statistics mode the run used, as a stable string.
@@ -225,8 +242,17 @@ impl ScenarioReport {
         let comm_fields = match &self.comm {
             Some(c) => format!(
                 ", \"comm_messages\": {}, \"comm_values_sent\": {}, \
-                 \"comm_halo_bytes\": {}, \"comm_max_round_shard_values\": {}",
-                c.messages, c.values_sent, c.halo_bytes, c.max_round_shard_values
+                 \"comm_halo_bytes\": {}, \"comm_max_round_shard_values\": {}, \
+                 \"comm_owned_values_in\": {}, \"comm_owned_values_out\": {}, \
+                 \"comm_delta_values\": {}, \"comm_collects\": {}",
+                c.messages,
+                c.values_sent,
+                c.halo_bytes,
+                c.max_round_shard_values,
+                c.owned_values_in,
+                c.owned_values_out,
+                c.delta_values,
+                c.collects
             ),
             None => String::new(),
         };
@@ -263,7 +289,7 @@ impl ScenarioReport {
         };
         out.push_str(&format!(
             "{{\"schema\": \"dlb-scenario/1\", \"scenario\": \"{}\", \"protocol\": \"{}\", \
-             \"n\": {}, \"backend\": \"{}\", \"threads\": {}, \"stats\": \"{}\", \"rounds\": {}, \"stop\": \"{}\", \
+             \"n\": {}, \"backend\": \"{}\", \"resident\": {}, \"threads\": {}, \"stats\": \"{}\", \"rounds\": {}, \"stop\": \"{}\", \
              \"initial_total\": {}, \"final_total\": {}, \"injected_total\": {}, \
              \"consumed_total\": {}, \"migrated_total\": {}, \"conservation_error\": {}, \
              \"phi_initial\": {}, \"phi_final\": {}, \"steady_window\": {}, \
@@ -272,6 +298,7 @@ impl ScenarioReport {
             esc(&self.protocol),
             self.n,
             esc(&self.backend),
+            self.resident,
             self.threads,
             esc(&self.stats),
             self.rounds,
@@ -356,6 +383,11 @@ impl ScenarioReport {
                  max per-shard round send {} value(s)\n",
                 c.messages, c.values_sent, c.halo_bytes, c.max_round_shard_values
             ));
+            out.push_str(&format!(
+                "coordinator transfer: {} owned value(s) in, {} out, \
+                 {} delta value(s) routed, {} collect(s)\n",
+                c.owned_values_in, c.owned_values_out, c.delta_values, c.collects
+            ));
         }
         if let Some(f) = &self.faults {
             out.push_str(&format!(
@@ -418,6 +450,7 @@ mod tests {
             protocol: "alg1-cont".into(),
             n: 4,
             backend: "serial".into(),
+            resident: false,
             threads: 1,
             stats: "full".into(),
             rounds: 2,
@@ -486,13 +519,19 @@ mod tests {
     fn comm_totals_appear_only_for_message_runs() {
         let plain = sample().to_jsonl();
         assert!(!plain.contains("comm_messages"), "{plain}");
+        assert!(plain.contains("\"resident\": false"), "{plain}");
         let mut msg = sample();
         msg.backend = "message".into();
+        msg.resident = true;
         msg.comm = Some(CommTotals {
             messages: 12,
             values_sent: 34,
             halo_bytes: 272,
             max_round_shard_values: 9,
+            owned_values_in: 40,
+            owned_values_out: 8,
+            delta_values: 3,
+            collects: 2,
         });
         let text = msg.to_jsonl();
         let header = text.lines().next().unwrap();
@@ -503,8 +542,18 @@ mod tests {
             header.contains("\"comm_max_round_shard_values\": 9"),
             "{header}"
         );
+        assert!(header.contains("\"resident\": true"), "{header}");
+        assert!(header.contains("\"comm_owned_values_in\": 40"), "{header}");
+        assert!(header.contains("\"comm_owned_values_out\": 8"), "{header}");
+        assert!(header.contains("\"comm_delta_values\": 3"), "{header}");
+        assert!(header.contains("\"comm_collects\": 2"), "{header}");
         assert!(header.ends_with('}'), "header stays one JSON object");
         assert!(msg.summary().contains("shard messages: 12"));
+        assert!(
+            msg.summary().contains("coordinator transfer: 40 owned"),
+            "{}",
+            msg.summary()
+        );
     }
 
     #[test]
@@ -530,6 +579,7 @@ mod tests {
             values_sent: 2,
             halo_bytes: 16,
             max_round_shard_values: 2,
+            ..CommTotals::default()
         });
         let both = faulty.to_jsonl();
         let header = both.lines().next().unwrap();

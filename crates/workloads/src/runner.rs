@@ -152,6 +152,21 @@ where
     // One handle clone up front: a unit copy when telemetry is off, one
     // Arc increment when armed — either way the round loop borrows freely.
     let tel = engine.telemetry().clone();
+    // Shard-resident driving: workers keep their owned loads across
+    // rounds, the coordinator routes workload deltas by owner and reads
+    // loads back through the session's collect/sync phase. Fault-armed
+    // engines stay on the snapshot-based supervised path — recovery
+    // re-seeds workers from the coordinator's round-start snapshot,
+    // which a resident session by design does not hold.
+    let resident = matches!(
+        engine.backend(),
+        dlb_core::engine::Backend::Message { resident: true, .. }
+    ) && engine.faults().is_none();
+    if resident {
+        engine.resident_begin(loads);
+    }
+    let mut prev_loads: Vec<P::Load> = Vec::new();
+    let mut deltas: Vec<(u32, P::Load)> = Vec::new();
     let ctx = WorkloadCtx {
         initial_total: P::Load::total(loads),
     };
@@ -175,13 +190,39 @@ where
         let delta = match workload.as_deref_mut() {
             Some(w) => {
                 let t0 = tel.start();
-                let delta = w.apply(round, loads, &ctx);
+                let delta = if resident {
+                    // Diff the in-place mutation into sparse per-node
+                    // deltas the session routes to their owner shards —
+                    // the workers' frames stay authoritative, the
+                    // coordinator never resends whole owned slices.
+                    prev_loads.clone_from(loads);
+                    let delta = w.apply(round, loads, &ctx);
+                    deltas.clear();
+                    for (i, (before, after)) in prev_loads.iter().zip(loads.iter()).enumerate() {
+                        if before != after {
+                            deltas.push((i as u32, *after));
+                        }
+                    }
+                    engine.resident_apply(&deltas);
+                    delta
+                } else {
+                    w.apply(round, loads, &ctx)
+                };
                 tel.record(ENGINE_LANE, round, SpanPhase::WorkloadApply, t0);
                 delta
             }
             None => Default::default(),
         };
-        let stats = engine.round(loads);
+        let stats = if resident {
+            let stats = engine.round_resident();
+            // The record needs the post-round loads (imbalance, totals, Φ
+            // on stats-off rounds): sync the mirror — one collect on
+            // rounds whose stats level didn't already refresh it.
+            loads.copy_from_slice(engine.resident_loads());
+            stats
+        } else {
+            engine.round(loads)
+        };
         if let Some(c) = engine.comm_metrics() {
             let totals = comm.get_or_insert_with(CommTotals::default);
             totals.messages += c.messages as u64;
@@ -190,6 +231,10 @@ where
             totals.max_round_shard_values = totals
                 .max_round_shard_values
                 .max(c.max_shard_values_sent as u64);
+            totals.owned_values_in += c.owned_values_in as u64;
+            totals.owned_values_out += c.owned_values_out as u64;
+            totals.delta_values += c.delta_values as u64;
+            totals.collects += c.collects as u64;
         }
         let (phi, moved) = match &stats {
             Some(s) => (s.phi_after_f64(), s.moved_f64()),
@@ -235,6 +280,12 @@ where
         }
     }
 
+    if resident {
+        // End the session: the final sync is a no-op (the record loop
+        // left the mirror fresh) and the engine returns to snapshot-mode
+        // rounds for any caller reusing it.
+        engine.resident_end();
+    }
     let final_total = records.last().map_or(initial_total, |r| r.total);
     // An engine armed with a fault plan (even an empty one) reports its
     // executor-fault counters; unarmed engines omit the section.
@@ -258,6 +309,7 @@ where
         protocol: engine.protocol().name().to_string(),
         n: engine.protocol().n(),
         backend: engine.backend().name().to_string(),
+        resident,
         threads: engine.threads(),
         stats: stats_mode_name(engine.stats_mode()),
         rounds: records.len(),
@@ -308,7 +360,7 @@ fn compile_faults(sc: &Scenario, g: &dlb_graphs::Graph) -> Result<Option<FaultSe
     let Some(f) = &sc.faults else { return Ok(None) };
     let shards = f.resolved_shards(&sc.exec)?;
     let partition = match &sc.exec {
-        ExecSpec::Sharded { partition, .. } | ExecSpec::Message { partition } => *partition,
+        ExecSpec::Sharded { partition, .. } | ExecSpec::Message { partition, .. } => *partition,
         _ => dlb_graphs::PartitionSpec::Range { shards },
     };
     let part = partition.build(g);
@@ -426,6 +478,11 @@ impl ScenarioRunner {
         // The scenario's own exec was just validated; an override comes in
         // unchecked and must not panic inside the engine constructor.
         validate_exec(&exec)?;
+        if sc.faults.is_some() && matches!(exec, ExecSpec::Message { resident: true, .. }) {
+            return Err(
+                "faults need the snapshot-based message backend (drop resident = true)".into(),
+            );
+        }
         let g = sc.topology.build();
         let n = g.n();
         let stats = self.stats.unwrap_or(sc.stats);
@@ -617,6 +674,7 @@ mod tests {
             let msg = ScenarioRunner::new(sc.clone())
                 .with_exec(ExecSpec::Message {
                     partition: dlb_graphs::PartitionSpec::Bfs { shards: 6 },
+                    resident: false,
                 })
                 .run()
                 .unwrap();
@@ -906,6 +964,7 @@ mod tests {
         let msg = ScenarioRunner::new(traced)
             .with_exec(ExecSpec::Message {
                 partition: dlb_graphs::PartitionSpec::Bfs { shards: 4 },
+                resident: false,
             })
             .run()
             .unwrap();

@@ -545,7 +545,7 @@ pub fn validate_exec(exec: &ExecSpec) -> Result<(), String> {
         ExecSpec::Sharded { partition, .. } if partition.shards() == 0 => {
             Err("sharded backend needs shards >= 1".into())
         }
-        ExecSpec::Message { partition } if partition.shards() == 0 => {
+        ExecSpec::Message { partition, .. } if partition.shards() == 0 => {
             Err("message backend needs shards >= 1".into())
         }
         _ => Ok(()),
@@ -558,19 +558,24 @@ pub fn validate_exec(exec: &ExecSpec) -> Result<(), String> {
 /// home of the gating rules (`shards`/`partition` only with the sharded
 /// and message backends, `serial` is one thread, the message backend has
 /// no `threads` knob at all — one worker per shard, `partition` defaults
-/// to `range`, `threads` defaults to auto for pool/sharded), so file
-/// parsing and CLI overrides cannot drift apart.
+/// to `range`, `threads` defaults to auto for pool/sharded, `resident`
+/// is a message-backend-only knob), so file parsing and CLI overrides
+/// cannot drift apart.
 pub fn exec_spec_from_parts(
     backend: Option<&str>,
     threads: Option<usize>,
     shards: Option<usize>,
     partition: Option<&str>,
+    resident: Option<bool>,
 ) -> Result<ExecSpec, String> {
     let reject_shard_keys = || -> Result<(), String> {
         if shards.is_some() || partition.is_some() {
             return Err(
                 "shards/partition are only valid with backend = \"sharded\" or \"message\"".into(),
             );
+        }
+        if resident.is_some() {
+            return Err("resident is only valid with backend = \"message\"".into());
         }
         Ok(())
     };
@@ -593,6 +598,9 @@ pub fn exec_spec_from_parts(
             })
         }
         Some("sharded") => {
+            if resident.is_some() {
+                return Err("resident is only valid with backend = \"message\"".into());
+            }
             let shards = shards.ok_or("backend \"sharded\" needs shards")?;
             let partition = partition_from_name(partition.unwrap_or("range"), shards)?;
             Ok(ExecSpec::Sharded {
@@ -608,7 +616,10 @@ pub fn exec_spec_from_parts(
             }
             let shards = shards.ok_or("backend \"message\" needs shards")?;
             let partition = partition_from_name(partition.unwrap_or("range"), shards)?;
-            Ok(ExecSpec::Message { partition })
+            Ok(ExecSpec::Message {
+                partition,
+                resident: resident.unwrap_or(false),
+            })
         }
         Some(other) => Err(format!(
             "unknown backend {other:?} (expected serial, pool, sharded, or message)"
@@ -708,7 +719,7 @@ impl FaultsSpec {
     /// derives from the partition.
     pub fn resolved_shards(&self, exec: &ExecSpec) -> Result<usize, String> {
         let backend_shards = match exec {
-            ExecSpec::Sharded { partition, .. } | ExecSpec::Message { partition } => {
+            ExecSpec::Sharded { partition, .. } | ExecSpec::Message { partition, .. } => {
                 Some(partition.shards())
             }
             _ => None,
@@ -838,7 +849,7 @@ impl TelemetrySpec {
     /// (their spans all land on the engine lane).
     pub fn lanes(exec: &ExecSpec) -> usize {
         match exec {
-            ExecSpec::Sharded { partition, .. } | ExecSpec::Message { partition } => {
+            ExecSpec::Sharded { partition, .. } | ExecSpec::Message { partition, .. } => {
                 partition.shards()
             }
             _ => 0,
@@ -1119,6 +1130,11 @@ impl Scenario {
             }
             let message = matches!(self.exec, ExecSpec::Message { .. });
             let sharded = matches!(self.exec, ExecSpec::Sharded { .. });
+            if matches!(self.exec, ExecSpec::Message { resident: true, .. }) {
+                return Err(
+                    "faults need the snapshot-based message backend (drop resident = true)".into(),
+                );
+            }
             if (faults.panic || faults.delay_ms.is_some()) && !(sharded || message) {
                 return Err("faults panic/delay need backend = \"sharded\" or \"message\"".into());
             }
@@ -1144,6 +1160,7 @@ impl Scenario {
             "bursty-torus",
             "bursty-torus-sharded",
             "bursty-torus-message",
+            "bursty-torus-resident",
             "zipf-hypercube-drain",
             "diurnal-cycle",
             "adversarial-hetero",
@@ -1166,6 +1183,11 @@ impl Scenario {
     ///   only as batched messages); trajectory bit-identical to
     ///   `bursty-torus`, with per-round communication totals in its
     ///   report;
+    /// * `bursty-torus-resident` — `bursty-torus-message` with
+    ///   shard-resident rounds: workers keep their owned loads across
+    ///   rounds, the coordinator routes workload deltas by owner and
+    ///   collects owned values only on stats/read rounds; trajectory
+    ///   still bit-identical to `bursty-torus`;
     /// * `zipf-hypercube-drain` — discrete tokens on `Q_8` with Zipf
     ///   hotspot arrivals against a fixed per-node service capacity;
     /// * `diurnal-cycle` — continuous diffusion on a cycle under a
@@ -1219,6 +1241,15 @@ impl Scenario {
                 s.name = "bursty-torus-message".into();
                 s.with_exec(ExecSpec::Message {
                     partition: PartitionSpec::Bfs { shards: 8 },
+                    resident: false,
+                })
+            }
+            "bursty-torus-resident" => {
+                let mut s = Scenario::builtin("bursty-torus").expect("base builtin exists");
+                s.name = "bursty-torus-resident".into();
+                s.with_exec(ExecSpec::Message {
+                    partition: PartitionSpec::Bfs { shards: 8 },
+                    resident: true,
                 })
             }
             "zipf-hypercube-drain" => Scenario::new(

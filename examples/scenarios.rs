@@ -21,6 +21,10 @@
 //! * `--shards <k>` / `--partition <range|bfs>` — sharded/message-backend
 //!   parameters (without `--backend`, `--shards` implies
 //!   `--backend sharded`);
+//! * `--resident` — message-backend shard-resident rounds: workers keep
+//!   their owned loads across rounds and the coordinator collects them
+//!   only on stats/read rounds (implies `--backend message`; rejected
+//!   with `--faults`, which needs the snapshot-based supervised path);
 //! * `--faults <spec>` — inject deterministic faults, overriding any
 //!   `[faults]` section: a comma list like
 //!   `"every=40,down=5,seed=7,panic,drop,delay=3"` (bare words enable
@@ -62,10 +66,14 @@ fn exec_summary(exec: &ExecSpec) -> String {
                 threads.to_string()
             }
         ),
-        ExecSpec::Message { partition } => format!(
-            "message({} x{}, 1 worker/shard)",
+        ExecSpec::Message {
+            partition,
+            resident,
+        } => format!(
+            "message({} x{}, 1 worker/shard{})",
             partition.strategy_name(),
             partition.shards(),
+            if resident { ", resident" } else { "" },
         ),
     }
 }
@@ -89,15 +97,24 @@ fn exec_override() -> Option<ExecSpec> {
             .unwrap_or_else(|_| fail("--shards must be an integer"))
     });
     let strategy = arg_value("--partition");
+    let resident = std::env::args().any(|a| a == "--resident").then_some(true);
     let backend = arg_value("--backend")
+        .or_else(|| resident.map(|_| "message".to_string()))
         .or_else(|| (shards.is_some() || strategy.is_some()).then(|| "sharded".to_string()));
     if backend.is_none() {
-        return threads
-            .map(|t| exec_spec_from_parts(None, Some(t), None, None).unwrap_or_else(|e| fail(&e)));
+        return threads.map(|t| {
+            exec_spec_from_parts(None, Some(t), None, None, None).unwrap_or_else(|e| fail(&e))
+        });
     }
     Some(
-        exec_spec_from_parts(backend.as_deref(), threads, shards, strategy.as_deref())
-            .unwrap_or_else(|e| fail(&e)),
+        exec_spec_from_parts(
+            backend.as_deref(),
+            threads,
+            shards,
+            strategy.as_deref(),
+            resident,
+        )
+        .unwrap_or_else(|e| fail(&e)),
     )
 }
 
@@ -118,7 +135,7 @@ fn main() {
         }
         println!(
             "\nexec overrides: --backend serial|pool|sharded|message, --threads t, \
-             --shards k, --partition range|bfs\n\
+             --shards k, --partition range|bfs, --resident\n\
              fault injection: --faults \"every=40,down=5,seed=7,panic,drop,delay=3\""
         );
         return;
@@ -143,7 +160,7 @@ fn main() {
             eprintln!(
                 "usage: scenarios (--name <builtin> | --file <path>) \
                  [--backend serial|pool|sharded|message] [--threads t] [--shards k] \
-                 [--partition range|bfs] [--faults spec] [--json out.jsonl] \
+                 [--partition range|bfs] [--resident] [--faults spec] [--json out.jsonl] \
                  [--trace out.trace] [--trace-format jsonl|chrome] \
                  [--print-spec] [--list]"
             );
@@ -231,6 +248,10 @@ fn main() {
                 values_sent: c.values_sent,
                 halo_bytes: c.halo_bytes,
                 max_shard_values_sent: c.max_round_shard_values,
+                owned_values_in: c.owned_values_in,
+                owned_values_out: c.owned_values_out,
+                delta_values: c.delta_values,
+                collects: c.collects,
             }),
             shard: None,
             faults: report

@@ -76,6 +76,21 @@ fn run_collecting<P: Protocol>(
     (loads, stats)
 }
 
+/// Same collection through the message backend's resident-session API:
+/// workers keep their owned loads across rounds and the coordinator only
+/// collects them when the stats mode (or the final `resident_end`) needs
+/// them.
+fn run_collecting_resident<P: Protocol>(
+    mut engine: Engine<P>,
+    init: &[P::Load],
+    rounds: usize,
+) -> (Vec<P::Load>, Vec<Option<P::Stats>>) {
+    engine.resident_begin(init);
+    let stats = (0..rounds).map(|_| engine.round_resident()).collect();
+    let loads = engine.resident_end();
+    (loads, stats)
+}
+
 /// Runs `rounds` rounds on every backend — serial, pool, sharded/range,
 /// sharded/BFS (with one shard count near the thread count and one
 /// exceeding `n`), and the message backend (shard-isolated workers over
@@ -114,16 +129,19 @@ where
         partition: PartitionSpec::Range {
             shards: threads + 1,
         },
+        resident: false,
     });
     backends.push(Backend::Message {
         partition: PartitionSpec::Bfs {
             shards: threads + 1,
         },
+        resident: false,
     });
     backends.push(Backend::Message {
         partition: PartitionSpec::Range {
             shards: init.len() + 3,
         },
+        resident: false,
     });
     for backend in backends {
         let (loads, stats) = run_collecting(Engine::with_backend(make(), backend), init, rounds);
@@ -134,6 +152,36 @@ where
         assert_eq!(
             serial_stats, stats,
             "{name}: serial and {backend:?} statistics diverged at {threads} threads"
+        );
+    }
+
+    // The resident-session axis: shard-resident rounds (workers keep
+    // their owned loads, the coordinator collects only when the stats
+    // mode needs them) must reproduce the identical loads and stats.
+    for partition in [
+        PartitionSpec::Range {
+            shards: threads + 1,
+        },
+        PartitionSpec::Bfs {
+            shards: threads + 1,
+        },
+        PartitionSpec::Range {
+            shards: init.len() + 3,
+        },
+    ] {
+        let backend = Backend::Message {
+            partition,
+            resident: true,
+        };
+        let (loads, stats) =
+            run_collecting_resident(Engine::with_backend(make(), backend), init, rounds);
+        assert_eq!(
+            serial, loads,
+            "{name}: serial and resident {backend:?} loads diverged at {threads} threads"
+        );
+        assert_eq!(
+            serial_stats, stats,
+            "{name}: serial and resident {backend:?} statistics diverged at {threads} threads"
         );
     }
 
@@ -152,6 +200,7 @@ where
             partition: PartitionSpec::Range {
                 shards: threads + 1,
             },
+            resident: false,
         },
     ];
     for kind in KernelKind::ALL {

@@ -220,7 +220,7 @@ proptest! {
         let plan = plan_from(&events);
         for backend in [
             Backend::Sharded { partition: PartitionSpec::Range { shards }, threads: 2 },
-            Backend::Message { partition: PartitionSpec::Range { shards } },
+            Backend::Message { partition: PartitionSpec::Range { shards }, resident: false },
         ] {
             let mut reference = Engine::with_backend(ContinuousDiffusion::new(&g), Backend::Serial);
             let mut faulted = Engine::with_backend(ContinuousDiffusion::new(&g), backend)
@@ -242,7 +242,7 @@ proptest! {
         let plan = plan_from(&events);
         for backend in [
             Backend::Sharded { partition: PartitionSpec::Range { shards }, threads: 2 },
-            Backend::Message { partition: PartitionSpec::Range { shards } },
+            Backend::Message { partition: PartitionSpec::Range { shards }, resident: false },
         ] {
             let mut reference = Engine::with_backend(DiscreteDiffusion::new(&g), Backend::Serial);
             let mut faulted = Engine::with_backend(DiscreteDiffusion::new(&g), backend)

@@ -136,6 +136,7 @@ fn kernel_backend_cross_product_stays_bit_identical_with_excess_shards() {
             },
             Backend::Message {
                 partition: PartitionSpec::Range { shards: g.n() + 5 },
+                resident: false,
             },
         ];
         for kind in KernelKind::ALL {

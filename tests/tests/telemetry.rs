@@ -31,7 +31,13 @@ fn backends() -> [(&'static str, Backend); 4] {
                 threads: 2,
             },
         ),
-        ("message", Backend::Message { partition }),
+        (
+            "message",
+            Backend::Message {
+                partition,
+                resident: false,
+            },
+        ),
     ]
 }
 
@@ -116,9 +122,14 @@ fn message_worker_spans_are_well_nested_per_round() {
     let g = topology::torus2d(8, 8);
     let partition = PartitionSpec::Range { shards: SHARDS };
     let tel = Telemetry::armed(SHARDS, 1 << 12);
-    let mut engine =
-        Engine::with_backend(ContinuousDiffusion::new(&g), Backend::Message { partition })
-            .with_telemetry(tel.clone());
+    let mut engine = Engine::with_backend(
+        ContinuousDiffusion::new(&g),
+        Backend::Message {
+            partition,
+            resident: false,
+        },
+    )
+    .with_telemetry(tel.clone());
     let mut loads = vec![0.0f64; g.n()];
     loads[0] = 6400.0;
     let rounds = 5u64;
