@@ -27,6 +27,13 @@
 //!   asserts via the recorded `owned_values_in/out`, `delta_values`
 //!   and `collects` counters) — the legacy-vs-resident gap within this
 //!   group isolates the ownership-transfer tax alone;
+//! - **process_round** — one `Engine::round` on the process backend
+//!   (each shard a `dlb-shard-worker` OS process, all traffic framed
+//!   `dlb-wire/1` over Unix sockets; `range2p`/`bfs8p` × `full`/`off`).
+//!   Each record carries the framed `wire_bytes_out/in` the coordinator
+//!   moved in the measured round; the gap to `message_round` on the same
+//!   partition is the price of process isolation (serialization +
+//!   syscalls in place of in-process channels);
 //! - **fault_overhead** — one `Engine::round` (stats off) on the sharded
 //!   and message backends with fault injection `absent` vs. `armed_idle`
 //!   (a `FaultPlan` installed whose only event never fires). `absent`
@@ -100,6 +107,10 @@ struct Meta {
     owned_values_out: Option<usize>,
     delta_values: Option<usize>,
     collects: Option<usize>,
+    /// Process variants: framed `dlb-wire/1` bytes the coordinator wrote
+    /// to / read from the worker sockets in the measured round.
+    wire_bytes_out: Option<usize>,
+    wire_bytes_in: Option<usize>,
     /// Groups running off the shared torus instance leave these `None`;
     /// `kernel_gather` benches its own per-topology instances.
     topology: Option<&'static str>,
@@ -121,6 +132,8 @@ impl Meta {
             owned_values_out: None,
             delta_values: None,
             collects: None,
+            wire_bytes_out: None,
+            wire_bytes_in: None,
             topology: None,
             n: None,
         }
@@ -360,6 +373,63 @@ fn message_rounds(c: &mut Criterion, inst: &Instance, meta: &mut HashMap<String,
                 b.iter(|| black_box(engine.round_resident().map(|s| s.phi_after)));
             });
             engine.resident_end();
+        }
+    }
+    group.finish();
+}
+
+/// The process-backend round cost: one `Engine::round` with each shard a
+/// real OS process and every byte crossing a `dlb-wire/1` Unix socket.
+/// The gap to `message_round` on the same partition is the price of true
+/// process isolation — serialization, syscalls and scheduler handoffs in
+/// place of in-process channels. Each record carries the framed
+/// `wire_bytes_out/in` the coordinator actually moved in the measured
+/// round, so the trajectory tracks wire volume alongside per-round time.
+fn process_rounds(c: &mut Criterion, inst: &Instance, meta: &mut HashMap<String, Meta>) {
+    let mut group = c.benchmark_group("process_round");
+    // Fixed shard counts (not CPU-derived): a process fleet is priced by
+    // its wire traffic, and fixed fleets keep the trajectory comparable
+    // across machines. Two processes bound the protocol floor; eight is
+    // the scenario default (`--backend process`).
+    for spec in [
+        PartitionSpec::Range { shards: 2 },
+        PartitionSpec::Bfs { shards: 8 },
+    ] {
+        for mode in [StatsMode::Full, StatsMode::Off] {
+            let variant = format!(
+                "{}{}p/{}",
+                spec.strategy_name(),
+                spec.shards(),
+                mode_name(mode)
+            );
+            let mut engine = Engine::with_backend(
+                ContinuousDiffusion::new(&inst.g),
+                Backend::Process {
+                    partition: spec,
+                    transport: dlb_core::Transport::Unix,
+                },
+            )
+            .with_stats_mode(mode);
+            let mut loads = inst.init.clone();
+            // Warm two rounds: the first spawns the fleet and broadcasts
+            // the plan frame (graph + divisors — a one-time cost), the
+            // second is the steady shape being timed, so the per-round
+            // wire metadata in the JSON excludes the plan broadcast.
+            engine.round(&mut loads);
+            engine.round(&mut loads);
+            let metrics = engine.shard_metrics().expect("plan derived");
+            let comm = engine.comm_metrics().expect("comm recorded");
+            let mut m = Meta::new("process_round", variant.clone(), 1, spec.shards());
+            m.edge_cut = Some(metrics.edge_cut);
+            m.halo = Some(metrics.halo);
+            m.messages = Some(comm.messages);
+            m.values_sent = Some(comm.values_sent);
+            m.wire_bytes_out = Some(comm.wire_bytes_out);
+            m.wire_bytes_in = Some(comm.wire_bytes_in);
+            meta.insert(format!("process_round/{variant}"), m);
+            group.bench_function(variant, |b| {
+                b.iter(|| black_box(engine.round(&mut loads).map(|s| s.phi_after)));
+            });
         }
     }
     group.finish();
@@ -674,6 +744,7 @@ fn main() {
     engine_rounds(&mut c, &inst, &mut meta);
     sharded_rounds(&mut c, &inst, &mut meta);
     message_rounds(&mut c, &inst, &mut meta);
+    process_rounds(&mut c, &inst, &mut meta);
     fault_overhead(&mut c, &inst, &mut meta);
     telemetry_overhead(&mut c, &inst, &mut meta);
     thread_scaling(&mut c, &inst, &mut meta);
@@ -710,6 +781,8 @@ fn main() {
                 owned_values_out: m.owned_values_out,
                 delta_values: m.delta_values,
                 collects: m.collects,
+                wire_bytes_out: m.wire_bytes_out,
+                wire_bytes_in: m.wire_bytes_in,
                 speedup_vs_serial: None,
             })
         })

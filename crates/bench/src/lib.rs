@@ -1,3 +1,5 @@
+#![deny(rustdoc::broken_intra_doc_links)]
+
 //! Shared fixtures for the Criterion benchmarks and the `repro` binary.
 //!
 //! Every bench group pulls its instances from here so that bench names
@@ -97,6 +99,12 @@ pub mod perf_json {
         /// Resident message rounds only: collect phases in the measured
         /// round.
         pub collects: Option<usize>,
+        /// Process-backend only: framed `dlb-wire/1` bytes the
+        /// coordinator wrote to worker sockets in the measured round.
+        pub wire_bytes_out: Option<usize>,
+        /// Process-backend only: framed `dlb-wire/1` bytes the
+        /// coordinator read back in the measured round.
+        pub wire_bytes_in: Option<usize>,
         /// Thread-scaling records only: this variant's speedup relative
         /// to the serial single-thread baseline of the same run
         /// (`serial_median / variant_median`; > 1 is faster than
@@ -160,6 +168,12 @@ pub mod perf_json {
             if let Some(v) = r.collects {
                 shard_meta.push_str(&format!(", \"collects\": {v}"));
             }
+            if let Some(v) = r.wire_bytes_out {
+                shard_meta.push_str(&format!(", \"wire_bytes_out\": {v}"));
+            }
+            if let Some(v) = r.wire_bytes_in {
+                shard_meta.push_str(&format!(", \"wire_bytes_in\": {v}"));
+            }
             if let Some(speedup) = r.speedup_vs_serial {
                 if speedup.is_finite() {
                     shard_meta.push_str(&format!(", \"speedup_vs_serial\": {speedup:.3}"));
@@ -219,6 +233,8 @@ mod tests {
             owned_values_out: None,
             delta_values: None,
             collects: None,
+            wire_bytes_out: None,
+            wire_bytes_in: None,
             speedup_vs_serial: None,
         };
         let path = std::env::temp_dir().join("dlb_bench_schema_test.json");

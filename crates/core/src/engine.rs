@@ -118,6 +118,7 @@ pub trait Protocol {
         + std::fmt::Debug
         + LoadPotential
         + DiffusionLoad
+        + crate::process::WireLoad
         + 'static;
 
     /// Per-round statistics produced by [`Protocol::compute_stats`].
@@ -488,17 +489,50 @@ pub enum Backend {
         /// deliberately don't hold.
         resident: bool,
     },
+    /// Distributed execution: one `dlb-shard-worker` **OS process** per
+    /// shard, exchanging the message backend's round protocol as
+    /// `dlb-wire/1` frames over a byte transport (Unix domain sockets or
+    /// TCP loopback — see [`Transport`](dlb_wire::Transport) and
+    /// `docs/WIRE.md`). Same partition planning, same ordering contract,
+    /// same bit-identical results; serialization is the only new moving
+    /// part, and [`Engine::comm_metrics`] additionally reports the
+    /// framed bytes that actually crossed the sockets. A worker that
+    /// dies mid-round surfaces as a typed [`EngineError`] naming the
+    /// shard (phase [`EnginePhase::Wire`]) within the wire timeout —
+    /// never a deadlock. See the `process` module docs for the failure
+    /// model and round modes.
+    Process {
+        /// How the node set is partitioned into shards (= worker
+        /// processes).
+        partition: PartitionSpec,
+        /// Byte transport the coordinator and workers rendezvous over.
+        transport: dlb_wire::Transport,
+    },
 }
 
 impl Backend {
-    /// Stable backend name (`serial`, `pool`, `sharded`, `message`) for
-    /// reports and scenario files.
+    /// Stable backend name (`serial`, `pool`, `sharded`, `message`,
+    /// `process`) for reports and scenario files.
+    ///
+    /// ```
+    /// use dlb_core::{Backend, Transport};
+    /// use dlb_graphs::partition::PartitionSpec;
+    ///
+    /// assert_eq!(Backend::Serial.name(), "serial");
+    /// assert_eq!(Backend::Pool { threads: 4 }.name(), "pool");
+    /// let process = Backend::Process {
+    ///     partition: PartitionSpec::Range { shards: 4 },
+    ///     transport: Transport::Unix,
+    /// };
+    /// assert_eq!(process.name(), "process");
+    /// ```
     pub fn name(&self) -> &'static str {
         match self {
             Backend::Serial => "serial",
             Backend::Pool { .. } => "pool",
             Backend::Sharded { .. } => "sharded",
             Backend::Message { .. } => "message",
+            Backend::Process { .. } => "process",
         }
     }
 }
@@ -514,6 +548,10 @@ pub enum EnginePhase {
     Broadcast,
     /// The message backend's exchange round.
     Exchange,
+    /// The process backend's wire round: a worker process died (EOF /
+    /// broken pipe), timed out, or reported a failed round body over
+    /// `dlb-wire/1`.
+    Wire,
 }
 
 impl std::fmt::Display for EnginePhase {
@@ -522,6 +560,7 @@ impl std::fmt::Display for EnginePhase {
             EnginePhase::Gather => "gather",
             EnginePhase::Broadcast => "broadcast",
             EnginePhase::Exchange => "exchange",
+            EnginePhase::Wire => "wire",
         })
     }
 }
@@ -1131,7 +1170,7 @@ const TRIVIAL_PLAN_KEY: u64 = 0;
 /// beyond the graph (e.g. the partition spec) live with the executor and
 /// are captured by the `build` closure.
 #[derive(Debug)]
-struct PlanCache<T> {
+pub(crate) struct PlanCache<T> {
     /// Memoized entries keyed by graph fingerprint, oldest first.
     entries: Vec<(u64, T)>,
     /// Index into `entries` of the entry in use (`usize::MAX` before the
@@ -1139,11 +1178,11 @@ struct PlanCache<T> {
     current: usize,
     /// The protocol's `graph_version` the current entry was resolved for.
     cached_version: Option<u64>,
-    built: u64,
+    pub(crate) built: u64,
 }
 
 impl<T> PlanCache<T> {
-    fn new() -> Self {
+    pub(crate) fn new() -> Self {
         PlanCache {
             entries: Vec::new(),
             current: usize::MAX,
@@ -1153,17 +1192,23 @@ impl<T> PlanCache<T> {
     }
 
     /// Whether a current entry exists (false before the first round).
-    fn resolved(&self) -> bool {
+    pub(crate) fn resolved(&self) -> bool {
         self.current < self.entries.len()
     }
 
-    fn current(&self) -> &T {
+    pub(crate) fn current(&self) -> &T {
         &self.entries[self.current].1
+    }
+
+    /// Fingerprint key of the current entry (the process backend's plan
+    /// broadcast key).
+    pub(crate) fn current_key(&self) -> u64 {
+        self.entries[self.current].0
     }
 
     /// Resolves the entry for the protocol's current graph, building via
     /// `build(graph, n)` on a cache miss.
-    fn refresh<P: Protocol>(
+    pub(crate) fn refresh<P: Protocol>(
         &mut self,
         protocol: &P,
         build: impl FnOnce(Option<&Graph>, usize) -> T,
@@ -1304,6 +1349,15 @@ pub struct CommMetrics {
     /// collect, or an explicit [`Engine::resident_sync`] since the last
     /// round).
     pub collects: usize,
+    /// Process backend only: framed `dlb-wire/1` bytes the coordinator
+    /// actually **wrote** to worker sockets this round — envelopes
+    /// included, measured at the socket, not reconstructed as
+    /// `values × size_of`. Zero on the in-process backends, which move
+    /// no bytes.
+    pub wire_bytes_out: usize,
+    /// Process backend only: framed wire bytes the coordinator **read**
+    /// back from worker sockets this round.
+    pub wire_bytes_in: usize,
 }
 
 /// One batched exchange group's id list. Shared (`Arc`) because every
@@ -1317,7 +1371,7 @@ type ExchangeIds = std::sync::Arc<Vec<u32>>;
 /// [`ShardPlan`] it was derived from and memoized per distinct graph
 /// exactly like the sharded backend's plans.
 #[derive(Debug)]
-struct MessagePlan {
+pub(crate) struct MessagePlan {
     /// The underlying shard plan: one view per shard
     /// (interior/boundary classification and owned lists — the gather
     /// order within a shard) plus the locality metrics.
@@ -1327,16 +1381,16 @@ struct MessagePlan {
     send: Vec<Vec<(usize, ExchangeIds)>>,
     /// `recv[s]` = [`ShardView::halo_groups`] of shard `s` — one batched
     /// message expected per entry.
-    recv: Vec<Vec<(usize, ExchangeIds)>>,
+    pub(crate) recv: Vec<Vec<(usize, ExchangeIds)>>,
     /// True for graph-less protocols (trivial plan): reads are not
     /// neighbourhood-local, so every shard broadcasts its whole owned
     /// block to every other computing shard and the gather waits for the
     /// full exchange before computing anything.
-    full_exchange: bool,
+    pub(crate) full_exchange: bool,
 }
 
 impl MessagePlan {
-    fn build(spec: &PartitionSpec, graph: Option<&Graph>, n: usize) -> MessagePlan {
+    pub(crate) fn build(spec: &PartitionSpec, graph: Option<&Graph>, n: usize) -> MessagePlan {
         let plan = build_shard_plan(spec, graph, n);
         let shards = plan.views().len();
         let full_exchange = graph.is_none();
@@ -1387,7 +1441,7 @@ impl MessagePlan {
         }
     }
 
-    fn views(&self) -> &[ShardView] {
+    pub(crate) fn views(&self) -> &[ShardView] {
         self.plan.views()
     }
 }
@@ -2679,17 +2733,18 @@ enum Exec<P: Protocol> {
         exec: Box<MessageExec<<P as Protocol>::Load>>,
         make_kernel: MessageKernelFn<P>,
     },
+    Process(Box<crate::process::ProcessExec<<P as Protocol>::Load>>),
 }
 
 impl<P: Protocol> Exec<P> {
-    /// The pool backing statistics reductions, if any. The message
-    /// backend folds its statistics on the coordinator (`None`): the
-    /// blocked reductions are bit-identical with or without a pool, and
-    /// the shard workers are round-scoped channel servers, not a gather
-    /// pool.
+    /// The pool backing statistics reductions, if any. The message and
+    /// process backends fold their statistics on the coordinator
+    /// (`None`): the blocked reductions are bit-identical with or
+    /// without a pool, and their shard workers are round-scoped
+    /// channel/socket servers, not a gather pool.
     fn stats_pool(&self) -> Option<&WorkerPool> {
         match self {
-            Exec::Serial | Exec::Message { .. } => None,
+            Exec::Serial | Exec::Message { .. } | Exec::Process(_) => None,
             Exec::Pool { pool, .. } => Some(pool),
             Exec::Sharded(sh) => Some(&sh.pool),
         }
@@ -2842,6 +2897,30 @@ impl<P: Protocol> Engine<P> {
     /// `resident: true`, so runners and benches route rounds through the
     /// resident session API ([`Engine::resident_begin`] /
     /// [`Engine::round_resident`]) instead of [`Engine::round`].
+    ///
+    /// ```
+    /// use dlb_core::continuous::ContinuousDiffusion;
+    /// use dlb_core::{Backend, Engine};
+    /// use dlb_graphs::partition::PartitionSpec;
+    /// use dlb_graphs::topology;
+    ///
+    /// let g = topology::torus2d(4, 4);
+    /// let mut engine = Engine::message_resident(
+    ///     ContinuousDiffusion::new(&g),
+    ///     PartitionSpec::Range { shards: 2 },
+    /// );
+    /// assert!(matches!(
+    ///     engine.backend(),
+    ///     Backend::Message { resident: true, .. }
+    /// ));
+    ///
+    /// let mut loads = vec![1.0_f64; 16];
+    /// loads[0] = 16.0;
+    /// engine.resident_begin(&loads);      // loads now live on the workers
+    /// engine.round_resident();
+    /// let finals = engine.resident_end(); // collected back from the shards
+    /// assert_eq!(finals.len(), 16);
+    /// ```
     pub fn message_resident(protocol: P, partition: PartitionSpec) -> Self
     where
         P: Sync,
@@ -2851,6 +2930,56 @@ impl<P: Protocol> Engine<P> {
             exec.resident_backend = true;
         }
         engine
+    }
+
+    /// Process executor: one `dlb-shard-worker` **OS process** per shard,
+    /// spawned here and connected over `transport` (the fleet lives for
+    /// the engine's lifetime; [`Drop`] shuts it down and reaps every
+    /// child). Rounds run the message backend's exchange shape as
+    /// `dlb-wire/1` frames — see [`Backend::Process`] and the
+    /// [`process`](crate::process) module docs.
+    ///
+    /// Unlike the thread backends this does **not** require `P: Sync`:
+    /// the coordinator is single-threaded and the workers are separate
+    /// processes. Panics if the worker binary cannot be found (build it
+    /// with `cargo build -p dlb-worker`, or set `DLB_WORKER_BIN`) or a
+    /// worker fails its handshake.
+    ///
+    /// ```no_run
+    /// use dlb_core::continuous::ContinuousDiffusion;
+    /// use dlb_core::{Engine, Transport};
+    /// use dlb_graphs::partition::PartitionSpec;
+    /// use dlb_graphs::topology;
+    ///
+    /// let g = topology::torus2d(8, 8);
+    /// let mut loads = vec![1.0; 64];
+    /// loads[0] = 640.0;
+    /// let mut engine = Engine::process(
+    ///     ContinuousDiffusion::new(&g),
+    ///     PartitionSpec::Range { shards: 4 },
+    ///     Transport::Unix,
+    /// );
+    /// engine.round(&mut loads);
+    /// let comm = engine.comm_metrics().unwrap();
+    /// assert!(comm.wire_bytes_out > 0);
+    /// ```
+    pub fn process(protocol: P, partition: PartitionSpec, transport: dlb_wire::Transport) -> Self {
+        assert!(partition.shards() >= 1, "process backend needs >= 1 shard");
+        let n = protocol.n();
+        Engine {
+            back: vec![P::Load::default(); n],
+            exec: Exec::Process(Box::new(crate::process::ProcessExec::new(
+                partition, n, transport,
+            ))),
+            protocol,
+            kernel: KernelState::new(),
+            stats_mode: StatsMode::default(),
+            rounds_run: 0,
+            faults: None,
+            fault_stats: FaultStats::default(),
+            telemetry: Telemetry::Off,
+            resident: None,
+        }
     }
 
     /// Builds the executor a [`Backend`] value describes. Protocols that
@@ -2873,6 +3002,10 @@ impl<P: Protocol> Engine<P> {
                 partition,
                 resident: true,
             } => Engine::message_resident(protocol, partition),
+            Backend::Process {
+                partition,
+                transport,
+            } => Engine::process(protocol, partition, transport),
         }
     }
 
@@ -3034,6 +3167,7 @@ impl<P: Protocol> Engine<P> {
     pub fn threads(&self) -> usize {
         match &self.exec {
             Exec::Message { exec, .. } => exec.shards(),
+            Exec::Process(exec) => exec.shards(),
             other => other.stats_pool().map_or(1, WorkerPool::threads),
         }
     }
@@ -3055,13 +3189,35 @@ impl<P: Protocol> Engine<P> {
                 partition: exec.spec,
                 resident: exec.resident_backend,
             },
+            Exec::Process(exec) => Backend::Process {
+                partition: exec.spec,
+                transport: exec.transport,
+            },
         }
     }
 
-    /// Locality/communication metrics of the sharded or message
-    /// backend's current plan: `None` for the serial and pool backends,
-    /// and before the first round (plans are derived lazily against the
-    /// round's graph).
+    /// Locality/communication metrics of the sharded, message, or
+    /// process backend's current plan: `None` for the serial and pool
+    /// backends, and before the first round (plans are derived lazily
+    /// against the round's graph).
+    ///
+    /// ```
+    /// use dlb_core::continuous::ContinuousDiffusion;
+    /// use dlb_core::Engine;
+    /// use dlb_graphs::partition::PartitionSpec;
+    /// use dlb_graphs::topology;
+    ///
+    /// let g = topology::torus2d(4, 4);
+    /// let mut engine =
+    ///     Engine::message(ContinuousDiffusion::new(&g), PartitionSpec::Range { shards: 2 });
+    /// assert!(engine.shard_metrics().is_none()); // no round yet, no plan yet
+    ///
+    /// let mut loads = vec![1.0_f64; 16];
+    /// engine.round(&mut loads);
+    /// let metrics = engine.shard_metrics().unwrap();
+    /// assert_eq!(metrics.shards, 2);
+    /// assert!(metrics.halo > 0); // a split torus always crosses shards
+    /// ```
     pub fn shard_metrics(&self) -> Option<ShardMetrics> {
         match &self.exec {
             Exec::Sharded(sh) if sh.plans.resolved() => {
@@ -3084,20 +3240,75 @@ impl<P: Protocol> Engine<P> {
                     plans_built: exec.plans.built,
                 })
             }
+            Exec::Process(exec) if exec.plans.resolved() => {
+                let plan = exec.plans.current();
+                Some(ShardMetrics {
+                    shards: plan.views().len(),
+                    edge_cut: plan.plan.edge_cut(),
+                    halo: plan.plan.halo_total(),
+                    interior: plan.plan.interior_total(),
+                    plans_built: exec.plans.built,
+                })
+            }
             _ => None,
         }
     }
 
-    /// Communication metrics of the message backend's most recent round
-    /// (messages posted, values/bytes moved, largest per-shard send):
-    /// `None` for every other backend, and before the first message
-    /// round. Shared-memory backends move no messages — their
-    /// "exchange" is the snapshot swap — so only the message backend
-    /// reports here.
+    /// Communication metrics of the message or process backend's most
+    /// recent round (messages posted, values/bytes moved, largest
+    /// per-shard send — plus, on the process backend, the framed
+    /// `dlb-wire/1` bytes in `wire_bytes_out`/`wire_bytes_in`): `None`
+    /// for every other backend, and before the first round.
+    /// Shared-memory backends move no messages — their "exchange" is
+    /// the snapshot swap — so only the communicating backends report
+    /// here.
+    ///
+    /// ```
+    /// use dlb_core::continuous::ContinuousDiffusion;
+    /// use dlb_core::Engine;
+    /// use dlb_graphs::partition::PartitionSpec;
+    /// use dlb_graphs::topology;
+    ///
+    /// let g = topology::torus2d(4, 4);
+    /// let mut engine =
+    ///     Engine::message(ContinuousDiffusion::new(&g), PartitionSpec::Range { shards: 2 });
+    /// assert!(engine.comm_metrics().is_none()); // nothing exchanged yet
+    ///
+    /// let mut loads = vec![1.0_f64; 16];
+    /// engine.round(&mut loads);
+    /// let comm = engine.comm_metrics().unwrap();
+    /// assert_eq!(comm.values_sent, engine.shard_metrics().unwrap().halo);
+    /// assert_eq!(comm.wire_bytes_out, 0); // in-process channels, no framing
+    /// ```
     pub fn comm_metrics(&self) -> Option<CommMetrics> {
         match &self.exec {
             Exec::Message { exec, .. } => exec.last_comm,
+            Exec::Process(exec) => exec.last_comm,
             _ => None,
+        }
+    }
+
+    /// OS process ids of the process backend's shard workers, in shard
+    /// order (`None` on every other backend) — the operator's handle for
+    /// `ps`/`/proc` inspection and for external chaos tooling.
+    pub fn process_worker_pids(&self) -> Option<Vec<u32>> {
+        match &self.exec {
+            Exec::Process(exec) => Some(exec.worker_pids()),
+            _ => None,
+        }
+    }
+
+    /// Kills the given shard's worker process (SIGKILL) — the chaos-
+    /// testing entry point proving the no-deadlock design: the next
+    /// [`Engine::try_round`] returns a typed [`EngineError`] naming the
+    /// shard (phase [`EnginePhase::Wire`]) within the wire timeout,
+    /// instead of hanging on a barrier. Panics on non-process backends;
+    /// there is no respawn — the engine stays typed-failed for that
+    /// shard until rebuilt.
+    pub fn process_kill_worker(&mut self, shard: usize) {
+        match &mut self.exec {
+            Exec::Process(exec) => exec.kill_worker(shard),
+            _ => panic!("process_kill_worker needs the process backend"),
         }
     }
 
@@ -3291,6 +3502,41 @@ impl<P: Protocol> Engine<P> {
                         shard,
                         round: round_no,
                         phase: EnginePhase::Exchange,
+                    })?;
+                }
+                Exec::Process(exec) => {
+                    // Same post-begin_round plan resolution and the same
+                    // MessagePlan — the wire round reuses the message
+                    // backend's exchange schedule wholesale.
+                    let spec = exec.spec;
+                    let t_plan = tel.start();
+                    let built_before = exec.plans.built;
+                    exec.plans.refresh(protocol, |graph, n| {
+                        std::sync::Arc::new(MessagePlan::build(&spec, graph, n))
+                    });
+                    if exec.plans.built > built_before {
+                        tel.record(ENGINE_LANE, round_no, SpanPhase::Plan, t_plan);
+                    }
+                    // Fault injection targets in-process shard workers;
+                    // the process backend's failure surface is real OS
+                    // processes (kill via Engine::process_kill_worker),
+                    // so injected executor faults are ignored here like
+                    // on the serial/pool backends — the scenario layer
+                    // rejects the combination outright.
+                    exec.round(
+                        snapshot,
+                        &mut self.back,
+                        protocol.gather_spec(),
+                        &mut |nodes, out| {
+                            out.extend(nodes.iter().map(|&v| protocol.node_new_load(snapshot, v)))
+                        },
+                        tel,
+                        round_no,
+                    )
+                    .map_err(|shard| EngineError {
+                        shard,
+                        round: round_no,
+                        phase: EnginePhase::Wire,
                     })?;
                 }
             }

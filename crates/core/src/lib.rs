@@ -1,4 +1,5 @@
 #![warn(missing_docs)]
+#![deny(rustdoc::broken_intra_doc_links)]
 
 //! # dlb-core
 //!
@@ -77,6 +78,7 @@ pub mod init;
 pub mod kernels;
 pub mod model;
 pub mod potential;
+pub mod process;
 pub mod random_partner;
 pub mod runner;
 pub mod seq;
@@ -87,7 +89,11 @@ pub mod seq;
 /// registry via `Engine::metrics_snapshot`.
 pub use dlb_telemetry as telemetry;
 pub use dlb_telemetry::{MetricsSnapshot, Recorder, Telemetry};
+/// The process backend's byte transport selector (re-exported
+/// `dlb_wire`), accepted by [`Backend::Process`].
+pub use dlb_wire::Transport;
 pub use engine::{Backend, Engine, EngineError, EnginePhase, IntoEngine, Protocol, ShardMetrics};
 pub use faults::{FaultEvent, FaultKind, FaultPlan, FaultStats};
 pub use kernels::{DiffusionLoad, GatherSpec, KernelKind};
 pub use model::{ContinuousBalancer, DiscreteBalancer, DiscreteRoundStats, RoundStats};
+pub use process::{run_worker, WireLoad};

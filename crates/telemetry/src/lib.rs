@@ -1,3 +1,5 @@
+#![deny(rustdoc::broken_intra_doc_links)]
+
 //! Per-phase, per-lane round tracing for the diffusion load-balancing engine.
 //!
 //! The engine's existing counters (`CommMetrics`, `ShardMetrics`, `FaultStats`)
@@ -75,11 +77,17 @@ pub enum Phase {
     /// Coordinator collecting owned values back from resident workers —
     /// a stats-on round, a caller reading loads, or session end.
     Collect,
+    /// Process backend: encoding + writing a worker's inbound wire
+    /// frames (plan, round command, owned seed, halo batches).
+    Serialize,
+    /// Process backend: reading + decoding a worker's result frames
+    /// (results, done receipt).
+    Deserialize,
 }
 
 impl Phase {
     /// All phases, in taxonomy order.
-    pub const ALL: [Phase; 11] = [
+    pub const ALL: [Phase; 13] = [
         Phase::Plan,
         Phase::ScatterOwned,
         Phase::PostHalo,
@@ -91,6 +99,8 @@ impl Phase {
         Phase::FaultRecovery,
         Phase::DeltaScatter,
         Phase::Collect,
+        Phase::Serialize,
+        Phase::Deserialize,
     ];
 
     /// Stable kebab-case name used in both export formats.
@@ -107,6 +117,8 @@ impl Phase {
             Phase::FaultRecovery => "fault-recovery",
             Phase::DeltaScatter => "delta-scatter",
             Phase::Collect => "collect",
+            Phase::Serialize => "serialize",
+            Phase::Deserialize => "deserialize",
         }
     }
 }

@@ -1,0 +1,67 @@
+#![deny(rustdoc::broken_intra_doc_links)]
+
+//! `dlb-shard-worker`: one shard of the process backend.
+//!
+//! Spawned by the coordinator (`Backend::Process`), this binary is a
+//! thin argv/connect wrapper: all protocol logic lives in
+//! [`dlb_core::run_worker`] next to the coordinator it mirrors. Usage:
+//!
+//! ```text
+//! dlb-shard-worker --shard <id> --connect <unix:/path | tcp:addr:port>
+//! ```
+//!
+//! Exit status 0 on an orderly shutdown (`Exit` frame or coordinator
+//! EOF), 1 on a wire/protocol error — which the coordinator observes as
+//! a closed socket and turns into a typed `EngineError`.
+
+fn usage() -> ! {
+    eprintln!("usage: dlb-shard-worker --shard <id> --connect <unix:<path> | tcp:<addr>>");
+    std::process::exit(2);
+}
+
+fn main() {
+    let mut shard: Option<u32> = None;
+    let mut endpoint: Option<String> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--shard" => {
+                let value = args.next().unwrap_or_else(|| usage());
+                match value.parse::<u32>() {
+                    Ok(s) => shard = Some(s),
+                    Err(_) => {
+                        eprintln!(
+                            "dlb-shard-worker: --shard must be a non-negative integer, got {value:?}"
+                        );
+                        std::process::exit(2);
+                    }
+                }
+            }
+            "--connect" => endpoint = Some(args.next().unwrap_or_else(|| usage())),
+            _ => usage(),
+        }
+    }
+    let (Some(shard), Some(endpoint)) = (shard, endpoint) else {
+        usage();
+    };
+
+    let stream = match dlb_wire::WireStream::connect(&endpoint) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("dlb-shard-worker[{shard}]: connect {endpoint}: {e}");
+            std::process::exit(1);
+        }
+    };
+    // Writes are bounded (a wedged coordinator must not hang the worker
+    // forever); reads are not — a worker legitimately idles between
+    // rounds for as long as the engine lives, and a dead coordinator is
+    // an EOF, not a timeout.
+    if let Err(e) = stream.set_write_timeout(Some(dlb_core::process::wire_timeout())) {
+        eprintln!("dlb-shard-worker[{shard}]: set write timeout: {e}");
+        std::process::exit(1);
+    }
+    if let Err(e) = dlb_core::run_worker(stream, shard) {
+        eprintln!("dlb-shard-worker[{shard}]: {e}");
+        std::process::exit(1);
+    }
+}

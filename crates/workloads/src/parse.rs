@@ -766,6 +766,7 @@ fn scenario_from_tables(tables: Vec<Table>) -> Result<Scenario, String> {
         "shards",
         "partition",
         "resident",
+        "transport",
     ])?;
     let name = st.str_of("name")?.to_string();
     let exec = exec_from(&st)?;
@@ -832,11 +833,12 @@ fn scenario_from_tables(tables: Vec<Table>) -> Result<Scenario, String> {
 /// `backend` key the legacy `threads` scalar decides (1 = serial, else
 /// pool); with one, `threads`/`shards`/`partition` refine it. The gating
 /// rules (`shards`/`partition` rejected outside `backend = "sharded"` /
-/// `"message"`, `threads` rejected on `"message"` — one worker per shard
-/// — so a misspelled backend cannot silently drop the sharding request)
-/// live in [`exec_spec_from_parts`], shared with the CLI overrides; every
-/// failure is wrapped in the `[scenario]` section+line diagnostic like
-/// any other key error.
+/// `"message"` / `"process"`, `threads` rejected on `"message"` and
+/// `"process"` — one worker per shard — and `transport` only on
+/// `"process"`, so a misspelled backend cannot silently drop the
+/// sharding request) live in [`exec_spec_from_parts`], shared with the
+/// CLI overrides; every failure is wrapped in the `[scenario]`
+/// section+line diagnostic like any other key error.
 fn exec_from(st: &Table) -> Result<ExecSpec, String> {
     let backend = match st.get("backend") {
         None => None,
@@ -858,7 +860,12 @@ fn exec_from(st: &Table) -> Result<ExecSpec, String> {
         None => None,
         Some(_) => Some(st.bool_of("resident")?),
     };
-    exec_spec_from_parts(backend, threads, shards, partition, resident).map_err(|e| st.err(e))
+    let transport = match st.get("transport") {
+        None => None,
+        Some(_) => Some(st.str_of("transport")?),
+    };
+    exec_spec_from_parts(backend, threads, shards, partition, resident, transport)
+        .map_err(|e| st.err(e))
 }
 
 // ---------------------------------------------------------------------------
@@ -1085,6 +1092,23 @@ fn exec_entries(exec: &ExecSpec) -> Vec<(String, String)> {
             // byte-identically.
             if resident {
                 e.push(("resident".into(), "true".into()));
+            }
+        }
+        // No threads key: the process backend runs one worker process
+        // per shard.
+        ExecSpec::Process {
+            partition,
+            transport,
+        } => {
+            e.push((
+                "partition".into(),
+                format!("\"{}\"", partition.strategy_name()),
+            ));
+            e.push(("shards".into(), partition.shards().to_string()));
+            // Only render the non-default (unix) so files round-trip
+            // byte-identically.
+            if transport != dlb_core::Transport::Unix {
+                e.push(("transport".into(), format!("\"{transport}\"")));
             }
         }
     }
@@ -1321,6 +1345,31 @@ rounds = 5
         assert!(rendered.contains("resident = true"));
         assert_eq!(Scenario::from_toml(&rendered).unwrap().exec, resident.exec);
         assert!(!message.to_toml().contains("resident"));
+        // The process backend: one worker *process* per shard, optional
+        // transport (default unix, omitted on render; tcp spelled out).
+        let process = Scenario::from_toml(&base(
+            "backend = \"process\"\nshards = 5\npartition = \"bfs\"\ntransport = \"tcp\"",
+        ))
+        .unwrap();
+        assert_eq!(
+            process.exec,
+            ExecSpec::Process {
+                partition: dlb_graphs::PartitionSpec::Bfs { shards: 5 },
+                transport: dlb_core::Transport::Tcp
+            }
+        );
+        let rendered = process.to_toml();
+        assert!(rendered.contains("transport = \"tcp\""), "{rendered}");
+        assert_eq!(Scenario::from_toml(&rendered).unwrap().exec, process.exec);
+        let process_default = Scenario::from_toml(&base("backend = \"process\"")).unwrap();
+        assert_eq!(
+            process_default.exec,
+            ExecSpec::Process {
+                partition: dlb_graphs::PartitionSpec::Range { shards: 8 },
+                transport: dlb_core::Transport::Unix
+            }
+        );
+        assert!(!process_default.to_toml().contains("transport"));
         // Gating — one case per error path of the exec assembly:
         // misplaced shards/partition, unknown backend, sharded/message
         // without shards, unknown partition strategy, zero shards,
@@ -1358,6 +1407,23 @@ rounds = 5
                 base("backend = \"sharded\"\nshards = 4\nresident = false"),
                 "only valid with backend = \"message\"",
             ),
+            (
+                base("backend = \"message\"\nshards = 4\ntransport = \"unix\""),
+                "only valid with backend = \"process\"",
+            ),
+            (
+                base("backend = \"process\"\nthreads = 2"),
+                "one worker process per shard",
+            ),
+            (
+                base("backend = \"process\"\nresident = true"),
+                "only valid with backend = \"message\"",
+            ),
+            (
+                base("backend = \"process\"\ntransport = \"carrier-pigeon\""),
+                "unknown transport",
+            ),
+            (base("backend = \"process\"\nshards = 0"), "shards >= 1"),
         ] {
             let err = Scenario::from_toml(&text).unwrap_err();
             assert!(err.contains(needle), "expected {needle:?} in {err}");

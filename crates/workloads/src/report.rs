@@ -80,6 +80,13 @@ pub struct CommTotals {
     /// Workload delta values routed to their owner shards (resident
     /// rounds only).
     pub delta_values: u64,
+    /// Framed `dlb-wire/1` bytes the coordinator actually wrote to worker
+    /// sockets over the whole run (process backend only; includes frame
+    /// envelopes, so it is ≥ the value payloads alone).
+    pub wire_bytes_out: u64,
+    /// Framed `dlb-wire/1` bytes the coordinator read back from worker
+    /// sockets over the whole run (process backend only).
+    pub wire_bytes_in: u64,
     /// Collect phases executed (resident sessions only: stats-on rounds,
     /// load reads, and run end).
     pub collects: u64,
@@ -244,7 +251,8 @@ impl ScenarioReport {
                 ", \"comm_messages\": {}, \"comm_values_sent\": {}, \
                  \"comm_halo_bytes\": {}, \"comm_max_round_shard_values\": {}, \
                  \"comm_owned_values_in\": {}, \"comm_owned_values_out\": {}, \
-                 \"comm_delta_values\": {}, \"comm_collects\": {}",
+                 \"comm_delta_values\": {}, \"comm_collects\": {}, \
+                 \"comm_wire_bytes_out\": {}, \"comm_wire_bytes_in\": {}",
                 c.messages,
                 c.values_sent,
                 c.halo_bytes,
@@ -252,7 +260,9 @@ impl ScenarioReport {
                 c.owned_values_in,
                 c.owned_values_out,
                 c.delta_values,
-                c.collects
+                c.collects,
+                c.wire_bytes_out,
+                c.wire_bytes_in
             ),
             None => String::new(),
         };
@@ -388,6 +398,14 @@ impl ScenarioReport {
                  {} delta value(s) routed, {} collect(s)\n",
                 c.owned_values_in, c.owned_values_out, c.delta_values, c.collects
             ));
+            // Wire-level totals exist only where bytes were actually
+            // framed onto a socket (the process backend).
+            if c.wire_bytes_out > 0 || c.wire_bytes_in > 0 {
+                out.push_str(&format!(
+                    "wire: {} byte(s) out, {} byte(s) in (framed dlb-wire/1)\n",
+                    c.wire_bytes_out, c.wire_bytes_in
+                ));
+            }
         }
         if let Some(f) = &self.faults {
             out.push_str(&format!(
@@ -532,6 +550,8 @@ mod tests {
             owned_values_out: 8,
             delta_values: 3,
             collects: 2,
+            wire_bytes_out: 0,
+            wire_bytes_in: 0,
         });
         let text = msg.to_jsonl();
         let header = text.lines().next().unwrap();

@@ -235,6 +235,8 @@ where
             totals.owned_values_out += c.owned_values_out as u64;
             totals.delta_values += c.delta_values as u64;
             totals.collects += c.collects as u64;
+            totals.wire_bytes_out += c.wire_bytes_out as u64;
+            totals.wire_bytes_in += c.wire_bytes_in as u64;
         }
         let (phi, moved) = match &stats {
             Some(s) => (s.phi_after_f64(), s.moved_f64()),

@@ -502,12 +502,32 @@ pub fn compile_workloads<L: ScenarioLoad>(specs: &[WorkloadSpec], n: usize) -> O
 }
 
 /// How a scenario executes: the engine [`Backend`] carried declaratively
-/// (`backend = "serial" | "pool" | "sharded" | "message"` in scenario
-/// files, with `threads`, `shards`, and `partition = "range" | "bfs"` as
-/// applicable — the message backend runs one worker per shard, so it
-/// takes `shards`/`partition` but no `threads`). It is exactly
-/// `dlb_core`'s [`Backend`] — plain `Copy` data, so scenarios stay
-/// printable, diffable, and replayable.
+/// (`backend = "serial" | "pool" | "sharded" | "message" | "process"` in
+/// scenario files, with `threads`, `shards`, `partition = "range" |
+/// "bfs"`, and `transport = "unix" | "tcp"` as applicable — the message
+/// and process backends run one worker per shard, so they take
+/// `shards`/`partition` but no `threads`, and only the process backend
+/// takes `transport`). It is exactly `dlb_core`'s [`Backend`] — plain
+/// `Copy` data, so scenarios stay printable, diffable, and replayable.
+///
+/// ```
+/// use dlb_workloads::scenario::exec_spec_from_parts;
+/// use dlb_core::engine::Backend;
+/// use dlb_core::Transport;
+/// use dlb_graphs::PartitionSpec;
+///
+/// // The scenario-file keys `backend = "process"`, `shards = 4`,
+/// // `transport = "unix"` assemble into Backend::Process:
+/// let exec = exec_spec_from_parts(
+///     Some("process"), None, Some(4), None, None, Some("unix")).unwrap();
+/// assert_eq!(exec, Backend::Process {
+///     partition: PartitionSpec::Range { shards: 4 },
+///     transport: Transport::Unix,
+/// });
+/// // ...and the gating rules reject nonsensical combinations:
+/// assert!(exec_spec_from_parts(
+///     Some("serial"), None, None, None, None, Some("tcp")).is_err());
+/// ```
 pub type ExecSpec = Backend;
 
 /// Maps the legacy `threads` scalar onto an [`ExecSpec`]: `1` = the
@@ -548,6 +568,9 @@ pub fn validate_exec(exec: &ExecSpec) -> Result<(), String> {
         ExecSpec::Message { partition, .. } if partition.shards() == 0 => {
             Err("message backend needs shards >= 1".into())
         }
+        ExecSpec::Process { partition, .. } if partition.shards() == 0 => {
+            Err("process backend needs shards >= 1".into())
+        }
         _ => Ok(()),
     }
 }
@@ -555,27 +578,45 @@ pub fn validate_exec(exec: &ExecSpec) -> Result<(), String> {
 /// Assembles an [`ExecSpec`] from the four declarative parts every entry
 /// point exposes — the `backend`/`threads`/`shards`/`partition` keys of a
 /// scenario file, or the CLI flags of the same names. This is the single
-/// home of the gating rules (`shards`/`partition` only with the sharded
-/// and message backends, `serial` is one thread, the message backend has
-/// no `threads` knob at all — one worker per shard, `partition` defaults
-/// to `range`, `threads` defaults to auto for pool/sharded, `resident`
-/// is a message-backend-only knob), so file parsing and CLI overrides
-/// cannot drift apart.
+/// home of the gating rules (`shards`/`partition` only with the sharded,
+/// message, and process backends, `serial` is one thread, the message and
+/// process backends have no `threads` knob at all — one worker per shard,
+/// `partition` defaults to `range`, `threads` defaults to auto for
+/// pool/sharded, `resident` is a message-backend-only knob, `transport`
+/// is a process-backend-only knob defaulting to `unix`), so file parsing
+/// and CLI overrides cannot drift apart.
 pub fn exec_spec_from_parts(
     backend: Option<&str>,
     threads: Option<usize>,
     shards: Option<usize>,
     partition: Option<&str>,
     resident: Option<bool>,
+    transport: Option<&str>,
 ) -> Result<ExecSpec, String> {
     let reject_shard_keys = || -> Result<(), String> {
         if shards.is_some() || partition.is_some() {
             return Err(
-                "shards/partition are only valid with backend = \"sharded\" or \"message\"".into(),
+                "shards/partition are only valid with backend = \"sharded\", \"message\", or \"process\""
+                    .into(),
             );
         }
         if resident.is_some() {
             return Err("resident is only valid with backend = \"message\"".into());
+        }
+        if transport.is_some() {
+            return Err("transport is only valid with backend = \"process\"".into());
+        }
+        Ok(())
+    };
+    let reject_resident = || -> Result<(), String> {
+        if resident.is_some() {
+            return Err("resident is only valid with backend = \"message\"".into());
+        }
+        Ok(())
+    };
+    let reject_transport = || -> Result<(), String> {
+        if transport.is_some() {
+            return Err("transport is only valid with backend = \"process\"".into());
         }
         Ok(())
     };
@@ -598,9 +639,8 @@ pub fn exec_spec_from_parts(
             })
         }
         Some("sharded") => {
-            if resident.is_some() {
-                return Err("resident is only valid with backend = \"message\"".into());
-            }
+            reject_resident()?;
+            reject_transport()?;
             let shards = shards.ok_or("backend \"sharded\" needs shards")?;
             let partition = partition_from_name(partition.unwrap_or("range"), shards)?;
             Ok(ExecSpec::Sharded {
@@ -609,6 +649,7 @@ pub fn exec_spec_from_parts(
             })
         }
         Some("message") => {
+            reject_transport()?;
             if threads.is_some() {
                 return Err(
                     "backend \"message\" runs one worker per shard (drop the threads key)".into(),
@@ -621,8 +662,27 @@ pub fn exec_spec_from_parts(
                 resident: resident.unwrap_or(false),
             })
         }
+        Some("process") => {
+            reject_resident()?;
+            if threads.is_some() {
+                return Err(
+                    "backend \"process\" runs one worker process per shard (drop the threads key)"
+                        .into(),
+                );
+            }
+            // Unlike sharded/message, `shards` has a default: the
+            // quickstart (`--backend process` alone) should just work,
+            // and a fixed count keeps reports reproducible.
+            let shards = shards.unwrap_or(8);
+            let partition = partition_from_name(partition.unwrap_or("range"), shards)?;
+            let transport = transport.unwrap_or("unix").parse::<dlb_core::Transport>()?;
+            Ok(ExecSpec::Process {
+                partition,
+                transport,
+            })
+        }
         Some(other) => Err(format!(
-            "unknown backend {other:?} (expected serial, pool, sharded, or message)"
+            "unknown backend {other:?} (expected serial, pool, sharded, message, or process)"
         )),
     }
 }
@@ -845,13 +905,13 @@ impl Default for TelemetrySpec {
 
 impl TelemetrySpec {
     /// Shard-lane count the recorder needs under `exec`: the partition's
-    /// shard count on the sharded/message backends, none on serial/pool
-    /// (their spans all land on the engine lane).
+    /// shard count on the sharded/message/process backends, none on
+    /// serial/pool (their spans all land on the engine lane).
     pub fn lanes(exec: &ExecSpec) -> usize {
         match exec {
-            ExecSpec::Sharded { partition, .. } | ExecSpec::Message { partition, .. } => {
-                partition.shards()
-            }
+            ExecSpec::Sharded { partition, .. }
+            | ExecSpec::Message { partition, .. }
+            | ExecSpec::Process { partition, .. } => partition.shards(),
             _ => 0,
         }
     }
@@ -1128,6 +1188,12 @@ impl Scenario {
             if faults.down == 0 {
                 return Err("faults down must be >= 1".into());
             }
+            if matches!(self.exec, ExecSpec::Process { .. }) {
+                return Err(
+                    "faults are not supported on the process backend (use backend = \"message\")"
+                        .into(),
+                );
+            }
             let message = matches!(self.exec, ExecSpec::Message { .. });
             let sharded = matches!(self.exec, ExecSpec::Sharded { .. });
             if matches!(self.exec, ExecSpec::Message { resident: true, .. }) {
@@ -1161,6 +1227,7 @@ impl Scenario {
             "bursty-torus-sharded",
             "bursty-torus-message",
             "bursty-torus-resident",
+            "bursty-torus-process",
             "zipf-hypercube-drain",
             "diurnal-cycle",
             "adversarial-hetero",
@@ -1188,6 +1255,10 @@ impl Scenario {
     ///   rounds, the coordinator routes workload deltas by owner and
     ///   collects owned values only on stats/read rounds; trajectory
     ///   still bit-identical to `bursty-torus`;
+    /// * `bursty-torus-process` — the same regime on the process backend
+    ///   (8 BFS-grown shard worker *processes* over Unix-domain sockets
+    ///   speaking `dlb-wire/1`); trajectory bit-identical to
+    ///   `bursty-torus`, with wire-level byte counters in its report;
     /// * `zipf-hypercube-drain` — discrete tokens on `Q_8` with Zipf
     ///   hotspot arrivals against a fixed per-node service capacity;
     /// * `diurnal-cycle` — continuous diffusion on a cycle under a
@@ -1250,6 +1321,14 @@ impl Scenario {
                 s.with_exec(ExecSpec::Message {
                     partition: PartitionSpec::Bfs { shards: 8 },
                     resident: true,
+                })
+            }
+            "bursty-torus-process" => {
+                let mut s = Scenario::builtin("bursty-torus").expect("base builtin exists");
+                s.name = "bursty-torus-process".into();
+                s.with_exec(ExecSpec::Process {
+                    partition: PartitionSpec::Bfs { shards: 8 },
+                    transport: dlb_core::Transport::Unix,
                 })
             }
             "zipf-hypercube-drain" => Scenario::new(

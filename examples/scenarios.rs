@@ -12,15 +12,19 @@
 //! Options:
 //!
 //! * `--name <builtin>` / `--file <path>` — which scenario to run;
-//! * `--backend <serial|pool|sharded|message>` — override the scenario's
-//!   execution backend (trajectories are backend-independent, so this is
-//!   safe to vary freely — the CI cross-backend matrix relies on it);
+//! * `--backend <serial|pool|sharded|message|process>` — override the
+//!   scenario's execution backend (trajectories are backend-independent,
+//!   so this is safe to vary freely — the CI cross-backend matrix relies
+//!   on it);
 //! * `--threads <t>` — worker count (with `--backend`, refines it; alone
 //!   it is the legacy scalar: 1 = serial, 0 = auto-pool, t > 1 = pool;
-//!   rejected with `--backend message`, which runs one worker per shard);
-//! * `--shards <k>` / `--partition <range|bfs>` — sharded/message-backend
-//!   parameters (without `--backend`, `--shards` implies
-//!   `--backend sharded`);
+//!   rejected with `--backend message`/`process`, which run one worker
+//!   per shard);
+//! * `--shards <k>` / `--partition <range|bfs>` —
+//!   sharded/message/process-backend parameters (without `--backend`,
+//!   `--shards` implies `--backend sharded`);
+//! * `--transport <unix|tcp>` — process-backend byte transport (implies
+//!   `--backend process`; default `unix`);
 //! * `--resident` — message-backend shard-resident rounds: workers keep
 //!   their owned loads across rounds and the coordinator collects them
 //!   only on stats/read rounds (implies `--backend message`; rejected
@@ -75,6 +79,14 @@ fn exec_summary(exec: &ExecSpec) -> String {
             partition.shards(),
             if resident { ", resident" } else { "" },
         ),
+        ExecSpec::Process {
+            partition,
+            transport,
+        } => format!(
+            "process({} x{}, 1 process/shard, {transport})",
+            partition.strategy_name(),
+            partition.shards(),
+        ),
     }
 }
 
@@ -98,12 +110,14 @@ fn exec_override() -> Option<ExecSpec> {
     });
     let strategy = arg_value("--partition");
     let resident = std::env::args().any(|a| a == "--resident").then_some(true);
+    let transport = arg_value("--transport");
     let backend = arg_value("--backend")
         .or_else(|| resident.map(|_| "message".to_string()))
+        .or_else(|| transport.as_ref().map(|_| "process".to_string()))
         .or_else(|| (shards.is_some() || strategy.is_some()).then(|| "sharded".to_string()));
     if backend.is_none() {
         return threads.map(|t| {
-            exec_spec_from_parts(None, Some(t), None, None, None).unwrap_or_else(|e| fail(&e))
+            exec_spec_from_parts(None, Some(t), None, None, None, None).unwrap_or_else(|e| fail(&e))
         });
     }
     Some(
@@ -113,6 +127,7 @@ fn exec_override() -> Option<ExecSpec> {
             shards,
             strategy.as_deref(),
             resident,
+            transport.as_deref(),
         )
         .unwrap_or_else(|e| fail(&e)),
     )
@@ -134,8 +149,8 @@ fn main() {
             );
         }
         println!(
-            "\nexec overrides: --backend serial|pool|sharded|message, --threads t, \
-             --shards k, --partition range|bfs, --resident\n\
+            "\nexec overrides: --backend serial|pool|sharded|message|process, --threads t, \
+             --shards k, --partition range|bfs, --resident, --transport unix|tcp\n\
              fault injection: --faults \"every=40,down=5,seed=7,panic,drop,delay=3\""
         );
         return;
@@ -159,9 +174,9 @@ fn main() {
         _ => {
             eprintln!(
                 "usage: scenarios (--name <builtin> | --file <path>) \
-                 [--backend serial|pool|sharded|message] [--threads t] [--shards k] \
-                 [--partition range|bfs] [--resident] [--faults spec] [--json out.jsonl] \
-                 [--trace out.trace] [--trace-format jsonl|chrome] \
+                 [--backend serial|pool|sharded|message|process] [--threads t] [--shards k] \
+                 [--partition range|bfs] [--resident] [--transport unix|tcp] [--faults spec] \
+                 [--json out.jsonl] [--trace out.trace] [--trace-format jsonl|chrome] \
                  [--print-spec] [--list]"
             );
             std::process::exit(2);

@@ -1,3 +1,5 @@
+#![deny(rustdoc::broken_intra_doc_links)]
+
 //! Shared helpers for the runnable examples.
 //!
 //! The examples themselves live at the repository's `examples/*.rs`:

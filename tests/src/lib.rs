@@ -1,3 +1,5 @@
+#![deny(rustdoc::broken_intra_doc_links)]
+
 //! Shared fixtures for the workspace integration tests (see `tests/*.rs`).
 //!
 //! The actual test suites live in this package's `tests/` directory; this
